@@ -1,0 +1,88 @@
+//! Microbenchmarks of the substrate kernels: controller tick, LLC access,
+//! trace generation, Zipf sampling, transient solver step.
+
+use clr_core::addr::PhysAddr;
+use clr_cpu::cache::{AccessKind, CacheConfig, Llc};
+use clr_cpu::trace::TraceSource;
+use clr_memsim::config::MemConfig;
+use clr_memsim::controller::MemoryController;
+use clr_memsim::request::{MemRequest, RequestKind};
+use clr_trace::apps::SUITE;
+use clr_trace::gen::AppTrace;
+use clr_trace::zipf::Zipf;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_controller(c: &mut Criterion) {
+    c.bench_function("memsim_tick_with_traffic", |b| {
+        let mut cfg = MemConfig::paper_baseline();
+        cfg.refresh_enabled = true;
+        let mut mc = MemoryController::new(cfg);
+        let mut done = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            if mc.pending_reads() < 32 {
+                let _ = mc.try_enqueue(MemRequest::new(
+                    i,
+                    PhysAddr((i * 4096 + (i % 7) * 64) % (1 << 30)),
+                    RequestKind::Read,
+                    mc.cycle(),
+                ));
+                i += 1;
+            }
+            mc.tick(&mut done);
+            done.clear();
+        })
+    });
+}
+
+fn bench_llc(c: &mut Criterion) {
+    c.bench_function("llc_access_hit", |b| {
+        let mut llc = Llc::new(CacheConfig::paper_llc(), 1);
+        // Prime one line.
+        llc.access(0, AccessKind::Load, PhysAddr(0x40), 0);
+        let req = llc.outbox_front().unwrap();
+        llc.outbox_pop();
+        llc.fill(req.id);
+        let mut t = 0;
+        b.iter(|| {
+            t += 1;
+            llc.access(0, AccessKind::Load, PhysAddr(0x40), t)
+        })
+    });
+}
+
+fn bench_tracegen(c: &mut Criterion) {
+    c.bench_function("apptrace_next_item", |b| {
+        let mut g = AppTrace::new(SUITE[0], 1);
+        b.iter(|| g.next_item())
+    });
+    c.bench_function("zipf_sample", |b| {
+        let z = Zipf::new(1 << 16, 0.8);
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| z.sample(&mut rng))
+    });
+}
+
+fn bench_transient(c: &mut Criterion) {
+    use clr_circuit::dram::{build, Topology};
+    use clr_circuit::params::CircuitParams;
+    use clr_circuit::transient::Transient;
+    c.bench_function("transient_step_hp_subarray", |b| {
+        let p = CircuitParams::default_22nm();
+        let sub = build(Topology::ClrHighPerformance, &p);
+        let mut sim = Transient::new(sub.net.clone(), p.dt_ns);
+        sim.slew(sub.wordline, p.vpp, p.slew_v_per_ns);
+        b.iter(|| sim.step())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_controller,
+    bench_llc,
+    bench_tracegen,
+    bench_transient
+);
+criterion_main!(benches);

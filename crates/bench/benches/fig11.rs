@@ -1,0 +1,18 @@
+//! Criterion bench for the Figure 11 kernel: one tREFW sweep point.
+
+use clr_circuit::params::CircuitParams;
+use clr_circuit::retention::fig11_sweep;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    let p = CircuitParams::default_22nm();
+    g.bench_function("refw_point", |b| {
+        b.iter(|| fig11_sweep(std::hint::black_box(&p), 64.0, 10.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure 12 kernel: one single-core run pair
+//! (baseline + all-high-performance) on a memory-intensive app model.
+
+use clr_sim::experiment::mem_config;
+use clr_sim::system::{run_workloads, RunConfig};
+use clr_trace::apps::by_name;
+use clr_trace::workload::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    let w = Workload::App(*by_name("429.mcf").expect("mcf exists"));
+    g.bench_function("mcf_baseline_vs_clr100", |b| {
+        b.iter(|| {
+            let base = run_workloads(
+                &[w],
+                &RunConfig::paper(mem_config(None, 64.0), 10_000, 1_000, 7),
+            );
+            let clr = run_workloads(
+                &[w],
+                &RunConfig::paper(mem_config(Some(1.0), 64.0), 10_000, 1_000, 7),
+            );
+            (base.ipc[0], clr.ipc[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

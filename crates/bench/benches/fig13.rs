@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 13 kernel: one four-core H-group mix run.
+
+use clr_sim::experiment::mem_config;
+use clr_sim::system::{run_workloads, RunConfig};
+use clr_trace::mix::{build_mixes, MixGroup};
+use clr_trace::workload::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    let mix = build_mixes(MixGroup::High, 1, 42).remove(0);
+    let ws: Vec<Workload> = mix.apps.iter().map(|a| Workload::App(**a)).collect();
+    g.bench_function("four_core_high_mix", |b| {
+        b.iter(|| {
+            run_workloads(
+                &ws,
+                &RunConfig::paper(mem_config(Some(0.25), 64.0), 5_000, 500, 9),
+            )
+            .ipc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Figure 14 kernel: the DRAMPower-style energy
+//! computation over a run's statistics.
+
+use clr_memsim::config::MemConfig;
+use clr_memsim::stats::MemStats;
+use clr_power::{energy_of_run, IddParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = MemConfig::paper_clr(0.5);
+    let idd = IddParams::default();
+    let stats = MemStats {
+        cycles: 1_000_000,
+        acts_max_capacity: 10_000,
+        acts_high_performance: 40_000,
+        pres_max_capacity: 10_000,
+        pres_high_performance: 40_000,
+        reads: 120_000,
+        writes: 40_000,
+        refs_max_capacity: 60,
+        refs_high_performance: 60,
+        rank_active_cycles: 700_000,
+        rank_precharged_cycles: 300_000,
+        ..MemStats::new()
+    };
+    c.bench_function("fig14_energy_of_run", |b| {
+        b.iter(|| energy_of_run(std::hint::black_box(&stats), &cfg, &idd))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

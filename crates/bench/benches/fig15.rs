@@ -1,0 +1,26 @@
+//! Criterion bench for the Figure 15 kernel: one extended-refresh run.
+
+use clr_sim::experiment::mem_config;
+use clr_sim::system::{run_workloads, RunConfig};
+use clr_trace::apps::by_name;
+use clr_trace::workload::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    let w = Workload::App(*by_name("470.lbm").expect("lbm exists"));
+    g.bench_function("clr194_all_hp_run", |b| {
+        b.iter(|| {
+            run_workloads(
+                &[w],
+                &RunConfig::paper(mem_config(Some(1.0), 194.0), 10_000, 1_000, 3),
+            )
+            .ipc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the Figure 7 kernel: one activation/precharge
+//! transient with waveform capture, per topology.
+
+use clr_circuit::dram::{build, Topology};
+use clr_circuit::params::CircuitParams;
+use clr_circuit::scenario::{run_act_pre, ActPreOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    let p = CircuitParams::default_22nm();
+    for topo in [Topology::OpenBitlineBaseline, Topology::ClrHighPerformance] {
+        let sub = build(topo, &p);
+        g.bench_function(format!("act_pre_{topo:?}"), |b| {
+            b.iter(|| {
+                run_act_pre(
+                    &sub,
+                    &p,
+                    ActPreOptions {
+                        initial_cell_v: p.vdd * 0.96,
+                        capture_trace: true,
+                        single_sa_twin_cell: false,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for the Figure 8 kernel: the early-termination
+//! restoration analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("early_termination_analysis", |b| {
+        b.iter(clr_sim::experiment::circuit::run_fig8)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

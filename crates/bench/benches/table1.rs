@@ -1,0 +1,17 @@
+//! Criterion bench for the Table 1 kernel: one nominal four-configuration
+//! circuit measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    let params = clr_circuit::params::CircuitParams::default_22nm();
+    g.bench_function("measure_table1_nominal", |b| {
+        b.iter(|| clr_circuit::timing::measure_table1(std::hint::black_box(&params)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

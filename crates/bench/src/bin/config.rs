@@ -1,0 +1,7 @@
+//! Prints the Table 2 system configuration.
+
+fn main() {
+    let _ = clr_bench::startup("Table 2 (configuration) + §6 overheads");
+    println!("{}", clr_sim::experiment::sysconfig::render());
+    println!("{}", clr_sim::experiment::overheads::render());
+}

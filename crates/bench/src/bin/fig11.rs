@@ -1,0 +1,9 @@
+//! Regenerates Figure 11: tRCD/tRAS vs the extended refresh window.
+
+use clr_sim::experiment::circuit;
+
+fn main() {
+    let _ = clr_bench::startup("Figure 11");
+    let sweep = circuit::run_fig11();
+    println!("{}", circuit::render_fig11(&sweep));
+}

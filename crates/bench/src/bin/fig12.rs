@@ -1,0 +1,28 @@
+//! Regenerates Figure 12: single-core normalized IPC and DRAM energy.
+
+use clr_core::paper::HEADLINES;
+use clr_sim::experiment::single;
+
+fn main() {
+    let scale = clr_bench::startup("Figure 12");
+    let report = single::run(scale, 42);
+    println!("{}", single::render_fig12(&report));
+    let ipc = report.gmean_ipc();
+    let energy = report.gmean_energy();
+    println!("paper-vs-measured (GMEAN over apps):");
+    for (i, frac) in [(1usize, 0usize), (2, 1), (3, 2), (4, 3)] {
+        clr_bench::compare(
+            &format!("IPC gain @{}%", (frac + 1) * 25),
+            ipc[i] - 1.0,
+            HEADLINES.single_core_speedup[frac],
+        );
+    }
+    clr_bench::compare("IPC gain @0% (all max-cap)", ipc[0] - 1.0, HEADLINES.single_core_speedup_all_maxcap);
+    for (i, frac) in [(1usize, 0usize), (2, 1), (3, 2), (4, 3)] {
+        clr_bench::compare(
+            &format!("energy saving @{}%", (frac + 1) * 25),
+            1.0 - energy[i],
+            HEADLINES.single_core_energy_saving[frac],
+        );
+    }
+}

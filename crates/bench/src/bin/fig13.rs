@@ -1,0 +1,23 @@
+//! Regenerates Figure 13: four-core normalized weighted speedup and DRAM
+//! energy across the L/M/H workload groups.
+
+use clr_core::paper::HEADLINES;
+use clr_sim::experiment::multi;
+
+fn main() {
+    let scale = clr_bench::startup("Figure 13");
+    let report = multi::run(scale, 42);
+    println!("{}", multi::render_fig13(&report));
+    let ws = report.gmean_ws();
+    let energy = report.gmean_energy();
+    println!("paper-vs-measured (GMEAN over mixes):");
+    clr_bench::compare("weighted speedup @25%", ws[1] - 1.0, HEADLINES.multi_core_speedup[0]);
+    clr_bench::compare("weighted speedup @100%", ws[4] - 1.0, HEADLINES.multi_core_speedup[3]);
+    clr_bench::compare(
+        "H-group speedup @100%",
+        report.high_group().norm_ws[4] - 1.0,
+        HEADLINES.multi_core_speedup_high_mpki,
+    );
+    clr_bench::compare("energy saving @25%", 1.0 - energy[1], HEADLINES.multi_core_energy_saving_25_100[0]);
+    clr_bench::compare("energy saving @100%", 1.0 - energy[4], HEADLINES.multi_core_energy_saving_25_100[1]);
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 14: normalized DRAM power (single- and four-core).
+
+use clr_core::paper::HEADLINES;
+use clr_sim::experiment::{multi, single};
+
+fn main() {
+    let scale = clr_bench::startup("Figure 14");
+    let s = single::run(scale, 42);
+    println!("{}", single::render_fig14a(&s));
+    let m = multi::run(scale, 42);
+    println!("{}", multi::render_fig14b(&m));
+    println!("paper-vs-measured:");
+    let sp = s.gmean_power();
+    let mp = m.gmean_power();
+    clr_bench::compare("single-core power saving @25%", 1.0 - sp[1], HEADLINES.single_core_power_saving_25_100[0]);
+    clr_bench::compare("single-core power saving @100%", 1.0 - sp[4], HEADLINES.single_core_power_saving_25_100[1]);
+    clr_bench::compare("multi-core power saving @25%", 1.0 - mp[1], HEADLINES.multi_core_power_saving_25_100[0]);
+    clr_bench::compare("multi-core power saving @100%", 1.0 - mp[4], HEADLINES.multi_core_power_saving_25_100[1]);
+}

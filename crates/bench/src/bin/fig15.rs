@@ -1,0 +1,26 @@
+//! Regenerates Figure 15: refresh-interval sensitivity (CLR-64..CLR-194).
+
+use clr_core::paper::HEADLINES;
+use clr_sim::experiment::refresh;
+
+fn main() {
+    let scale = clr_bench::startup("Figure 15");
+    let s = refresh::run_single(scale, 42);
+    println!("{}", refresh::render(&s));
+    let m = refresh::run_multi(scale, 42);
+    println!("{}", refresh::render(&m));
+    println!("paper-vs-measured (multi-core, all pages high-performance):");
+    let clr64 = &m.variants[0];
+    let clr194 = &m.variants[4];
+    clr_bench::compare(
+        "CLR-64 refresh energy saving",
+        1.0 - clr64.norm_refresh_energy[3],
+        HEADLINES.refresh_energy_saving_clr64,
+    );
+    clr_bench::compare(
+        "CLR-194 refresh energy saving",
+        1.0 - clr194.norm_refresh_energy[3],
+        HEADLINES.refresh_energy_saving_clr194,
+    );
+    clr_bench::compare("CLR-194 speedup", clr194.norm_perf[3] - 1.0, HEADLINES.multi_core_speedup_clr194);
+}

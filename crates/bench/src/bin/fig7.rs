@@ -1,0 +1,18 @@
+//! Regenerates Figure 7: activation + precharge waveforms, baseline vs
+//! high-performance mode. Prints CSV suitable for plotting.
+
+use clr_sim::experiment::circuit;
+
+fn main() {
+    let _ = clr_bench::startup("Figure 7");
+    let (base, hp) = circuit::run_fig7();
+    println!("# baseline open-bitline activation + precharge");
+    println!("{}", circuit::trace_csv(&base));
+    println!("# CLR-DRAM high-performance mode");
+    println!("{}", circuit::trace_csv(&hp));
+    let t_base = base.iter().find(|p| p.bl > 1.1).map(|p| p.t_ns);
+    let t_hp = hp.iter().find(|p| p.bl > 1.1).map(|p| p.t_ns);
+    if let (Some(b), Some(h)) = (t_base, t_hp) {
+        println!("# bitline reaches ~VDD: baseline {b:.1} ns, high-performance {h:.1} ns");
+    }
+}

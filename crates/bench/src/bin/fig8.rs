@@ -1,0 +1,12 @@
+//! Regenerates Figure 8: the early-termination analysis of charge
+//! restoration in high-performance mode.
+
+use clr_sim::experiment::circuit;
+
+fn main() {
+    let _ = clr_bench::startup("Figure 8");
+    let (summary, trace) = circuit::run_fig8();
+    println!("{}", circuit::render_fig8(&summary));
+    println!("# restoration waveform CSV");
+    println!("{}", circuit::trace_csv(&trace));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 1: the four DRAM timing parameters across the four
+//! configurations, from the transient circuit simulator.
+
+use clr_sim::experiment::circuit;
+
+fn main() {
+    let scale = clr_bench::startup("Table 1");
+    let m = circuit::run_table1(scale, 42);
+    println!("{}", circuit::render_table1(&m, scale));
+    let (rcd, ras, rp, wr) = m.reductions();
+    println!("paper-vs-measured (HP w/ E.T. reductions):");
+    clr_bench::compare("tRCD reduction", rcd, 0.601);
+    clr_bench::compare("tRAS reduction", ras, 0.642);
+    clr_bench::compare("tRP reduction", rp, 0.464);
+    clr_bench::compare("tWR reduction", wr, 0.352);
+}

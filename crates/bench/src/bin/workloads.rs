@@ -1,0 +1,9 @@
+//! Validates the synthetic application models: realized vs target MPKI.
+
+use clr_sim::experiment::workloads;
+
+fn main() {
+    let scale = clr_bench::startup("Workload-model validation");
+    let rows = workloads::run(scale, 42);
+    println!("{}", workloads::render(&rows, scale));
+}

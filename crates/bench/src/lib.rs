@@ -1,0 +1,30 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Every binary prints the paper-corresponding rows/series to stdout and
+//! honours the `CLR_SCALE` environment variable (`smoke` / `default` /
+//! `full`). Measured-vs-paper comparisons accompany each table so the
+//! reproduction can be judged at a glance; see EXPERIMENTS.md for recorded
+//! outputs.
+
+#![warn(missing_docs)]
+
+use clr_sim::scale::Scale;
+
+/// Resolves the experiment scale from `CLR_SCALE` and prints a banner.
+pub fn startup(figure: &str) -> Scale {
+    let scale = Scale::from_env();
+    println!(
+        "== CLR-DRAM reproduction :: {figure} (scale: {}; set CLR_SCALE=smoke|default|full) ==\n",
+        scale.label()
+    );
+    scale
+}
+
+/// Prints a paper-vs-measured comparison line.
+pub fn compare(label: &str, measured: f64, paper: f64) {
+    println!(
+        "  {label}: measured {measured:+.1}% | paper {paper:+.1}%",
+        measured = measured * 100.0,
+        paper = paper * 100.0
+    );
+}

@@ -1,0 +1,23 @@
+//! Developer aid: print raw timing measurements for calibration.
+use clr_circuit::dram::{build, Topology};
+use clr_circuit::params::CircuitParams;
+use clr_circuit::retention::{fig11_sweep, initial_cell_voltage};
+use clr_circuit::scenario::{run_act_pre, run_write_recovery, ActPreOptions};
+
+fn main() {
+    let p = CircuitParams::default_22nm();
+    for topo in Topology::ALL {
+        let sub = build(topo, &p);
+        let v0 = initial_cell_voltage(&p, 64.0);
+        let r = run_act_pre(&sub, &p, ActPreOptions::nominal(v0));
+        let (wr_full, wr_et) = run_write_recovery(&sub, &p, v0);
+        println!(
+            "{topo:?}: tRCD {:.2} tRAS {:.2} (ET {:.2}) tRP {:.2} tWR {:.2} (ET {:.2}) ok={}",
+            r.t_rcd_ns, r.t_ras_full_ns, r.t_ras_et_ns, r.t_rp_ns, wr_full, wr_et, r.sense_correct
+        );
+    }
+    println!("\nfig11 sweep:");
+    for pt in fig11_sweep(&p, 204.0, 10.0) {
+        println!("  refw {:>5.0} ms: tRCD {:.2} tRAS {:.2} ok={}", pt.refw_ms, pt.t_rcd_ns, pt.t_ras_ns, pt.ok);
+    }
+}

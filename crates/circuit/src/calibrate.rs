@@ -1,0 +1,93 @@
+//! Calibration reporting: how closely the analog model's *baseline*
+//! reproduces the paper's DDR4 baseline, and which knob moves what.
+//!
+//! The reproduction's philosophy (DESIGN.md): absolute nanoseconds are a
+//! property of device-parameter calibration, while mode-vs-baseline
+//! *ratios* are a property of circuit topology. This module quantifies
+//! both sides so EXPERIMENTS.md can record them and tests can pin them.
+
+use crate::params::CircuitParams;
+use crate::timing::{measure_table1, Table1Measurement};
+
+/// The paper's baseline timings (Table 1, ns).
+pub const PAPER_BASELINE_NS: [(&str, f64); 4] = [
+    ("tRCD", 13.8),
+    ("tRAS", 39.4),
+    ("tRP", 15.5),
+    ("tWR", 12.5),
+];
+
+/// Result of a calibration check.
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    /// The measured Table 1.
+    pub measured: Table1Measurement,
+    /// `(name, measured_ns, target_ns, ratio)` per baseline parameter.
+    pub baseline_fit: Vec<(&'static str, f64, f64, f64)>,
+}
+
+impl CalibrationReport {
+    /// Largest |ratio − 1| across the baseline parameters.
+    pub fn worst_error(&self) -> f64 {
+        self.baseline_fit
+            .iter()
+            .map(|&(_, _, _, r)| (r - 1.0).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::from("circuit calibration vs paper baseline:\n");
+        for &(name, meas, target, ratio) in &self.baseline_fit {
+            out.push_str(&format!(
+                "  {name}: measured {meas:.1} ns, paper {target:.1} ns (x{ratio:.2})\n"
+            ));
+        }
+        out.push_str(&format!("  worst error: {:.0}%\n", self.worst_error() * 100.0));
+        out
+    }
+}
+
+/// Measures the model and compares its baseline to the paper's.
+pub fn calibration_report(p: &CircuitParams) -> CalibrationReport {
+    let measured = measure_table1(p);
+    let values = [
+        measured.baseline.t_rcd_ns,
+        measured.baseline.t_ras_ns,
+        measured.baseline.t_rp_ns,
+        measured.baseline.t_wr_ns,
+    ];
+    let baseline_fit = PAPER_BASELINE_NS
+        .iter()
+        .zip(values)
+        .map(|(&(name, target), meas)| (name, meas, target, meas / target))
+        .collect();
+    CalibrationReport {
+        measured,
+        baseline_fit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_calibration_is_within_25_percent() {
+        let r = calibration_report(&CircuitParams::default_22nm());
+        assert!(
+            r.worst_error() < 0.25,
+            "calibration drifted: {}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn report_renders_all_parameters() {
+        let r = calibration_report(&CircuitParams::default_22nm());
+        let s = r.render();
+        for (name, _) in PAPER_BASELINE_NS {
+            assert!(s.contains(name), "missing {name} in {s}");
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! DRAM subarray netlists for the three evaluated topologies.
+//!
+//! All three share the same primitives: two bitlines modelled as RC
+//! ladders, 1T1C cells hanging mid-line, cross-coupled sense amplifiers
+//! whose SAN/SAP rails are driven sources, and 3-transistor precharge
+//! units. The topologies differ exactly where CLR-DRAM differs
+//! (Figures 4–6):
+//!
+//! * [`Topology::OpenBitlineBaseline`] — one SA at the top; the SA's
+//!   complement port sees the neighbor subarray's (cell-less) bitline; one
+//!   precharge unit.
+//! * [`Topology::ClrMaxCapacity`] — baseline plus Type 1 bitline mode
+//!   select transistors between the bitlines and the SA ports, and a
+//!   second precharge unit reachable through the Type 2 transistors at
+//!   the far ends (enabled only while precharging — the LISA-LIP-style
+//!   tRP optimisation of §7.2).
+//! * [`Topology::ClrHighPerformance`] — two cells storing complementary
+//!   values on the two bitlines, both SAs coupled through Type 1 + Type 2
+//!   transistors, both precharge units active.
+
+use crate::devices::Node;
+use crate::netlist::{Netlist, SourceId};
+use crate::params::CircuitParams;
+
+/// Which subarray configuration to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Unmodified density-optimized open-bitline array.
+    OpenBitlineBaseline,
+    /// CLR-DRAM row operating in max-capacity mode.
+    ClrMaxCapacity,
+    /// CLR-DRAM row operating in high-performance mode.
+    ClrHighPerformance,
+    /// Twin-Cell DRAM (§9 related work): two coupled complementary cells
+    /// driven by a *single* SA — no second sense amplifier. Used to
+    /// reproduce the paper's claim that coupling the SAs (not just the
+    /// cells) is what unlocks most of the latency reduction.
+    TwinCellSingleSa,
+}
+
+impl Topology {
+    /// All topologies, baseline first.
+    pub const ALL: [Topology; 4] = [
+        Topology::OpenBitlineBaseline,
+        Topology::ClrMaxCapacity,
+        Topology::ClrHighPerformance,
+        Topology::TwinCellSingleSa,
+    ];
+}
+
+/// One sense amplifier's external handles.
+#[derive(Debug, Clone, Copy)]
+pub struct SenseAmp {
+    /// True (bitline) port.
+    pub bl: Node,
+    /// Complement (bitline-bar) port.
+    pub blb: Node,
+    /// SAP rail source (slews VDD/2 → VDD to enable).
+    pub sap: SourceId,
+    /// SAN rail source (slews VDD/2 → 0 to enable).
+    pub san: SourceId,
+    /// Precharge-gate source of this SA's precharge unit.
+    pub pre_gate: SourceId,
+}
+
+/// The built subarray with every handle the scenarios need.
+#[derive(Debug, Clone)]
+pub struct Subarray {
+    /// The netlist (moved into a `Transient` to run).
+    pub net: Netlist,
+    /// Which topology was built.
+    pub topology: Topology,
+    /// Wordline source of the accessed row.
+    pub wordline: SourceId,
+    /// Primary (top) sense amplifier.
+    pub sa1: SenseAmp,
+    /// Secondary (bottom) sense amplifier — present in the CLR topologies.
+    pub sa2: Option<SenseAmp>,
+    /// Gate source of the Type 1 bitline mode select transistors.
+    pub iso1_gate: Option<SourceId>,
+    /// Gate source of the Type 2 bitline mode select transistors.
+    pub iso2_gate: Option<SourceId>,
+    /// Storage node of the (charged-'1') cell on the true bitline.
+    pub cell: Node,
+    /// Storage node of the complementary cell (high-performance only).
+    pub cellb: Option<Node>,
+    /// Top end of the true bitline.
+    pub bl_top: Node,
+    /// Far (bottom) end of the true bitline.
+    pub bl_bottom: Node,
+    /// Top end of the complement bitline.
+    pub blb_top: Node,
+    /// Far (bottom) end of the complement bitline.
+    pub blb_bottom: Node,
+    /// Write driver source on the SA1 true port (disconnected by
+    /// default).
+    pub write_bl: SourceId,
+    /// Write driver source on the SA1 complement port.
+    pub write_blb: SourceId,
+}
+
+/// Builds an RC-ladder bitline; returns its node chain (index 0 = top).
+fn bitline(net: &mut Netlist, name: &str, p: &CircuitParams) -> Vec<Node> {
+    let n = p.segments;
+    let r_seg = p.r_bitline / n as f64;
+    let c_seg = p.c_bitline / (n + 1) as f64;
+    let mut nodes: Vec<Node> = Vec::with_capacity(n + 1);
+    for i in 0..=n {
+        let node = net.node(&format!("{name}{i}"));
+        net.capacitor(node, 0, c_seg);
+        if i > 0 {
+            net.resistor(nodes[i - 1], node, r_seg);
+        }
+        nodes.push(node);
+    }
+    nodes
+}
+
+/// Attaches a 1T1C cell at `line_node`; returns the storage node.
+fn cell(net: &mut Netlist, name: &str, line_node: Node, wl_node: Node, p: &CircuitParams) -> Node {
+    let storage = net.node(name);
+    net.capacitor(storage, 0, p.c_cell);
+    net.nmos(line_node, wl_node, storage, p.access);
+    storage
+}
+
+/// Builds a sense amplifier + precharge unit on the two given port nodes.
+fn sense_amp(net: &mut Netlist, name: &str, bl: Node, blb: Node, p: &CircuitParams) -> SenseAmp {
+    let sap_node = net.node(&format!("{name}_sap"));
+    let san_node = net.node(&format!("{name}_san"));
+    let sap = net.source(sap_node, p.vref());
+    let san = net.source(san_node, p.vref());
+    // Cross-coupled pair.
+    net.nmos(bl, blb, san_node, p.sa_nmos);
+    net.nmos(blb, bl, san_node, p.sa_nmos);
+    net.pmos(bl, blb, sap_node, p.sa_pmos);
+    net.pmos(blb, bl, sap_node, p.sa_pmos);
+    // Precharge unit: equalizer + two reference devices to VDD/2.
+    let pre_node = net.node(&format!("{name}_pre"));
+    let pre_gate = net.source(pre_node, 0.0);
+    let vref_node = net.node(&format!("{name}_vref"));
+    net.source(vref_node, p.vref());
+    net.nmos(bl, pre_node, blb, p.precharge);
+    net.nmos(bl, pre_node, vref_node, p.precharge);
+    net.nmos(blb, pre_node, vref_node, p.precharge);
+    SenseAmp {
+        bl,
+        blb,
+        sap,
+        san,
+        pre_gate,
+    }
+}
+
+/// Builds the subarray circuit for a topology.
+pub fn build(topology: Topology, p: &CircuitParams) -> Subarray {
+    let mut net = Netlist::new();
+    let wl_node = net.node("wl");
+    let wordline = net.source(wl_node, 0.0);
+
+    let bl = bitline(&mut net, "bl", p);
+    let blb = bitline(&mut net, "blb", p);
+    let mid = p.segments / 2;
+    let cell_node = cell(&mut net, "cell", bl[mid], wl_node, p);
+
+    let (sa1, sa2, iso1_gate, iso2_gate, cellb) = match topology {
+        Topology::OpenBitlineBaseline => {
+            // SA directly on the line ends (top).
+            let sa1 = sense_amp(&mut net, "sa1", bl[0], blb[0], p);
+            (sa1, None, None, None, None)
+        }
+        Topology::ClrMaxCapacity => {
+            // SA behind Type 1 transistors; a second precharge unit behind
+            // Type 2 transistors at the far ends.
+            let iso1_node = net.node("iso1");
+            let iso1_gate = net.source(iso1_node, 0.0);
+            let iso2_node = net.node("iso2");
+            let iso2_gate = net.source(iso2_node, 0.0);
+            let sa1_bl = net.node("sa1_bl");
+            let sa1_blb = net.node("sa1_blb");
+            net.capacitor(sa1_bl, 0, p.c_sa_port);
+            net.capacitor(sa1_blb, 0, p.c_sa_port);
+            net.nmos(bl[0], iso1_node, sa1_bl, p.iso);
+            net.nmos(blb[0], iso1_node, sa1_blb, p.iso);
+            let sa1 = sense_amp(&mut net, "sa1", sa1_bl, sa1_blb, p);
+            let sa2_bl = net.node("sa2_bl");
+            let sa2_blb = net.node("sa2_blb");
+            net.capacitor(sa2_bl, 0, p.c_sa_port);
+            net.capacitor(sa2_blb, 0, p.c_sa_port);
+            let last = p.segments;
+            net.nmos(blb[last], iso2_node, sa2_bl, p.iso);
+            net.nmos(bl[last], iso2_node, sa2_blb, p.iso);
+            let sa2 = sense_amp(&mut net, "sa2", sa2_bl, sa2_blb, p);
+            (sa1, Some(sa2), Some(iso1_gate), Some(iso2_gate), None)
+        }
+        Topology::TwinCellSingleSa => {
+            // Complementary cell pair on the two bitlines, sensed by SA1
+            // alone through the Type 1 / Type 2 transistors at the top.
+            let iso1_node = net.node("iso1");
+            let iso1_gate = net.source(iso1_node, 0.0);
+            let iso2_node = net.node("iso2");
+            let iso2_gate = net.source(iso2_node, 0.0);
+            let cellb_node = cell(&mut net, "cellb", blb[mid], wl_node, p);
+            let sa1_bl = net.node("sa1_bl");
+            let sa1_blb = net.node("sa1_blb");
+            net.capacitor(sa1_bl, 0, p.c_sa_port);
+            net.capacitor(sa1_blb, 0, p.c_sa_port);
+            net.nmos(bl[0], iso1_node, sa1_bl, p.iso);
+            net.nmos(blb[0], iso2_node, sa1_blb, p.iso);
+            let sa1 = sense_amp(&mut net, "sa1", sa1_bl, sa1_blb, p);
+            (
+                sa1,
+                None,
+                Some(iso1_gate),
+                Some(iso2_gate),
+                Some(cellb_node),
+            )
+        }
+        Topology::ClrHighPerformance => {
+            let iso1_node = net.node("iso1");
+            let iso1_gate = net.source(iso1_node, 0.0);
+            let iso2_node = net.node("iso2");
+            let iso2_gate = net.source(iso2_node, 0.0);
+            // The complementary cell of the coupled pair, on the other
+            // bitline, same wordline.
+            let cellb_node = cell(&mut net, "cellb", blb[mid], wl_node, p);
+            // SA1 on top: bl via Type 1, blb via Type 2.
+            let sa1_bl = net.node("sa1_bl");
+            let sa1_blb = net.node("sa1_blb");
+            net.capacitor(sa1_bl, 0, p.c_sa_port);
+            net.capacitor(sa1_blb, 0, p.c_sa_port);
+            net.nmos(bl[0], iso1_node, sa1_bl, p.iso);
+            net.nmos(blb[0], iso2_node, sa1_blb, p.iso);
+            let sa1 = sense_amp(&mut net, "sa1", sa1_bl, sa1_blb, p);
+            // SA2 on the bottom: blb via Type 1, bl via Type 2 — coupled
+            // so it reinforces the same differential polarity.
+            let last = p.segments;
+            let sa2_bl = net.node("sa2_bl");
+            let sa2_blb = net.node("sa2_blb");
+            net.capacitor(sa2_bl, 0, p.c_sa_port);
+            net.capacitor(sa2_blb, 0, p.c_sa_port);
+            net.nmos(blb[last], iso1_node, sa2_blb, p.iso);
+            net.nmos(bl[last], iso2_node, sa2_bl, p.iso);
+            let sa2 = sense_amp(&mut net, "sa2", sa2_bl, sa2_blb, p);
+            (
+                sa1,
+                Some(sa2),
+                Some(iso1_gate),
+                Some(iso2_gate),
+                Some(cellb_node),
+            )
+        }
+    };
+
+    // Write drivers on the SA1 ports, disconnected until a write scenario
+    // engages them.
+    let write_bl = net.source(sa1.bl, p.vref());
+    let write_blb = net.source(sa1.blb, p.vref());
+    net.sources[write_bl.0].connected = false;
+    net.sources[write_blb.0].connected = false;
+
+    Subarray {
+        net,
+        topology,
+        wordline,
+        sa1,
+        sa2,
+        iso1_gate,
+        iso2_gate,
+        cell: cell_node,
+        cellb,
+        bl_top: bl[0],
+        bl_bottom: bl[p.segments],
+        blb_top: blb[0],
+        blb_bottom: blb[p.segments],
+        write_bl,
+        write_blb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_one_sa_no_iso() {
+        let s = build(Topology::OpenBitlineBaseline, &CircuitParams::default_22nm());
+        assert!(s.sa2.is_none());
+        assert!(s.iso1_gate.is_none());
+        assert!(s.cellb.is_none());
+        assert_eq!(s.sa1.bl, s.bl_top, "SA sits directly on the line");
+    }
+
+    #[test]
+    fn max_capacity_adds_iso_and_second_precharge() {
+        let s = build(Topology::ClrMaxCapacity, &CircuitParams::default_22nm());
+        assert!(s.sa2.is_some());
+        assert!(s.iso1_gate.is_some() && s.iso2_gate.is_some());
+        assert!(s.cellb.is_none(), "max-capacity keeps one cell per SA");
+        assert_ne!(s.sa1.bl, s.bl_top, "SA is behind the Type 1 transistor");
+    }
+
+    #[test]
+    fn high_performance_couples_two_cells_two_sas() {
+        let s = build(Topology::ClrHighPerformance, &CircuitParams::default_22nm());
+        assert!(s.sa2.is_some());
+        assert!(s.cellb.is_some());
+    }
+
+    #[test]
+    fn component_counts_scale_with_topology() {
+        let p = CircuitParams::default_22nm();
+        let base = build(Topology::OpenBitlineBaseline, &p).net;
+        let hp = build(Topology::ClrHighPerformance, &p).net;
+        assert!(hp.mosfets.len() > base.mosfets.len());
+        assert!(hp.nodes() > base.nodes());
+    }
+
+    #[test]
+    fn write_drivers_start_disconnected() {
+        let s = build(Topology::OpenBitlineBaseline, &CircuitParams::default_22nm());
+        assert!(!s.net.sources[s.write_bl.0].connected);
+        assert!(!s.net.sources[s.write_blb.0].connected);
+    }
+}

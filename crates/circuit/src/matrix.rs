@@ -1,0 +1,160 @@
+//! Dense LU factorization with partial pivoting, sized for MNA systems of
+//! a few dozen unknowns.
+
+/// A dense square matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    a: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix { n, a: vec![0.0; n * n] }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.n + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * self.n + c] = v;
+    }
+
+    /// Adds `v` to element `(r, c)` — the stamping primitive.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * self.n + c] += v;
+    }
+
+    /// Zeroes every element (for re-stamping each Newton iteration).
+    pub fn clear(&mut self) {
+        self.a.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Solves `A·x = b` in place (`b` becomes `x`) via LU with partial
+    /// pivoting. `A` is destroyed.
+    ///
+    /// Returns `false` if the matrix is numerically singular.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> bool {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs dimension mismatch");
+        for k in 0..n {
+            // Pivot.
+            let mut p = k;
+            let mut max = self.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = self.get(r, k).abs();
+                if v > max {
+                    max = v;
+                    p = r;
+                }
+            }
+            if max < 1e-30 {
+                return false;
+            }
+            if p != k {
+                for c in 0..n {
+                    let t = self.get(k, c);
+                    self.set(k, c, self.get(p, c));
+                    self.set(p, c, t);
+                }
+                b.swap(k, p);
+            }
+            // Eliminate.
+            let pivot = self.get(k, k);
+            for r in (k + 1)..n {
+                let f = self.get(r, k) / pivot;
+                if f == 0.0 {
+                    continue;
+                }
+                for c in k..n {
+                    let v = self.get(r, c) - f * self.get(k, c);
+                    self.set(r, c, v);
+                }
+                b[r] -= f * b[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut s = b[k];
+            for c in (k + 1)..n {
+                s -= self.get(k, c) * b[c];
+            }
+            b[k] = s / self.get(k, k);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = Matrix::zeros(3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let mut b = vec![3.0, -1.0, 2.0];
+        assert!(m.solve_in_place(&mut b));
+        assert_eq!(b, vec![3.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // [2 1; 1 3] x = [5; 10] → x = [1; 3].
+        let mut m = Matrix::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 3.0);
+        let mut b = vec![5.0, 10.0];
+        assert!(m.solve_in_place(&mut b));
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut m = Matrix::zeros(2);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        let mut b = vec![2.0, 3.0];
+        assert!(m.solve_in_place(&mut b));
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut m = Matrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 1.0);
+        let mut b = vec![1.0, 2.0];
+        assert!(!m.solve_in_place(&mut b));
+    }
+
+    #[test]
+    fn stamping_accumulates() {
+        let mut m = Matrix::zeros(1);
+        m.add(0, 0, 2.0);
+        m.add(0, 0, 3.0);
+        assert_eq!(m.get(0, 0), 5.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Circuit construction: nodes, passive devices, MOSFETs, and driven
+//! sources.
+
+use crate::devices::{Capacitor, Mosfet, MosKind, Node, Resistor};
+use crate::params::MosParams;
+
+/// Identifier of a driven (slewable) voltage source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceId(pub usize);
+
+/// A voltage source between a node and ground whose value the scenario
+/// logic can slew at runtime (wordlines, sense enables, precharge gates,
+/// write drivers, supplies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrivenSource {
+    /// The driven node.
+    pub node: Node,
+    /// Present output voltage.
+    pub value: f64,
+    /// Target the source is slewing toward.
+    pub target: f64,
+    /// Slew rate in V/ns (`f64::INFINITY` = ideal step).
+    pub slew_v_per_ns: f64,
+    /// Whether the source is connected (disconnected sources leave the
+    /// node floating — used for write drivers).
+    pub connected: bool,
+}
+
+/// A complete circuit under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    node_names: Vec<String>,
+    /// Resistors.
+    pub resistors: Vec<Resistor>,
+    /// Capacitors.
+    pub capacitors: Vec<Capacitor>,
+    /// MOSFETs.
+    pub mosfets: Vec<Mosfet>,
+    /// Driven sources.
+    pub sources: Vec<DrivenSource>,
+}
+
+impl Netlist {
+    /// Creates a netlist containing only the ground node.
+    pub fn new() -> Self {
+        Netlist {
+            node_names: vec!["gnd".to_string()],
+            ..Netlist::default()
+        }
+    }
+
+    /// Allocates a named node.
+    pub fn node(&mut self, name: &str) -> Node {
+        self.node_names.push(name.to_string());
+        self.node_names.len() - 1
+    }
+
+    /// Number of nodes (including ground).
+    pub fn nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Name of a node (diagnostics).
+    pub fn node_name(&self, n: Node) -> &str {
+        &self.node_names[n]
+    }
+
+    /// Adds a resistor.
+    pub fn resistor(&mut self, a: Node, b: Node, ohms: f64) {
+        assert!(ohms > 0.0, "resistance must be positive");
+        self.resistors.push(Resistor { a, b, ohms });
+    }
+
+    /// Adds a capacitor.
+    pub fn capacitor(&mut self, a: Node, b: Node, farads: f64) {
+        assert!(farads > 0.0, "capacitance must be positive");
+        self.capacitors.push(Capacitor { a, b, farads });
+    }
+
+    /// Adds an NMOS transistor.
+    pub fn nmos(&mut self, d: Node, g: Node, s: Node, params: MosParams) {
+        self.mosfets.push(Mosfet {
+            d,
+            g,
+            s,
+            params,
+            kind: MosKind::Nmos,
+        });
+    }
+
+    /// Adds a PMOS transistor.
+    pub fn pmos(&mut self, d: Node, g: Node, s: Node, params: MosParams) {
+        self.mosfets.push(Mosfet {
+            d,
+            g,
+            s,
+            params,
+            kind: MosKind::Pmos,
+        });
+    }
+
+    /// Adds a driven source holding `node` at `value` (initially ideal,
+    /// connected).
+    pub fn source(&mut self, node: Node, value: f64) -> SourceId {
+        self.sources.push(DrivenSource {
+            node,
+            value,
+            target: value,
+            slew_v_per_ns: f64::INFINITY,
+            connected: true,
+        });
+        SourceId(self.sources.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_allocation_and_names() {
+        let mut n = Netlist::new();
+        assert_eq!(n.nodes(), 1);
+        let a = n.node("bl");
+        assert_eq!(a, 1);
+        assert_eq!(n.node_name(a), "bl");
+        assert_eq!(n.node_name(0), "gnd");
+    }
+
+    #[test]
+    fn components_are_recorded() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        n.resistor(a, b, 100.0);
+        n.capacitor(a, 0, 1e-15);
+        let s = n.source(b, 1.2);
+        assert_eq!(n.resistors.len(), 1);
+        assert_eq!(n.capacitors.len(), 1);
+        assert_eq!(s, SourceId(0));
+        assert!(n.sources[0].connected);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resistance_rejected() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.resistor(a, 0, 0.0);
+    }
+}

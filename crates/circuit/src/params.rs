@@ -1,0 +1,156 @@
+//! Analog device parameters of the DRAM subarray model.
+//!
+//! Values model a 22 nm-class DRAM process (the paper scales Rambus
+//! parameters to 22 nm per the ITRS roadmap and uses PTM high-performance
+//! transistors for the sense amplifier). They are calibrated so that the
+//! open-bitline baseline reproduces the paper's Table 1 baseline timings
+//! to within a few percent; `clr-circuit`'s tests assert that calibration.
+
+/// Square-law MOSFET parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Transconductance factor `k = µ·Cox·W/L` in A/V².
+    pub k: f64,
+    /// Threshold voltage in volts (positive for NMOS, negative for PMOS).
+    pub vth: f64,
+    /// Channel-length modulation (1/V).
+    pub lambda: f64,
+}
+
+/// Every analog parameter of the subarray model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitParams {
+    /// Core supply voltage (V).
+    pub vdd: f64,
+    /// Boosted wordline / isolation-gate voltage (V).
+    pub vpp: f64,
+    /// Cell storage capacitance (F).
+    pub c_cell: f64,
+    /// Total bitline capacitance (F), distributed over the RC segments.
+    pub c_bitline: f64,
+    /// Total bitline resistance (Ω).
+    pub r_bitline: f64,
+    /// RC segments per bitline.
+    pub segments: usize,
+    /// Parasitic capacitance of an SA port node behind the isolation
+    /// transistors (junctions + wiring), F.
+    pub c_sa_port: f64,
+    /// Cell access transistor.
+    pub access: MosParams,
+    /// Bitline mode select (isolation) transistor — sized per prior work
+    /// (footnote 3: Row-Buffer Decoupling / PTM).
+    pub iso: MosParams,
+    /// Precharge/equalization transistors.
+    pub precharge: MosParams,
+    /// Sense-amplifier NMOS.
+    pub sa_nmos: MosParams,
+    /// Sense-amplifier PMOS.
+    pub sa_pmos: MosParams,
+    /// ΔV across the SA ports that triggers sense-amplifier enable (V).
+    pub sense_trigger_v: f64,
+    /// Timed margin between the trigger and actually enabling the SA
+    /// rails (ns) — real designs fire the SA off a delay chain with
+    /// worst-case margin, not off an ideal comparator.
+    pub sense_delay_ns: f64,
+    /// Extra fixed delay between ACT and wordline-high (decode), plus the
+    /// same margin applied by the controller after measured thresholds
+    /// (ns).
+    pub cmd_overhead_ns: f64,
+    /// Slew rate of driven sources (wordline, SAN/SAP, precharge gates) in
+    /// V/ns.
+    pub slew_v_per_ns: f64,
+    /// Fraction of VDD a bitline must reach for "ready-to-access"
+    /// (defines tRCD's ΔV_RCD threshold).
+    pub ready_to_access_frac: f64,
+    /// Fraction of VDD a charged cell must reach for full restoration
+    /// (defines tRAS without early termination).
+    pub full_restore_frac: f64,
+    /// Early-termination voltage VET as a fraction of VDD (§3.5).
+    pub early_termination_frac: f64,
+    /// Precharge completion tolerance around VDD/2 as a fraction of VDD.
+    pub precharge_tol_frac: f64,
+    /// Cell junction-leakage time constant at worst-case temperature (ms)
+    /// for a single (uncoupled) cell: `V(t) = V0·exp(−t/τ)`.
+    pub leak_tau_ms: f64,
+    /// Transient time step (ns).
+    pub dt_ns: f64,
+}
+
+impl CircuitParams {
+    /// The calibrated 22 nm-class parameter set.
+    pub fn default_22nm() -> Self {
+        CircuitParams {
+            vdd: 1.2,
+            vpp: 2.4,
+            c_cell: 22e-15,
+            c_bitline: 85e-15,
+            r_bitline: 35_000.0,
+            segments: 4,
+            c_sa_port: 2e-15,
+            access: MosParams {
+                k: 10e-6,
+                vth: 0.55,
+                lambda: 0.05,
+            },
+            iso: MosParams {
+                k: 500e-6,
+                vth: 0.45,
+                lambda: 0.05,
+            },
+            precharge: MosParams {
+                k: 10e-6,
+                vth: 0.45,
+                lambda: 0.05,
+            },
+            sa_nmos: MosParams {
+                k: 55e-6,
+                vth: 0.42,
+                lambda: 0.08,
+            },
+            sa_pmos: MosParams {
+                k: -27e-6,
+                vth: -0.42,
+                lambda: 0.08,
+            },
+            sense_trigger_v: 0.04,
+            sense_delay_ns: 1.0,
+            cmd_overhead_ns: 1.5,
+            slew_v_per_ns: 1.5,
+            ready_to_access_frac: 0.75,
+            full_restore_frac: 0.975,
+            early_termination_frac: 0.80,
+            precharge_tol_frac: 0.03,
+            leak_tau_ms: 290.0,
+            dt_ns: 0.01,
+        }
+    }
+
+    /// Half-VDD bitline reference voltage.
+    pub fn vref(&self) -> f64 {
+        self.vdd / 2.0
+    }
+}
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        Self::default_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_physical() {
+        let p = CircuitParams::default_22nm();
+        assert!(p.vpp > p.vdd);
+        assert!(p.c_bitline > p.c_cell, "bitline dwarfs the cell");
+        assert!(p.access.vth > 0.0 && p.sa_pmos.vth < 0.0);
+        assert!(p.early_termination_frac < p.full_restore_frac);
+        // Charge-sharing ΔV sanity: Ccell/(Ccell+Cbl) · VDD/2 ≈ 0.12 V —
+        // above the sense trigger.
+        let dv = p.c_cell / (p.c_cell + p.c_bitline) * p.vdd / 2.0;
+        assert!(dv > p.sense_trigger_v * 0.9, "ΔV {dv}");
+    }
+}

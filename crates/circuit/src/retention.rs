@@ -1,0 +1,107 @@
+//! Cell retention, leakage decay, and the Figure 11 tREFW sweep.
+//!
+//! The dominant leakage path is junction leakage toward the substrate
+//! (§7.1), modelled as exponential decay of the stored '1':
+//! `V(t) = VDD · exp(−t / τ)`. Extending the refresh window therefore
+//! lowers the worst-case cell voltage at activation, shrinking the initial
+//! ΔV and lengthening charge sharing — which is precisely the tRCD/tRAS
+//! growth Figure 11 plots. Coupled cells survive longer windows because
+//! the logical cell's differential signal is `κ·V0` rather than
+//! `κ·(V0 − VDD/2)`.
+
+use crate::dram::{build, Topology};
+use crate::params::CircuitParams;
+use crate::scenario::{run_act_pre, ActPreOptions};
+
+/// Worst-case stored-'1' voltage at the end of a `refw_ms` window.
+pub fn initial_cell_voltage(p: &CircuitParams, refw_ms: f64) -> f64 {
+    p.vdd * (-refw_ms / p.leak_tau_ms).exp()
+}
+
+/// One point of the Figure 11 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig11Point {
+    /// Refresh window (ms).
+    pub refw_ms: f64,
+    /// Measured tRCD (ns).
+    pub t_rcd_ns: f64,
+    /// Measured tRAS with early termination (ns).
+    pub t_ras_ns: f64,
+    /// Whether the worst-case cell still sensed correctly.
+    pub ok: bool,
+}
+
+/// Sweeps the refresh window for high-performance rows (64 ms → `max_ms`
+/// in `step_ms` increments), measuring tRCD and tRAS at each point, and
+/// stopping after the first failing point — the §7.3 methodology.
+pub fn fig11_sweep(p: &CircuitParams, max_ms: f64, step_ms: f64) -> Vec<Fig11Point> {
+    let sub = build(Topology::ClrHighPerformance, p);
+    let mut out = Vec::new();
+    let mut refw = 64.0;
+    while refw <= max_ms + 1e-9 {
+        let v0 = initial_cell_voltage(p, refw);
+        let r = run_act_pre(
+            &sub,
+            p,
+            ActPreOptions::nominal(v0),
+        );
+        let ok = r.sense_correct && r.t_rcd_ns.is_finite() && r.t_ras_et_ns.is_finite();
+        out.push(Fig11Point {
+            refw_ms: refw,
+            t_rcd_ns: r.t_rcd_ns,
+            t_ras_ns: r.t_ras_et_ns,
+            ok,
+        });
+        if !ok {
+            break;
+        }
+        refw += step_ms;
+    }
+    out
+}
+
+/// The largest swept window that still sensed correctly.
+pub fn max_safe_refw_ms(sweep: &[Fig11Point]) -> f64 {
+    sweep
+        .iter()
+        .filter(|pt| pt.ok)
+        .map(|pt| pt.refw_ms)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_is_monotone_and_calibrated() {
+        let p = CircuitParams::default_22nm();
+        let v64 = initial_cell_voltage(&p, 64.0);
+        let v194 = initial_cell_voltage(&p, 194.0);
+        assert!(v64 > v194);
+        // At the base window the cell must retain most of its charge.
+        assert!(v64 > 0.75 * p.vdd, "v64 {v64}");
+    }
+
+    #[test]
+    fn sweep_shows_growing_latency() {
+        let p = CircuitParams::default_22nm();
+        let sweep = fig11_sweep(&p, 194.0, 65.0); // coarse: 64, 129, 194
+        assert!(sweep.len() >= 3, "sweep too short: {sweep:?}");
+        let first = sweep.first().unwrap();
+        let last = sweep.iter().filter(|pt| pt.ok).last().unwrap();
+        assert!(
+            last.t_rcd_ns > first.t_rcd_ns,
+            "tRCD must grow: {} → {}",
+            first.t_rcd_ns,
+            last.t_rcd_ns
+        );
+        assert!(
+            last.t_ras_ns > first.t_ras_ns,
+            "tRAS must grow: {} → {}",
+            first.t_ras_ns,
+            last.t_ras_ns
+        );
+        assert!(max_safe_refw_ms(&sweep) >= 194.0);
+    }
+}

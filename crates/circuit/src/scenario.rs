@@ -1,0 +1,421 @@
+//! Access scenarios: ACT → charge-sharing → restoration → PRE, and write
+//! recovery — with threshold-crossing timing measurement.
+//!
+//! The scenario logic plays the role of the DRAM control FSM: it slews the
+//! wordline, watches the SA-port differential to fire the sense enable
+//! (as the internal control circuitry of §2.3 does), releases the
+//! precharge gates, and drives the write drivers. Timing parameters are
+//! read off threshold crossings exactly as the paper defines them
+//! (Figures 3, 7, 8).
+
+use crate::dram::{Subarray, Topology};
+use crate::params::CircuitParams;
+use crate::transient::Transient;
+
+/// A sampled waveform point (for regenerating Figures 7 and 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Time (ns).
+    pub t_ns: f64,
+    /// True bitline at the SA port (V).
+    pub bl: f64,
+    /// Complement bitline at the SA port (V).
+    pub blb: f64,
+    /// Charged-cell storage node (V).
+    pub cell: f64,
+    /// Complementary-cell storage node (V; NaN when absent).
+    pub cellb: f64,
+}
+
+/// Options for an activate/precharge run.
+#[derive(Debug, Clone, Copy)]
+pub struct ActPreOptions {
+    /// Initial voltage of the stored-'1' cell (decayed from VDD by
+    /// retention; see [`crate::retention`]).
+    pub initial_cell_v: f64,
+    /// Record waveforms.
+    pub capture_trace: bool,
+    /// Disable the second sense amplifier in the high-performance
+    /// topology — the Twin-Cell DRAM configuration of §9 (two coupled
+    /// cells, a single SA), used to reproduce the paper's claim that
+    /// coupling the SAs is what unlocks most of the latency reduction.
+    pub single_sa_twin_cell: bool,
+}
+
+impl ActPreOptions {
+    /// Standard options: full-charge cell, no trace, both SAs.
+    pub fn nominal(initial_cell_v: f64) -> Self {
+        ActPreOptions {
+            initial_cell_v,
+            capture_trace: false,
+            single_sa_twin_cell: false,
+        }
+    }
+}
+
+/// Measured results of one activate/precharge run.
+#[derive(Debug, Clone)]
+pub struct ActPreResult {
+    /// ACT → ready-to-access (ns).
+    pub t_rcd_ns: f64,
+    /// ACT → full restoration (ns).
+    pub t_ras_full_ns: f64,
+    /// ACT → early-termination restoration level VET (ns).
+    pub t_ras_et_ns: f64,
+    /// PRE → bitlines equalized (ns).
+    pub t_rp_ns: f64,
+    /// Whether the SA latched the correct polarity.
+    pub sense_correct: bool,
+    /// Waveforms (empty unless requested).
+    pub trace: Vec<TracePoint>,
+}
+
+/// Hard simulation limit per phase (ns); exceeding it marks a failure.
+const PHASE_LIMIT_NS: f64 = 150.0;
+
+fn capture(sim: &Transient, sub: &Subarray) -> TracePoint {
+    TracePoint {
+        t_ns: sim.time_ns(),
+        bl: sim.v(sub.sa1.bl),
+        blb: sim.v(sub.sa1.blb),
+        cell: sim.v(sub.cell),
+        cellb: sub.cellb.map_or(f64::NAN, |n| sim.v(n)),
+    }
+}
+
+/// Prepares a transient with precharged bitlines and the configured
+/// isolation-gate levels for an access in this topology.
+fn setup(sub: &Subarray, p: &CircuitParams, cell_v: f64, cellb_v: f64) -> Transient {
+    let mut sim = Transient::new(sub.net.clone(), p.dt_ns);
+    // Precharge initial conditions: every bitline-ish node at VDD/2.
+    for node in 1..sub.net.nodes() {
+        let name = sub.net.node_name(node);
+        if name.starts_with("bl") || name.starts_with("sa") {
+            sim.set_ic(node, p.vref());
+        }
+    }
+    sim.set_ic(sub.cell, cell_v);
+    if let Some(cb) = sub.cellb {
+        sim.set_ic(cb, cellb_v);
+    }
+    // Isolation gates for access: Type 1 on in both CLR modes; Type 2 on
+    // only in high-performance mode (Figure 6).
+    if let Some(iso1) = sub.iso1_gate {
+        sim.set_source(iso1, p.vpp);
+    }
+    if let Some(iso2) = sub.iso2_gate {
+        let v = match sub.topology {
+            Topology::ClrHighPerformance | Topology::TwinCellSingleSa => p.vpp,
+            _ => 0.0,
+        };
+        sim.set_source(iso2, v);
+    }
+    sim
+}
+
+fn enable_sense(sim: &mut Transient, sub: &Subarray, p: &CircuitParams, both_sas: bool) {
+    sim.slew(sub.sa1.sap, p.vdd, p.slew_v_per_ns);
+    sim.slew(sub.sa1.san, 0.0, p.slew_v_per_ns);
+    if both_sas && sub.topology == Topology::ClrHighPerformance {
+        let sa2 = sub.sa2.expect("high-performance mode has two SAs");
+        sim.slew(sa2.sap, p.vdd, p.slew_v_per_ns);
+        sim.slew(sa2.san, 0.0, p.slew_v_per_ns);
+    }
+}
+
+fn start_precharge(sim: &mut Transient, sub: &Subarray, p: &CircuitParams) {
+    // Disable the SAs and enable the precharge units. CLR topologies
+    // couple the second precharge unit through the Type 2 transistors
+    // (the §7.2 tRP optimisation, both modes).
+    sim.slew(sub.sa1.sap, p.vref(), p.slew_v_per_ns);
+    sim.slew(sub.sa1.san, p.vref(), p.slew_v_per_ns);
+    sim.slew(sub.sa1.pre_gate, p.vpp, p.slew_v_per_ns);
+    if let Some(sa2) = sub.sa2 {
+        sim.slew(sa2.sap, p.vref(), p.slew_v_per_ns);
+        sim.slew(sa2.san, p.vref(), p.slew_v_per_ns);
+        sim.slew(sa2.pre_gate, p.vpp, p.slew_v_per_ns);
+    }
+    if let Some(iso2) = sub.iso2_gate {
+        sim.slew(iso2, p.vpp, p.slew_v_per_ns);
+    }
+}
+
+/// Runs a full activate → restore → precharge sequence for a stored '1'.
+pub fn run_act_pre(sub: &Subarray, p: &CircuitParams, opts: ActPreOptions) -> ActPreResult {
+    let hp = sub.topology == Topology::ClrHighPerformance;
+    // The discharged complement drifts up (subthreshold leakage from the
+    // half-VDD bitline) at half the charged cell's decay rate.
+    let cellb_v = (p.vdd - opts.initial_cell_v) / 2.0;
+    let mut sim = setup(sub, p, opts.initial_cell_v, cellb_v.clamp(0.0, p.vref()));
+    let mut trace = Vec::new();
+
+    // --- ACT: raise the wordline. ---
+    sim.slew(sub.wordline, p.vpp, p.slew_v_per_ns);
+
+    let ready_v = p.ready_to_access_frac * p.vdd;
+    let full_v = p.full_restore_frac * p.vdd;
+    let et_v = p.early_termination_frac * p.vdd;
+    let lo_full_v = (1.0 - p.full_restore_frac) * p.vdd;
+
+    let mut trigger_t = f64::NAN;
+    let mut sense_fired = false;
+    let mut t_rcd = f64::NAN;
+    let mut t_ras_et = f64::NAN;
+    let mut t_ras_full = f64::NAN;
+    let mut steps = 0u64;
+    while sim.time_ns() < PHASE_LIMIT_NS {
+        sim.step();
+        steps += 1;
+        if opts.capture_trace && steps % 10 == 0 {
+            trace.push(capture(&sim, sub));
+        }
+        let dv = sim.v(sub.sa1.bl) - sim.v(sub.sa1.blb);
+        if trigger_t.is_nan() && dv.abs() >= p.sense_trigger_v {
+            trigger_t = sim.time_ns();
+        }
+        if !sense_fired && trigger_t.is_finite() && sim.time_ns() >= trigger_t + p.sense_delay_ns
+        {
+            sense_fired = true;
+            enable_sense(&mut sim, sub, p, !opts.single_sa_twin_cell);
+        }
+        if !sense_fired {
+            continue; // restoration thresholds are meaningful only after sensing
+        }
+        if t_rcd.is_nan() && sim.v(sub.sa1.bl) >= ready_v {
+            t_rcd = sim.time_ns();
+        }
+        let cell_hi = sim.v(sub.cell);
+        let cellb_done = sub
+            .cellb
+            .map_or(true, |cb| sim.v(cb) <= lo_full_v.max(0.05));
+        if t_ras_et.is_nan() && cell_hi >= et_v && cellb_done {
+            t_ras_et = sim.time_ns();
+        }
+        if t_ras_full.is_nan() && cell_hi >= full_v && cellb_done {
+            t_ras_full = sim.time_ns();
+            break;
+        }
+    }
+    let sense_correct = sense_fired && sim.v(sub.sa1.bl) > 0.9 * p.vdd;
+
+    // --- PRE: lower the wordline, then equalize. ---
+    let t_pre_cmd = sim.time_ns();
+    sim.slew(sub.wordline, 0.0, p.slew_v_per_ns);
+    // Wordline fall time before the SA lets go (decode + fall).
+    let wl_fall_ns = p.vpp / p.slew_v_per_ns;
+    sim.run(wl_fall_ns);
+    start_precharge(&mut sim, sub, p);
+    let tol = p.precharge_tol_frac * p.vdd;
+    let mut t_rp = f64::NAN;
+    while sim.time_ns() < t_pre_cmd + PHASE_LIMIT_NS {
+        sim.step();
+        steps += 1;
+        if opts.capture_trace && steps % 10 == 0 {
+            trace.push(capture(&sim, sub));
+        }
+        let nodes = [sub.bl_top, sub.bl_bottom, sub.blb_top, sub.blb_bottom];
+        if nodes.iter().all(|&n| (sim.v(n) - p.vref()).abs() <= tol) {
+            t_rp = sim.time_ns() - t_pre_cmd;
+            break;
+        }
+    }
+
+    let oh = p.cmd_overhead_ns;
+    ActPreResult {
+        t_rcd_ns: t_rcd + oh,
+        t_ras_full_ns: t_ras_full + oh,
+        t_ras_et_ns: t_ras_et + oh,
+        t_rp_ns: t_rp + oh,
+        sense_correct: sense_correct && (!hp || sub.cellb.is_some()),
+        trace,
+    }
+}
+
+/// Runs a write-recovery measurement: activate a stored '0', then write a
+/// '1' and measure the time for the (slow) charged cell to reach the
+/// restoration target.
+///
+/// Returns `(t_wr_full_ns, t_wr_et_ns)`.
+pub fn run_write_recovery(sub: &Subarray, p: &CircuitParams, initial_cell_v: f64) -> (f64, f64) {
+    // Stored '0': cell low (drifted up), complement holds the decayed '1'.
+    let drift = (p.vdd - initial_cell_v) / 2.0;
+    let mut sim = setup(sub, p, drift.clamp(0.0, p.vref()), initial_cell_v);
+    sim.slew(sub.wordline, p.vpp, p.slew_v_per_ns);
+
+    // Activate until sensing has latched the '0'.
+    let mut trigger_t = f64::NAN;
+    let mut sense_fired = false;
+    while sim.time_ns() < PHASE_LIMIT_NS {
+        sim.step();
+        let dv = sim.v(sub.sa1.bl) - sim.v(sub.sa1.blb);
+        if trigger_t.is_nan() && dv.abs() >= p.sense_trigger_v {
+            trigger_t = sim.time_ns();
+        }
+        if !sense_fired && trigger_t.is_finite() && sim.time_ns() >= trigger_t + p.sense_delay_ns
+        {
+            sense_fired = true;
+            enable_sense(&mut sim, sub, p, true);
+        }
+        if sense_fired && sim.v(sub.sa1.bl) <= 0.1 * p.vdd {
+            break;
+        }
+    }
+
+    // Write '1': overpower the SA through the column write drivers (a
+    // single driver pair, matching the paper's footnote 5).
+    let t_write = sim.time_ns();
+    sim.set_connected(sub.write_bl, true);
+    sim.set_connected(sub.write_blb, true);
+    sim.set_source(sub.write_bl, sim.v(sub.sa1.bl));
+    sim.set_source(sub.write_blb, sim.v(sub.sa1.blb));
+    sim.slew(sub.write_bl, p.vdd, p.slew_v_per_ns / 2.0);
+    sim.slew(sub.write_blb, 0.0, p.slew_v_per_ns / 2.0);
+    // The driver holds the column for the whole recovery window (in
+    // high-performance mode one driver must overpower and flip *two*
+    // coupled SAs through the bitline resistance — the extra load of the
+    // paper's footnote 5).
+    let full_v = p.full_restore_frac * p.vdd;
+    let et_v = p.early_termination_frac * p.vdd;
+    let mut t_full = f64::NAN;
+    let mut t_et = f64::NAN;
+    while sim.time_ns() < t_write + PHASE_LIMIT_NS {
+        sim.step();
+        let v = sim.v(sub.cell);
+        if t_et.is_nan() && v >= et_v {
+            t_et = sim.time_ns() - t_write;
+        }
+        if t_full.is_nan() && v >= full_v {
+            t_full = sim.time_ns() - t_write;
+            break;
+        }
+    }
+    let oh = p.cmd_overhead_ns;
+    (t_full + oh, t_et + oh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::build;
+
+    fn act(topology: Topology) -> ActPreResult {
+        let p = CircuitParams::default_22nm();
+        let sub = build(topology, &p);
+        run_act_pre(
+            &sub,
+            &p,
+            ActPreOptions::nominal(p.vdd * 0.95),
+        )
+    }
+
+    #[test]
+    fn baseline_activation_senses_correctly() {
+        let r = act(Topology::OpenBitlineBaseline);
+        assert!(r.sense_correct);
+        assert!(r.t_rcd_ns.is_finite() && r.t_rcd_ns > 0.0);
+        assert!(r.t_ras_full_ns > r.t_rcd_ns);
+        assert!(r.t_ras_et_ns <= r.t_ras_full_ns);
+        assert!(r.t_rp_ns.is_finite());
+    }
+
+    #[test]
+    fn high_performance_is_faster_everywhere() {
+        let base = act(Topology::OpenBitlineBaseline);
+        let hp = act(Topology::ClrHighPerformance);
+        assert!(hp.sense_correct);
+        assert!(
+            hp.t_rcd_ns < 0.7 * base.t_rcd_ns,
+            "tRCD: hp {} vs base {}",
+            hp.t_rcd_ns,
+            base.t_rcd_ns
+        );
+        assert!(
+            hp.t_ras_et_ns < 0.7 * base.t_ras_full_ns,
+            "tRAS: hp {} vs base {}",
+            hp.t_ras_et_ns,
+            base.t_ras_full_ns
+        );
+        assert!(
+            hp.t_rp_ns < base.t_rp_ns,
+            "tRP: hp {} vs base {}",
+            hp.t_rp_ns,
+            base.t_rp_ns
+        );
+    }
+
+    #[test]
+    fn max_capacity_reduces_trp_but_not_tras() {
+        let base = act(Topology::OpenBitlineBaseline);
+        let mc = act(Topology::ClrMaxCapacity);
+        assert!(mc.sense_correct);
+        assert!(
+            mc.t_rp_ns < 0.8 * base.t_rp_ns,
+            "tRP: mc {} vs base {}",
+            mc.t_rp_ns,
+            base.t_rp_ns
+        );
+        // The isolation transistor slightly slows restoration.
+        assert!(
+            mc.t_ras_full_ns > 0.95 * base.t_ras_full_ns,
+            "tRAS: mc {} vs base {}",
+            mc.t_ras_full_ns,
+            base.t_ras_full_ns
+        );
+    }
+
+    #[test]
+    fn waveform_capture_produces_monotone_time() {
+        let p = CircuitParams::default_22nm();
+        let sub = build(Topology::ClrHighPerformance, &p);
+        let r = run_act_pre(
+            &sub,
+            &p,
+            ActPreOptions {
+                initial_cell_v: p.vdd,
+                capture_trace: true,
+                single_sa_twin_cell: false,
+            },
+        );
+        assert!(r.trace.len() > 10);
+        for w in r.trace.windows(2) {
+            assert!(w[1].t_ns > w[0].t_ns);
+        }
+        // Complementary cell is recorded in high-performance mode.
+        assert!(r.trace[0].cellb.is_finite());
+    }
+
+    #[test]
+    fn twin_cell_single_sa_is_slower_than_coupled_sas() {
+        // §9: Twin-Cell DRAM couples cells but not SAs — the paper argues
+        // this "significantly limits their potential to improve DRAM
+        // latency". Our circuit confirms: disabling SA2 in the coupled
+        // topology costs a large part of the tRCD/tRAS gain.
+        let p = CircuitParams::default_22nm();
+        let coupled_sub = build(Topology::ClrHighPerformance, &p);
+        let coupled = run_act_pre(&coupled_sub, &p, ActPreOptions::nominal(p.vdd * 0.95));
+        let twin_sub = build(Topology::TwinCellSingleSa, &p);
+        let twin = run_act_pre(&twin_sub, &p, ActPreOptions::nominal(p.vdd * 0.95));
+        assert!(twin.sense_correct);
+        assert!(
+            twin.t_rcd_ns > 1.15 * coupled.t_rcd_ns,
+            "twin-cell tRCD {} vs coupled {}",
+            twin.t_rcd_ns,
+            coupled.t_rcd_ns
+        );
+        assert!(
+            twin.t_ras_et_ns > 1.1 * coupled.t_ras_et_ns,
+            "twin-cell tRAS {} vs coupled {}",
+            twin.t_ras_et_ns,
+            coupled.t_ras_et_ns
+        );
+    }
+
+    #[test]
+    fn write_recovery_measures_both_targets() {
+        let p = CircuitParams::default_22nm();
+        let sub = build(Topology::OpenBitlineBaseline, &p);
+        let (full, et) = run_write_recovery(&sub, &p, p.vdd * 0.95);
+        assert!(full.is_finite() && et.is_finite());
+        assert!(et <= full, "ET target must be reached earlier");
+    }
+}

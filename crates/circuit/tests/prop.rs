@@ -1,0 +1,139 @@
+//! Property-based tests of the circuit solver's numerical core.
+
+use clr_circuit::matrix::Matrix;
+use clr_circuit::netlist::Netlist;
+use clr_circuit::params::{CircuitParams, MosParams};
+use clr_circuit::transient::Transient;
+use proptest::prelude::*;
+
+proptest! {
+    /// LU solves diagonally-dominant systems to small residuals.
+    #[test]
+    fn lu_solves_diagonally_dominant(
+        n in 1usize..12,
+        seed_vals in proptest::collection::vec(-1.0f64..1.0, 144 + 12),
+    ) {
+        let mut m = Matrix::zeros(n);
+        let mut x_true = vec![0.0; n];
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = seed_vals[i * 12 + j];
+                    m.set(i, j, v);
+                    row_sum += v.abs();
+                }
+            }
+            m.set(i, i, row_sum + 1.0); // strictly dominant
+            x_true[i] = seed_vals[144 + i];
+        }
+        // b = A·x_true.
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += m.get(i, j) * x_true[j];
+            }
+        }
+        let mut solved = b.clone();
+        prop_assert!(m.clone_for_test().solve_in_place(&mut solved));
+        for (s, t) in solved.iter().zip(&x_true) {
+            prop_assert!((s - t).abs() < 1e-8, "{} vs {}", s, t);
+        }
+    }
+
+    /// An RC divider driven by a source settles to the exact voltage
+    /// divider value regardless of component scale.
+    #[test]
+    fn resistive_divider_settles(
+        r1 in 100.0f64..1e5,
+        r2 in 100.0f64..1e5,
+        v in 0.1f64..3.0,
+    ) {
+        let mut net = Netlist::new();
+        let top = net.node("top");
+        let mid = net.node("mid");
+        net.source(top, v);
+        net.resistor(top, mid, r1);
+        net.resistor(mid, 0, r2);
+        net.capacitor(mid, 0, 1e-15);
+        let mut sim = Transient::new(net, 0.01);
+        sim.run(50.0);
+        let expect = v * r2 / (r1 + r2);
+        prop_assert!(
+            (sim.v(mid) - expect).abs() < 0.01 * v.max(1.0),
+            "divider {} vs {}",
+            sim.v(mid),
+            expect
+        );
+    }
+
+    /// Charge conservation: a capacitor charge-sharing with another
+    /// through an always-on pass transistor ends at the weighted mean.
+    #[test]
+    fn charge_sharing_conserves(
+        v0 in 0.0f64..1.2,
+        c1_f in 1.0f64..50.0,
+        c2_f in 1.0f64..50.0,
+    ) {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        let gate = net.node("gate");
+        net.source(gate, 3.0);
+        let c1 = c1_f * 1e-15;
+        let c2 = c2_f * 1e-15;
+        net.capacitor(a, 0, c1);
+        net.capacitor(b, 0, c2);
+        net.nmos(a, gate, b, MosParams { k: 1e-4, vth: 0.4, lambda: 0.0 });
+        let mut sim = Transient::new(net, 0.01);
+        sim.set_ic(a, v0);
+        sim.set_ic(b, 0.0);
+        sim.run(200.0);
+        let expect = v0 * c1 / (c1 + c2);
+        prop_assert!(
+            (sim.v(a) - sim.v(b)).abs() < 0.02,
+            "did not equalize: {} vs {}",
+            sim.v(a),
+            sim.v(b)
+        );
+        prop_assert!(
+            (sim.v(a) - expect).abs() < 0.05,
+            "final {} vs expected {}",
+            sim.v(a),
+            expect
+        );
+    }
+
+    /// Monte-Carlo perturbation keeps parameters positive and within the
+    /// clamped ±3σ band.
+    #[test]
+    fn perturbation_stays_in_band(seed in 0u64..5000) {
+        use clr_circuit::montecarlo::perturb;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let p = CircuitParams::default_22nm();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = perturb(&p, &mut rng);
+        for (a, b) in [
+            (q.c_cell, p.c_cell),
+            (q.c_bitline, p.c_bitline),
+            (q.r_bitline, p.r_bitline),
+            (q.access.k, p.access.k),
+            (q.sa_nmos.k, p.sa_nmos.k),
+        ] {
+            prop_assert!(a > 0.0);
+            prop_assert!((a / b - 1.0).abs() <= 0.16, "{} vs {}", a, b);
+        }
+    }
+}
+
+/// Test-only helper: `Matrix` clone (kept out of the public API).
+trait CloneForTest {
+    fn clone_for_test(&self) -> Matrix;
+}
+
+impl CloneForTest for Matrix {
+    fn clone_for_test(&self) -> Matrix {
+        self.clone()
+    }
+}

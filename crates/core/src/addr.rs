@@ -1,0 +1,351 @@
+//! Physical-address ↔ DRAM-coordinate interleaving.
+//!
+//! The memory controller slices a physical address into channel, rank, bank
+//! group, bank, row, and column fields (§5.1 of the paper, Figure 10). The
+//! slice order determines both parallelism (how consecutive lines spread
+//! over banks/channels) and the *granularity of the capacity-latency
+//! trade-off*: the number of OS pages that share a DRAM row and the number
+//! of rows a page stripes across.
+
+use crate::error::CoreError;
+use crate::geometry::DramGeometry;
+
+/// A physical byte address as seen by the OS and memory controller.
+///
+/// A newtype is used so DRAM coordinates and raw addresses cannot be
+/// confused (C-NEWTYPE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The cache-line index of this address for `line_bytes`-sized lines.
+    pub fn line(self, line_bytes: u64) -> u64 {
+        self.0 / line_bytes
+    }
+
+    /// The page number of this address for `page_bytes`-sized pages.
+    pub fn page(self, page_bytes: u64) -> u64 {
+        self.0 / page_bytes
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(v: PhysAddr) -> Self {
+        v.0
+    }
+}
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Fully decoded DRAM coordinates of one column-granularity access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DramAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank group index within the rank.
+    pub bank_group: u32,
+    /// Bank index within the bank group.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column index within the row (bus-beat granularity).
+    pub column: u32,
+}
+
+impl DramAddr {
+    /// Flat bank identifier combining channel, rank, bank group, and bank.
+    ///
+    /// Useful as an index into per-bank state arrays.
+    pub fn flat_bank(&self, g: &DramGeometry) -> usize {
+        let mut id = self.channel;
+        id = id * g.ranks + self.rank;
+        id = id * g.bank_groups + self.bank_group;
+        id = id * g.banks_per_group + self.bank;
+        id as usize
+    }
+}
+
+/// One field of the sliced address, MSB-to-LSB order is scheme-specific.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Channel,
+    Rank,
+    BankGroup,
+    Bank,
+    Row,
+    Column,
+}
+
+/// Physical-address interleaving schemes.
+///
+/// Names read MSB → LSB (`Ro` = row, `Bg` = bank group, `Ba` = bank,
+/// `Ra` = rank, `Co` = column, `Ch` = channel), following Ramulator's
+/// convention. The byte offset within a column beat always occupies the
+/// least-significant bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressMapping {
+    /// Row, bank group, bank, rank, column, channel (Ramulator's default
+    /// `RoBaRaCoCh`). Consecutive lines stay in the same row (high row
+    /// locality); rows are the top bits so each OS page touches few rows.
+    #[default]
+    RoBgBaRaCoCh,
+    /// Row, column-high, bank group, bank, rank, column-low-as-channel —
+    /// simplified variant that spreads consecutive lines across bank groups
+    /// for bank-level parallelism (`RoCoBaRaCh` family).
+    RoRaBaBgCoCh,
+    /// Column-major: rows occupy the least-significant sliced bits, so an
+    /// OS page stripes across many rows (the adversarial layout for the
+    /// §5.1 trade-off granularity, used in granularity tests).
+    CoChRaBgBaRo,
+}
+
+impl AddressMapping {
+    fn order(self) -> [Field; 6] {
+        use Field::*;
+        match self {
+            // MSB ............................................. LSB
+            AddressMapping::RoBgBaRaCoCh => [Row, BankGroup, Bank, Rank, Column, Channel],
+            AddressMapping::RoRaBaBgCoCh => [Row, Rank, Bank, BankGroup, Column, Channel],
+            AddressMapping::CoChRaBgBaRo => [Column, Channel, Rank, BankGroup, Bank, Row],
+        }
+    }
+
+    fn width(field: Field, g: &DramGeometry) -> u32 {
+        match field {
+            Field::Channel => g.channel_bits(),
+            Field::Rank => g.rank_bits(),
+            Field::BankGroup => g.bank_group_bits(),
+            Field::Bank => g.bank_bits(),
+            Field::Row => g.row_bits(),
+            Field::Column => g.column_bits(),
+        }
+    }
+
+    /// Decodes a physical address into DRAM coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::AddressOutOfRange`] if `addr` exceeds the
+    /// geometry's capacity.
+    pub fn map(self, addr: PhysAddr, g: &DramGeometry) -> Result<DramAddr, CoreError> {
+        if addr.0 >= g.capacity_bytes() {
+            return Err(CoreError::AddressOutOfRange {
+                addr: addr.0,
+                capacity_bytes: g.capacity_bytes(),
+            });
+        }
+        let mut rest = addr.0 >> g.offset_bits();
+        let mut out = DramAddr::default();
+        // Consume fields LSB-first (reverse of the MSB-first order).
+        for field in self.order().iter().rev() {
+            let w = Self::width(*field, g);
+            let v = (rest & ((1u64 << w) - 1)) as u32;
+            rest >>= w;
+            match field {
+                Field::Channel => out.channel = v,
+                Field::Rank => out.rank = v,
+                Field::BankGroup => out.bank_group = v,
+                Field::Bank => out.bank = v,
+                Field::Row => out.row = v,
+                Field::Column => out.column = v,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-encodes DRAM coordinates into the physical address of the first
+    /// byte of that column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CoordinateOutOfRange`] if any coordinate exceeds
+    /// its geometry bound.
+    pub fn unmap(self, d: &DramAddr, g: &DramGeometry) -> Result<PhysAddr, CoreError> {
+        let checks: [(&'static str, u64, u64); 6] = [
+            ("channel", d.channel as u64, g.channels as u64),
+            ("rank", d.rank as u64, g.ranks as u64),
+            ("bank_group", d.bank_group as u64, g.bank_groups as u64),
+            ("bank", d.bank as u64, g.banks_per_group as u64),
+            ("row", d.row as u64, g.rows as u64),
+            ("column", d.column as u64, g.columns as u64),
+        ];
+        for (what, got, bound) in checks {
+            if got >= bound {
+                return Err(CoreError::CoordinateOutOfRange { what, got, bound });
+            }
+        }
+        let mut acc: u64 = 0;
+        for field in self.order() {
+            let w = Self::width(field, g);
+            let v = match field {
+                Field::Channel => d.channel,
+                Field::Rank => d.rank,
+                Field::BankGroup => d.bank_group,
+                Field::Bank => d.bank,
+                Field::Row => d.row,
+                Field::Column => d.column,
+            } as u64;
+            acc = (acc << w) | v;
+        }
+        Ok(PhysAddr(acc << g.offset_bits()))
+    }
+
+    /// Number of OS pages of `page_bytes` that collectively occupy one
+    /// max-capacity DRAM row *group* under this mapping — the granularity at
+    /// which the capacity-latency trade-off is exposed (§5.1).
+    ///
+    /// For row-major mappings this is `row_bytes / page_bytes` (pages that
+    /// share a row); for mappings that stripe a page over many rows it grows
+    /// accordingly.
+    pub fn trade_off_granularity_pages(self, g: &DramGeometry, page_bytes: u64) -> u64 {
+        let rows_spanned = self.rows_per_page(g, page_bytes);
+        // All pages co-resident in those rows flip mode together.
+        rows_spanned * g.row_bytes().max(1) / page_bytes.max(1) * self.pages_sharing_row_factor()
+    }
+
+    /// Number of distinct DRAM rows a single OS page stripes across
+    /// (the `2^Y` of §5.1).
+    pub fn rows_per_page(self, g: &DramGeometry, page_bytes: u64) -> u64 {
+        // Row-selecting bits below log2(page_bytes) stripe the page.
+        let page_bits = page_bytes.trailing_zeros();
+        let mut lsb = g.offset_bits();
+        let mut row_bits_below_page = 0;
+        for field in self.order().iter().rev() {
+            let w = Self::width(*field, g);
+            if *field == Field::Row {
+                let overlap = page_bits.saturating_sub(lsb).min(w);
+                row_bits_below_page = overlap;
+            }
+            lsb += w;
+        }
+        1u64 << row_bits_below_page
+    }
+
+    fn pages_sharing_row_factor(self) -> u64 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geoms() -> Vec<DramGeometry> {
+        vec![DramGeometry::tiny(), DramGeometry::ddr4_16gb_x8()]
+    }
+
+    fn schemes() -> [AddressMapping; 3] {
+        [
+            AddressMapping::RoBgBaRaCoCh,
+            AddressMapping::RoRaBaBgCoCh,
+            AddressMapping::CoChRaBgBaRo,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_map_unmap() {
+        for g in geoms() {
+            for s in schemes() {
+                for addr in [
+                    0u64,
+                    64,
+                    4096,
+                    g.capacity_bytes() / 2,
+                    g.capacity_bytes() - g.bytes_per_column(),
+                ] {
+                    let d = s.map(PhysAddr(addr), &g).unwrap();
+                    let back = s.unmap(&d, &g).unwrap();
+                    // unmap returns the base of the column; mask the offset.
+                    let expect = addr & !(g.bytes_per_column() - 1);
+                    assert_eq!(back.0, expect, "scheme {s:?} addr {addr:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_address_rejected() {
+        let g = DramGeometry::tiny();
+        let s = AddressMapping::default();
+        assert!(matches!(
+            s.map(PhysAddr(g.capacity_bytes()), &g),
+            Err(CoreError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_coordinate_rejected() {
+        let g = DramGeometry::tiny();
+        let s = AddressMapping::default();
+        let d = DramAddr {
+            row: g.rows,
+            ..DramAddr::default()
+        };
+        assert!(matches!(
+            s.unmap(&d, &g),
+            Err(CoreError::CoordinateOutOfRange { what: "row", .. })
+        ));
+    }
+
+    #[test]
+    fn row_major_keeps_consecutive_lines_in_one_row() {
+        let g = DramGeometry::ddr4_16gb_x8();
+        let s = AddressMapping::RoBgBaRaCoCh;
+        let a = s.map(PhysAddr(0), &g).unwrap();
+        let b = s.map(PhysAddr(64), &g).unwrap();
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+        assert_ne!(a.column, b.column);
+    }
+
+    #[test]
+    fn row_major_page_touches_one_row() {
+        let g = DramGeometry::ddr4_16gb_x8();
+        assert_eq!(AddressMapping::RoBgBaRaCoCh.rows_per_page(&g, 4096), 1);
+        // An 8 KiB row holds two 4 KiB pages → the trade-off granularity is
+        // two pages per reconfigured row.
+        assert_eq!(
+            AddressMapping::RoBgBaRaCoCh.trade_off_granularity_pages(&g, 4096),
+            2
+        );
+    }
+
+    #[test]
+    fn adversarial_mapping_stripes_pages_across_rows() {
+        let g = DramGeometry::ddr4_16gb_x8();
+        // Rows are the low bits: the 9 page bits above the 3-bit column
+        // offset all select rows, striping the page across 512 rows.
+        let rows = AddressMapping::CoChRaBgBaRo.rows_per_page(&g, 4096);
+        assert_eq!(rows, 512);
+    }
+
+    #[test]
+    fn flat_bank_is_dense_and_unique() {
+        let g = DramGeometry::tiny();
+        let mut seen = std::collections::HashSet::new();
+        for bg in 0..g.bank_groups {
+            for b in 0..g.banks_per_group {
+                let d = DramAddr {
+                    bank_group: bg,
+                    bank: b,
+                    ..DramAddr::default()
+                };
+                assert!(seen.insert(d.flat_bank(&g)));
+            }
+        }
+        assert_eq!(seen.len(), g.banks_total() as usize);
+        assert_eq!(*seen.iter().max().unwrap(), g.banks_total() as usize - 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Capacity and hardware overhead accounting (§6).
+//!
+//! * Configuring X % of rows as high-performance costs X/2 % of total DRAM
+//!   capacity (§6.1).
+//! * The added isolation transistors cost ≤ 3.2 % chip area: 1.6 % for the
+//!   bitline mode select transistors plus a conservatively-assumed 1.6 %
+//!   for the column I/O mode select transistors (§6.2).
+//! * The controller's mode table costs one bit per row, shrinkable by the
+//!   reconfiguration granularity (§6.2, §5.1).
+
+use crate::geometry::DramGeometry;
+use crate::mode::ModeTable;
+
+/// Chip-area overhead of the bitline mode select transistors (two per
+/// bitline), as a fraction of baseline chip area.
+pub const BITLINE_ISO_AREA_OVERHEAD: f64 = 0.016;
+
+/// Conservative chip-area overhead of the column I/O mode select
+/// transistors (one per SA pair), assuming no slack space is available.
+pub const COLUMN_IO_ISO_AREA_OVERHEAD: f64 = 0.016;
+
+/// Total worst-case DRAM chip area overhead of CLR-DRAM.
+pub fn chip_area_overhead() -> f64 {
+    BITLINE_ISO_AREA_OVERHEAD + COLUMN_IO_ISO_AREA_OVERHEAD
+}
+
+/// Fraction of total capacity lost when `fraction_hp` of all rows operate
+/// in high-performance mode (§6.1: X % of rows → X/2 % loss).
+///
+/// # Panics
+///
+/// Panics if `fraction_hp` is not within `0.0..=1.0`.
+pub fn capacity_loss_fraction(fraction_hp: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fraction_hp));
+    fraction_hp / 2.0
+}
+
+/// Usable capacity in bytes for a geometry with the given high-performance
+/// row fraction.
+pub fn effective_capacity_bytes(geometry: &DramGeometry, fraction_hp: f64) -> u64 {
+    let loss = capacity_loss_fraction(fraction_hp);
+    (geometry.capacity_bytes() as f64 * (1.0 - loss)).round() as u64
+}
+
+/// Usable capacity in bytes given an explicit mode table (exact per-row
+/// accounting rather than a fraction).
+pub fn effective_capacity_of_table(geometry: &DramGeometry, table: &ModeTable) -> u64 {
+    let hp_rows = table.high_performance_rows();
+    geometry.capacity_bytes() - hp_rows * geometry.row_bytes() / 2
+}
+
+/// Mode-table storage (bits) required by the controller when the
+/// reconfiguration granularity is `rows_per_entry` rows (the 2^Y factor of
+/// §5.1 and §6.2).
+///
+/// # Panics
+///
+/// Panics if `rows_per_entry` is zero.
+pub fn mode_table_bits(geometry: &DramGeometry, rows_per_entry: u64) -> u64 {
+    assert!(rows_per_entry > 0, "rows_per_entry must be nonzero");
+    let rows_total = geometry.channels as u64
+        * geometry.ranks as u64
+        * geometry.banks_total() as u64
+        * geometry.rows as u64;
+    rows_total.div_ceil(rows_per_entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_overhead_matches_paper() {
+        assert!((chip_area_overhead() - 0.032).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_loss_is_half_the_hp_fraction() {
+        assert_eq!(capacity_loss_fraction(0.0), 0.0);
+        assert!((capacity_loss_fraction(0.5) - 0.25).abs() < 1e-12);
+        assert!((capacity_loss_fraction(1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_capacity_all_hp_is_half() {
+        let g = DramGeometry::ddr4_16gb_x8();
+        assert_eq!(effective_capacity_bytes(&g, 1.0), g.capacity_bytes() / 2);
+        assert_eq!(effective_capacity_bytes(&g, 0.0), g.capacity_bytes());
+    }
+
+    #[test]
+    fn table_accounting_matches_fraction_accounting() {
+        let g = DramGeometry::tiny();
+        let mut t = ModeTable::new(&g);
+        t.set_fraction_high_performance(0.5);
+        assert_eq!(
+            effective_capacity_of_table(&g, &t),
+            effective_capacity_bytes(&g, 0.5)
+        );
+    }
+
+    #[test]
+    fn coarser_granularity_shrinks_mode_table() {
+        let g = DramGeometry::ddr4_16gb_x8();
+        let fine = mode_table_bits(&g, 1);
+        let coarse = mode_table_bits(&g, 8);
+        assert_eq!(fine, 16 * 128 * 1024);
+        assert_eq!(coarse * 8, fine);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_granularity_panics() {
+        mode_table_bits(&DramGeometry::tiny(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Error types shared by the CLR-DRAM core model.
+
+use std::fmt;
+
+/// Errors produced by core-model operations.
+///
+/// All variants carry enough context to diagnose the offending input; the
+/// [`fmt::Display`] output is lowercase without trailing punctuation per the
+/// Rust API guidelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A physical address fell outside the configured DRAM capacity.
+    AddressOutOfRange {
+        /// The offending physical address.
+        addr: u64,
+        /// Total addressable bytes of the configured geometry.
+        capacity_bytes: u64,
+    },
+    /// A DRAM coordinate (row, bank, ...) exceeded the geometry bound.
+    CoordinateOutOfRange {
+        /// Name of the coordinate ("row", "bank", ...).
+        what: &'static str,
+        /// Value that was supplied.
+        got: u64,
+        /// Exclusive upper bound for the coordinate.
+        bound: u64,
+    },
+    /// A fraction argument was outside `0.0..=1.0`.
+    InvalidFraction {
+        /// The out-of-range value.
+        got: f64,
+    },
+    /// A geometry field that must be a nonzero power of two was not.
+    NotPowerOfTwo {
+        /// Name of the geometry field.
+        what: &'static str,
+        /// Value that was supplied.
+        got: u64,
+    },
+    /// The requested page placement does not fit the available frames.
+    PlacementOverflow {
+        /// Pages requested.
+        requested: usize,
+        /// Frames available in the target region.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::AddressOutOfRange {
+                addr,
+                capacity_bytes,
+            } => write!(
+                f,
+                "physical address {addr:#x} exceeds capacity of {capacity_bytes} bytes"
+            ),
+            CoreError::CoordinateOutOfRange { what, got, bound } => {
+                write!(f, "{what} {got} out of range (bound {bound})")
+            }
+            CoreError::InvalidFraction { got } => {
+                write!(f, "fraction {got} not within 0.0..=1.0")
+            }
+            CoreError::NotPowerOfTwo { what, got } => {
+                write!(f, "{what} must be a nonzero power of two, got {got}")
+            }
+            CoreError::PlacementOverflow {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot place {requested} pages into {available} available frames"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            CoreError::AddressOutOfRange {
+                addr: 0x1000,
+                capacity_bytes: 64,
+            }
+            .to_string(),
+            CoreError::CoordinateOutOfRange {
+                what: "row",
+                got: 9,
+                bound: 8,
+            }
+            .to_string(),
+            CoreError::InvalidFraction { got: 1.5 }.to_string(),
+            CoreError::NotPowerOfTwo {
+                what: "banks",
+                got: 3,
+            }
+            .to_string(),
+            CoreError::PlacementOverflow {
+                requested: 10,
+                available: 5,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'), "message ends with period: {m}");
+            assert!(
+                m.chars().next().unwrap().is_lowercase() || m.starts_with(char::is_numeric),
+                "message should start lowercase: {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,306 @@
+//! Bitline mode select transistor control (§3.1–§3.3, Figures 4–6).
+//!
+//! CLR-DRAM adds two isolation transistors to every bitline of a subarray:
+//!
+//! * **Type 1** (red in Figure 4) replaces the existing bitline → SA
+//!   connection, and
+//! * **Type 2** (blue) connects the previously *unconnected* far end of a
+//!   bitline to the SA on the opposite side.
+//!
+//! Two per-bank control signals, `ISO1` and `ISO2` (plus complements),
+//! drive all Type 1/Type 2 transistors. To avoid extra wiring the signal
+//! assignment alternates with subarray parity (§3.3):
+//!
+//! | subarray | Type 1 driven by | Type 2 driven by |
+//! |----------|------------------|------------------|
+//! | odd      | `ISO1`           | `ISO2`           |
+//! | even     | `!ISO2`          | `!ISO1`          |
+//!
+//! This module models that control logic and the resulting cell ↔ SA
+//! connectivity so the rest of the system (and the circuit simulator) can
+//! derive topologies from first principles, with invariants property-tested
+//! against the paper's figures.
+
+use crate::mode::RowMode;
+
+/// Parity of a subarray's index within its bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubarrayParity {
+    /// Even-numbered subarray (0, 2, 4, ...).
+    Even,
+    /// Odd-numbered subarray (1, 3, 5, ...).
+    Odd,
+}
+
+impl SubarrayParity {
+    /// Parity of subarray index `i`.
+    pub fn of(i: u32) -> Self {
+        if i % 2 == 0 {
+            SubarrayParity::Even
+        } else {
+            SubarrayParity::Odd
+        }
+    }
+
+    /// The opposite parity (the neighbors of a subarray).
+    pub fn neighbor(self) -> Self {
+        match self {
+            SubarrayParity::Even => SubarrayParity::Odd,
+            SubarrayParity::Odd => SubarrayParity::Even,
+        }
+    }
+}
+
+/// Logic levels of the two per-bank isolation control signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IsoSignals {
+    /// Level of `ISO1` (true = asserted high).
+    pub iso1: bool,
+    /// Level of `ISO2`.
+    pub iso2: bool,
+}
+
+impl IsoSignals {
+    /// Signal levels the control circuitry drives to access a row in
+    /// `mode` located in a subarray of the given `parity` (Figure 6):
+    ///
+    /// * max-capacity (either parity): `ISO1 = H`, `ISO2 = L`;
+    /// * high-performance, odd subarray: `ISO1 = H`, `ISO2 = H`;
+    /// * high-performance, even subarray: `ISO1 = L`, `ISO2 = L`.
+    pub fn for_access(mode: RowMode, parity: SubarrayParity) -> Self {
+        match (mode, parity) {
+            (RowMode::MaxCapacity, _) => IsoSignals {
+                iso1: true,
+                iso2: false,
+            },
+            (RowMode::HighPerformance, SubarrayParity::Odd) => IsoSignals {
+                iso1: true,
+                iso2: true,
+            },
+            (RowMode::HighPerformance, SubarrayParity::Even) => IsoSignals {
+                iso1: false,
+                iso2: false,
+            },
+        }
+    }
+}
+
+/// Enable state of the two transistor types within one subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransistorStates {
+    /// Type 1 (bitline near-end ↔ its own SA) enabled.
+    pub type1: bool,
+    /// Type 2 (bitline far-end ↔ the opposite SA) enabled.
+    pub type2: bool,
+}
+
+impl TransistorStates {
+    /// Applies the alternating signal assignment of §3.3 to derive the
+    /// transistor states in a subarray of the given parity.
+    pub fn from_signals(signals: IsoSignals, parity: SubarrayParity) -> Self {
+        match parity {
+            SubarrayParity::Odd => TransistorStates {
+                type1: signals.iso1,
+                type2: signals.iso2,
+            },
+            SubarrayParity::Even => TransistorStates {
+                type1: !signals.iso2,
+                type2: !signals.iso1,
+            },
+        }
+    }
+}
+
+/// Electrical topology of a subarray implied by its transistor states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubarrayTopology {
+    /// Open-bitline equivalent: each cell column connects to its own SA
+    /// (Type 1 on, Type 2 off). This is max-capacity mode and also the
+    /// state of neighbor subarrays during a max-capacity access.
+    OpenBitline,
+    /// Coupled: every two adjacent columns and their two SAs form one
+    /// logical cell/SA (both transistor types on) — high-performance mode.
+    Coupled,
+    /// Fully isolated from the sense amplifiers (both types off) — the
+    /// state of neighbor subarrays during a high-performance access, which
+    /// keeps their bitline capacitance off the shared SAs.
+    Disconnected,
+    /// Type 1 off with Type 2 on: electrically legal but never used by the
+    /// §3.3 control logic; flagged so invariants can reject it.
+    Reversed,
+}
+
+impl SubarrayTopology {
+    /// Classifies transistor states into a topology.
+    pub fn from_states(states: TransistorStates) -> Self {
+        match (states.type1, states.type2) {
+            (true, false) => SubarrayTopology::OpenBitline,
+            (true, true) => SubarrayTopology::Coupled,
+            (false, false) => SubarrayTopology::Disconnected,
+            (false, true) => SubarrayTopology::Reversed,
+        }
+    }
+
+    /// Convenience: topology of the subarray being accessed plus its
+    /// neighbors for a row access in `mode` in a subarray of `parity`.
+    ///
+    /// Returns `(accessed, neighbor)` topologies.
+    pub fn for_access(mode: RowMode, parity: SubarrayParity) -> (Self, Self) {
+        let signals = IsoSignals::for_access(mode, parity);
+        let here = Self::from_states(TransistorStates::from_signals(signals, parity));
+        let neighbor =
+            Self::from_states(TransistorStates::from_signals(signals, parity.neighbor()));
+        (here, neighbor)
+    }
+}
+
+/// Which side of the subarray an SA sits on (open-bitline architecture
+/// places SAs on alternating sides; Figure 2a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SaSide {
+    /// SA above the subarray.
+    Top,
+    /// SA below the subarray.
+    Bottom,
+}
+
+/// Side of the SA serving column `col` (even columns → top, odd → bottom,
+/// matching Figure 4a where cell A/SA1 are top and cell B/SA2 bottom).
+pub fn sa_side(col: u32) -> SaSide {
+    if col % 2 == 0 {
+        SaSide::Top
+    } else {
+        SaSide::Bottom
+    }
+}
+
+/// Connectivity of cells to sense amplifiers in one row of a subarray.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowConnectivity {
+    /// Each physical cell `i` is sensed by its own SA `i`.
+    Individual {
+        /// Number of physical cells (= columns = SAs).
+        cells: u32,
+    },
+    /// Cells `2k`/`2k+1` couple into logical cell `k`, driven by SAs `2k`
+    /// and `2k+1` acting as one logical SA.
+    CoupledPairs {
+        /// Number of logical cells (= physical cells / 2).
+        logical_cells: u32,
+    },
+    /// No cell is connected to any SA.
+    Isolated,
+}
+
+impl RowConnectivity {
+    /// Derives row connectivity from a topology for a row of
+    /// `physical_cells` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical_cells` is odd and the topology is coupled (the
+    /// open-bitline array always has an even column count) or if the
+    /// topology is [`SubarrayTopology::Reversed`], which the control logic
+    /// never produces.
+    pub fn from_topology(topology: SubarrayTopology, physical_cells: u32) -> Self {
+        match topology {
+            SubarrayTopology::OpenBitline => RowConnectivity::Individual {
+                cells: physical_cells,
+            },
+            SubarrayTopology::Coupled => {
+                assert!(
+                    physical_cells % 2 == 0,
+                    "coupled operation requires an even column count"
+                );
+                RowConnectivity::CoupledPairs {
+                    logical_cells: physical_cells / 2,
+                }
+            }
+            SubarrayTopology::Disconnected => RowConnectivity::Isolated,
+            SubarrayTopology::Reversed => {
+                panic!("reversed topology is never produced by the ISO control logic")
+            }
+        }
+    }
+
+    /// Bits of data this row can store.
+    pub fn stored_bits(&self) -> u32 {
+        match self {
+            RowConnectivity::Individual { cells } => *cells,
+            RowConnectivity::CoupledPairs { logical_cells } => *logical_cells,
+            RowConnectivity::Isolated => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_capacity_access_is_open_bitline_everywhere() {
+        for parity in [SubarrayParity::Even, SubarrayParity::Odd] {
+            let (here, neighbor) = SubarrayTopology::for_access(RowMode::MaxCapacity, parity);
+            assert_eq!(here, SubarrayTopology::OpenBitline);
+            assert_eq!(neighbor, SubarrayTopology::OpenBitline);
+        }
+    }
+
+    #[test]
+    fn high_performance_access_couples_here_and_isolates_neighbors() {
+        for parity in [SubarrayParity::Even, SubarrayParity::Odd] {
+            let (here, neighbor) = SubarrayTopology::for_access(RowMode::HighPerformance, parity);
+            assert_eq!(here, SubarrayTopology::Coupled, "parity {parity:?}");
+            assert_eq!(neighbor, SubarrayTopology::Disconnected, "parity {parity:?}");
+        }
+    }
+
+    #[test]
+    fn figure6_signal_levels() {
+        // Max-capacity: ISO1=H, ISO2=L for both parities.
+        let s = IsoSignals::for_access(RowMode::MaxCapacity, SubarrayParity::Odd);
+        assert_eq!(s, IsoSignals { iso1: true, iso2: false });
+        // HP odd: both high; HP even: both low.
+        let s = IsoSignals::for_access(RowMode::HighPerformance, SubarrayParity::Odd);
+        assert_eq!(s, IsoSignals { iso1: true, iso2: true });
+        let s = IsoSignals::for_access(RowMode::HighPerformance, SubarrayParity::Even);
+        assert_eq!(s, IsoSignals { iso1: false, iso2: false });
+    }
+
+    #[test]
+    fn reversed_topology_never_reachable() {
+        for mode in [RowMode::MaxCapacity, RowMode::HighPerformance] {
+            for parity in [SubarrayParity::Even, SubarrayParity::Odd] {
+                let (here, neighbor) = SubarrayTopology::for_access(mode, parity);
+                assert_ne!(here, SubarrayTopology::Reversed);
+                assert_ne!(neighbor, SubarrayTopology::Reversed);
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_row_stores_half_the_bits() {
+        let open = RowConnectivity::from_topology(SubarrayTopology::OpenBitline, 1024);
+        let coupled = RowConnectivity::from_topology(SubarrayTopology::Coupled, 1024);
+        assert_eq!(open.stored_bits(), 1024);
+        assert_eq!(coupled.stored_bits(), 512);
+        assert_eq!(
+            RowConnectivity::from_topology(SubarrayTopology::Disconnected, 1024).stored_bits(),
+            0
+        );
+    }
+
+    #[test]
+    fn sa_sides_alternate() {
+        assert_eq!(sa_side(0), SaSide::Top);
+        assert_eq!(sa_side(1), SaSide::Bottom);
+        assert_eq!(sa_side(2), SaSide::Top);
+    }
+
+    #[test]
+    fn parity_helpers() {
+        assert_eq!(SubarrayParity::of(0), SubarrayParity::Even);
+        assert_eq!(SubarrayParity::of(7), SubarrayParity::Odd);
+        assert_eq!(SubarrayParity::Even.neighbor(), SubarrayParity::Odd);
+    }
+}

@@ -1,0 +1,260 @@
+//! Per-row operating-mode state kept by the memory controller (§6.2).
+//!
+//! CLR-DRAM reconfigures rows at activation time, so the controller must
+//! know each row's mode to apply the correct timing parameters and refresh
+//! schedule. [`ModeTable`] is that structure: conceptually one bit per row
+//! per bank (the paper notes it can be compressed when the reconfiguration
+//! granularity exceeds one row).
+
+use crate::geometry::DramGeometry;
+
+/// Operating mode of a single DRAM row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RowMode {
+    /// Every cell/SA operates individually: full density, baseline-like
+    /// latency (Figure 1b).
+    #[default]
+    MaxCapacity,
+    /// Adjacent cell pairs and their two SAs couple into low-latency
+    /// logical cells: half density, reduced tRCD/tRAS/tRP/tWR and cheaper
+    /// refresh (Figure 1c).
+    HighPerformance,
+}
+
+impl RowMode {
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RowMode::MaxCapacity => "max-capacity",
+            RowMode::HighPerformance => "high-performance",
+        }
+    }
+}
+
+impl std::fmt::Display for RowMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-bank, per-row operating-mode table.
+///
+/// Storage is one bit per row (a `u64` bitmap chunked per bank), matching
+/// the unoptimized controller cost the paper quotes in §6.2. Rows default
+/// to [`RowMode::MaxCapacity`].
+///
+/// # Example
+///
+/// ```
+/// use clr_core::geometry::DramGeometry;
+/// use clr_core::mode::{ModeTable, RowMode};
+///
+/// let g = DramGeometry::tiny();
+/// let mut t = ModeTable::new(&g);
+/// t.set(0, 3, RowMode::HighPerformance);
+/// assert_eq!(t.mode_of(0, 3), RowMode::HighPerformance);
+/// assert_eq!(t.mode_of(0, 4), RowMode::MaxCapacity);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeTable {
+    rows_per_bank: u32,
+    banks: u32,
+    /// One bitmap per flat bank; bit set = high-performance.
+    bitmaps: Vec<Vec<u64>>,
+    hp_count: u64,
+}
+
+impl ModeTable {
+    /// Creates a table for the given geometry with every row in
+    /// max-capacity mode.
+    pub fn new(geometry: &DramGeometry) -> Self {
+        let banks = geometry.channels * geometry.ranks * geometry.banks_total();
+        let words = geometry.rows.div_ceil(64) as usize;
+        ModeTable {
+            rows_per_bank: geometry.rows,
+            banks,
+            bitmaps: vec![vec![0u64; words]; banks as usize],
+            hp_count: 0,
+        }
+    }
+
+    /// Number of rows tracked per bank.
+    pub fn rows_per_bank(&self) -> u32 {
+        self.rows_per_bank
+    }
+
+    /// Number of flat banks tracked.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Returns the mode of `row` in `flat_bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat_bank` or `row` is out of range.
+    pub fn mode_of(&self, flat_bank: usize, row: u32) -> RowMode {
+        assert!(row < self.rows_per_bank, "row {row} out of range");
+        let word = self.bitmaps[flat_bank][(row / 64) as usize];
+        if word >> (row % 64) & 1 == 1 {
+            RowMode::HighPerformance
+        } else {
+            RowMode::MaxCapacity
+        }
+    }
+
+    /// Sets the mode of `row` in `flat_bank`, returning the previous mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat_bank` or `row` is out of range.
+    pub fn set(&mut self, flat_bank: usize, row: u32, mode: RowMode) -> RowMode {
+        assert!(row < self.rows_per_bank, "row {row} out of range");
+        let word = &mut self.bitmaps[flat_bank][(row / 64) as usize];
+        let bit = 1u64 << (row % 64);
+        let was_hp = *word & bit != 0;
+        match mode {
+            RowMode::HighPerformance => {
+                if !was_hp {
+                    *word |= bit;
+                    self.hp_count += 1;
+                }
+            }
+            RowMode::MaxCapacity => {
+                if was_hp {
+                    *word &= !bit;
+                    self.hp_count -= 1;
+                }
+            }
+        }
+        if was_hp {
+            RowMode::HighPerformance
+        } else {
+            RowMode::MaxCapacity
+        }
+    }
+
+    /// Configures the first `fraction` of each bank's rows as
+    /// high-performance and the rest as max-capacity — the contiguous
+    /// low-latency region layout used by the paper's profile-guided data
+    /// mapping (§8.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `0.0..=1.0`.
+    pub fn set_fraction_high_performance(&mut self, fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction {fraction} not within 0.0..=1.0"
+        );
+        let hp_rows = (self.rows_per_bank as f64 * fraction).round() as u32;
+        self.hp_count = 0;
+        for bank in 0..self.banks as usize {
+            for w in self.bitmaps[bank].iter_mut() {
+                *w = 0;
+            }
+            for row in 0..hp_rows {
+                self.bitmaps[bank][(row / 64) as usize] |= 1u64 << (row % 64);
+            }
+            self.hp_count += hp_rows as u64;
+        }
+    }
+
+    /// First row of each bank that is *not* high-performance under the
+    /// contiguous layout, i.e. the size of the low-latency region.
+    pub fn hp_rows_per_bank(&self) -> u32 {
+        (self.hp_count / self.banks as u64) as u32
+    }
+
+    /// Total high-performance rows across all banks.
+    pub fn high_performance_rows(&self) -> u64 {
+        self.hp_count
+    }
+
+    /// Fraction of all rows currently in high-performance mode.
+    pub fn fraction_high_performance(&self) -> f64 {
+        self.hp_count as f64 / (self.rows_per_bank as u64 * self.banks as u64) as f64
+    }
+
+    /// Storage cost of the unoptimized table in bits (§6.2): one bit per
+    /// row per bank.
+    pub fn storage_bits(&self) -> u64 {
+        self.rows_per_bank as u64 * self.banks as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_max_capacity() {
+        let t = ModeTable::new(&DramGeometry::tiny());
+        assert_eq!(t.high_performance_rows(), 0);
+        assert_eq!(t.mode_of(0, 0), RowMode::MaxCapacity);
+        assert_eq!(t.fraction_high_performance(), 0.0);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let g = DramGeometry::tiny();
+        let mut t = ModeTable::new(&g);
+        assert_eq!(t.set(2, 63, RowMode::HighPerformance), RowMode::MaxCapacity);
+        assert_eq!(t.mode_of(2, 63), RowMode::HighPerformance);
+        assert_eq!(t.high_performance_rows(), 1);
+        // Setting the same mode twice is idempotent.
+        assert_eq!(
+            t.set(2, 63, RowMode::HighPerformance),
+            RowMode::HighPerformance
+        );
+        assert_eq!(t.high_performance_rows(), 1);
+        assert_eq!(t.set(2, 63, RowMode::MaxCapacity), RowMode::HighPerformance);
+        assert_eq!(t.high_performance_rows(), 0);
+    }
+
+    #[test]
+    fn fraction_layout_is_contiguous_prefix() {
+        let g = DramGeometry::tiny();
+        let mut t = ModeTable::new(&g);
+        t.set_fraction_high_performance(0.25);
+        let hp_rows = (g.rows as f64 * 0.25).round() as u32;
+        for bank in 0..t.banks() as usize {
+            for row in 0..g.rows {
+                let expect = if row < hp_rows {
+                    RowMode::HighPerformance
+                } else {
+                    RowMode::MaxCapacity
+                };
+                assert_eq!(t.mode_of(bank, row), expect, "bank {bank} row {row}");
+            }
+        }
+        assert!((t.fraction_high_performance() - 0.25).abs() < 1e-6);
+        assert_eq!(t.hp_rows_per_bank(), hp_rows);
+    }
+
+    #[test]
+    fn fraction_reconfiguration_replaces_previous_layout() {
+        let g = DramGeometry::tiny();
+        let mut t = ModeTable::new(&g);
+        t.set_fraction_high_performance(1.0);
+        assert!((t.fraction_high_performance() - 1.0).abs() < 1e-9);
+        t.set_fraction_high_performance(0.0);
+        assert_eq!(t.high_performance_rows(), 0);
+    }
+
+    #[test]
+    fn storage_cost_matches_one_bit_per_row() {
+        let g = DramGeometry::ddr4_16gb_x8();
+        let t = ModeTable::new(&g);
+        assert_eq!(t.storage_bits(), g.rows as u64 * g.banks_total() as u64);
+        // 128 K rows × 16 banks = 2 Mbit = 256 KiB of controller state.
+        assert_eq!(t.storage_bits(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_row_panics() {
+        let t = ModeTable::new(&DramGeometry::tiny());
+        let _ = t.mode_of(0, 64);
+    }
+}

@@ -1,0 +1,139 @@
+//! Published reference numbers from the paper, used by the benchmark
+//! harness to print paper-vs-measured comparisons.
+//!
+//! Nothing in the simulator *reads* these values to produce results; they
+//! exist purely for reporting and regression checks on the reproduction's
+//! shape.
+
+/// One row of Table 1 (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Timing parameter name ("tRCD", ...).
+    pub name: &'static str,
+    /// Conventional DRAM baseline.
+    pub baseline: f64,
+    /// CLR-DRAM max-capacity mode.
+    pub max_capacity: f64,
+    /// High-performance mode without early termination.
+    pub hp_no_et: f64,
+    /// High-performance mode with early termination.
+    pub hp_et: f64,
+    /// Published reduction of the w/ E.T. column vs baseline (fraction).
+    pub reduction: f64,
+}
+
+/// Table 1 of the paper: reduction in major DRAM timing parameters.
+pub const TABLE1: [Table1Row; 4] = [
+    Table1Row {
+        name: "tRCD",
+        baseline: 13.8,
+        max_capacity: 13.2,
+        hp_no_et: 5.4,
+        hp_et: 5.5,
+        reduction: 0.601,
+    },
+    Table1Row {
+        name: "tRAS",
+        baseline: 39.4,
+        max_capacity: 40.3,
+        hp_no_et: 20.3,
+        hp_et: 14.1,
+        reduction: 0.642,
+    },
+    Table1Row {
+        name: "tRP",
+        baseline: 15.5,
+        max_capacity: 8.3,
+        hp_no_et: 8.3,
+        hp_et: 8.3,
+        reduction: 0.464,
+    },
+    Table1Row {
+        name: "tWR",
+        baseline: 12.5,
+        max_capacity: 13.3,
+        hp_no_et: 12.5,
+        hp_et: 8.1,
+        reduction: 0.352,
+    },
+];
+
+/// Headline system-level results (fractions, so 0.186 = 18.6 %).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadlineResults {
+    /// Single-core geomean speedups at 25/50/75/100 % HP pages.
+    pub single_core_speedup: [f64; 4],
+    /// Single-core speedup with all rows max-capacity (the 0 % config).
+    pub single_core_speedup_all_maxcap: f64,
+    /// Single-core geomean DRAM energy reduction at 25/50/75/100 %.
+    pub single_core_energy_saving: [f64; 4],
+    /// Multi-core geomean weighted-speedup gains at 25/50/75/100 %.
+    pub multi_core_speedup: [f64; 4],
+    /// Multi-core speedup for the high-MPKI group at 100 %.
+    pub multi_core_speedup_high_mpki: f64,
+    /// Multi-core DRAM energy reduction at 25/100 %.
+    pub multi_core_energy_saving_25_100: [f64; 2],
+    /// DRAM power reduction, single-core, at 25/100 %.
+    pub single_core_power_saving_25_100: [f64; 2],
+    /// DRAM power reduction, multi-core, at 25/100 %.
+    pub multi_core_power_saving_25_100: [f64; 2],
+    /// Refresh-energy reduction for all-HP CLR-64 (multi-core).
+    pub refresh_energy_saving_clr64: f64,
+    /// Refresh-energy reduction for all-HP CLR-194.
+    pub refresh_energy_saving_clr194: f64,
+    /// Multi-core speedup of CLR-114 at 100 % HP pages.
+    pub multi_core_speedup_clr114: f64,
+    /// Multi-core speedup of CLR-194 at 100 % HP pages.
+    pub multi_core_speedup_clr194: f64,
+    /// Highest single-application speedup (429.mcf at 100 %).
+    pub best_single_speedup: f64,
+}
+
+/// The paper's published headline numbers (§1, §8).
+pub const HEADLINES: HeadlineResults = HeadlineResults {
+    single_core_speedup: [0.055, 0.079, 0.103, 0.124],
+    single_core_speedup_all_maxcap: 0.024,
+    single_core_energy_saving: [0.092, 0.133, 0.169, 0.197],
+    multi_core_speedup: [0.119, 0.0, 0.0, 0.186], // 50/75 % not quoted
+    multi_core_speedup_high_mpki: 0.275,
+    multi_core_energy_saving_25_100: [0.217, 0.297],
+    single_core_power_saving_25_100: [0.043, 0.097],
+    multi_core_power_saving_25_100: [0.089, 0.128],
+    refresh_energy_saving_clr64: 0.661,
+    refresh_energy_saving_clr194: 0.871,
+    multi_core_speedup_clr114: 0.192,
+    multi_core_speedup_clr194: 0.178,
+    best_single_speedup: 0.598,
+};
+
+/// Figure 11 endpoints: tRCD/tRAS growth when extending tREFW from 64 ms
+/// to 194 ms (ns).
+pub const FIG11_TRCD_GROWTH_NS: f64 = 3.24;
+/// See [`FIG11_TRCD_GROWTH_NS`].
+pub const FIG11_TRAS_GROWTH_NS: f64 = 3.04;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reductions_are_consistent() {
+        for row in TABLE1 {
+            let computed = 1.0 - row.hp_et / row.baseline;
+            assert!(
+                (computed - row.reduction).abs() < 0.005,
+                "{}: computed {computed}, published {}",
+                row.name,
+                row.reduction
+            );
+        }
+    }
+
+    #[test]
+    fn headline_sanity() {
+        // Speedups grow monotonically with the HP fraction.
+        let s = HEADLINES.single_core_speedup;
+        assert!(s[0] < s[1] && s[1] < s[2] && s[2] < s[3]);
+        assert!(HEADLINES.multi_core_speedup_high_mpki > HEADLINES.multi_core_speedup[3]);
+    }
+}

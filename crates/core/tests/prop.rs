@@ -1,0 +1,228 @@
+//! Property-based tests of the core model's invariants.
+
+use clr_core::addr::{AddressMapping, DramAddr, PhysAddr};
+use clr_core::capacity;
+use clr_core::geometry::DramGeometry;
+use clr_core::iso::{RowConnectivity, SubarrayParity, SubarrayTopology};
+use clr_core::mapping::{PagePlacement, PageProfile, PAGE_BYTES};
+use clr_core::mode::{ModeTable, RowMode};
+use clr_core::refresh::RefreshPlan;
+use clr_core::timing::ClrTimings;
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = DramGeometry> {
+    (0u32..2, 0u32..2, 1u32..3, 1u32..3, 4u32..10, 4u32..8).prop_map(
+        |(ch, ra, bg, ba, rows, cols)| DramGeometry {
+            channels: 1 << ch,
+            ranks: 1 << ra,
+            bank_groups: 1 << bg,
+            banks_per_group: 1 << ba,
+            rows: 1 << rows,
+            columns: 1 << cols,
+            device_width_bits: 8,
+            bus_width_bits: 64,
+            burst_length: 8,
+        },
+    )
+}
+
+fn schemes() -> impl Strategy<Value = AddressMapping> {
+    prop_oneof![
+        Just(AddressMapping::RoBgBaRaCoCh),
+        Just(AddressMapping::RoRaBaBgCoCh),
+        Just(AddressMapping::CoChRaBgBaRo),
+    ]
+}
+
+proptest! {
+    /// map → unmap is the identity on column-aligned addresses for every
+    /// scheme and geometry.
+    #[test]
+    fn address_roundtrip(
+        g in arb_geometry(),
+        s in schemes(),
+        frac in 0.0f64..1.0,
+    ) {
+        let addr = ((g.capacity_bytes() as f64 * frac) as u64)
+            & !(g.bytes_per_column() - 1);
+        let addr = addr.min(g.capacity_bytes() - g.bytes_per_column());
+        let d = s.map(PhysAddr(addr), &g).expect("in range");
+        let back = s.unmap(&d, &g).expect("coords valid");
+        prop_assert_eq!(back.0, addr);
+    }
+
+    /// Decoded coordinates always respect the geometry bounds.
+    #[test]
+    fn decode_is_bounded(
+        g in arb_geometry(),
+        s in schemes(),
+        frac in 0.0f64..1.0,
+    ) {
+        let addr = ((g.capacity_bytes() as f64 * frac) as u64)
+            .min(g.capacity_bytes() - 1);
+        let d = s.map(PhysAddr(addr), &g).expect("in range");
+        prop_assert!(d.channel < g.channels);
+        prop_assert!(d.rank < g.ranks);
+        prop_assert!(d.bank_group < g.bank_groups);
+        prop_assert!(d.bank < g.banks_per_group);
+        prop_assert!(d.row < g.rows);
+        prop_assert!(d.column < g.columns);
+    }
+
+    /// Distinct addresses (at column granularity) decode to distinct
+    /// coordinates — the mapping is injective.
+    #[test]
+    fn decode_is_injective(
+        g in arb_geometry(),
+        s in schemes(),
+        a in 0u64..10_000,
+        b in 0u64..10_000,
+    ) {
+        let col = g.bytes_per_column();
+        let a = (a * col) % g.capacity_bytes();
+        let b = (b * col) % g.capacity_bytes();
+        let da = s.map(PhysAddr(a), &g).expect("in range");
+        let db = s.map(PhysAddr(b), &g).expect("in range");
+        prop_assert_eq!(a == b, da == db);
+    }
+
+    /// Mode-table set/get roundtrip under arbitrary mutation sequences,
+    /// with an exact running high-performance count.
+    #[test]
+    fn mode_table_counts_track_mutations(
+        ops in proptest::collection::vec((0usize..4, 0u32..64, any::<bool>()), 1..200),
+    ) {
+        let g = DramGeometry::tiny();
+        let mut t = ModeTable::new(&g);
+        let mut reference = std::collections::HashSet::new();
+        for (bank, row, hp) in ops {
+            let mode = if hp { RowMode::HighPerformance } else { RowMode::MaxCapacity };
+            t.set(bank, row, mode);
+            if hp {
+                reference.insert((bank, row));
+            } else {
+                reference.remove(&(bank, row));
+            }
+        }
+        prop_assert_eq!(t.high_performance_rows(), reference.len() as u64);
+        for &(bank, row) in reference.iter().take(20) {
+            prop_assert_eq!(t.mode_of(bank, row), RowMode::HighPerformance);
+        }
+    }
+
+    /// Effective capacity decreases monotonically with the HP fraction
+    /// and exactly matches the table-based accounting.
+    #[test]
+    fn capacity_accounting_is_consistent(fa in 0.0f64..1.0, fb in 0.0f64..1.0) {
+        let g = DramGeometry::ddr4_16gb_x8();
+        let (lo, hi) = if fa <= fb { (fa, fb) } else { (fb, fa) };
+        prop_assert!(
+            capacity::effective_capacity_bytes(&g, lo)
+                >= capacity::effective_capacity_bytes(&g, hi)
+        );
+        let tiny = DramGeometry::tiny();
+        let mut t = ModeTable::new(&tiny);
+        t.set_fraction_high_performance(lo);
+        let from_table = capacity::effective_capacity_of_table(&tiny, &t);
+        let exact = tiny.capacity_bytes()
+            - t.high_performance_rows() * tiny.row_bytes() / 2;
+        prop_assert_eq!(from_table, exact);
+    }
+
+    /// The ISO control logic never produces the reversed topology and
+    /// always isolates neighbors in high-performance mode.
+    #[test]
+    fn iso_control_invariants(idx in 0u32..1000) {
+        let parity = SubarrayParity::of(idx);
+        for mode in [RowMode::MaxCapacity, RowMode::HighPerformance] {
+            let (here, neighbor) = SubarrayTopology::for_access(mode, parity);
+            prop_assert_ne!(here, SubarrayTopology::Reversed);
+            prop_assert_ne!(neighbor, SubarrayTopology::Reversed);
+            match mode {
+                RowMode::MaxCapacity => {
+                    prop_assert_eq!(here, SubarrayTopology::OpenBitline);
+                    prop_assert_eq!(neighbor, SubarrayTopology::OpenBitline);
+                }
+                RowMode::HighPerformance => {
+                    prop_assert_eq!(here, SubarrayTopology::Coupled);
+                    prop_assert_eq!(neighbor, SubarrayTopology::Disconnected);
+                }
+            }
+            // Storage accounting follows the topology.
+            let conn = RowConnectivity::from_topology(here, 64);
+            let bits = conn.stored_bits();
+            prop_assert_eq!(bits, if mode == RowMode::MaxCapacity { 64 } else { 32 });
+        }
+    }
+
+    /// Refresh plans always cover all rows and keep each stream's
+    /// command-rate × interval equal to its window.
+    #[test]
+    fn refresh_plan_covers_rows(frac in 0.0f64..=1.0, refw in 64.0f64..=204.0) {
+        let t = ClrTimings::from_circuit_defaults();
+        let plan = RefreshPlan::new(&t, frac, refw);
+        let total: f64 = plan.streams().iter().map(|s| s.row_fraction).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(plan.total_busy_fraction() < 0.15, "refresh should not dominate");
+    }
+
+    /// Profile-guided placement: every profiled page gets a frame, hot
+    /// pages fill the fast region first, and offsets are preserved.
+    #[test]
+    fn placement_basics(
+        counts in proptest::collection::vec(1u64..50, 1..60),
+        frac_q in 0u8..=4,
+        offset in 0u64..4096,
+    ) {
+        let g = DramGeometry::ddr4_16gb_x8();
+        let mut profile = PageProfile::new();
+        for (page, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                profile.record(PhysAddr(page as u64 * PAGE_BYTES));
+            }
+        }
+        let frac = frac_q as f64 / 4.0;
+        let mut placement = PagePlacement::profile_guided(&profile, frac, &g).expect("valid");
+        prop_assert_eq!(placement.mapped_pages(), counts.len());
+        let t = placement.translate(PhysAddr(offset));
+        prop_assert_eq!(t.0 % PAGE_BYTES, offset % PAGE_BYTES);
+    }
+
+    /// Extending the refresh window only ever increases tRCD/tRAS, within
+    /// the safe range.
+    #[test]
+    fn refresh_extension_monotone(w1 in 64.0f64..=204.0, w2 in 64.0f64..=204.0) {
+        let t = ClrTimings::from_circuit_defaults();
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let a = t.high_performance_at_refw(lo).expect("safe");
+        let b = t.high_performance_at_refw(hi).expect("safe");
+        prop_assert!(b.t_rcd_ns >= a.t_rcd_ns);
+        prop_assert!(b.t_ras_ns >= a.t_ras_ns);
+        prop_assert_eq!(a.t_rp_ns, b.t_rp_ns, "tRP is unaffected by the window");
+    }
+
+    /// Flat bank ids form a dense bijection over all geometry banks.
+    #[test]
+    fn flat_bank_is_bijective(g in arb_geometry()) {
+        let mut seen = std::collections::HashSet::new();
+        for ch in 0..g.channels {
+            for ra in 0..g.ranks {
+                for bg in 0..g.bank_groups {
+                    for ba in 0..g.banks_per_group {
+                        let d = DramAddr {
+                            channel: ch,
+                            rank: ra,
+                            bank_group: bg,
+                            bank: ba,
+                            ..DramAddr::default()
+                        };
+                        prop_assert!(seen.insert(d.flat_bank(&g)));
+                    }
+                }
+            }
+        }
+        let total = (g.channels * g.ranks * g.bank_groups * g.banks_per_group) as usize;
+        prop_assert_eq!(seen.len(), total);
+        prop_assert_eq!(*seen.iter().max().unwrap(), total - 1);
+    }
+}

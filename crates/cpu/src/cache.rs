@@ -1,0 +1,409 @@
+//! The shared last-level cache with per-core MSHRs.
+//!
+//! Table 2: 8 MiB, 8-way, 64 B lines, 8 MSHRs per core. The LLC is the
+//! only cache level modelled (the paper's private L1/L2 behaviour is
+//! folded into the traces' miss streams, which are generated at LLC-access
+//! granularity).
+
+use std::collections::VecDeque;
+
+use clr_core::addr::PhysAddr;
+
+/// LLC geometry and behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Ways per set.
+    pub associativity: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Load-to-use latency of a hit, in CPU cycles.
+    pub hit_latency: u64,
+    /// Outstanding-miss registers per core.
+    pub mshrs_per_core: usize,
+}
+
+impl CacheConfig {
+    /// The paper's LLC: 8 MiB, 8-way, 64 B lines, 8 MSHRs/core.
+    pub fn paper_llc() -> Self {
+        CacheConfig {
+            size_bytes: 8 << 20,
+            associativity: 8,
+            line_bytes: 64,
+            hit_latency: 31,
+            mshrs_per_core: 8,
+        }
+    }
+
+    /// A small LLC for unit tests (4 KiB, 2-way).
+    pub fn tiny() -> Self {
+        CacheConfig {
+            size_bytes: 4096,
+            associativity: 2,
+            line_bytes: 64,
+            hit_latency: 4,
+            mshrs_per_core: 2,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / self.line_bytes / self.associativity as u64) as usize
+    }
+}
+
+/// Load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Demand load (a window entry waits on it).
+    Load,
+    /// Store (posted; allocates on miss, marks dirty).
+    Store,
+}
+
+/// Result of an LLC access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// Hit: data ready at the given CPU cycle.
+    Hit {
+        /// CPU cycle at which the data is available.
+        ready_at: u64,
+    },
+    /// Miss: an MSHR tracks the line; a fill will wake waiters.
+    Miss,
+    /// The core has no free MSHR; the access must retry (core stalls).
+    MshrFull,
+}
+
+/// A memory request leaving the LLC toward the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutboundRequest {
+    /// MSHR identifier for reads; `u64::MAX` for posted writebacks.
+    pub id: u64,
+    /// Line-aligned physical address.
+    pub line_addr: u64,
+    /// Whether this is a writeback.
+    pub write: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    tag: u64,
+    dirty: bool,
+}
+
+#[derive(Debug, Clone)]
+struct MshrEntry {
+    line: u64,
+    core: usize,
+    store: bool,
+    valid: bool,
+}
+
+/// Per-core and aggregate LLC statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Hits per core.
+    pub hits: Vec<u64>,
+    /// Misses per core (MSHR allocations + merges).
+    pub misses: Vec<u64>,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// Accesses merged into an existing MSHR.
+    pub mshr_merges: u64,
+}
+
+impl CacheStats {
+    /// Misses per thousand *accesses* for a core (proxy for LLC MPKI when
+    /// combined with the core's instruction count).
+    pub fn miss_rate(&self, core: usize) -> f64 {
+        let total = self.hits[core] + self.misses[core];
+        if total == 0 {
+            0.0
+        } else {
+            self.misses[core] as f64 / total as f64
+        }
+    }
+}
+
+/// The shared last-level cache.
+#[derive(Debug)]
+pub struct Llc {
+    cfg: CacheConfig,
+    sets: Vec<VecDeque<LineState>>,
+    mshrs: Vec<MshrEntry>,
+    per_core_mshr: Vec<usize>,
+    outbox: VecDeque<OutboundRequest>,
+    stats: CacheStats,
+}
+
+impl Llc {
+    /// Creates an empty LLC shared by `cores` cores.
+    pub fn new(cfg: CacheConfig, cores: usize) -> Self {
+        Llc {
+            sets: vec![VecDeque::with_capacity(cfg.associativity); cfg.sets()],
+            mshrs: Vec::new(),
+            per_core_mshr: vec![0; cores],
+            outbox: VecDeque::new(),
+            stats: CacheStats {
+                hits: vec![0; cores],
+                misses: vec![0; cores],
+                ..CacheStats::default()
+            },
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn split(&self, line: u64) -> (usize, u64) {
+        let sets = self.sets.len() as u64;
+        ((line % sets) as usize, line / sets)
+    }
+
+    /// Performs a load/store access for `core` at CPU cycle `now`.
+    pub fn access(&mut self, core: usize, kind: AccessKind, addr: PhysAddr, now: u64) -> AccessResult {
+        let line = addr.line(self.cfg.line_bytes);
+        let (set_idx, tag) = self.split(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+            let mut entry = set.remove(pos).expect("position is valid");
+            if kind == AccessKind::Store {
+                entry.dirty = true;
+            }
+            set.push_front(entry);
+            self.stats.hits[core] += 1;
+            return AccessResult::Hit {
+                ready_at: now + self.cfg.hit_latency,
+            };
+        }
+        // Miss: merge into an existing MSHR if one tracks this line.
+        if let Some(e) = self.mshrs.iter_mut().find(|e| e.valid && e.line == line) {
+            if kind == AccessKind::Store {
+                e.store = true;
+            }
+            self.stats.misses[core] += 1;
+            self.stats.mshr_merges += 1;
+            return AccessResult::Miss;
+        }
+        if self.per_core_mshr[core] >= self.cfg.mshrs_per_core {
+            return AccessResult::MshrFull;
+        }
+        let slot = match self.mshrs.iter().position(|e| !e.valid) {
+            Some(s) => s,
+            None => {
+                self.mshrs.push(MshrEntry {
+                    line: 0,
+                    core: 0,
+                    store: false,
+                    valid: false,
+                });
+                self.mshrs.len() - 1
+            }
+        };
+        self.mshrs[slot] = MshrEntry {
+            line,
+            core,
+            store: kind == AccessKind::Store,
+            valid: true,
+        };
+        self.per_core_mshr[core] += 1;
+        self.stats.misses[core] += 1;
+        self.outbox.push_back(OutboundRequest {
+            id: slot as u64,
+            line_addr: line * self.cfg.line_bytes,
+            write: false,
+        });
+        AccessResult::Miss
+    }
+
+    /// Completes the memory read for MSHR `id`, inserting the line and
+    /// returning its line-aligned address (for window wakeup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a valid in-flight MSHR.
+    pub fn fill(&mut self, id: u64) -> u64 {
+        let slot = id as usize;
+        assert!(
+            slot < self.mshrs.len() && self.mshrs[slot].valid,
+            "fill for unknown mshr {id}"
+        );
+        let entry = self.mshrs[slot].clone();
+        self.mshrs[slot].valid = false;
+        self.per_core_mshr[entry.core] -= 1;
+        let (set_idx, tag) = self.split(entry.line);
+        let assoc = self.cfg.associativity;
+        let line_bytes = self.cfg.line_bytes;
+        let sets_len = self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+        set.push_front(LineState {
+            tag,
+            dirty: entry.store,
+        });
+        if set.len() > assoc {
+            let victim = set.pop_back().expect("set overflow implies an entry");
+            if victim.dirty {
+                let victim_line = victim.tag * sets_len + set_idx as u64;
+                self.outbox.push_back(OutboundRequest {
+                    id: u64::MAX,
+                    line_addr: victim_line * line_bytes,
+                    write: true,
+                });
+                self.stats.writebacks += 1;
+            }
+        }
+        entry.line * self.cfg.line_bytes
+    }
+
+    /// The oldest pending outbound request, if any.
+    pub fn outbox_front(&self) -> Option<OutboundRequest> {
+        self.outbox.front().copied()
+    }
+
+    /// Removes the oldest outbound request after a successful send.
+    pub fn outbox_pop(&mut self) {
+        self.outbox.pop_front();
+    }
+
+    /// Number of queued outbound requests.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Outstanding misses for `core`.
+    pub fn mshrs_in_use(&self, core: usize) -> usize {
+        self.per_core_mshr[core]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = Llc::new(CacheConfig::tiny(), 1);
+        let a = PhysAddr(0x1000);
+        assert_eq!(c.access(0, AccessKind::Load, a, 0), AccessResult::Miss);
+        let req = c.outbox_front().unwrap();
+        assert!(!req.write);
+        c.outbox_pop();
+        let line = c.fill(req.id);
+        assert_eq!(line, 0x1000);
+        assert!(matches!(
+            c.access(0, AccessKind::Load, a, 10),
+            AccessResult::Hit { ready_at: 14 }
+        ));
+        assert_eq!(c.stats().hits[0], 1);
+        assert_eq!(c.stats().misses[0], 1);
+    }
+
+    #[test]
+    fn mshr_limit_stalls_core() {
+        let mut c = Llc::new(CacheConfig::tiny(), 1);
+        assert_eq!(
+            c.access(0, AccessKind::Load, PhysAddr(0x0000), 0),
+            AccessResult::Miss
+        );
+        assert_eq!(
+            c.access(0, AccessKind::Load, PhysAddr(0x4000), 0),
+            AccessResult::Miss
+        );
+        assert_eq!(
+            c.access(0, AccessKind::Load, PhysAddr(0x8000), 0),
+            AccessResult::MshrFull
+        );
+        assert_eq!(c.mshrs_in_use(0), 2);
+    }
+
+    #[test]
+    fn merged_misses_share_one_request() {
+        let mut c = Llc::new(CacheConfig::tiny(), 2);
+        assert_eq!(
+            c.access(0, AccessKind::Load, PhysAddr(0x40), 0),
+            AccessResult::Miss
+        );
+        assert_eq!(
+            c.access(1, AccessKind::Load, PhysAddr(0x40), 0),
+            AccessResult::Miss
+        );
+        assert_eq!(c.outbox_len(), 1);
+        assert_eq!(c.stats().mshr_merges, 1);
+        // Only the allocating core's MSHR is consumed.
+        assert_eq!(c.mshrs_in_use(0), 1);
+        assert_eq!(c.mshrs_in_use(1), 0);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let cfg = CacheConfig::tiny(); // 2-way, 32 sets
+        let mut c = Llc::new(cfg, 1);
+        let sets = cfg.sets() as u64;
+        // Three lines in the same set; first is dirtied by a store.
+        let mk = |way: u64| PhysAddr(way * sets * cfg.line_bytes);
+        for way in 0..3u64 {
+            let kind = if way == 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            match c.access(0, kind, mk(way), 0) {
+                AccessResult::Miss => {
+                    let req = c.outbox_front().unwrap();
+                    c.outbox_pop();
+                    c.fill(req.id);
+                }
+                r => panic!("expected miss, got {r:?}"),
+            }
+        }
+        // The store-allocated line (way 0, LRU by now) was evicted dirty.
+        let wb = c.outbox_front().expect("writeback queued");
+        assert!(wb.write);
+        assert_eq!(wb.line_addr, 0);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn store_hit_marks_dirty_and_writes_back_on_eviction() {
+        let cfg = CacheConfig::tiny();
+        let mut c = Llc::new(cfg, 1);
+        let sets = cfg.sets() as u64;
+        let mk = |way: u64| PhysAddr(way * sets * cfg.line_bytes);
+        // Fill way 0 clean, then dirty it with a store hit.
+        assert_eq!(c.access(0, AccessKind::Load, mk(0), 0), AccessResult::Miss);
+        let req = c.outbox_front().unwrap();
+        c.outbox_pop();
+        c.fill(req.id);
+        assert!(matches!(
+            c.access(0, AccessKind::Store, mk(0), 1),
+            AccessResult::Hit { .. }
+        ));
+        // Evict it with two more fills.
+        for way in 1..3u64 {
+            assert_eq!(
+                c.access(0, AccessKind::Load, mk(way), 2),
+                AccessResult::Miss
+            );
+            let req = c.outbox_front().unwrap();
+            c.outbox_pop();
+            c.fill(req.id);
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn paper_llc_geometry() {
+        let cfg = CacheConfig::paper_llc();
+        assert_eq!(cfg.sets(), 16384);
+    }
+}

@@ -1,0 +1,222 @@
+//! The CPU cluster: cores + shared LLC, with the memory-side interface.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+pub use crate::cache::OutboundRequest;
+use crate::cache::{CacheConfig, Llc};
+use crate::core::Core;
+use crate::trace::TraceSource;
+
+/// Cluster-wide configuration (Table 2 processor parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Instruction-window depth per core.
+    pub window_depth: usize,
+    /// Dispatch/retire width per core.
+    pub width: usize,
+    /// Shared LLC parameters.
+    pub cache: CacheConfig,
+}
+
+impl ClusterConfig {
+    /// The paper's processor: 4-wide, 128-entry window, 8 MiB LLC,
+    /// 8 MSHRs per core.
+    pub fn paper() -> Self {
+        ClusterConfig {
+            window_depth: 128,
+            width: 4,
+            cache: CacheConfig::paper_llc(),
+        }
+    }
+
+    /// Small configuration for unit tests.
+    pub fn tiny() -> Self {
+        ClusterConfig {
+            window_depth: 8,
+            width: 4,
+            cache: CacheConfig::tiny(),
+        }
+    }
+}
+
+/// Cores sharing one LLC, clocked in the CPU domain.
+#[derive(Debug)]
+pub struct CpuCluster {
+    cores: Vec<Core>,
+    llc: Llc,
+    cycle: u64,
+    hit_wakeups: BinaryHeap<Reverse<(u64, u64)>>,
+    scratch: Vec<(u64, u64)>,
+}
+
+impl CpuCluster {
+    /// Builds a cluster with one core per trace.
+    pub fn new(cfg: ClusterConfig, traces: Vec<Box<dyn TraceSource + Send>>) -> Self {
+        let n = traces.len();
+        let line = cfg.cache.line_bytes;
+        CpuCluster {
+            cores: traces
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| Core::new(i, cfg.window_depth, cfg.width, line, t))
+                .collect(),
+            llc: Llc::new(cfg.cache, n),
+            cycle: 0,
+            hit_wakeups: BinaryHeap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Current CPU cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The shared LLC (for statistics).
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// Instructions retired by `core`.
+    pub fn retired(&self, core: usize) -> u64 {
+        self.cores[core].retired()
+    }
+
+    /// IPC of `core` so far.
+    pub fn ipc(&self, core: usize) -> f64 {
+        if self.cycle == 0 {
+            0.0
+        } else {
+            self.cores[core].retired() as f64 / self.cycle as f64
+        }
+    }
+
+    /// Whether every core has retired at least `budget` instructions (or
+    /// exhausted its trace).
+    pub fn all_reached(&self, budget: u64) -> bool {
+        self.cores
+            .iter()
+            .all(|c| c.retired() >= budget || c.is_done())
+    }
+
+    /// Executes one CPU cycle.
+    pub fn tick(&mut self) {
+        // Deliver due LLC-hit wakeups.
+        while let Some(&Reverse((at, line))) = self.hit_wakeups.peek() {
+            if at > self.cycle {
+                break;
+            }
+            self.hit_wakeups.pop();
+            for c in &mut self.cores {
+                c.wake(line);
+            }
+        }
+        let now = self.cycle;
+        self.scratch.clear();
+        for c in &mut self.cores {
+            c.tick(&mut self.llc, now, &mut self.scratch);
+        }
+        for &(at, line) in &self.scratch {
+            self.hit_wakeups.push(Reverse((at, line)));
+        }
+        self.cycle += 1;
+    }
+
+    /// Drains outbound memory requests through `try_send`, which returns
+    /// `false` on backpressure (the request stays queued).
+    pub fn drain_mem_requests(&mut self, mut try_send: impl FnMut(OutboundRequest) -> bool) {
+        while let Some(req) = self.llc.outbox_front() {
+            if try_send(req) {
+                self.llc.outbox_pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Completes the memory read for LLC MSHR `id`, waking waiting loads.
+    pub fn complete_read(&mut self, id: u64) {
+        let line = self.llc.fill(id);
+        for c in &mut self.cores {
+            c.wake(line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceItem, VecTrace};
+    use clr_core::addr::PhysAddr;
+
+    fn boxed(items: Vec<TraceItem>) -> Box<dyn TraceSource + Send> {
+        Box::new(VecTrace::new(items))
+    }
+
+    #[test]
+    fn cluster_completes_memory_bound_trace() {
+        let items = vec![
+            TraceItem::load(2, PhysAddr(0x000)),
+            TraceItem::load(2, PhysAddr(0x400)),
+        ];
+        let mut cl = CpuCluster::new(ClusterConfig::tiny(), vec![boxed(items)]);
+        // A trivial "perfect memory": complete reads instantly.
+        let mut pending = Vec::new();
+        for _ in 0..200 {
+            cl.tick();
+            cl.drain_mem_requests(|r| {
+                if !r.write {
+                    pending.push(r.id);
+                }
+                true
+            });
+            for id in pending.drain(..) {
+                cl.complete_read(id);
+            }
+            if cl.all_reached(6) {
+                break;
+            }
+        }
+        assert_eq!(cl.retired(0), 6);
+        assert!(cl.ipc(0) > 0.0);
+    }
+
+    #[test]
+    fn backpressure_keeps_requests_queued() {
+        let items = vec![TraceItem::load(0, PhysAddr(0))];
+        let mut cl = CpuCluster::new(ClusterConfig::tiny(), vec![boxed(items)]);
+        cl.tick();
+        cl.drain_mem_requests(|_| false);
+        assert_eq!(cl.llc().outbox_len(), 1);
+        cl.drain_mem_requests(|_| true);
+        assert_eq!(cl.llc().outbox_len(), 0);
+    }
+
+    #[test]
+    fn two_cores_progress_independently() {
+        let a = boxed(vec![TraceItem::load(10, PhysAddr(0x1000))]);
+        let b = boxed(vec![TraceItem::load(10, PhysAddr(0x2000))]);
+        let mut cl = CpuCluster::new(ClusterConfig::tiny(), vec![a, b]);
+        let mut ids = Vec::new();
+        for _ in 0..300 {
+            cl.tick();
+            cl.drain_mem_requests(|r| {
+                if !r.write {
+                    ids.push(r.id);
+                }
+                true
+            });
+            for id in ids.drain(..) {
+                cl.complete_read(id);
+            }
+        }
+        assert_eq!(cl.retired(0), 11);
+        assert_eq!(cl.retired(1), 11);
+    }
+}

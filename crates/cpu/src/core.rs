@@ -1,0 +1,272 @@
+//! One trace-driven out-of-order core (a port of Ramulator's `Core`).
+
+use clr_core::addr::PhysAddr;
+
+use crate::cache::{AccessKind, AccessResult, Llc};
+use crate::trace::{TraceItem, TraceSource};
+use crate::window::Window;
+
+/// Dispatch phase of the current trace item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Emitting the item's non-memory bubbles.
+    Bubbles(u32),
+    /// Issuing the load.
+    Load,
+    /// Issuing the optional store.
+    Store,
+}
+
+/// A simplified out-of-order core: 4-wide dispatch/retire over a 128-entry
+/// window; loads occupy window slots until their line arrives; stores are
+/// posted.
+#[derive(Debug)]
+pub struct Core {
+    id: usize,
+    window: Window,
+    dispatch_width: usize,
+    trace: Box<dyn TraceSource + Send>,
+    current: Option<(TraceItem, Phase)>,
+    retired: u64,
+    trace_done: bool,
+    /// Scheduled-hit wakeups are handled by the cluster; the core only
+    /// tracks how many loads it has in flight for diagnostics.
+    line_bytes: u64,
+}
+
+impl std::fmt::Debug for dyn TraceSource + Send {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceSource")
+    }
+}
+
+impl Core {
+    /// Creates a core reading from `trace`.
+    pub fn new(
+        id: usize,
+        window_depth: usize,
+        width: usize,
+        line_bytes: u64,
+        trace: Box<dyn TraceSource + Send>,
+    ) -> Self {
+        Core {
+            id,
+            window: Window::new(window_depth, width),
+            dispatch_width: width,
+            trace,
+            current: None,
+            retired: 0,
+            trace_done: false,
+            line_bytes,
+        }
+    }
+
+    /// Core index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Whether the trace is exhausted *and* the window has drained.
+    pub fn is_done(&self) -> bool {
+        self.trace_done && self.window.is_empty()
+    }
+
+    /// Marks loads waiting on `line_addr` ready.
+    pub fn wake(&mut self, line_addr: u64) {
+        self.window.set_ready(line_addr);
+    }
+
+    /// Executes one CPU cycle: retire, then dispatch up to the width.
+    ///
+    /// `hit_wakeups` receives `(ready_cycle, line_addr)` events for LLC
+    /// hits, which the cluster replays into [`Core::wake`] at the right
+    /// time.
+    pub fn tick(&mut self, llc: &mut Llc, now: u64, hit_wakeups: &mut Vec<(u64, u64)>) {
+        self.retired += self.window.retire() as u64;
+        let mut slots = self.dispatch_width;
+        while slots > 0 {
+            if self.current.is_none() {
+                match self.trace.next_item() {
+                    Some(item) => {
+                        let phase = if item.bubbles > 0 {
+                            Phase::Bubbles(item.bubbles)
+                        } else {
+                            Phase::Load
+                        };
+                        self.current = Some((item, phase));
+                    }
+                    None => {
+                        self.trace_done = true;
+                        return;
+                    }
+                }
+            }
+            let (item, phase) = self.current.expect("current item was just set");
+            match phase {
+                Phase::Bubbles(n) => {
+                    if self.window.is_full() {
+                        return;
+                    }
+                    self.window.insert(true, 0);
+                    slots -= 1;
+                    self.current = Some((
+                        item,
+                        if n > 1 {
+                            Phase::Bubbles(n - 1)
+                        } else {
+                            Phase::Load
+                        },
+                    ));
+                }
+                Phase::Load => {
+                    if self.window.is_full() {
+                        return;
+                    }
+                    let line = item.read.line(self.line_bytes) * self.line_bytes;
+                    match llc.access(self.id, AccessKind::Load, item.read, now) {
+                        AccessResult::Hit { ready_at } => {
+                            self.window.insert(false, line);
+                            hit_wakeups.push((ready_at, line));
+                        }
+                        AccessResult::Miss => {
+                            self.window.insert(false, line);
+                        }
+                        AccessResult::MshrFull => return, // stall this cycle
+                    }
+                    slots -= 1;
+                    if item.write.is_some() {
+                        self.current = Some((item, Phase::Store));
+                    } else {
+                        self.current = None;
+                    }
+                }
+                Phase::Store => {
+                    let addr: PhysAddr = item.write.expect("store phase implies a write");
+                    match llc.access(self.id, AccessKind::Store, addr, now) {
+                        AccessResult::Hit { .. } | AccessResult::Miss => {
+                            self.current = None; // posted; no window slot
+                        }
+                        AccessResult::MshrFull => return,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::trace::VecTrace;
+
+    fn mk_core(items: Vec<TraceItem>) -> (Core, Llc) {
+        let llc = Llc::new(CacheConfig::tiny(), 1);
+        let core = Core::new(0, 8, 4, 64, Box::new(VecTrace::new(items)));
+        (core, llc)
+    }
+
+    #[test]
+    fn bubbles_retire_at_full_width() {
+        let (mut core, mut llc) = mk_core(vec![TraceItem::load(7, PhysAddr(0))]);
+        let mut wake = Vec::new();
+        // Cycle 0: dispatch 4 bubbles. Cycle 1: retire 4, dispatch 3 + load.
+        core.tick(&mut llc, 0, &mut wake);
+        assert_eq!(core.retired(), 0);
+        core.tick(&mut llc, 1, &mut wake);
+        assert_eq!(core.retired(), 4);
+    }
+
+    #[test]
+    fn load_miss_blocks_until_fill() {
+        let (mut core, mut llc) = mk_core(vec![TraceItem::load(0, PhysAddr(0x40))]);
+        let mut wake = Vec::new();
+        core.tick(&mut llc, 0, &mut wake);
+        // The load is in the window, unfinished.
+        for t in 1..10 {
+            core.tick(&mut llc, t, &mut wake);
+        }
+        assert_eq!(core.retired(), 0);
+        assert!(!core.is_done());
+        // Fill from memory.
+        let req = llc.outbox_front().unwrap();
+        llc.outbox_pop();
+        let line = llc.fill(req.id);
+        core.wake(line);
+        core.tick(&mut llc, 11, &mut wake);
+        assert_eq!(core.retired(), 1);
+        assert!(core.is_done());
+    }
+
+    #[test]
+    fn mshr_full_stalls_dispatch_but_not_retire() {
+        // Tiny LLC has 2 MSHRs/core; a third distinct-line load stalls.
+        let (mut core, mut llc) = mk_core(vec![
+            TraceItem::load(1, PhysAddr(0x0000)),
+            TraceItem::load(0, PhysAddr(0x4000)),
+            TraceItem::load(0, PhysAddr(0x8000)),
+        ]);
+        let mut wake = Vec::new();
+        for t in 0..6 {
+            core.tick(&mut llc, t, &mut wake);
+        }
+        // Two misses outstanding, the third load stalled.
+        assert_eq!(llc.mshrs_in_use(0), 2);
+        // The bubble before the first load retires even while stalled.
+        assert_eq!(core.retired(), 1);
+        // Draining one fill unblocks the stalled load.
+        let req = llc.outbox_front().unwrap();
+        llc.outbox_pop();
+        core.wake(llc.fill(req.id));
+        for t in 6..12 {
+            core.tick(&mut llc, t, &mut wake);
+        }
+        assert_eq!(llc.mshrs_in_use(0), 2, "third load now occupies the slot");
+    }
+
+    #[test]
+    fn store_is_posted_without_window_slot() {
+        let (mut core, mut llc) = mk_core(vec![TraceItem::load_store(
+            0,
+            PhysAddr(0x40),
+            PhysAddr(0x40),
+        )]);
+        let mut wake = Vec::new();
+        core.tick(&mut llc, 0, &mut wake);
+        // Load missed; store merged into the same MSHR.
+        assert_eq!(llc.outbox_len(), 1);
+        let req = llc.outbox_front().unwrap();
+        llc.outbox_pop();
+        let line = llc.fill(req.id);
+        core.wake(line);
+        core.tick(&mut llc, 1, &mut wake);
+        assert_eq!(core.retired(), 1);
+        assert!(core.is_done());
+    }
+
+    #[test]
+    fn hit_wakeup_is_scheduled() {
+        let (mut core, mut llc) = mk_core(vec![TraceItem::load(0, PhysAddr(0x40))]);
+        // Prime the line into the LLC so the core's load hits.
+        use crate::cache::{AccessKind, AccessResult};
+        assert_eq!(
+            llc.access(0, AccessKind::Load, PhysAddr(0x40), 0),
+            AccessResult::Miss
+        );
+        let req = llc.outbox_front().unwrap();
+        llc.outbox_pop();
+        llc.fill(req.id);
+
+        let mut wake = Vec::new();
+        core.tick(&mut llc, 5, &mut wake);
+        assert_eq!(wake.len(), 1);
+        let (ready_at, line) = wake[0];
+        assert_eq!(ready_at, 5 + llc.config().hit_latency);
+        assert_eq!(line, 0x40);
+    }
+}

@@ -1,0 +1,160 @@
+//! CPU trace items and sources (Ramulator CPU-trace semantics).
+
+use clr_core::addr::PhysAddr;
+
+/// One trace record: `bubbles` non-memory instructions followed by one
+/// memory read, optionally with an associated write (store) address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceItem {
+    /// Non-memory instructions preceding the load.
+    pub bubbles: u32,
+    /// Load address.
+    pub read: PhysAddr,
+    /// Optional store address retired together with the load.
+    pub write: Option<PhysAddr>,
+}
+
+impl TraceItem {
+    /// A record with only a load.
+    pub fn load(bubbles: u32, read: PhysAddr) -> Self {
+        TraceItem {
+            bubbles,
+            read,
+            write: None,
+        }
+    }
+
+    /// A record with a load and a store.
+    pub fn load_store(bubbles: u32, read: PhysAddr, write: PhysAddr) -> Self {
+        TraceItem {
+            bubbles,
+            read,
+            write: Some(write),
+        }
+    }
+
+    /// Instructions this record contributes (bubbles + the load; stores
+    /// are not counted as retired instructions, following Ramulator).
+    pub fn instructions(&self) -> u64 {
+        self.bubbles as u64 + 1
+    }
+}
+
+/// A source of trace records driving one core.
+///
+/// Implementations must be deterministic for reproducibility; randomized
+/// generators should be seeded.
+pub trait TraceSource {
+    /// Next record, or `None` when the trace is exhausted.
+    fn next_item(&mut self) -> Option<TraceItem>;
+}
+
+/// A trace backed by a vector, played once.
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    items: Vec<TraceItem>,
+    pos: usize,
+}
+
+impl VecTrace {
+    /// Wraps a vector of records.
+    pub fn new(items: Vec<TraceItem>) -> Self {
+        VecTrace { items, pos: 0 }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_item(&mut self) -> Option<TraceItem> {
+        let item = self.items.get(self.pos).copied();
+        if item.is_some() {
+            self.pos += 1;
+        }
+        item
+    }
+}
+
+impl FromIterator<TraceItem> for VecTrace {
+    fn from_iter<I: IntoIterator<Item = TraceItem>>(iter: I) -> Self {
+        VecTrace::new(iter.into_iter().collect())
+    }
+}
+
+/// Replays an inner trace in a loop forever (Ramulator re-reads traces
+/// until the instruction budget is met).
+#[derive(Debug, Clone)]
+pub struct LoopingTrace {
+    items: Vec<TraceItem>,
+    pos: usize,
+}
+
+impl LoopingTrace {
+    /// Wraps a vector of records to loop over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty (an empty loop would never yield).
+    pub fn new(items: Vec<TraceItem>) -> Self {
+        assert!(!items.is_empty(), "cannot loop an empty trace");
+        LoopingTrace { items, pos: 0 }
+    }
+}
+
+impl TraceSource for LoopingTrace {
+    fn next_item(&mut self) -> Option<TraceItem> {
+        let item = self.items[self.pos];
+        self.pos = (self.pos + 1) % self.items.len();
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_trace_plays_once() {
+        let mut t = VecTrace::new(vec![TraceItem::load(2, PhysAddr(0x40))]);
+        assert_eq!(t.len(), 1);
+        assert!(t.next_item().is_some());
+        assert!(t.next_item().is_none());
+    }
+
+    #[test]
+    fn looping_trace_wraps() {
+        let mut t = LoopingTrace::new(vec![
+            TraceItem::load(0, PhysAddr(0)),
+            TraceItem::load(1, PhysAddr(64)),
+        ]);
+        let a = t.next_item().unwrap();
+        let b = t.next_item().unwrap();
+        let c = t.next_item().unwrap();
+        assert_eq!(a.read, PhysAddr(0));
+        assert_eq!(b.read, PhysAddr(64));
+        assert_eq!(c.read, PhysAddr(0));
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        assert_eq!(TraceItem::load(3, PhysAddr(0)).instructions(), 4);
+        assert_eq!(
+            TraceItem::load_store(0, PhysAddr(0), PhysAddr(64)).instructions(),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_looping_trace_panics() {
+        let _ = LoopingTrace::new(Vec::new());
+    }
+}

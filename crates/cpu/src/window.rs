@@ -1,0 +1,168 @@
+//! The reorder/instruction window (a port of Ramulator's `Window`).
+
+/// A circular instruction window with in-order retire.
+///
+/// Entries are either *ready* (non-memory instructions, cache hits whose
+/// data arrived) or *pending* on a memory line address. Up to
+/// `retire_width` ready entries retire per cycle, strictly in order.
+#[derive(Debug, Clone)]
+pub struct Window {
+    ready: Vec<bool>,
+    addr: Vec<u64>,
+    depth: usize,
+    retire_width: usize,
+    load: usize,
+    head: usize,
+    tail: usize,
+}
+
+/// Sentinel line address for entries that never wait on memory.
+const NO_ADDR: u64 = u64::MAX;
+
+impl Window {
+    /// Creates a window of `depth` entries retiring `retire_width` per
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `retire_width` is zero.
+    pub fn new(depth: usize, retire_width: usize) -> Self {
+        assert!(depth > 0 && retire_width > 0);
+        Window {
+            ready: vec![false; depth],
+            addr: vec![NO_ADDR; depth],
+            depth,
+            retire_width,
+            load: 0,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Whether no more instructions can be dispatched.
+    pub fn is_full(&self) -> bool {
+        self.load == self.depth
+    }
+
+    /// Whether the window holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.load == 0
+    }
+
+    /// Occupied entries.
+    pub fn occupancy(&self) -> usize {
+        self.load
+    }
+
+    /// Dispatches one instruction. `ready = true` for non-memory work,
+    /// `false` with the memory line address for loads awaiting data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full (callers must check
+    /// [`Window::is_full`]).
+    pub fn insert(&mut self, ready: bool, line_addr: u64) {
+        assert!(!self.is_full(), "window overflow");
+        self.ready[self.head] = ready;
+        self.addr[self.head] = if ready { NO_ADDR } else { line_addr };
+        self.head = (self.head + 1) % self.depth;
+        self.load += 1;
+    }
+
+    /// Retires up to `retire_width` ready instructions in order, returning
+    /// the count retired this cycle.
+    pub fn retire(&mut self) -> usize {
+        let mut n = 0;
+        while n < self.retire_width && self.load > 0 && self.ready[self.tail] {
+            self.ready[self.tail] = false;
+            self.addr[self.tail] = NO_ADDR;
+            self.tail = (self.tail + 1) % self.depth;
+            self.load -= 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// Marks every entry waiting on `line_addr` as ready (a cache line
+    /// fill serves all loads to that line).
+    pub fn set_ready(&mut self, line_addr: u64) {
+        if self.load == 0 {
+            return;
+        }
+        let mut i = self.tail;
+        for _ in 0..self.load {
+            if self.addr[i] == line_addr {
+                self.ready[i] = true;
+                self.addr[i] = NO_ADDR;
+            }
+            i = (i + 1) % self.depth;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retires_in_order_up_to_width() {
+        let mut w = Window::new(8, 4);
+        for _ in 0..6 {
+            w.insert(true, 0);
+        }
+        assert_eq!(w.retire(), 4);
+        assert_eq!(w.retire(), 2);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn pending_load_blocks_retire() {
+        let mut w = Window::new(8, 4);
+        w.insert(true, 0);
+        w.insert(false, 0x40); // load
+        w.insert(true, 0);
+        assert_eq!(w.retire(), 1); // only the first bubble
+        assert_eq!(w.retire(), 0); // blocked on the load
+        w.set_ready(0x40);
+        assert_eq!(w.retire(), 2); // load + following bubble
+    }
+
+    #[test]
+    fn set_ready_wakes_all_waiters_on_line() {
+        let mut w = Window::new(8, 8);
+        w.insert(false, 0x40);
+        w.insert(false, 0x40);
+        w.insert(false, 0x80);
+        w.set_ready(0x40);
+        assert_eq!(w.retire(), 2);
+        assert_eq!(w.occupancy(), 1);
+    }
+
+    #[test]
+    fn full_window_reports_full() {
+        let mut w = Window::new(2, 1);
+        w.insert(true, 0);
+        w.insert(false, 0x40);
+        assert!(w.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "window overflow")]
+    fn overflow_panics() {
+        let mut w = Window::new(1, 1);
+        w.insert(true, 0);
+        w.insert(true, 0);
+    }
+
+    #[test]
+    fn wraparound_is_sound() {
+        let mut w = Window::new(4, 2);
+        for round in 0..10 {
+            w.insert(false, 0x100 + round);
+            w.insert(true, 0);
+            w.set_ready(0x100 + round);
+            assert_eq!(w.retire(), 2, "round {round}");
+        }
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the window, LLC, and core models.
+
+use clr_core::addr::PhysAddr;
+use clr_cpu::cache::{AccessKind, AccessResult, CacheConfig, Llc};
+use clr_cpu::cluster::{ClusterConfig, CpuCluster};
+use clr_cpu::trace::{TraceItem, TraceSource, VecTrace};
+use clr_cpu::window::Window;
+use proptest::prelude::*;
+
+proptest! {
+    /// The window never exceeds its depth, never retires more than its
+    /// width per cycle, and retires exactly as many instructions as were
+    /// inserted.
+    #[test]
+    fn window_conserves_instructions(
+        ops in proptest::collection::vec(any::<bool>(), 1..300),
+        depth in 1usize..32,
+        width in 1usize..8,
+    ) {
+        let mut w = Window::new(depth, width);
+        let mut inserted = 0u64;
+        let mut retired = 0u64;
+        let mut pending: Vec<u64> = Vec::new();
+        let mut next_line = 0u64;
+        for ready in ops {
+            if w.is_full() {
+                // Wake everything, then drain.
+                for line in pending.drain(..) {
+                    w.set_ready(line);
+                }
+                while !w.is_empty() {
+                    let r = w.retire();
+                    prop_assert!(r <= width);
+                    retired += r as u64;
+                }
+            }
+            if ready {
+                w.insert(true, 0);
+            } else {
+                next_line += 64;
+                w.insert(false, next_line);
+                pending.push(next_line);
+            }
+            inserted += 1;
+            prop_assert!(w.occupancy() <= depth);
+            retired += w.retire() as u64;
+        }
+        for line in pending.drain(..) {
+            w.set_ready(line);
+        }
+        while !w.is_empty() {
+            retired += w.retire() as u64;
+        }
+        prop_assert_eq!(inserted, retired);
+    }
+
+    /// LLC invariants under random access streams: hits + misses equals
+    /// accesses; per-core MSHR occupancy never exceeds the limit; every
+    /// fill releases exactly one MSHR.
+    #[test]
+    fn llc_accounting(
+        accesses in proptest::collection::vec((0u64..(1 << 16), any::<bool>()), 1..300),
+    ) {
+        let cfg = CacheConfig::tiny();
+        let mut llc = Llc::new(cfg, 1);
+        let mut issued = 0u64;
+        for (i, &(line, store)) in accesses.iter().enumerate() {
+            let kind = if store { AccessKind::Store } else { AccessKind::Load };
+            match llc.access(0, kind, PhysAddr(line * 64), i as u64) {
+                AccessResult::MshrFull => {
+                    // Drain one fill to make room.
+                    if let Some(req) = llc.outbox_front() {
+                        if !req.write {
+                            llc.outbox_pop();
+                            llc.fill(req.id);
+                        } else {
+                            llc.outbox_pop();
+                        }
+                    }
+                }
+                _ => issued += 1,
+            }
+            prop_assert!(llc.mshrs_in_use(0) <= cfg.mshrs_per_core);
+        }
+        let s = llc.stats();
+        prop_assert_eq!(s.hits[0] + s.misses[0], issued);
+    }
+
+    /// A core driven by a perfect (instant) memory retires its whole
+    /// trace, and its IPC never exceeds the machine width.
+    #[test]
+    fn core_retires_trace_with_instant_memory(
+        items in proptest::collection::vec(
+            (0u32..6, 0u64..(1 << 18), any::<bool>()),
+            1..60
+        ),
+    ) {
+        let trace: Vec<TraceItem> = items
+            .iter()
+            .map(|&(bubbles, line, has_store)| TraceItem {
+                bubbles,
+                read: PhysAddr(line * 64),
+                write: has_store.then_some(PhysAddr(line * 64)),
+            })
+            .collect();
+        let expect: u64 = trace.iter().map(|t| t.instructions()).sum();
+        let boxed: Box<dyn TraceSource + Send> = Box::new(VecTrace::new(trace));
+        let mut cl = CpuCluster::new(ClusterConfig::tiny(), vec![boxed]);
+        let mut ids = Vec::new();
+        for _ in 0..200_000 {
+            cl.tick();
+            cl.drain_mem_requests(|r| {
+                if !r.write {
+                    ids.push(r.id);
+                }
+                true
+            });
+            for id in ids.drain(..) {
+                cl.complete_read(id);
+            }
+            if cl.all_reached(expect) {
+                break;
+            }
+        }
+        prop_assert_eq!(cl.retired(0), expect);
+        prop_assert!(cl.ipc(0) <= 4.0 + 1e-9);
+    }
+}

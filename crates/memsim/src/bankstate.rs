@@ -1,0 +1,88 @@
+//! Per-bank row-buffer state.
+
+use clr_core::mode::RowMode;
+
+/// State of one DRAM bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankState {
+    /// Currently open row, if any.
+    pub open_row: Option<u32>,
+    /// Operating mode of the open row (meaningless when closed).
+    pub open_mode: RowMode,
+    /// Cycle of the last ACT/RD/WR touching this bank (drives the
+    /// timeout-based row policy).
+    pub last_use_cycle: u64,
+}
+
+impl BankState {
+    /// A closed, idle bank.
+    pub fn new() -> Self {
+        BankState {
+            open_row: None,
+            open_mode: RowMode::MaxCapacity,
+            last_use_cycle: 0,
+        }
+    }
+
+    /// Records a row activation.
+    pub fn activate(&mut self, row: u32, mode: RowMode, cycle: u64) {
+        self.open_row = Some(row);
+        self.open_mode = mode;
+        self.last_use_cycle = cycle;
+    }
+
+    /// Records a precharge, returning the mode of the row that was closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is already closed (protocol violation).
+    pub fn precharge(&mut self) -> RowMode {
+        assert!(self.open_row.is_some(), "precharge of a closed bank");
+        self.open_row = None;
+        self.open_mode
+    }
+
+    /// Records a column access.
+    pub fn access(&mut self, cycle: u64) {
+        debug_assert!(self.open_row.is_some(), "column access to a closed bank");
+        self.last_use_cycle = cycle;
+    }
+
+    /// Whether `row` is currently open in this bank.
+    pub fn is_open(&self, row: u32) -> bool {
+        self.open_row == Some(row)
+    }
+}
+
+impl Default for BankState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activate_access_precharge_cycle() {
+        let mut b = BankState::new();
+        assert_eq!(b.open_row, None);
+        b.activate(42, RowMode::HighPerformance, 10);
+        assert!(b.is_open(42));
+        assert!(!b.is_open(43));
+        b.access(15);
+        assert_eq!(b.last_use_cycle, 15);
+        assert_eq!(b.precharge(), RowMode::HighPerformance);
+        assert_eq!(b.open_row, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed bank")]
+    fn double_precharge_panics() {
+        let mut b = BankState::new();
+        b.activate(1, RowMode::MaxCapacity, 0);
+        let _ = b.precharge();
+        let _ = b.precharge();
+    }
+}

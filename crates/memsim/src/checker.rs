@@ -1,0 +1,335 @@
+//! An independent DDR4/CLR protocol checker.
+//!
+//! The [`TimingEngine`](crate::engine::TimingEngine) *prevents* timing
+//! violations at issue time; this module *audits* a recorded command
+//! stream after the fact with a deliberately different implementation
+//! style (pairwise command-distance rules rather than earliest-issue
+//! registers), giving a double-entry check on the protocol logic. The
+//! checker also validates state legality: no column access to a closed
+//! bank, no double activation, refresh only with all banks precharged.
+
+use clr_core::mode::RowMode;
+
+use crate::command::{Command, IssuedCommand};
+use crate::cycletimings::CycleTimings;
+
+/// A protocol violation found by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending command in the log.
+    pub index: usize,
+    /// Human-readable rule description.
+    pub rule: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "command #{}: {}", self.index, self.rule)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankAudit {
+    open_row: Option<u32>,
+    open_mode: RowMode,
+    /// Cycle and mode of the last ACT (tRC is governed by the *previous*
+    /// activation's mode — its tRAS and its closing tRP).
+    last_act: Option<(u64, RowMode)>,
+    last_pre: Option<(u64, RowMode)>,
+    last_rd: Option<u64>,
+    last_wr: Option<u64>,
+}
+
+/// Checks a command log against the constraint set.
+///
+/// `bank_of` maps a flat bank index to its flat bank group; all banks are
+/// assumed to share one rank/channel (the paper's configuration — the
+/// controller model generalizes, the auditor covers the evaluated shape).
+pub fn check(
+    log: &[IssuedCommand],
+    ct: &CycleTimings,
+    banks: usize,
+    bank_group_of: impl Fn(usize) -> usize,
+) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let mut bank_state: Vec<BankAudit> = vec![BankAudit::default(); banks];
+    let mut acts: Vec<u64> = Vec::new(); // rank-wide ACT history for tFAW
+    let mut last_ref: Option<(u64, RowMode)> = None;
+    let mut prev_cycle = 0u64;
+
+    for (i, cmd) in log.iter().enumerate() {
+        let mut fail = |rule: String| {
+            v.push(Violation { index: i, rule });
+        };
+        if cmd.cycle < prev_cycle {
+            fail(format!(
+                "command bus time ran backwards: {} after {}",
+                cmd.cycle, prev_cycle
+            ));
+        }
+        prev_cycle = prev_cycle.max(cmd.cycle);
+        let now = cmd.cycle;
+
+        // Refresh blackout applies to everything.
+        if let Some((t, mode)) = last_ref {
+            let rfc = ct.for_mode(mode).rfc;
+            if now < t + rfc && cmd.command != Command::Ref {
+                fail(format!(
+                    "{} during refresh blackout (tRFC {} from {})",
+                    cmd.command, rfc, t
+                ));
+            }
+        }
+
+        match cmd.command {
+            Command::Act => {
+                let b = &bank_state[cmd.flat_bank];
+                if b.open_row.is_some() {
+                    fail("ACT to an open bank".to_string());
+                }
+                if let Some((t, mode)) = b.last_pre {
+                    let rp = ct.for_mode(mode).rp;
+                    if now < t + rp {
+                        fail(format!("tRP violated: ACT at {now} < {t}+{rp}"));
+                    }
+                }
+                if let Some((t, prev_mode)) = b.last_act {
+                    let rc = ct.for_mode(prev_mode).rc();
+                    if now < t + rc {
+                        fail(format!("tRC violated: ACT at {now} < {t}+{rc}"));
+                    }
+                }
+                // tRRD against every other bank's last ACT.
+                for (ob, st) in bank_state.iter().enumerate() {
+                    if ob == cmd.flat_bank {
+                        continue;
+                    }
+                    if let Some((t, _)) = st.last_act {
+                        let dist = if bank_group_of(ob) == bank_group_of(cmd.flat_bank) {
+                            ct.rrd_l
+                        } else {
+                            ct.rrd_s
+                        };
+                        if now < t + dist {
+                            fail(format!(
+                                "tRRD violated vs bank {ob}: ACT at {now} < {t}+{dist}"
+                            ));
+                        }
+                    }
+                }
+                // tFAW over the rank.
+                acts.push(now);
+                let recent = acts.len();
+                if recent >= 5 {
+                    let fifth_back = acts[recent - 5];
+                    if now < fifth_back + ct.faw {
+                        fail(format!(
+                            "tFAW violated: 5th ACT at {now} < {fifth_back}+{}",
+                            ct.faw
+                        ));
+                    }
+                }
+                let st = &mut bank_state[cmd.flat_bank];
+                st.open_row = Some(cmd.row);
+                st.open_mode = cmd.mode;
+                st.last_act = Some((now, cmd.mode));
+            }
+            Command::Pre => {
+                let b = bank_state[cmd.flat_bank];
+                let Some(_row) = b.open_row else {
+                    fail("PRE to a closed bank".to_string());
+                    continue;
+                };
+                if let Some((t, _)) = b.last_act {
+                    let ras = ct.for_mode(b.open_mode).ras;
+                    if now < t + ras {
+                        fail(format!("tRAS violated: PRE at {now} < {t}+{ras}"));
+                    }
+                }
+                if let Some(t) = b.last_rd {
+                    if now < t + ct.rtp {
+                        fail(format!("tRTP violated: PRE at {now} < {t}+{}", ct.rtp));
+                    }
+                }
+                if let Some(t) = b.last_wr {
+                    let wr = ct.for_mode(b.open_mode).wr;
+                    let gate = t + ct.cwl + ct.burst + wr;
+                    if now < gate {
+                        fail(format!("write recovery violated: PRE at {now} < {gate}"));
+                    }
+                }
+                let st = &mut bank_state[cmd.flat_bank];
+                st.open_row = None;
+                st.last_pre = Some((now, b.open_mode));
+            }
+            Command::Rd | Command::Wr => {
+                let b = bank_state[cmd.flat_bank];
+                if b.open_row.is_none() {
+                    fail(format!("{} to a closed bank", cmd.command));
+                }
+                if let Some((t, _)) = b.last_act {
+                    let rcd = ct.for_mode(b.open_mode).rcd;
+                    if now < t + rcd {
+                        fail(format!("tRCD violated: column at {now} < {t}+{rcd}"));
+                    }
+                }
+                // Column-to-column constraints across the channel.
+                for (ob, st) in bank_state.iter().enumerate() {
+                    let same_bg = bank_group_of(ob) == bank_group_of(cmd.flat_bank);
+                    let ccd = if same_bg { ct.ccd_l } else { ct.ccd_s };
+                    for t in [st.last_rd, st.last_wr].into_iter().flatten() {
+                        if now < t + ccd {
+                            fail(format!(
+                                "tCCD violated vs bank {ob}: column at {now} < {t}+{ccd}"
+                            ));
+                        }
+                    }
+                    if cmd.command == Command::Rd {
+                        if let Some(t) = st.last_wr {
+                            let wtr = if same_bg { ct.wtr_l } else { ct.wtr_s };
+                            let gate = t + ct.cwl + ct.burst + wtr;
+                            if now < gate {
+                                fail(format!(
+                                    "tWTR violated vs bank {ob}: RD at {now} < {gate}"
+                                ));
+                            }
+                        }
+                    } else if let Some(t) = st.last_rd {
+                        if now < t + ct.rtw {
+                            fail(format!(
+                                "read-to-write turnaround violated vs bank {ob}: WR at {now} < {t}+{}",
+                                ct.rtw
+                            ));
+                        }
+                    }
+                }
+                let st = &mut bank_state[cmd.flat_bank];
+                match cmd.command {
+                    Command::Rd => st.last_rd = Some(now),
+                    Command::Wr => st.last_wr = Some(now),
+                    _ => unreachable!(),
+                }
+            }
+            Command::Ref => {
+                if bank_state.iter().any(|b| b.open_row.is_some()) {
+                    fail("REF with a bank open".to_string());
+                }
+                if let Some((t, mode)) = last_ref {
+                    let rfc = ct.for_mode(mode).rfc;
+                    if now < t + rfc {
+                        fail(format!("tRFC violated: REF at {now} < {t}+{rfc}"));
+                    }
+                }
+                // REF must also respect tRP after the last PRE of any bank.
+                for (ob, st) in bank_state.iter().enumerate() {
+                    if let Some((t, mode)) = st.last_pre {
+                        let rp = ct.for_mode(mode).rp;
+                        if now < t + rp {
+                            fail(format!(
+                                "tRP before REF violated (bank {ob}): REF at {now} < {t}+{rp}"
+                            ));
+                        }
+                    }
+                }
+                last_ref = Some((now, cmd.mode));
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_core::timing::{ClrTimings, InterfaceTimings};
+
+    fn ct() -> CycleTimings {
+        let t = ClrTimings::from_circuit_defaults();
+        CycleTimings::new(
+            &t,
+            t.for_mode(RowMode::HighPerformance),
+            &InterfaceTimings::ddr4_2400(),
+        )
+    }
+
+    fn cmd(cycle: u64, command: Command, bank: usize, row: u32, mode: RowMode) -> IssuedCommand {
+        IssuedCommand {
+            cycle,
+            command,
+            flat_bank: bank,
+            row,
+            mode,
+        }
+    }
+
+    #[test]
+    fn clean_sequence_passes() {
+        let ct = ct();
+        let m = RowMode::MaxCapacity;
+        let rcd = ct.max_capacity.rcd;
+        let ras = ct.max_capacity.ras;
+        let rp = ct.max_capacity.rp;
+        let log = vec![
+            cmd(0, Command::Act, 0, 5, m),
+            cmd(rcd, Command::Rd, 0, 5, m),
+            cmd(rcd + ct.rtp.max(ras - rcd), Command::Pre, 0, 5, m),
+            cmd(rcd + ras.max(ct.rtp) + rp + 10, Command::Act, 0, 6, m),
+        ];
+        let violations = check(&log, &ct, 4, |b| b / 2);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn catches_trcd_violation() {
+        let ct = ct();
+        let m = RowMode::MaxCapacity;
+        let log = vec![
+            cmd(0, Command::Act, 0, 5, m),
+            cmd(1, Command::Rd, 0, 5, m),
+        ];
+        let violations = check(&log, &ct, 4, |b| b / 2);
+        assert!(violations.iter().any(|v| v.rule.contains("tRCD")));
+    }
+
+    #[test]
+    fn catches_state_violations() {
+        let ct = ct();
+        let m = RowMode::MaxCapacity;
+        let log = vec![
+            cmd(0, Command::Rd, 0, 5, m),   // closed bank
+            cmd(10, Command::Pre, 1, 0, m), // closed bank
+            cmd(20, Command::Act, 2, 1, m),
+            cmd(2000, Command::Act, 2, 2, m), // double ACT without PRE
+        ];
+        let violations = check(&log, &ct, 4, |b| b / 2);
+        assert!(violations.iter().any(|v| v.rule.contains("closed bank")));
+        assert!(violations.iter().any(|v| v.rule.contains("open bank")));
+    }
+
+    #[test]
+    fn catches_refresh_with_open_bank() {
+        let ct = ct();
+        let m = RowMode::MaxCapacity;
+        let log = vec![
+            cmd(0, Command::Act, 0, 5, m),
+            cmd(100, Command::Ref, 0, 0, m),
+        ];
+        let violations = check(&log, &ct, 4, |b| b / 2);
+        assert!(violations.iter().any(|v| v.rule.contains("bank open")));
+    }
+
+    #[test]
+    fn hp_mode_rules_use_hp_timings() {
+        let ct = ct();
+        let hp = RowMode::HighPerformance;
+        let rcd_hp = ct.high_performance.rcd;
+        // Legal at HP tRCD but would violate max-capacity tRCD.
+        assert!(rcd_hp < ct.max_capacity.rcd);
+        let log = vec![
+            cmd(0, Command::Act, 0, 1, hp),
+            cmd(rcd_hp, Command::Rd, 0, 1, hp),
+        ];
+        let violations = check(&log, &ct, 4, |b| b / 2);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

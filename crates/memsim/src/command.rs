@@ -1,0 +1,99 @@
+//! DRAM commands and the issued-command record.
+
+use clr_core::mode::RowMode;
+
+/// DDR4 commands modelled by the simulator.
+///
+/// Auto-precharge variants are not modelled separately: the controller's
+/// row policy issues explicit [`Command::Pre`] commands, matching the
+/// paper's timeout-based row-buffer management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Activate (open) a row in a bank.
+    Act,
+    /// Precharge (close) a bank.
+    Pre,
+    /// Column read burst from the open row.
+    Rd,
+    /// Column write burst to the open row.
+    Wr,
+    /// All-bank refresh (one refresh-stream bundle).
+    Ref,
+}
+
+impl Command {
+    /// Number of distinct commands (for table sizing).
+    pub const COUNT: usize = 5;
+
+    /// Dense index for per-command state arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Command::Act => 0,
+            Command::Pre => 1,
+            Command::Rd => 2,
+            Command::Wr => 3,
+            Command::Ref => 4,
+        }
+    }
+
+    /// Short uppercase mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Command::Act => "ACT",
+            Command::Pre => "PRE",
+            Command::Rd => "RD",
+            Command::Wr => "WR",
+            Command::Ref => "REF",
+        }
+    }
+}
+
+impl std::fmt::Display for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A command as issued on the command bus, recorded for statistics and the
+/// power model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssuedCommand {
+    /// DRAM clock cycle of issue.
+    pub cycle: u64,
+    /// The command.
+    pub command: Command,
+    /// Flat bank index the command targets (0 for rank-level commands).
+    pub flat_bank: usize,
+    /// Row involved (opened row for ACT, closed row for PRE; 0 otherwise).
+    pub row: u32,
+    /// Operating mode governing the command's analog timings.
+    pub mode: RowMode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let all = [
+            Command::Act,
+            Command::Pre,
+            Command::Rd,
+            Command::Wr,
+            Command::Ref,
+        ];
+        let mut seen = [false; Command::COUNT];
+        for c in all {
+            assert!(!seen[c.index()], "duplicate index for {c}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mnemonics_are_nonempty() {
+        assert_eq!(Command::Act.to_string(), "ACT");
+        assert_eq!(Command::Ref.to_string(), "REF");
+    }
+}

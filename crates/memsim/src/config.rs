@@ -1,0 +1,271 @@
+//! Memory-system configuration.
+
+use clr_core::addr::AddressMapping;
+use clr_core::geometry::DramGeometry;
+use clr_core::timing::{ClrTimings, InterfaceTimings, TimingParams};
+
+/// How the CLR-DRAM device is configured for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClrModeConfig {
+    /// Unmodified DDR4 baseline: no isolation transistors, baseline analog
+    /// timings everywhere, single refresh stream at 64 ms.
+    BaselineDdr4,
+    /// CLR-DRAM with a fraction of rows per bank configured as
+    /// high-performance (the contiguous low-row prefix) and the rest in
+    /// max-capacity mode.
+    Clr {
+        /// Fraction of rows per bank in high-performance mode (0.0..=1.0).
+        fraction_hp: f64,
+        /// Refresh window for high-performance rows in milliseconds
+        /// (64.0 for CLR-64 up to 194.0 for CLR-194).
+        hp_refw_ms: f64,
+        /// Apply early termination of charge restoration (Table 1
+        /// "w/ E.T."; the paper's default is `true`).
+        early_termination: bool,
+    },
+}
+
+impl ClrModeConfig {
+    /// Convenience: CLR at the base 64 ms window with early termination.
+    pub fn clr(fraction_hp: f64) -> Self {
+        ClrModeConfig::Clr {
+            fraction_hp,
+            hp_refw_ms: 64.0,
+            early_termination: true,
+        }
+    }
+
+    /// The configured high-performance row fraction (0 for the baseline).
+    pub fn fraction_hp(&self) -> f64 {
+        match self {
+            ClrModeConfig::BaselineDdr4 => 0.0,
+            ClrModeConfig::Clr { fraction_hp, .. } => *fraction_hp,
+        }
+    }
+
+    /// Resolves the high-performance analog timing set for this
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the refresh window is outside the safe range.
+    pub fn hp_params(&self, timings: &ClrTimings) -> TimingParams {
+        match self {
+            ClrModeConfig::BaselineDdr4 => *timings.baseline(),
+            ClrModeConfig::Clr {
+                hp_refw_ms,
+                early_termination,
+                ..
+            } => {
+                let base = if *early_termination {
+                    timings
+                        .high_performance_at_refw(*hp_refw_ms)
+                        .expect("refresh window outside the safe range")
+                } else {
+                    // Ablation: no early termination. The refresh-window
+                    // growth applies on top of the non-ET set.
+                    let et = timings
+                        .high_performance_at_refw(*hp_refw_ms)
+                        .expect("refresh window outside the safe range");
+                    let no_et = timings.high_performance_no_early_termination();
+                    TimingParams {
+                        t_rcd_ns: no_et.t_rcd_ns + (et.t_rcd_ns
+                            - timings
+                                .for_mode(clr_core::mode::RowMode::HighPerformance)
+                                .t_rcd_ns),
+                        t_ras_ns: no_et.t_ras_ns + (et.t_ras_ns
+                            - timings
+                                .for_mode(clr_core::mode::RowMode::HighPerformance)
+                                .t_ras_ns),
+                        t_refw_ms: *hp_refw_ms,
+                        ..*no_et
+                    }
+                };
+                base
+            }
+        }
+    }
+}
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowPolicy {
+    /// Keep rows open until a conflict forces a precharge (classic
+    /// open-page).
+    Open,
+    /// Close a row as soon as no queued request targets it.
+    Closed,
+    /// Close a row after it has been idle for the given time with no
+    /// queued request to it — the paper's policy at 120 ns (Table 2
+    /// footnote).
+    Timeout {
+        /// Idle time before the close, in nanoseconds.
+        ns: f64,
+    },
+}
+
+impl RowPolicy {
+    /// The paper's timeout policy (120 ns).
+    pub fn paper() -> Self {
+        RowPolicy::Timeout { ns: 120.0 }
+    }
+
+    /// Idle threshold in nanoseconds (`None` for open-page).
+    pub fn idle_threshold_ns(&self) -> Option<f64> {
+        match self {
+            RowPolicy::Open => None,
+            RowPolicy::Closed => Some(0.0),
+            RowPolicy::Timeout { ns } => Some(*ns),
+        }
+    }
+}
+
+/// Controller scheduling parameters (Table 2 plus Ramulator defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Read queue capacity (entries).
+    pub read_queue: usize,
+    /// Write queue capacity (entries).
+    pub write_queue: usize,
+    /// FR-FCFS-Cap: maximum younger row hits served over an older request
+    /// to the same bank before the scheduler reverts to oldest-first.
+    pub cap: u32,
+    /// Row-buffer management policy.
+    pub row_policy: RowPolicy,
+    /// Start draining writes when the write queue reaches this fill level.
+    pub write_high_watermark: usize,
+    /// Stop draining writes when the write queue falls to this level.
+    pub write_low_watermark: usize,
+}
+
+impl SchedulerConfig {
+    /// Convenience accessor kept for existing call sites: the timeout in
+    /// nanoseconds, or 120 for non-timeout policies (used only for
+    /// display).
+    pub fn row_timeout_ns(&self) -> f64 {
+        self.row_policy.idle_threshold_ns().unwrap_or(120.0)
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            read_queue: 64,
+            write_queue: 64,
+            cap: 4,
+            row_policy: RowPolicy::paper(),
+            write_high_watermark: 48,
+            write_low_watermark: 16,
+        }
+    }
+}
+
+/// Complete memory-system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// DRAM organization.
+    pub geometry: DramGeometry,
+    /// Physical-address interleaving.
+    pub mapping: AddressMapping,
+    /// DDR4 interface timings.
+    pub interface: InterfaceTimings,
+    /// Analog timing model (Table 1 sets).
+    pub timings: ClrTimings,
+    /// CLR operating configuration.
+    pub clr: ClrModeConfig,
+    /// Controller scheduling parameters.
+    pub scheduler: SchedulerConfig,
+    /// Enable periodic refresh (disable only in microbenchmarks).
+    pub refresh_enabled: bool,
+}
+
+impl MemConfig {
+    /// The paper's Table 2 system: DDR4-2400, 16 Gb chips, 4 bank groups ×
+    /// 4 banks, FR-FCFS-Cap, 64-entry queues — in baseline DDR4 form.
+    pub fn paper_baseline() -> Self {
+        MemConfig {
+            geometry: DramGeometry::ddr4_16gb_x8(),
+            mapping: AddressMapping::RoBgBaRaCoCh,
+            interface: InterfaceTimings::ddr4_2400(),
+            timings: ClrTimings::from_circuit_defaults(),
+            clr: ClrModeConfig::BaselineDdr4,
+            scheduler: SchedulerConfig::default(),
+            refresh_enabled: true,
+        }
+    }
+
+    /// The paper's system with CLR-DRAM configured at the given
+    /// high-performance row fraction (64 ms window, early termination on).
+    pub fn paper_clr(fraction_hp: f64) -> Self {
+        MemConfig {
+            clr: ClrModeConfig::clr(fraction_hp),
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// Tiny geometry for fast unit tests (baseline DDR4 timing).
+    pub fn paper_tiny() -> Self {
+        MemConfig {
+            geometry: DramGeometry::tiny(),
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// Tiny geometry with CLR enabled.
+    pub fn tiny_clr(fraction_hp: f64) -> Self {
+        MemConfig {
+            geometry: DramGeometry::tiny(),
+            ..Self::paper_clr(fraction_hp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_core::mode::RowMode;
+
+    #[test]
+    fn baseline_hp_params_equal_baseline() {
+        let c = MemConfig::paper_baseline();
+        assert_eq!(c.clr.hp_params(&c.timings), *c.timings.baseline());
+    }
+
+    #[test]
+    fn clr_hp_params_track_refresh_window() {
+        let t = ClrTimings::from_circuit_defaults();
+        let base = ClrModeConfig::clr(1.0).hp_params(&t);
+        let ext = ClrModeConfig::Clr {
+            fraction_hp: 1.0,
+            hp_refw_ms: 194.0,
+            early_termination: true,
+        }
+        .hp_params(&t);
+        assert!(ext.t_rcd_ns > base.t_rcd_ns);
+        assert!((ext.t_rcd_ns - base.t_rcd_ns - 3.24).abs() < 0.01);
+    }
+
+    #[test]
+    fn no_early_termination_ablation_uses_table1_column() {
+        let t = ClrTimings::from_circuit_defaults();
+        let no_et = ClrModeConfig::Clr {
+            fraction_hp: 1.0,
+            hp_refw_ms: 64.0,
+            early_termination: false,
+        }
+        .hp_params(&t);
+        let expect = t.high_performance_no_early_termination();
+        assert!((no_et.t_ras_ns - expect.t_ras_ns).abs() < 1e-9);
+        assert!((no_et.t_wr_ns - expect.t_wr_ns).abs() < 1e-9);
+        // E.T. on: tRAS must be lower.
+        let et = ClrModeConfig::clr(1.0).hp_params(&t);
+        assert!(et.t_ras_ns < no_et.t_ras_ns);
+    }
+
+    #[test]
+    fn fraction_accessor() {
+        assert_eq!(ClrModeConfig::BaselineDdr4.fraction_hp(), 0.0);
+        assert_eq!(ClrModeConfig::clr(0.75).fraction_hp(), 0.75);
+        let _ = RowMode::HighPerformance; // silence unused import lint in cfg(test)
+    }
+}

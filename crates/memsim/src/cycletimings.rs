@@ -1,0 +1,175 @@
+//! Conversion of nanosecond timing parameters into integer DRAM-cycle
+//! constraints, per CLR-DRAM operating mode.
+
+use clr_core::mode::RowMode;
+use clr_core::timing::{ClrTimings, InterfaceTimings, TimingParams};
+
+/// Cell-array timing constraints of one operating mode, in DRAM cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeCycles {
+    /// ACT → RD/WR.
+    pub rcd: u64,
+    /// ACT → PRE.
+    pub ras: u64,
+    /// PRE → ACT.
+    pub rp: u64,
+    /// End of write data → PRE.
+    pub wr: u64,
+    /// Duration of a refresh command covering rows of this mode.
+    pub rfc: u64,
+}
+
+impl ModeCycles {
+    fn from_params(p: &TimingParams, i: &InterfaceTimings) -> Self {
+        ModeCycles {
+            rcd: i.ns_to_cycles(p.t_rcd_ns),
+            ras: i.ns_to_cycles(p.t_ras_ns),
+            rp: i.ns_to_cycles(p.t_rp_ns),
+            wr: i.ns_to_cycles(p.t_wr_ns),
+            rfc: i.ns_to_cycles(p.t_rfc_ns),
+        }
+    }
+
+    /// Row cycle time in cycles.
+    pub fn rc(&self) -> u64 {
+        self.ras + self.rp
+    }
+}
+
+/// All cycle-granularity constraints the timing engine needs: the two
+/// per-mode analog sets plus the shared DDR4 interface constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleTimings {
+    /// Analog timings for max-capacity rows.
+    pub max_capacity: ModeCycles,
+    /// Analog timings for high-performance rows (early termination applied,
+    /// adjusted for the configured refresh window).
+    pub high_performance: ModeCycles,
+    /// CAS (read) latency.
+    pub cl: u64,
+    /// CAS write latency.
+    pub cwl: u64,
+    /// Data-bus cycles per burst (BL/2).
+    pub burst: u64,
+    /// Column-to-column, different bank group.
+    pub ccd_s: u64,
+    /// Column-to-column, same bank group.
+    pub ccd_l: u64,
+    /// ACT-to-ACT, different bank group.
+    pub rrd_s: u64,
+    /// ACT-to-ACT, same bank group.
+    pub rrd_l: u64,
+    /// Four-activate window.
+    pub faw: u64,
+    /// Write-to-read turnaround, different bank group (after write data).
+    pub wtr_s: u64,
+    /// Write-to-read turnaround, same bank group (after write data).
+    pub wtr_l: u64,
+    /// Read-to-precharge.
+    pub rtp: u64,
+    /// Read-to-write turnaround on the shared data bus:
+    /// `CL − CWL + burst + 2`.
+    pub rtw: u64,
+    /// DRAM clock period in nanoseconds (for reporting).
+    pub t_ck_ns: f64,
+}
+
+impl CycleTimings {
+    /// Builds the engine constraint set for a CLR configuration.
+    ///
+    /// `hp_params` should be the high-performance timing set adjusted for
+    /// the chosen refresh window (see
+    /// [`ClrTimings::high_performance_at_refw`]); pass
+    /// `timings.for_mode(RowMode::HighPerformance)` for the base 64 ms
+    /// window.
+    pub fn new(timings: &ClrTimings, hp_params: &TimingParams, iface: &InterfaceTimings) -> Self {
+        let mc = ModeCycles::from_params(timings.for_mode(RowMode::MaxCapacity), iface);
+        let hp = ModeCycles::from_params(hp_params, iface);
+        CycleTimings {
+            max_capacity: mc,
+            high_performance: hp,
+            cl: iface.cl as u64,
+            cwl: iface.cwl as u64,
+            burst: iface.burst_cycles() as u64,
+            ccd_s: iface.t_ccd_s as u64,
+            ccd_l: iface.t_ccd_l as u64,
+            rrd_s: iface.t_rrd_s as u64,
+            rrd_l: iface.t_rrd_l as u64,
+            faw: iface.t_faw as u64,
+            wtr_s: iface.t_wtr_s as u64,
+            wtr_l: iface.t_wtr_l as u64,
+            rtp: iface.t_rtp as u64,
+            rtw: (iface.cl as u64).saturating_sub(iface.cwl as u64)
+                + iface.burst_cycles() as u64
+                + 2,
+            t_ck_ns: iface.t_ck_ns,
+        }
+    }
+
+    /// Constraint set for the *unmodified DDR4 baseline* (no CLR
+    /// transistors): both "modes" use the baseline analog timings, so the
+    /// mode table becomes irrelevant.
+    pub fn baseline(timings: &ClrTimings, iface: &InterfaceTimings) -> Self {
+        let base = ModeCycles::from_params(timings.baseline(), iface);
+        let mut ct = Self::new(timings, timings.for_mode(RowMode::HighPerformance), iface);
+        ct.max_capacity = base;
+        ct.high_performance = base;
+        ct
+    }
+
+    /// Analog timings for a row of the given mode.
+    pub fn for_mode(&self, mode: RowMode) -> &ModeCycles {
+        match mode {
+            RowMode::MaxCapacity => &self.max_capacity,
+            RowMode::HighPerformance => &self.high_performance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hp_cycles_are_much_shorter() {
+        let t = ClrTimings::from_circuit_defaults();
+        let i = InterfaceTimings::ddr4_2400();
+        let ct = CycleTimings::new(&t, t.for_mode(RowMode::HighPerformance), &i);
+        assert!(ct.high_performance.rcd < ct.max_capacity.rcd / 2 + 1);
+        assert!(ct.high_performance.ras < ct.max_capacity.ras / 2 + 1);
+        assert!(ct.high_performance.rfc < ct.max_capacity.rfc / 2 + 1);
+        // tRP is reduced for both modes relative to baseline DDR4.
+        let base = CycleTimings::baseline(&t, &i);
+        assert!(ct.max_capacity.rp < base.max_capacity.rp);
+        assert_eq!(ct.max_capacity.rp, ct.high_performance.rp);
+    }
+
+    #[test]
+    fn baseline_modes_are_identical() {
+        let t = ClrTimings::from_circuit_defaults();
+        let i = InterfaceTimings::ddr4_2400();
+        let ct = CycleTimings::baseline(&t, &i);
+        assert_eq!(ct.max_capacity, ct.high_performance);
+        // DDR4-2400: tRCD 13.8 ns / 0.833 ns ≈ 17 cycles.
+        assert_eq!(ct.max_capacity.rcd, 17);
+    }
+
+    #[test]
+    fn rtw_accounts_for_cas_difference() {
+        let t = ClrTimings::from_circuit_defaults();
+        let i = InterfaceTimings::ddr4_2400();
+        let ct = CycleTimings::new(&t, t.for_mode(RowMode::HighPerformance), &i);
+        assert_eq!(ct.rtw, 16 - 12 + 4 + 2);
+    }
+
+    #[test]
+    fn rc_is_ras_plus_rp() {
+        let t = ClrTimings::from_circuit_defaults();
+        let i = InterfaceTimings::ddr4_2400();
+        let ct = CycleTimings::new(&t, t.for_mode(RowMode::HighPerformance), &i);
+        assert_eq!(
+            ct.max_capacity.rc(),
+            ct.max_capacity.ras + ct.max_capacity.rp
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! The controller-side refresh scheduler: up to two heterogeneous refresh
+//! streams (§3.6, §5.2).
+//!
+//! Each stream issues REF commands at its own effective tREFI covering the
+//! row population of one operating mode; high-performance bundles complete
+//! in a smaller tRFC and (with extended windows) arrive less often.
+
+use clr_core::mode::RowMode;
+use clr_core::refresh::RefreshPlan;
+
+/// State of one refresh stream.
+#[derive(Debug, Clone)]
+struct StreamState {
+    mode: RowMode,
+    interval_cycles: f64,
+    next_due: f64,
+    rfc_cycles: u64,
+}
+
+/// Tracks when each refresh stream's next REF command is due.
+#[derive(Debug, Clone)]
+pub struct RefreshScheduler {
+    streams: Vec<StreamState>,
+    issued: [u64; 2],
+}
+
+impl RefreshScheduler {
+    /// Builds the scheduler from a [`RefreshPlan`] and the DRAM clock
+    /// period.
+    pub fn new(plan: &RefreshPlan, t_ck_ns: f64, rfc_cycles_of: impl Fn(RowMode) -> u64) -> Self {
+        let streams = plan
+            .streams()
+            .iter()
+            .map(|s| {
+                let interval_cycles = s.interval_ns / t_ck_ns;
+                StreamState {
+                    mode: s.mode,
+                    interval_cycles,
+                    next_due: interval_cycles,
+                    rfc_cycles: rfc_cycles_of(s.mode),
+                }
+            })
+            .collect();
+        RefreshScheduler {
+            streams,
+            issued: [0, 0],
+        }
+    }
+
+    /// A scheduler that never issues refreshes (for microbenchmarks).
+    pub fn disabled() -> Self {
+        RefreshScheduler {
+            streams: Vec::new(),
+            issued: [0, 0],
+        }
+    }
+
+    /// The stream (mode, tRFC cycles) whose REF is due at `now`, if any.
+    /// When both streams are due the more overdue one wins.
+    pub fn due(&self, now: u64) -> Option<(RowMode, u64)> {
+        self.streams
+            .iter()
+            .filter(|s| s.next_due <= now as f64)
+            .max_by(|a, b| {
+                let oa = now as f64 - a.next_due;
+                let ob = now as f64 - b.next_due;
+                oa.partial_cmp(&ob).expect("refresh overdue is finite")
+            })
+            .map(|s| (s.mode, s.rfc_cycles))
+    }
+
+    /// Marks the due REF of `mode` as issued, scheduling the next one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stream of that mode exists.
+    pub fn mark_issued(&mut self, mode: RowMode) {
+        let s = self
+            .streams
+            .iter_mut()
+            .find(|s| s.mode == mode)
+            .expect("no refresh stream of this mode");
+        s.next_due += s.interval_cycles;
+        match mode {
+            RowMode::MaxCapacity => self.issued[0] += 1,
+            RowMode::HighPerformance => self.issued[1] += 1,
+        }
+    }
+
+    /// REF commands issued so far as `(max_capacity, high_performance)`.
+    pub fn issued(&self) -> (u64, u64) {
+        (self.issued[0], self.issued[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_core::timing::ClrTimings;
+
+    fn plan(fraction_hp: f64, refw: f64) -> RefreshPlan {
+        RefreshPlan::new(&ClrTimings::from_circuit_defaults(), fraction_hp, refw)
+    }
+
+    #[test]
+    fn baseline_stream_fires_every_trefi() {
+        let t_ck = 1.0 / 1.2;
+        let mut rs = RefreshScheduler::new(&plan(0.0, 64.0), t_ck, |_| 660);
+        // tREFI = 7812.5 ns ≈ 9375 cycles.
+        assert!(rs.due(0).is_none());
+        assert!(rs.due(9374).is_none());
+        let (mode, rfc) = rs.due(9375).expect("due at tREFI");
+        assert_eq!(mode, RowMode::MaxCapacity);
+        assert_eq!(rfc, 660);
+        rs.mark_issued(mode);
+        assert!(rs.due(9376).is_none());
+        assert!(rs.due(2 * 9375).is_some());
+    }
+
+    #[test]
+    fn mixed_population_runs_two_streams() {
+        let t_ck = 1.0 / 1.2;
+        let mut rs = RefreshScheduler::new(&plan(0.5, 194.0), t_ck, |m| match m {
+            RowMode::MaxCapacity => 660,
+            RowMode::HighPerformance => 295,
+        });
+        // Drain a long horizon; both streams must fire, MC more often per
+        // window-row than HP because HP's window is 3× longer.
+        let mut now = 0u64;
+        for _ in 0..200 {
+            while let Some((mode, _)) = rs.due(now) {
+                rs.mark_issued(mode);
+            }
+            now += 10_000;
+        }
+        let (mc, hp) = rs.issued();
+        assert!(mc > 0 && hp > 0);
+        // MC covers half the rows at 64 ms; HP half at 194 ms → ratio ≈ 3.03.
+        let ratio = mc as f64 / hp as f64;
+        assert!((ratio - 194.0 / 64.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn disabled_scheduler_never_fires() {
+        let rs = RefreshScheduler::disabled();
+        assert!(rs.due(u64::MAX / 2).is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! Memory requests exchanged between the cache hierarchy and the
+//! controller.
+
+use clr_core::addr::PhysAddr;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// A demand (or writeback-triggered) cache-line fill.
+    Read,
+    /// A dirty-line writeback. Writes are posted: the sender never waits.
+    Write,
+}
+
+/// One cache-line-granularity memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Caller-chosen identifier returned on completion.
+    pub id: u64,
+    /// Physical address of the line (after page placement translation).
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// DRAM cycle at which the request entered the controller clock
+    /// domain.
+    pub arrival_cycle: u64,
+}
+
+impl MemRequest {
+    /// Creates a request.
+    pub fn new(id: u64, addr: PhysAddr, kind: RequestKind, arrival_cycle: u64) -> Self {
+        MemRequest {
+            id,
+            addr,
+            kind,
+            arrival_cycle,
+        }
+    }
+}
+
+/// A completed read returned to the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Identifier of the finished request.
+    pub id: u64,
+    /// DRAM cycle at which the last data beat arrived.
+    pub finish_cycle: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_construction() {
+        let r = MemRequest::new(7, PhysAddr(0x1000), RequestKind::Read, 42);
+        assert_eq!(r.id, 7);
+        assert_eq!(r.arrival_cycle, 42);
+        assert_eq!(r.kind, RequestKind::Read);
+    }
+}

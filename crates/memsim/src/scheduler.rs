@@ -1,0 +1,263 @@
+//! FR-FCFS-Cap request scheduling (Table 2; the policy of Mutlu &
+//! Moscibroda, "Stall-Time Fair Memory Access Scheduling", MICRO 2007 —
+//! reference 71 of the paper).
+//!
+//! FR-FCFS serves ready row-buffer hits before older row misses to
+//! maximize row-buffer locality; the *Cap* variant bounds how many younger
+//! hits may bypass an older request to the same bank, restoring fairness
+//! under streaming interference.
+
+use clr_core::addr::DramAddr;
+use clr_core::mode::RowMode;
+
+use crate::bankstate::BankState;
+use crate::command::Command;
+use crate::engine::{Target, TimingEngine};
+use crate::request::MemRequest;
+
+/// A queued request with its decoded coordinates and service bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueEntry {
+    /// The original request.
+    pub request: MemRequest,
+    /// Decoded DRAM coordinates.
+    pub decoded: DramAddr,
+    /// Pre-flattened engine target (mode = target row's mode).
+    pub target: Target,
+    /// Whether the scheduler had to activate a row for this request.
+    pub needed_act: bool,
+    /// Whether the scheduler had to precharge a conflicting row.
+    pub needed_pre: bool,
+    /// Whether the first service attempt has classified this request
+    /// (hit/miss/conflict).
+    pub classified: bool,
+}
+
+/// The scheduling decision for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Index into the queue of the chosen request.
+    pub queue_index: usize,
+    /// The command to issue on its behalf this cycle.
+    pub command: Command,
+}
+
+/// Selects the next command under FR-FCFS-Cap.
+///
+/// `hit_streak` is the per-flat-bank count of consecutively served row
+/// hits; once it reaches `cap` while an older request waits on the same
+/// bank, hits in that bank lose their priority.
+pub fn pick(
+    entries: &[QueueEntry],
+    banks: &[BankState],
+    engine: &TimingEngine,
+    hit_streak: &[u32],
+    cap: u32,
+    now: u64,
+) -> Option<Decision> {
+    // Pass 1: ready row hits, oldest first, unless capped.
+    let mut best_hit: Option<(u64, usize)> = None;
+    for (i, e) in entries.iter().enumerate() {
+        let bank = &banks[e.target.bank];
+        if !bank.is_open(e.decoded.row) {
+            continue;
+        }
+        if hit_streak[e.target.bank] >= cap && older_waiter_exists(entries, i, e) {
+            continue;
+        }
+        let cmd = column_command(e);
+        if engine.can_issue(cmd, e.target, now) {
+            let age = e.request.arrival_cycle;
+            if best_hit.map_or(true, |(a, _)| age < a) {
+                best_hit = Some((age, i));
+            }
+        }
+    }
+    if let Some((_, i)) = best_hit {
+        return Some(Decision {
+            queue_index: i,
+            command: column_command(&entries[i]),
+        });
+    }
+
+    // Pass 2: oldest-first over every request; issue whatever step of its
+    // service (PRE → ACT → column) is ready.
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by_key(|&i| (entries[i].request.arrival_cycle, i));
+    for i in order {
+        let e = &entries[i];
+        let bank = &banks[e.target.bank];
+        let cmd = match bank.open_row {
+            Some(r) if r == e.decoded.row => column_command(e),
+            Some(_) => Command::Pre,
+            None => Command::Act,
+        };
+        // PRE must respect the mode of the row it closes, not the target's.
+        let target = if cmd == Command::Pre {
+            Target {
+                mode: bank.open_mode,
+                ..e.target
+            }
+        } else {
+            e.target
+        };
+        if engine.can_issue(cmd, target, now) {
+            return Some(Decision {
+                queue_index: i,
+                command: cmd,
+            });
+        }
+    }
+    None
+}
+
+/// Whether any strictly older request waits on the same bank as `e`
+/// targeting a different row.
+fn older_waiter_exists(entries: &[QueueEntry], i: usize, e: &QueueEntry) -> bool {
+    entries.iter().enumerate().any(|(j, o)| {
+        j != i
+            && o.target.bank == e.target.bank
+            && o.decoded.row != e.decoded.row
+            && o.request.arrival_cycle < e.request.arrival_cycle
+    })
+}
+
+/// The column command for a request.
+pub fn column_command(e: &QueueEntry) -> Command {
+    match e.request.kind {
+        crate::request::RequestKind::Read => Command::Rd,
+        crate::request::RequestKind::Write => Command::Wr,
+    }
+}
+
+/// Builds a queue entry (helper shared with the controller).
+pub fn entry(request: MemRequest, decoded: DramAddr, target: Target) -> QueueEntry {
+    QueueEntry {
+        request,
+        decoded,
+        target,
+        needed_act: false,
+        needed_pre: false,
+        classified: false,
+    }
+}
+
+/// Exposed for tests: the mode carried by an entry's target.
+pub fn entry_mode(e: &QueueEntry) -> RowMode {
+    e.target.mode
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycletimings::CycleTimings;
+    use crate::request::{MemRequest, RequestKind};
+    use clr_core::addr::PhysAddr;
+    use clr_core::timing::{ClrTimings, InterfaceTimings};
+
+    fn engine() -> TimingEngine {
+        let t = ClrTimings::from_circuit_defaults();
+        let i = InterfaceTimings::ddr4_2400();
+        let ct = CycleTimings::baseline(&t, &i);
+        TimingEngine::new(ct, 4, 2, 1, 1, |b| (b / 2, 0))
+    }
+
+    fn mk(id: u64, bank: usize, row: u32, kind: RequestKind, arrival: u64) -> QueueEntry {
+        let decoded = DramAddr {
+            bank: (bank % 2) as u32,
+            bank_group: (bank / 2) as u32,
+            row,
+            ..DramAddr::default()
+        };
+        entry(
+            MemRequest::new(id, PhysAddr(0), kind, arrival),
+            decoded,
+            Target {
+                bank,
+                bank_group: bank / 2,
+                rank: 0,
+                channel: 0,
+                mode: RowMode::MaxCapacity,
+            },
+        )
+    }
+
+    #[test]
+    fn prefers_ready_row_hit_over_older_miss() {
+        let mut e = engine();
+        let mut banks = vec![BankState::new(); 4];
+        // Bank 0 has row 5 open and ready for column access.
+        let t = Target {
+            bank: 0,
+            bank_group: 0,
+            rank: 0,
+            channel: 0,
+            mode: RowMode::MaxCapacity,
+        };
+        e.issue(Command::Act, t, 0);
+        banks[0].activate(5, RowMode::MaxCapacity, 0);
+        let now = e.earliest(Command::Rd, t);
+
+        let entries = vec![
+            mk(0, 1, 9, RequestKind::Read, 0),  // older, bank closed
+            mk(1, 0, 5, RequestKind::Read, 10), // younger, row hit
+        ];
+        let d = pick(&entries, &banks, &e, &[0; 4], 4, now).unwrap();
+        assert_eq!(d.queue_index, 1);
+        assert_eq!(d.command, Command::Rd);
+    }
+
+    #[test]
+    fn cap_reverts_to_oldest_first() {
+        let mut e = engine();
+        let mut banks = vec![BankState::new(); 4];
+        let t = Target {
+            bank: 0,
+            bank_group: 0,
+            rank: 0,
+            channel: 0,
+            mode: RowMode::MaxCapacity,
+        };
+        e.issue(Command::Act, t, 0);
+        banks[0].activate(5, RowMode::MaxCapacity, 0);
+        let now = e.earliest(Command::Rd, t).max(e.earliest(Command::Pre, t));
+
+        let entries = vec![
+            mk(0, 0, 9, RequestKind::Read, 0),  // older conflict in bank 0
+            mk(1, 0, 5, RequestKind::Read, 10), // younger hit in bank 0
+        ];
+        // Below cap: the hit wins.
+        let d = pick(&entries, &banks, &e, &[0; 4], 4, now).unwrap();
+        assert_eq!(d.queue_index, 1);
+        // At cap: oldest-first; service starts with PRE of the conflict.
+        let d = pick(&entries, &banks, &e, &[4, 0, 0, 0], 4, now).unwrap();
+        assert_eq!(d.queue_index, 0);
+        assert_eq!(d.command, Command::Pre);
+    }
+
+    #[test]
+    fn closed_bank_gets_activate() {
+        let e = engine();
+        let banks = vec![BankState::new(); 4];
+        let entries = vec![mk(0, 2, 7, RequestKind::Write, 0)];
+        let d = pick(&entries, &banks, &e, &[0; 4], 4, 0).unwrap();
+        assert_eq!(d.command, Command::Act);
+    }
+
+    #[test]
+    fn nothing_issuable_returns_none() {
+        let mut e = engine();
+        let banks = vec![BankState::new(); 4];
+        let t = Target {
+            bank: 0,
+            bank_group: 0,
+            rank: 0,
+            channel: 0,
+            mode: RowMode::MaxCapacity,
+        };
+        e.issue(Command::Act, t, 0);
+        // Bank 0 closed per `banks`, but engine forbids ACT until tRC.
+        let entries = vec![mk(0, 0, 7, RequestKind::Read, 0)];
+        assert!(pick(&entries, &banks, &e, &[0; 4], 4, 1).is_none());
+    }
+}

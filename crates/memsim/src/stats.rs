@@ -1,0 +1,183 @@
+//! Memory-system statistics consumed by the metrics and power models.
+
+use clr_core::mode::RowMode;
+
+/// Counters accumulated by the controller over a run.
+///
+/// Command counts are split per operating mode where the mode changes the
+/// command's analog behaviour (ACT/PRE/REF); column bursts are
+/// mode-independent at the interface.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemStats {
+    /// DRAM cycles elapsed.
+    pub cycles: u64,
+    /// ACT commands to max-capacity rows.
+    pub acts_max_capacity: u64,
+    /// ACT commands to high-performance rows.
+    pub acts_high_performance: u64,
+    /// PRE commands closing max-capacity rows.
+    pub pres_max_capacity: u64,
+    /// PRE commands closing high-performance rows.
+    pub pres_high_performance: u64,
+    /// RD bursts.
+    pub reads: u64,
+    /// WR bursts.
+    pub writes: u64,
+    /// REF commands of the max-capacity stream.
+    pub refs_max_capacity: u64,
+    /// REF commands of the high-performance stream.
+    pub refs_high_performance: u64,
+    /// Requests that found their row open.
+    pub row_hits: u64,
+    /// Requests that found their bank closed.
+    pub row_misses: u64,
+    /// Requests that found a different row open.
+    pub row_conflicts: u64,
+    /// Sum of read service latencies in DRAM cycles (arrival → last beat).
+    pub read_latency_sum: u64,
+    /// Reads completed (denominator for the average latency).
+    pub reads_completed: u64,
+    /// Reads served directly from the write queue.
+    pub forwarded_reads: u64,
+    /// Cycles with at least one bank open in the rank.
+    pub rank_active_cycles: u64,
+    /// Cycles with every bank precharged.
+    pub rank_precharged_cycles: u64,
+    /// Cycles the rank was blocked executing REF commands.
+    pub refresh_busy_cycles: u64,
+    /// Enqueue attempts rejected because a queue was full.
+    pub queue_rejections: u64,
+}
+
+impl MemStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total ACT commands.
+    pub fn acts(&self) -> u64 {
+        self.acts_max_capacity + self.acts_high_performance
+    }
+
+    /// Total PRE commands.
+    pub fn pres(&self) -> u64 {
+        self.pres_max_capacity + self.pres_high_performance
+    }
+
+    /// Total REF commands.
+    pub fn refs(&self) -> u64 {
+        self.refs_max_capacity + self.refs_high_performance
+    }
+
+    /// Records an ACT per mode.
+    pub fn record_act(&mut self, mode: RowMode) {
+        match mode {
+            RowMode::MaxCapacity => self.acts_max_capacity += 1,
+            RowMode::HighPerformance => self.acts_high_performance += 1,
+        }
+    }
+
+    /// Records a PRE per mode of the closed row.
+    pub fn record_pre(&mut self, mode: RowMode) {
+        match mode {
+            RowMode::MaxCapacity => self.pres_max_capacity += 1,
+            RowMode::HighPerformance => self.pres_high_performance += 1,
+        }
+    }
+
+    /// Records a REF per stream mode.
+    pub fn record_ref(&mut self, mode: RowMode) {
+        match mode {
+            RowMode::MaxCapacity => self.refs_max_capacity += 1,
+            RowMode::HighPerformance => self.refs_high_performance += 1,
+        }
+    }
+
+    /// Average read latency in DRAM cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// Counter-wise difference `self − earlier` (for excluding warmup from
+    /// measurement windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier (any
+    /// counter would underflow).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            cycles: self.cycles - earlier.cycles,
+            acts_max_capacity: self.acts_max_capacity - earlier.acts_max_capacity,
+            acts_high_performance: self.acts_high_performance - earlier.acts_high_performance,
+            pres_max_capacity: self.pres_max_capacity - earlier.pres_max_capacity,
+            pres_high_performance: self.pres_high_performance - earlier.pres_high_performance,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            refs_max_capacity: self.refs_max_capacity - earlier.refs_max_capacity,
+            refs_high_performance: self.refs_high_performance - earlier.refs_high_performance,
+            row_hits: self.row_hits - earlier.row_hits,
+            row_misses: self.row_misses - earlier.row_misses,
+            row_conflicts: self.row_conflicts - earlier.row_conflicts,
+            read_latency_sum: self.read_latency_sum - earlier.read_latency_sum,
+            reads_completed: self.reads_completed - earlier.reads_completed,
+            forwarded_reads: self.forwarded_reads - earlier.forwarded_reads,
+            rank_active_cycles: self.rank_active_cycles - earlier.rank_active_cycles,
+            rank_precharged_cycles: self.rank_precharged_cycles - earlier.rank_precharged_cycles,
+            refresh_busy_cycles: self.refresh_busy_cycles - earlier.refresh_busy_cycles,
+            queue_rejections: self.queue_rejections - earlier.queue_rejections,
+        }
+    }
+
+    /// Row-buffer hit rate over classified requests.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_mode_recording() {
+        let mut s = MemStats::new();
+        s.record_act(RowMode::MaxCapacity);
+        s.record_act(RowMode::HighPerformance);
+        s.record_pre(RowMode::HighPerformance);
+        s.record_ref(RowMode::MaxCapacity);
+        assert_eq!(s.acts(), 2);
+        assert_eq!(s.pres(), 1);
+        assert_eq!(s.refs(), 1);
+        assert_eq!(s.acts_high_performance, 1);
+    }
+
+    #[test]
+    fn derived_rates_handle_zero() {
+        let s = MemStats::new();
+        assert_eq!(s.avg_read_latency(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = MemStats {
+            row_hits: 3,
+            row_misses: 1,
+            row_conflicts: 0,
+            ..MemStats::new()
+        };
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the DDR4 timing engine and controller.
+
+use clr_core::mode::RowMode;
+use clr_core::timing::{ClrTimings, InterfaceTimings};
+use clr_memsim::command::Command;
+use clr_memsim::cycletimings::CycleTimings;
+use clr_memsim::engine::{Target, TimingEngine};
+use proptest::prelude::*;
+
+fn engine() -> TimingEngine {
+    let t = ClrTimings::from_circuit_defaults();
+    let i = InterfaceTimings::ddr4_2400();
+    let ct = CycleTimings::new(&t, t.for_mode(RowMode::HighPerformance), &i);
+    // 4 bank groups × 4 banks, 1 rank, 1 channel — the paper's device.
+    TimingEngine::new(ct, 16, 4, 1, 1, |b| (b / 4, 0))
+}
+
+fn target(bank: usize, mode: RowMode) -> Target {
+    Target {
+        bank,
+        bank_group: bank / 4,
+        rank: 0,
+        channel: 0,
+        mode,
+    }
+}
+
+/// A simple reference model of per-bank state to drive *legal* command
+/// sequences: issue whatever the engine permits, tracking open rows.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+enum BankRef {
+    #[default]
+    Closed,
+    Open,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Greedy legal scheduling never violates timing (the engine would
+    /// panic) and time never runs backwards, for arbitrary command
+    /// preferences.
+    #[test]
+    fn engine_accepts_any_legal_schedule(
+        prefs in proptest::collection::vec((0usize..16, 0u8..3, any::<bool>()), 1..120),
+    ) {
+        let mut e = engine();
+        let mut banks = [BankRef::Closed; 16];
+        let mut now = 0u64;
+        for (bank, action, hp) in prefs {
+            let mode = if hp { RowMode::HighPerformance } else { RowMode::MaxCapacity };
+            let t = target(bank, mode);
+            let cmd = match (banks[bank], action) {
+                (BankRef::Closed, _) => Command::Act,
+                (BankRef::Open, 0) => Command::Rd,
+                (BankRef::Open, 1) => Command::Wr,
+                (BankRef::Open, _) => Command::Pre,
+            };
+            let ready = e.earliest(cmd, t);
+            now = now.max(ready);
+            e.issue(cmd, t, now);
+            match cmd {
+                Command::Act => banks[bank] = BankRef::Open,
+                Command::Pre => banks[bank] = BankRef::Closed,
+                _ => {}
+            }
+            now += 1;
+        }
+    }
+
+    /// The earliest-issue time is monotone: recording a command never
+    /// makes any other command *earlier*.
+    #[test]
+    fn earliest_is_monotone_under_issue(
+        seq in proptest::collection::vec((0usize..16, any::<bool>()), 1..60),
+    ) {
+        let mut e = engine();
+        let mut banks = [BankRef::Closed; 16];
+        let mut now = 0u64;
+        for (bank, hp) in seq {
+            let mode = if hp { RowMode::HighPerformance } else { RowMode::MaxCapacity };
+            let t = target(bank, mode);
+            let cmd = if banks[bank] == BankRef::Closed { Command::Act } else { Command::Pre };
+            let probe = target((bank + 1) % 16, RowMode::MaxCapacity);
+            let before: Vec<u64> = [Command::Act, Command::Rd, Command::Wr]
+                .iter()
+                .map(|&c| e.earliest(c, probe))
+                .collect();
+            now = now.max(e.earliest(cmd, t));
+            e.issue(cmd, t, now);
+            let after: Vec<u64> = [Command::Act, Command::Rd, Command::Wr]
+                .iter()
+                .map(|&c| e.earliest(c, probe))
+                .collect();
+            for (b, a) in before.iter().zip(&after) {
+                prop_assert!(a >= b, "earliest moved backwards: {} -> {}", b, a);
+            }
+            match cmd {
+                Command::Act => banks[bank] = BankRef::Open,
+                Command::Pre => banks[bank] = BankRef::Closed,
+                _ => {}
+            }
+            now += 1;
+        }
+    }
+
+    /// High-performance rows are never slower than max-capacity rows for
+    /// the same fresh-bank access pattern.
+    #[test]
+    fn hp_never_slower(bank in 0usize..16) {
+        let mut e_mc = engine();
+        let mut e_hp = engine();
+        let mc = target(bank, RowMode::MaxCapacity);
+        let hp = target(bank, RowMode::HighPerformance);
+        e_mc.issue(Command::Act, mc, 0);
+        e_hp.issue(Command::Act, hp, 0);
+        for cmd in [Command::Rd, Command::Wr, Command::Pre] {
+            prop_assert!(
+                e_hp.earliest(cmd, hp) <= e_mc.earliest(cmd, mc),
+                "{cmd} slower in HP mode"
+            );
+        }
+    }
+
+    /// tFAW: the fifth activate in any window of four is delayed by at
+    /// least tFAW from the first.
+    #[test]
+    fn faw_window_enforced(start_bank in 0usize..12) {
+        let mut e = engine();
+        let mut issue_times = Vec::new();
+        let mut now = 0u64;
+        for i in 0..5 {
+            let t = target((start_bank + i) % 16, RowMode::MaxCapacity);
+            now = now.max(e.earliest(Command::Act, t));
+            e.issue(Command::Act, t, now);
+            issue_times.push(now);
+            now += 1;
+        }
+        let faw = e.timings().faw;
+        prop_assert!(
+            issue_times[4] >= issue_times[0] + faw,
+            "5th ACT at {} < first {} + tFAW {}",
+            issue_times[4],
+            issue_times[0],
+            faw
+        );
+    }
+}

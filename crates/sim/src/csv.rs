@@ -1,0 +1,120 @@
+//! CSV export of the experiment series, for plotting the figures with any
+//! external tool.
+
+use crate::experiment::multi::MultiReport;
+use crate::experiment::refresh::{RefreshReport, FIG15_FRACTIONS};
+use crate::experiment::single::SingleReport;
+use crate::experiment::FRACTIONS;
+
+fn header(prefix: &str) -> String {
+    let mut s = String::from(prefix);
+    for f in FRACTIONS {
+        s.push_str(&format!(",{:.0}%", f * 100.0));
+    }
+    s.push('\n');
+    s
+}
+
+/// Figure 12 series: one row per workload per metric.
+pub fn fig12_csv(report: &SingleReport) -> String {
+    let mut out = header("workload,metric");
+    for row in &report.rows {
+        let name = row.workload.name();
+        out.push_str(&format!(
+            "{name},ipc,{}\n",
+            row.norm_ipc.map(|v| format!("{v:.4}")).join(",")
+        ));
+        out.push_str(&format!(
+            "{name},energy,{}\n",
+            row.norm_energy.map(|v| format!("{v:.4}")).join(",")
+        ));
+        out.push_str(&format!(
+            "{name},power,{}\n",
+            row.norm_power.map(|v| format!("{v:.4}")).join(",")
+        ));
+    }
+    out
+}
+
+/// Figure 13 series: one row per group per metric.
+pub fn fig13_csv(report: &MultiReport) -> String {
+    let mut out = header("group,metric");
+    for g in &report.groups {
+        let label = g.group.label();
+        out.push_str(&format!(
+            "{label},wspeedup,{}\n",
+            g.norm_ws.map(|v| format!("{v:.4}")).join(",")
+        ));
+        out.push_str(&format!(
+            "{label},energy,{}\n",
+            g.norm_energy.map(|v| format!("{v:.4}")).join(",")
+        ));
+        out.push_str(&format!(
+            "{label},power,{}\n",
+            g.norm_power.map(|v| format!("{v:.4}")).join(",")
+        ));
+    }
+    out
+}
+
+/// Figure 15 series: one row per refresh variant per metric.
+pub fn fig15_csv(report: &RefreshReport) -> String {
+    let mut out = String::from("variant,metric");
+    for f in FIG15_FRACTIONS {
+        out.push_str(&format!(",{:.0}%", f * 100.0));
+    }
+    out.push('\n');
+    for v in &report.variants {
+        let label = v.variant.label();
+        out.push_str(&format!(
+            "{label},perf,{}\n",
+            v.norm_perf.map(|x| format!("{x:.4}")).join(",")
+        ));
+        out.push_str(&format!(
+            "{label},energy,{}\n",
+            v.norm_energy.map(|x| format!("{x:.4}")).join(",")
+        ));
+        out.push_str(&format!(
+            "{label},refresh_energy,{}\n",
+            v.norm_refresh_energy.map(|x| format!("{x:.4}")).join(",")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{multi, refresh, single};
+    use crate::scale::Scale;
+
+    #[test]
+    fn fig12_csv_is_rectangular() {
+        let report = single::run(Scale::Smoke, 2);
+        let csv = fig12_csv(&report);
+        let mut lines = csv.lines();
+        let cols = lines.next().unwrap().split(',').count();
+        for line in lines {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+        assert!(csv.contains(",ipc,"));
+    }
+
+    #[test]
+    fn fig13_csv_has_all_groups() {
+        let report = multi::run(Scale::Smoke, 2);
+        let csv = fig13_csv(&report);
+        for g in ["L,", "M,", "H,"] {
+            assert!(csv.contains(g), "missing {g}");
+        }
+    }
+
+    #[test]
+    fn fig15_csv_has_all_variants() {
+        let report = refresh::run_single(Scale::Smoke, 2);
+        let csv = fig15_csv(&report);
+        for v in ["CLR-64", "CLR-114", "CLR-124", "CLR-184", "CLR-194"] {
+            assert!(csv.contains(v), "missing {v}");
+        }
+    }
+}

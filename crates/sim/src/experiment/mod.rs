@@ -1,0 +1,51 @@
+//! Experiment runners, one module per paper table/figure family.
+
+pub mod circuit;
+pub mod multi;
+pub mod overheads;
+pub mod refresh;
+pub mod single;
+pub mod sysconfig;
+pub mod workloads;
+
+use clr_memsim::config::MemConfig;
+
+/// The high-performance row fractions swept by Figures 12–14
+/// (0 % = all rows max-capacity, still with CLR's modified timings).
+pub const FRACTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// Percentage labels matching [`FRACTIONS`].
+pub const FRACTION_LABELS: [&str; 5] = ["0%", "25%", "50%", "75%", "100%"];
+
+/// Memory configuration for one evaluation point.
+///
+/// `fraction = None` denotes the unmodified DDR4 baseline; `Some(f)` a
+/// CLR-DRAM device with fraction `f` of rows in high-performance mode and
+/// the given high-performance refresh window.
+pub fn mem_config(fraction: Option<f64>, hp_refw_ms: f64) -> MemConfig {
+    match fraction {
+        None => MemConfig::paper_baseline(),
+        Some(f) => {
+            let mut cfg = MemConfig::paper_clr(f);
+            cfg.clr = clr_memsim::config::ClrModeConfig::Clr {
+                fraction_hp: f,
+                hp_refw_ms,
+                early_termination: true,
+            };
+            cfg
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_and_clr_configs_differ() {
+        let base = mem_config(None, 64.0);
+        let clr = mem_config(Some(0.5), 114.0);
+        assert_eq!(base.clr.fraction_hp(), 0.0);
+        assert_eq!(clr.clr.fraction_hp(), 0.5);
+    }
+}

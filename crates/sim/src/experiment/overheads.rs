@@ -1,0 +1,65 @@
+//! §6 — capacity and hardware overhead analysis, as a printable report.
+
+use clr_core::addr::AddressMapping;
+use clr_core::capacity::{
+    capacity_loss_fraction, chip_area_overhead, effective_capacity_bytes, mode_table_bits,
+};
+use clr_core::geometry::DramGeometry;
+use clr_core::mapping::PAGE_BYTES;
+
+use crate::report::Table;
+
+/// Renders the §6 overhead analysis for the paper's geometry.
+pub fn render() -> String {
+    let g = DramGeometry::ddr4_16gb_x8();
+    let mut out = String::from("§6 — capacity and hardware overhead analysis\n\n");
+
+    // §6.1 capacity.
+    let mut t = Table::new(vec!["HP rows", "usable capacity", "capacity loss"]);
+    for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        t.row(vec![
+            format!("{:.0}%", frac * 100.0),
+            format!(
+                "{:.2} GiB",
+                effective_capacity_bytes(&g, frac) as f64 / (1u64 << 30) as f64
+            ),
+            format!("{:.1}%", capacity_loss_fraction(frac) * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // §6.2 area.
+    out.push_str(&format!(
+        "\nchip area overhead: {:.1}% (bitline mode select) + {:.1}% (column I/O mode select) \
+         = {:.1}% total (paper: 3.2%)\n",
+        clr_core::capacity::BITLINE_ISO_AREA_OVERHEAD * 100.0,
+        clr_core::capacity::COLUMN_IO_ISO_AREA_OVERHEAD * 100.0,
+        chip_area_overhead() * 100.0
+    ));
+
+    // §6.2 controller mode-table storage, per §5.1 granularity.
+    let mapping = AddressMapping::RoBgBaRaCoCh;
+    let rows_per_page = mapping.rows_per_page(&g, PAGE_BYTES);
+    out.push_str(&format!(
+        "\nmode table: {} Kbit at row granularity; a 4 KiB page spans {} row(s), \
+         and one row holds {} pages, so the trade-off granularity is {} pages \
+         ({} KiB) per reconfiguration\n",
+        mode_table_bits(&g, 1) / 1024,
+        rows_per_page,
+        g.row_bytes() / PAGE_BYTES,
+        mapping.trade_off_granularity_pages(&g, PAGE_BYTES),
+        mapping.trade_off_granularity_pages(&g, PAGE_BYTES) * PAGE_BYTES / 1024,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_paper_figures() {
+        let s = super::render();
+        assert!(s.contains("3.2%"));
+        assert!(s.contains("50.0%"), "all-HP loses half the capacity");
+        assert!(s.contains("mode table"));
+    }
+}

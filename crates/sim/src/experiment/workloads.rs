@@ -1,0 +1,124 @@
+//! Workload-model validation: measure each application model's realized
+//! LLC MPKI and row locality on the baseline system and compare against
+//! its target (the §8.1 categorization threshold is MPKI > 2.0).
+
+use clr_trace::apps::SUITE;
+use clr_trace::workload::Workload;
+
+use crate::experiment::mem_config;
+use crate::report::Table;
+use crate::scale::Scale;
+use crate::system::{run_workloads, RunConfig};
+
+/// Realized statistics of one application model.
+#[derive(Debug, Clone)]
+pub struct WorkloadValidation {
+    /// Application name.
+    pub name: String,
+    /// Target LLC MPKI from the model table.
+    pub target_mpki: f64,
+    /// Measured LLC misses per kilo-instruction on the baseline system.
+    pub measured_mpki: f64,
+    /// Measured DRAM row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// Baseline IPC.
+    pub ipc: f64,
+}
+
+impl WorkloadValidation {
+    /// Whether the measured MPKI lands in the same §8.1 class as the
+    /// target.
+    pub fn class_matches(&self) -> bool {
+        (self.measured_mpki > 2.0) == (self.target_mpki > 2.0)
+    }
+}
+
+/// Measures every application model (or a subset at smoke scale).
+pub fn run(scale: Scale, seed: u64) -> Vec<WorkloadValidation> {
+    let budget = scale.budget_insts();
+    let warmup = scale.warmup_insts();
+    let apps: Vec<_> = match scale {
+        Scale::Smoke => SUITE.iter().take(6).collect(),
+        _ => SUITE.iter().collect(),
+    };
+    apps.into_iter()
+        .map(|model| {
+            let w = Workload::App(*model);
+            let r = run_workloads(
+                &[w],
+                &RunConfig::paper(mem_config(None, 64.0), budget, warmup, seed),
+            );
+            // LLC misses = DRAM reads that were demand fills. Writebacks
+            // are writes; forwarded reads did reach the controller as
+            // demand traffic.
+            let misses = r.mem.reads + r.mem.forwarded_reads;
+            WorkloadValidation {
+                name: model.name.to_string(),
+                target_mpki: model.mpki,
+                measured_mpki: misses as f64 / (budget as f64 / 1000.0),
+                row_hit_rate: r.mem.row_hit_rate(),
+                ipc: r.ipc[0],
+            }
+        })
+        .collect()
+}
+
+/// Renders the validation table.
+pub fn render(rows: &[WorkloadValidation], scale: Scale) -> String {
+    let mut out = format!(
+        "Workload-model validation (scale: {}): realized vs target MPKI\n\n",
+        scale.label()
+    );
+    let mut t = Table::new(vec![
+        "app",
+        "target MPKI",
+        "measured MPKI",
+        "row-hit rate",
+        "IPC",
+        "class ok",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.1}", r.target_mpki),
+            format!("{:.1}", r.measured_mpki),
+            format!("{:.0}%", r.row_hit_rate * 100.0),
+            format!("{:.2}", r.ipc),
+            if r.class_matches() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    let agree = rows.iter().filter(|r| r.class_matches()).count();
+    out.push_str(&format!(
+        "\n{agree}/{} models land in their target memory-intensity class\n",
+        rows.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensive_models_realize_intensive_mpki() {
+        let rows = run(Scale::Smoke, 5);
+        assert!(!rows.is_empty());
+        // The smoke subset is the head of SUITE: all memory-intensive.
+        for r in &rows {
+            assert_eq!(
+                r.target_mpki > 2.0,
+                true,
+                "smoke subset should be intensive"
+            );
+            assert!(
+                r.measured_mpki > 1.0,
+                "{}: measured MPKI {} too low",
+                r.name,
+                r.measured_mpki
+            );
+        }
+        let s = render(&rows, Scale::Smoke);
+        assert!(s.contains("MPKI"));
+    }
+}

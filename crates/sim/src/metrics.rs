@@ -1,0 +1,78 @@
+//! Performance metrics (§8.1 "Metrics").
+
+/// Geometric mean of strictly positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Weighted speedup (Snavely & Tullsen / Eyerman & Eeckhout):
+/// `Σ IPC_shared,i / IPC_alone,i`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or an alone-IPC is non-positive.
+pub fn weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "core count mismatch");
+    shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive, got {a}");
+            s / a
+        })
+        .sum()
+}
+
+/// Relative change `new / old − 1` (positive = improvement for IPC,
+/// negative = saving for energy when applied to ratios).
+pub fn rel_change(new: f64, old: f64) -> f64 {
+    new / old - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_speedup_of_equal_runs_is_core_count() {
+        let ipc = [1.5, 0.7, 2.0, 1.0];
+        assert!((weighted_speedup(&ipc, &ipc) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_reflects_slowdown() {
+        let shared = [0.5, 0.5];
+        let alone = [1.0, 1.0];
+        assert!((weighted_speedup(&shared, &alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_change_signs() {
+        assert!(rel_change(1.1, 1.0) > 0.0);
+        assert!(rel_change(0.9, 1.0) < 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The full-system simulator: CPU cluster + memory controller with the
+//! 4 GHz / 1200 MHz clock-domain crossing.
+
+use clr_core::addr::PhysAddr;
+use clr_core::mapping::{PagePlacement, PageProfile};
+use clr_cpu::cluster::{ClusterConfig, CpuCluster};
+use clr_cpu::trace::TraceSource;
+use clr_memsim::config::MemConfig;
+use clr_memsim::controller::MemoryController;
+use clr_memsim::request::{Completion, MemRequest, RequestKind};
+use clr_memsim::stats::MemStats;
+use clr_power::{energy_of_run, EnergyBreakdown, IddParams};
+use clr_trace::workload::Workload;
+
+use crate::translate::{tag_for_core, TranslatedTrace};
+
+/// CPU cycles per DRAM-cycle numerator/denominator: 4 GHz vs 1.2 GHz is
+/// exactly 3 DRAM cycles per 10 CPU cycles.
+const DRAM_PER_CPU_NUM: u64 = 3;
+/// See [`DRAM_PER_CPU_NUM`].
+const DRAM_PER_CPU_DEN: u64 = 10;
+
+/// One full-system run's configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Memory-system configuration (including the CLR mode).
+    pub mem: MemConfig,
+    /// CPU cluster configuration.
+    pub cluster: ClusterConfig,
+    /// Instructions each core must retire in the measurement window.
+    pub budget_insts: u64,
+    /// Warmup instructions per core before measurement starts.
+    pub warmup_insts: u64,
+    /// Master seed for trace generation.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Paper-configured system at the given scale knobs.
+    pub fn paper(mem: MemConfig, budget_insts: u64, warmup_insts: u64, seed: u64) -> Self {
+        RunConfig {
+            mem,
+            cluster: ClusterConfig::paper(),
+            budget_insts,
+            warmup_insts,
+            seed,
+        }
+    }
+}
+
+/// Results of one run (measurement window only; warmup excluded).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-core IPC over each core's own window (budget ÷ cycles to reach
+    /// it).
+    pub ipc: Vec<f64>,
+    /// CPU cycles in the measurement window (to the last core's finish).
+    pub cpu_cycles: u64,
+    /// DRAM cycles in the measurement window.
+    pub dram_cycles: u64,
+    /// Wall-clock nanoseconds of the measurement window.
+    pub duration_ns: f64,
+    /// Memory-system statistics delta over the window.
+    pub mem: MemStats,
+    /// Energy over the window.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunResult {
+    /// Average DRAM power over the window, in watts.
+    pub fn avg_power_w(&self) -> f64 {
+        self.energy.avg_power_w(self.duration_ns)
+    }
+}
+
+fn per_core_seed(seed: u64, core: usize) -> u64 {
+    seed.wrapping_add((core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Builds the shared page placement by profiling every core's trace.
+fn build_placement(workloads: &[Workload], cfg: &RunConfig) -> PagePlacement {
+    let mut merged = PageProfile::new();
+    for (core, w) in workloads.iter().enumerate() {
+        let total = cfg.budget_insts + cfg.warmup_insts;
+        let items = ((total as f64 / w.instructions_per_item()) * 1.3) as usize + 1_000;
+        let mut gen = w.spawn(per_core_seed(cfg.seed, core));
+        for _ in 0..items {
+            let Some(item) = gen.next_item() else { break };
+            merged.record(tag_for_core(item.read, core));
+            if let Some(wr) = item.write {
+                merged.record(tag_for_core(wr, core));
+            }
+        }
+    }
+    let fraction = cfg.mem.clr.fraction_hp();
+    PagePlacement::profile_guided(&merged, fraction, &cfg.mem.geometry)
+        .expect("CLR fraction is validated upstream")
+}
+
+/// Runs `workloads` (one per core) under `cfg` and returns the
+/// measurement-window results.
+///
+/// # Panics
+///
+/// Panics if `workloads` is empty or the system fails to make forward
+/// progress (a protocol deadlock — treated as a simulator bug).
+pub fn run_workloads(workloads: &[Workload], cfg: &RunConfig) -> RunResult {
+    assert!(!workloads.is_empty(), "at least one workload required");
+    let placement = build_placement(workloads, cfg);
+    let traces: Vec<Box<dyn TraceSource + Send>> = workloads
+        .iter()
+        .enumerate()
+        .map(|(core, w)| {
+            Box::new(TranslatedTrace::new(
+                w.spawn(per_core_seed(cfg.seed, core)),
+                placement.clone(),
+                core,
+            )) as Box<dyn TraceSource + Send>
+        })
+        .collect();
+
+    let mut cluster = CpuCluster::new(cfg.cluster, traces);
+    let mut mc = MemoryController::new(cfg.mem.clone());
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut dram_done: u64 = 0;
+
+    let n = workloads.len();
+    let mut warm_retired: Vec<u64> = vec![0; n];
+    let mut warm_cpu_cycle: u64 = 0;
+    let mut warm_dram_cycle: u64 = 0;
+    let mut warm_stats = MemStats::new();
+    let mut warmed = cfg.warmup_insts == 0;
+    let mut finish_cycle: Vec<Option<u64>> = vec![None; n];
+
+    // Hard progress bound: generous multiple of the naive cycle budget.
+    let cycle_cap = (cfg.budget_insts + cfg.warmup_insts) * 2_000 + 10_000_000;
+
+    loop {
+        cluster.tick();
+        let now_dram = mc.cycle();
+        cluster.drain_mem_requests(|req| {
+            let kind = if req.write {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            };
+            mc.try_enqueue(MemRequest::new(req.id, PhysAddr(req.line_addr), kind, now_dram))
+                .is_ok()
+        });
+        let due = cluster.cycle() * DRAM_PER_CPU_NUM / DRAM_PER_CPU_DEN;
+        while dram_done < due {
+            mc.tick(&mut completions);
+            dram_done += 1;
+            for c in completions.drain(..) {
+                cluster.complete_read(c.id);
+            }
+        }
+
+        if !warmed {
+            if (0..n).all(|i| cluster.retired(i) >= cfg.warmup_insts) {
+                warmed = true;
+                for (i, wr) in warm_retired.iter_mut().enumerate() {
+                    *wr = cluster.retired(i);
+                }
+                warm_cpu_cycle = cluster.cycle();
+                warm_dram_cycle = mc.cycle();
+                warm_stats = mc.stats().clone();
+            }
+        } else {
+            let mut all_done = true;
+            for i in 0..n {
+                if finish_cycle[i].is_none() {
+                    if cluster.retired(i) >= warm_retired[i] + cfg.budget_insts {
+                        finish_cycle[i] = Some(cluster.cycle());
+                    } else {
+                        all_done = false;
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+        }
+        assert!(
+            cluster.cycle() < cycle_cap,
+            "no forward progress after {} CPU cycles (retired: {:?})",
+            cycle_cap,
+            (0..n).map(|i| cluster.retired(i)).collect::<Vec<_>>()
+        );
+    }
+
+    let cpu_cycles = cluster.cycle() - warm_cpu_cycle;
+    let dram_cycles = mc.cycle() - warm_dram_cycle;
+    let duration_ns = dram_cycles as f64 * cfg.mem.interface.t_ck_ns;
+    let mem = mc.stats().delta_since(&warm_stats);
+    let energy = energy_of_run(&mem, &cfg.mem, &IddParams::default());
+    let ipc = (0..n)
+        .map(|i| {
+            let cycles = finish_cycle[i].expect("every core finished") - warm_cpu_cycle;
+            cfg.budget_insts as f64 / cycles as f64
+        })
+        .collect();
+
+    RunResult {
+        ipc,
+        cpu_cycles,
+        dram_cycles,
+        duration_ns,
+        mem,
+        energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_trace::apps::by_name;
+    use clr_trace::synthetic::synthetic_suite;
+
+    fn quick_cfg(mem: MemConfig) -> RunConfig {
+        RunConfig {
+            mem,
+            cluster: ClusterConfig::paper(),
+            budget_insts: 8_000,
+            warmup_insts: 1_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn single_core_run_completes_and_reports() {
+        let w = Workload::App(*by_name("429.mcf").unwrap());
+        let r = run_workloads(&[w], &quick_cfg(MemConfig::paper_baseline()));
+        assert_eq!(r.ipc.len(), 1);
+        assert!(r.ipc[0] > 0.0 && r.ipc[0] <= 4.0);
+        assert!(r.mem.reads > 0);
+        assert!(r.energy.total_j() > 0.0);
+        assert!(r.duration_ns > 0.0);
+    }
+
+    #[test]
+    fn clr_all_hp_beats_baseline_on_random_traffic() {
+        let w = Workload::Synthetic(synthetic_suite()[2]); // random, hot
+        let base = run_workloads(&[w], &quick_cfg(MemConfig::paper_baseline()));
+        let clr = run_workloads(&[w], &quick_cfg(MemConfig::paper_clr(1.0)));
+        assert!(
+            clr.ipc[0] > base.ipc[0] * 1.02,
+            "CLR {} vs baseline {}",
+            clr.ipc[0],
+            base.ipc[0]
+        );
+    }
+
+    #[test]
+    fn four_core_run_reports_per_core_ipc() {
+        let apps = ["429.mcf", "470.lbm", "453.povray", "403.gcc"];
+        let ws: Vec<Workload> = apps
+            .iter()
+            .map(|n| Workload::App(*by_name(n).unwrap()))
+            .collect();
+        let mut cfg = quick_cfg(MemConfig::paper_baseline());
+        cfg.budget_insts = 4_000;
+        let r = run_workloads(&ws, &cfg);
+        assert_eq!(r.ipc.len(), 4);
+        assert!(r.ipc.iter().all(|&i| i > 0.0));
+        // povray (MPKI 0.05) must run far faster than mcf (MPKI 16.9).
+        assert!(r.ipc[2] > r.ipc[0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = Workload::App(*by_name("433.milc").unwrap());
+        let cfg = quick_cfg(MemConfig::paper_clr(0.5));
+        let a = run_workloads(&[w], &cfg);
+        let b = run_workloads(&[w], &cfg);
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.mem, b.mem);
+    }
+}

@@ -1,0 +1,105 @@
+//! Page-placement address translation applied between workload traces and
+//! the memory system (§8.1 data mapping).
+//!
+//! Each core's virtual addresses are tagged into a disjoint region
+//! (`core × 1 TiB`), profiled, and the merged profile drives one
+//! [`PagePlacement`] mapping hot pages — across all cores — into the
+//! high-performance physical region. Every core then replays its trace
+//! through a clone of the fully-populated placement (all pages are
+//! pre-assigned during profiling, so clones never diverge).
+
+use clr_core::addr::PhysAddr;
+use clr_core::mapping::PagePlacement;
+use clr_cpu::trace::{TraceItem, TraceSource};
+
+/// Per-core virtual address-space stride (1 TiB).
+pub const CORE_STRIDE: u64 = 1 << 40;
+
+/// A trace source whose addresses pass through core tagging and page
+/// placement.
+pub struct TranslatedTrace {
+    inner: Box<dyn TraceSource + Send>,
+    placement: PagePlacement,
+    core_offset: u64,
+}
+
+impl std::fmt::Debug for TranslatedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TranslatedTrace")
+            .field("core_offset", &self.core_offset)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TranslatedTrace {
+    /// Wraps `inner` (core `core`'s raw trace) with the shared placement.
+    pub fn new(inner: Box<dyn TraceSource + Send>, placement: PagePlacement, core: usize) -> Self {
+        TranslatedTrace {
+            inner,
+            placement,
+            core_offset: core as u64 * CORE_STRIDE,
+        }
+    }
+
+    fn translate(&mut self, addr: PhysAddr) -> PhysAddr {
+        self.placement.translate(PhysAddr(addr.0 + self.core_offset))
+    }
+}
+
+impl TraceSource for TranslatedTrace {
+    fn next_item(&mut self) -> Option<TraceItem> {
+        let item = self.inner.next_item()?;
+        let read = self.translate(item.read);
+        let write = item.write.map(|w| self.translate(w));
+        Some(TraceItem {
+            bubbles: item.bubbles,
+            read,
+            write,
+        })
+    }
+}
+
+/// Tags `addr` into core `core`'s virtual region (profiling-side dual of
+/// [`TranslatedTrace`]).
+pub fn tag_for_core(addr: PhysAddr, core: usize) -> PhysAddr {
+    PhysAddr(addr.0 + core as u64 * CORE_STRIDE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_core::geometry::DramGeometry;
+    use clr_core::mapping::{PageProfile, PAGE_BYTES};
+    use clr_cpu::trace::VecTrace;
+
+    #[test]
+    fn translation_respects_placement() {
+        let g = DramGeometry::ddr4_16gb_x8();
+        let mut profile = PageProfile::new();
+        // Core 1's page 7 is hot.
+        for _ in 0..100 {
+            profile.record(tag_for_core(PhysAddr(7 * PAGE_BYTES), 1));
+        }
+        profile.record(tag_for_core(PhysAddr(9 * PAGE_BYTES), 1));
+        let placement = PagePlacement::profile_guided(&profile, 0.5, &g).unwrap();
+
+        let raw = VecTrace::new(vec![
+            TraceItem::load(0, PhysAddr(7 * PAGE_BYTES + 16)),
+            TraceItem::load(0, PhysAddr(9 * PAGE_BYTES)),
+        ]);
+        let mut t = TranslatedTrace::new(Box::new(raw), placement.clone(), 1);
+        let hot = t.next_item().unwrap().read;
+        let cold = t.next_item().unwrap().read;
+        assert!(placement.is_fast(hot), "hot page must land in fast region");
+        assert!(!placement.is_fast(cold));
+        assert_eq!(hot.0 % PAGE_BYTES, 16, "offset preserved");
+    }
+
+    #[test]
+    fn cores_are_tagged_apart() {
+        let a = tag_for_core(PhysAddr(0x1000), 0);
+        let b = tag_for_core(PhysAddr(0x1000), 1);
+        assert_ne!(a, b);
+        assert_eq!(b.0 - a.0, CORE_STRIDE);
+    }
+}

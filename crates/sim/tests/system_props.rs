@@ -1,0 +1,103 @@
+//! System-level invariants of the full simulator: clock-domain ratio,
+//! warmup exclusion, and configuration monotonicity.
+
+use clr_sim::experiment::mem_config;
+use clr_sim::system::{run_workloads, RunConfig};
+use clr_trace::apps::by_name;
+use clr_trace::workload::Workload;
+
+fn cfg(budget: u64, warmup: u64) -> RunConfig {
+    RunConfig::paper(mem_config(None, 64.0), budget, warmup, 99)
+}
+
+#[test]
+fn clock_domains_hold_the_10_to_3_ratio() {
+    let w = Workload::App(*by_name("433.milc").expect("milc exists"));
+    let r = run_workloads(&[w], &cfg(20_000, 2_000));
+    let ratio = r.dram_cycles as f64 / r.cpu_cycles as f64;
+    assert!(
+        (ratio - 0.3).abs() < 0.01,
+        "DRAM/CPU cycle ratio {ratio} != 0.3"
+    );
+    // Duration must equal DRAM cycles at tCK = 1/1.2 ns.
+    let expect_ns = r.dram_cycles as f64 / 1.2;
+    assert!((r.duration_ns - expect_ns).abs() < 1.0);
+}
+
+#[test]
+fn warmup_is_excluded_from_measurement() {
+    let w = Workload::App(*by_name("429.mcf").expect("mcf exists"));
+    // Same budget, very different warmups: measured-window IPC must be
+    // close (warmup absorbs the cold-cache transient).
+    let short = run_workloads(&[w], &cfg(30_000, 1_000));
+    let long = run_workloads(&[w], &cfg(30_000, 20_000));
+    let rel = (short.ipc[0] - long.ipc[0]).abs() / long.ipc[0];
+    assert!(
+        rel < 0.25,
+        "warmup leakage: ipc {} vs {}",
+        short.ipc[0],
+        long.ipc[0]
+    );
+    // Stats must cover only the measurement window: a longer warmup must
+    // not inflate the measured command counts for the same budget.
+    assert!(
+        (long.mem.reads as f64) < short.mem.reads as f64 * 1.3 + 100.0,
+        "warmup commands leaked into the window"
+    );
+}
+
+#[test]
+fn more_hp_rows_never_hurt_mcf() {
+    let w = Workload::App(*by_name("429.mcf").expect("mcf exists"));
+    let mut prev = 0.0;
+    for frac in [0.0, 0.5, 1.0] {
+        let r = run_workloads(
+            &[w],
+            &RunConfig::paper(mem_config(Some(frac), 64.0), 20_000, 2_000, 31),
+        );
+        assert!(
+            r.ipc[0] >= prev * 0.97,
+            "fraction {frac}: IPC {} regressed from {prev}",
+            r.ipc[0]
+        );
+        prev = r.ipc[0];
+    }
+}
+
+#[test]
+fn energy_components_are_all_nonnegative_and_consistent() {
+    let w = Workload::App(*by_name("470.lbm").expect("lbm exists"));
+    let r = run_workloads(&[w], &cfg(25_000, 2_500));
+    let e = r.energy;
+    for (name, v) in [
+        ("act", e.act_j),
+        ("pre", e.pre_j),
+        ("rd", e.rd_j),
+        ("wr", e.wr_j),
+        ("refresh", e.refresh_j),
+        ("background", e.background_j),
+    ] {
+        assert!(v >= 0.0, "{name} energy negative: {v}");
+    }
+    assert!(e.background_j > 0.0, "background energy must accrue");
+    assert!(e.total_j() > e.background_j);
+    // Average power plausibility for one DDR4 rank: between 0.2 and 8 W.
+    let p = r.avg_power_w();
+    assert!((0.2..8.0).contains(&p), "implausible power {p} W");
+}
+
+#[test]
+fn identical_seeds_reproduce_multi_core_runs() {
+    let names = ["450.soplex", "433.milc", "403.gcc", "456.hmmer"];
+    let ws: Vec<Workload> = names
+        .iter()
+        .map(|n| Workload::App(*by_name(n).expect("app exists")))
+        .collect();
+    let mut c = cfg(6_000, 600);
+    c.mem = mem_config(Some(0.25), 114.0);
+    let a = run_workloads(&ws, &c);
+    let b = run_workloads(&ws, &c);
+    assert_eq!(a.ipc, b.ipc);
+    assert_eq!(a.mem, b.mem);
+    assert_eq!(a.energy, b.energy);
+}

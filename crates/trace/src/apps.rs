@@ -1,0 +1,205 @@
+//! The 41-application benchmark suite (§8.1).
+//!
+//! Each model's parameters are derived from published characterisations of
+//! the SPEC CPU2006 / TPC / MediaBench workloads the paper uses: target
+//! LLC MPKI (which sets the bubble count between memory accesses),
+//! footprint, spatial locality (probability of continuing a sequential
+//! intra-page run), page-popularity skew (Zipf α — low α scales linearly
+//! with the high-performance fraction like 462.libquantum, high α
+//! saturates early like 450.soplex; §8.2), and store fraction.
+//!
+//! Applications with MPKI > 2.0 are memory-intensive, exactly the paper's
+//! threshold.
+
+/// Memory-intensity class (paper threshold: MPKI > 2.0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryClass {
+    /// LLC MPKI > 2.0.
+    MemoryIntensive,
+    /// LLC MPKI ≤ 2.0.
+    NonMemoryIntensive,
+}
+
+/// A parameterised application model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppModel {
+    /// Benchmark name (SPEC/TPC/MediaBench).
+    pub name: &'static str,
+    /// Target LLC misses per kilo-instruction.
+    pub mpki: f64,
+    /// Memory footprint in MiB.
+    pub footprint_mib: u64,
+    /// Probability of continuing a sequential intra-page run.
+    pub locality: f64,
+    /// Zipf exponent of page popularity.
+    pub page_skew_alpha: f64,
+    /// Probability a load is paired with a store to the same line.
+    pub write_frac: f64,
+}
+
+impl AppModel {
+    /// Footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_mib << 20
+    }
+
+    /// Memory-intensity class under the paper's MPKI > 2.0 threshold.
+    pub fn class(&self) -> MemoryClass {
+        if self.mpki > 2.0 {
+            MemoryClass::MemoryIntensive
+        } else {
+            MemoryClass::NonMemoryIntensive
+        }
+    }
+
+    /// Non-memory instructions between consecutive loads so that, at a
+    /// miss rate near one, the trace realises the target MPKI.
+    pub fn bubbles(&self) -> u32 {
+        ((1000.0 / self.mpki).round() as u32).saturating_sub(1).min(5000)
+    }
+
+    /// Stable per-model salt so different apps with the same user seed
+    /// produce different streams.
+    pub fn seed_salt(&self) -> u64 {
+        self.name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            })
+    }
+}
+
+/// The full 41-application suite.
+///
+/// 17 memory-intensive (MPKI > 2.0, the individually-plotted bars of
+/// Figure 12) + 24 non-memory-intensive.
+pub const SUITE: [AppModel; 41] = [
+    // --- memory-intensive (17) ---
+    AppModel { name: "429.mcf",        mpki: 16.9, footprint_mib: 256, locality: 0.20, page_skew_alpha: 0.15, write_frac: 0.20 },
+    AppModel { name: "462.libquantum", mpki: 25.4, footprint_mib: 64,  locality: 1.00, page_skew_alpha: 0.02, write_frac: 0.25 },
+    AppModel { name: "433.milc",       mpki: 12.8, footprint_mib: 128, locality: 0.40, page_skew_alpha: 0.40, write_frac: 0.30 },
+    AppModel { name: "450.soplex",     mpki: 21.2, footprint_mib: 64,  locality: 0.30, page_skew_alpha: 1.20, write_frac: 0.20 },
+    AppModel { name: "459.GemsFDTD",   mpki: 15.9, footprint_mib: 128, locality: 0.92, page_skew_alpha: 0.25, write_frac: 0.30 },
+    AppModel { name: "470.lbm",        mpki: 20.1, footprint_mib: 128, locality: 0.50, page_skew_alpha: 1.00, write_frac: 0.45 },
+    AppModel { name: "471.omnetpp",    mpki: 10.1, footprint_mib: 64,  locality: 0.25, page_skew_alpha: 0.60, write_frac: 0.30 },
+    AppModel { name: "473.astar",      mpki: 4.3,  footprint_mib: 32,  locality: 0.30, page_skew_alpha: 0.50, write_frac: 0.25 },
+    AppModel { name: "482.sphinx3",    mpki: 8.5,  footprint_mib: 32,  locality: 0.50, page_skew_alpha: 0.50, write_frac: 0.10 },
+    AppModel { name: "483.xalancbmk",  mpki: 4.5,  footprint_mib: 64,  locality: 0.30, page_skew_alpha: 0.70, write_frac: 0.20 },
+    AppModel { name: "436.cactusADM",  mpki: 3.1,  footprint_mib: 96,  locality: 0.55, page_skew_alpha: 0.40, write_frac: 0.35 },
+    AppModel { name: "437.leslie3d",   mpki: 7.2,  footprint_mib: 96,  locality: 0.92, page_skew_alpha: 0.25, write_frac: 0.35 },
+    AppModel { name: "410.bwaves",     mpki: 9.1,  footprint_mib: 192, locality: 0.95, page_skew_alpha: 0.15, write_frac: 0.30 },
+    AppModel { name: "434.zeusmp",     mpki: 3.3,  footprint_mib: 128, locality: 0.50, page_skew_alpha: 0.40, write_frac: 0.30 },
+    AppModel { name: "481.wrf",        mpki: 3.0,  footprint_mib: 96,  locality: 0.55, page_skew_alpha: 0.40, write_frac: 0.30 },
+    AppModel { name: "401.bzip2",      mpki: 2.4,  footprint_mib: 32,  locality: 0.45, page_skew_alpha: 0.60, write_frac: 0.30 },
+    AppModel { name: "tpcc64",         mpki: 2.9,  footprint_mib: 96,  locality: 0.20, page_skew_alpha: 0.80, write_frac: 0.35 },
+    // --- non-memory-intensive (24) ---
+    AppModel { name: "403.gcc",        mpki: 1.6,  footprint_mib: 24, locality: 0.45, page_skew_alpha: 0.70, write_frac: 0.30 },
+    AppModel { name: "400.perlbench",  mpki: 0.8,  footprint_mib: 16, locality: 0.50, page_skew_alpha: 0.80, write_frac: 0.30 },
+    AppModel { name: "416.gamess",     mpki: 0.1,  footprint_mib: 12, locality: 0.60, page_skew_alpha: 0.80, write_frac: 0.25 },
+    AppModel { name: "435.gromacs",    mpki: 0.7,  footprint_mib: 16, locality: 0.55, page_skew_alpha: 0.60, write_frac: 0.30 },
+    AppModel { name: "444.namd",       mpki: 0.3,  footprint_mib: 16, locality: 0.60, page_skew_alpha: 0.60, write_frac: 0.25 },
+    AppModel { name: "445.gobmk",      mpki: 0.6,  footprint_mib: 16, locality: 0.40, page_skew_alpha: 0.70, write_frac: 0.25 },
+    AppModel { name: "447.dealII",     mpki: 0.9,  footprint_mib: 24, locality: 0.50, page_skew_alpha: 0.70, write_frac: 0.30 },
+    AppModel { name: "453.povray",     mpki: 0.05, footprint_mib: 12, locality: 0.60, page_skew_alpha: 0.80, write_frac: 0.20 },
+    AppModel { name: "454.calculix",   mpki: 0.4,  footprint_mib: 16, locality: 0.55, page_skew_alpha: 0.60, write_frac: 0.30 },
+    AppModel { name: "456.hmmer",      mpki: 0.8,  footprint_mib: 16, locality: 0.60, page_skew_alpha: 0.60, write_frac: 0.30 },
+    AppModel { name: "458.sjeng",      mpki: 0.5,  footprint_mib: 16, locality: 0.35, page_skew_alpha: 0.70, write_frac: 0.25 },
+    AppModel { name: "464.h264ref",    mpki: 0.9,  footprint_mib: 16, locality: 0.65, page_skew_alpha: 0.60, write_frac: 0.30 },
+    AppModel { name: "465.tonto",      mpki: 0.3,  footprint_mib: 12, locality: 0.55, page_skew_alpha: 0.70, write_frac: 0.30 },
+    AppModel { name: "998.specrand",   mpki: 0.2,  footprint_mib: 12, locality: 0.10, page_skew_alpha: 0.10, write_frac: 0.20 },
+    AppModel { name: "tpch2",          mpki: 1.8,  footprint_mib: 48, locality: 0.30, page_skew_alpha: 0.60, write_frac: 0.20 },
+    AppModel { name: "tpch6",          mpki: 1.9,  footprint_mib: 48, locality: 0.55, page_skew_alpha: 0.40, write_frac: 0.20 },
+    AppModel { name: "tpch11",         mpki: 1.2,  footprint_mib: 32, locality: 0.40, page_skew_alpha: 0.60, write_frac: 0.20 },
+    AppModel { name: "tpch17",         mpki: 1.4,  footprint_mib: 32, locality: 0.35, page_skew_alpha: 0.60, write_frac: 0.20 },
+    AppModel { name: "mb-h263enc",     mpki: 0.6,  footprint_mib: 12, locality: 0.75, page_skew_alpha: 0.30, write_frac: 0.35 },
+    AppModel { name: "mb-jpegdec",     mpki: 0.9,  footprint_mib: 12, locality: 0.80, page_skew_alpha: 0.30, write_frac: 0.35 },
+    AppModel { name: "mb-mpeg2enc",    mpki: 1.1,  footprint_mib: 16, locality: 0.80, page_skew_alpha: 0.30, write_frac: 0.35 },
+    AppModel { name: "mb-mpeg4dec",    mpki: 0.8,  footprint_mib: 16, locality: 0.80, page_skew_alpha: 0.30, write_frac: 0.35 },
+    AppModel { name: "mb-mp3dec",      mpki: 0.4,  footprint_mib: 12, locality: 0.75, page_skew_alpha: 0.30, write_frac: 0.30 },
+    AppModel { name: "mb-gsmenc",      mpki: 0.5,  footprint_mib: 12, locality: 0.75, page_skew_alpha: 0.30, write_frac: 0.30 },
+];
+
+/// The memory-intensive subset (MPKI > 2.0), in suite order.
+pub fn memory_intensive() -> Vec<&'static AppModel> {
+    SUITE
+        .iter()
+        .filter(|a| a.class() == MemoryClass::MemoryIntensive)
+        .collect()
+}
+
+/// The non-memory-intensive subset.
+pub fn non_memory_intensive() -> Vec<&'static AppModel> {
+    SUITE
+        .iter()
+        .filter(|a| a.class() == MemoryClass::NonMemoryIntensive)
+        .collect()
+}
+
+/// The `n` highest-MPKI applications (Figure 12 plots the top 17).
+pub fn top_mpki(n: usize) -> Vec<&'static AppModel> {
+    let mut v: Vec<&AppModel> = SUITE.iter().collect();
+    v.sort_by(|a, b| b.mpki.partial_cmp(&a.mpki).expect("mpki is finite"));
+    v.truncate(n);
+    v
+}
+
+/// Looks an application up by name.
+pub fn by_name(name: &str) -> Option<&'static AppModel> {
+    SUITE.iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_41_apps_17_intensive() {
+        assert_eq!(SUITE.len(), 41);
+        assert_eq!(memory_intensive().len(), 17);
+        assert_eq!(non_memory_intensive().len(), 24);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = SUITE.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 41);
+    }
+
+    #[test]
+    fn top_mpki_is_sorted_descending() {
+        let top = top_mpki(17);
+        for w in top.windows(2) {
+            assert!(w[0].mpki >= w[1].mpki);
+        }
+        assert_eq!(top[0].name, "462.libquantum");
+        assert!(top.iter().all(|a| a.mpki > 2.0));
+    }
+
+    #[test]
+    fn bubbles_track_mpki() {
+        let mcf = by_name("429.mcf").unwrap();
+        let povray = by_name("453.povray").unwrap();
+        assert!(mcf.bubbles() < povray.bubbles());
+        // libquantum at MPKI 25.4 → ~39 bubbles per access.
+        assert_eq!(by_name("462.libquantum").unwrap().bubbles(), 38);
+    }
+
+    #[test]
+    fn seed_salts_differ() {
+        let a = by_name("429.mcf").unwrap().seed_salt();
+        let b = by_name("470.lbm").unwrap().seed_salt();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parameters_are_valid_probabilities() {
+        for a in SUITE {
+            assert!((0.0..=1.0).contains(&a.locality), "{}", a.name);
+            assert!((0.0..=1.0).contains(&a.write_frac), "{}", a.name);
+            assert!(a.page_skew_alpha >= 0.0, "{}", a.name);
+            assert!(a.footprint_mib > 0, "{}", a.name);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Ramulator-compatible CPU trace file I/O.
+//!
+//! The paper drives Ramulator with Pin-generated traces in Ramulator's
+//! CPU-trace text format: one record per line,
+//!
+//! ```text
+//! <bubbles> <read-addr> [<write-addr>]
+//! ```
+//!
+//! where addresses are decimal or `0x`-prefixed hexadecimal. This module
+//! reads and writes that format so users can (a) run their own captured
+//! traces through this reproduction and (b) export our synthetic workloads
+//! for cross-validation against an actual Ramulator build.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use clr_core::addr::PhysAddr;
+use clr_cpu::trace::{TraceItem, TraceSource};
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed record.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceParseError::Malformed { line, reason } => {
+                write!(f, "malformed trace record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceParseError::Io(e) => Some(e),
+            TraceParseError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceParseError {
+    fn from(e: io::Error) -> Self {
+        TraceParseError::Io(e)
+    }
+}
+
+fn parse_addr(tok: &str, line: usize) -> Result<u64, TraceParseError> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        tok.parse::<u64>()
+    };
+    parsed.map_err(|_| TraceParseError::Malformed {
+        line,
+        reason: format!("invalid address {tok:?}"),
+    })
+}
+
+/// Parses a whole Ramulator CPU trace from a reader.
+///
+/// Blank lines and lines starting with `#` are skipped.
+///
+/// # Errors
+///
+/// Returns [`TraceParseError`] on I/O failure or the first malformed
+/// record.
+pub fn read_trace<R: Read>(reader: R) -> Result<Vec<TraceItem>, TraceParseError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        let bubbles: u32 = toks
+            .next()
+            .expect("nonempty line has a first token")
+            .parse()
+            .map_err(|_| TraceParseError::Malformed {
+                line: line_no,
+                reason: "invalid bubble count".to_string(),
+            })?;
+        let read = match toks.next() {
+            Some(tok) => PhysAddr(parse_addr(tok, line_no)?),
+            None => {
+                return Err(TraceParseError::Malformed {
+                    line: line_no,
+                    reason: "missing read address".to_string(),
+                })
+            }
+        };
+        let write = match toks.next() {
+            Some(tok) => Some(PhysAddr(parse_addr(tok, line_no)?)),
+            None => None,
+        };
+        if toks.next().is_some() {
+            return Err(TraceParseError::Malformed {
+                line: line_no,
+                reason: "trailing tokens".to_string(),
+            });
+        }
+        out.push(TraceItem {
+            bubbles,
+            read,
+            write,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes records in Ramulator CPU trace format.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_trace<W: Write>(mut writer: W, items: &[TraceItem]) -> io::Result<()> {
+    for item in items {
+        match item.write {
+            Some(w) => writeln!(writer, "{} {:#x} {:#x}", item.bubbles, item.read.0, w.0)?,
+            None => writeln!(writer, "{} {:#x}", item.bubbles, item.read.0)?,
+        }
+    }
+    Ok(())
+}
+
+/// Exports the first `n` records of any trace source in Ramulator format.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn export_source<W: Write>(
+    source: &mut dyn TraceSource,
+    n: usize,
+    writer: W,
+) -> io::Result<usize> {
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        match source.next_item() {
+            Some(item) => items.push(item),
+            None => break,
+        }
+    }
+    write_trace(writer, &items)?;
+    Ok(items.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::SUITE;
+    use crate::gen::AppTrace;
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let items = vec![
+            TraceItem::load(3, PhysAddr(0x1000)),
+            TraceItem::load_store(0, PhysAddr(64), PhysAddr(0x2000)),
+            TraceItem::load(1999, PhysAddr(u32::MAX as u64)),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &items).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(items, back);
+    }
+
+    #[test]
+    fn parses_decimal_hex_comments_and_blanks() {
+        let text = "# comment\n\n5 4096\n0 0x40 0X80\n";
+        let items = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0], TraceItem::load(5, PhysAddr(4096)));
+        assert_eq!(
+            items[1],
+            TraceItem::load_store(0, PhysAddr(0x40), PhysAddr(0x80))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        for bad in ["x 12", "3", "1 2 3 4", "1 zz"] {
+            let err = read_trace(bad.as_bytes()).unwrap_err();
+            assert!(matches!(err, TraceParseError::Malformed { line: 1, .. }), "{bad}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn export_matches_generator() {
+        let mut g = AppTrace::new(SUITE[0], 9);
+        let mut buf = Vec::new();
+        let n = export_source(&mut g, 50, &mut buf).unwrap();
+        assert_eq!(n, 50);
+        let parsed = read_trace(buf.as_slice()).unwrap();
+        let mut g2 = AppTrace::new(SUITE[0], 9);
+        let expect = crate::gen::take(&mut g2, 50);
+        assert_eq!(parsed, expect);
+    }
+}

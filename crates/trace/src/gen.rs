@@ -1,0 +1,255 @@
+//! Streaming trace generators.
+//!
+//! All generators implement [`TraceSource`] and are unbounded (the driver
+//! stops at its instruction budget, mirroring Ramulator's trace looping).
+//! Determinism: same seed → same trace.
+
+use clr_core::addr::PhysAddr;
+use clr_core::mapping::PAGE_BYTES;
+use clr_cpu::trace::{TraceItem, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::apps::AppModel;
+use crate::zipf::Zipf;
+
+/// Cache-line granularity of generated addresses.
+pub const LINE_BYTES: u64 = 64;
+
+/// Lines per OS page.
+const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
+
+/// Application-model generator: Zipf-skewed page popularity with
+/// intra-page sequential runs.
+///
+/// Each item is `bubbles` non-memory instructions plus a load; with
+/// probability `write_frac` the load is paired with a store to the same
+/// line (dirtying it, which produces writeback traffic on eviction).
+#[derive(Debug)]
+pub struct AppTrace {
+    model: AppModel,
+    rng: StdRng,
+    zipf: Zipf,
+    pages: u64,
+    cur_page: u64,
+    cur_line: u64,
+}
+
+impl AppTrace {
+    /// Creates a generator for `model` with the given seed.
+    pub fn new(model: AppModel, seed: u64) -> Self {
+        let pages = (model.footprint_bytes() / PAGE_BYTES).max(1);
+        // Cap the Zipf support to bound CDF precomputation; popularity
+        // beyond 2^20 pages is flat for every α we use.
+        let support = pages.min(1 << 20) as usize;
+        let mut rng = StdRng::seed_from_u64(seed ^ model.seed_salt());
+        let zipf = Zipf::new(support, model.page_skew_alpha);
+        let cur_page = rng.gen_range(0..pages);
+        AppTrace {
+            model,
+            rng,
+            zipf,
+            pages,
+            cur_page,
+            cur_line: 0,
+        }
+    }
+
+    /// The model driving this generator.
+    pub fn model(&self) -> &AppModel {
+        &self.model
+    }
+
+    fn jump_page(&mut self) {
+        // Spatial locality also governs page-level behaviour: streaming
+        // workloads (high locality, e.g. 462.libquantum) walk pages in
+        // order, covering the footprint uniformly; pointer-chasing ones
+        // jump to Zipf-popular pages.
+        if self.rng.gen_bool(self.model.locality) {
+            self.cur_page = (self.cur_page + 1) % self.pages;
+            self.cur_line = 0;
+        } else {
+            let z = self.zipf.sample(&mut self.rng) as u64;
+            // Scatter Zipf ranks over the footprint deterministically (odd
+            // multiplier → permutation for power-of-two footprints), so hot
+            // pages are stable across the run but not contiguous.
+            self.cur_page = z.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.pages;
+            self.cur_line = self.rng.gen_range(0..LINES_PER_PAGE);
+        }
+    }
+}
+
+impl TraceSource for AppTrace {
+    fn next_item(&mut self) -> Option<TraceItem> {
+        if self.rng.gen_bool(self.model.locality) && self.cur_line + 1 < LINES_PER_PAGE {
+            self.cur_line += 1;
+        } else {
+            self.jump_page();
+        }
+        let addr = PhysAddr(self.cur_page * PAGE_BYTES + self.cur_line * LINE_BYTES);
+        let write = if self.rng.gen_bool(self.model.write_frac) {
+            Some(addr)
+        } else {
+            None
+        };
+        Some(TraceItem {
+            bubbles: self.model.bubbles(),
+            read: addr,
+            write,
+        })
+    }
+}
+
+/// Sequential streaming generator (the paper's "stream" synthetic
+/// workloads): walks the footprint line by line, wrapping around.
+#[derive(Debug)]
+pub struct StreamTrace {
+    bubbles: u32,
+    lines: u64,
+    cur: u64,
+    write_frac: f64,
+    rng: StdRng,
+}
+
+impl StreamTrace {
+    /// Creates a stream over `footprint_bytes` with fixed `bubbles` per
+    /// access.
+    pub fn new(footprint_bytes: u64, bubbles: u32, write_frac: f64, seed: u64) -> Self {
+        StreamTrace {
+            bubbles,
+            lines: (footprint_bytes / LINE_BYTES).max(1),
+            cur: 0,
+            write_frac,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl TraceSource for StreamTrace {
+    fn next_item(&mut self) -> Option<TraceItem> {
+        let addr = PhysAddr(self.cur * LINE_BYTES);
+        self.cur = (self.cur + 1) % self.lines;
+        let write = if self.rng.gen_bool(self.write_frac) {
+            Some(addr)
+        } else {
+            None
+        };
+        Some(TraceItem {
+            bubbles: self.bubbles,
+            read: addr,
+            write,
+        })
+    }
+}
+
+/// Uniform-random generator (the paper's "random" synthetic workloads):
+/// every access picks a uniformly random line — minimal row locality,
+/// maximal row-buffer conflicts.
+#[derive(Debug)]
+pub struct RandomTrace {
+    bubbles: u32,
+    lines: u64,
+    write_frac: f64,
+    rng: StdRng,
+}
+
+impl RandomTrace {
+    /// Creates a random-access trace over `footprint_bytes`.
+    pub fn new(footprint_bytes: u64, bubbles: u32, write_frac: f64, seed: u64) -> Self {
+        RandomTrace {
+            bubbles,
+            lines: (footprint_bytes / LINE_BYTES).max(1),
+            write_frac,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl TraceSource for RandomTrace {
+    fn next_item(&mut self) -> Option<TraceItem> {
+        let line = self.rng.gen_range(0..self.lines);
+        let addr = PhysAddr(line * LINE_BYTES);
+        let write = if self.rng.gen_bool(self.write_frac) {
+            Some(addr)
+        } else {
+            None
+        };
+        Some(TraceItem {
+            bubbles: self.bubbles,
+            read: addr,
+            write,
+        })
+    }
+}
+
+/// Materializes the first `n` items of any source (testing/profiling aid).
+pub fn take(source: &mut dyn TraceSource, n: usize) -> Vec<TraceItem> {
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        match source.next_item() {
+            Some(item) => v.push(item),
+            None => break,
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::SUITE;
+
+    #[test]
+    fn app_trace_is_deterministic() {
+        let model = SUITE[0];
+        let a = take(&mut AppTrace::new(model, 1), 50);
+        let b = take(&mut AppTrace::new(model, 1), 50);
+        let c = take(&mut AppTrace::new(model, 2), 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn app_trace_stays_in_footprint() {
+        let model = SUITE[0];
+        let fp = model.footprint_bytes();
+        for item in take(&mut AppTrace::new(model, 3), 1000) {
+            assert!(item.read.0 < fp, "addr {} beyond footprint {fp}", item.read);
+        }
+    }
+
+    #[test]
+    fn stream_trace_is_sequential() {
+        let mut s = StreamTrace::new(1 << 20, 2, 0.0, 0);
+        let items = take(&mut s, 10);
+        for w in items.windows(2) {
+            assert_eq!(w[1].read.0, w[0].read.0 + LINE_BYTES);
+        }
+    }
+
+    #[test]
+    fn stream_wraps_at_footprint() {
+        let mut s = StreamTrace::new(128, 0, 0.0, 0); // 2 lines
+        let items = take(&mut s, 4);
+        assert_eq!(items[0].read.0, 0);
+        assert_eq!(items[1].read.0, 64);
+        assert_eq!(items[2].read.0, 0);
+    }
+
+    #[test]
+    fn random_trace_spreads_addresses() {
+        let mut r = RandomTrace::new(1 << 24, 0, 0.0, 9);
+        let items = take(&mut r, 256);
+        let distinct: std::collections::HashSet<u64> =
+            items.iter().map(|i| i.read.0).collect();
+        assert!(distinct.len() > 200, "only {} distinct lines", distinct.len());
+    }
+
+    #[test]
+    fn write_fraction_emits_stores() {
+        let mut r = RandomTrace::new(1 << 20, 0, 0.5, 11);
+        let items = take(&mut r, 1000);
+        let stores = items.iter().filter(|i| i.write.is_some()).count();
+        assert!((300..700).contains(&stores), "stores {stores}");
+    }
+}

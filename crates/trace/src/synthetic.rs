@@ -1,0 +1,109 @@
+//! The 30 in-house synthetic workloads (§8.1): 15 random-access and 15
+//! stream-access traces of varying intensity and footprint.
+//!
+//! Random workloads exhibit minimal row locality (frequent row conflicts →
+//! large CLR-DRAM gains from tRAS/tRP reduction); stream workloads exhibit
+//! maximal row locality (gains mostly from tRCD and refresh).
+
+use clr_cpu::trace::TraceSource;
+
+use crate::gen::{RandomTrace, StreamTrace};
+
+/// Kind of synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticKind {
+    /// Uniform-random line accesses.
+    Random,
+    /// Sequential line accesses.
+    Stream,
+}
+
+/// Descriptor of one synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Name ("random_03", "stream_11", ...).
+    pub kind: SyntheticKind,
+    /// Index within its family (0..15).
+    pub index: usize,
+    /// Non-memory instructions between accesses.
+    pub bubbles: u32,
+    /// Footprint in MiB.
+    pub footprint_mib: u64,
+}
+
+impl SyntheticSpec {
+    /// Display name matching the family naming of the paper's plots.
+    pub fn name(&self) -> String {
+        match self.kind {
+            SyntheticKind::Random => format!("random_{:02}", self.index),
+            SyntheticKind::Stream => format!("stream_{:02}", self.index),
+        }
+    }
+
+    /// Instantiates the generator (seeded by family and index).
+    pub fn build(&self) -> Box<dyn TraceSource + Send> {
+        let seed = 0x5EED_0000 + self.index as u64;
+        let fp = self.footprint_mib << 20;
+        match self.kind {
+            SyntheticKind::Random => Box::new(RandomTrace::new(fp, self.bubbles, 0.25, seed)),
+            SyntheticKind::Stream => Box::new(StreamTrace::new(fp, self.bubbles, 0.25, seed)),
+        }
+    }
+}
+
+/// The 30 synthetic workloads: intensities sweep bubbles
+/// {9, 19, 39, 79, 159} × footprints {64, 128, 256} MiB for each family.
+pub fn synthetic_suite() -> Vec<SyntheticSpec> {
+    let bubbles = [9u32, 19, 39, 79, 159];
+    let footprints = [64u64, 128, 256];
+    let mut v = Vec::with_capacity(30);
+    for kind in [SyntheticKind::Random, SyntheticKind::Stream] {
+        let mut index = 0;
+        for &b in &bubbles {
+            for &fp in &footprints {
+                v.push(SyntheticSpec {
+                    kind,
+                    index,
+                    bubbles: b,
+                    footprint_mib: fp,
+                });
+                index += 1;
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::take;
+
+    #[test]
+    fn suite_has_15_of_each_kind() {
+        let suite = synthetic_suite();
+        assert_eq!(suite.len(), 30);
+        let randoms = suite
+            .iter()
+            .filter(|s| s.kind == SyntheticKind::Random)
+            .count();
+        assert_eq!(randoms, 15);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = synthetic_suite();
+        let mut names: Vec<String> = suite.iter().map(|s| s.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 30);
+    }
+
+    #[test]
+    fn generators_yield_items() {
+        for spec in synthetic_suite().iter().take(4) {
+            let mut g = spec.build();
+            assert_eq!(take(g.as_mut(), 10).len(), 10);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! A unified handle over every workload the evaluation runs: the 41
+//! application models and the 30 synthetic traces.
+
+use clr_cpu::trace::TraceSource;
+
+use crate::apps::AppModel;
+use crate::gen::AppTrace;
+use crate::synthetic::{SyntheticKind, SyntheticSpec};
+
+/// One runnable workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// A named application model (SPEC/TPC/MediaBench).
+    App(AppModel),
+    /// A synthetic random/stream trace.
+    Synthetic(SyntheticSpec),
+}
+
+impl Workload {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            Workload::App(a) => a.name.to_string(),
+            Workload::Synthetic(s) => s.name(),
+        }
+    }
+
+    /// Whether this is one of the random-access synthetics.
+    pub fn is_random_synthetic(&self) -> bool {
+        matches!(
+            self,
+            Workload::Synthetic(SyntheticSpec {
+                kind: SyntheticKind::Random,
+                ..
+            })
+        )
+    }
+
+    /// Whether this is one of the stream-access synthetics.
+    pub fn is_stream_synthetic(&self) -> bool {
+        matches!(
+            self,
+            Workload::Synthetic(SyntheticSpec {
+                kind: SyntheticKind::Stream,
+                ..
+            })
+        )
+    }
+
+    /// Average instructions contributed per trace item (bubbles + load).
+    pub fn instructions_per_item(&self) -> f64 {
+        match self {
+            Workload::App(a) => a.bubbles() as f64 + 1.0,
+            Workload::Synthetic(s) => s.bubbles as f64 + 1.0,
+        }
+    }
+
+    /// Spawns a fresh, deterministic generator for this workload.
+    ///
+    /// Spawning twice with the same seed yields identical streams — the
+    /// property the profile-then-run evaluation flow relies on.
+    pub fn spawn(&self, seed: u64) -> Box<dyn TraceSource + Send> {
+        match self {
+            Workload::App(a) => Box::new(AppTrace::new(*a, seed)),
+            Workload::Synthetic(s) => s.build(),
+        }
+    }
+}
+
+/// The full single-core evaluation set: all 41 applications followed by
+/// the 30 synthetics (71 workloads, §8.1).
+pub fn single_core_suite() -> Vec<Workload> {
+    let mut v: Vec<Workload> = crate::apps::SUITE.iter().copied().map(Workload::App).collect();
+    v.extend(
+        crate::synthetic::synthetic_suite()
+            .into_iter()
+            .map(Workload::Synthetic),
+    );
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::take;
+
+    #[test]
+    fn suite_is_71_workloads() {
+        let s = single_core_suite();
+        assert_eq!(s.len(), 71);
+        assert_eq!(s.iter().filter(|w| w.is_random_synthetic()).count(), 15);
+        assert_eq!(s.iter().filter(|w| w.is_stream_synthetic()).count(), 15);
+    }
+
+    #[test]
+    fn spawn_is_reproducible() {
+        for w in single_core_suite().iter().step_by(17) {
+            let a = take(w.spawn(5).as_mut(), 20);
+            let b = take(w.spawn(5).as_mut(), 20);
+            assert_eq!(a, b, "{}", w.name());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! A seeded Zipf(α) sampler over `0..n`.
+//!
+//! Used to skew page popularity: α ≈ 0 approaches uniform (workloads whose
+//! speedup scales linearly with the high-performance fraction, like
+//! 462.libquantum), large α concentrates accesses on few pages (workloads
+//! that saturate at 25 %, like 450.soplex; §8.2).
+
+use rand::Rng;
+
+/// Discrete Zipf distribution with precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..n` with exponent `alpha ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf support must be nonempty");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "invalid alpha {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of support points.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples an index in `0..n`; index 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of index `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_orders_popularity() {
+        let z = Zipf::new(100, 1.2);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+    }
+
+    #[test]
+    fn samples_cover_support_and_respect_skew() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9]);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let z = Zipf::new(50, 0.8);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

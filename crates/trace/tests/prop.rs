@@ -1,0 +1,107 @@
+//! Property-based tests of the workload generators.
+
+use clr_cpu::trace::TraceSource;
+use clr_trace::apps::{AppModel, SUITE};
+use clr_trace::gen::{take, AppTrace, RandomTrace, StreamTrace};
+use clr_trace::mix::{build_mixes, MixGroup};
+use clr_trace::workload::{single_core_suite, Workload};
+use clr_trace::zipf::Zipf;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_model() -> impl Strategy<Value = AppModel> {
+    (0usize..SUITE.len()).prop_map(|i| SUITE[i])
+}
+
+proptest! {
+    /// All generators are deterministic in their seed and emit addresses
+    /// strictly inside their footprint.
+    #[test]
+    fn generators_are_seeded_and_bounded(model in arb_model(), seed in 0u64..1000) {
+        let a = take(&mut AppTrace::new(model, seed), 64);
+        let b = take(&mut AppTrace::new(model, seed), 64);
+        prop_assert_eq!(&a, &b);
+        let fp = model.footprint_bytes();
+        for item in &a {
+            prop_assert!(item.read.0 < fp);
+            if let Some(w) = item.write {
+                prop_assert!(w.0 < fp);
+            }
+            prop_assert_eq!(item.bubbles, model.bubbles());
+        }
+    }
+
+    /// Zipf CDF sums to one and pmf is non-increasing in rank.
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..2000, alpha in 0.0f64..2.5) {
+        let z = Zipf::new(n, alpha);
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..n.min(50) {
+            prop_assert!(z.pmf(i - 1) >= z.pmf(i) - 1e-12);
+        }
+        // Samples stay in range.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Stream traces visit consecutive lines with exact wraparound.
+    #[test]
+    fn stream_is_sequential(fp_lines in 2u64..1000, bubbles in 0u32..50) {
+        let mut s = StreamTrace::new(fp_lines * 64, bubbles, 0.0, 0);
+        let items = take(&mut s, (fp_lines as usize * 2).min(500));
+        for (i, item) in items.iter().enumerate() {
+            prop_assert_eq!(item.read.0, (i as u64 % fp_lines) * 64);
+        }
+    }
+
+    /// Random traces stay line-aligned and within the footprint.
+    #[test]
+    fn random_is_bounded_and_aligned(fp_lines in 1u64..100_000, seed in 0u64..50) {
+        let mut r = RandomTrace::new(fp_lines * 64, 0, 0.3, seed);
+        for item in take(&mut r, 200) {
+            prop_assert_eq!(item.read.0 % 64, 0);
+            prop_assert!(item.read.0 < fp_lines * 64);
+        }
+    }
+
+    /// Mixes always have the advertised composition and never repeat an
+    /// app within a mix, for any seed.
+    #[test]
+    fn mixes_are_well_formed(seed in 0u64..500, count in 1usize..10) {
+        for group in MixGroup::ALL {
+            for mix in build_mixes(group, count, seed) {
+                let mut names: Vec<&str> = mix.apps.iter().map(|a| a.name).collect();
+                names.sort_unstable();
+                names.dedup();
+                prop_assert_eq!(names.len(), 4);
+                let intensive = mix
+                    .apps
+                    .iter()
+                    .filter(|a| a.mpki > 2.0)
+                    .count();
+                let expect = match group {
+                    MixGroup::Low => 0,
+                    MixGroup::Medium => 2,
+                    MixGroup::High => 4,
+                };
+                prop_assert_eq!(intensive, expect);
+            }
+        }
+    }
+
+    /// Every workload in the 71-entry suite spawns a generator that
+    /// yields items forever (spot-checked).
+    #[test]
+    fn workloads_are_inexhaustible(idx in 0usize..71, seed in 0u64..20) {
+        let suite = single_core_suite();
+        let w: Workload = suite[idx];
+        let mut g = w.spawn(seed);
+        for _ in 0..32 {
+            prop_assert!(g.next_item().is_some(), "{} dried up", w.name());
+        }
+    }
+}

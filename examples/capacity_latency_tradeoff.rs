@@ -1,0 +1,66 @@
+//! The headline trade-off, end to end: sweep the high-performance row
+//! fraction and watch usable capacity fall as performance rises — then
+//! reconfigure at row granularity like a system adapting to its workload
+//! (§5, §6.1).
+//!
+//! Run with `cargo run --release --example capacity_latency_tradeoff`.
+
+use clr_dram::arch::capacity::{capacity_loss_fraction, effective_capacity_bytes};
+use clr_dram::arch::geometry::DramGeometry;
+use clr_dram::arch::iso::{SubarrayParity, SubarrayTopology};
+use clr_dram::arch::mode::{ModeTable, RowMode};
+use clr_dram::sim::experiment::mem_config;
+use clr_dram::sim::system::{run_workloads, RunConfig};
+use clr_dram::trace::synthetic::synthetic_suite;
+use clr_dram::trace::workload::Workload;
+
+fn main() {
+    let geom = DramGeometry::ddr4_16gb_x8();
+
+    // The trade-off curve for a latency-sensitive (random) workload.
+    let w = Workload::Synthetic(synthetic_suite()[2]); // hot random trace
+    let base = run_workloads(
+        &[w],
+        &RunConfig::paper(mem_config(None, 64.0), 60_000, 6_000, 17),
+    );
+    println!("capacity-latency trade-off ({}):", w.name());
+    println!("  HP rows   usable capacity   speedup");
+    for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let r = run_workloads(
+            &[w],
+            &RunConfig::paper(mem_config(Some(frac), 64.0), 60_000, 6_000, 17),
+        );
+        println!(
+            "  {:>5.0}%    {:>5.1} GiB ({:>4.1}% lost)   {:+.1}%",
+            frac * 100.0,
+            effective_capacity_bytes(&geom, frac) as f64 / (1u64 << 30) as f64,
+            capacity_loss_fraction(frac) * 100.0,
+            (r.ipc[0] / base.ipc[0] - 1.0) * 100.0
+        );
+    }
+
+    // Row-granularity reconfiguration: the mode table is just bits.
+    let mut modes = ModeTable::new(&geom);
+    modes.set_fraction_high_performance(0.25);
+    println!(
+        "\nmode table: {} high-performance rows out of {} ({} KiB of controller state)",
+        modes.high_performance_rows(),
+        geom.rows as u64 * geom.banks_total() as u64,
+        modes.storage_bits() / 8 / 1024
+    );
+    // Flip one row back to max-capacity — e.g. the OS reclaiming capacity.
+    let previous = modes.set(0, 10, RowMode::MaxCapacity);
+    println!("row 10 of bank 0: {previous} -> {}", modes.mode_of(0, 10));
+
+    // And the control signals that make it happen (§3.3).
+    for (mode, parity) in [
+        (RowMode::MaxCapacity, SubarrayParity::Even),
+        (RowMode::HighPerformance, SubarrayParity::Even),
+        (RowMode::HighPerformance, SubarrayParity::Odd),
+    ] {
+        let (here, neighbor) = SubarrayTopology::for_access(mode, parity);
+        println!(
+            "accessing a {mode} row in an {parity:?} subarray: topology {here:?}, neighbors {neighbor:?}"
+        );
+    }
+}

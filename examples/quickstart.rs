@@ -1,0 +1,72 @@
+//! Quickstart: a tour of the CLR-DRAM reproduction in ~60 lines.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use clr_dram::arch::capacity;
+use clr_dram::arch::geometry::DramGeometry;
+use clr_dram::arch::mode::{ModeTable, RowMode};
+use clr_dram::arch::timing::ClrTimings;
+use clr_dram::sim::experiment::mem_config;
+use clr_dram::sim::system::{run_workloads, RunConfig};
+use clr_dram::trace::apps::by_name;
+use clr_dram::trace::workload::Workload;
+
+fn main() {
+    // 1. The Table-1 timing model: what CLR-DRAM changes.
+    let timings = ClrTimings::from_circuit_defaults();
+    let base = timings.baseline();
+    let hp = timings.for_mode(RowMode::HighPerformance);
+    println!("DRAM timings, baseline vs high-performance mode:");
+    println!(
+        "  tRCD {:5.1} -> {:4.1} ns   tRAS {:5.1} -> {:4.1} ns",
+        base.t_rcd_ns, hp.t_rcd_ns, base.t_ras_ns, hp.t_ras_ns
+    );
+    println!(
+        "  tRP  {:5.1} -> {:4.1} ns   tWR  {:5.1} -> {:4.1} ns",
+        base.t_rp_ns, hp.t_rp_ns, base.t_wr_ns, hp.t_wr_ns
+    );
+
+    // 2. The capacity side of the trade-off.
+    let geom = DramGeometry::ddr4_16gb_x8();
+    let mut modes = ModeTable::new(&geom);
+    modes.set_fraction_high_performance(0.25);
+    let usable = capacity::effective_capacity_of_table(&geom, &modes);
+    println!(
+        "\nwith 25% of rows in high-performance mode: {:.2} GiB of {} GiB usable \
+         (area overhead of the isolation transistors: {:.1}%)",
+        usable as f64 / (1u64 << 30) as f64,
+        geom.capacity_bytes() >> 30,
+        capacity::chip_area_overhead() * 100.0
+    );
+
+    // 3. A full-system run: 429.mcf on baseline DDR4 vs all-HP CLR-DRAM.
+    let w = Workload::App(*by_name("429.mcf").expect("mcf is in the suite"));
+    let budget = 100_000;
+    let warmup = 10_000;
+    let baseline = run_workloads(
+        &[w],
+        &RunConfig::paper(mem_config(None, 64.0), budget, warmup, 42),
+    );
+    let clr = run_workloads(
+        &[w],
+        &RunConfig::paper(mem_config(Some(1.0), 64.0), budget, warmup, 42),
+    );
+    println!("\n429.mcf, {budget} instructions after {warmup} warmup:");
+    println!(
+        "  IPC        {:.3} -> {:.3}  ({:+.1}%)",
+        baseline.ipc[0],
+        clr.ipc[0],
+        (clr.ipc[0] / baseline.ipc[0] - 1.0) * 100.0
+    );
+    println!(
+        "  DRAM energy {:.2} uJ -> {:.2} uJ  ({:+.1}%)",
+        baseline.energy.total_j() * 1e6,
+        clr.energy.total_j() * 1e6,
+        (clr.energy.total_j() / baseline.energy.total_j() - 1.0) * 100.0
+    );
+    println!(
+        "  row-buffer hit rate {:.1}% -> {:.1}%",
+        baseline.mem.row_hit_rate() * 100.0,
+        clr.mem.row_hit_rate() * 100.0
+    );
+}

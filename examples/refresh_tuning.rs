@@ -1,0 +1,62 @@
+//! Tuning the refresh window of high-performance rows (§3.6, §8.5):
+//! longer windows cut refresh energy ~proportionally but degrade tRCD and
+//! tRAS — this example walks the trade-off from both the circuit and the
+//! system side.
+//!
+//! Run with `cargo run --release --example refresh_tuning`.
+
+use clr_dram::arch::refresh::RefreshPlan;
+use clr_dram::arch::timing::{ClrTimings, RefreshVariant};
+use clr_dram::circuit::params::CircuitParams;
+use clr_dram::circuit::retention::fig11_sweep;
+use clr_dram::sim::experiment::mem_config;
+use clr_dram::sim::system::{run_workloads, RunConfig};
+use clr_dram::trace::apps::by_name;
+use clr_dram::trace::workload::Workload;
+
+fn main() {
+    // Circuit side: what the extended window costs in latency.
+    println!("circuit-level: latency vs refresh window (measured)");
+    let sweep = fig11_sweep(&CircuitParams::default_22nm(), 194.0, 26.0);
+    for pt in &sweep {
+        println!(
+            "  tREFW {:>5.0} ms: tRCD {:>5.2} ns, tRAS {:>5.2} ns",
+            pt.refw_ms, pt.t_rcd_ns, pt.t_ras_ns
+        );
+    }
+
+    // Architecture side: the refresh schedule and its busy fraction.
+    println!("\nrefresh schedule (all rows high-performance):");
+    let timings = ClrTimings::from_circuit_defaults();
+    for v in RefreshVariant::ALL {
+        let plan = RefreshPlan::new(&timings, 1.0, v.refw_ms());
+        println!(
+            "  {:>8}: rank blocked {:.2}% of time, refresh-command time {:.2} ms/s",
+            v.label(),
+            plan.total_busy_fraction() * 100.0,
+            plan.refresh_time_over(1e9) / 1e6
+        );
+    }
+
+    // System side: performance + refresh energy of the named variants.
+    println!("\nsystem-level (470.lbm, all pages in high-performance rows):");
+    let w = Workload::App(*by_name("470.lbm").expect("lbm exists"));
+    let base = run_workloads(
+        &[w],
+        &RunConfig::paper(mem_config(None, 64.0), 200_000, 20_000, 5),
+    );
+    for v in RefreshVariant::ALL {
+        let r = run_workloads(
+            &[w],
+            &RunConfig::paper(mem_config(Some(1.0), v.refw_ms()), 200_000, 20_000, 5),
+        );
+        println!(
+            "  {:>8}: IPC {:+.1}% vs DDR4, refresh energy x{:.2}",
+            v.label(),
+            (r.ipc[0] / base.ipc[0] - 1.0) * 100.0,
+            (r.energy.refresh_j + 1e-12) / (base.energy.refresh_j + 1e-12)
+        );
+    }
+    println!("\n(the paper: CLR-114 performs best; CLR-194 trades a little");
+    println!(" performance for an 87% refresh-energy cut)");
+}

@@ -1,0 +1,76 @@
+//! **CLR-DRAM** — a full-system reproduction of *"CLR-DRAM: A Low-Cost DRAM
+//! Architecture Enabling Dynamic Capacity-Latency Trade-Off"* (Luo et al.,
+//! ISCA 2020).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`arch`] ([`clr_core`]) — the CLR-DRAM architecture model: row
+//!   operating modes, timing sets, geometry/addressing, hot-page mapping,
+//!   refresh planning;
+//! * [`circuit`] ([`clr_circuit`]) — the transient circuit simulator that
+//!   regenerates Table 1 and Figures 7/8/11 from first principles;
+//! * [`memsim`] ([`clr_memsim`]) — the cycle-accurate DDR4 device +
+//!   memory-controller model with per-row CLR timing;
+//! * [`cpu`] ([`clr_cpu`]) — the trace-driven core and LLC models;
+//! * [`trace`] ([`clr_trace`]) — workload models and trace generators;
+//! * [`power`] ([`clr_power`]) — the DRAMPower-style energy model;
+//! * [`sim`] ([`clr_sim`]) — full-system experiment runners for every
+//!   table and figure in the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clr_dram::arch::geometry::DramGeometry;
+//! use clr_dram::arch::mode::RowMode;
+//! use clr_dram::arch::timing::ClrTimings;
+//!
+//! // The four Table-1 timing sets:
+//! let timings = ClrTimings::from_circuit_defaults();
+//! let hp = timings.for_mode(RowMode::HighPerformance);
+//! println!("high-performance tRCD = {} ns", hp.t_rcd_ns);
+//!
+//! // Capacity cost of an all-high-performance configuration:
+//! let geom = DramGeometry::ddr4_16gb_x8();
+//! let usable = clr_dram::arch::capacity::effective_capacity_bytes(&geom, 1.0);
+//! assert_eq!(usable, geom.capacity_bytes() / 2);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the binaries regenerating every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+/// The CLR-DRAM architecture model (re-export of [`clr_core`]).
+pub mod arch {
+    pub use clr_core::*;
+}
+
+/// Transient circuit simulation (re-export of [`clr_circuit`]).
+pub mod circuit {
+    pub use clr_circuit::*;
+}
+
+/// Cycle-accurate DRAM + controller (re-export of [`clr_memsim`]).
+pub mod memsim {
+    pub use clr_memsim::*;
+}
+
+/// Trace-driven CPU + LLC (re-export of [`clr_cpu`]).
+pub mod cpu {
+    pub use clr_cpu::*;
+}
+
+/// Workload and trace generation (re-export of [`clr_trace`]).
+pub mod trace {
+    pub use clr_trace::*;
+}
+
+/// DRAM energy/power modelling (re-export of [`clr_power`]).
+pub mod power {
+    pub use clr_power::*;
+}
+
+/// Full-system experiments (re-export of [`clr_sim`]).
+pub mod sim {
+    pub use clr_sim::*;
+}

@@ -1,0 +1,121 @@
+//! End-to-end integration: trace generation → placement → CPU cluster →
+//! memory controller → energy model, checking the paper's headline
+//! directions on small budgets.
+
+use clr_dram::sim::experiment::mem_config;
+use clr_dram::sim::metrics::weighted_speedup;
+use clr_dram::sim::system::{run_workloads, RunConfig};
+use clr_dram::trace::apps::by_name;
+use clr_dram::trace::synthetic::synthetic_suite;
+use clr_dram::trace::workload::Workload;
+
+fn cfg(frac: Option<f64>, budget: u64) -> RunConfig {
+    RunConfig::paper(mem_config(frac, 64.0), budget, budget / 10, 1234)
+}
+
+#[test]
+fn clr_improves_ipc_and_energy_on_memory_intensive_app() {
+    let w = Workload::App(*by_name("429.mcf").expect("mcf exists"));
+    let base = run_workloads(&[w], &cfg(None, 40_000));
+    let clr = run_workloads(&[w], &cfg(Some(1.0), 40_000));
+    assert!(
+        clr.ipc[0] > base.ipc[0] * 1.10,
+        "expected >10% speedup: {} vs {}",
+        clr.ipc[0],
+        base.ipc[0]
+    );
+    assert!(
+        clr.energy.total_j() < base.energy.total_j(),
+        "energy must drop"
+    );
+    assert!(clr.avg_power_w() < base.avg_power_w() * 1.05);
+}
+
+#[test]
+fn non_memory_intensive_app_is_barely_affected() {
+    let w = Workload::App(*by_name("453.povray").expect("povray exists"));
+    let base = run_workloads(&[w], &cfg(None, 40_000));
+    let clr = run_workloads(&[w], &cfg(Some(1.0), 40_000));
+    let speedup = clr.ipc[0] / base.ipc[0];
+    assert!(
+        (0.98..1.10).contains(&speedup),
+        "povray speedup out of band: {speedup}"
+    );
+    // No workload experiences slowdown (§8.2 claim).
+    assert!(speedup >= 0.98);
+}
+
+#[test]
+fn random_benefits_more_than_stream() {
+    let suite = synthetic_suite();
+    let random = Workload::Synthetic(suite[1]);
+    let stream = Workload::Synthetic(suite[16]);
+    let sp = |w: Workload| {
+        let base = run_workloads(&[w], &cfg(None, 30_000));
+        let clr = run_workloads(&[w], &cfg(Some(1.0), 30_000));
+        clr.ipc[0] / base.ipc[0]
+    };
+    let sp_random = sp(random);
+    let sp_stream = sp(stream);
+    assert!(
+        sp_random > sp_stream,
+        "random {sp_random} must beat stream {sp_stream}"
+    );
+}
+
+#[test]
+fn four_core_weighted_speedup_improves() {
+    let names = ["429.mcf", "470.lbm", "450.soplex", "433.milc"];
+    let ws: Vec<Workload> = names
+        .iter()
+        .map(|n| Workload::App(*by_name(n).expect("app exists")))
+        .collect();
+    let budget = 15_000;
+    let base = run_workloads(&ws, &cfg(None, budget));
+    let clr = run_workloads(&ws, &cfg(Some(1.0), budget));
+    // Weighted speedup with identical alone-IPC sets on both sides
+    // reduces to comparing shared-IPC sums core by core.
+    let alone: Vec<f64> = ws
+        .iter()
+        .map(|w| run_workloads(&[*w], &cfg(None, budget)).ipc[0])
+        .collect();
+    let ws_base = weighted_speedup(&base.ipc, &alone);
+    let ws_clr = weighted_speedup(&clr.ipc, &alone);
+    assert!(
+        ws_clr > ws_base * 1.05,
+        "weighted speedup {ws_clr} vs {ws_base}"
+    );
+}
+
+#[test]
+fn refresh_heterogeneity_reaches_the_device() {
+    let w = Workload::App(*by_name("433.milc").expect("milc exists"));
+    // Both streams fire once per ~18.8k DRAM cycles at fraction 0.5; run a
+    // window long enough to observe several of each.
+    let r = run_workloads(&[w], &cfg(Some(0.5), 250_000));
+    // Both refresh streams must have issued commands during the window.
+    assert!(
+        r.mem.refs_max_capacity > 0,
+        "max-capacity refresh stream never fired"
+    );
+    assert!(
+        r.mem.refs_high_performance > 0,
+        "high-performance refresh stream never fired"
+    );
+}
+
+#[test]
+fn per_mode_activations_match_placement_fractions() {
+    let w = Workload::App(*by_name("429.mcf").expect("mcf exists"));
+    // 0%: every ACT is max-capacity. 100%: every ACT is high-performance.
+    let all_mc = run_workloads(&[w], &cfg(Some(0.0), 20_000));
+    assert_eq!(all_mc.mem.acts_high_performance, 0);
+    assert!(all_mc.mem.acts_max_capacity > 0);
+    let all_hp = run_workloads(&[w], &cfg(Some(1.0), 20_000));
+    assert_eq!(all_hp.mem.acts_max_capacity, 0);
+    assert!(all_hp.mem.acts_high_performance > 0);
+    // 25% with hot-page placement: most (but not all) ACTs hit HP rows.
+    let mixed = run_workloads(&[w], &cfg(Some(0.25), 20_000));
+    assert!(mixed.mem.acts_high_performance > 0);
+    assert!(mixed.mem.acts_max_capacity > 0);
+}

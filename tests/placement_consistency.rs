@@ -1,0 +1,88 @@
+//! Consistency between the three views of "which rows are fast": the page
+//! placement, the mode table, and the memory controller's row-mode
+//! predicate — property-tested across fractions and profiles.
+
+use clr_dram::arch::addr::{AddressMapping, PhysAddr};
+use clr_dram::arch::geometry::DramGeometry;
+use clr_dram::arch::mapping::{PagePlacement, PageProfile, PAGE_BYTES};
+use clr_dram::arch::mode::{ModeTable, RowMode};
+use clr_dram::memsim::config::MemConfig;
+use clr_dram::memsim::controller::MemoryController;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under the row-major interleaving, an address the placement calls
+    /// "fast" decodes to a row the controller runs in high-performance
+    /// mode, and vice versa.
+    #[test]
+    fn placement_and_controller_agree(
+        pages in proptest::collection::vec((0u64..4096, 1u64..100), 1..50),
+        frac_q in 0u8..=4,
+    ) {
+        let frac = frac_q as f64 / 4.0;
+        let geom = DramGeometry::ddr4_16gb_x8();
+        let mapping = AddressMapping::RoBgBaRaCoCh;
+        let mut profile = PageProfile::new();
+        for &(page, count) in &pages {
+            for _ in 0..count.min(8) {
+                profile.record(PhysAddr(page * PAGE_BYTES));
+            }
+        }
+        let mut placement = PagePlacement::profile_guided(&profile, frac, &geom)
+            .expect("valid fraction");
+        let mc = MemoryController::new(MemConfig::paper_clr(frac));
+
+        for &(page, _) in &pages {
+            let t = placement.translate(PhysAddr(page * PAGE_BYTES));
+            let decoded = mapping.map(t, &geom).expect("translated address in range");
+            let controller_mode = mc.mode_of_row(decoded.row);
+            let placement_fast = placement.is_fast(t);
+            prop_assert_eq!(
+                placement_fast,
+                controller_mode == RowMode::HighPerformance,
+                "page {} → frame {:?} row {}: placement {} vs controller {}",
+                page, t, decoded.row, placement_fast, controller_mode
+            );
+        }
+    }
+
+    /// The mode table's contiguous-prefix layout matches the controller's
+    /// threshold predicate for every fraction.
+    #[test]
+    fn mode_table_matches_controller(frac_q in 0u8..=8) {
+        let frac = frac_q as f64 / 8.0;
+        let geom = DramGeometry::tiny();
+        let mut table = ModeTable::new(&geom);
+        table.set_fraction_high_performance(frac);
+        let mut cfg = MemConfig::tiny_clr(frac);
+        cfg.refresh_enabled = false;
+        let mc = MemoryController::new(cfg);
+        for row in 0..geom.rows {
+            prop_assert_eq!(table.mode_of(0, row), mc.mode_of_row(row), "row {}", row);
+        }
+    }
+
+    /// Translation never moves an address out of the configured capacity
+    /// and never collides two distinct profiled pages onto one frame.
+    #[test]
+    fn translation_is_injective_and_bounded(
+        pages in proptest::collection::hash_set(0u64..10_000, 1..80),
+        frac_q in 0u8..=4,
+    ) {
+        let geom = DramGeometry::ddr4_16gb_x8();
+        let mut profile = PageProfile::new();
+        for &p in &pages {
+            profile.record(PhysAddr(p * PAGE_BYTES));
+        }
+        let mut placement =
+            PagePlacement::profile_guided(&profile, frac_q as f64 / 4.0, &geom).expect("valid");
+        let mut seen = std::collections::HashSet::new();
+        for &p in &pages {
+            let t = placement.translate(PhysAddr(p * PAGE_BYTES));
+            prop_assert!(t.0 < geom.capacity_bytes());
+            prop_assert!(seen.insert(t.page(PAGE_BYTES)), "frame collision for page {}", p);
+        }
+    }
+}
