@@ -63,9 +63,7 @@ fn bench_twin_cell(c: &mut Criterion) {
     for topo in [Topology::ClrHighPerformance, Topology::OpenBitlineBaseline] {
         let sub = build(topo, &p);
         g.bench_function(format!("{topo:?}"), |b| {
-            b.iter(|| {
-                run_act_pre(&sub, &p, ActPreOptions::nominal(p.vdd * 0.96)).t_rcd_ns
-            })
+            b.iter(|| run_act_pre(&sub, &p, ActPreOptions::nominal(p.vdd * 0.96)).t_rcd_ns)
         });
     }
     g.finish();

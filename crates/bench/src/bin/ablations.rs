@@ -27,7 +27,10 @@ fn main() {
             early_termination: et,
         };
         let ipc = ipc_of(cfg, budget);
-        println!("  {label}: IPC {:+.1}% vs baseline DDR4", (ipc / base - 1.0) * 100.0);
+        println!(
+            "  {label}: IPC {:+.1}% vs baseline DDR4",
+            (ipc / base - 1.0) * 100.0
+        );
     }
 
     println!("\nablation: FR-FCFS cap (four-core H mix; the cap only matters under interference)");
@@ -37,13 +40,19 @@ fn main() {
     let mix_ipc = |cap: u32| -> f64 {
         let mut cfg = mem_config(None, 64.0);
         cfg.scheduler.cap = cap;
-        let r = run_workloads(&mix_ws, &RunConfig::paper(cfg, mix_budget, mix_budget / 10, 77));
+        let r = run_workloads(
+            &mix_ws,
+            &RunConfig::paper(cfg, mix_budget, mix_budget / 10, 77),
+        );
         r.ipc.iter().sum()
     };
     let cap4 = mix_ipc(4);
     for cap in [1u32, 2, 4, 8, 16] {
         let ipc = mix_ipc(cap);
-        println!("  cap {cap:>2}: throughput {:+.2}% vs cap 4 default", (ipc / cap4 - 1.0) * 100.0);
+        println!(
+            "  cap {cap:>2}: throughput {:+.2}% vs cap 4 default",
+            (ipc / cap4 - 1.0) * 100.0
+        );
     }
 
     println!("\nablation: timeout row policy (baseline DDR4)");
@@ -51,12 +60,21 @@ fn main() {
         let mut cfg = mem_config(None, 64.0);
         cfg.scheduler.row_policy = clr_memsim::config::RowPolicy::Timeout { ns: timeout };
         let ipc = ipc_of(cfg, budget);
-        println!("  {timeout:>4} ns: IPC {:+.2}% vs 120 ns default", (ipc / base - 1.0) * 100.0);
+        println!(
+            "  {timeout:>4} ns: IPC {:+.2}% vs 120 ns default",
+            (ipc / base - 1.0) * 100.0
+        );
     }
 
     println!("\nablation: refresh heterogeneity (50% HP rows, 429.mcf)");
-    for (label, refw) in [("tRFC-only (64 ms window)", 64.0), ("tRFC + 3x window (194 ms)", 194.0)] {
+    for (label, refw) in [
+        ("tRFC-only (64 ms window)", 64.0),
+        ("tRFC + 3x window (194 ms)", 194.0),
+    ] {
         let ipc = ipc_of(mem_config(Some(0.5), refw), budget);
-        println!("  {label}: IPC {:+.1}% vs baseline", (ipc / base - 1.0) * 100.0);
+        println!(
+            "  {label}: IPC {:+.1}% vs baseline",
+            (ipc / base - 1.0) * 100.0
+        );
     }
 }

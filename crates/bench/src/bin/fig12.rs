@@ -17,7 +17,11 @@ fn main() {
             HEADLINES.single_core_speedup[frac],
         );
     }
-    clr_bench::compare("IPC gain @0% (all max-cap)", ipc[0] - 1.0, HEADLINES.single_core_speedup_all_maxcap);
+    clr_bench::compare(
+        "IPC gain @0% (all max-cap)",
+        ipc[0] - 1.0,
+        HEADLINES.single_core_speedup_all_maxcap,
+    );
     for (i, frac) in [(1usize, 0usize), (2, 1), (3, 2), (4, 3)] {
         clr_bench::compare(
             &format!("energy saving @{}%", (frac + 1) * 25),

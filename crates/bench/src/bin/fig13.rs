@@ -11,13 +11,29 @@ fn main() {
     let ws = report.gmean_ws();
     let energy = report.gmean_energy();
     println!("paper-vs-measured (GMEAN over mixes):");
-    clr_bench::compare("weighted speedup @25%", ws[1] - 1.0, HEADLINES.multi_core_speedup[0]);
-    clr_bench::compare("weighted speedup @100%", ws[4] - 1.0, HEADLINES.multi_core_speedup[3]);
+    clr_bench::compare(
+        "weighted speedup @25%",
+        ws[1] - 1.0,
+        HEADLINES.multi_core_speedup[0],
+    );
+    clr_bench::compare(
+        "weighted speedup @100%",
+        ws[4] - 1.0,
+        HEADLINES.multi_core_speedup[3],
+    );
     clr_bench::compare(
         "H-group speedup @100%",
         report.high_group().norm_ws[4] - 1.0,
         HEADLINES.multi_core_speedup_high_mpki,
     );
-    clr_bench::compare("energy saving @25%", 1.0 - energy[1], HEADLINES.multi_core_energy_saving_25_100[0]);
-    clr_bench::compare("energy saving @100%", 1.0 - energy[4], HEADLINES.multi_core_energy_saving_25_100[1]);
+    clr_bench::compare(
+        "energy saving @25%",
+        1.0 - energy[1],
+        HEADLINES.multi_core_energy_saving_25_100[0],
+    );
+    clr_bench::compare(
+        "energy saving @100%",
+        1.0 - energy[4],
+        HEADLINES.multi_core_energy_saving_25_100[1],
+    );
 }

@@ -12,8 +12,24 @@ fn main() {
     println!("paper-vs-measured:");
     let sp = s.gmean_power();
     let mp = m.gmean_power();
-    clr_bench::compare("single-core power saving @25%", 1.0 - sp[1], HEADLINES.single_core_power_saving_25_100[0]);
-    clr_bench::compare("single-core power saving @100%", 1.0 - sp[4], HEADLINES.single_core_power_saving_25_100[1]);
-    clr_bench::compare("multi-core power saving @25%", 1.0 - mp[1], HEADLINES.multi_core_power_saving_25_100[0]);
-    clr_bench::compare("multi-core power saving @100%", 1.0 - mp[4], HEADLINES.multi_core_power_saving_25_100[1]);
+    clr_bench::compare(
+        "single-core power saving @25%",
+        1.0 - sp[1],
+        HEADLINES.single_core_power_saving_25_100[0],
+    );
+    clr_bench::compare(
+        "single-core power saving @100%",
+        1.0 - sp[4],
+        HEADLINES.single_core_power_saving_25_100[1],
+    );
+    clr_bench::compare(
+        "multi-core power saving @25%",
+        1.0 - mp[1],
+        HEADLINES.multi_core_power_saving_25_100[0],
+    );
+    clr_bench::compare(
+        "multi-core power saving @100%",
+        1.0 - mp[4],
+        HEADLINES.multi_core_power_saving_25_100[1],
+    );
 }

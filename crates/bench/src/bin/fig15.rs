@@ -22,5 +22,9 @@ fn main() {
         1.0 - clr194.norm_refresh_energy[3],
         HEADLINES.refresh_energy_saving_clr194,
     );
-    clr_bench::compare("CLR-194 speedup", clr194.norm_perf[3] - 1.0, HEADLINES.multi_core_speedup_clr194);
+    clr_bench::compare(
+        "CLR-194 speedup",
+        clr194.norm_perf[3] - 1.0,
+        HEADLINES.multi_core_speedup_clr194,
+    );
 }

@@ -1,0 +1,38 @@
+//! Regenerates the dynamic-policy sweep: mode-management policies × the
+//! phase-shifting workload → IPC, DRAM energy, capacity loss.
+//!
+//! The final stdout block is machine-readable JSON
+//! (`clr-dram/policy-sweep/v1`) so successive PRs can track the
+//! performance trajectory of the policies.
+
+use clr_sim::experiment::policies;
+
+fn main() {
+    let scale = clr_bench::startup("policy sweep (dynamic capacity-latency trade-off, §6)");
+    let report = policies::run(scale, 42);
+    print!("{}", report.render());
+
+    let dynamic = report
+        .cell("hysteresis")
+        .expect("hysteresis is in the roster");
+    let all_hp = report.cell("static-100").expect("all-HP is in the roster");
+    match report.best_static_within(dynamic.avg_capacity_loss) {
+        Some(rival) => {
+            println!(
+                "\nhysteresis vs best static split within its capacity budget ({}):",
+                rival.policy
+            );
+            println!(
+                "  IPC {:+.1}% | capacity loss {:.1}% vs {:.1}% | all-HP loses {:.1}%",
+                (dynamic.ipc / rival.ipc - 1.0) * 100.0,
+                dynamic.avg_capacity_loss * 100.0,
+                rival.avg_capacity_loss * 100.0,
+                all_hp.avg_capacity_loss * 100.0,
+            );
+        }
+        None => println!("\nno static split fits the dynamic capacity budget"),
+    }
+
+    println!("\n--- machine-readable (clr-dram/policy-sweep/v1) ---");
+    print!("{}", report.to_json());
+}

@@ -18,6 +18,9 @@ fn main() {
     }
     println!("\nfig11 sweep:");
     for pt in fig11_sweep(&p, 204.0, 10.0) {
-        println!("  refw {:>5.0} ms: tRCD {:.2} tRAS {:.2} ok={}", pt.refw_ms, pt.t_rcd_ns, pt.t_ras_ns, pt.ok);
+        println!(
+            "  refw {:>5.0} ms: tRCD {:.2} tRAS {:.2} ok={}",
+            pt.refw_ms, pt.t_rcd_ns, pt.t_ras_ns, pt.ok
+        );
     }
 }

@@ -10,12 +10,8 @@ use crate::params::CircuitParams;
 use crate::timing::{measure_table1, Table1Measurement};
 
 /// The paper's baseline timings (Table 1, ns).
-pub const PAPER_BASELINE_NS: [(&str, f64); 4] = [
-    ("tRCD", 13.8),
-    ("tRAS", 39.4),
-    ("tRP", 15.5),
-    ("tWR", 12.5),
-];
+pub const PAPER_BASELINE_NS: [(&str, f64); 4] =
+    [("tRCD", 13.8), ("tRAS", 39.4), ("tRP", 15.5), ("tWR", 12.5)];
 
 /// Result of a calibration check.
 #[derive(Debug, Clone)]
@@ -43,7 +39,10 @@ impl CalibrationReport {
                 "  {name}: measured {meas:.1} ns, paper {target:.1} ns (x{ratio:.2})\n"
             ));
         }
-        out.push_str(&format!("  worst error: {:.0}%\n", self.worst_error() * 100.0));
+        out.push_str(&format!(
+            "  worst error: {:.0}%\n",
+            self.worst_error() * 100.0
+        ));
         out
     }
 }

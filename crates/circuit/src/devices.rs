@@ -122,11 +122,7 @@ impl Mosfet {
             // Triode.
             let clm = 1.0 + lambda * vds;
             let i0 = k * (vov * vds - 0.5 * vds * vds);
-            (
-                i0 * clm,
-                k * vds * clm,
-                k * (vov - vds) * clm + i0 * lambda,
-            )
+            (i0 * clm, k * vds * clm, k * (vov - vds) * clm + i0 * lambda)
         } else {
             // Saturation.
             let clm = 1.0 + lambda * vds;

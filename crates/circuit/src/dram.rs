@@ -284,7 +284,10 @@ mod tests {
 
     #[test]
     fn baseline_has_one_sa_no_iso() {
-        let s = build(Topology::OpenBitlineBaseline, &CircuitParams::default_22nm());
+        let s = build(
+            Topology::OpenBitlineBaseline,
+            &CircuitParams::default_22nm(),
+        );
         assert!(s.sa2.is_none());
         assert!(s.iso1_gate.is_none());
         assert!(s.cellb.is_none());
@@ -318,7 +321,10 @@ mod tests {
 
     #[test]
     fn write_drivers_start_disconnected() {
-        let s = build(Topology::OpenBitlineBaseline, &CircuitParams::default_22nm());
+        let s = build(
+            Topology::OpenBitlineBaseline,
+            &CircuitParams::default_22nm(),
+        );
         assert!(!s.net.sources[s.write_bl.0].connected);
         assert!(!s.net.sources[s.write_blb.0].connected);
     }

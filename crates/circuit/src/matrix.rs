@@ -11,7 +11,10 @@ pub struct Matrix {
 impl Matrix {
     /// Creates an `n × n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        Matrix { n, a: vec![0.0; n * n] }
+        Matrix {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 
     /// Dimension.
@@ -88,8 +91,8 @@ impl Matrix {
         // Back substitution.
         for k in (0..n).rev() {
             let mut s = b[k];
-            for c in (k + 1)..n {
-                s -= self.get(k, c) * b[c];
+            for (c, &bc) in b.iter().enumerate().take(n).skip(k + 1) {
+                s -= self.get(k, c) * bc;
             }
             b[k] = s / self.get(k, k);
         }

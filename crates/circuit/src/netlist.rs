@@ -1,7 +1,7 @@
 //! Circuit construction: nodes, passive devices, MOSFETs, and driven
 //! sources.
 
-use crate::devices::{Capacitor, Mosfet, MosKind, Node, Resistor};
+use crate::devices::{Capacitor, MosKind, Mosfet, Node, Resistor};
 use crate::params::MosParams;
 
 /// Identifier of a driven (slewable) voltage source.

@@ -40,11 +40,7 @@ pub fn fig11_sweep(p: &CircuitParams, max_ms: f64, step_ms: f64) -> Vec<Fig11Poi
     let mut refw = 64.0;
     while refw <= max_ms + 1e-9 {
         let v0 = initial_cell_voltage(p, refw);
-        let r = run_act_pre(
-            &sub,
-            p,
-            ActPreOptions::nominal(v0),
-        );
+        let r = run_act_pre(&sub, p, ActPreOptions::nominal(v0));
         let ok = r.sense_correct && r.t_rcd_ns.is_finite() && r.t_ras_et_ns.is_finite();
         out.push(Fig11Point {
             refw_ms: refw,
@@ -89,7 +85,7 @@ mod tests {
         let sweep = fig11_sweep(&p, 194.0, 65.0); // coarse: 64, 129, 194
         assert!(sweep.len() >= 3, "sweep too short: {sweep:?}");
         let first = sweep.first().unwrap();
-        let last = sweep.iter().filter(|pt| pt.ok).last().unwrap();
+        let last = sweep.iter().rfind(|pt| pt.ok).unwrap();
         assert!(
             last.t_rcd_ns > first.t_rcd_ns,
             "tRCD must grow: {} → {}",

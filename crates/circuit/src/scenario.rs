@@ -166,15 +166,14 @@ pub fn run_act_pre(sub: &Subarray, p: &CircuitParams, opts: ActPreOptions) -> Ac
     while sim.time_ns() < PHASE_LIMIT_NS {
         sim.step();
         steps += 1;
-        if opts.capture_trace && steps % 10 == 0 {
+        if opts.capture_trace && steps.is_multiple_of(10) {
             trace.push(capture(&sim, sub));
         }
         let dv = sim.v(sub.sa1.bl) - sim.v(sub.sa1.blb);
         if trigger_t.is_nan() && dv.abs() >= p.sense_trigger_v {
             trigger_t = sim.time_ns();
         }
-        if !sense_fired && trigger_t.is_finite() && sim.time_ns() >= trigger_t + p.sense_delay_ns
-        {
+        if !sense_fired && trigger_t.is_finite() && sim.time_ns() >= trigger_t + p.sense_delay_ns {
             sense_fired = true;
             enable_sense(&mut sim, sub, p, !opts.single_sa_twin_cell);
         }
@@ -185,9 +184,7 @@ pub fn run_act_pre(sub: &Subarray, p: &CircuitParams, opts: ActPreOptions) -> Ac
             t_rcd = sim.time_ns();
         }
         let cell_hi = sim.v(sub.cell);
-        let cellb_done = sub
-            .cellb
-            .map_or(true, |cb| sim.v(cb) <= lo_full_v.max(0.05));
+        let cellb_done = sub.cellb.is_none_or(|cb| sim.v(cb) <= lo_full_v.max(0.05));
         if t_ras_et.is_nan() && cell_hi >= et_v && cellb_done {
             t_ras_et = sim.time_ns();
         }
@@ -210,7 +207,7 @@ pub fn run_act_pre(sub: &Subarray, p: &CircuitParams, opts: ActPreOptions) -> Ac
     while sim.time_ns() < t_pre_cmd + PHASE_LIMIT_NS {
         sim.step();
         steps += 1;
-        if opts.capture_trace && steps % 10 == 0 {
+        if opts.capture_trace && steps.is_multiple_of(10) {
             trace.push(capture(&sim, sub));
         }
         let nodes = [sub.bl_top, sub.bl_bottom, sub.blb_top, sub.blb_bottom];
@@ -251,8 +248,7 @@ pub fn run_write_recovery(sub: &Subarray, p: &CircuitParams, initial_cell_v: f64
         if trigger_t.is_nan() && dv.abs() >= p.sense_trigger_v {
             trigger_t = sim.time_ns();
         }
-        if !sense_fired && trigger_t.is_finite() && sim.time_ns() >= trigger_t + p.sense_delay_ns
-        {
+        if !sense_fired && trigger_t.is_finite() && sim.time_ns() >= trigger_t + p.sense_delay_ns {
             sense_fired = true;
             enable_sense(&mut sim, sub, p, true);
         }
@@ -301,11 +297,7 @@ mod tests {
     fn act(topology: Topology) -> ActPreResult {
         let p = CircuitParams::default_22nm();
         let sub = build(topology, &p);
-        run_act_pre(
-            &sub,
-            &p,
-            ActPreOptions::nominal(p.vdd * 0.95),
-        )
+        run_act_pre(&sub, &p, ActPreOptions::nominal(p.vdd * 0.95))
     }
 
     #[test]

@@ -47,11 +47,7 @@ impl Table1Measurement {
 
 /// Measures one topology at the given stored-'1' level; `early_termination`
 /// picks which restoration target defines tRAS/tWR.
-pub fn measure_mode(
-    topology: Topology,
-    p: &CircuitParams,
-    early_termination: bool,
-) -> ModeTimings {
+pub fn measure_mode(topology: Topology, p: &CircuitParams, early_termination: bool) -> ModeTimings {
     let v0 = initial_cell_voltage(p, 64.0);
     let sub = build(topology, p);
     let act = run_act_pre(&sub, p, ActPreOptions::nominal(v0));

@@ -327,7 +327,16 @@ mod tests {
         let wl = net.node("wl");
         net.source(bl, 1.2);
         let _wl_src = net.source(wl, 2.4);
-        net.nmos(bl, wl, cell, MosParams { k: 1e-4, vth: 0.5, lambda: 0.0 });
+        net.nmos(
+            bl,
+            wl,
+            cell,
+            MosParams {
+                k: 1e-4,
+                vth: 0.5,
+                lambda: 0.0,
+            },
+        );
         net.capacitor(cell, 0, 20e-15);
         let mut sim = Transient::new(net, 0.01);
         sim.run(50.0);
@@ -363,8 +372,16 @@ mod tests {
         let san = net.node("san");
         let sap_src = net.source(sap, 0.6);
         let san_src = net.source(san, 0.6);
-        let nk = MosParams { k: 2.6e-4, vth: 0.42, lambda: 0.08 };
-        let pk = MosParams { k: -1.3e-4, vth: -0.42, lambda: 0.08 };
+        let nk = MosParams {
+            k: 2.6e-4,
+            vth: 0.42,
+            lambda: 0.08,
+        };
+        let pk = MosParams {
+            k: -1.3e-4,
+            vth: -0.42,
+            lambda: 0.08,
+        };
         net.nmos(a, b, san, nk);
         net.nmos(b, a, san, nk);
         net.pmos(a, b, sap, pk);

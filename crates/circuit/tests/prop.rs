@@ -29,9 +29,9 @@ proptest! {
         }
         // b = A·x_true.
         let mut b = vec![0.0; n];
-        for i in 0..n {
-            for j in 0..n {
-                b[i] += m.get(i, j) * x_true[j];
+        for (i, bi) in b.iter_mut().enumerate() {
+            for (j, xj) in x_true.iter().enumerate() {
+                *bi += m.get(i, j) * xj;
             }
         }
         let mut solved = b.clone();

@@ -35,7 +35,7 @@ pub enum SubarrayParity {
 impl SubarrayParity {
     /// Parity of subarray index `i`.
     pub fn of(i: u32) -> Self {
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             SubarrayParity::Even
         } else {
             SubarrayParity::Odd
@@ -167,7 +167,7 @@ pub enum SaSide {
 /// Side of the SA serving column `col` (even columns → top, odd → bottom,
 /// matching Figure 4a where cell A/SA1 are top and cell B/SA2 bottom).
 pub fn sa_side(col: u32) -> SaSide {
-    if col % 2 == 0 {
+    if col.is_multiple_of(2) {
         SaSide::Top
     } else {
         SaSide::Bottom
@@ -209,7 +209,7 @@ impl RowConnectivity {
             },
             SubarrayTopology::Coupled => {
                 assert!(
-                    physical_cells % 2 == 0,
+                    physical_cells.is_multiple_of(2),
                     "coupled operation requires an even column count"
                 );
                 RowConnectivity::CoupledPairs {
@@ -251,7 +251,11 @@ mod tests {
         for parity in [SubarrayParity::Even, SubarrayParity::Odd] {
             let (here, neighbor) = SubarrayTopology::for_access(RowMode::HighPerformance, parity);
             assert_eq!(here, SubarrayTopology::Coupled, "parity {parity:?}");
-            assert_eq!(neighbor, SubarrayTopology::Disconnected, "parity {parity:?}");
+            assert_eq!(
+                neighbor,
+                SubarrayTopology::Disconnected,
+                "parity {parity:?}"
+            );
         }
     }
 
@@ -259,12 +263,30 @@ mod tests {
     fn figure6_signal_levels() {
         // Max-capacity: ISO1=H, ISO2=L for both parities.
         let s = IsoSignals::for_access(RowMode::MaxCapacity, SubarrayParity::Odd);
-        assert_eq!(s, IsoSignals { iso1: true, iso2: false });
+        assert_eq!(
+            s,
+            IsoSignals {
+                iso1: true,
+                iso2: false
+            }
+        );
         // HP odd: both high; HP even: both low.
         let s = IsoSignals::for_access(RowMode::HighPerformance, SubarrayParity::Odd);
-        assert_eq!(s, IsoSignals { iso1: true, iso2: true });
+        assert_eq!(
+            s,
+            IsoSignals {
+                iso1: true,
+                iso2: true
+            }
+        );
         let s = IsoSignals::for_access(RowMode::HighPerformance, SubarrayParity::Even);
-        assert_eq!(s, IsoSignals { iso1: false, iso2: false });
+        assert_eq!(
+            s,
+            IsoSignals {
+                iso1: false,
+                iso2: false
+            }
+        );
     }
 
     #[test]

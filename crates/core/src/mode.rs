@@ -181,6 +181,32 @@ impl ModeTable {
     pub fn storage_bits(&self) -> u64 {
         self.rows_per_bank as u64 * self.banks as u64
     }
+
+    /// Iterates every high-performance row as `(flat_bank, row)`, in
+    /// `(bank, row)` order. Runs over the bitmap words, so cost is
+    /// proportional to table size ÷ 64 plus the number of set rows —
+    /// cheap enough for a policy runtime to call every epoch.
+    pub fn iter_high_performance(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.bitmaps
+            .iter()
+            .enumerate()
+            .flat_map(move |(bank, words)| {
+                let rows = self.rows_per_bank;
+                words.iter().enumerate().flat_map(move |(wi, &w)| {
+                    let mut w = w;
+                    std::iter::from_fn(move || {
+                        if w == 0 {
+                            return None;
+                        }
+                        let bit = w.trailing_zeros();
+                        w &= w - 1;
+                        Some(wi as u32 * 64 + bit)
+                    })
+                    .filter(move |&row| row < rows)
+                    .map(move |row| (bank, row))
+                })
+            })
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +275,18 @@ mod tests {
         assert_eq!(t.storage_bits(), g.rows as u64 * g.banks_total() as u64);
         // 128 K rows × 16 banks = 2 Mbit = 256 KiB of controller state.
         assert_eq!(t.storage_bits(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn hp_iterator_matches_lookups() {
+        let g = DramGeometry::tiny();
+        let mut t = ModeTable::new(&g);
+        t.set(0, 0, RowMode::HighPerformance);
+        t.set(1, 63, RowMode::HighPerformance);
+        t.set(3, 17, RowMode::HighPerformance);
+        let got: Vec<(usize, u32)> = t.iter_high_performance().collect();
+        assert_eq!(got, vec![(0, 0), (1, 63), (3, 17)]);
+        assert_eq!(got.len() as u64, t.high_performance_rows());
     }
 
     #[test]

@@ -132,8 +132,9 @@ mod tests {
     #[test]
     fn headline_sanity() {
         // Speedups grow monotonically with the HP fraction.
-        let s = HEADLINES.single_core_speedup;
+        let h = &HEADLINES;
+        let s = h.single_core_speedup;
         assert!(s[0] < s[1] && s[1] < s[2] && s[2] < s[3]);
-        assert!(HEADLINES.multi_core_speedup_high_mpki > HEADLINES.multi_core_speedup[3]);
+        assert!(h.multi_core_speedup_high_mpki > h.multi_core_speedup[3]);
     }
 }

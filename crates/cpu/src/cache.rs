@@ -171,7 +171,13 @@ impl Llc {
     }
 
     /// Performs a load/store access for `core` at CPU cycle `now`.
-    pub fn access(&mut self, core: usize, kind: AccessKind, addr: PhysAddr, now: u64) -> AccessResult {
+    pub fn access(
+        &mut self,
+        core: usize,
+        kind: AccessKind,
+        addr: PhysAddr,
+        now: u64,
+    ) -> AccessResult {
         let line = addr.line(self.cfg.line_bytes);
         let (set_idx, tag) = self.split(line);
         let set = &mut self.sets[set_idx];

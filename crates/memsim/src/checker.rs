@@ -189,9 +189,7 @@ pub fn check(
                             let wtr = if same_bg { ct.wtr_l } else { ct.wtr_s };
                             let gate = t + ct.cwl + ct.burst + wtr;
                             if now < gate {
-                                fail(format!(
-                                    "tWTR violated vs bank {ob}: RD at {now} < {gate}"
-                                ));
+                                fail(format!("tWTR violated vs bank {ob}: RD at {now} < {gate}"));
                             }
                         }
                     } else if let Some(t) = st.last_rd {
@@ -283,10 +281,7 @@ mod tests {
     fn catches_trcd_violation() {
         let ct = ct();
         let m = RowMode::MaxCapacity;
-        let log = vec![
-            cmd(0, Command::Act, 0, 5, m),
-            cmd(1, Command::Rd, 0, 5, m),
-        ];
+        let log = vec![cmd(0, Command::Act, 0, 5, m), cmd(1, Command::Rd, 0, 5, m)];
         let violations = check(&log, &ct, 4, |b| b / 2);
         assert!(violations.iter().any(|v| v.rule.contains("tRCD")));
     }

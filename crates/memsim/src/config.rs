@@ -69,14 +69,16 @@ impl ClrModeConfig {
                         .expect("refresh window outside the safe range");
                     let no_et = timings.high_performance_no_early_termination();
                     TimingParams {
-                        t_rcd_ns: no_et.t_rcd_ns + (et.t_rcd_ns
-                            - timings
-                                .for_mode(clr_core::mode::RowMode::HighPerformance)
-                                .t_rcd_ns),
-                        t_ras_ns: no_et.t_ras_ns + (et.t_ras_ns
-                            - timings
-                                .for_mode(clr_core::mode::RowMode::HighPerformance)
-                                .t_ras_ns),
+                        t_rcd_ns: no_et.t_rcd_ns
+                            + (et.t_rcd_ns
+                                - timings
+                                    .for_mode(clr_core::mode::RowMode::HighPerformance)
+                                    .t_rcd_ns),
+                        t_ras_ns: no_et.t_ras_ns
+                            + (et.t_ras_ns
+                                - timings
+                                    .for_mode(clr_core::mode::RowMode::HighPerformance)
+                                    .t_ras_ns),
                         t_refw_ms: *hp_refw_ms,
                         ..*no_et
                     }

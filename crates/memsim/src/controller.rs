@@ -2,10 +2,10 @@
 //! draining, timeout row policy, and heterogeneous refresh.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use clr_core::addr::PhysAddr;
-use clr_core::mode::RowMode;
+use clr_core::mode::{ModeTable, RowMode};
 use clr_core::refresh::RefreshPlan;
 
 use crate::bankstate::BankState;
@@ -37,7 +37,19 @@ pub struct MemoryController {
     inflight: BinaryHeap<Reverse<(u64, u64)>>,
     stats: MemStats,
     cycle: u64,
-    hp_rows_per_bank: u32,
+    /// The shared per-row operating-mode table: the single source of truth
+    /// for which timing set, refresh stream, and capacity accounting every
+    /// row gets. Mutated only through [`MemoryController::apply_row_modes`].
+    modes: ModeTable,
+    /// Column accesses per `(flat_bank, row)` since the last telemetry
+    /// drain (a `BTreeMap` so export order is deterministic). Populated
+    /// only when `telemetry_enabled` is set.
+    row_counts: BTreeMap<(u32, u32), u64>,
+    /// Whether per-row telemetry is being collected (off by default).
+    telemetry_enabled: bool,
+    /// Queue service is suspended until this cycle while relocation
+    /// (mode-migration data movement) occupies the channel.
+    maintenance_until: u64,
     timeout_cycles: Option<u64>,
     addr_mask: u64,
     command_log: Option<Vec<IssuedCommand>>,
@@ -55,8 +67,7 @@ impl MemoryController {
     pub fn new(config: MemConfig) -> Self {
         config.geometry.validate().expect("invalid geometry");
         let g = &config.geometry;
-        let banks_total =
-            (g.channels * g.ranks * g.bank_groups * g.banks_per_group) as usize;
+        let banks_total = (g.channels * g.ranks * g.bank_groups * g.banks_per_group) as usize;
         let bg_total = (g.channels * g.ranks * g.bank_groups) as usize;
         let ranks_total = (g.channels * g.ranks) as usize;
         let banks_per_group = g.banks_per_group as usize;
@@ -109,7 +120,10 @@ impl MemoryController {
             .row_policy
             .idle_threshold_ns()
             .map(|ns| config.interface.ns_to_cycles(ns));
-        let hp_rows_per_bank = (g.rows as f64 * fraction_hp).round() as u32;
+        let mut modes = ModeTable::new(g);
+        // Initial layout: the paper's contiguous low-row prefix. A policy
+        // runtime may rewrite this at any epoch via `apply_row_modes`.
+        modes.set_fraction_high_performance(fraction_hp);
         let addr_mask = g.capacity_bytes() - 1;
 
         MemoryController {
@@ -124,7 +138,10 @@ impl MemoryController {
             inflight: BinaryHeap::new(),
             stats: MemStats::new(),
             cycle: 0,
-            hp_rows_per_bank,
+            modes,
+            row_counts: BTreeMap::new(),
+            telemetry_enabled: false,
+            maintenance_until: 0,
             timeout_cycles,
             addr_mask,
             command_log: None,
@@ -149,7 +166,14 @@ impl MemoryController {
         self.command_log.as_deref()
     }
 
-    fn log_command(&mut self, cycle: u64, command: Command, flat_bank: usize, row: u32, mode: RowMode) {
+    fn log_command(
+        &mut self,
+        cycle: u64,
+        command: Command,
+        flat_bank: usize,
+        row: u32,
+        mode: RowMode,
+    ) {
         if let Some(log) = self.command_log.as_mut() {
             log.push(IssuedCommand {
                 cycle,
@@ -176,14 +200,93 @@ impl MemoryController {
         &self.stats
     }
 
-    /// Operating mode of `row` (every bank uses the same contiguous
-    /// low-row high-performance prefix).
-    pub fn mode_of_row(&self, row: u32) -> RowMode {
-        if row < self.hp_rows_per_bank {
-            RowMode::HighPerformance
-        } else {
-            RowMode::MaxCapacity
+    /// Operating mode of `row` in `flat_bank`, looked up in the shared
+    /// [`ModeTable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat_bank` or `row` is out of range.
+    pub fn mode_of_row(&self, flat_bank: usize, row: u32) -> RowMode {
+        self.modes.mode_of(flat_bank, row)
+    }
+
+    /// The shared per-row mode table.
+    pub fn mode_table(&self) -> &ModeTable {
+        &self.modes
+    }
+
+    /// Applies validated row-mode transitions (from a policy runtime),
+    /// charging `stall_cycles` of relocation work during which queue
+    /// service is suspended, and retuning the heterogeneous refresh
+    /// streams to the new mode population. Returns the number of rows
+    /// whose mode actually changed.
+    ///
+    /// Mode changes take effect at each row's *next activation* (§3.3:
+    /// the ISO control signals are applied per-ACT), so a currently open
+    /// row finishes its row cycle in the mode it was sensed in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `(flat_bank, row)` is out of range.
+    pub fn apply_row_modes(&mut self, changes: &[(usize, u32, RowMode)], stall_cycles: u64) -> u64 {
+        let mut changed = 0;
+        for &(bank, row, mode) in changes {
+            if self.modes.set(bank, row, mode) != mode {
+                changed += 1;
+            }
         }
+        if changed > 0 {
+            self.stats.mode_transitions += changed;
+            self.maintenance_until = self.maintenance_until.max(self.cycle) + stall_cycles;
+            self.retune_refresh();
+        }
+        changed
+    }
+
+    /// Starts counting per-row column accesses for telemetry export.
+    /// Off by default so non-policy runs pay nothing on the column-command
+    /// hot path (mirrors [`MemoryController::enable_command_log`]).
+    pub fn enable_row_telemetry(&mut self) {
+        self.telemetry_enabled = true;
+    }
+
+    /// Drains the per-row access telemetry accumulated since the last
+    /// drain, as `((flat_bank, row), column_accesses)` sorted by
+    /// `(bank, row)`. Empty unless
+    /// [`MemoryController::enable_row_telemetry`] was called.
+    pub fn drain_row_telemetry(&mut self) -> Vec<((u32, u32), u64)> {
+        std::mem::take(&mut self.row_counts).into_iter().collect()
+    }
+
+    /// Rebuilds the refresh scheduler for the current mode population,
+    /// rebased at the current cycle.
+    fn retune_refresh(&mut self) {
+        if !self.config.refresh_enabled {
+            return;
+        }
+        let refw = match self.config.clr {
+            ClrModeConfig::BaselineDdr4 => 64.0,
+            ClrModeConfig::Clr { hp_refw_ms, .. } => hp_refw_ms,
+        };
+        let plan = RefreshPlan::new(
+            &self.config.timings,
+            self.modes.fraction_high_performance(),
+            refw,
+        );
+        let mc_rfc = self.engine.timings().max_capacity.rfc;
+        let hp_rfc = self.engine.timings().high_performance.rfc;
+        // Carry surviving streams' due times: a retune must not push
+        // refresh into the future (policy epochs can be much shorter
+        // than tREFI, so resetting would starve refresh entirely).
+        self.refresh = self.refresh.retuned(
+            &plan,
+            self.config.interface.t_ck_ns,
+            |m| match m {
+                RowMode::MaxCapacity => mc_rfc,
+                RowMode::HighPerformance => hp_rfc,
+            },
+            self.cycle,
+        );
     }
 
     /// Number of queued reads (diagnostics).
@@ -262,7 +365,7 @@ impl MemoryController {
             bank_group: bg,
             rank,
             channel: decoded.channel as usize,
-            mode: self.mode_of_row(decoded.row),
+            mode: self.mode_of_row(flat_bank, decoded.row),
         };
         scheduler::entry(request, decoded, target)
     }
@@ -293,12 +396,16 @@ impl MemoryController {
         let mut issued = false;
         if let Some((mode, rfc)) = self.pending_refresh {
             issued = self.progress_refresh(mode, rfc, now);
+        } else if now < self.maintenance_until {
+            // Relocation work from a mode-transition batch occupies the
+            // channel: queue service pauses, refresh does not.
+            self.stats.relocation_stall_cycles += 1;
         } else {
             issued = self.serve_queues(now) || issued;
         }
 
         // 3. Timeout row policy as background work.
-        if !issued {
+        if !issued && now >= self.maintenance_until {
             self.close_expired_row(now);
         }
 
@@ -364,20 +471,22 @@ impl MemoryController {
     /// command issued.
     fn serve_queues(&mut self, now: u64) -> bool {
         // Drain-mode hysteresis.
-        if !self.draining_writes
-            && self.write_q.len() >= self.config.scheduler.write_high_watermark
+        if !self.draining_writes && self.write_q.len() >= self.config.scheduler.write_high_watermark
         {
             self.draining_writes = true;
         }
-        if self.draining_writes && self.write_q.len() <= self.config.scheduler.write_low_watermark
-        {
+        if self.draining_writes && self.write_q.len() <= self.config.scheduler.write_low_watermark {
             self.draining_writes = false;
         }
         let use_writes =
             self.draining_writes || (self.read_q.is_empty() && !self.write_q.is_empty());
 
         let decision = {
-            let q = if use_writes { &self.write_q } else { &self.read_q };
+            let q = if use_writes {
+                &self.write_q
+            } else {
+                &self.read_q
+            };
             scheduler::pick(
                 q,
                 &self.banks,
@@ -408,8 +517,11 @@ impl MemoryController {
                     }
                 }
                 e.needed_act = true;
-                let mode = e.target.mode;
                 let row = e.decoded.row;
+                // Mode is resolved from the shared table *at activation
+                // time* — the table may have changed since enqueue.
+                let mode = self.modes.mode_of(bank, row);
+                e.target.mode = mode;
                 let target = e.target;
                 self.banks[bank].activate(row, mode, now);
                 self.engine.issue(Command::Act, target, now);
@@ -435,9 +547,21 @@ impl MemoryController {
                     e.classified = true;
                     self.stats.row_hits += 1;
                 }
-                let target = e.target;
+                // Column commands run in the mode the open row was sensed
+                // in (write recovery is mode-dependent), which may differ
+                // from the entry's enqueue-time snapshot.
+                let target = Target {
+                    mode: self.banks[bank].open_mode,
+                    ..e.target
+                };
                 let entry = q.swap_remove(d.queue_index);
                 self.banks[bank].access(now);
+                if self.telemetry_enabled {
+                    *self
+                        .row_counts
+                        .entry((bank as u32, entry.decoded.row))
+                        .or_insert(0) += 1;
+                }
                 self.engine.issue(d.command, target, now);
                 self.log_command(now, d.command, bank, entry.decoded.row, target.mode);
                 self.hit_streak[bank] = self.hit_streak[bank].saturating_add(1);
@@ -641,7 +765,7 @@ mod tests {
         let mut clr_cfg = MemConfig::tiny_clr(1.0);
         clr_cfg.refresh_enabled = false;
 
-        let mut run = |cfg: MemConfig| {
+        let run = |cfg: MemConfig| {
             let row_stride = cfg.geometry.capacity_bytes() / cfg.geometry.rows as u64;
             let mut mc = MemoryController::new(cfg);
             // Row-conflict chain in one bank.
@@ -733,13 +857,83 @@ mod tests {
     }
 
     #[test]
-    fn mode_of_row_uses_hp_prefix() {
+    fn mode_of_row_follows_table_prefix_initially() {
         let mc = MemoryController::new(MemConfig::tiny_clr(0.25));
         let rows = mc.config().geometry.rows;
         let hp_rows = (rows as f64 * 0.25).round() as u32;
-        assert_eq!(mc.mode_of_row(0), RowMode::HighPerformance);
-        assert_eq!(mc.mode_of_row(hp_rows - 1), RowMode::HighPerformance);
-        assert_eq!(mc.mode_of_row(hp_rows), RowMode::MaxCapacity);
+        for bank in 0..mc.mode_table().banks() as usize {
+            assert_eq!(mc.mode_of_row(bank, 0), RowMode::HighPerformance);
+            assert_eq!(mc.mode_of_row(bank, hp_rows - 1), RowMode::HighPerformance);
+            assert_eq!(mc.mode_of_row(bank, hp_rows), RowMode::MaxCapacity);
+        }
+        assert!((mc.mode_table().fraction_high_performance() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn applied_transitions_redirect_timing_at_next_act() {
+        let mut cfg = MemConfig::tiny_clr(0.0);
+        cfg.refresh_enabled = false;
+        let mut mc = MemoryController::new(cfg);
+        mc.enable_command_log();
+        mc.try_enqueue(read(1, 0x0, 0)).unwrap();
+        let done = run_until_done(&mut mc, 10_000);
+        assert_eq!(done.len(), 1);
+        // Row 0 starts max-capacity.
+        let acts: Vec<_> = mc
+            .command_log()
+            .unwrap()
+            .iter()
+            .filter(|c| c.command == Command::Act)
+            .cloned()
+            .collect();
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].mode, RowMode::MaxCapacity);
+
+        // Promote row 0 of every bank, then re-access: the next ACT must
+        // carry the high-performance timing set.
+        let changes: Vec<(usize, u32, RowMode)> = (0..mc.mode_table().banks() as usize)
+            .map(|b| (b, 0u32, RowMode::HighPerformance))
+            .collect();
+        let changed = mc.apply_row_modes(&changes, 50);
+        assert_eq!(changed, changes.len() as u64);
+        assert_eq!(mc.stats().mode_transitions, changed);
+        // Let the relocation stall pass and the timeout policy close the
+        // open row, so the next access re-activates in the new mode.
+        let mut sink = Vec::new();
+        for _ in 0..2_000 {
+            mc.tick(&mut sink);
+        }
+        mc.try_enqueue(read(2, 0x0, mc.cycle())).unwrap();
+        let done = run_until_done(&mut mc, 10_000);
+        assert_eq!(done.len(), 1);
+        let acts: Vec<_> = mc
+            .command_log()
+            .unwrap()
+            .iter()
+            .filter(|c| c.command == Command::Act)
+            .cloned()
+            .collect();
+        assert_eq!(acts.len(), 2);
+        assert_eq!(acts[1].mode, RowMode::HighPerformance);
+        // Relocation stalled the queues for the charged cycles.
+        assert!(mc.stats().relocation_stall_cycles >= 50);
+    }
+
+    #[test]
+    fn telemetry_counts_column_accesses_and_drains() {
+        let mut cfg = MemConfig::paper_tiny();
+        cfg.refresh_enabled = false;
+        let mut mc = MemoryController::new(cfg);
+        mc.enable_row_telemetry();
+        mc.try_enqueue(read(1, 0x0, 0)).unwrap();
+        mc.try_enqueue(read(2, 0x40, 0)).unwrap();
+        mc.try_enqueue(write(3, 0x80, 0)).unwrap();
+        let _ = run_until_done(&mut mc, 20_000);
+        let telemetry = mc.drain_row_telemetry();
+        let total: u64 = telemetry.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3, "reads + writes that reached the device");
+        // Drained: a second export is empty until new traffic arrives.
+        assert!(mc.drain_row_telemetry().is_empty());
     }
 
     #[test]

@@ -28,6 +28,17 @@ impl RefreshScheduler {
     /// Builds the scheduler from a [`RefreshPlan`] and the DRAM clock
     /// period.
     pub fn new(plan: &RefreshPlan, t_ck_ns: f64, rfc_cycles_of: impl Fn(RowMode) -> u64) -> Self {
+        Self::new_at(plan, t_ck_ns, rfc_cycles_of, 0)
+    }
+
+    /// Builds the scheduler with its first REF of each stream due one
+    /// interval after `start_cycle`.
+    pub fn new_at(
+        plan: &RefreshPlan,
+        t_ck_ns: f64,
+        rfc_cycles_of: impl Fn(RowMode) -> u64,
+        start_cycle: u64,
+    ) -> Self {
         let streams = plan
             .streams()
             .iter()
@@ -36,7 +47,7 @@ impl RefreshScheduler {
                 StreamState {
                     mode: s.mode,
                     interval_cycles,
-                    next_due: interval_cycles,
+                    next_due: start_cycle as f64 + interval_cycles,
                     rfc_cycles: rfc_cycles_of(s.mode),
                 }
             })
@@ -44,6 +55,45 @@ impl RefreshScheduler {
         RefreshScheduler {
             streams,
             issued: [0, 0],
+        }
+    }
+
+    /// Rebuilds this scheduler for a retuned refresh plan (the mode
+    /// population changed mid-run), **preserving each surviving stream's
+    /// due time and issue counts**. A stream whose mode also existed
+    /// before keeps its old `next_due` (clamped to at most one new
+    /// interval out, in case the interval shrank); a newly appearing
+    /// stream starts one interval after `now`. Without the carry-over, a
+    /// retune every policy epoch would push refresh forever into the
+    /// future and silently starve it.
+    pub fn retuned(
+        &self,
+        plan: &RefreshPlan,
+        t_ck_ns: f64,
+        rfc_cycles_of: impl Fn(RowMode) -> u64,
+        now: u64,
+    ) -> Self {
+        let streams = plan
+            .streams()
+            .iter()
+            .map(|s| {
+                let interval_cycles = s.interval_ns / t_ck_ns;
+                let fresh_due = now as f64 + interval_cycles;
+                let next_due = match self.streams.iter().find(|o| o.mode == s.mode) {
+                    Some(old) => old.next_due.min(fresh_due),
+                    None => fresh_due,
+                };
+                StreamState {
+                    mode: s.mode,
+                    interval_cycles,
+                    next_due,
+                    rfc_cycles: rfc_cycles_of(s.mode),
+                }
+            })
+            .collect();
+        RefreshScheduler {
+            streams,
+            issued: self.issued,
         }
     }
 
@@ -71,16 +121,13 @@ impl RefreshScheduler {
 
     /// Marks the due REF of `mode` as issued, scheduling the next one.
     ///
-    /// # Panics
-    ///
-    /// Panics if no stream of that mode exists.
+    /// If no stream of that mode exists — the plan was retuned while this
+    /// REF was pending and the mode's population dropped to zero — the
+    /// issue is still counted but nothing is rescheduled.
     pub fn mark_issued(&mut self, mode: RowMode) {
-        let s = self
-            .streams
-            .iter_mut()
-            .find(|s| s.mode == mode)
-            .expect("no refresh stream of this mode");
-        s.next_due += s.interval_cycles;
+        if let Some(s) = self.streams.iter_mut().find(|s| s.mode == mode) {
+            s.next_due += s.interval_cycles;
+        }
         match mode {
             RowMode::MaxCapacity => self.issued[0] += 1,
             RowMode::HighPerformance => self.issued[1] += 1,

@@ -68,7 +68,7 @@ pub fn pick(
         let cmd = column_command(e);
         if engine.can_issue(cmd, e.target, now) {
             let age = e.request.arrival_cycle;
-            if best_hit.map_or(true, |(a, _)| age < a) {
+            if best_hit.is_none_or(|(a, _)| age < a) {
                 best_hit = Some((age, i));
             }
         }

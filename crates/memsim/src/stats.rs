@@ -47,6 +47,11 @@ pub struct MemStats {
     pub refresh_busy_cycles: u64,
     /// Enqueue attempts rejected because a queue was full.
     pub queue_rejections: u64,
+    /// Row-mode transitions applied to the mode table at runtime.
+    pub mode_transitions: u64,
+    /// Cycles queue service was blocked by relocation (mode-migration)
+    /// work.
+    pub relocation_stall_cycles: u64,
 }
 
 impl MemStats {
@@ -132,6 +137,8 @@ impl MemStats {
             rank_precharged_cycles: self.rank_precharged_cycles - earlier.rank_precharged_cycles,
             refresh_busy_cycles: self.refresh_busy_cycles - earlier.refresh_busy_cycles,
             queue_rejections: self.queue_rejections - earlier.queue_rejections,
+            mode_transitions: self.mode_transitions - earlier.mode_transitions,
+            relocation_stall_cycles: self.relocation_stall_cycles - earlier.relocation_stall_cycles,
         }
     }
 

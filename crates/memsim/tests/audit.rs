@@ -29,7 +29,12 @@ fn audit_run(cfg: MemConfig, seed: u64, requests: usize) -> usize {
                 RequestKind::Read
             };
             if mc
-                .try_enqueue(MemRequest::new(sent as u64, PhysAddr(addr), kind, mc.cycle()))
+                .try_enqueue(MemRequest::new(
+                    sent as u64,
+                    PhysAddr(addr),
+                    kind,
+                    mc.cycle(),
+                ))
                 .is_ok()
             {
                 sent += 1;

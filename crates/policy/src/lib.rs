@@ -1,0 +1,63 @@
+//! Dynamic capacity-latency mode management for CLR-DRAM.
+//!
+//! The paper's titular contribution is that CLR-DRAM rows can be
+//! reconfigured **at activation time** between max-capacity and
+//! high-performance modes, with system software choosing the split
+//! dynamically from memory pressure and access locality (§6). This crate
+//! is that system-software layer for the reproduction:
+//!
+//! * [`telemetry`] — per-row access counters the memory controller exports
+//!   once per epoch,
+//! * [`policy`] — pluggable decision policies: the paper's static split,
+//!   a utilization threshold, greedy top-K hotness, and a hysteresis
+//!   policy that weighs each promotion against its migration cost,
+//! * [`reloc`] — the relocation engine pricing the data movement that
+//!   coupling/decoupling a populated row requires,
+//! * [`runtime`] — the epoch loop that validates policy proposals against
+//!   the capacity budget and oscillation/rate guards, and prices the
+//!   surviving batch.
+//!
+//! The runtime deliberately never owns the [`ModeTable`]: the memory
+//! controller in `clr-memsim` is the single owner, and the simulator in
+//! `clr-sim` moves validated transitions between the two, charging the
+//! relocation stall to the controller.
+//!
+//! # Example
+//!
+//! ```
+//! use clr_core::geometry::DramGeometry;
+//! use clr_core::mode::{ModeTable, RowMode};
+//! use clr_policy::policy::{PolicyConstraints, PolicySpec};
+//! use clr_policy::reloc::RelocationEngine;
+//! use clr_policy::runtime::PolicyRuntime;
+//! use clr_policy::telemetry::{EpochTelemetry, RowId};
+//!
+//! let geom = DramGeometry::tiny();
+//! let mut modes = ModeTable::new(&geom);
+//! let mut rt = PolicyRuntime::new(
+//!     PolicySpec::TopKHotness.build(),
+//!     PolicyConstraints::with_budget(0.25),
+//!     RelocationEngine::default(),
+//! );
+//!
+//! let mut epoch = EpochTelemetry::new(0, 100_000);
+//! epoch.record(RowId::new(0, 7), 420); // row 7 of bank 0 is hot
+//! let outcome = rt.on_epoch(&epoch, &modes);
+//! PolicyRuntime::apply(&outcome, &mut modes);
+//! assert_eq!(modes.mode_of(0, 7), RowMode::HighPerformance);
+//! ```
+//!
+//! [`ModeTable`]: clr_core::mode::ModeTable
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod policy;
+pub mod reloc;
+pub mod runtime;
+pub mod telemetry;
+
+pub use policy::{ModePolicy, PolicyConstraints, PolicySpec, RowTransition};
+pub use reloc::{RelocationCost, RelocationEngine, RelocationParams};
+pub use runtime::{EpochOutcome, PolicyRuntime, RuntimeStats};
+pub use telemetry::{EpochTelemetry, RowId};

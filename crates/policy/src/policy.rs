@@ -1,0 +1,442 @@
+//! Pluggable per-row mode policies.
+//!
+//! A policy looks at one epoch of access telemetry plus the current
+//! [`ModeTable`] and proposes row-mode transitions. The
+//! [`runtime::PolicyRuntime`](crate::runtime::PolicyRuntime) validates the
+//! proposal (capacity budget, oscillation guard, transition-rate cap) and
+//! is the only component that actually mutates controller state.
+
+use clr_core::mode::{ModeTable, RowMode};
+
+use crate::reloc::RelocationEngine;
+use crate::telemetry::{EpochTelemetry, RowId};
+
+/// One proposed row-mode change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowTransition {
+    /// The row to reconfigure.
+    pub row: RowId,
+    /// The mode it should switch to.
+    pub to: RowMode,
+}
+
+/// Hard limits every policy decision is validated against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyConstraints {
+    /// Capacity budget: at most this fraction of all rows may be
+    /// high-performance (each HP row forfeits half its capacity).
+    pub max_hp_fraction: f64,
+    /// Relocation-bandwidth cap: transitions applied per epoch.
+    pub max_transitions_per_epoch: usize,
+}
+
+impl PolicyConstraints {
+    /// A budget of `max_hp_fraction` with a generous transition cap.
+    pub fn with_budget(max_hp_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&max_hp_fraction),
+            "budget {max_hp_fraction} not within 0.0..=1.0"
+        );
+        PolicyConstraints {
+            max_hp_fraction,
+            max_transitions_per_epoch: 4096,
+        }
+    }
+
+    /// Maximum high-performance rows under this budget for `modes`.
+    pub fn budget_rows(&self, modes: &ModeTable) -> u64 {
+        let total = modes.rows_per_bank() as u64 * modes.banks() as u64;
+        (total as f64 * self.max_hp_fraction).floor() as u64
+    }
+}
+
+impl Default for PolicyConstraints {
+    fn default() -> Self {
+        PolicyConstraints::with_budget(0.25)
+    }
+}
+
+/// Read-only state handed to a policy each epoch.
+#[derive(Debug)]
+pub struct PolicyContext<'a> {
+    /// The controller's current per-row mode table.
+    pub modes: &'a ModeTable,
+    /// The runtime's constraints (policies should self-limit; the runtime
+    /// re-validates).
+    pub constraints: &'a PolicyConstraints,
+    /// Relocation cost model (for migration-cost-aware policies).
+    pub reloc: &'a RelocationEngine,
+}
+
+/// A mode-management policy.
+pub trait ModePolicy: std::fmt::Debug + Send {
+    /// Short label used in reports ("static-25", "topk", ...).
+    fn name(&self) -> String;
+
+    /// Proposes transitions for the epoch described by `telemetry`.
+    fn decide(&mut self, telemetry: &EpochTelemetry, ctx: &PolicyContext<'_>)
+        -> Vec<RowTransition>;
+}
+
+/// The high-performance rows of `modes`, in deterministic order.
+fn hp_rows(modes: &ModeTable) -> Vec<RowId> {
+    modes
+        .iter_high_performance()
+        .map(|(bank, row)| RowId::new(bank as u32, row))
+        .collect()
+}
+
+/// The paper's §8.1 layout as a policy: a fixed contiguous low-row prefix
+/// of each bank in high-performance mode, configured once and never
+/// revisited. The reference point every dynamic policy is judged against.
+#[derive(Debug, Clone)]
+pub struct StaticSplit {
+    fraction: f64,
+    configured: bool,
+}
+
+impl StaticSplit {
+    /// A static split with `fraction` of each bank's rows fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `0.0..=1.0`.
+    pub fn new(fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction}");
+        StaticSplit {
+            fraction,
+            configured: false,
+        }
+    }
+}
+
+impl ModePolicy for StaticSplit {
+    fn name(&self) -> String {
+        format!("static-{:02.0}", self.fraction * 100.0)
+    }
+
+    fn decide(&mut self, _t: &EpochTelemetry, ctx: &PolicyContext<'_>) -> Vec<RowTransition> {
+        if self.configured {
+            return Vec::new();
+        }
+        self.configured = true;
+        let hp_per_bank = (ctx.modes.rows_per_bank() as f64
+            * self.fraction.min(ctx.constraints.max_hp_fraction))
+        .round() as u32;
+        let mut out = Vec::new();
+        for bank in 0..ctx.modes.banks() {
+            for row in 0..ctx.modes.rows_per_bank() {
+                let want = if row < hp_per_bank {
+                    RowMode::HighPerformance
+                } else {
+                    RowMode::MaxCapacity
+                };
+                if ctx.modes.mode_of(bank as usize, row) != want {
+                    out.push(RowTransition {
+                        row: RowId::new(bank, row),
+                        to: want,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Promotes rows whose per-epoch access count crosses a hot threshold and
+/// demotes high-performance rows that have gone cold.
+#[derive(Debug, Clone)]
+pub struct UtilizationThreshold {
+    /// Accesses/epoch at or above which a row is promotion-worthy.
+    pub hot_min_accesses: u64,
+    /// Accesses/epoch at or below which an HP row is demoted.
+    pub cold_max_accesses: u64,
+}
+
+impl UtilizationThreshold {
+    /// Thresholds of `hot` (promote at ≥) and `cold` (demote at ≤).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cold < hot` (equal thresholds oscillate).
+    pub fn new(hot: u64, cold: u64) -> Self {
+        assert!(cold < hot, "cold {cold} must be below hot {hot}");
+        UtilizationThreshold {
+            hot_min_accesses: hot,
+            cold_max_accesses: cold,
+        }
+    }
+}
+
+impl ModePolicy for UtilizationThreshold {
+    fn name(&self) -> String {
+        "util-threshold".to_string()
+    }
+
+    fn decide(&mut self, t: &EpochTelemetry, ctx: &PolicyContext<'_>) -> Vec<RowTransition> {
+        let mut out = Vec::new();
+        // Demote cold HP rows first: frees budget for this epoch's hot set.
+        for id in hp_rows(ctx.modes) {
+            if t.count(id) <= self.cold_max_accesses {
+                out.push(RowTransition {
+                    row: id,
+                    to: RowMode::MaxCapacity,
+                });
+            }
+        }
+        let demotions = out.len() as u64;
+        let budget = ctx.constraints.budget_rows(ctx.modes);
+        let mut hp_after = ctx.modes.high_performance_rows().saturating_sub(demotions);
+        for (id, count) in t.hottest(usize::MAX) {
+            if count < self.hot_min_accesses {
+                break; // hottest() is sorted; everything below is colder
+            }
+            if ctx.modes.mode_of(id.bank as usize, id.row) == RowMode::HighPerformance {
+                continue;
+            }
+            if hp_after >= budget {
+                break;
+            }
+            out.push(RowTransition {
+                row: id,
+                to: RowMode::HighPerformance,
+            });
+            hp_after += 1;
+        }
+        out
+    }
+}
+
+/// Keeps exactly the hottest `budget_rows` rows of the epoch in
+/// high-performance mode: the greedy upper bound on locality capture, but
+/// with no memory — it will happily churn the whole set every epoch.
+#[derive(Debug, Clone, Default)]
+pub struct TopKHotness;
+
+impl ModePolicy for TopKHotness {
+    fn name(&self) -> String {
+        "topk".to_string()
+    }
+
+    fn decide(&mut self, t: &EpochTelemetry, ctx: &PolicyContext<'_>) -> Vec<RowTransition> {
+        let budget = ctx.constraints.budget_rows(ctx.modes) as usize;
+        let target: std::collections::BTreeSet<RowId> = t
+            .hottest(budget)
+            .into_iter()
+            .filter(|&(_, c)| c > 0)
+            .map(|(id, _)| id)
+            .collect();
+        let mut out = Vec::new();
+        for id in hp_rows(ctx.modes) {
+            if !target.contains(&id) {
+                out.push(RowTransition {
+                    row: id,
+                    to: RowMode::MaxCapacity,
+                });
+            }
+        }
+        for &id in &target {
+            if ctx.modes.mode_of(id.bank as usize, id.row) != RowMode::HighPerformance {
+                out.push(RowTransition {
+                    row: id,
+                    to: RowMode::HighPerformance,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Top-K hotness with hysteresis and migration-cost awareness: a row is
+/// promoted only when the latency it stands to save exceeds the relocation
+/// cost by `payoff_factor`, and an HP row is demoted only after staying
+/// cold for `cold_epochs_to_demote` consecutive epochs. This is the policy
+/// the paper's §6 discussion of OS-driven reconfiguration implies.
+#[derive(Debug, Clone)]
+pub struct Hysteresis {
+    /// *Effective* DRAM cycles saved per access served in
+    /// high-performance mode. Smaller than the raw tRCD/tRAS reduction
+    /// because an out-of-order core hides most of each individual miss.
+    pub saved_cycles_per_access: f64,
+    /// Required promotion payoff: saved cycles must exceed relocation
+    /// cycles by this factor.
+    pub payoff_factor: f64,
+    /// Consecutive cold epochs before an HP row is demoted.
+    pub cold_epochs_to_demote: u32,
+    /// Accesses/epoch below which an HP row counts as cold.
+    pub cold_max_accesses: u64,
+    cold_streak: std::collections::BTreeMap<RowId, u32>,
+}
+
+impl Hysteresis {
+    /// Defaults tuned for the paper's DDR4-2400 system.
+    pub fn new() -> Self {
+        Hysteresis {
+            saved_cycles_per_access: 3.0,
+            payoff_factor: 0.5,
+            cold_epochs_to_demote: 3,
+            cold_max_accesses: 1,
+            cold_streak: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl Default for Hysteresis {
+    fn default() -> Self {
+        Hysteresis::new()
+    }
+}
+
+impl ModePolicy for Hysteresis {
+    fn name(&self) -> String {
+        "hysteresis".to_string()
+    }
+
+    fn decide(&mut self, t: &EpochTelemetry, ctx: &PolicyContext<'_>) -> Vec<RowTransition> {
+        let mut out = Vec::new();
+        let current_hp = hp_rows(ctx.modes);
+
+        // Track cold streaks of HP rows. A cold HP row costs capacity but
+        // no latency, so demotion (which moves data too) is only worth
+        // paying for under budget pressure: demote persistently cold rows
+        // only once the high-performance population nears the budget.
+        let budget = ctx.constraints.budget_rows(ctx.modes);
+        let under_pressure = (current_hp.len() as u64) * 8 >= budget * 7;
+        let mut still_hp: std::collections::BTreeSet<RowId> = Default::default();
+        let mut cold: Vec<(u64, RowId)> = Vec::new();
+        for id in &current_hp {
+            still_hp.insert(*id);
+            if t.count(*id) <= self.cold_max_accesses {
+                let streak = self.cold_streak.entry(*id).or_insert(0);
+                *streak += 1;
+                if under_pressure && *streak >= self.cold_epochs_to_demote {
+                    cold.push((t.count(*id), *id));
+                }
+            } else {
+                self.cold_streak.remove(id);
+            }
+        }
+        // Coldest first, so the rate cap sheds the least valuable rows.
+        cold.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        out.extend(cold.into_iter().map(|(_, id)| RowTransition {
+            row: id,
+            to: RowMode::MaxCapacity,
+        }));
+        // Drop streak state for rows no longer high-performance.
+        self.cold_streak.retain(|id, _| still_hp.contains(id));
+        for tr in &out {
+            self.cold_streak.remove(&tr.row);
+        }
+
+        // Promotions: hottest rows whose payoff covers the *marginal*
+        // (bank-overlapped) migration cost.
+        let demotions = out.len() as u64;
+        let mut hp_after = ctx.modes.high_performance_rows().saturating_sub(demotions);
+        let min_payoff = ctx.reloc.params().effective_cycles_per_row() as f64 * self.payoff_factor;
+        let mut candidates: Vec<(RowId, u64)> = Vec::new();
+        for (id, count) in t.hottest(usize::MAX) {
+            if (count as f64) * self.saved_cycles_per_access < min_payoff {
+                break; // sorted: nothing below pays for its relocation
+            }
+            if ctx.modes.mode_of(id.bank as usize, id.row) == RowMode::HighPerformance {
+                continue;
+            }
+            if hp_after >= budget {
+                break;
+            }
+            candidates.push((id, count));
+            hp_after += 1;
+        }
+        // Relocation is priced per bank-parallel wave and same-bank rows
+        // serialize, so promoting more than a wave's share from one bank
+        // in a single epoch is strictly worse than deferring the excess —
+        // rows that stay hot simply return as candidates next epoch.
+        let params = *ctx.reloc.params();
+        let fair_share = (candidates.len() as u64).div_ceil(params.bank_parallelism.max(1)) + 1;
+        let mut taken: std::collections::BTreeMap<u32, u64> = Default::default();
+        candidates.retain(|&(id, _)| {
+            let c = taken.entry(id.bank).or_insert(0);
+            *c += 1;
+            *c <= fair_share
+        });
+        // A small or bank-skewed batch still pays close to the full
+        // serialized row cost: trim the coldest candidates until the
+        // whole batch pays for itself, and skip the epoch entirely if
+        // even the hottest rows do not. Aggregates are maintained
+        // incrementally, so the trim is one pass over the candidates.
+        let mut bank_counts: std::collections::BTreeMap<u32, u64> = Default::default();
+        let mut total_saved = 0.0;
+        for &(id, count) in &candidates {
+            *bank_counts.entry(id.bank).or_insert(0) += 1;
+            total_saved += count as f64 * self.saved_cycles_per_access;
+        }
+        let mut keep = candidates.len();
+        while keep > 0 {
+            let max_in_one_bank = bank_counts.values().copied().max().unwrap_or(0);
+            let waves = params.coupling_waves(keep as u64, max_in_one_bank);
+            let batch_cost = (waves * params.cycles_per_row()) as f64;
+            if total_saved >= self.payoff_factor * batch_cost {
+                break;
+            }
+            keep -= 1;
+            let (id, count) = candidates[keep];
+            total_saved -= count as f64 * self.saved_cycles_per_access;
+            let slot = bank_counts.get_mut(&id.bank).expect("bank was counted");
+            *slot -= 1;
+            if *slot == 0 {
+                bank_counts.remove(&id.bank);
+            }
+        }
+        out.extend(candidates[..keep].iter().map(|&(id, _)| RowTransition {
+            row: id,
+            to: RowMode::HighPerformance,
+        }));
+        out
+    }
+}
+
+/// Serializable description of a policy, for experiment configs and
+/// sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicySpec {
+    /// [`StaticSplit`] at a fraction.
+    StaticSplit {
+        /// Fraction of rows per bank in high-performance mode.
+        fraction: f64,
+    },
+    /// [`UtilizationThreshold`] with `(hot, cold)` access thresholds.
+    UtilizationThreshold {
+        /// Promote at or above this many accesses/epoch.
+        hot: u64,
+        /// Demote at or below this many accesses/epoch.
+        cold: u64,
+    },
+    /// [`TopKHotness`].
+    TopKHotness,
+    /// [`Hysteresis`] with default tuning.
+    Hysteresis,
+}
+
+impl PolicySpec {
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn ModePolicy> {
+        match *self {
+            PolicySpec::StaticSplit { fraction } => Box::new(StaticSplit::new(fraction)),
+            PolicySpec::UtilizationThreshold { hot, cold } => {
+                Box::new(UtilizationThreshold::new(hot, cold))
+            }
+            PolicySpec::TopKHotness => Box::new(TopKHotness),
+            PolicySpec::Hysteresis => Box::new(Hysteresis::new()),
+        }
+    }
+
+    /// Stable label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            PolicySpec::StaticSplit { fraction } => format!("static-{:02.0}", fraction * 100.0),
+            PolicySpec::UtilizationThreshold { .. } => "util-threshold".to_string(),
+            PolicySpec::TopKHotness => "topk".to_string(),
+            PolicySpec::Hysteresis => "hysteresis".to_string(),
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The relocation engine: models the data-movement cost of coupling and
+//! decoupling rows at runtime.
+//!
+//! Switching a row from max-capacity to high-performance mode halves its
+//! usable capacity: the data held by the cells that will be coupled away
+//! must first migrate elsewhere — half a row of reads plus half a row of
+//! writes behind an activate/precharge pair, overlapped across banks.
+//! Switching *back* is free at the device level: a coupled logical cell
+//! drives both physical cells, so after decoupling each cell still holds
+//! the stored bit and the regained half-row is simply handed to the OS as
+//! a fresh (zero-fill-on-demand) frame. Coupling is therefore the only
+//! priced direction.
+//!
+//! The engine turns a transition batch into a [`RelocationCost`] the
+//! simulator charges as controller stall cycles, and the hysteresis policy
+//! consults to decide whether a promotion pays for itself.
+
+use crate::policy::RowTransition;
+
+/// Cost parameters of one row relocation, in DRAM cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelocationParams {
+    /// Bytes per DRAM row (per bank).
+    pub row_bytes: u64,
+    /// Bytes transferred per column burst.
+    pub burst_bytes: u64,
+    /// DRAM cycles per column burst (column-to-column cadence).
+    pub cycles_per_burst: u64,
+    /// Fixed activate + precharge overhead per row touched.
+    pub row_overhead_cycles: u64,
+    /// How much of the movement hides behind bank-level parallelism: the
+    /// controller relocates across idle banks, so the *channel-blocking*
+    /// cost is `cycles_per_row / bank_parallelism`. 1 = fully serialized.
+    pub bank_parallelism: u64,
+}
+
+impl RelocationParams {
+    /// Paper-configuration defaults: 8 KiB rows, 64 B bursts at 4-cycle
+    /// cadence (tCCD_L at DDR4-2400), ~60 cycles of ACT/PRE overhead.
+    pub fn ddr4_default() -> Self {
+        RelocationParams {
+            row_bytes: 8 * 1024,
+            burst_bytes: 64,
+            cycles_per_burst: 4,
+            row_overhead_cycles: 60,
+            bank_parallelism: 16,
+        }
+    }
+
+    /// Parameters for a given row/burst size, keeping default cadences.
+    pub fn for_geometry(row_bytes: u64, burst_bytes: u64) -> Self {
+        RelocationParams {
+            row_bytes,
+            burst_bytes: burst_bytes.max(1),
+            ..Self::ddr4_default()
+        }
+    }
+
+    /// Raw DRAM cycles to relocate the half-row a single transition
+    /// moves, before bank-parallel overlap.
+    pub fn cycles_per_row(&self) -> u64 {
+        let bursts = (self.row_bytes / 2).div_ceil(self.burst_bytes);
+        // Data is read from the reconfigured row and written to its new
+        // frame: two bursts of bus time per chunk plus row overhead on
+        // both ends.
+        self.row_overhead_cycles * 2 + bursts * self.cycles_per_burst * 2
+    }
+
+    /// Amortized channel-blocking cycles per relocated row when a full
+    /// bank-parallel wave is in flight — the *marginal* cost a policy
+    /// weighs one more promotion against. Batch totals are priced per
+    /// wave by [`RelocationEngine::cost_of`], so a lone row still pays
+    /// [`RelocationParams::cycles_per_row`] in full.
+    pub fn effective_cycles_per_row(&self) -> u64 {
+        (self.cycles_per_row() / self.bank_parallelism.max(1)).max(1)
+    }
+
+    /// Bank-parallel waves needed to couple `total` rows of which at
+    /// most `max_in_one_bank` share a single bank. Rows in the same bank
+    /// serialize (a bank cannot overlap with itself); across banks the
+    /// channel bounds throughput at `bank_parallelism` rows per wave.
+    pub fn coupling_waves(&self, total: u64, max_in_one_bank: u64) -> u64 {
+        max_in_one_bank.max(total.div_ceil(self.bank_parallelism.max(1)))
+    }
+}
+
+/// Aggregate cost of a transition batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelocationCost {
+    /// Rows switched max-capacity → high-performance.
+    pub rows_coupled: u64,
+    /// Rows switched high-performance → max-capacity.
+    pub rows_decoupled: u64,
+    /// Bytes of data migrated.
+    pub bytes_moved: u64,
+    /// Total DRAM cycles of relocation work.
+    pub dram_cycles: u64,
+}
+
+impl RelocationCost {
+    /// Rows touched in either direction.
+    pub fn rows_moved(&self) -> u64 {
+        self.rows_coupled + self.rows_decoupled
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merged(&self, other: &RelocationCost) -> RelocationCost {
+        RelocationCost {
+            rows_coupled: self.rows_coupled + other.rows_coupled,
+            rows_decoupled: self.rows_decoupled + other.rows_decoupled,
+            bytes_moved: self.bytes_moved + other.bytes_moved,
+            dram_cycles: self.dram_cycles + other.dram_cycles,
+        }
+    }
+}
+
+/// Computes relocation costs for transition batches.
+#[derive(Debug, Clone, Copy)]
+pub struct RelocationEngine {
+    params: RelocationParams,
+}
+
+impl RelocationEngine {
+    /// An engine with the given cost parameters.
+    pub fn new(params: RelocationParams) -> Self {
+        RelocationEngine { params }
+    }
+
+    /// The cost parameters in use.
+    pub fn params(&self) -> &RelocationParams {
+        &self.params
+    }
+
+    /// Cost of applying `transitions` (each assumed to be a real mode
+    /// change; no-ops must be filtered by the caller).
+    pub fn cost_of(&self, transitions: &[RowTransition]) -> RelocationCost {
+        use clr_core::mode::RowMode;
+        let mut per_bank: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        let mut coupled = 0u64;
+        for t in transitions {
+            if t.to == RowMode::HighPerformance {
+                coupled += 1;
+                *per_bank.entry(t.row.bank).or_insert(0) += 1;
+            }
+        }
+        let decoupled = transitions.len() as u64 - coupled;
+        // Only coupling moves data; decoupling is bookkeeping (see the
+        // module docs). Overlap comes from *distinct* banks working in
+        // parallel, so the batch is priced per wave: same-bank rows
+        // serialize, and a batch smaller than one wave still pays a full
+        // serialized row.
+        let max_in_one_bank = per_bank.values().copied().max().unwrap_or(0);
+        let waves = self.params.coupling_waves(coupled, max_in_one_bank);
+        RelocationCost {
+            rows_coupled: coupled,
+            rows_decoupled: decoupled,
+            bytes_moved: coupled * (self.params.row_bytes / 2),
+            dram_cycles: waves * self.params.cycles_per_row(),
+        }
+    }
+}
+
+impl Default for RelocationEngine {
+    fn default() -> Self {
+        RelocationEngine::new(RelocationParams::ddr4_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::RowId;
+    use clr_core::mode::RowMode;
+
+    #[test]
+    fn cost_scales_linearly_with_rows() {
+        let e = RelocationEngine::default();
+        let up = RowTransition {
+            row: RowId::new(0, 0),
+            to: RowMode::HighPerformance,
+        };
+        let down = RowTransition {
+            row: RowId::new(0, 1),
+            to: RowMode::MaxCapacity,
+        };
+        let up_other_bank = RowTransition {
+            row: RowId::new(1, 0),
+            to: RowMode::HighPerformance,
+        };
+        let one = e.cost_of(&[up]);
+        let three = e.cost_of(&[up, down, up_other_bank]);
+        assert_eq!(one.rows_moved(), 1);
+        assert_eq!(three.rows_coupled, 2);
+        assert_eq!(three.rows_decoupled, 1);
+        // Decoupling is free, and couplings in *distinct* banks fit in one
+        // bank-parallel wave: a lone row pays the full serialized row cost.
+        assert_eq!(one.dram_cycles, e.params().cycles_per_row());
+        assert_eq!(three.dram_cycles, one.dram_cycles);
+        assert_eq!(three.bytes_moved, 2 * one.bytes_moved);
+        assert_eq!(e.cost_of(&[down]).dram_cycles, 0);
+        // Rows in one bank cannot overlap with themselves: 33 couplings
+        // of the same bank serialize into 33 waves.
+        let same_bank: Vec<RowTransition> = (0..33)
+            .map(|r| RowTransition {
+                row: RowId::new(0, r),
+                to: RowMode::HighPerformance,
+            })
+            .collect();
+        assert_eq!(
+            e.cost_of(&same_bank).dram_cycles,
+            33 * e.params().cycles_per_row()
+        );
+        // Spread evenly over 16 banks, 32 rows fit in two waves.
+        let spread: Vec<RowTransition> = (0..32)
+            .map(|r| RowTransition {
+                row: RowId::new(r % 16, r),
+                to: RowMode::HighPerformance,
+            })
+            .collect();
+        assert_eq!(
+            e.cost_of(&spread).dram_cycles,
+            2 * e.params().cycles_per_row()
+        );
+    }
+
+    #[test]
+    fn half_row_of_bursts_plus_overhead() {
+        let p = RelocationParams::ddr4_default();
+        // 4 KiB to move at 64 B per burst = 64 bursts; ×4 cycles ×2 (rd+wr).
+        assert_eq!(p.cycles_per_row(), 120 + 64 * 4 * 2);
+        assert_eq!(p.effective_cycles_per_row(), p.cycles_per_row() / 16);
+        let serial = RelocationParams {
+            bank_parallelism: 1,
+            ..p
+        };
+        assert_eq!(serial.effective_cycles_per_row(), serial.cycles_per_row());
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-row access telemetry exported by the memory controller once per
+//! epoch.
+//!
+//! The controller counts column accesses (RD/WR bursts) per `(bank, row)`
+//! during an epoch; the policy runtime turns those counters into mode
+//! decisions. Counters use a [`BTreeMap`] so iteration order — and
+//! therefore every policy decision — is deterministic for a given trace.
+
+use std::collections::BTreeMap;
+
+/// Identity of one DRAM row: flat bank index plus row index within the
+/// bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId {
+    /// Flat bank index (unique across channels/ranks/bank groups).
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+}
+
+impl RowId {
+    /// Convenience constructor.
+    pub fn new(bank: u32, row: u32) -> Self {
+        RowId { bank, row }
+    }
+}
+
+impl std::fmt::Display for RowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}r{}", self.bank, self.row)
+    }
+}
+
+/// One epoch's worth of access telemetry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochTelemetry {
+    /// Epoch sequence number (0-based).
+    pub epoch: u64,
+    /// DRAM cycles covered by this epoch.
+    pub dram_cycles: u64,
+    counts: BTreeMap<RowId, u64>,
+    total: u64,
+}
+
+impl EpochTelemetry {
+    /// An empty telemetry frame for `epoch` covering `dram_cycles`.
+    pub fn new(epoch: u64, dram_cycles: u64) -> Self {
+        EpochTelemetry {
+            epoch,
+            dram_cycles,
+            counts: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Adds `n` accesses to `row`.
+    pub fn record(&mut self, row: RowId, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(row).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Accesses observed on `row` this epoch.
+    pub fn count(&self, row: RowId) -> u64 {
+        self.counts.get(&row).copied().unwrap_or(0)
+    }
+
+    /// Total accesses across all rows — by construction always equal to
+    /// the sum of the per-row counters (the conservation invariant the
+    /// property tests check).
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct rows touched.
+    pub fn rows_touched(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Per-row counters in deterministic (bank, row) order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, u64)> + '_ {
+        self.counts.iter().map(|(&r, &c)| (r, c))
+    }
+
+    /// The `k` hottest rows, hottest first; ties broken by `(bank, row)`
+    /// so decisions are reproducible.
+    pub fn hottest(&self, k: usize) -> Vec<(RowId, u64)> {
+        let mut v: Vec<(RowId, u64)> = self.iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_conserved() {
+        let mut t = EpochTelemetry::new(0, 1000);
+        t.record(RowId::new(0, 1), 5);
+        t.record(RowId::new(0, 1), 2);
+        t.record(RowId::new(3, 9), 1);
+        t.record(RowId::new(3, 9), 0);
+        assert_eq!(t.total_accesses(), 8);
+        assert_eq!(t.count(RowId::new(0, 1)), 7);
+        assert_eq!(t.rows_touched(), 2);
+        assert_eq!(t.iter().map(|(_, c)| c).sum::<u64>(), t.total_accesses());
+    }
+
+    #[test]
+    fn hottest_is_deterministic_under_ties() {
+        let mut t = EpochTelemetry::new(0, 1000);
+        t.record(RowId::new(1, 0), 4);
+        t.record(RowId::new(0, 5), 4);
+        t.record(RowId::new(0, 2), 9);
+        let hot = t.hottest(2);
+        assert_eq!(hot[0].0, RowId::new(0, 2));
+        // Tie at 4 accesses: lower (bank, row) wins.
+        assert_eq!(hot[1].0, RowId::new(0, 5));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests of the mode-management runtime's invariants: capacity
+//! budgets are never exceeded, no row transitions twice within one epoch,
+//! and telemetry counters are conserved.
+
+use clr_core::geometry::DramGeometry;
+use clr_core::mode::{ModeTable, RowMode};
+use clr_policy::policy::{PolicyConstraints, PolicySpec};
+use clr_policy::reloc::RelocationEngine;
+use clr_policy::runtime::PolicyRuntime;
+use clr_policy::telemetry::{EpochTelemetry, RowId};
+use proptest::prelude::*;
+
+fn table() -> ModeTable {
+    ModeTable::new(&DramGeometry::tiny()) // 4 banks × 64 rows
+}
+
+fn telemetry_from(counts: &[(usize, u32, u64)], epoch: u64) -> EpochTelemetry {
+    let mut t = EpochTelemetry::new(epoch, 10_000);
+    for &(bank, row, n) in counts {
+        t.record(RowId::new(bank as u32, row), n);
+    }
+    t
+}
+
+fn specs() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::StaticSplit { fraction: 0.5 }),
+        Just(PolicySpec::UtilizationThreshold { hot: 3, cold: 1 }),
+        Just(PolicySpec::TopKHotness),
+        Just(PolicySpec::Hysteresis),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever a policy proposes across a multi-epoch run with arbitrary
+    /// telemetry, the applied table never exceeds the capacity budget and
+    /// never contains more transitions per epoch than the rate cap.
+    #[test]
+    fn budget_and_rate_cap_hold_for_every_policy(
+        spec in specs(),
+        budget_q in 1u8..=8,
+        cap in 1usize..40,
+        epochs in proptest::collection::vec(
+            proptest::collection::vec((0usize..4, 0u32..64, 1u64..60), 0..40),
+            1..8,
+        ),
+    ) {
+        let budget = budget_q as f64 / 8.0;
+        let mut modes = table();
+        let mut rt = PolicyRuntime::new(
+            spec.build(),
+            PolicyConstraints {
+                max_hp_fraction: budget,
+                max_transitions_per_epoch: cap,
+            },
+            RelocationEngine::default(),
+        );
+        let budget_rows = rt.constraints().budget_rows(&modes);
+        for (e, counts) in epochs.iter().enumerate() {
+            let t = telemetry_from(counts, e as u64);
+            let outcome = rt.on_epoch(&t, &modes);
+            prop_assert!(outcome.applied.len() <= cap, "rate cap violated");
+            PolicyRuntime::apply(&outcome, &mut modes);
+            prop_assert!(
+                modes.high_performance_rows() <= budget_rows,
+                "capacity budget violated: {} > {}",
+                modes.high_performance_rows(),
+                budget_rows
+            );
+        }
+    }
+
+    /// The oscillation guard: within one epoch no row appears twice in the
+    /// applied batch, and every applied transition is a real mode change
+    /// relative to the table the epoch started from.
+    #[test]
+    fn no_row_oscillates_within_an_epoch(
+        spec in specs(),
+        counts in proptest::collection::vec((0usize..4, 0u32..64, 1u64..80), 0..60),
+        hot_seed in proptest::collection::vec((0usize..4, 0u32..64), 0..20),
+    ) {
+        let mut modes = table();
+        for &(bank, row) in &hot_seed {
+            modes.set(bank, row, RowMode::HighPerformance);
+        }
+        let mut rt = PolicyRuntime::new(
+            spec.build(),
+            PolicyConstraints::with_budget(0.5),
+            RelocationEngine::default(),
+        );
+        let outcome = rt.on_epoch(&telemetry_from(&counts, 0), &modes);
+        let mut seen = std::collections::HashSet::new();
+        for tr in &outcome.applied {
+            prop_assert!(seen.insert(tr.row), "row {} transitioned twice", tr.row);
+            prop_assert!(
+                modes.mode_of(tr.row.bank as usize, tr.row.row) != tr.to,
+                "no-op transition applied"
+            );
+        }
+    }
+
+    /// Telemetry conservation: the frame's total equals the sum of its
+    /// per-row counters no matter how records are merged, and the runtime
+    /// accumulates exactly the observed totals across epochs.
+    #[test]
+    fn telemetry_counters_are_conserved(
+        epochs in proptest::collection::vec(
+            proptest::collection::vec((0usize..4, 0u32..64, 0u64..50), 0..50),
+            1..6,
+        ),
+    ) {
+        let modes = table();
+        let mut rt = PolicyRuntime::new(
+            PolicySpec::TopKHotness.build(),
+            PolicyConstraints::with_budget(0.25),
+            RelocationEngine::default(),
+        );
+        let mut expected_total = 0u64;
+        for (e, counts) in epochs.iter().enumerate() {
+            let t = telemetry_from(counts, e as u64);
+            let per_row_sum: u64 = t.iter().map(|(_, c)| c).sum();
+            prop_assert_eq!(per_row_sum, t.total_accesses(), "frame conservation");
+            let raw_sum: u64 = counts.iter().map(|&(_, _, n)| n).sum();
+            prop_assert_eq!(t.total_accesses(), raw_sum, "records conserved");
+            expected_total += raw_sum;
+            rt.on_epoch(&t, &modes);
+        }
+        prop_assert_eq!(
+            rt.stats().accesses_observed,
+            expected_total,
+            "runtime accumulation conserved"
+        );
+    }
+
+    /// The runtime's promotion/demotion counters always reconcile with
+    /// the table's population change.
+    #[test]
+    fn population_delta_matches_stats(
+        spec in specs(),
+        epochs in proptest::collection::vec(
+            proptest::collection::vec((0usize..4, 0u32..64, 1u64..60), 0..40),
+            1..6,
+        ),
+    ) {
+        let mut modes = table();
+        let mut rt = PolicyRuntime::new(
+            spec.build(),
+            PolicyConstraints::with_budget(0.375),
+            RelocationEngine::default(),
+        );
+        for (e, counts) in epochs.iter().enumerate() {
+            let outcome = rt.on_epoch(&telemetry_from(counts, e as u64), &modes);
+            PolicyRuntime::apply(&outcome, &mut modes);
+        }
+        let s = *rt.stats();
+        prop_assert_eq!(
+            s.promotions as i128 - s.demotions as i128,
+            modes.high_performance_rows() as i128,
+            "table started empty, so promotions − demotions must equal the population"
+        );
+        prop_assert_eq!(s.promotions + s.demotions, s.transitions_applied);
+    }
+}

@@ -200,8 +200,7 @@ pub fn render_fig11(sweep: &[Fig11Point]) -> String {
         ]);
     }
     out.push_str(&t.render());
-    if let (Some(first), Some(last)) = (sweep.first(), sweep.iter().filter(|p| p.ok).next_back())
-    {
+    if let (Some(first), Some(last)) = (sweep.first(), sweep.iter().rfind(|p| p.ok)) {
         out.push_str(&format!(
             "\ngrowth 64 → {:.0} ms: tRCD x{:.2} (paper x1.58 at 194 ms), tRAS x{:.2} (paper x1.21)\n",
             last.refw_ms,

@@ -3,6 +3,7 @@
 pub mod circuit;
 pub mod multi;
 pub mod overheads;
+pub mod policies;
 pub mod refresh;
 pub mod single;
 pub mod sysconfig;

@@ -110,7 +110,8 @@ pub fn run_with_refw(scale: Scale, seed: u64, hp_refw_ms: f64) -> MultiReport {
             let mut en_norm: Vec<[f64; 5]> = Vec::new();
             let mut pw_norm: Vec<[f64; 5]> = Vec::new();
             for mix in &mixes {
-                let (ws, en, pw) = evaluate_mix(mix, budget, warmup, seed, hp_refw_ms, &mut alone_ipc);
+                let (ws, en, pw) =
+                    evaluate_mix(mix, budget, warmup, seed, hp_refw_ms, &mut alone_ipc);
                 ws_norm.push(ws);
                 en_norm.push(en);
                 pw_norm.push(pw);

@@ -33,7 +33,11 @@ pub struct SingleReport {
 }
 
 impl SingleReport {
-    fn gmean_over(&self, filter: impl Fn(&SingleRow) -> bool, pick: impl Fn(&SingleRow) -> [f64; 5]) -> [f64; 5] {
+    fn gmean_over(
+        &self,
+        filter: impl Fn(&SingleRow) -> bool,
+        pick: impl Fn(&SingleRow) -> [f64; 5],
+    ) -> [f64; 5] {
         let selected: Vec<[f64; 5]> = self.rows.iter().filter(|r| filter(r)).map(pick).collect();
         let mut out = [1.0; 5];
         if selected.is_empty() {
@@ -64,7 +68,10 @@ impl SingleReport {
 
     /// Geomean normalized DRAM energy over the applications.
     pub fn gmean_energy(&self) -> [f64; 5] {
-        self.gmean_over(|r| matches!(r.workload, Workload::App(_)), |r| r.norm_energy)
+        self.gmean_over(
+            |r| matches!(r.workload, Workload::App(_)),
+            |r| r.norm_energy,
+        )
     }
 
     /// Geomean normalized DRAM power over the applications.
@@ -261,12 +268,7 @@ mod tests {
         assert!(!report.rows.is_empty());
         let g = report.gmean_ipc();
         // More high-performance rows → no slower, and 100 % beats 0 %.
-        assert!(
-            g[4] >= g[0] * 0.999,
-            "IPC at 100% {} vs 0% {}",
-            g[4],
-            g[0]
-        );
+        assert!(g[4] >= g[0] * 0.999, "IPC at 100% {} vs 0% {}", g[4], g[0]);
         assert!(g[4] > 1.0, "CLR must beat baseline, got {}", g[4]);
         let e = report.gmean_energy();
         assert!(e[4] < 1.0, "energy must drop, got {}", e[4]);

@@ -36,7 +36,9 @@ pub fn render() -> String {
         "Memory controller".to_string(),
         format!(
             "FR-FCFS-Cap (cap {}), timeout row policy ({} ns), {}-entry read/write queues",
-            mem.scheduler.cap, mem.scheduler.row_timeout_ns(), mem.scheduler.read_queue
+            mem.scheduler.cap,
+            mem.scheduler.row_timeout_ns(),
+            mem.scheduler.read_queue
         ),
     ]);
     t.row(vec![

@@ -106,11 +106,7 @@ mod tests {
         assert!(!rows.is_empty());
         // The smoke subset is the head of SUITE: all memory-intensive.
         for r in &rows {
-            assert_eq!(
-                r.target_mpki > 2.0,
-                true,
-                "smoke subset should be intensive"
-            );
+            assert!(r.target_mpki > 2.0, "smoke subset should be intensive");
             assert!(
                 r.measured_mpki > 1.0,
                 "{}: measured MPKI {} too low",

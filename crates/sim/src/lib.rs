@@ -13,6 +13,7 @@
 //! | [`experiment::multi`] | Figure 13, Figure 14b |
 //! | [`experiment::refresh`] | Figure 15 |
 //! | [`experiment::sysconfig`] | Table 2 (configuration dump) |
+//! | [`experiment::policies`] | dynamic mode-management policy sweep (§6) |
 //!
 //! The clock-domain crossing follows Table 2: cores at 4 GHz, DDR4 bus at
 //! 1200 MHz — exactly 10 CPU cycles per 3 DRAM cycles.
@@ -23,11 +24,13 @@
 pub mod csv;
 pub mod experiment;
 pub mod metrics;
+pub mod policyrun;
 pub mod report;
 pub mod scale;
 pub mod system;
 pub mod translate;
 
 pub use metrics::{geomean, weighted_speedup};
+pub use policyrun::{run_policy_workloads, PolicyRunConfig, PolicyRunResult};
 pub use scale::Scale;
 pub use system::{RunConfig, RunResult};

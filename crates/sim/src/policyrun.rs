@@ -1,0 +1,207 @@
+//! Full-system runs with a dynamic mode-management policy in the loop.
+//!
+//! [`run_policy_workloads`] is [`crate::system::run_workloads`] plus an
+//! epoch driver: every `epoch_dram_cycles` DRAM cycles it drains the
+//! controller's per-row telemetry, lets a [`clr_policy`] runtime decide
+//! transitions against the controller's live [`ModeTable`], and applies
+//! the validated batch back through
+//! [`MemoryController::apply_row_modes`] — charging the relocation
+//! engine's data-movement cost as controller stall cycles.
+//!
+//! [`ModeTable`]: clr_core::mode::ModeTable
+//! [`MemoryController::apply_row_modes`]: clr_memsim::controller::MemoryController::apply_row_modes
+
+use clr_core::mode::RowMode;
+use clr_memsim::controller::MemoryController;
+use clr_policy::policy::{PolicyConstraints, PolicySpec};
+use clr_policy::reloc::{RelocationEngine, RelocationParams};
+use clr_policy::runtime::{PolicyRuntime, RuntimeStats};
+use clr_policy::telemetry::{EpochTelemetry, RowId};
+use clr_trace::workload::Workload;
+
+use crate::system::{run_workloads_observed, RunConfig, RunObserver, RunResult};
+
+/// Configuration of one policy-driven run.
+#[derive(Debug, Clone)]
+pub struct PolicyRunConfig {
+    /// The underlying full-system run (its `mem.clr` fraction is the
+    /// *initial* table layout; the policy takes over from epoch 0).
+    pub base: RunConfig,
+    /// Which policy to run.
+    pub policy: PolicySpec,
+    /// Capacity budget and transition-rate limits.
+    pub constraints: PolicyConstraints,
+    /// Epoch length in DRAM cycles.
+    pub epoch_dram_cycles: u64,
+}
+
+impl PolicyRunConfig {
+    /// A policy run over `base` with an epoch every `epoch_dram_cycles`.
+    pub fn new(
+        base: RunConfig,
+        policy: PolicySpec,
+        constraints: PolicyConstraints,
+        epoch_dram_cycles: u64,
+    ) -> Self {
+        assert!(epoch_dram_cycles > 0, "epochs must have nonzero length");
+        PolicyRunConfig {
+            base,
+            policy,
+            constraints,
+            epoch_dram_cycles,
+        }
+    }
+}
+
+/// Results of one policy-driven run.
+#[derive(Debug, Clone)]
+pub struct PolicyRunResult {
+    /// The measurement-window system results.
+    pub run: RunResult,
+    /// Policy label.
+    pub policy: String,
+    /// The runtime's lifetime counters.
+    pub policy_stats: RuntimeStats,
+    /// High-performance row fraction at the end of the run.
+    pub final_hp_fraction: f64,
+}
+
+impl PolicyRunResult {
+    /// Time-averaged fraction of device capacity forfeited to
+    /// high-performance mode.
+    pub fn avg_capacity_loss(&self) -> f64 {
+        self.policy_stats.avg_capacity_loss()
+    }
+}
+
+struct EpochDriver {
+    runtime: PolicyRuntime,
+    epoch_dram_cycles: u64,
+    next_epoch: u64,
+    last_epoch_cycle: u64,
+    final_hp_fraction: f64,
+    telemetry_on: bool,
+}
+
+impl RunObserver for EpochDriver {
+    fn after_dram_tick(&mut self, mc: &mut MemoryController) {
+        if !self.telemetry_on {
+            // Telemetry collection is opt-in on the controller; switch it
+            // on the first time we see the controller.
+            mc.enable_row_telemetry();
+            self.telemetry_on = true;
+        }
+        let now = mc.cycle();
+        if now < self.next_epoch {
+            return;
+        }
+        let mut telemetry =
+            EpochTelemetry::new(self.runtime.stats().epochs, now - self.last_epoch_cycle);
+        for ((bank, row), n) in mc.drain_row_telemetry() {
+            telemetry.record(RowId::new(bank, row), n);
+        }
+        let outcome = self.runtime.on_epoch(&telemetry, mc.mode_table());
+        if !outcome.applied.is_empty() {
+            let changes: Vec<(usize, u32, RowMode)> = outcome
+                .applied
+                .iter()
+                .map(|t| (t.row.bank as usize, t.row.row, t.to))
+                .collect();
+            mc.apply_row_modes(&changes, outcome.cost.dram_cycles);
+        }
+        self.final_hp_fraction = mc.mode_table().fraction_high_performance();
+        self.last_epoch_cycle = now;
+        self.next_epoch = now + self.epoch_dram_cycles;
+    }
+}
+
+/// Runs `workloads` under `cfg` with the policy runtime in the loop.
+///
+/// # Panics
+///
+/// Panics if `workloads` is empty or the system deadlocks (as
+/// [`crate::system::run_workloads`]).
+pub fn run_policy_workloads(workloads: &[Workload], cfg: &PolicyRunConfig) -> PolicyRunResult {
+    let g = &cfg.base.mem.geometry;
+    let reloc = RelocationEngine::new(RelocationParams::for_geometry(
+        g.row_bytes(),
+        g.burst_bytes(),
+    ));
+    let mut driver = EpochDriver {
+        runtime: PolicyRuntime::new(cfg.policy.build(), cfg.constraints, reloc),
+        epoch_dram_cycles: cfg.epoch_dram_cycles,
+        next_epoch: cfg.epoch_dram_cycles,
+        last_epoch_cycle: 0,
+        final_hp_fraction: cfg.base.mem.clr.fraction_hp(),
+        telemetry_on: false,
+    };
+    let run = run_workloads_observed(workloads, &cfg.base, &mut driver);
+    PolicyRunResult {
+        run,
+        policy: driver.runtime.policy_name(),
+        policy_stats: *driver.runtime.stats(),
+        final_hp_fraction: driver.final_hp_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use clr_trace::phase::PhaseShiftSpec;
+
+    fn quick(policy: PolicySpec, fraction_hp: f64, budget: f64) -> PolicyRunResult {
+        let mut mem = crate::experiment::policies::policy_mem_config(fraction_hp);
+        mem.refresh_enabled = false;
+        let base = RunConfig {
+            mem,
+            cluster: clr_cpu::cluster::ClusterConfig::tiny(),
+            budget_insts: 6_000,
+            warmup_insts: 500,
+            seed: 11,
+        };
+        let spec = PhaseShiftSpec {
+            footprint_mib: 1,
+            accesses_per_phase: 500,
+            ..PhaseShiftSpec::paper_default()
+        };
+        let cfg = PolicyRunConfig::new(base, policy, PolicyConstraints::with_budget(budget), 2_000);
+        run_policy_workloads(&[Workload::PhaseShift(spec)], &cfg)
+    }
+
+    #[test]
+    fn dynamic_policy_moves_the_table() {
+        let r = quick(PolicySpec::TopKHotness, 0.0, 0.25);
+        assert!(r.policy_stats.epochs > 0, "epochs must have run");
+        assert!(
+            r.policy_stats.transitions_applied > 0,
+            "top-k must promote rows on a hot workload"
+        );
+        // Memoryless top-K may demote everything in a trailing empty
+        // epoch, so assert on the time-average rather than the endpoint.
+        assert!(r.policy_stats.avg_hp_fraction() > 0.0);
+        assert!(r.run.mem.mode_transitions > 0);
+        assert_eq!(r.policy, "topk");
+    }
+
+    #[test]
+    fn static_policy_keeps_the_initial_layout() {
+        let r = quick(PolicySpec::StaticSplit { fraction: 0.25 }, 0.25, 0.25);
+        assert_eq!(
+            r.policy_stats.transitions_applied, 0,
+            "table already matches the static split"
+        );
+        assert!((r.final_hp_fraction - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn capacity_budget_is_respected_throughout() {
+        let r = quick(
+            PolicySpec::UtilizationThreshold { hot: 2, cold: 0 },
+            0.0,
+            0.125,
+        );
+        assert!(r.final_hp_fraction <= 0.125 + 1e-9);
+        assert!(r.avg_capacity_loss() <= 0.125 / 2.0 + 1e-9);
+    }
+}

@@ -97,6 +97,21 @@ fn build_placement(workloads: &[Workload], cfg: &RunConfig) -> PagePlacement {
         .expect("CLR fraction is validated upstream")
 }
 
+/// Observer invoked after every DRAM tick — the hook the policy runtime
+/// in [`crate::policyrun`] uses to run its epoch loop against the live
+/// controller.
+pub(crate) trait RunObserver {
+    /// Called with the controller immediately after it ticked.
+    fn after_dram_tick(&mut self, mc: &mut MemoryController);
+}
+
+/// The default observer: does nothing.
+pub(crate) struct NoObserver;
+
+impl RunObserver for NoObserver {
+    fn after_dram_tick(&mut self, _mc: &mut MemoryController) {}
+}
+
 /// Runs `workloads` (one per core) under `cfg` and returns the
 /// measurement-window results.
 ///
@@ -105,6 +120,16 @@ fn build_placement(workloads: &[Workload], cfg: &RunConfig) -> PagePlacement {
 /// Panics if `workloads` is empty or the system fails to make forward
 /// progress (a protocol deadlock — treated as a simulator bug).
 pub fn run_workloads(workloads: &[Workload], cfg: &RunConfig) -> RunResult {
+    run_workloads_observed(workloads, cfg, &mut NoObserver)
+}
+
+/// [`run_workloads`] with a tick observer (the policy runtime's entry
+/// point).
+pub(crate) fn run_workloads_observed(
+    workloads: &[Workload],
+    cfg: &RunConfig,
+    observer: &mut dyn RunObserver,
+) -> RunResult {
     assert!(!workloads.is_empty(), "at least one workload required");
     let placement = build_placement(workloads, cfg);
     let traces: Vec<Box<dyn TraceSource + Send>> = workloads
@@ -144,8 +169,13 @@ pub fn run_workloads(workloads: &[Workload], cfg: &RunConfig) -> RunResult {
             } else {
                 RequestKind::Read
             };
-            mc.try_enqueue(MemRequest::new(req.id, PhysAddr(req.line_addr), kind, now_dram))
-                .is_ok()
+            mc.try_enqueue(MemRequest::new(
+                req.id,
+                PhysAddr(req.line_addr),
+                kind,
+                now_dram,
+            ))
+            .is_ok()
         });
         let due = cluster.cycle() * DRAM_PER_CPU_NUM / DRAM_PER_CPU_DEN;
         while dram_done < due {
@@ -154,6 +184,7 @@ pub fn run_workloads(workloads: &[Workload], cfg: &RunConfig) -> RunResult {
             for c in completions.drain(..) {
                 cluster.complete_read(c.id);
             }
+            observer.after_dram_tick(&mut mc);
         }
 
         if !warmed {

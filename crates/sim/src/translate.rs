@@ -42,7 +42,8 @@ impl TranslatedTrace {
     }
 
     fn translate(&mut self, addr: PhysAddr) -> PhysAddr {
-        self.placement.translate(PhysAddr(addr.0 + self.core_offset))
+        self.placement
+            .translate(PhysAddr(addr.0 + self.core_offset))
     }
 }
 

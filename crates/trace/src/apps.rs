@@ -55,17 +55,17 @@ impl AppModel {
     /// Non-memory instructions between consecutive loads so that, at a
     /// miss rate near one, the trace realises the target MPKI.
     pub fn bubbles(&self) -> u32 {
-        ((1000.0 / self.mpki).round() as u32).saturating_sub(1).min(5000)
+        ((1000.0 / self.mpki).round() as u32)
+            .saturating_sub(1)
+            .min(5000)
     }
 
     /// Stable per-model salt so different apps with the same user seed
     /// produce different streams.
     pub fn seed_salt(&self) -> u64 {
-        self.name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-            })
+        self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        })
     }
 }
 
@@ -75,48 +75,335 @@ impl AppModel {
 /// Figure 12) + 24 non-memory-intensive.
 pub const SUITE: [AppModel; 41] = [
     // --- memory-intensive (17) ---
-    AppModel { name: "429.mcf",        mpki: 16.9, footprint_mib: 256, locality: 0.20, page_skew_alpha: 0.15, write_frac: 0.20 },
-    AppModel { name: "462.libquantum", mpki: 25.4, footprint_mib: 64,  locality: 1.00, page_skew_alpha: 0.02, write_frac: 0.25 },
-    AppModel { name: "433.milc",       mpki: 12.8, footprint_mib: 128, locality: 0.40, page_skew_alpha: 0.40, write_frac: 0.30 },
-    AppModel { name: "450.soplex",     mpki: 21.2, footprint_mib: 64,  locality: 0.30, page_skew_alpha: 1.20, write_frac: 0.20 },
-    AppModel { name: "459.GemsFDTD",   mpki: 15.9, footprint_mib: 128, locality: 0.92, page_skew_alpha: 0.25, write_frac: 0.30 },
-    AppModel { name: "470.lbm",        mpki: 20.1, footprint_mib: 128, locality: 0.50, page_skew_alpha: 1.00, write_frac: 0.45 },
-    AppModel { name: "471.omnetpp",    mpki: 10.1, footprint_mib: 64,  locality: 0.25, page_skew_alpha: 0.60, write_frac: 0.30 },
-    AppModel { name: "473.astar",      mpki: 4.3,  footprint_mib: 32,  locality: 0.30, page_skew_alpha: 0.50, write_frac: 0.25 },
-    AppModel { name: "482.sphinx3",    mpki: 8.5,  footprint_mib: 32,  locality: 0.50, page_skew_alpha: 0.50, write_frac: 0.10 },
-    AppModel { name: "483.xalancbmk",  mpki: 4.5,  footprint_mib: 64,  locality: 0.30, page_skew_alpha: 0.70, write_frac: 0.20 },
-    AppModel { name: "436.cactusADM",  mpki: 3.1,  footprint_mib: 96,  locality: 0.55, page_skew_alpha: 0.40, write_frac: 0.35 },
-    AppModel { name: "437.leslie3d",   mpki: 7.2,  footprint_mib: 96,  locality: 0.92, page_skew_alpha: 0.25, write_frac: 0.35 },
-    AppModel { name: "410.bwaves",     mpki: 9.1,  footprint_mib: 192, locality: 0.95, page_skew_alpha: 0.15, write_frac: 0.30 },
-    AppModel { name: "434.zeusmp",     mpki: 3.3,  footprint_mib: 128, locality: 0.50, page_skew_alpha: 0.40, write_frac: 0.30 },
-    AppModel { name: "481.wrf",        mpki: 3.0,  footprint_mib: 96,  locality: 0.55, page_skew_alpha: 0.40, write_frac: 0.30 },
-    AppModel { name: "401.bzip2",      mpki: 2.4,  footprint_mib: 32,  locality: 0.45, page_skew_alpha: 0.60, write_frac: 0.30 },
-    AppModel { name: "tpcc64",         mpki: 2.9,  footprint_mib: 96,  locality: 0.20, page_skew_alpha: 0.80, write_frac: 0.35 },
+    AppModel {
+        name: "429.mcf",
+        mpki: 16.9,
+        footprint_mib: 256,
+        locality: 0.20,
+        page_skew_alpha: 0.15,
+        write_frac: 0.20,
+    },
+    AppModel {
+        name: "462.libquantum",
+        mpki: 25.4,
+        footprint_mib: 64,
+        locality: 1.00,
+        page_skew_alpha: 0.02,
+        write_frac: 0.25,
+    },
+    AppModel {
+        name: "433.milc",
+        mpki: 12.8,
+        footprint_mib: 128,
+        locality: 0.40,
+        page_skew_alpha: 0.40,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "450.soplex",
+        mpki: 21.2,
+        footprint_mib: 64,
+        locality: 0.30,
+        page_skew_alpha: 1.20,
+        write_frac: 0.20,
+    },
+    AppModel {
+        name: "459.GemsFDTD",
+        mpki: 15.9,
+        footprint_mib: 128,
+        locality: 0.92,
+        page_skew_alpha: 0.25,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "470.lbm",
+        mpki: 20.1,
+        footprint_mib: 128,
+        locality: 0.50,
+        page_skew_alpha: 1.00,
+        write_frac: 0.45,
+    },
+    AppModel {
+        name: "471.omnetpp",
+        mpki: 10.1,
+        footprint_mib: 64,
+        locality: 0.25,
+        page_skew_alpha: 0.60,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "473.astar",
+        mpki: 4.3,
+        footprint_mib: 32,
+        locality: 0.30,
+        page_skew_alpha: 0.50,
+        write_frac: 0.25,
+    },
+    AppModel {
+        name: "482.sphinx3",
+        mpki: 8.5,
+        footprint_mib: 32,
+        locality: 0.50,
+        page_skew_alpha: 0.50,
+        write_frac: 0.10,
+    },
+    AppModel {
+        name: "483.xalancbmk",
+        mpki: 4.5,
+        footprint_mib: 64,
+        locality: 0.30,
+        page_skew_alpha: 0.70,
+        write_frac: 0.20,
+    },
+    AppModel {
+        name: "436.cactusADM",
+        mpki: 3.1,
+        footprint_mib: 96,
+        locality: 0.55,
+        page_skew_alpha: 0.40,
+        write_frac: 0.35,
+    },
+    AppModel {
+        name: "437.leslie3d",
+        mpki: 7.2,
+        footprint_mib: 96,
+        locality: 0.92,
+        page_skew_alpha: 0.25,
+        write_frac: 0.35,
+    },
+    AppModel {
+        name: "410.bwaves",
+        mpki: 9.1,
+        footprint_mib: 192,
+        locality: 0.95,
+        page_skew_alpha: 0.15,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "434.zeusmp",
+        mpki: 3.3,
+        footprint_mib: 128,
+        locality: 0.50,
+        page_skew_alpha: 0.40,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "481.wrf",
+        mpki: 3.0,
+        footprint_mib: 96,
+        locality: 0.55,
+        page_skew_alpha: 0.40,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "401.bzip2",
+        mpki: 2.4,
+        footprint_mib: 32,
+        locality: 0.45,
+        page_skew_alpha: 0.60,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "tpcc64",
+        mpki: 2.9,
+        footprint_mib: 96,
+        locality: 0.20,
+        page_skew_alpha: 0.80,
+        write_frac: 0.35,
+    },
     // --- non-memory-intensive (24) ---
-    AppModel { name: "403.gcc",        mpki: 1.6,  footprint_mib: 24, locality: 0.45, page_skew_alpha: 0.70, write_frac: 0.30 },
-    AppModel { name: "400.perlbench",  mpki: 0.8,  footprint_mib: 16, locality: 0.50, page_skew_alpha: 0.80, write_frac: 0.30 },
-    AppModel { name: "416.gamess",     mpki: 0.1,  footprint_mib: 12, locality: 0.60, page_skew_alpha: 0.80, write_frac: 0.25 },
-    AppModel { name: "435.gromacs",    mpki: 0.7,  footprint_mib: 16, locality: 0.55, page_skew_alpha: 0.60, write_frac: 0.30 },
-    AppModel { name: "444.namd",       mpki: 0.3,  footprint_mib: 16, locality: 0.60, page_skew_alpha: 0.60, write_frac: 0.25 },
-    AppModel { name: "445.gobmk",      mpki: 0.6,  footprint_mib: 16, locality: 0.40, page_skew_alpha: 0.70, write_frac: 0.25 },
-    AppModel { name: "447.dealII",     mpki: 0.9,  footprint_mib: 24, locality: 0.50, page_skew_alpha: 0.70, write_frac: 0.30 },
-    AppModel { name: "453.povray",     mpki: 0.05, footprint_mib: 12, locality: 0.60, page_skew_alpha: 0.80, write_frac: 0.20 },
-    AppModel { name: "454.calculix",   mpki: 0.4,  footprint_mib: 16, locality: 0.55, page_skew_alpha: 0.60, write_frac: 0.30 },
-    AppModel { name: "456.hmmer",      mpki: 0.8,  footprint_mib: 16, locality: 0.60, page_skew_alpha: 0.60, write_frac: 0.30 },
-    AppModel { name: "458.sjeng",      mpki: 0.5,  footprint_mib: 16, locality: 0.35, page_skew_alpha: 0.70, write_frac: 0.25 },
-    AppModel { name: "464.h264ref",    mpki: 0.9,  footprint_mib: 16, locality: 0.65, page_skew_alpha: 0.60, write_frac: 0.30 },
-    AppModel { name: "465.tonto",      mpki: 0.3,  footprint_mib: 12, locality: 0.55, page_skew_alpha: 0.70, write_frac: 0.30 },
-    AppModel { name: "998.specrand",   mpki: 0.2,  footprint_mib: 12, locality: 0.10, page_skew_alpha: 0.10, write_frac: 0.20 },
-    AppModel { name: "tpch2",          mpki: 1.8,  footprint_mib: 48, locality: 0.30, page_skew_alpha: 0.60, write_frac: 0.20 },
-    AppModel { name: "tpch6",          mpki: 1.9,  footprint_mib: 48, locality: 0.55, page_skew_alpha: 0.40, write_frac: 0.20 },
-    AppModel { name: "tpch11",         mpki: 1.2,  footprint_mib: 32, locality: 0.40, page_skew_alpha: 0.60, write_frac: 0.20 },
-    AppModel { name: "tpch17",         mpki: 1.4,  footprint_mib: 32, locality: 0.35, page_skew_alpha: 0.60, write_frac: 0.20 },
-    AppModel { name: "mb-h263enc",     mpki: 0.6,  footprint_mib: 12, locality: 0.75, page_skew_alpha: 0.30, write_frac: 0.35 },
-    AppModel { name: "mb-jpegdec",     mpki: 0.9,  footprint_mib: 12, locality: 0.80, page_skew_alpha: 0.30, write_frac: 0.35 },
-    AppModel { name: "mb-mpeg2enc",    mpki: 1.1,  footprint_mib: 16, locality: 0.80, page_skew_alpha: 0.30, write_frac: 0.35 },
-    AppModel { name: "mb-mpeg4dec",    mpki: 0.8,  footprint_mib: 16, locality: 0.80, page_skew_alpha: 0.30, write_frac: 0.35 },
-    AppModel { name: "mb-mp3dec",      mpki: 0.4,  footprint_mib: 12, locality: 0.75, page_skew_alpha: 0.30, write_frac: 0.30 },
-    AppModel { name: "mb-gsmenc",      mpki: 0.5,  footprint_mib: 12, locality: 0.75, page_skew_alpha: 0.30, write_frac: 0.30 },
+    AppModel {
+        name: "403.gcc",
+        mpki: 1.6,
+        footprint_mib: 24,
+        locality: 0.45,
+        page_skew_alpha: 0.70,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "400.perlbench",
+        mpki: 0.8,
+        footprint_mib: 16,
+        locality: 0.50,
+        page_skew_alpha: 0.80,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "416.gamess",
+        mpki: 0.1,
+        footprint_mib: 12,
+        locality: 0.60,
+        page_skew_alpha: 0.80,
+        write_frac: 0.25,
+    },
+    AppModel {
+        name: "435.gromacs",
+        mpki: 0.7,
+        footprint_mib: 16,
+        locality: 0.55,
+        page_skew_alpha: 0.60,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "444.namd",
+        mpki: 0.3,
+        footprint_mib: 16,
+        locality: 0.60,
+        page_skew_alpha: 0.60,
+        write_frac: 0.25,
+    },
+    AppModel {
+        name: "445.gobmk",
+        mpki: 0.6,
+        footprint_mib: 16,
+        locality: 0.40,
+        page_skew_alpha: 0.70,
+        write_frac: 0.25,
+    },
+    AppModel {
+        name: "447.dealII",
+        mpki: 0.9,
+        footprint_mib: 24,
+        locality: 0.50,
+        page_skew_alpha: 0.70,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "453.povray",
+        mpki: 0.05,
+        footprint_mib: 12,
+        locality: 0.60,
+        page_skew_alpha: 0.80,
+        write_frac: 0.20,
+    },
+    AppModel {
+        name: "454.calculix",
+        mpki: 0.4,
+        footprint_mib: 16,
+        locality: 0.55,
+        page_skew_alpha: 0.60,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "456.hmmer",
+        mpki: 0.8,
+        footprint_mib: 16,
+        locality: 0.60,
+        page_skew_alpha: 0.60,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "458.sjeng",
+        mpki: 0.5,
+        footprint_mib: 16,
+        locality: 0.35,
+        page_skew_alpha: 0.70,
+        write_frac: 0.25,
+    },
+    AppModel {
+        name: "464.h264ref",
+        mpki: 0.9,
+        footprint_mib: 16,
+        locality: 0.65,
+        page_skew_alpha: 0.60,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "465.tonto",
+        mpki: 0.3,
+        footprint_mib: 12,
+        locality: 0.55,
+        page_skew_alpha: 0.70,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "998.specrand",
+        mpki: 0.2,
+        footprint_mib: 12,
+        locality: 0.10,
+        page_skew_alpha: 0.10,
+        write_frac: 0.20,
+    },
+    AppModel {
+        name: "tpch2",
+        mpki: 1.8,
+        footprint_mib: 48,
+        locality: 0.30,
+        page_skew_alpha: 0.60,
+        write_frac: 0.20,
+    },
+    AppModel {
+        name: "tpch6",
+        mpki: 1.9,
+        footprint_mib: 48,
+        locality: 0.55,
+        page_skew_alpha: 0.40,
+        write_frac: 0.20,
+    },
+    AppModel {
+        name: "tpch11",
+        mpki: 1.2,
+        footprint_mib: 32,
+        locality: 0.40,
+        page_skew_alpha: 0.60,
+        write_frac: 0.20,
+    },
+    AppModel {
+        name: "tpch17",
+        mpki: 1.4,
+        footprint_mib: 32,
+        locality: 0.35,
+        page_skew_alpha: 0.60,
+        write_frac: 0.20,
+    },
+    AppModel {
+        name: "mb-h263enc",
+        mpki: 0.6,
+        footprint_mib: 12,
+        locality: 0.75,
+        page_skew_alpha: 0.30,
+        write_frac: 0.35,
+    },
+    AppModel {
+        name: "mb-jpegdec",
+        mpki: 0.9,
+        footprint_mib: 12,
+        locality: 0.80,
+        page_skew_alpha: 0.30,
+        write_frac: 0.35,
+    },
+    AppModel {
+        name: "mb-mpeg2enc",
+        mpki: 1.1,
+        footprint_mib: 16,
+        locality: 0.80,
+        page_skew_alpha: 0.30,
+        write_frac: 0.35,
+    },
+    AppModel {
+        name: "mb-mpeg4dec",
+        mpki: 0.8,
+        footprint_mib: 16,
+        locality: 0.80,
+        page_skew_alpha: 0.30,
+        write_frac: 0.35,
+    },
+    AppModel {
+        name: "mb-mp3dec",
+        mpki: 0.4,
+        footprint_mib: 12,
+        locality: 0.75,
+        page_skew_alpha: 0.30,
+        write_frac: 0.30,
+    },
+    AppModel {
+        name: "mb-gsmenc",
+        mpki: 0.5,
+        footprint_mib: 12,
+        locality: 0.75,
+        page_skew_alpha: 0.30,
+        write_frac: 0.30,
+    },
 ];
 
 /// The memory-intensive subset (MPKI > 2.0), in suite order.

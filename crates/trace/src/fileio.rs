@@ -194,7 +194,10 @@ mod tests {
     fn rejects_malformed_records() {
         for bad in ["x 12", "3", "1 2 3 4", "1 zz"] {
             let err = read_trace(bad.as_bytes()).unwrap_err();
-            assert!(matches!(err, TraceParseError::Malformed { line: 1, .. }), "{bad}");
+            assert!(
+                matches!(err, TraceParseError::Malformed { line: 1, .. }),
+                "{bad}"
+            );
             assert!(!err.to_string().is_empty());
         }
     }

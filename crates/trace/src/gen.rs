@@ -240,9 +240,12 @@ mod tests {
     fn random_trace_spreads_addresses() {
         let mut r = RandomTrace::new(1 << 24, 0, 0.0, 9);
         let items = take(&mut r, 256);
-        let distinct: std::collections::HashSet<u64> =
-            items.iter().map(|i| i.read.0).collect();
-        assert!(distinct.len() > 200, "only {} distinct lines", distinct.len());
+        let distinct: std::collections::HashSet<u64> = items.iter().map(|i| i.read.0).collect();
+        assert!(
+            distinct.len() > 200,
+            "only {} distinct lines",
+            distinct.len()
+        );
     }
 
     #[test]

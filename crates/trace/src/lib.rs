@@ -16,6 +16,8 @@
 //! * [`gen`] — the streaming generators ([`gen::AppTrace`],
 //!   [`gen::StreamTrace`], [`gen::RandomTrace`]),
 //! * [`synthetic`] — the 30 random/stream synthetic workloads,
+//! * [`phase`] — the phase-shifting workload whose hot set drifts over
+//!   time (the stress case for dynamic mode-management policies),
 //! * [`mix`] — L/M/H four-core multiprogrammed mix construction,
 //! * [`profile`] — page-heat profiling used by the §8.1 data mapping,
 //! * [`zipf`] — the seeded Zipf sampler underlying page skew.
@@ -27,6 +29,7 @@ pub mod apps;
 pub mod fileio;
 pub mod gen;
 pub mod mix;
+pub mod phase;
 pub mod profile;
 pub mod synthetic;
 pub mod workload;
@@ -36,6 +39,7 @@ pub use apps::{AppModel, MemoryClass, SUITE};
 pub use fileio::{read_trace, write_trace};
 pub use gen::{AppTrace, RandomTrace, StreamTrace};
 pub use mix::{build_mixes, MixGroup, MixSpec};
+pub use phase::{PhaseShiftSpec, PhaseShiftTrace};
 pub use profile::profile_pages;
 pub use workload::{single_core_suite, Workload};
 pub use zipf::Zipf;

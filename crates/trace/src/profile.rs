@@ -54,11 +54,7 @@ mod tests {
     fn profile_counts_both_loads_and_stores() {
         use clr_core::addr::PhysAddr;
         use clr_cpu::trace::{TraceItem, VecTrace};
-        let mut t = VecTrace::new(vec![TraceItem::load_store(
-            0,
-            PhysAddr(0),
-            PhysAddr(4096),
-        )]);
+        let mut t = VecTrace::new(vec![TraceItem::load_store(0, PhysAddr(0), PhysAddr(4096))]);
         let p = profile_pages(&mut t, 10);
         assert_eq!(p.pages_touched(), 2);
         assert_eq!(p.total_accesses(), 2);

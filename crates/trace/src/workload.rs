@@ -5,6 +5,7 @@ use clr_cpu::trace::TraceSource;
 
 use crate::apps::AppModel;
 use crate::gen::AppTrace;
+use crate::phase::PhaseShiftSpec;
 use crate::synthetic::{SyntheticKind, SyntheticSpec};
 
 /// One runnable workload.
@@ -14,6 +15,8 @@ pub enum Workload {
     App(AppModel),
     /// A synthetic random/stream trace.
     Synthetic(SyntheticSpec),
+    /// A phase-shifting trace whose hot set drifts over time.
+    PhaseShift(PhaseShiftSpec),
 }
 
 impl Workload {
@@ -22,6 +25,7 @@ impl Workload {
         match self {
             Workload::App(a) => a.name.to_string(),
             Workload::Synthetic(s) => s.name(),
+            Workload::PhaseShift(p) => p.name(),
         }
     }
 
@@ -52,6 +56,7 @@ impl Workload {
         match self {
             Workload::App(a) => a.bubbles() as f64 + 1.0,
             Workload::Synthetic(s) => s.bubbles as f64 + 1.0,
+            Workload::PhaseShift(p) => p.bubbles as f64 + 1.0,
         }
     }
 
@@ -63,6 +68,7 @@ impl Workload {
         match self {
             Workload::App(a) => Box::new(AppTrace::new(*a, seed)),
             Workload::Synthetic(s) => s.build(),
+            Workload::PhaseShift(p) => Box::new(p.build(seed)),
         }
     }
 }
@@ -70,7 +76,11 @@ impl Workload {
 /// The full single-core evaluation set: all 41 applications followed by
 /// the 30 synthetics (71 workloads, §8.1).
 pub fn single_core_suite() -> Vec<Workload> {
-    let mut v: Vec<Workload> = crate::apps::SUITE.iter().copied().map(Workload::App).collect();
+    let mut v: Vec<Workload> = crate::apps::SUITE
+        .iter()
+        .copied()
+        .map(Workload::App)
+        .collect();
     v.extend(
         crate::synthetic::synthetic_suite()
             .into_iter()

@@ -1,6 +1,5 @@
 //! Property-based tests of the workload generators.
 
-use clr_cpu::trace::TraceSource;
 use clr_trace::apps::{AppModel, SUITE};
 use clr_trace::gen::{take, AppTrace, RandomTrace, StreamTrace};
 use clr_trace::mix::{build_mixes, MixGroup};

@@ -33,8 +33,8 @@ fn main() {
                 profile.access_coverage(frac) * 100.0
             );
         }
-        let placement = PagePlacement::profile_guided(&profile, 0.25, &geom)
-            .expect("fraction is valid");
+        let placement =
+            PagePlacement::profile_guided(&profile, 0.25, &geom).expect("fraction is valid");
         println!(
             "  placement at 25% HP rows: {} fast frames, {} pages mapped\n",
             placement.hp_frames(),

@@ -14,8 +14,10 @@
 //! * [`cpu`] ([`clr_cpu`]) — the trace-driven core and LLC models;
 //! * [`trace`] ([`clr_trace`]) — workload models and trace generators;
 //! * [`power`] ([`clr_power`]) — the DRAMPower-style energy model;
+//! * [`policy`] ([`clr_policy`]) — the dynamic mode-management runtime:
+//!   per-row telemetry, pluggable policies, relocation-cost model;
 //! * [`sim`] ([`clr_sim`]) — full-system experiment runners for every
-//!   table and figure in the paper.
+//!   table and figure in the paper, plus the dynamic-policy sweep.
 //!
 //! # Quickstart
 //!
@@ -35,8 +37,46 @@
 //! assert_eq!(usable, geom.capacity_bytes() / 2);
 //! ```
 //!
-//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
-//! for the binaries regenerating every table and figure of the paper.
+//! # Dynamic mode management (`policy`)
+//!
+//! The paper's headline property — rows reconfigure **at activation
+//! time** — only pays off with system software deciding *which* rows,
+//! *when*. The [`policy`] layer provides that: the memory controller
+//! exports per-row access telemetry each epoch, a pluggable policy
+//! (static split, utilization threshold, top-K hotness, or
+//! migration-cost-aware hysteresis) proposes transitions against the
+//! controller's shared mode table, and a validating runtime applies them,
+//! charging the relocation engine's data-movement cost:
+//!
+//! ```
+//! use clr_dram::arch::geometry::DramGeometry;
+//! use clr_dram::arch::mode::{ModeTable, RowMode};
+//! use clr_dram::policy::policy::{PolicyConstraints, PolicySpec};
+//! use clr_dram::policy::reloc::RelocationEngine;
+//! use clr_dram::policy::runtime::PolicyRuntime;
+//! use clr_dram::policy::telemetry::{EpochTelemetry, RowId};
+//!
+//! let mut modes = ModeTable::new(&DramGeometry::tiny());
+//! let mut rt = PolicyRuntime::new(
+//!     PolicySpec::Hysteresis.build(),
+//!     PolicyConstraints::with_budget(0.25), // give up ≤ 12.5 % capacity
+//!     RelocationEngine::default(),
+//! );
+//! let mut epoch = EpochTelemetry::new(0, 50_000);
+//! epoch.record(RowId::new(0, 9), 300); // a hot row appears
+//! let outcome = rt.on_epoch(&epoch, &modes);
+//! PolicyRuntime::apply(&outcome, &mut modes);
+//! assert_eq!(modes.mode_of(0, 9), RowMode::HighPerformance);
+//! ```
+//!
+//! End-to-end, `clr_dram::sim::policyrun::run_policy_workloads` runs this
+//! loop against the cycle-accurate controller, and the `policy_sweep`
+//! binary in `crates/bench` compares policies × workloads (IPC, energy,
+//! capacity loss) on a phase-shifting workload.
+//!
+//! See `examples/` for runnable end-to-end scenarios (in particular
+//! `examples/dynamic_policy.rs`) and `crates/bench` for the binaries
+//! regenerating every table and figure of the paper.
 
 #![warn(missing_docs)]
 
@@ -68,6 +108,11 @@ pub mod trace {
 /// DRAM energy/power modelling (re-export of [`clr_power`]).
 pub mod power {
     pub use clr_power::*;
+}
+
+/// Dynamic capacity-latency mode management (re-export of [`clr_policy`]).
+pub mod policy {
+    pub use clr_policy::*;
 }
 
 /// Full-system experiments (re-export of [`clr_sim`]).

@@ -60,7 +60,7 @@ fn circuit_refresh_window_growth_matches_model_direction() {
     let m194 = model.high_performance_at_refw(194.0).expect("valid window");
     let model_growth = m194.t_rcd_ns / m64.t_rcd_ns;
     let first = sweep.first().expect("sweep nonempty");
-    let last = sweep.iter().filter(|p| p.ok).next_back().expect("has ok");
+    let last = sweep.iter().rfind(|p| p.ok).expect("has ok");
     let measured_growth = last.t_rcd_ns / first.t_rcd_ns;
     assert!(
         (measured_growth - model_growth).abs() < 0.35,

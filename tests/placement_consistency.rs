@@ -37,7 +37,7 @@ proptest! {
         for &(page, _) in &pages {
             let t = placement.translate(PhysAddr(page * PAGE_BYTES));
             let decoded = mapping.map(t, &geom).expect("translated address in range");
-            let controller_mode = mc.mode_of_row(decoded.row);
+            let controller_mode = mc.mode_of_row(decoded.flat_bank(&geom), decoded.row);
             let placement_fast = placement.is_fast(t);
             prop_assert_eq!(
                 placement_fast,
@@ -60,8 +60,9 @@ proptest! {
         cfg.refresh_enabled = false;
         let mc = MemoryController::new(cfg);
         for row in 0..geom.rows {
-            prop_assert_eq!(table.mode_of(0, row), mc.mode_of_row(row), "row {}", row);
+            prop_assert_eq!(table.mode_of(0, row), mc.mode_of_row(0, row), "row {}", row);
         }
+        prop_assert_eq!(table, mc.mode_table().clone(), "whole-table agreement");
     }
 
     /// Translation never moves an address out of the configured capacity

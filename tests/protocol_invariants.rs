@@ -32,10 +32,7 @@ fn drive(
             )
         })
         .collect();
-    let total_reads = queue
-        .iter()
-        .filter(|r| r.kind == RequestKind::Read)
-        .count();
+    let total_reads = queue.iter().filter(|r| r.kind == RequestKind::Read).count();
     let mut completed = 0;
     for _ in 0..max_cycles {
         if let Some(req) = queue.pop_front() {
