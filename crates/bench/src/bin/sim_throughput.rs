@@ -1,0 +1,212 @@
+//! Simulation-throughput benchmark: host wall-clock speed of the
+//! full-system simulator with and without the event-driven skip-ahead
+//! core (`clr-dram/sim-throughput/v1`).
+//!
+//! Two scenarios bracket the design space:
+//!
+//! * **policy-saturated** — the policy sweep's headline cell (hysteresis
+//!   policy × drifting-hot-set workload, refresh on). Memory stays busy a
+//!   few cycles ahead, so most cycles carry events and skip-ahead can
+//!   only harvest the short gaps: the speedup here is the *floor*.
+//! * **light-intensity** — a low-MPKI synthetic on the paper system,
+//!   where the DRAM sits idle between bursts and the CPU stalls on
+//!   isolated misses: long dead windows, the skip-ahead *headline*.
+//!
+//! Each scenario runs per-cycle then skip-ahead, verifies the runs are
+//! statistically bit-identical (the skip-ahead contract), and reports
+//! simulated DRAM cycles/second and requests/second over the simulation
+//! loop (total wall additionally includes identical trace-profiling
+//! setup). The closing JSON lets successive PRs track the simulator's own
+//! performance trajectory alongside the modelled one.
+
+use std::time::Instant;
+
+use clr_memsim::MemStats;
+use clr_policy::policy::{PolicyConstraints, PolicySpec};
+use clr_sim::experiment::policies::{
+    epoch_cycles, phase_workload, policy_cluster, policy_mem_config, DYNAMIC_BUDGET,
+};
+use clr_sim::policyrun::{run_policy_workloads, PolicyRunConfig};
+use clr_sim::system::{run_workloads, RunConfig};
+use clr_sim::Scale;
+use clr_trace::synthetic::{SyntheticKind, SyntheticSpec};
+use clr_trace::workload::Workload;
+
+struct Sample {
+    mode: &'static str,
+    wall_s: f64,
+    loop_s: f64,
+    ipc: Vec<f64>,
+    mem: MemStats,
+}
+
+impl Sample {
+    fn requests(&self) -> u64 {
+        self.mem.reads + self.mem.writes
+    }
+
+    fn cycles_per_sec(&self) -> f64 {
+        self.mem.cycles as f64 / self.loop_s
+    }
+
+    fn requests_per_sec(&self) -> f64 {
+        self.requests() as f64 / self.loop_s
+    }
+}
+
+struct Scenario {
+    name: &'static str,
+    workload: String,
+    per_cycle: Sample,
+    skip: Sample,
+}
+
+impl Scenario {
+    fn speedup(&self) -> f64 {
+        self.per_cycle.loop_s / self.skip.loop_s
+    }
+
+    fn identical(&self) -> bool {
+        self.per_cycle.ipc == self.skip.ipc && self.per_cycle.mem == self.skip.mem
+    }
+}
+
+/// The policy sweep's headline cell: hysteresis over the drifting hot
+/// set — DRAM saturated, events every few cycles.
+fn run_saturated(mode: &'static str, skip_ahead: bool, scale: Scale) -> Sample {
+    let mut mem = policy_mem_config(0.0);
+    mem.refresh_enabled = true;
+    let base = RunConfig {
+        mem,
+        cluster: policy_cluster(),
+        budget_insts: scale.budget_insts(),
+        warmup_insts: scale.warmup_insts(),
+        seed: 42,
+        skip_ahead,
+    };
+    let cfg = PolicyRunConfig::new(
+        base,
+        PolicySpec::Hysteresis,
+        PolicyConstraints::with_budget(DYNAMIC_BUDGET),
+        epoch_cycles(scale),
+    );
+    let start = Instant::now();
+    let r = run_policy_workloads(&[phase_workload(scale)], &cfg);
+    Sample {
+        mode,
+        wall_s: start.elapsed().as_secs_f64(),
+        loop_s: r.run.host_loop_s,
+        ipc: r.run.ipc,
+        mem: r.run.mem,
+    }
+}
+
+/// A low-intensity synthetic on the paper system: long idle stretches on
+/// both clock domains — the workload class skip-ahead exists for.
+fn light_workload() -> Workload {
+    Workload::Synthetic(SyntheticSpec {
+        kind: SyntheticKind::Random,
+        index: 12, // the suite's bubbles=159 random family
+        bubbles: 159,
+        footprint_mib: 64,
+    })
+}
+
+fn run_light(mode: &'static str, skip_ahead: bool, scale: Scale) -> Sample {
+    let mut cfg = RunConfig::paper(
+        clr_sim::experiment::mem_config(Some(0.5), 64.0),
+        scale.budget_insts(),
+        scale.warmup_insts(),
+        42,
+    );
+    cfg.skip_ahead = skip_ahead;
+    let start = Instant::now();
+    let r = run_workloads(&[light_workload()], &cfg);
+    Sample {
+        mode,
+        wall_s: start.elapsed().as_secs_f64(),
+        loop_s: r.host_loop_s,
+        ipc: r.ipc,
+        mem: r.mem,
+    }
+}
+
+fn main() {
+    let scale = clr_bench::startup("simulation throughput (skip-ahead vs per-cycle)");
+    let scenarios = [
+        Scenario {
+            name: "policy-saturated",
+            workload: phase_workload(scale).name(),
+            per_cycle: run_saturated("per-cycle", false, scale),
+            skip: run_saturated("skip-ahead", true, scale),
+        },
+        Scenario {
+            name: "light-intensity",
+            workload: light_workload().name(),
+            per_cycle: run_light("per-cycle", false, scale),
+            skip: run_light("skip-ahead", true, scale),
+        },
+    ];
+
+    for sc in &scenarios {
+        println!("scenario: {} ({})", sc.name, sc.workload);
+        println!(
+            "  {:<11} {:>9} {:>9} {:>13} {:>9} {:>15} {:>13}",
+            "mode", "wall(s)", "loop(s)", "DRAM cycles", "requests", "sim cycles/s", "requests/s"
+        );
+        for s in [&sc.per_cycle, &sc.skip] {
+            println!(
+                "  {:<11} {:>9.3} {:>9.3} {:>13} {:>9} {:>15.0} {:>13.0}",
+                s.mode,
+                s.wall_s,
+                s.loop_s,
+                s.mem.cycles,
+                s.requests(),
+                s.cycles_per_sec(),
+                s.requests_per_sec(),
+            );
+        }
+        println!(
+            "  speedup: {:.2}x | statistics bit-identical: {}\n",
+            sc.speedup(),
+            sc.identical()
+        );
+        assert!(
+            sc.identical(),
+            "skip-ahead diverged from the per-cycle reference — simulator bug"
+        );
+    }
+
+    println!("--- machine-readable (clr-dram/sim-throughput/v1) ---");
+    println!("{{");
+    println!("  \"schema\": \"clr-dram/sim-throughput/v1\",");
+    println!("  \"scale\": \"{}\",", scale.label());
+    println!("  \"scenarios\": [");
+    for (i, sc) in scenarios.iter().enumerate() {
+        println!("    {{");
+        println!("      \"name\": \"{}\",", sc.name);
+        println!("      \"workload\": \"{}\",", sc.workload);
+        println!("      \"modes\": [");
+        for (j, s) in [&sc.per_cycle, &sc.skip].into_iter().enumerate() {
+            println!(
+                "        {{\"mode\": \"{}\", \"wall_s\": {:.6}, \"loop_s\": {:.6}, \
+                 \"dram_cycles\": {}, \"requests\": {}, \
+                 \"sim_cycles_per_sec\": {:.1}, \"requests_per_sec\": {:.1}}}{}",
+                s.mode,
+                s.wall_s,
+                s.loop_s,
+                s.mem.cycles,
+                s.requests(),
+                s.cycles_per_sec(),
+                s.requests_per_sec(),
+                if j == 0 { "," } else { "" },
+            );
+        }
+        println!("      ],");
+        println!("      \"speedup\": {:.4},", sc.speedup());
+        println!("      \"bit_identical\": {}", sc.identical());
+        println!("    }}{}", if i + 1 == scenarios.len() { "" } else { "," });
+    }
+    println!("  ]");
+    println!("}}");
+}

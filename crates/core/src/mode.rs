@@ -6,6 +6,8 @@
 //! per bank (the paper notes it can be compressed when the reconfiguration
 //! granularity exceeds one row).
 
+use std::sync::Arc;
+
 use crate::geometry::DramGeometry;
 
 /// Operating mode of a single DRAM row.
@@ -43,6 +45,15 @@ impl std::fmt::Display for RowMode {
 /// the unoptimized controller cost the paper quotes in §6.2. Rows default
 /// to [`RowMode::MaxCapacity`].
 ///
+/// # Copy-on-write
+///
+/// Each bank's bitmap lives behind an [`Arc`], so `Clone` is O(banks)
+/// reference-count bumps instead of a bitmap copy — taking a snapshot of
+/// the live table (tests mirroring the controller, sweep reporting,
+/// policy baselines) is effectively free. The first [`ModeTable::set`]
+/// that lands on a bank whose bitmap is still shared re-materialises just
+/// that bank's words; unshared tables mutate in place with no overhead.
+///
 /// # Example
 ///
 /// ```
@@ -59,8 +70,8 @@ impl std::fmt::Display for RowMode {
 pub struct ModeTable {
     rows_per_bank: u32,
     banks: u32,
-    /// One bitmap per flat bank; bit set = high-performance.
-    bitmaps: Vec<Vec<u64>>,
+    /// One copy-on-write bitmap per flat bank; bit set = high-performance.
+    bitmaps: Vec<Arc<Vec<u64>>>,
     hp_count: u64,
 }
 
@@ -70,10 +81,14 @@ impl ModeTable {
     pub fn new(geometry: &DramGeometry) -> Self {
         let banks = geometry.channels * geometry.ranks * geometry.banks_total();
         let words = geometry.rows.div_ceil(64) as usize;
+        // Sharing one all-zero bitmap across every bank is deliberate:
+        // copy-on-write splits a bank off on its first real mode flip.
+        #[allow(clippy::rc_clone_in_vec_init)]
+        let bitmaps = vec![Arc::new(vec![0u64; words]); banks as usize];
         ModeTable {
             rows_per_bank: geometry.rows,
             banks,
-            bitmaps: vec![vec![0u64; words]; banks as usize],
+            bitmaps,
             hp_count: 0,
         }
     }
@@ -110,19 +125,22 @@ impl ModeTable {
     /// Panics if `flat_bank` or `row` is out of range.
     pub fn set(&mut self, flat_bank: usize, row: u32, mode: RowMode) -> RowMode {
         assert!(row < self.rows_per_bank, "row {row} out of range");
-        let word = &mut self.bitmaps[flat_bank][(row / 64) as usize];
         let bit = 1u64 << (row % 64);
-        let was_hp = *word & bit != 0;
+        let word_idx = (row / 64) as usize;
+        let was_hp = self.bitmaps[flat_bank][word_idx] & bit != 0;
+        // Copy-on-write: only materialise a private bitmap if the mode
+        // actually flips (the common no-op `set` stays allocation-free
+        // even on shared storage).
         match mode {
             RowMode::HighPerformance => {
                 if !was_hp {
-                    *word |= bit;
+                    Arc::make_mut(&mut self.bitmaps[flat_bank])[word_idx] |= bit;
                     self.hp_count += 1;
                 }
             }
             RowMode::MaxCapacity => {
                 if was_hp {
-                    *word &= !bit;
+                    Arc::make_mut(&mut self.bitmaps[flat_bank])[word_idx] &= !bit;
                     self.hp_count -= 1;
                 }
             }
@@ -148,16 +166,18 @@ impl ModeTable {
             "fraction {fraction} not within 0.0..=1.0"
         );
         let hp_rows = (self.rows_per_bank as f64 * fraction).round() as u32;
-        self.hp_count = 0;
-        for bank in 0..self.banks as usize {
-            for w in self.bitmaps[bank].iter_mut() {
-                *w = 0;
-            }
-            for row in 0..hp_rows {
-                self.bitmaps[bank][(row / 64) as usize] |= 1u64 << (row % 64);
-            }
-            self.hp_count += hp_rows as u64;
+        // Every bank gets the identical prefix bitmap: build it once and
+        // share it across all banks (copy-on-write splits later setters).
+        let words = self.bitmaps.first().map_or(0, |b| b.len());
+        let mut prefix = vec![0u64; words];
+        for row in 0..hp_rows {
+            prefix[(row / 64) as usize] |= 1u64 << (row % 64);
         }
+        let prefix = Arc::new(prefix);
+        for bank in self.bitmaps.iter_mut() {
+            *bank = Arc::clone(&prefix);
+        }
+        self.hp_count = hp_rows as u64 * self.banks as u64;
     }
 
     /// First row of each bank that is *not* high-performance under the
@@ -180,6 +200,17 @@ impl ModeTable {
     /// row per bank.
     pub fn storage_bits(&self) -> u64 {
         self.rows_per_bank as u64 * self.banks as u64
+    }
+
+    /// Whether `self` and `other` currently share bank `bank`'s bitmap
+    /// storage — a copy-on-write diagnostic (cloned tables share until
+    /// one side's mode actually flips).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn shares_bank_storage(&self, other: &ModeTable, bank: usize) -> bool {
+        Arc::ptr_eq(&self.bitmaps[bank], &other.bitmaps[bank])
     }
 
     /// Iterates every high-performance row as `(flat_bank, row)`, in
@@ -287,6 +318,35 @@ mod tests {
         let got: Vec<(usize, u32)> = t.iter_high_performance().collect();
         assert_eq!(got, vec![(0, 0), (1, 63), (3, 17)]);
         assert_eq!(got.len() as u64, t.high_performance_rows());
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let g = DramGeometry::tiny();
+        let mut t = ModeTable::new(&g);
+        t.set_fraction_high_performance(0.5);
+        let snapshot = t.clone();
+        // The clone shares every bank's storage until a write diverges.
+        for b in 0..t.banks() as usize {
+            assert!(t.shares_bank_storage(&snapshot, b), "bank {b} shared");
+        }
+        // A no-op set (same mode) must not materialise a private bitmap.
+        t.set(1, 0, RowMode::HighPerformance);
+        assert!(
+            t.shares_bank_storage(&snapshot, 1),
+            "no-op set keeps sharing"
+        );
+        // A real flip splits exactly the touched bank.
+        t.set(1, 0, RowMode::MaxCapacity);
+        assert!(!t.shares_bank_storage(&snapshot, 1), "bank 1 diverged");
+        assert!(t.shares_bank_storage(&snapshot, 0), "bank 0 still shared");
+        // Contents stay independent: the snapshot kept the old layout.
+        assert_eq!(t.mode_of(1, 0), RowMode::MaxCapacity);
+        assert_eq!(snapshot.mode_of(1, 0), RowMode::HighPerformance);
+        assert_eq!(
+            snapshot.high_performance_rows(),
+            t.high_performance_rows() + 1
+        );
     }
 
     #[test]

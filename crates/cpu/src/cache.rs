@@ -271,6 +271,24 @@ impl Llc {
         entry.line * self.cfg.line_bytes
     }
 
+    /// Read-only peek: would an access to `addr` by `core` return
+    /// [`AccessResult::MshrFull`] this cycle? Mirrors the decision chain
+    /// of [`Llc::access`] (hit → MSHR merge → MSHR allocation) without
+    /// mutating LRU order, MSHRs, or statistics — the predicate the
+    /// skip-ahead engine uses to prove a stalled core's tick is a no-op.
+    pub fn would_stall(&self, core: usize, addr: PhysAddr) -> bool {
+        if self.per_core_mshr[core] < self.cfg.mshrs_per_core {
+            return false;
+        }
+        let line = addr.line(self.cfg.line_bytes);
+        let (set_idx, tag) = self.split(line);
+        if self.sets[set_idx].iter().any(|l| l.tag == tag) {
+            return false; // would hit
+        }
+        // Blocked unless the miss can merge into an in-flight MSHR.
+        !self.mshrs.iter().any(|e| e.valid && e.line == line)
+    }
+
     /// The oldest pending outbound request, if any.
     pub fn outbox_front(&self) -> Option<OutboundRequest> {
         self.outbox.front().copied()

@@ -81,6 +81,32 @@ impl Core {
         self.window.set_ready(line_addr);
     }
 
+    /// Whether this core's next [`Core::tick`] would be a pure no-op
+    /// because it is waiting on memory: nothing at the window head can
+    /// retire, and the dispatch stage is blocked (window full, or the
+    /// pending load/store would stall on MSHR exhaustion). Only a window
+    /// wakeup — an LLC fill or a scheduled hit — can change that, which
+    /// is what makes whole-cluster skip-ahead sound.
+    pub fn stalled_on_memory(&self, llc: &Llc) -> bool {
+        if self.window.head_ready() {
+            return false;
+        }
+        let Some((item, phase)) = self.current else {
+            // With no current item the next tick pulls from the trace (or
+            // flags it done) — progress either way, unless the trace is
+            // already exhausted.
+            return self.trace_done;
+        };
+        match phase {
+            Phase::Bubbles(_) => self.window.is_full(),
+            Phase::Load => self.window.is_full() || llc.would_stall(self.id, item.read),
+            Phase::Store => {
+                let addr = item.write.expect("store phase implies a write");
+                llc.would_stall(self.id, addr)
+            }
+        }
+    }
+
     /// Executes one CPU cycle: retire, then dispatch up to the width.
     ///
     /// `hit_wakeups` receives `(ready_cycle, line_addr)` events for LLC

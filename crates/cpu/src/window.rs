@@ -54,6 +54,13 @@ impl Window {
         self.load
     }
 
+    /// Whether the oldest entry could retire this cycle — i.e. whether
+    /// [`Window::retire`] would make progress. `false` for an empty
+    /// window or one blocked on a pending load at its head.
+    pub fn head_ready(&self) -> bool {
+        self.load > 0 && self.ready[self.tail]
+    }
+
     /// Dispatches one instruction. `ready = true` for non-memory work,
     /// `false` with the memory line address for loads awaiting data.
     ///

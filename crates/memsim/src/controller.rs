@@ -1,6 +1,37 @@
 //! The memory controller: request queues, FR-FCFS-Cap scheduling, write
-//! draining, timeout row policy, and heterogeneous refresh.
+//! draining, timeout row policy, and heterogeneous refresh — with an
+//! event-driven skip-ahead fast path.
+//!
+//! # The event model
+//!
+//! [`MemoryController::tick`] advances one DRAM cycle and is the
+//! reference semantics. Most simulated cycles are *dead*: every queued
+//! command is blocked on a timing constraint, refresh is not yet due, no
+//! read is completing, and no background row close can fire. During a
+//! dead window the controller's externally visible state evolves in a
+//! closed form (only the cycle counter and the per-cycle busy/idle
+//! accounting move), so it can be jumped over:
+//!
+//! * [`MemoryController::next_event_cycle`] computes the earliest cycle
+//!   at which *anything* can happen — the minimum over (1) the next
+//!   in-flight read completion, (2) the next refresh due time (or, while
+//!   a refresh is pending, the cycle its next PRE/REF becomes issuable),
+//!   (3) the relocation-stall expiry, (4) the earliest cycle any queued
+//!   request's next service command satisfies the timing engine, and
+//!   (5) the earliest timeout-policy row close. Everything it reads is
+//!   constant across a dead window, so the bound is exact, not heuristic.
+//! * [`MemoryController::tick_until`] advances to a target cycle by
+//!   alternating O(1) dead-window jumps with ordinary [`tick`]s at event
+//!   cycles.
+//!
+//! The invariant — enforced by the differential test in the workspace
+//! `tests/` directory — is that a `tick_until` run is *bit-identical* to
+//! a per-cycle run: same command log, same completion cycles, same
+//! statistics.
+//!
+//! [`tick`]: MemoryController::tick
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -15,8 +46,12 @@ use crate::cycletimings::CycleTimings;
 use crate::engine::{Target, TimingEngine};
 use crate::refresh::RefreshScheduler;
 use crate::request::{Completion, MemRequest, RequestKind};
-use crate::scheduler::{self, QueueEntry};
+use crate::scheduler::{self, QueueEntry, SchedScratch};
 use crate::stats::MemStats;
+
+/// Sentinel row for an empty per-bank mode-cache slot (no real row index
+/// reaches `u32::MAX`).
+const MODE_CACHE_EMPTY: u32 = u32::MAX;
 
 /// The DDR4 / CLR-DRAM memory controller.
 ///
@@ -54,6 +89,29 @@ pub struct MemoryController {
     addr_mask: u64,
     command_log: Option<Vec<IssuedCommand>>,
     per_bank_acts: Vec<u64>,
+    /// Reusable per-bank scheduler aggregation (no per-cycle allocation).
+    sched_scratch: SchedScratch,
+    /// Memoized raw next-event bound (unclamped). Controller state only
+    /// changes at event ticks, on enqueue, and on mode application — the
+    /// only places that clear this — so dead ticks, dead-window jumps,
+    /// and repeated queries all reuse one evaluation. A dead tick
+    /// re-fills it almost for free from the scheduling pass it already
+    /// ran (see `queue_ready_hint`).
+    next_event_cache: Option<u64>,
+    /// The queue's next-ready bound produced as a byproduct of this
+    /// tick's failed scheduling pass (`u64::MAX` otherwise). Only
+    /// meaningful within the tick that set it.
+    queue_ready_hint: u64,
+    /// Reusable per-bank "open row is wanted by a queued request" flags
+    /// for the timeout-close event scan (one pass over both queues
+    /// instead of one scan per open bank).
+    wanted_scratch: Vec<bool>,
+    /// Per-bank one-entry cache of the last `(row, mode)` lookup, keyed on
+    /// the row — repeated resolutions against an open row (enqueue-time
+    /// target classification, per-ACT resolution of row-hit streams) skip
+    /// the bitmap walk. Invalidated whenever `apply_row_modes` touches the
+    /// bank.
+    mode_cache: Vec<Cell<(u32, RowMode)>>,
 }
 
 impl MemoryController {
@@ -146,6 +204,11 @@ impl MemoryController {
             addr_mask,
             command_log: None,
             per_bank_acts: vec![0; banks_total],
+            sched_scratch: SchedScratch::default(),
+            next_event_cache: None,
+            queue_ready_hint: u64::MAX,
+            wanted_scratch: vec![false; banks_total],
+            mode_cache: vec![Cell::new((MODE_CACHE_EMPTY, RowMode::MaxCapacity)); banks_total],
             config,
         }
     }
@@ -201,13 +264,31 @@ impl MemoryController {
     }
 
     /// Operating mode of `row` in `flat_bank`, looked up in the shared
-    /// [`ModeTable`].
+    /// [`ModeTable`] through the per-bank single-entry cache (row-hit
+    /// streams resolve the same open row repeatedly).
     ///
     /// # Panics
     ///
     /// Panics if `flat_bank` or `row` is out of range.
     pub fn mode_of_row(&self, flat_bank: usize, row: u32) -> RowMode {
-        self.modes.mode_of(flat_bank, row)
+        Self::cached_mode(&self.modes, &self.mode_cache, flat_bank, row)
+    }
+
+    /// The cache-backed mode lookup, as an associated function so callers
+    /// holding disjoint field borrows of the controller can use it.
+    fn cached_mode(
+        modes: &ModeTable,
+        cache: &[Cell<(u32, RowMode)>],
+        flat_bank: usize,
+        row: u32,
+    ) -> RowMode {
+        let (cached_row, cached_mode) = cache[flat_bank].get();
+        if cached_row == row {
+            return cached_mode;
+        }
+        let mode = modes.mode_of(flat_bank, row);
+        cache[flat_bank].set((row, mode));
+        mode
     }
 
     /// The shared per-row mode table.
@@ -234,11 +315,14 @@ impl MemoryController {
             if self.modes.set(bank, row, mode) != mode {
                 changed += 1;
             }
+            // Any touched bank's cached lookup may now be stale.
+            self.mode_cache[bank].set((MODE_CACHE_EMPTY, RowMode::MaxCapacity));
         }
         if changed > 0 {
             self.stats.mode_transitions += changed;
             self.maintenance_until = self.maintenance_until.max(self.cycle) + stall_cycles;
             self.retune_refresh();
+            self.next_event_cache = None;
         }
         changed
     }
@@ -255,7 +339,17 @@ impl MemoryController {
     /// `(bank, row)`. Empty unless
     /// [`MemoryController::enable_row_telemetry`] was called.
     pub fn drain_row_telemetry(&mut self) -> Vec<((u32, u32), u64)> {
-        std::mem::take(&mut self.row_counts).into_iter().collect()
+        let mut out = Vec::new();
+        self.drain_row_telemetry_into(&mut out);
+        out
+    }
+
+    /// [`MemoryController::drain_row_telemetry`] into a caller-owned
+    /// buffer, so an epoch loop can reuse one allocation across drains.
+    /// Clears `out` first.
+    pub fn drain_row_telemetry_into(&mut self, out: &mut Vec<((u32, u32), u64)>) {
+        out.clear();
+        out.extend(std::mem::take(&mut self.row_counts));
     }
 
     /// Rebuilds the refresh scheduler for the current mode population,
@@ -320,32 +414,106 @@ impl MemoryController {
                 {
                     self.stats.forwarded_reads += 1;
                     self.inflight.push(Reverse((self.cycle + 1, request.id)));
+                    self.merge_event_bound(self.cycle + 1);
                     return Ok(());
                 }
                 if self.read_q.len() >= self.config.scheduler.read_queue {
                     self.stats.queue_rejections += 1;
-                    return Err(request);
+                    return Err(request); // no state changed; bound holds
                 }
                 let entry = self.make_entry(MemRequest {
                     addr: masked,
                     ..request
                 });
+                self.note_enqueue_event(&entry, false);
                 self.read_q.push(entry);
                 Ok(())
             }
             RequestKind::Write => {
                 if self.write_q.len() >= self.config.scheduler.write_queue {
                     self.stats.queue_rejections += 1;
-                    return Err(request);
+                    return Err(request); // no state changed; bound holds
                 }
                 let entry = self.make_entry(MemRequest {
                     addr: masked,
                     ..request
                 });
+                self.note_enqueue_event(&entry, true);
                 self.write_q.push(entry);
                 Ok(())
             }
         }
+    }
+
+    /// Folds an additional possible event at `at` into the memoized
+    /// next-event bound (a stale `None` stays `None` — it will be fully
+    /// recomputed anyway).
+    fn merge_event_bound(&mut self, at: u64) {
+        if let Some(r) = self.next_event_cache {
+            self.next_event_cache = Some(r.min(at));
+        }
+    }
+
+    /// The drain policy's queue selection for hypothetical queue lengths
+    /// (replaying the watermark hysteresis without mutating it).
+    fn queue_selection(&self, reads: usize, writes: usize) -> bool {
+        let mut draining = self.draining_writes;
+        if !draining && writes >= self.config.scheduler.write_high_watermark {
+            draining = true;
+        }
+        if draining && writes <= self.config.scheduler.write_low_watermark {
+            draining = false;
+        }
+        draining || (reads == 0 && writes > 0)
+    }
+
+    /// Updates the memoized next-event bound for an entry about to join a
+    /// queue. Exact, O(1): an enqueue cannot change any existing lane's
+    /// readiness, so the bound only gains the new entry's own earliest —
+    /// unless it flips the drain policy's queue selection, where the
+    /// bound must be rebuilt from the other queue.
+    fn note_enqueue_event(&mut self, entry: &QueueEntry, to_writes: bool) {
+        if self.pending_refresh.is_some() || self.cycle < self.maintenance_until {
+            // Queue service is preempted: no queue event can fire before
+            // the preemption-end stop point already in the bound (the
+            // REF issue or the stall expiry), and both re-derive the
+            // bound with the queue included. Merging the new entry's
+            // readiness here would only wedge a stale `<= now` value
+            // into the memo and disable jumping for the whole window.
+            return;
+        }
+        let (reads, writes) = (self.read_q.len(), self.write_q.len());
+        let before = self.queue_selection(reads, writes);
+        let after = if to_writes {
+            self.queue_selection(reads, writes + 1)
+        } else {
+            self.queue_selection(reads + 1, writes)
+        };
+        if before != after {
+            self.next_event_cache = None;
+            return;
+        }
+        if after != to_writes {
+            // The unselected queue is not serviced this window; existing
+            // events are unaffected.
+            return;
+        }
+        let bank = entry.target.bank;
+        let (cmd, target) = match self.banks[bank].open_row {
+            Some(row) if row == entry.decoded.row => {
+                (scheduler::column_command(entry), entry.target)
+            }
+            Some(_) => (
+                Command::Pre,
+                Target {
+                    mode: self.banks[bank].open_mode,
+                    ..entry.target
+                },
+            ),
+            None => (Command::Act, entry.target),
+        };
+        let at = self.engine.earliest(cmd, target);
+        self.merge_event_bound(at);
     }
 
     fn make_entry(&self, request: MemRequest) -> QueueEntry {
@@ -374,6 +542,7 @@ impl MemoryController {
     /// `completions`.
     pub fn tick(&mut self, completions: &mut Vec<Completion>) {
         let now = self.cycle;
+        let mut changed = false;
 
         // 1. Deliver finished reads.
         while let Some(&Reverse((done, id))) = self.inflight.peek() {
@@ -385,15 +554,19 @@ impl MemoryController {
                 id,
                 finish_cycle: done,
             });
+            changed = true;
         }
 
         // 2. Refresh has the highest priority once due.
         if self.pending_refresh.is_none() {
             if let Some((mode, rfc)) = self.refresh.due(now) {
                 self.pending_refresh = Some((mode, rfc));
+                changed = true;
             }
         }
         let mut issued = false;
+        let mut served = false;
+        self.queue_ready_hint = u64::MAX;
         if let Some((mode, rfc)) = self.pending_refresh {
             issued = self.progress_refresh(mode, rfc, now);
         } else if now < self.maintenance_until {
@@ -402,11 +575,12 @@ impl MemoryController {
             self.stats.relocation_stall_cycles += 1;
         } else {
             issued = self.serve_queues(now) || issued;
+            served = true;
         }
 
         // 3. Timeout row policy as background work.
         if !issued && now >= self.maintenance_until {
-            self.close_expired_row(now);
+            changed |= self.close_expired_row(now);
         }
 
         // 4. Background accounting.
@@ -416,8 +590,247 @@ impl MemoryController {
             self.stats.rank_precharged_cycles += 1;
         }
 
+        if changed || issued {
+            // Only ticks that actually did something move the next-event
+            // bound; dead ticks keep the memoized value.
+            self.next_event_cache = None;
+        } else if self.next_event_cache.is_none() {
+            // A dead tick re-derives the bound almost for free: its
+            // failed scheduling pass already priced the queue (the
+            // dominant term), so only the cheap components remain.
+            let hint = served.then_some(self.queue_ready_hint);
+            let r = self.compute_next_event(hint);
+            self.next_event_cache = Some(r);
+        }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+    }
+
+    /// Advances to DRAM cycle `target`, alternating O(1) jumps over dead
+    /// windows (cycles where [`MemoryController::next_event_cycle`]
+    /// proves nothing can happen) with ordinary [`MemoryController::tick`]
+    /// calls at event cycles. Bit-identical to calling `tick` in a loop:
+    /// same command log, same completion cycles, same statistics.
+    pub fn tick_until(&mut self, target: u64, completions: &mut Vec<Completion>) {
+        while self.cycle < target {
+            // Jump only on a memoized bound; otherwise tick — event ticks
+            // do real work, and the first dead tick after them re-fills
+            // the memo as a byproduct of its own scheduling pass, so the
+            // walk never pays a from-scratch event computation.
+            match self.next_event_cache {
+                Some(r) if r > self.cycle => self.skip_dead_cycles(r.min(target)),
+                _ => self.tick(completions),
+            }
+        }
+    }
+
+    /// The earliest cycle ≥ now at which anything can happen: a command
+    /// issue, a refresh becoming due or progressing, a read completing, a
+    /// relocation stall expiring, or a timeout-policy row close. Every
+    /// cycle strictly before the returned value is a *dead* cycle whose
+    /// [`MemoryController::tick`] would only advance the clock and the
+    /// busy/idle accounting; `u64::MAX` means the controller is fully
+    /// idle and only new enqueues can wake it.
+    ///
+    /// The bound is exact, not heuristic: all inputs (engine readiness
+    /// registers, queue contents, bank states, refresh due times) are
+    /// constant across a dead window, so re-evaluating at the returned
+    /// cycle finds a real event (or a newly computed later bound). The
+    /// evaluation is memoized: dead ticks and dead-window jumps reuse it,
+    /// and it is recomputed only after a state-changing tick, enqueue, or
+    /// mode application.
+    pub fn next_event_cycle(&mut self) -> u64 {
+        let now = self.cycle;
+        let raw = match self.next_event_cache {
+            Some(r) if r > now => r,
+            _ => {
+                let r = self.compute_next_event(None);
+                self.next_event_cache = Some(r);
+                r
+            }
+        };
+        if raw == u64::MAX {
+            u64::MAX
+        } else {
+            raw.max(now)
+        }
+    }
+
+    /// The uncached next-event evaluation (see
+    /// [`MemoryController::next_event_cycle`]). `queue_ready` carries the
+    /// bound a just-failed scheduling pass already derived for the
+    /// selected queue, sparing the rescan.
+    fn compute_next_event(&mut self, queue_ready: Option<u64>) -> u64 {
+        let now = self.cycle;
+        let mut next = u64::MAX;
+        // 1. In-flight read completions are delivered at their cycle.
+        if let Some(&Reverse((done, _))) = self.inflight.peek() {
+            next = next.min(done);
+        }
+        let maintenance_active = now < self.maintenance_until;
+        if let Some((mode, _rfc)) = self.pending_refresh {
+            // 2a. A pending refresh progresses (PRE of an open bank, or
+            // the REF itself) as soon as the engine allows.
+            next = next.min(self.refresh_progress_ready_cycle(mode));
+            // The timeout row policy still runs while refresh is blocked
+            // (it fires whenever no command issued and no stall holds).
+            if !maintenance_active {
+                if let Some(t) = self.next_timeout_close_cycle() {
+                    next = next.min(t);
+                }
+            }
+        } else {
+            // 2b. Refresh becoming due preempts queue service.
+            if let Some(due) = self.refresh.next_due_cycle() {
+                next = next.min(due);
+            }
+            if maintenance_active {
+                // 3. Queue service resumes when the relocation stall ends.
+                next = next.min(self.maintenance_until);
+            } else {
+                // 4. The earliest issuable command of the queue the
+                // drain policy would select this window.
+                let t = match queue_ready {
+                    Some(hint) => hint,
+                    None => self.next_queue_ready_cycle().unwrap_or(u64::MAX),
+                };
+                next = next.min(t);
+                // 5. Timeout-policy background row close.
+                if let Some(t) = self.next_timeout_close_cycle() {
+                    next = next.min(t);
+                }
+            }
+        }
+        next
+    }
+
+    /// [`MemoryController::tick`], shortcutting provably dead cycles:
+    /// when the memoized next-event bound proves nothing can happen this
+    /// cycle, only the clock and the busy/idle accounting advance —
+    /// exactly what the full tick would have done. Falls back to the
+    /// full tick otherwise. Bit-identical to `tick` either way.
+    pub fn tick_fast(&mut self, completions: &mut Vec<Completion>) {
+        match self.next_event_cache {
+            Some(r) if r > self.cycle => self.skip_dead_cycles(self.cycle + 1),
+            _ => self.tick(completions),
+        }
+    }
+
+    /// A lower bound on the next cycle a read completion can pop: the
+    /// earliest in-flight completion or, for reads that have not issued
+    /// yet, the next event plus the CAS + burst latency (no new read can
+    /// issue before the next event, and none can complete faster than
+    /// that). `u64::MAX` when no read can ever complete without new
+    /// enqueues.
+    ///
+    /// Completions are the only signal the DRAM domain sends back to the
+    /// CPU domain, so a driver whose CPU side is stalled may advance both
+    /// clocks to just before this bound and let
+    /// [`MemoryController::tick_until`] replay the intervening
+    /// command-only events — that is the whole-system skip-ahead used by
+    /// `clr_sim`.
+    pub fn next_completion_bound(&mut self) -> u64 {
+        let inflight = self
+            .inflight
+            .peek()
+            .map_or(u64::MAX, |&Reverse((done, _))| done);
+        let event = self.next_event_cycle();
+        let new_read = if event == u64::MAX {
+            u64::MAX
+        } else {
+            event.saturating_add(self.engine.read_done(0))
+        };
+        inflight.min(new_read)
+    }
+
+    /// Jumps over `[self.cycle, to)`, applying exactly the accounting the
+    /// skipped `tick`s would have: cycle counters and per-cycle busy/idle
+    /// and relocation-stall statistics. Callers must have proven the
+    /// window dead via [`MemoryController::next_event_cycle`].
+    fn skip_dead_cycles(&mut self, to: u64) {
+        debug_assert!(to > self.cycle);
+        let n = to - self.cycle;
+        if self.banks.iter().any(|b| b.open_row.is_some()) {
+            self.stats.rank_active_cycles += n;
+        } else {
+            self.stats.rank_precharged_cycles += n;
+        }
+        if self.pending_refresh.is_none() && self.cycle < self.maintenance_until {
+            self.stats.relocation_stall_cycles += self.maintenance_until.min(to) - self.cycle;
+        }
+        self.cycle = to;
+        self.stats.cycles = to;
+    }
+
+    /// The cycle a pending refresh can next make progress: the PRE of the
+    /// first still-open bank, else the REF across every rank (mirrors
+    /// [`MemoryController::progress_refresh`]'s issue conditions).
+    fn refresh_progress_ready_cycle(&self, mode: RowMode) -> u64 {
+        for b in 0..self.banks.len() {
+            if self.banks[b].open_row.is_some() {
+                let target = self.bank_target(b, self.banks[b].open_mode);
+                return self.engine.earliest(Command::Pre, target);
+            }
+        }
+        let ranks = (self.config.geometry.channels * self.config.geometry.ranks) as usize;
+        (0..ranks)
+            .map(|r| {
+                let t = Target {
+                    bank: r * (self.banks.len() / ranks),
+                    bank_group: r * (self.config.geometry.bank_groups as usize),
+                    rank: r,
+                    channel: 0,
+                    mode,
+                };
+                self.engine.earliest(Command::Ref, t)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The earliest cycle the queue the drain policy would select can
+    /// issue a command. Replays the write-drain hysteresis against the
+    /// current queue lengths without mutating it (the lengths — and hence
+    /// the selection — are constant across a dead window; `serve_queues`
+    /// re-derives the same state at the event cycle).
+    fn next_queue_ready_cycle(&mut self) -> Option<u64> {
+        let use_writes = self.queue_selection(self.read_q.len(), self.write_q.len());
+        let q = if use_writes {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
+        scheduler::next_ready_cycle(q, &self.banks, &self.engine, &mut self.sched_scratch)
+    }
+
+    /// The earliest cycle the timeout row policy can close an idle open
+    /// row no queued request wants (`None` under open-page, or when every
+    /// open row is still wanted — a wanted row's service is covered by
+    /// the queue-readiness event instead). One pass over both queues
+    /// marks the wanted banks, then only open banks are visited.
+    fn next_timeout_close_cycle(&mut self) -> Option<u64> {
+        let timeout_cycles = self.timeout_cycles?;
+        if self.banks.iter().all(|b| b.open_row.is_none()) {
+            return None;
+        }
+        self.wanted_scratch.fill(false);
+        for e in self.read_q.iter().chain(self.write_q.iter()) {
+            let b = e.target.bank;
+            if self.banks[b].open_row == Some(e.decoded.row) {
+                self.wanted_scratch[b] = true;
+            }
+        }
+        let mut next: Option<u64> = None;
+        for b in 0..self.banks.len() {
+            if self.banks[b].open_row.is_none() || self.wanted_scratch[b] {
+                continue;
+            }
+            let target = self.bank_target(b, self.banks[b].open_mode);
+            let t = (self.banks[b].last_use_cycle + timeout_cycles)
+                .max(self.engine.earliest(Command::Pre, target));
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        next
     }
 
     /// Progress the pending refresh: close open banks, then issue REF to
@@ -487,14 +900,17 @@ impl MemoryController {
             } else {
                 &self.read_q
             };
-            scheduler::pick(
+            let (decision, bound) = scheduler::pick_with_bound(
                 q,
                 &self.banks,
                 &self.engine,
                 &self.hit_streak,
                 self.config.scheduler.cap,
                 now,
-            )
+                &mut self.sched_scratch,
+            );
+            self.queue_ready_hint = bound;
+            decision
         };
         let Some(d) = decision else {
             return false;
@@ -520,7 +936,7 @@ impl MemoryController {
                 let row = e.decoded.row;
                 // Mode is resolved from the shared table *at activation
                 // time* — the table may have changed since enqueue.
-                let mode = self.modes.mode_of(bank, row);
+                let mode = Self::cached_mode(&self.modes, &self.mode_cache, bank, row);
                 e.target.mode = mode;
                 let target = e.target;
                 self.banks[bank].activate(row, mode, now);
@@ -586,11 +1002,11 @@ impl MemoryController {
     }
 
     /// Close an open row per the configured row policy (closed-page or
-    /// timeout) when no queued request targets it. Open-page never closes
-    /// in the background.
-    fn close_expired_row(&mut self, now: u64) {
+    /// timeout) when no queued request targets it, returning whether a
+    /// PRE issued. Open-page never closes in the background.
+    fn close_expired_row(&mut self, now: u64) -> bool {
         let Some(timeout_cycles) = self.timeout_cycles else {
-            return; // open-page policy
+            return false; // open-page policy
         };
         for b in 0..self.banks.len() {
             let Some(row) = self.banks[b].open_row else {
@@ -614,9 +1030,10 @@ impl MemoryController {
                 self.stats.record_pre(closed);
                 self.log_command(now, Command::Pre, b, 0, closed);
                 self.hit_streak[b] = 0;
-                return;
+                return true;
             }
         }
+        false
     }
 
     fn bank_target(&self, flat_bank: usize, mode: RowMode) -> Target {
@@ -934,6 +1351,133 @@ mod tests {
         assert_eq!(total, 3, "reads + writes that reached the device");
         // Drained: a second export is empty until new traffic arrives.
         assert!(mc.drain_row_telemetry().is_empty());
+    }
+
+    #[test]
+    fn tick_until_matches_per_cycle_stepping() {
+        // Mixed read/write burst with refresh on: the skip-ahead walk and
+        // the per-cycle walk must agree on every logged command, every
+        // completion cycle, and every statistic.
+        let requests: Vec<MemRequest> = (0..12)
+            .map(|i| {
+                let addr = (i * 0x9E37) % 0x4000;
+                if i % 3 == 2 {
+                    write(i, addr, 0)
+                } else {
+                    read(i, addr, 0)
+                }
+            })
+            .collect();
+        let horizon = 60_000;
+
+        let run = |skip: bool| {
+            let mut cfg = MemConfig::tiny_clr(0.25);
+            cfg.refresh_enabled = true;
+            let mut mc = MemoryController::new(cfg);
+            mc.enable_command_log();
+            for r in &requests {
+                mc.try_enqueue(*r).unwrap();
+            }
+            let mut done = Vec::new();
+            if skip {
+                mc.tick_until(horizon, &mut done);
+            } else {
+                for _ in 0..horizon {
+                    mc.tick(&mut done);
+                }
+            }
+            assert_eq!(mc.cycle(), horizon);
+            (mc.command_log().unwrap().to_vec(), done, mc.stats().clone())
+        };
+        let (log_a, done_a, stats_a) = run(false);
+        let (log_b, done_b, stats_b) = run(true);
+        assert_eq!(log_a, log_b, "command logs diverge");
+        assert_eq!(done_a, done_b, "completions diverge");
+        assert_eq!(stats_a, stats_b, "statistics diverge");
+        assert!(!log_a.is_empty() && !done_a.is_empty());
+    }
+
+    #[test]
+    fn next_event_cycle_is_max_when_fully_idle() {
+        let mut cfg = MemConfig::paper_tiny();
+        cfg.refresh_enabled = false;
+        let mut mc = MemoryController::new(cfg);
+        assert_eq!(mc.next_event_cycle(), u64::MAX);
+        // A queued request creates an immediate event.
+        mc.try_enqueue(read(1, 0x40, 0)).unwrap();
+        assert_eq!(mc.next_event_cycle(), 0);
+        // Serve it; afterwards the only events are the RD-ready cycle,
+        // the completion, and the timeout close — all strictly ahead.
+        let mut done = Vec::new();
+        mc.tick(&mut done);
+        let next = mc.next_event_cycle();
+        assert!(next > mc.cycle(), "dead window after the ACT");
+        // Jumping a fully idle controller is pure accounting.
+        let _ = run_until_done(&mut mc, 10_000);
+        let cycles_before = mc.cycle();
+        let idle_split = mc.stats().rank_active_cycles + mc.stats().rank_precharged_cycles;
+        assert_eq!(idle_split, cycles_before);
+        mc.tick_until(cycles_before + 5_000, &mut done);
+        assert_eq!(mc.cycle(), cycles_before + 5_000);
+        let idle_split = mc.stats().rank_active_cycles + mc.stats().rank_precharged_cycles;
+        assert_eq!(idle_split, cycles_before + 5_000, "busy/idle accounting");
+    }
+
+    #[test]
+    fn tick_until_matches_per_cycle_across_mode_transitions() {
+        // Apply a relocation-stalled mode-transition batch mid-run in both
+        // walks; stall accounting and post-transition ACT modes must agree.
+        let run = |skip: bool| {
+            let mut cfg = MemConfig::tiny_clr(0.0);
+            cfg.refresh_enabled = true;
+            let mut mc = MemoryController::new(cfg);
+            mc.enable_command_log();
+            mc.try_enqueue(read(1, 0x0, 0)).unwrap();
+            let mut done = Vec::new();
+            let step_to = |mc: &mut MemoryController, done: &mut Vec<Completion>, to: u64| {
+                if skip {
+                    mc.tick_until(to, done);
+                } else {
+                    while mc.cycle() < to {
+                        mc.tick(done);
+                    }
+                }
+            };
+            step_to(&mut mc, &mut done, 3_000);
+            let changes: Vec<(usize, u32, RowMode)> = (0..mc.mode_table().banks() as usize)
+                .map(|b| (b, 0u32, RowMode::HighPerformance))
+                .collect();
+            mc.apply_row_modes(&changes, 75);
+            step_to(&mut mc, &mut done, 6_000);
+            mc.try_enqueue(read(2, 0x0, mc.cycle())).unwrap();
+            step_to(&mut mc, &mut done, 20_000);
+            (mc.command_log().unwrap().to_vec(), done, mc.stats().clone())
+        };
+        let (log_a, done_a, stats_a) = run(false);
+        let (log_b, done_b, stats_b) = run(true);
+        assert_eq!(log_a, log_b);
+        assert_eq!(done_a, done_b);
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.relocation_stall_cycles >= 75);
+        let acts: Vec<_> = log_a.iter().filter(|c| c.command == Command::Act).collect();
+        assert_eq!(acts.last().unwrap().mode, RowMode::HighPerformance);
+    }
+
+    #[test]
+    fn telemetry_drain_into_reuses_buffer() {
+        let mut cfg = MemConfig::paper_tiny();
+        cfg.refresh_enabled = false;
+        let mut mc = MemoryController::new(cfg);
+        mc.enable_row_telemetry();
+        mc.try_enqueue(read(1, 0x0, 0)).unwrap();
+        let _ = run_until_done(&mut mc, 10_000);
+        let mut buf = Vec::with_capacity(16);
+        let cap = buf.capacity();
+        mc.drain_row_telemetry_into(&mut buf);
+        assert_eq!(buf.iter().map(|&(_, n)| n).sum::<u64>(), 1);
+        mc.drain_row_telemetry_into(&mut buf);
+        assert!(buf.is_empty(), "second drain is empty");
+        assert_eq!(buf.capacity(), cap, "allocation is reused");
     }
 
     #[test]

@@ -14,6 +14,37 @@
 //! [`engine::TimingEngine`] and audited in tests (issuing a command early
 //! is a protocol violation and panics).
 //!
+//! # Event-driven skip-ahead
+//!
+//! [`controller::MemoryController::tick`] is the per-cycle reference
+//! semantics; everything else is an acceleration of it:
+//!
+//! * the controller knows the exact cycle of its **next event**
+//!   ([`controller::MemoryController::next_event_cycle`]) — the minimum
+//!   over earliest timing-engine readiness across queued commands, the
+//!   next refresh due time (or a pending refresh's next PRE/REF
+//!   readiness), the next in-flight read completion, relocation-stall
+//!   expiry, and the next timeout-policy row close;
+//! * [`controller::MemoryController::tick_until`] advances to a target
+//!   cycle by jumping dead windows in O(1) and ticking event cycles
+//!   normally, and
+//!   [`controller::MemoryController::next_completion_bound`] lets a
+//!   full-system driver co-jump its CPU domain, since read completions
+//!   are the only DRAM→CPU signal.
+//!
+//! Skip-ahead engages only across windows the event bound proves dead, so
+//! an accelerated run is **bit-identical** to the per-cycle reference:
+//! same command log, same completion cycles, same statistics. The
+//! workspace test `tests/skip_ahead_differential.rs` enforces exactly
+//! that invariant (controller-level, full-system, and policy-epoch runs),
+//! and the `sim_throughput` bench in `clr-bench` tracks the wall-clock
+//! payoff.
+//!
+//! The per-cycle path itself is kept cheap by per-bank aggregation in
+//! [`scheduler`] (O(queue) FR-FCFS-Cap with an O(1) older-waiter test), a
+//! per-bank mode-lookup cache keyed on the open row, and allocation reuse
+//! for scheduler scratch and telemetry drains.
+//!
 //! # Example
 //!
 //! ```

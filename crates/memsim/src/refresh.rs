@@ -105,6 +105,17 @@ impl RefreshScheduler {
         }
     }
 
+    /// The first cycle at which any stream's next REF becomes due, or
+    /// `None` when refresh is disabled. This is the refresh stream's
+    /// contribution to the controller's next-event computation: for every
+    /// cycle strictly before it, [`RefreshScheduler::due`] returns `None`.
+    pub fn next_due_cycle(&self) -> Option<u64> {
+        self.streams
+            .iter()
+            .map(|s| s.next_due.max(0.0).ceil() as u64)
+            .min()
+    }
+
     /// The stream (mode, tRFC cycles) whose REF is due at `now`, if any.
     /// When both streams are due the more overdue one wins.
     pub fn due(&self, now: u64) -> Option<(RowMode, u64)> {
@@ -191,5 +202,20 @@ mod tests {
     fn disabled_scheduler_never_fires() {
         let rs = RefreshScheduler::disabled();
         assert!(rs.due(u64::MAX / 2).is_none());
+        assert!(rs.next_due_cycle().is_none());
+    }
+
+    #[test]
+    fn next_due_cycle_is_tight() {
+        let t_ck = 1.0 / 1.2;
+        let mut rs = RefreshScheduler::new(&plan(0.0, 64.0), t_ck, |_| 660);
+        let due = rs.next_due_cycle().expect("one stream");
+        assert!(rs.due(due - 1).is_none(), "due one cycle early");
+        assert!(rs.due(due).is_some(), "not due at the predicted cycle");
+        rs.mark_issued(RowMode::MaxCapacity);
+        let due2 = rs.next_due_cycle().expect("rescheduled");
+        assert!(due2 > due);
+        assert!(rs.due(due2 - 1).is_none());
+        assert!(rs.due(due2).is_some());
     }
 }

@@ -6,6 +6,30 @@
 //! maximize row-buffer locality; the *Cap* variant bounds how many younger
 //! hits may bypass an older request to the same bank, restoring fairness
 //! under streaming interference.
+//!
+//! # Implementation: per-bank lanes
+//!
+//! A naive FR-FCFS scan is O(queue²) per cycle (every hit candidate
+//! re-scans the queue for an older same-bank waiter) plus an O(n log n)
+//! sort for the oldest-first pass. This module instead aggregates the
+//! queue into per-bank *lanes* in one O(queue) pass over a reusable
+//! [`SchedScratch`]:
+//!
+//! * the oldest entry per bank plus the oldest entry targeting a
+//!   *different* row, which makes the FR-FCFS-Cap "older waiter exists"
+//!   test O(1) per candidate;
+//! * the oldest ready-row-hit per bank (split by read/write, since their
+//!   column commands have different timing readiness) and the oldest
+//!   non-hit, so both scheduling passes and the skip-ahead engine's
+//!   [`next_ready_cycle`] only visit banks that actually have pending
+//!   work — one timing-engine query per (bank, command class) instead of
+//!   one per request.
+//!
+//! Within a (bank, command-class) lane every entry shares the same command
+//! and the same timing readiness, so the lane's oldest entry is a faithful
+//! representative: the aggregated pick is decision-for-decision identical
+//! to the naive scan (the differential test in `tests/` enforces this at
+//! the whole-simulation level).
 
 use clr_core::addr::DramAddr;
 use clr_core::mode::RowMode;
@@ -42,6 +66,105 @@ pub struct Decision {
     pub command: Command,
 }
 
+/// Per-bank aggregation of one queue (see the module docs).
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    /// Validity stamp (lanes are reused across calls without clearing).
+    stamp: u64,
+    /// Oldest entry overall: `(arrival, queue index, row)`.
+    oldest: (u64, usize, u32),
+    /// Oldest arrival among entries whose row differs from `oldest`'s
+    /// row (`u64::MAX` if the bank's entries all target one row).
+    oldest_other_row: u64,
+    /// Oldest ready-row-hit read: `(arrival, queue index)`.
+    hit_rd: Option<(u64, usize)>,
+    /// Oldest ready-row-hit write.
+    hit_wr: Option<(u64, usize)>,
+    /// Oldest non-hit entry (needs PRE on an open bank, ACT on a closed
+    /// one).
+    miss: Option<(u64, usize)>,
+}
+
+impl Lane {
+    fn fresh(stamp: u64) -> Self {
+        Lane {
+            stamp,
+            oldest: (u64::MAX, usize::MAX, 0),
+            oldest_other_row: u64::MAX,
+            hit_rd: None,
+            hit_wr: None,
+            miss: None,
+        }
+    }
+
+    /// Whether a strictly older entry targeting a row other than `row`
+    /// waits in this bank — the FR-FCFS-Cap fairness test, O(1).
+    fn older_waiter(&self, arrival: u64, row: u32) -> bool {
+        if row != self.oldest.2 {
+            self.oldest.0 < arrival
+        } else {
+            self.oldest_other_row < arrival
+        }
+    }
+}
+
+/// Reusable per-bank scratch for [`pick`] and [`next_ready_cycle`].
+///
+/// Owning it on the controller avoids a per-cycle allocation; lanes are
+/// invalidated by stamping rather than clearing, so a call touches only
+/// the banks that have queued work.
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    lanes: Vec<Lane>,
+    /// Banks with at least one queued entry this pass, in first-touch
+    /// order.
+    touched: Vec<usize>,
+    stamp: u64,
+}
+
+/// Builds the per-bank lanes for `entries` into `scratch` (one O(n) pass).
+fn analyze(entries: &[QueueEntry], banks: &[BankState], scratch: &mut SchedScratch) {
+    scratch.stamp += 1;
+    scratch.touched.clear();
+    if scratch.lanes.len() < banks.len() {
+        scratch.lanes.resize(banks.len(), Lane::fresh(0));
+    }
+    for (i, e) in entries.iter().enumerate() {
+        let b = e.target.bank;
+        let lane = &mut scratch.lanes[b];
+        if lane.stamp != scratch.stamp {
+            *lane = Lane::fresh(scratch.stamp);
+            scratch.touched.push(b);
+        }
+        let arrival = e.request.arrival_cycle;
+        let row = e.decoded.row;
+        // Track the oldest entry and the oldest entry with a different
+        // row. Iterating in queue order keeps the lowest queue index for
+        // equal arrivals, matching the naive (arrival, index) ordering.
+        if arrival < lane.oldest.0 {
+            if row != lane.oldest.2 && lane.oldest.1 != usize::MAX {
+                // The displaced oldest is the best "other row" candidate:
+                // it is older than everything else already seen.
+                lane.oldest_other_row = lane.oldest.0;
+            }
+            lane.oldest = (arrival, i, row);
+        } else if row != lane.oldest.2 && arrival < lane.oldest_other_row {
+            lane.oldest_other_row = arrival;
+        }
+        if banks[b].is_open(row) {
+            let slot = match e.request.kind {
+                crate::request::RequestKind::Read => &mut lane.hit_rd,
+                crate::request::RequestKind::Write => &mut lane.hit_wr,
+            };
+            if slot.is_none_or(|(a, _)| arrival < a) {
+                *slot = Some((arrival, i));
+            }
+        } else if lane.miss.is_none_or(|(a, _)| arrival < a) {
+            lane.miss = Some((arrival, i));
+        }
+    }
+}
+
 /// Selects the next command under FR-FCFS-Cap.
 ///
 /// `hit_streak` is the per-flat-bank count of consecutively served row
@@ -54,72 +177,145 @@ pub fn pick(
     hit_streak: &[u32],
     cap: u32,
     now: u64,
+    scratch: &mut SchedScratch,
 ) -> Option<Decision> {
+    pick_with_bound(entries, banks, engine, hit_streak, cap, now, scratch).0
+}
+
+/// [`pick`] that additionally returns the earliest cycle at which *any*
+/// queued command could issue (the queue's next-event bound), computed as
+/// a byproduct of the oldest-first pass. The bound is meaningful only
+/// when the decision is `None` — on an issue, controller state is about
+/// to change anyway — and is `u64::MAX` for an empty queue. A dead
+/// scheduling cycle thereby prices the skip-ahead jump for free.
+#[allow(clippy::too_many_arguments)]
+pub fn pick_with_bound(
+    entries: &[QueueEntry],
+    banks: &[BankState],
+    engine: &TimingEngine,
+    hit_streak: &[u32],
+    cap: u32,
+    now: u64,
+    scratch: &mut SchedScratch,
+) -> (Option<Decision>, u64) {
+    let mut bound = u64::MAX;
+    if entries.is_empty() {
+        return (None, bound);
+    }
+    analyze(entries, banks, scratch);
+
     // Pass 1: ready row hits, oldest first, unless capped.
-    let mut best_hit: Option<(u64, usize)> = None;
-    for (i, e) in entries.iter().enumerate() {
-        let bank = &banks[e.target.bank];
-        if !bank.is_open(e.decoded.row) {
-            continue;
-        }
-        if hit_streak[e.target.bank] >= cap && older_waiter_exists(entries, i, e) {
-            continue;
-        }
-        let cmd = column_command(e);
-        if engine.can_issue(cmd, e.target, now) {
-            let age = e.request.arrival_cycle;
-            if best_hit.is_none_or(|(a, _)| age < a) {
-                best_hit = Some((age, i));
+    let mut best: Option<(u64, usize, Command)> = None;
+    for &b in &scratch.touched {
+        let lane = &scratch.lanes[b];
+        for (cand, cmd) in [(lane.hit_rd, Command::Rd), (lane.hit_wr, Command::Wr)] {
+            let Some((arrival, i)) = cand else { continue };
+            let e = &entries[i];
+            if hit_streak[b] >= cap && lane.older_waiter(arrival, e.decoded.row) {
+                continue;
+            }
+            if engine.can_issue(cmd, e.target, now)
+                && best.is_none_or(|(a, j, _)| (arrival, i) < (a, j))
+            {
+                best = Some((arrival, i, cmd));
             }
         }
     }
-    if let Some((_, i)) = best_hit {
-        return Some(Decision {
-            queue_index: i,
-            command: column_command(&entries[i]),
-        });
+    if let Some((_, i, command)) = best {
+        return (
+            Some(Decision {
+                queue_index: i,
+                command,
+            }),
+            bound,
+        );
     }
 
     // Pass 2: oldest-first over every request; issue whatever step of its
-    // service (PRE → ACT → column) is ready.
-    let mut order: Vec<usize> = (0..entries.len()).collect();
-    order.sort_by_key(|&i| (entries[i].request.arrival_cycle, i));
-    for i in order {
-        let e = &entries[i];
-        let bank = &banks[e.target.bank];
-        let cmd = match bank.open_row {
-            Some(r) if r == e.decoded.row => column_command(e),
-            Some(_) => Command::Pre,
-            None => Command::Act,
-        };
-        // PRE must respect the mode of the row it closes, not the target's.
-        let target = if cmd == Command::Pre {
-            Target {
-                mode: bank.open_mode,
-                ..e.target
-            }
+    // service (PRE → ACT → column) is ready. All entries of a lane share
+    // readiness, so the lane's oldest entry stands for the whole lane.
+    let mut best: Option<(u64, usize, Command)> = None;
+    for &b in &scratch.touched {
+        let lane = &scratch.lanes[b];
+        let miss_cmd = if banks[b].open_row.is_some() {
+            Command::Pre
         } else {
-            e.target
+            Command::Act
         };
-        if engine.can_issue(cmd, target, now) {
-            return Some(Decision {
-                queue_index: i,
-                command: cmd,
-            });
+        for (cand, cmd) in [
+            (lane.hit_rd, Command::Rd),
+            (lane.hit_wr, Command::Wr),
+            (lane.miss, miss_cmd),
+        ] {
+            let Some((arrival, i)) = cand else { continue };
+            // PRE must respect the mode of the row it closes, not the
+            // target's.
+            let target = if cmd == Command::Pre {
+                Target {
+                    mode: banks[b].open_mode,
+                    ..entries[i].target
+                }
+            } else {
+                entries[i].target
+            };
+            let ready = engine.earliest(cmd, target);
+            bound = bound.min(ready);
+            if ready <= now && best.is_none_or(|(a, j, _)| (arrival, i) < (a, j)) {
+                best = Some((arrival, i, cmd));
+            }
         }
     }
-    None
+    (
+        best.map(|(_, i, command)| Decision {
+            queue_index: i,
+            command,
+        }),
+        bound,
+    )
 }
 
-/// Whether any strictly older request waits on the same bank as `e`
-/// targeting a different row.
-fn older_waiter_exists(entries: &[QueueEntry], i: usize, e: &QueueEntry) -> bool {
-    entries.iter().enumerate().any(|(j, o)| {
-        j != i
-            && o.target.bank == e.target.bank
-            && o.decoded.row != e.decoded.row
-            && o.request.arrival_cycle < e.request.arrival_cycle
-    })
+/// The earliest cycle at which *any* queued entry's next service command
+/// could issue, or `None` for an empty queue — the queue's contribution
+/// to the controller's next-event computation. The FR-FCFS cap is
+/// irrelevant here: it reorders commands but never delays the first
+/// issuable one (pass 2 ignores it).
+pub fn next_ready_cycle(
+    entries: &[QueueEntry],
+    banks: &[BankState],
+    engine: &TimingEngine,
+    scratch: &mut SchedScratch,
+) -> Option<u64> {
+    if entries.is_empty() {
+        return None;
+    }
+    analyze(entries, banks, scratch);
+    let mut next: Option<u64> = None;
+    for &b in &scratch.touched {
+        let lane = &scratch.lanes[b];
+        let miss_cmd = if banks[b].open_row.is_some() {
+            Command::Pre
+        } else {
+            Command::Act
+        };
+        for (cand, cmd) in [
+            (lane.hit_rd, Command::Rd),
+            (lane.hit_wr, Command::Wr),
+            (lane.miss, miss_cmd),
+        ] {
+            let Some((_, i)) = cand else { continue };
+            let target = if cmd == Command::Pre {
+                Target {
+                    mode: banks[b].open_mode,
+                    ..entries[i].target
+                }
+            } else {
+                entries[i].target
+            };
+            let t = engine.earliest(cmd, target);
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+    }
+    next
 }
 
 /// The column command for a request.
@@ -182,6 +378,75 @@ mod tests {
         )
     }
 
+    /// The original O(n²) scan, kept as the behavioural reference the
+    /// lane-aggregated `pick` must match decision-for-decision.
+    fn pick_reference(
+        entries: &[QueueEntry],
+        banks: &[BankState],
+        engine: &TimingEngine,
+        hit_streak: &[u32],
+        cap: u32,
+        now: u64,
+    ) -> Option<Decision> {
+        fn older_waiter_exists(entries: &[QueueEntry], i: usize, e: &QueueEntry) -> bool {
+            entries.iter().enumerate().any(|(j, o)| {
+                j != i
+                    && o.target.bank == e.target.bank
+                    && o.decoded.row != e.decoded.row
+                    && o.request.arrival_cycle < e.request.arrival_cycle
+            })
+        }
+        let mut best_hit: Option<(u64, usize)> = None;
+        for (i, e) in entries.iter().enumerate() {
+            let bank = &banks[e.target.bank];
+            if !bank.is_open(e.decoded.row) {
+                continue;
+            }
+            if hit_streak[e.target.bank] >= cap && older_waiter_exists(entries, i, e) {
+                continue;
+            }
+            let cmd = column_command(e);
+            if engine.can_issue(cmd, e.target, now) {
+                let age = e.request.arrival_cycle;
+                if best_hit.is_none_or(|(a, _)| age < a) {
+                    best_hit = Some((age, i));
+                }
+            }
+        }
+        if let Some((_, i)) = best_hit {
+            return Some(Decision {
+                queue_index: i,
+                command: column_command(&entries[i]),
+            });
+        }
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by_key(|&i| (entries[i].request.arrival_cycle, i));
+        for i in order {
+            let e = &entries[i];
+            let bank = &banks[e.target.bank];
+            let cmd = match bank.open_row {
+                Some(r) if r == e.decoded.row => column_command(e),
+                Some(_) => Command::Pre,
+                None => Command::Act,
+            };
+            let target = if cmd == Command::Pre {
+                Target {
+                    mode: bank.open_mode,
+                    ..e.target
+                }
+            } else {
+                e.target
+            };
+            if engine.can_issue(cmd, target, now) {
+                return Some(Decision {
+                    queue_index: i,
+                    command: cmd,
+                });
+            }
+        }
+        None
+    }
+
     #[test]
     fn prefers_ready_row_hit_over_older_miss() {
         let mut e = engine();
@@ -202,7 +467,8 @@ mod tests {
             mk(0, 1, 9, RequestKind::Read, 0),  // older, bank closed
             mk(1, 0, 5, RequestKind::Read, 10), // younger, row hit
         ];
-        let d = pick(&entries, &banks, &e, &[0; 4], 4, now).unwrap();
+        let mut s = SchedScratch::default();
+        let d = pick(&entries, &banks, &e, &[0; 4], 4, now, &mut s).unwrap();
         assert_eq!(d.queue_index, 1);
         assert_eq!(d.command, Command::Rd);
     }
@@ -226,11 +492,12 @@ mod tests {
             mk(0, 0, 9, RequestKind::Read, 0),  // older conflict in bank 0
             mk(1, 0, 5, RequestKind::Read, 10), // younger hit in bank 0
         ];
+        let mut s = SchedScratch::default();
         // Below cap: the hit wins.
-        let d = pick(&entries, &banks, &e, &[0; 4], 4, now).unwrap();
+        let d = pick(&entries, &banks, &e, &[0; 4], 4, now, &mut s).unwrap();
         assert_eq!(d.queue_index, 1);
         // At cap: oldest-first; service starts with PRE of the conflict.
-        let d = pick(&entries, &banks, &e, &[4, 0, 0, 0], 4, now).unwrap();
+        let d = pick(&entries, &banks, &e, &[4, 0, 0, 0], 4, now, &mut s).unwrap();
         assert_eq!(d.queue_index, 0);
         assert_eq!(d.command, Command::Pre);
     }
@@ -240,7 +507,8 @@ mod tests {
         let e = engine();
         let banks = vec![BankState::new(); 4];
         let entries = vec![mk(0, 2, 7, RequestKind::Write, 0)];
-        let d = pick(&entries, &banks, &e, &[0; 4], 4, 0).unwrap();
+        let mut s = SchedScratch::default();
+        let d = pick(&entries, &banks, &e, &[0; 4], 4, 0, &mut s).unwrap();
         assert_eq!(d.command, Command::Act);
     }
 
@@ -258,6 +526,86 @@ mod tests {
         e.issue(Command::Act, t, 0);
         // Bank 0 closed per `banks`, but engine forbids ACT until tRC.
         let entries = vec![mk(0, 0, 7, RequestKind::Read, 0)];
-        assert!(pick(&entries, &banks, &e, &[0; 4], 4, 1).is_none());
+        let mut s = SchedScratch::default();
+        assert!(pick(&entries, &banks, &e, &[0; 4], 4, 1, &mut s).is_none());
+    }
+
+    #[test]
+    fn next_ready_cycle_predicts_first_issue() {
+        let mut e = engine();
+        let banks = vec![BankState::new(); 4];
+        let t = Target {
+            bank: 0,
+            bank_group: 0,
+            rank: 0,
+            channel: 0,
+            mode: RowMode::MaxCapacity,
+        };
+        e.issue(Command::Act, t, 0);
+        // Bank 0 closed in `banks` (engine-only ACT): re-ACT waits tRC.
+        let entries = vec![mk(0, 0, 7, RequestKind::Read, 0)];
+        let mut s = SchedScratch::default();
+        let ready = next_ready_cycle(&entries, &banks, &e, &mut s).unwrap();
+        assert_eq!(ready, e.earliest(Command::Act, t));
+        assert!(pick(&entries, &banks, &e, &[0; 4], 4, ready - 1, &mut s).is_none());
+        assert!(pick(&entries, &banks, &e, &[0; 4], 4, ready, &mut s).is_some());
+        assert!(next_ready_cycle(&[], &banks, &e, &mut s).is_none());
+    }
+
+    #[test]
+    fn lane_pick_matches_reference_scan_on_fuzzed_queues() {
+        // Deterministic LCG fuzz over queue composition, bank states, hit
+        // streaks and times; the lane-aggregated pick must agree with the
+        // naive reference on every sample.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut s = SchedScratch::default();
+        for round in 0..400 {
+            let mut e = engine();
+            let mut banks = vec![BankState::new(); 4];
+            // Open some banks and warm the engine with a few legal issues.
+            for (b, bank) in banks.iter_mut().enumerate() {
+                if rng() % 2 == 0 {
+                    let t = Target {
+                        bank: b,
+                        bank_group: b / 2,
+                        rank: 0,
+                        channel: 0,
+                        mode: RowMode::MaxCapacity,
+                    };
+                    let at = e.earliest(Command::Act, t);
+                    e.issue(Command::Act, t, at);
+                    bank.activate((rng() % 4) as u32, RowMode::MaxCapacity, at);
+                }
+            }
+            let n = (rng() % 12) as usize;
+            let entries: Vec<QueueEntry> = (0..n)
+                .map(|i| {
+                    let kind = if rng() % 4 == 0 {
+                        RequestKind::Write
+                    } else {
+                        RequestKind::Read
+                    };
+                    mk(
+                        i as u64,
+                        (rng() % 4) as usize,
+                        (rng() % 4) as u32,
+                        kind,
+                        rng() % 8,
+                    )
+                })
+                .collect();
+            let streaks: Vec<u32> = (0..4).map(|_| (rng() % 6) as u32).collect();
+            let cap = 1 + (rng() % 4) as u32;
+            let now = (rng() % 64).max(20);
+            let got = pick(&entries, &banks, &e, &streaks, cap, now, &mut s);
+            let want = pick_reference(&entries, &banks, &e, &streaks, cap, now);
+            assert_eq!(got, want, "round {round}: lanes diverge from reference");
+        }
     }
 }

@@ -8,6 +8,14 @@
 //! while forfeiting half as much capacity as the all-high-performance
 //! configuration.
 //!
+//! Two contrast workloads bracket that claim: a **stable hot set**
+//! (zero-drift phase workload), where profile-guided static placement is
+//! already near-optimal and a dynamic policy can at best match it; and
+//! **uniform-random** traffic, where there are no persistent hot rows to
+//! find and a telemetry-driven policy should decline to burn relocation
+//! work. Together the three columns show *when* dynamism pays, not just
+//! that it can.
+//!
 //! The system is deliberately scaled down from the paper's 16 GiB device
 //! (a 16 MiB device, 64 KiB LLC) so that capacity pressure — the thing
 //! dynamic policies exist to manage — actually occurs at simulable
@@ -23,6 +31,7 @@ use clr_cpu::cluster::ClusterConfig;
 use clr_memsim::config::{ClrModeConfig, MemConfig};
 use clr_policy::policy::{PolicyConstraints, PolicySpec};
 use clr_trace::phase::PhaseShiftSpec;
+use clr_trace::synthetic::{SyntheticKind, SyntheticSpec};
 use clr_trace::workload::Workload;
 
 use crate::policyrun::{run_policy_workloads, PolicyRunConfig};
@@ -122,6 +131,41 @@ pub fn phase_workload(scale: Scale) -> Workload {
     })
 }
 
+/// The stable-hot contrast workload: the phase workload's hot window with
+/// zero drift, so the time-averaged heat map equals the instantaneous one
+/// and static placement is as informed as any telemetry-driven policy.
+pub fn stable_hot_workload(scale: Scale) -> Workload {
+    let Workload::PhaseShift(spec) = phase_workload(scale) else {
+        unreachable!("phase_workload returns PhaseShift");
+    };
+    Workload::PhaseShift(PhaseShiftSpec {
+        drift_fraction: 0.0,
+        ..spec
+    })
+}
+
+/// The uniform-random contrast workload: no persistent hot rows at all, so
+/// promotions cannot pay for their relocation cost. Sized to bust the
+/// sweep's 64 KiB LLC while fitting the 16 MiB device.
+pub fn uniform_random_workload() -> Workload {
+    Workload::Synthetic(SyntheticSpec {
+        kind: SyntheticKind::Random,
+        index: 90, // outside the paper suite's 0..15 index space
+        bubbles: 3,
+        footprint_mib: 4,
+    })
+}
+
+/// The sweep's workload columns: the drifting-hot-set headline first (the
+/// binary's comparisons key off it), then the contrast columns.
+pub fn workload_roster(scale: Scale) -> Vec<Workload> {
+    vec![
+        phase_workload(scale),
+        stable_hot_workload(scale),
+        uniform_random_workload(),
+    ]
+}
+
 /// The policies the sweep compares.
 pub fn policy_roster() -> Vec<(PolicySpec, f64)> {
     // (policy, capacity budget): static splits are budgeted at their own
@@ -175,6 +219,10 @@ fn run_cell(
         budget_insts: scale.budget_insts(),
         warmup_insts: scale.warmup_insts(),
         seed,
+        // Skip-ahead is bit-identical to per-cycle stepping; the env
+        // escape hatch forces the reference walk for A/B timing and for
+        // bisecting a suspected divergence without a rebuild.
+        skip_ahead: std::env::var("CLR_FORCE_PER_CYCLE").is_err(),
     };
     let cfg = PolicyRunConfig::new(
         base,
@@ -205,11 +253,20 @@ fn run_cell(
     }
 }
 
-/// Runs the sweep: every roster policy × the phase-shifting workload,
-/// cells distributed over worker threads.
+/// Runs the sweep: every roster policy × every roster workload
+/// (drifting-hot, stable-hot, uniform-random), cells distributed over
+/// worker threads. Cells are workload-major with the drifting-hot-set
+/// column first, so [`PolicySweepReport::cell`] lookups by policy alone
+/// keep resolving to the headline workload.
 pub fn run(scale: Scale, seed: u64) -> PolicySweepReport {
-    let workload = phase_workload(scale);
-    let jobs: Vec<(PolicySpec, f64)> = policy_roster();
+    let jobs: Vec<(PolicySpec, f64, Workload)> = workload_roster(scale)
+        .into_iter()
+        .flat_map(|w| {
+            policy_roster()
+                .into_iter()
+                .map(move |(spec, budget)| (spec, budget, w))
+        })
+        .collect();
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, PolicyCell)>> = Mutex::new(Vec::with_capacity(jobs.len()));
     let workers = std::thread::available_parallelism()
@@ -223,7 +280,7 @@ pub fn run(scale: Scale, seed: u64) -> PolicySweepReport {
                 if i >= jobs.len() {
                     break;
                 }
-                let (spec, budget) = jobs[i];
+                let (spec, budget, workload) = jobs[i];
                 let cell = run_cell(spec, budget, workload, scale, seed);
                 results.lock().expect("no poisoned workers").push((i, cell));
             });
@@ -238,17 +295,39 @@ pub fn run(scale: Scale, seed: u64) -> PolicySweepReport {
 }
 
 impl PolicySweepReport {
-    /// The cell for a policy label, if present.
-    pub fn cell(&self, policy: &str) -> Option<&PolicyCell> {
-        self.cells.iter().find(|c| c.policy == policy)
+    /// The headline workload: the one the first cell ran (sweep order puts
+    /// the drifting-hot-set column first).
+    pub fn headline_workload(&self) -> Option<&str> {
+        self.cells.first().map(|c| c.workload.as_str())
     }
 
-    /// The best static-split cell whose capacity loss does not exceed
-    /// `max_loss + ε` — the fair static competitor for a budgeted dynamic
-    /// policy.
-    pub fn best_static_within(&self, max_loss: f64) -> Option<&PolicyCell> {
+    /// The cell for a policy label on the headline workload, if present.
+    pub fn cell(&self, policy: &str) -> Option<&PolicyCell> {
+        let workload = self.headline_workload()?;
+        self.cell_for(policy, workload)
+    }
+
+    /// The cell for an exact (policy, workload) pair, if present.
+    pub fn cell_for(&self, policy: &str, workload: &str) -> Option<&PolicyCell> {
         self.cells
             .iter()
+            .find(|c| c.policy == policy && c.workload == workload)
+    }
+
+    /// The best static-split cell on the headline workload whose capacity
+    /// loss does not exceed `max_loss + ε` — the fair static competitor
+    /// for a budgeted dynamic policy.
+    pub fn best_static_within(&self, max_loss: f64) -> Option<&PolicyCell> {
+        let workload = self.headline_workload()?;
+        self.best_static_within_for(max_loss, workload)
+    }
+
+    /// [`PolicySweepReport::best_static_within`] on a specific workload
+    /// column.
+    pub fn best_static_within_for(&self, max_loss: f64, workload: &str) -> Option<&PolicyCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.workload == workload)
             .filter(|c| c.policy.starts_with("static-"))
             .filter(|c| c.avg_capacity_loss <= max_loss + 1e-9)
             .max_by(|a, b| a.ipc.partial_cmp(&b.ipc).expect("finite IPC"))
@@ -329,6 +408,21 @@ mod tests {
         let labels: Vec<String> = roster.iter().map(|(s, _)| s.label()).collect();
         assert!(labels.contains(&"hysteresis".to_string()));
         assert!(labels.contains(&"static-100".to_string()));
+    }
+
+    #[test]
+    fn workload_roster_has_headline_and_contrast_columns() {
+        let ws = workload_roster(Scale::Smoke);
+        let names: Vec<String> = ws.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names[0].starts_with("phase_"), "headline first: {names:?}");
+        assert!(names[1].starts_with("stablehot_"), "{names:?}");
+        assert!(names[2].starts_with("random_"), "{names:?}");
+        // All three are distinct columns in the report.
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3);
     }
 
     #[test]

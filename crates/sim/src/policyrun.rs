@@ -80,38 +80,52 @@ struct EpochDriver {
     next_epoch: u64,
     last_epoch_cycle: u64,
     final_hp_fraction: f64,
-    telemetry_on: bool,
+    /// Reused across epochs so the steady-state epoch loop allocates
+    /// nothing per drain.
+    telemetry_scratch: Vec<((u32, u32), u64)>,
+    changes_scratch: Vec<(usize, u32, RowMode)>,
 }
 
 impl RunObserver for EpochDriver {
+    fn on_run_start(&mut self, mc: &mut MemoryController) {
+        // Telemetry collection is opt-in on the controller; it must be on
+        // before the very first command — including commands replayed
+        // inside a skip-ahead window before the first per-tick callback.
+        mc.enable_row_telemetry();
+    }
+
     fn after_dram_tick(&mut self, mc: &mut MemoryController) {
-        if !self.telemetry_on {
-            // Telemetry collection is opt-in on the controller; switch it
-            // on the first time we see the controller.
-            mc.enable_row_telemetry();
-            self.telemetry_on = true;
-        }
         let now = mc.cycle();
         if now < self.next_epoch {
             return;
         }
         let mut telemetry =
             EpochTelemetry::new(self.runtime.stats().epochs, now - self.last_epoch_cycle);
-        for ((bank, row), n) in mc.drain_row_telemetry() {
+        mc.drain_row_telemetry_into(&mut self.telemetry_scratch);
+        for &((bank, row), n) in &self.telemetry_scratch {
             telemetry.record(RowId::new(bank, row), n);
         }
         let outcome = self.runtime.on_epoch(&telemetry, mc.mode_table());
         if !outcome.applied.is_empty() {
-            let changes: Vec<(usize, u32, RowMode)> = outcome
-                .applied
-                .iter()
-                .map(|t| (t.row.bank as usize, t.row.row, t.to))
-                .collect();
-            mc.apply_row_modes(&changes, outcome.cost.dram_cycles);
+            self.changes_scratch.clear();
+            self.changes_scratch.extend(
+                outcome
+                    .applied
+                    .iter()
+                    .map(|t| (t.row.bank as usize, t.row.row, t.to)),
+            );
+            mc.apply_row_modes(&self.changes_scratch, outcome.cost.dram_cycles);
         }
         self.final_hp_fraction = mc.mode_table().fraction_high_performance();
         self.last_epoch_cycle = now;
         self.next_epoch = now + self.epoch_dram_cycles;
+    }
+
+    /// Epoch boundaries must fire at exact cycles even under skip-ahead:
+    /// telemetry windows, relocation-stall start cycles, and refresh
+    /// retunes all anchor to them.
+    fn next_boundary(&self) -> Option<u64> {
+        Some(self.next_epoch)
     }
 }
 
@@ -133,7 +147,8 @@ pub fn run_policy_workloads(workloads: &[Workload], cfg: &PolicyRunConfig) -> Po
         next_epoch: cfg.epoch_dram_cycles,
         last_epoch_cycle: 0,
         final_hp_fraction: cfg.base.mem.clr.fraction_hp(),
-        telemetry_on: false,
+        telemetry_scratch: Vec::new(),
+        changes_scratch: Vec::new(),
     };
     let run = run_workloads_observed(workloads, &cfg.base, &mut driver);
     PolicyRunResult {
@@ -159,6 +174,7 @@ mod tests {
             budget_insts: 6_000,
             warmup_insts: 500,
             seed: 11,
+            skip_ahead: true,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,

@@ -1,5 +1,24 @@
 //! The full-system simulator: CPU cluster + memory controller with the
 //! 4 GHz / 1200 MHz clock-domain crossing.
+//!
+//! # Skip-ahead
+//!
+//! The reference loop advances both clock domains cycle by cycle. With
+//! [`RunConfig::skip_ahead`] enabled (the default), the loop jumps over
+//! windows in which *both* sides are provably inert: the cluster reports
+//! via [`CpuCluster::stalled_until`] that every core is blocked on memory
+//! with nothing to inject, and the controller's
+//! [`MemoryController::next_event_cycle`] bounds the first cycle at which
+//! any DRAM event (command issue, refresh, completion, stall expiry, row
+//! close) can fire. The jump is capped so that the first DRAM event, the
+//! first scheduled CPU wakeup, and the observer's next exact-cycle
+//! boundary are all reached by ordinary stepping — which is why a
+//! skip-ahead run is bit-identical to a per-cycle run (identical IPC,
+//! statistics, and command streams; enforced by the workspace
+//! differential test).
+//!
+//! [`CpuCluster::stalled_until`]: clr_cpu::cluster::CpuCluster::stalled_until
+//! [`MemoryController::next_event_cycle`]: clr_memsim::controller::MemoryController::next_event_cycle
 
 use clr_core::addr::PhysAddr;
 use clr_core::mapping::{PagePlacement, PageProfile};
@@ -33,6 +52,10 @@ pub struct RunConfig {
     pub warmup_insts: u64,
     /// Master seed for trace generation.
     pub seed: u64,
+    /// Use the event-driven skip-ahead fast path (bit-identical results;
+    /// see the module docs). Disable only to measure the per-cycle
+    /// baseline or to bisect a suspected skip-ahead divergence.
+    pub skip_ahead: bool,
 }
 
 impl RunConfig {
@@ -44,6 +67,7 @@ impl RunConfig {
             budget_insts,
             warmup_insts,
             seed,
+            skip_ahead: true,
         }
     }
 }
@@ -64,6 +88,10 @@ pub struct RunResult {
     pub mem: MemStats,
     /// Energy over the window.
     pub energy: EnergyBreakdown,
+    /// Host wall-clock seconds spent in the simulation loop itself
+    /// (excluding trace profiling and placement construction) — the
+    /// denominator for simulator-throughput reporting.
+    pub host_loop_s: f64,
 }
 
 impl RunResult {
@@ -101,8 +129,23 @@ fn build_placement(workloads: &[Workload], cfg: &RunConfig) -> PagePlacement {
 /// in [`crate::policyrun`] uses to run its epoch loop against the live
 /// controller.
 pub(crate) trait RunObserver {
-    /// Called with the controller immediately after it ticked.
+    /// Called once with the freshly built controller before the first
+    /// cycle — the place to switch on collection features (telemetry)
+    /// that must precede every command, including those replayed inside
+    /// skip-ahead windows.
+    fn on_run_start(&mut self, _mc: &mut MemoryController) {}
+
+    /// Called with the controller immediately after it ticked (or, on the
+    /// skip-ahead path, after a dead-window jump).
     fn after_dram_tick(&mut self, mc: &mut MemoryController);
+
+    /// The next DRAM cycle this observer must see at an *exact* cycle
+    /// boundary (e.g. a policy epoch). Skip-ahead never jumps the
+    /// controller past it, so boundary work fires at the same cycle as in
+    /// a per-cycle run. `None` means any landing cycle is fine.
+    fn next_boundary(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The default observer: does nothing.
@@ -146,6 +189,7 @@ pub(crate) fn run_workloads_observed(
 
     let mut cluster = CpuCluster::new(cfg.cluster, traces);
     let mut mc = MemoryController::new(cfg.mem.clone());
+    observer.on_run_start(&mut mc);
     let mut completions: Vec<Completion> = Vec::new();
     let mut dram_done: u64 = 0;
 
@@ -159,6 +203,12 @@ pub(crate) fn run_workloads_observed(
 
     // Hard progress bound: generous multiple of the naive cycle budget.
     let cycle_cap = (cfg.budget_insts + cfg.warmup_insts) * 2_000 + 10_000_000;
+
+    let loop_start = std::time::Instant::now();
+    // Cached cluster-stall verdict: a stalled cluster stays stalled until
+    // a completion is delivered or its next scheduled wakeup fires, so
+    // the per-core scan can be skipped in between.
+    let mut stall_cache: Option<u64> = None;
 
     loop {
         cluster.tick();
@@ -179,14 +229,18 @@ pub(crate) fn run_workloads_observed(
         });
         let due = cluster.cycle() * DRAM_PER_CPU_NUM / DRAM_PER_CPU_DEN;
         while dram_done < due {
-            mc.tick(&mut completions);
+            if cfg.skip_ahead {
+                mc.tick_fast(&mut completions);
+            } else {
+                mc.tick(&mut completions);
+            }
             dram_done += 1;
             for c in completions.drain(..) {
                 cluster.complete_read(c.id);
+                stall_cache = None;
             }
             observer.after_dram_tick(&mut mc);
         }
-
         if !warmed {
             if (0..n).all(|i| cluster.retired(i) >= cfg.warmup_insts) {
                 warmed = true;
@@ -218,8 +272,56 @@ pub(crate) fn run_workloads_observed(
             cycle_cap,
             (0..n).map(|i| cluster.retired(i)).collect::<Vec<_>>()
         );
+
+        // Skip-ahead: when the CPU side is provably inert (all cores
+        // stalled on memory, nothing to inject) jump both clock domains
+        // to the first cycle anything can happen — the next DRAM event,
+        // the next scheduled CPU wakeup, or the observer's boundary —
+        // and let ordinary per-cycle stepping take over there.
+        if cfg.skip_ahead && completions.is_empty() {
+            let stalled = match stall_cache {
+                Some(w) if cluster.cycle() < w => Some(w),
+                _ => {
+                    let s = cluster.stalled_until();
+                    stall_cache = s;
+                    s
+                }
+            };
+            if let Some(wake) = stalled {
+                let boundary = observer.next_boundary().unwrap_or(u64::MAX);
+                // Completions are the only DRAM→CPU signal, so the jump is
+                // capped by the first possible delivery (and the observer
+                // boundary) — command-only DRAM events inside the window
+                // are replayed bit-identically by `tick_until` below. The
+                // controller memoizes the bound, so repeated queries
+                // across a dead window are O(1).
+                let dram_cap = mc.next_completion_bound().min(boundary);
+                // The largest CPU cycle whose DRAM due-count stays within
+                // the cap, so the delivering cycle itself is reached by
+                // real ticks: due(C) = C·3/10 ≤ cap ⇔ C ≤ ((cap+1)·10−1)/3.
+                let cpu_cap = if dram_cap >= u64::MAX / (2 * DRAM_PER_CPU_DEN) {
+                    u64::MAX
+                } else {
+                    ((dram_cap + 1) * DRAM_PER_CPU_DEN - 1) / DRAM_PER_CPU_NUM
+                };
+                let target = wake.min(cpu_cap).min(cycle_cap);
+                if target > cluster.cycle() {
+                    cluster.skip_to(target);
+                    let due = target * DRAM_PER_CPU_NUM / DRAM_PER_CPU_DEN;
+                    if due > dram_done {
+                        // Replays command events and skips dead stretches;
+                        // the cap guarantees no completion pops in range.
+                        mc.tick_until(due, &mut completions);
+                        dram_done = due;
+                        debug_assert!(completions.is_empty());
+                        observer.after_dram_tick(&mut mc);
+                    }
+                }
+            }
+        }
     }
 
+    let host_loop_s = loop_start.elapsed().as_secs_f64();
     let cpu_cycles = cluster.cycle() - warm_cpu_cycle;
     let dram_cycles = mc.cycle() - warm_dram_cycle;
     let duration_ns = dram_cycles as f64 * cfg.mem.interface.t_ck_ns;
@@ -239,6 +341,7 @@ pub(crate) fn run_workloads_observed(
         duration_ns,
         mem,
         energy,
+        host_loop_s,
     }
 }
 
@@ -255,6 +358,7 @@ mod tests {
             budget_insts: 8_000,
             warmup_insts: 1_000,
             seed: 7,
+            skip_ahead: true,
         }
     }
 
@@ -306,5 +410,19 @@ mod tests {
         let b = run_workloads(&[w], &cfg);
         assert_eq!(a.ipc, b.ipc);
         assert_eq!(a.mem, b.mem);
+    }
+
+    #[test]
+    fn skip_ahead_is_bit_identical_to_per_cycle() {
+        let w = Workload::App(*by_name("429.mcf").unwrap());
+        let mut cfg = quick_cfg(MemConfig::paper_clr(0.5));
+        cfg.skip_ahead = false;
+        let per_cycle = run_workloads(&[w], &cfg);
+        cfg.skip_ahead = true;
+        let skipped = run_workloads(&[w], &cfg);
+        assert_eq!(per_cycle.ipc, skipped.ipc);
+        assert_eq!(per_cycle.cpu_cycles, skipped.cpu_cycles);
+        assert_eq!(per_cycle.dram_cycles, skipped.dram_cycles);
+        assert_eq!(per_cycle.mem, skipped.mem);
     }
 }

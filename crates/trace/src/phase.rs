@@ -71,13 +71,23 @@ impl PhaseShiftSpec {
         }
     }
 
-    /// Display name.
+    /// Display name. A zero drift is the *stable-hot* degenerate case —
+    /// the hot window never moves, so a static placement can match any
+    /// dynamic policy — and is named accordingly.
     pub fn name(&self) -> String {
-        format!(
-            "phase_{}m_h{:02.0}",
-            self.footprint_mib,
-            self.hot_fraction * 100.0
-        )
+        if self.drift_fraction == 0.0 {
+            format!(
+                "stablehot_{}m_h{:02.0}",
+                self.footprint_mib,
+                self.hot_fraction * 100.0
+            )
+        } else {
+            format!(
+                "phase_{}m_h{:02.0}",
+                self.footprint_mib,
+                self.hot_fraction * 100.0
+            )
+        }
     }
 
     /// Instantiates the generator.
@@ -104,7 +114,13 @@ impl PhaseShiftTrace {
     pub fn new(spec: PhaseShiftSpec, seed: u64) -> Self {
         let pages = ((spec.footprint_mib << 20) / PAGE_BYTES).max(4);
         let hot_pages = ((pages as f64 * spec.hot_fraction) as u64).clamp(1, pages);
-        let drift_pages = ((pages as f64 * spec.drift_fraction) as u64).max(1);
+        // Zero drift means a genuinely stable hot set (the window never
+        // slides); any positive drift moves at least one page per phase.
+        let drift_pages = if spec.drift_fraction == 0.0 {
+            0
+        } else {
+            ((pages as f64 * spec.drift_fraction) as u64).max(1)
+        };
         PhaseShiftTrace {
             spec,
             rng: StdRng::seed_from_u64(seed ^ 0x9A5E_5117),
@@ -169,6 +185,20 @@ mod tests {
         for item in &a {
             assert!(item.read.0 < fp);
         }
+    }
+
+    #[test]
+    fn zero_drift_freezes_the_hot_window() {
+        let spec = PhaseShiftSpec {
+            drift_fraction: 0.0,
+            accesses_per_phase: 50,
+            ..PhaseShiftSpec::paper_default()
+        };
+        assert!(spec.name().starts_with("stablehot_"));
+        let mut g = spec.build(7);
+        let base0 = g.window_base();
+        let _ = take(&mut g, 500);
+        assert_eq!(base0, g.window_base(), "stable hot set must not move");
     }
 
     #[test]

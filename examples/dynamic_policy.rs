@@ -19,6 +19,7 @@ fn run(policy: PolicySpec, initial_fraction: f64, budget: f64, scale: Scale) {
         budget_insts: scale.budget_insts(),
         warmup_insts: scale.warmup_insts(),
         seed: 42,
+        skip_ahead: true,
     };
     let cfg = PolicyRunConfig::new(
         base,

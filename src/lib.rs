@@ -10,7 +10,9 @@
 //! * [`circuit`] ([`clr_circuit`]) — the transient circuit simulator that
 //!   regenerates Table 1 and Figures 7/8/11 from first principles;
 //! * [`memsim`] ([`clr_memsim`]) — the cycle-accurate DDR4 device +
-//!   memory-controller model with per-row CLR timing;
+//!   memory-controller model with per-row CLR timing and an event-driven
+//!   skip-ahead core (bit-identical to per-cycle stepping; see the crate
+//!   docs for the event model);
 //! * [`cpu`] ([`clr_cpu`]) — the trace-driven core and LLC models;
 //! * [`trace`] ([`clr_trace`]) — workload models and trace generators;
 //! * [`power`] ([`clr_power`]) — the DRAMPower-style energy model;
@@ -72,7 +74,19 @@
 //! End-to-end, `clr_dram::sim::policyrun::run_policy_workloads` runs this
 //! loop against the cycle-accurate controller, and the `policy_sweep`
 //! binary in `crates/bench` compares policies × workloads (IPC, energy,
-//! capacity loss) on a phase-shifting workload.
+//! capacity loss) on the drifting-hot-set workload plus two contrast
+//! columns (stable-hot and uniform-random).
+//!
+//! # Simulation speed
+//!
+//! The full-system loop is event-driven where it can be: when every core
+//! is stalled on memory and no DRAM command can issue, both clock domains
+//! jump to the next event instead of ticking through dead cycles. The
+//! accelerated walk is bit-identical to per-cycle stepping — enforced by
+//! `tests/skip_ahead_differential.rs` — and can be disabled per run via
+//! `RunConfig::skip_ahead` (or `CLR_FORCE_PER_CYCLE=1` for the policy
+//! sweep). The `sim_throughput` binary reports simulated cycles/second
+//! for both walks (`clr-dram/sim-throughput/v1`).
 //!
 //! See `examples/` for runnable end-to-end scenarios (in particular
 //! `examples/dynamic_policy.rs`) and `crates/bench` for the binaries
