@@ -12,6 +12,44 @@ fn main() {
     let report = policies::run(scale, 42);
     print!("{}", report.render());
 
+    // Relocation-model axis: background migration must dominate the
+    // stall-the-world apply — same transitions, but the data movement
+    // steals idle bank slots instead of freezing queue service.
+    println!("\n--- background migration vs stall-the-world ---");
+    for (policy, workload, bg, stall) in report.background_vs_stall() {
+        let tag = if bg + 1e-9 >= stall {
+            ""
+        } else {
+            "  [REGRESSION]"
+        };
+        println!(
+            "{policy:<14} {workload:<28} IPC {:+6.2}%  (background {bg:.4} vs stall {stall:.4}){tag}",
+            (bg / stall - 1.0) * 100.0,
+        );
+    }
+
+    // The 2-core shared-budget contention cell: who wins the fast rows.
+    for c in report
+        .cells
+        .iter()
+        .filter(|c| c.workload.starts_with("2core:"))
+    {
+        let per_core = c
+            .ipc_per_core
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("core{i} {v:.4}"))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        println!(
+            "\n{} on {} ({}): per-core IPC {per_core}, migration util {:.2}%",
+            c.policy,
+            c.workload,
+            c.reloc,
+            c.migration_slot_utilization * 100.0
+        );
+    }
+
     // Per-workload contrast: the dynamic-policy win should appear on the
     // drifting hot set, shrink to parity on the stable hot set, and stay
     // non-negative (policy declines to relocate) on uniform-random.

@@ -257,6 +257,7 @@ mod tests {
             flat_bank: bank,
             row,
             mode,
+            migration: false,
         }
     }
 

@@ -68,6 +68,9 @@ pub struct IssuedCommand {
     pub row: u32,
     /// Operating mode governing the command's analog timings.
     pub mode: RowMode,
+    /// Whether the command was issued on behalf of background row
+    /// migration (relocation traffic) rather than demand or refresh.
+    pub migration: bool,
 }
 
 #[cfg(test)]

@@ -4,6 +4,8 @@ use clr_core::addr::AddressMapping;
 use clr_core::geometry::DramGeometry;
 use clr_core::timing::{ClrTimings, InterfaceTimings, TimingParams};
 
+use crate::migrate::RelocationConfig;
+
 /// How the CLR-DRAM device is configured for a run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClrModeConfig {
@@ -179,6 +181,9 @@ pub struct MemConfig {
     pub scheduler: SchedulerConfig,
     /// Enable periodic refresh (disable only in microbenchmarks).
     pub refresh_enabled: bool,
+    /// How mode-transition data movement is realized (legacy
+    /// stall-the-world by default; see [`crate::migrate`]).
+    pub relocation: RelocationConfig,
 }
 
 impl MemConfig {
@@ -193,6 +198,7 @@ impl MemConfig {
             clr: ClrModeConfig::BaselineDdr4,
             scheduler: SchedulerConfig::default(),
             refresh_enabled: true,
+            relocation: RelocationConfig::default(),
         }
     }
 

@@ -17,9 +17,12 @@
 //!   in-flight read completion, (2) the next refresh due time (or, while
 //!   a refresh is pending, the cycle its next PRE/REF becomes issuable),
 //!   (3) the relocation-stall expiry, (4) the earliest cycle any queued
-//!   request's next service command satisfies the timing engine, and
-//!   (5) the earliest timeout-policy row close. Everything it reads is
-//!   constant across a dead window, so the bound is exact, not heuristic.
+//!   request's next service command satisfies the timing engine, (5) the
+//!   earliest timeout-policy row close, and (6) the earliest issuable
+//!   background-migration command (job starts, phase bursts,
+//!   rate-limiter windows — see [`crate::migrate`]). Everything it reads
+//!   is constant across a dead window, so the bound is exact, not
+//!   heuristic.
 //! * [`MemoryController::tick_until`] advances to a target cycle by
 //!   alternating O(1) dead-window jumps with ordinary [`tick`]s at event
 //!   cycles.
@@ -44,9 +47,10 @@ use crate::command::{Command, IssuedCommand};
 use crate::config::{ClrModeConfig, MemConfig};
 use crate::cycletimings::CycleTimings;
 use crate::engine::{Target, TimingEngine};
+use crate::migrate::{MigrationEngine, MigrationStep};
 use crate::refresh::RefreshScheduler;
 use crate::request::{Completion, MemRequest, RequestKind};
-use crate::scheduler::{self, QueueEntry, SchedScratch};
+use crate::scheduler::{self, LaneCache, QueueEntry};
 use crate::stats::MemStats;
 
 /// Sentinel row for an empty per-bank mode-cache slot (no real row index
@@ -89,8 +93,16 @@ pub struct MemoryController {
     addr_mask: u64,
     command_log: Option<Vec<IssuedCommand>>,
     per_bank_acts: Vec<u64>,
-    /// Reusable per-bank scheduler aggregation (no per-cycle allocation).
-    sched_scratch: SchedScratch,
+    /// Incrementally maintained per-bank scheduler lanes for the read
+    /// queue: rebuilt per bank only when its queue composition or bank
+    /// state changed since the last scheduling pass.
+    read_lanes: LaneCache,
+    /// The write queue's lane cache (see `read_lanes`).
+    write_lanes: LaneCache,
+    /// Background row-migration engine: per-bank relocation job queues
+    /// whose commands are issued into idle bank slots (see
+    /// [`crate::migrate`]).
+    migration: MigrationEngine,
     /// Memoized raw next-event bound (unclamped). Controller state only
     /// changes at event ticks, on enqueue, and on mode application — the
     /// only places that clear this — so dead ticks, dead-window jumps,
@@ -204,7 +216,14 @@ impl MemoryController {
             addr_mask,
             command_log: None,
             per_bank_acts: vec![0; banks_total],
-            sched_scratch: SchedScratch::default(),
+            read_lanes: LaneCache::new(banks_total),
+            write_lanes: LaneCache::new(banks_total),
+            migration: MigrationEngine::new(
+                config.relocation,
+                banks_total,
+                g.row_bytes() / 2,
+                g.burst_bytes(),
+            ),
             next_event_cache: None,
             queue_ready_hint: u64::MAX,
             wanted_scratch: vec![false; banks_total],
@@ -237,6 +256,19 @@ impl MemoryController {
         row: u32,
         mode: RowMode,
     ) {
+        self.log_command_tagged(cycle, command, flat_bank, row, mode, false);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn log_command_tagged(
+        &mut self,
+        cycle: u64,
+        command: Command,
+        flat_bank: usize,
+        row: u32,
+        mode: RowMode,
+        migration: bool,
+    ) {
         if let Some(log) = self.command_log.as_mut() {
             log.push(IssuedCommand {
                 cycle,
@@ -244,6 +276,7 @@ impl MemoryController {
                 flat_bank,
                 row,
                 mode,
+                migration,
             });
         }
     }
@@ -325,6 +358,115 @@ impl MemoryController {
             self.next_event_cache = None;
         }
         changed
+    }
+
+    /// Applies a transition batch as *background migration* instead of a
+    /// stall: demotions (decoupling is free at the device level) flip
+    /// immediately, while each promotion is dispatched as a per-row
+    /// [`MigrationJob`](crate::migrate::MigrationJob) whose read-out /
+    /// couple / write-back phases issue as real commands into idle bank
+    /// slots. A promoted row's mode flips at its job's couple point, not
+    /// here; completions are reported through
+    /// [`MemoryController::drain_completed_migrations_into`].
+    ///
+    /// Returns the number of jobs dispatched. Rows already migrating (as
+    /// a source *or* as another job's destination frame), rows with no
+    /// available destination frame, and no-op transitions are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `(flat_bank, row)` is out of range.
+    pub fn begin_row_migrations(&mut self, changes: &[(usize, u32, RowMode)]) -> u64 {
+        self.begin_migrations_inner(changes, None)
+    }
+
+    /// [`MemoryController::begin_row_migrations`], additionally appending
+    /// each dispatched coupling's `(bank, row)` to `dispatched`. A caller
+    /// tracking in-progress transitions must use exactly this set — a
+    /// proposal can be silently skipped (row already migrating, row in
+    /// use as a destination frame, no free destination frame), and a
+    /// skipped row never produces a completion callback.
+    pub fn begin_row_migrations_tracked(
+        &mut self,
+        changes: &[(usize, u32, RowMode)],
+        dispatched: &mut Vec<(u32, u32)>,
+    ) -> u64 {
+        self.begin_migrations_inner(changes, Some(dispatched))
+    }
+
+    fn begin_migrations_inner(
+        &mut self,
+        changes: &[(usize, u32, RowMode)],
+        mut dispatched: Option<&mut Vec<(u32, u32)>>,
+    ) -> u64 {
+        let mut flips = 0u64;
+        let mut jobs = 0u64;
+        for &(bank, row, mode) in changes {
+            if self.migration.is_row_pending(bank, row) {
+                continue;
+            }
+            let cur = self.modes.mode_of(bank, row);
+            if cur == mode {
+                continue;
+            }
+            match mode {
+                RowMode::MaxCapacity => {
+                    self.modes.set(bank, row, mode);
+                    self.mode_cache[bank].set((MODE_CACHE_EMPTY, RowMode::MaxCapacity));
+                    flips += 1;
+                }
+                RowMode::HighPerformance => {
+                    if let Some(dest) = self.pick_migration_dest(bank, row) {
+                        if self
+                            .migration
+                            .dispatch(bank, row, dest, cur, mode, self.cycle)
+                        {
+                            jobs += 1;
+                            if let Some(out) = dispatched.as_deref_mut() {
+                                out.push((bank as u32, row));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if flips > 0 {
+            self.stats.mode_transitions += flips;
+            self.retune_refresh();
+        }
+        if flips > 0 || jobs > 0 {
+            self.next_event_cache = None;
+        }
+        jobs
+    }
+
+    /// Picks the destination frame for a coupling's displaced half-row: a
+    /// max-capacity row of the same bank with no pending migration role,
+    /// scanned deterministically from half a bank away (so destinations
+    /// land far from the contiguous fast-row prefix). `None` when no such
+    /// row exists — the coupling is then impossible and skipped, exactly
+    /// as an OS with no free frame would decline it.
+    fn pick_migration_dest(&self, bank: usize, row: u32) -> Option<u32> {
+        let rows = self.config.geometry.rows;
+        (0..rows)
+            .map(|k| (row + rows / 2 + k) % rows)
+            .find(|&cand| {
+                cand != row
+                    && self.modes.mode_of(bank, cand) == RowMode::MaxCapacity
+                    && !self.migration.is_row_pending(bank, cand)
+            })
+    }
+
+    /// Migration jobs dispatched but not yet complete.
+    pub fn pending_migrations(&self) -> usize {
+        self.migration.pending_jobs()
+    }
+
+    /// Drains completed `(bank, row, mode)` migrations since the last
+    /// drain into `out` (clearing `out` first) — the completion callback
+    /// feed for a policy runtime tracking in-progress transitions.
+    pub fn drain_completed_migrations_into(&mut self, out: &mut Vec<(u32, u32, RowMode)>) {
+        self.migration.drain_completed_into(out);
     }
 
     /// Starts counting per-row column accesses for telemetry export.
@@ -427,6 +569,12 @@ impl MemoryController {
                 });
                 self.note_enqueue_event(&entry, false);
                 self.read_q.push(entry);
+                self.read_lanes.on_push(
+                    &self.read_q,
+                    &self.banks,
+                    self.migration.blocked_rows(),
+                    self.migration.read_ok_rows(),
+                );
                 Ok(())
             }
             RequestKind::Write => {
@@ -440,6 +588,12 @@ impl MemoryController {
                 });
                 self.note_enqueue_event(&entry, true);
                 self.write_q.push(entry);
+                self.write_lanes.on_push(
+                    &self.write_q,
+                    &self.banks,
+                    self.migration.blocked_rows(),
+                    self.migration.read_ok_rows(),
+                );
                 Ok(())
             }
         }
@@ -499,6 +653,17 @@ impl MemoryController {
             return;
         }
         let bank = entry.target.bank;
+        if self.migration.is_mid_phase(bank)
+            || self.migration.blocked_row(bank) == Some(entry.decoded.row)
+        {
+            // The entry waits on the in-flight migration (the job holds
+            // the bank, or the entry targets the migrating row) — but
+            // its arrival can *enable* the job's eager finish
+            // (demand-pressure priority), so the memoized bound must be
+            // re-derived rather than merely merged.
+            self.next_event_cache = None;
+            return;
+        }
         let (cmd, target) = match self.banks[bank].open_row {
             Some(row) if row == entry.decoded.row => {
                 (scheduler::column_command(entry), entry.target)
@@ -570,12 +735,32 @@ impl MemoryController {
         if let Some((mode, rfc)) = self.pending_refresh {
             issued = self.progress_refresh(mode, rfc, now);
         } else if now < self.maintenance_until {
-            // Relocation work from a mode-transition batch occupies the
-            // channel: queue service pauses, refresh does not.
+            // Relocation work from a stall-mode transition batch occupies
+            // the channel: queue service pauses, refresh does not.
             self.stats.relocation_stall_cycles += 1;
         } else {
-            issued = self.serve_queues(now) || issued;
-            served = true;
+            // Migration jobs *start* only in idle slots (no demand
+            // command could issue) — but once a job is in flight it owns
+            // its bank's row buffer, so its remaining commands outrank
+            // demand: finishing eagerly bounds how long the bank blocks
+            // demand to the job's own execution time, instead of letting
+            // a saturated bus hold the bank hostage indefinitely. Under
+            // deadline-boosted priority, overdue job starts also outrank
+            // demand.
+            let migration_work = self.migration.pending_jobs() > 0;
+            if migration_work {
+                issued = self.serve_migration(now, false, u64::MAX);
+            }
+            if !issued {
+                issued = self.serve_queues(now);
+                served = true;
+            }
+            if !issued && migration_work {
+                // The failed scheduling pass priced the selected queue's
+                // next-ready cycle; migration may use the slot only if
+                // its command's shadow ends before that.
+                issued = self.serve_migration(now, true, self.queue_ready_hint);
+            }
         }
 
         // 3. Timeout row policy as background work.
@@ -699,9 +884,224 @@ impl MemoryController {
                 if let Some(t) = self.next_timeout_close_cycle() {
                     next = next.min(t);
                 }
+                // 6. The earliest issuable background-migration command
+                // (rate-limiter gated).
+                if let Some(t) = self.migration_next_ready() {
+                    next = next.min(t);
+                }
             }
         }
         next
+    }
+
+    /// The earliest cycle ≥ now at which any bank's next migration
+    /// command satisfies the timing engine, the rate limiter (job starts
+    /// only), and the start-eligibility rules (`None` when no migration
+    /// work is pending). Like the queue bound, every input is constant
+    /// across a dead window — the only time-varying eligibility, a
+    /// deadline-boosted start on an open bank, is priced by its deadline
+    /// cycle — so the value is an exact event bound.
+    fn migration_next_ready(&self) -> Option<u64> {
+        if self.migration.pending_jobs() == 0 {
+            return None;
+        }
+        let rate_gate = self.migration.rate_gate(self.cycle);
+        let mut next: Option<u64> = None;
+        let mut fold = |t: u64| next = Some(next.map_or(t, |n: u64| n.min(t)));
+        for b in 0..self.banks.len() {
+            let open = self.banks[b].open_row.map(|r| (r, self.banks[b].open_mode));
+            if self.migration.is_busy(b) {
+                let nc = self
+                    .migration
+                    .next_command(b, open, self.cycle)
+                    .expect("in-flight job always has a next command");
+                fold(
+                    self.engine
+                        .earliest(nc.command, self.bank_target(b, nc.mode)),
+                );
+            } else if let Some((_row, from)) = self.migration.queued_start(b) {
+                let demand_free =
+                    !self.read_lanes.has_entries(b) && !self.write_lanes.has_entries(b);
+                match open {
+                    None if demand_free => {
+                        let target = self.bank_target(b, from);
+                        fold(self.engine.earliest(Command::Act, target).max(rate_gate));
+                    }
+                    None => {
+                        // Queued demand owns the bank; the start waits
+                        // for the queue to drain (every removal is an
+                        // event) or for its deadline boost.
+                        if let Some(at) = self.migration.boosted_start_at(b) {
+                            let target = self.bank_target(b, from);
+                            let t = self
+                                .engine
+                                .earliest(Command::Act, target)
+                                .max(at)
+                                .max(rate_gate);
+                            fold(t);
+                        }
+                    }
+                    Some((_, mode)) => {
+                        // The start waits for the bank to close (demand
+                        // PRE or timeout close — both events), unless a
+                        // deadline boost lets it force the close.
+                        if let Some(at) = self.migration.boosted_start_at(b) {
+                            let target = self.bank_target(b, mode);
+                            let t = self
+                                .engine
+                                .earliest(Command::Pre, target)
+                                .max(at)
+                                .max(rate_gate);
+                            fold(t);
+                        }
+                    }
+                }
+            }
+        }
+        next
+    }
+
+    /// The cycles by which an idle-slot migration ACT could delay the
+    /// next demand activate on the rank (tRRD, worst same-bank-group
+    /// distance). Phase starts are the only migration commands issued
+    /// into cold idle slots — burst trains run contiguously once their
+    /// ACT lands — so the ACT's cross-bank shadow is the one that must
+    /// clear imminent demand: a one-cycle gap just before a demand ACT
+    /// is not a free slot.
+    fn migration_act_shadow(&self) -> u64 {
+        self.engine.timings().rrd_l
+    }
+
+    /// Issues one background-migration command if any bank's next
+    /// migration step is engine-ready (and, for job starts, the rate
+    /// limiter allows it). With `idle_slot` false, only jobs demand is
+    /// waiting on — and overdue (deadline-boosted) starts — are
+    /// eligible; in idle slots (`demand_ready` carries the scheduling
+    /// pass's next-ready bound) phase-start ACTs are additionally
+    /// tRRD-shadow-gated so relocation never delays an imminent demand
+    /// activate. Banks are visited round-robin so one bank's backlog
+    /// cannot starve the rest. Returns whether a command issued.
+    fn serve_migration(&mut self, now: u64, idle_slot: bool, demand_ready: u64) -> bool {
+        let n = self.banks.len();
+        let start = self.migration.rr_start();
+        for k in 0..n {
+            let b = (start + k) % n;
+            let busy = self.migration.is_busy(b);
+            // Demand waiting on the job justifies forcing it through at
+            // demand priority: blocked-row waiters any time, any waiter
+            // once the job holds the whole bank. A mid-phase burst train
+            // also finishes contiguously (one turnaround instead of one
+            // per dribbled burst).
+            let eager = busy
+                && if self.migration.is_mid_phase(b) {
+                    true
+                } else {
+                    let row = self.migration.blocked_row(b).expect("in-flight job");
+                    self.read_lanes.has_row_entry(&self.read_q, b, row)
+                        || self.write_lanes.has_row_entry(&self.write_q, b, row)
+                };
+            if busy {
+                if !idle_slot && !eager {
+                    continue;
+                }
+                // The write-back burst rides a write-drain episode (the
+                // rank is already turned around for writes) or an empty
+                // controller; blocked-row demand still forces it through.
+                if idle_slot
+                    && self.migration.pending_writeback_act(b)
+                    && !eager
+                    && !self.draining_writes
+                    && !(self.read_q.is_empty() && self.write_q.is_empty())
+                {
+                    continue;
+                }
+            }
+            if !busy {
+                // A start: must be allowed in this slot, target a bank
+                // demand is not using (unless overdue under deadline
+                // boost), and pass the rate limiter.
+                let overdue = self.migration.is_overdue_start(b, now);
+                if !idle_slot && !overdue {
+                    continue;
+                }
+                if !overdue && (self.read_lanes.has_entries(b) || self.write_lanes.has_entries(b)) {
+                    continue;
+                }
+                if self.migration.rate_gate(now) > now {
+                    continue;
+                }
+            }
+            let open = self.banks[b].open_row.map(|r| (r, self.banks[b].open_mode));
+            let Some(nc) = self.migration.next_command(b, open, now) else {
+                continue;
+            };
+            if idle_slot
+                && !eager
+                && demand_ready != u64::MAX
+                && nc.command == Command::Act
+                && now + self.migration_act_shadow() >= demand_ready
+            {
+                // Idle-slot phase starts must stay invisible to demand:
+                // skip the slot if the ACT's cross-bank shadow (tRRD)
+                // would reach the next demand-ready cycle.
+                continue;
+            }
+            let target = self.bank_target(b, nc.mode);
+            if !self.engine.can_issue(nc.command, target, now) {
+                continue;
+            }
+            match nc.command {
+                Command::Act => {
+                    self.banks[b].activate(nc.row, nc.mode, now);
+                    self.engine.issue(Command::Act, target, now);
+                    self.stats.record_migration_act(nc.mode);
+                    self.migration.note_act(b, now);
+                    self.log_command_tagged(now, Command::Act, b, nc.row, nc.mode, true);
+                    self.hit_streak[b] = 0;
+                    self.read_lanes.bank_state_changed(b);
+                    self.write_lanes.bank_state_changed(b);
+                }
+                Command::Pre => {
+                    let closed = self.banks[b].precharge();
+                    self.engine.issue(Command::Pre, target, now);
+                    self.stats.record_migration_pre(closed);
+                    let step = self.migration.note_pre(b, now);
+                    match step {
+                        MigrationStep::Couple { row, to } => {
+                            // The couple point: the row's mode flips here;
+                            // the write-back re-activates in the new mode.
+                            self.modes.set(b, row, to);
+                            self.mode_cache[b].set((MODE_CACHE_EMPTY, RowMode::MaxCapacity));
+                            self.stats.mode_transitions += 1;
+                            self.retune_refresh();
+                        }
+                        MigrationStep::Complete { .. } => {
+                            self.stats.migration_jobs_completed += 1;
+                        }
+                        MigrationStep::InProgress => {}
+                    }
+                    self.log_command_tagged(now, Command::Pre, b, 0, closed, true);
+                    self.hit_streak[b] = 0;
+                    self.read_lanes.bank_state_changed(b);
+                    self.write_lanes.bank_state_changed(b);
+                }
+                Command::Rd | Command::Wr => {
+                    self.banks[b].access(now);
+                    self.engine.issue(nc.command, target, now);
+                    if nc.command == Command::Rd {
+                        self.stats.migration_reads += 1;
+                    } else {
+                        self.stats.migration_writes += 1;
+                    }
+                    self.migration.note_column(b, now);
+                    self.log_command_tagged(now, nc.command, b, nc.row, nc.mode, true);
+                }
+                Command::Ref => unreachable!("migration never issues REF"),
+            }
+            self.stats.migration_slot_cycles += 1;
+            return true;
+        }
+        false
     }
 
     /// [`MemoryController::tick`], shortcutting provably dead cycles:
@@ -795,12 +1195,20 @@ impl MemoryController {
     /// re-derives the same state at the event cycle).
     fn next_queue_ready_cycle(&mut self) -> Option<u64> {
         let use_writes = self.queue_selection(self.read_q.len(), self.write_q.len());
-        let q = if use_writes {
-            &self.write_q
+        let (q, lanes) = if use_writes {
+            (&self.write_q, &mut self.write_lanes)
         } else {
-            &self.read_q
+            (&self.read_q, &mut self.read_lanes)
         };
-        scheduler::next_ready_cycle(q, &self.banks, &self.engine, &mut self.sched_scratch)
+        scheduler::next_ready_cached(
+            q,
+            &self.banks,
+            &self.engine,
+            lanes,
+            self.migration.held_banks(),
+            self.migration.blocked_rows(),
+            self.migration.read_ok_rows(),
+        )
     }
 
     /// The earliest cycle the timeout row policy can close an idle open
@@ -822,7 +1230,10 @@ impl MemoryController {
         }
         let mut next: Option<u64> = None;
         for b in 0..self.banks.len() {
-            if self.banks[b].open_row.is_none() || self.wanted_scratch[b] {
+            if self.banks[b].open_row.is_none()
+                || self.wanted_scratch[b]
+                || self.migration.is_mid_phase(b)
+            {
                 continue;
             }
             let target = self.bank_target(b, self.banks[b].open_mode);
@@ -846,6 +1257,12 @@ impl MemoryController {
                     self.stats.record_pre(closed);
                     self.log_command(now, Command::Pre, b, 0, closed);
                     self.hit_streak[b] = 0;
+                    // Refresh may close a bank out from under an
+                    // in-flight migration job; its phase re-activates
+                    // after the blackout.
+                    self.migration.on_forced_precharge(b);
+                    self.read_lanes.bank_state_changed(b);
+                    self.write_lanes.bank_state_changed(b);
                     return true;
                 }
                 return false; // wait for tRAS/tWR of that bank
@@ -895,19 +1312,22 @@ impl MemoryController {
             self.draining_writes || (self.read_q.is_empty() && !self.write_q.is_empty());
 
         let decision = {
-            let q = if use_writes {
-                &self.write_q
+            let (q, lanes) = if use_writes {
+                (&self.write_q, &mut self.write_lanes)
             } else {
-                &self.read_q
+                (&self.read_q, &mut self.read_lanes)
             };
-            let (decision, bound) = scheduler::pick_with_bound(
+            let (decision, bound) = scheduler::pick_cached(
                 q,
                 &self.banks,
                 &self.engine,
                 &self.hit_streak,
                 self.config.scheduler.cap,
                 now,
-                &mut self.sched_scratch,
+                lanes,
+                self.migration.held_banks(),
+                self.migration.blocked_rows(),
+                self.migration.read_ok_rows(),
             );
             self.queue_ready_hint = bound;
             decision
@@ -915,10 +1335,10 @@ impl MemoryController {
         let Some(d) = decision else {
             return false;
         };
-        let q = if use_writes {
-            &mut self.write_q
+        let (q, lanes) = if use_writes {
+            (&mut self.write_q, &mut self.write_lanes)
         } else {
-            &mut self.read_q
+            (&mut self.read_q, &mut self.read_lanes)
         };
         let e = &mut q[d.queue_index];
         let bank = e.target.bank;
@@ -945,6 +1365,8 @@ impl MemoryController {
                 self.per_bank_acts[bank] += 1;
                 self.log_command(now, Command::Act, bank, row, mode);
                 self.hit_streak[bank] = 0;
+                self.read_lanes.bank_state_changed(bank);
+                self.write_lanes.bank_state_changed(bank);
             }
             Command::Pre => {
                 e.needed_pre = true;
@@ -957,6 +1379,8 @@ impl MemoryController {
                 self.stats.record_pre(closed);
                 self.log_command(now, Command::Pre, bank, 0, closed);
                 self.hit_streak[bank] = 0;
+                self.read_lanes.bank_state_changed(bank);
+                self.write_lanes.bank_state_changed(bank);
             }
             Command::Rd | Command::Wr => {
                 if !e.classified {
@@ -970,6 +1394,7 @@ impl MemoryController {
                     mode: self.banks[bank].open_mode,
                     ..e.target
                 };
+                lanes.before_swap_remove(q, d.queue_index);
                 let entry = q.swap_remove(d.queue_index);
                 self.banks[bank].access(now);
                 if self.telemetry_enabled {
@@ -1012,6 +1437,11 @@ impl MemoryController {
             let Some(row) = self.banks[b].open_row else {
                 continue;
             };
+            if self.migration.is_mid_phase(b) {
+                // An in-flight migration holds this row buffer; its own
+                // PRE closes it.
+                continue;
+            }
             if now.saturating_sub(self.banks[b].last_use_cycle) < timeout_cycles {
                 continue;
             }
@@ -1030,6 +1460,8 @@ impl MemoryController {
                 self.stats.record_pre(closed);
                 self.log_command(now, Command::Pre, b, 0, closed);
                 self.hit_streak[b] = 0;
+                self.read_lanes.bank_state_changed(b);
+                self.write_lanes.bank_state_changed(b);
                 return true;
             }
         }
@@ -1478,6 +1910,200 @@ mod tests {
         mc.drain_row_telemetry_into(&mut buf);
         assert!(buf.is_empty(), "second drain is empty");
         assert_eq!(buf.capacity(), cap, "allocation is reused");
+    }
+
+    #[test]
+    fn background_migration_completes_without_stalling() {
+        use crate::migrate::RelocationConfig;
+        let mut cfg = MemConfig::tiny_clr(0.0);
+        cfg.refresh_enabled = false;
+        cfg.relocation = RelocationConfig::background();
+        let mut mc = MemoryController::new(cfg);
+        mc.enable_command_log();
+        // Promote row 0 of banks 0 and 1 in the background.
+        let jobs = mc.begin_row_migrations(&[
+            (0, 0, RowMode::HighPerformance),
+            (1, 0, RowMode::HighPerformance),
+        ]);
+        assert_eq!(jobs, 2);
+        assert_eq!(mc.pending_migrations(), 2);
+        // The mode flips only at each job's couple point.
+        assert_eq!(mc.mode_of_row(0, 0), RowMode::MaxCapacity);
+        let mut done = Vec::new();
+        for _ in 0..20_000 {
+            mc.tick(&mut done);
+            if mc.pending_migrations() == 0 {
+                break;
+            }
+        }
+        assert_eq!(mc.pending_migrations(), 0);
+        assert_eq!(mc.mode_of_row(0, 0), RowMode::HighPerformance);
+        assert_eq!(mc.mode_of_row(1, 0), RowMode::HighPerformance);
+        assert_eq!(mc.stats().mode_transitions, 2);
+        assert_eq!(mc.stats().migration_jobs_completed, 2);
+        assert_eq!(mc.stats().relocation_stall_cycles, 0, "no stall charged");
+        // Each job: 2 ACTs + 2 PREs + a half-row of RDs and of WRs.
+        let bursts = mc.config().geometry.row_bytes() / 2 / mc.config().geometry.burst_bytes();
+        assert_eq!(mc.stats().migration_reads, 2 * bursts);
+        assert_eq!(mc.stats().migration_writes, 2 * bursts);
+        // Read-out ACTs the source and write-back ACTs the destination
+        // frame — both in max-capacity mode (the source is read in its
+        // old mode; the destination is an ordinary MC row).
+        assert_eq!(mc.stats().migration_acts_max_capacity, 4);
+        assert_eq!(mc.stats().migration_acts_high_performance, 0);
+        assert_eq!(
+            mc.stats().migration_slot_cycles,
+            mc.stats().migration_commands()
+        );
+        // Demand counters stayed clean.
+        assert_eq!(mc.stats().acts(), 0);
+        assert_eq!(mc.stats().reads, 0);
+        // Every migration command is tagged in the log; completions
+        // drain once.
+        let log = mc.command_log().unwrap();
+        assert!(log.iter().all(|c| c.migration));
+        let mut completed = Vec::new();
+        mc.drain_completed_migrations_into(&mut completed);
+        assert_eq!(completed.len(), 2);
+        mc.drain_completed_migrations_into(&mut completed);
+        assert!(completed.is_empty());
+    }
+
+    #[test]
+    fn migration_blocks_only_the_migrating_bank() {
+        use crate::migrate::RelocationConfig;
+        let mut cfg = MemConfig::tiny_clr(0.0);
+        cfg.refresh_enabled = false;
+        cfg.relocation = RelocationConfig::background();
+        let g = cfg.geometry.clone();
+        let bank_stride = g.row_bytes();
+        let mut mc = MemoryController::new(cfg);
+        mc.begin_row_migrations(&[(0, 0, RowMode::HighPerformance)]);
+        // Start the job so bank 0 is busy.
+        let mut done = Vec::new();
+        mc.tick(&mut done);
+        // Demand to a *different* bank completes while the job runs.
+        mc.try_enqueue(read(1, bank_stride, mc.cycle())).unwrap();
+        let before = mc.cycle();
+        for _ in 0..10_000 {
+            mc.tick(&mut done);
+            if !done.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 1, "other-bank demand not blocked");
+        let t = mc.engine.timings();
+        let unblocked_latency = done[0].finish_cycle - before;
+        assert!(
+            unblocked_latency < (t.max_capacity.rc() + t.cl + t.burst) * 2,
+            "latency {unblocked_latency} suggests the whole controller stalled"
+        );
+        assert!(mc.stats().migration_slot_cycles > 0, "migration overlapped");
+    }
+
+    #[test]
+    fn background_demotions_flip_immediately() {
+        use crate::migrate::RelocationConfig;
+        let mut cfg = MemConfig::tiny_clr(1.0);
+        cfg.refresh_enabled = false;
+        cfg.relocation = RelocationConfig::background();
+        let mut mc = MemoryController::new(cfg);
+        let jobs = mc.begin_row_migrations(&[(0, 3, RowMode::MaxCapacity)]);
+        assert_eq!(jobs, 0, "decoupling needs no data movement");
+        assert_eq!(mc.mode_of_row(0, 3), RowMode::MaxCapacity);
+        assert_eq!(mc.stats().mode_transitions, 1);
+        assert_eq!(mc.pending_migrations(), 0);
+    }
+
+    #[test]
+    fn migration_rate_limiter_spreads_job_starts() {
+        use crate::migrate::{MigrationRate, RelocationConfig, RelocationMode};
+        let window = 2_000u64;
+        let mut cfg = MemConfig::tiny_clr(0.0);
+        cfg.refresh_enabled = false;
+        cfg.relocation = RelocationConfig {
+            mode: RelocationMode::Background,
+            rate: Some(MigrationRate {
+                window_cycles: window,
+                max_starts: 1,
+            }),
+        };
+        let mut mc = MemoryController::new(cfg);
+        mc.enable_command_log();
+        mc.begin_row_migrations(&[
+            (0, 0, RowMode::HighPerformance),
+            (1, 0, RowMode::HighPerformance),
+            (2, 0, RowMode::HighPerformance),
+        ]);
+        let mut done = Vec::new();
+        for _ in 0..20_000 {
+            mc.tick(&mut done);
+            if mc.pending_migrations() == 0 {
+                break;
+            }
+        }
+        assert_eq!(mc.pending_migrations(), 0);
+        // A job's read-out starts with an ACT of the source row; at one
+        // start per window, those ACTs land in distinct windows.
+        let starts: Vec<u64> = mc
+            .command_log()
+            .unwrap()
+            .iter()
+            .filter(|c| c.migration && c.command == Command::Act && c.row == 0)
+            .map(|c| c.cycle / window)
+            .collect();
+        assert_eq!(starts.len(), 3);
+        let mut dedup = starts.clone();
+        dedup.dedup();
+        assert_eq!(dedup, starts, "two job starts shared a rate window");
+    }
+
+    #[test]
+    fn tick_until_is_bit_identical_with_background_migration() {
+        use crate::migrate::RelocationConfig;
+        let run = |skip: bool| {
+            let mut cfg = MemConfig::tiny_clr(0.0);
+            cfg.refresh_enabled = true;
+            cfg.relocation = RelocationConfig::background();
+            let mut mc = MemoryController::new(cfg);
+            mc.enable_command_log();
+            mc.try_enqueue(read(1, 0x0, 0)).unwrap();
+            mc.try_enqueue(read(2, 0x1000, 0)).unwrap();
+            let mut done = Vec::new();
+            let step_to = |mc: &mut MemoryController, done: &mut Vec<Completion>, to: u64| {
+                if skip {
+                    mc.tick_until(to, done);
+                } else {
+                    while mc.cycle() < to {
+                        mc.tick(done);
+                    }
+                }
+            };
+            step_to(&mut mc, &mut done, 2_000);
+            let changes: Vec<(usize, u32, RowMode)> = (0..mc.mode_table().banks() as usize)
+                .map(|b| (b, 0u32, RowMode::HighPerformance))
+                .collect();
+            mc.begin_row_migrations(&changes);
+            step_to(&mut mc, &mut done, 10_000);
+            mc.try_enqueue(read(3, 0x0, mc.cycle())).unwrap();
+            step_to(&mut mc, &mut done, 60_000);
+            (
+                mc.command_log().unwrap().to_vec(),
+                done,
+                mc.stats().clone(),
+                mc.pending_migrations(),
+            )
+        };
+        let (log_a, done_a, stats_a, pend_a) = run(false);
+        let (log_b, done_b, stats_b, pend_b) = run(true);
+        assert_eq!(log_a, log_b, "command logs diverge");
+        assert_eq!(done_a, done_b, "completions diverge");
+        assert_eq!(stats_a, stats_b, "statistics diverge");
+        assert_eq!(pend_a, pend_b);
+        assert_eq!(pend_a, 0, "all jobs completed in the horizon");
+        assert!(stats_a.migration_jobs_completed > 0);
+        assert!(log_a.iter().any(|c| c.migration));
+        assert!(log_a.iter().any(|c| !c.migration));
     }
 
     #[test]

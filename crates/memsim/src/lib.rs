@@ -24,7 +24,9 @@
 //!   over earliest timing-engine readiness across queued commands, the
 //!   next refresh due time (or a pending refresh's next PRE/REF
 //!   readiness), the next in-flight read completion, relocation-stall
-//!   expiry, and the next timeout-policy row close;
+//!   expiry, the next background-migration command (job starts, burst
+//!   trains, rate-limiter windows — see [`migrate`]), and the next
+//!   timeout-policy row close;
 //! * [`controller::MemoryController::tick_until`] advances to a target
 //!   cycle by jumping dead windows in O(1) and ticking event cycles
 //!   normally, and
@@ -76,6 +78,7 @@ pub mod config;
 pub mod controller;
 pub mod cycletimings;
 pub mod engine;
+pub mod migrate;
 pub mod refresh;
 pub mod request;
 pub mod scheduler;
@@ -83,5 +86,6 @@ pub mod stats;
 
 pub use config::{ClrModeConfig, MemConfig, SchedulerConfig};
 pub use controller::MemoryController;
+pub use migrate::{MigrationRate, RelocationConfig, RelocationMode};
 pub use request::{MemRequest, RequestKind};
 pub use stats::MemStats;

@@ -1,0 +1,845 @@
+//! The background row-migration engine: relocation as scheduled DRAM
+//! traffic.
+//!
+//! A mode transition that couples a row (max-capacity →
+//! high-performance) halves its usable capacity, so the half-row of data
+//! the coupling displaces must physically move first. The legacy model
+//! priced that movement as a controller-wide stall
+//! ([`RelocationMode::Stall`]); this module instead decomposes each
+//! coupling into a per-row [`MigrationJob`] whose phases are *real DRAM
+//! commands* issued into idle bank slots:
+//!
+//! 1. **read-out** — ACT the source row in its current (max-capacity)
+//!    mode, stream the displaced half-row out as RD bursts, PRE;
+//! 2. **couple** — flip the row's [`ModeTable`] entry (the ISO control
+//!    signals are applied at the next activation, §3.3 — no bus
+//!    command);
+//! 3. **write-back** — ACT the *destination frame* (a max-capacity row
+//!    of the same bank, the "new frame" the OS allocated for the
+//!    displaced data) and stream the data back as WR bursts, PRE.
+//!
+//! Decoupling (high-performance → max-capacity) is free at the device
+//! level — a coupled logical cell drives both physical cells, so each
+//! cell already holds the stored bit — and is applied immediately, as in
+//! the stall model.
+//!
+//! Jobs queue per bank and at most one job per bank is *in flight*.
+//! Blocking is row-granular: while a phase's burst train holds the row
+//! buffer the bank blocks demand, but between phases only the row whose
+//! content is in flux waits — the source until the couple point (and
+//! even there, *reads* stay servable: the data sits intact in the row
+//! buffer during read-out), the destination until the job completes.
+//! Every other bank schedules normally — relocation steals idle
+//! command-bus slots instead of freezing the controller.
+//!
+//! Under [`RelocationMode::Background`] a job *starts* only on a cycle
+//! where no demand command could issue, on a bank with no queued demand,
+//! outside the tRRD shadow of imminent demand activates; once a phase's
+//! ACT has issued, the burst train finishes contiguously (one bus
+//! turnaround instead of one per dribbled burst), and a job that demand
+//! is actually waiting on finishes at demand priority. Write-back
+//! phases preferentially ride write-drain episodes, when the rank is
+//! already turned around for writes. Under
+//! [`RelocationMode::DeadlineBoosted`] a job that has waited longer
+//! than its deadline may also start ahead of demand. An optional
+//! [`MigrationRate`] caps job starts per cycle window so a large
+//! transition batch cannot monopolize an idle channel right before a
+//! demand burst arrives.
+//!
+//! The engine is driven by the controller, which owns all protocol state;
+//! this module tracks job progress and answers two questions the
+//! controller's event model needs: *which command would migration issue
+//! next on bank `b`*, and *from which cycle onward is migration allowed
+//! to issue at all* (the rate-limiter window). Both are constant across a
+//! dead window, so the skip-ahead bound stays exact.
+//!
+//! [`ModeTable`]: clr_core::mode::ModeTable
+
+use std::collections::VecDeque;
+
+use clr_core::mode::RowMode;
+
+use crate::command::Command;
+
+/// How mode-transition data movement is realized by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelocationMode {
+    /// Legacy stall-the-world: the batch's priced cost is charged as a
+    /// controller-wide queue-service stall and the mode table flips
+    /// atomically.
+    Stall,
+    /// Background migration: couplings become per-row jobs that start
+    /// only in idle bank slots; an in-flight job finishes eagerly so its
+    /// bank unblocks quickly.
+    Background,
+    /// Background migration, but a job that has been pending longer than
+    /// `deadline_cycles` may also *start* ahead of demand until the
+    /// backlog is on time again.
+    DeadlineBoosted {
+        /// Pending age (in DRAM cycles, from dispatch) past which
+        /// migration job starts take priority over demand.
+        deadline_cycles: u64,
+    },
+}
+
+/// Rate limit on background-migration bandwidth: at most `max_starts`
+/// migration *jobs may start* per `window_cycles`-cycle window (windows
+/// are aligned to cycle 0, so the limit is deterministic and skip-ahead
+/// can price the next window boundary exactly). Limiting starts rather
+/// than individual commands caps bandwidth — every start implies one
+/// job's fixed command budget — without ever gating an in-flight job,
+/// which would leave its bank blocked while waiting for tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRate {
+    /// Window length in DRAM cycles.
+    pub window_cycles: u64,
+    /// Migration-job starts allowed per window.
+    pub max_starts: u64,
+}
+
+/// Relocation configuration carried by
+/// [`MemConfig`](crate::config::MemConfig).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelocationConfig {
+    /// The relocation realization.
+    pub mode: RelocationMode,
+    /// Optional migration-bandwidth cap (background modes only).
+    pub rate: Option<MigrationRate>,
+}
+
+impl MigrationRate {
+    /// A moderate default pacing: four job starts per 2048-cycle window
+    /// (≈7 % of command-bus slots at this crate's default job sizes) —
+    /// enough to drain a sane policy's per-epoch batch within the epoch,
+    /// while a pathologically churning policy cannot flood the bus with
+    /// relocation traffic.
+    pub fn default_pacing() -> Self {
+        MigrationRate {
+            window_cycles: 2048,
+            max_starts: 4,
+        }
+    }
+}
+
+impl RelocationConfig {
+    /// Pure background migration, unlimited bandwidth.
+    pub fn background() -> Self {
+        RelocationConfig {
+            mode: RelocationMode::Background,
+            rate: None,
+        }
+    }
+
+    /// Background migration with the default start pacing
+    /// ([`MigrationRate::default_pacing`]).
+    pub fn background_paced() -> Self {
+        RelocationConfig {
+            mode: RelocationMode::Background,
+            rate: Some(MigrationRate::default_pacing()),
+        }
+    }
+
+    /// Whether this configuration migrates in the background (any
+    /// non-stall mode).
+    pub fn is_background(&self) -> bool {
+        self.mode != RelocationMode::Stall
+    }
+}
+
+impl Default for RelocationConfig {
+    fn default() -> Self {
+        RelocationConfig {
+            mode: RelocationMode::Stall,
+            rate: None,
+        }
+    }
+}
+
+/// Which half of the data movement a job is executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobPhase {
+    /// ACT in the old mode, RD bursts, PRE — then the couple point.
+    ReadOut,
+    /// ACT in the new mode, WR bursts, PRE — then the job is complete.
+    WriteBack,
+}
+
+/// One row's relocation, decomposed into commands.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationJob {
+    /// The row being coupled.
+    pub row: u32,
+    /// The max-capacity row receiving the displaced half-row's data (the
+    /// "new frame"). The write-back activates *this* row, so the coupled
+    /// source row is usable by demand from the couple point on; only the
+    /// (cold, OS-allocated) destination blocks during write-back.
+    pub dest: u32,
+    /// Mode before the transition.
+    pub from: RowMode,
+    /// Mode after the transition.
+    pub to: RowMode,
+    /// Cycle the job was dispatched (drives the deadline boost).
+    pub dispatched_at: u64,
+    phase: JobPhase,
+    /// Whether the current phase's ACT has issued (a refresh that closes
+    /// the bank clears this; the phase re-activates and continues).
+    opened: bool,
+    /// Column bursts remaining in the current phase.
+    remaining: u32,
+}
+
+/// The migration command the engine wants to issue next on a bank, with
+/// the mode its timing must respect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextMigrationCommand {
+    /// The command.
+    pub command: Command,
+    /// Row the command targets (the job row for ACT/RD/WR; the bank's
+    /// open row for a starting PRE).
+    pub row: u32,
+    /// Mode governing the command's timings.
+    pub mode: RowMode,
+}
+
+/// What happened when the controller told the engine a migration command
+/// issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationStep {
+    /// The job made progress but still owns the bank.
+    InProgress,
+    /// The read-out phase finished: the controller must flip the row's
+    /// mode-table entry now (the couple point).
+    Couple {
+        /// Row to flip.
+        row: u32,
+        /// Mode to flip it to.
+        to: RowMode,
+    },
+    /// The job finished; the bank is free again.
+    Complete {
+        /// The migrated row.
+        row: u32,
+        /// Its (already applied) final mode.
+        to: RowMode,
+    },
+}
+
+/// Per-bank job queues plus the rate limiter — the bookkeeping half of
+/// background migration (the controller owns all protocol state).
+#[derive(Debug)]
+pub struct MigrationEngine {
+    cfg: RelocationConfig,
+    /// Column bursts per phase: the displaced half-row at one burst per
+    /// column access (matches the relocation cost model's
+    /// `bursts_per_row`).
+    bursts_per_phase: u32,
+    queues: Vec<VecDeque<MigrationJob>>,
+    active: Vec<Option<MigrationJob>>,
+    /// Banks with an in-flight job (whole-job granularity).
+    busy: Vec<bool>,
+    /// Banks whose in-flight job currently *holds the row buffer* (its
+    /// phase ACT has issued): the whole bank blocks demand. Between
+    /// phases only the migrating row blocks (see `row_block`).
+    held: Vec<bool>,
+    /// The migrating row per bank (`u32::MAX` when none): demand to this
+    /// row waits for the whole job — its content is in flux — while the
+    /// bank's other rows stay schedulable whenever the bank is not held.
+    row_block: Vec<u32>,
+    /// The source row per bank while its job is in the read-out phase
+    /// (`u32::MAX` otherwise): reads to it remain servable (see
+    /// [`MigrationEngine::read_ok_rows`]).
+    readout_src: Vec<u32>,
+    pending_jobs: usize,
+    /// Completed `(bank, row, mode)` transitions awaiting a drain by the
+    /// policy driver.
+    completed: Vec<(u32, u32, RowMode)>,
+    /// Rate-limiter state: the window index last charged and the
+    /// commands issued within it.
+    window_index: u64,
+    issued_in_window: u64,
+    /// Round-robin start bank so one bank's backlog cannot starve the
+    /// others.
+    rr_next: usize,
+}
+
+impl MigrationEngine {
+    /// An engine for `banks` banks moving `half_row_bytes` per job at
+    /// `burst_bytes` per column access.
+    pub fn new(cfg: RelocationConfig, banks: usize, half_row_bytes: u64, burst_bytes: u64) -> Self {
+        let bursts = half_row_bytes.div_ceil(burst_bytes.max(1)).max(1) as u32;
+        MigrationEngine {
+            cfg,
+            bursts_per_phase: bursts,
+            queues: vec![VecDeque::new(); banks],
+            active: vec![None; banks],
+            busy: vec![false; banks],
+            held: vec![false; banks],
+            row_block: vec![u32::MAX; banks],
+            readout_src: vec![u32::MAX; banks],
+            pending_jobs: 0,
+            completed: Vec::new(),
+            window_index: 0,
+            issued_in_window: 0,
+            rr_next: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RelocationConfig {
+        &self.cfg
+    }
+
+    /// Column bursts per job phase.
+    pub fn bursts_per_phase(&self) -> u32 {
+        self.bursts_per_phase
+    }
+
+    /// Jobs dispatched but not yet complete (queued + in flight).
+    pub fn pending_jobs(&self) -> usize {
+        self.pending_jobs
+    }
+
+    /// Whether bank `b` has an in-flight job (started, not complete).
+    pub fn is_busy(&self, bank: usize) -> bool {
+        self.busy[bank]
+    }
+
+    /// Whether bank `b`'s in-flight job is mid-phase (its phase ACT has
+    /// issued, so the job holds the row buffer and the whole bank blocks
+    /// demand). A mid-phase job should finish its burst train
+    /// contiguously: dribbling the bursts one idle slot at a time would
+    /// pay the rank-level read/write turnaround penalties once per burst
+    /// instead of once per phase.
+    pub fn is_mid_phase(&self, bank: usize) -> bool {
+        self.held[bank]
+    }
+
+    /// Whether bank `b`'s in-flight job is waiting to open its
+    /// *write-back* phase. The controller aligns these with write-drain
+    /// episodes: a WR burst train injected while the rank serves reads
+    /// pays a write→read turnaround that blocks the whole rank, but
+    /// during a drain the bus is already turned around for writes.
+    pub fn pending_writeback_act(&self, bank: usize) -> bool {
+        self.active[bank].is_some_and(|j| !j.opened && j.phase == JobPhase::WriteBack)
+    }
+
+    /// Per-bank whole-bank demand-blocking flags for the scheduler: set
+    /// exactly while a job holds the bank's row buffer.
+    pub fn held_banks(&self) -> &[bool] {
+        &self.held
+    }
+
+    /// Per-bank migrating-row blocks for the scheduler (`u32::MAX` =
+    /// none): the row whose content is in flux for the whole job
+    /// lifetime.
+    pub fn blocked_rows(&self) -> &[u32] {
+        &self.row_block
+    }
+
+    /// Per-bank rows whose *reads* remain servable despite the block
+    /// (`u32::MAX` = none): during the read-out phase the source row sits
+    /// intact in the row buffer, so demand read hits interleave with the
+    /// migration's own RD bursts — only writes must wait (they would be
+    /// lost behind the data already streamed out).
+    pub fn read_ok_rows(&self) -> &[u32] {
+        &self.readout_src
+    }
+
+    /// The migrating row on `bank`, if a job is in flight.
+    pub fn blocked_row(&self, bank: usize) -> Option<u32> {
+        let r = self.row_block[bank];
+        (r != u32::MAX).then_some(r)
+    }
+
+    /// Whether a job involving `(bank, row)` — as migration source *or*
+    /// write-back destination — is queued or in flight.
+    pub fn is_row_pending(&self, bank: usize, row: u32) -> bool {
+        self.active[bank].is_some_and(|j| j.row == row || j.dest == row)
+            || self.queues[bank]
+                .iter()
+                .any(|j| j.row == row || j.dest == row)
+    }
+
+    /// Dispatches one coupling job whose displaced data lands in `dest`
+    /// (a max-capacity row of the same bank). Returns `false` (and does
+    /// nothing) if either row already has a pending job.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dispatch(
+        &mut self,
+        bank: usize,
+        row: u32,
+        dest: u32,
+        from: RowMode,
+        to: RowMode,
+        now: u64,
+    ) -> bool {
+        if self.is_row_pending(bank, row) || self.is_row_pending(bank, dest) || row == dest {
+            return false;
+        }
+        self.queues[bank].push_back(MigrationJob {
+            row,
+            dest,
+            from,
+            to,
+            dispatched_at: now,
+            phase: JobPhase::ReadOut,
+            opened: false,
+            remaining: self.bursts_per_phase,
+        });
+        self.pending_jobs += 1;
+        true
+    }
+
+    /// Whether bank `b` has a queued (not yet started) job past the
+    /// deadline-boost threshold at `now` (always `false` outside
+    /// [`RelocationMode::DeadlineBoosted`]).
+    pub fn is_overdue_start(&self, bank: usize, now: u64) -> bool {
+        let RelocationMode::DeadlineBoosted { deadline_cycles } = self.cfg.mode else {
+            return false;
+        };
+        self.queues[bank]
+            .front()
+            .is_some_and(|j| now.saturating_sub(j.dispatched_at) >= deadline_cycles)
+    }
+
+    /// The queued job a closed `bank` could start next, as
+    /// `(row, from-mode)` — the event-bound input for start candidates.
+    pub fn queued_start(&self, bank: usize) -> Option<(u32, RowMode)> {
+        if self.active[bank].is_some() {
+            return None;
+        }
+        self.queues[bank].front().map(|j| (j.row, j.from))
+    }
+
+    /// The cycle from which a queued job on `bank` may start *despite
+    /// demand* (an open row, or queued demand entries): never under pure
+    /// background — the start waits for a demand-free closed bank — and
+    /// the job's deadline under [`RelocationMode::DeadlineBoosted`].
+    pub fn boosted_start_at(&self, bank: usize) -> Option<u64> {
+        let RelocationMode::DeadlineBoosted { deadline_cycles } = self.cfg.mode else {
+            return None;
+        };
+        if self.active[bank].is_some() {
+            return None;
+        }
+        self.queues[bank]
+            .front()
+            .map(|j| j.dispatched_at.saturating_add(deadline_cycles))
+    }
+
+    /// The earliest cycle ≥ `now` at which the rate limiter permits a
+    /// migration job to *start* (`now` itself when unlimited or under
+    /// budget, the next window boundary when the current window's starts
+    /// are exhausted). In-flight jobs are never rate-gated.
+    pub fn rate_gate(&self, now: u64) -> u64 {
+        let Some(rate) = self.cfg.rate else {
+            return now;
+        };
+        let idx = now / rate.window_cycles;
+        if idx != self.window_index || self.issued_in_window < rate.max_starts {
+            now
+        } else {
+            (idx + 1) * rate.window_cycles
+        }
+    }
+
+    /// The command migration would issue next on `bank`, given the bank's
+    /// open row/mode (`None` when the bank has no job it may progress at
+    /// `now`). Pure bookkeeping: timing readiness is the controller's
+    /// engine's call. In-flight jobs always have a next command; a queued
+    /// job starts with ACT on a closed bank, and may start by precharging
+    /// an open bank only once overdue under deadline-boosted priority.
+    pub fn next_command(
+        &self,
+        bank: usize,
+        open: Option<(u32, RowMode)>,
+        now: u64,
+    ) -> Option<NextMigrationCommand> {
+        if let Some(job) = self.active[bank] {
+            let cmd = if !job.opened {
+                // Between phases the bank is released to demand; if a
+                // demand row is open when the next phase is due, it is
+                // closed first.
+                if let Some((row, mode)) = open {
+                    NextMigrationCommand {
+                        command: Command::Pre,
+                        row,
+                        mode,
+                    }
+                } else {
+                    // Read-out activates the source in its old mode; the
+                    // write-back activates the (max-capacity) destination
+                    // frame.
+                    let (row, mode) = match job.phase {
+                        JobPhase::ReadOut => (job.row, job.from),
+                        JobPhase::WriteBack => (job.dest, RowMode::MaxCapacity),
+                    };
+                    NextMigrationCommand {
+                        command: Command::Act,
+                        row,
+                        mode,
+                    }
+                }
+            } else if job.remaining > 0 {
+                let command = match job.phase {
+                    JobPhase::ReadOut => Command::Rd,
+                    JobPhase::WriteBack => Command::Wr,
+                };
+                let (row, mode) = open.expect("in-flight job holds the bank open");
+                NextMigrationCommand { command, row, mode }
+            } else {
+                let (row, mode) = open.expect("in-flight job holds the bank open");
+                NextMigrationCommand {
+                    command: Command::Pre,
+                    row,
+                    mode,
+                }
+            };
+            return Some(cmd);
+        }
+        let job = self.queues[bank].front()?;
+        match open {
+            // An open bank is demand territory: only an overdue job under
+            // deadline boost may close it to start.
+            Some((row, mode)) => {
+                if self.is_overdue_start(bank, now) {
+                    Some(NextMigrationCommand {
+                        command: Command::Pre,
+                        row,
+                        mode,
+                    })
+                } else {
+                    None
+                }
+            }
+            None => Some(NextMigrationCommand {
+                command: Command::Act,
+                row: job.row,
+                mode: job.from,
+            }),
+        }
+    }
+
+    /// Records that the current phase's ACT issued on `bank` (installs
+    /// the job as active first if it was still queued).
+    pub fn note_act(&mut self, bank: usize, now: u64) {
+        self.bump(bank);
+        if self.active[bank].is_none() {
+            self.start(bank, now);
+        }
+        let job = self.active[bank].as_mut().expect("ACT requires a job");
+        debug_assert!(!job.opened, "double ACT within a phase");
+        job.opened = true;
+        self.held[bank] = true;
+    }
+
+    /// Records that a migration column burst issued on `bank`.
+    pub fn note_column(&mut self, bank: usize, _now: u64) {
+        self.bump(bank);
+        let job = self.active[bank].as_mut().expect("column requires a job");
+        debug_assert!(job.opened && job.remaining > 0);
+        job.remaining -= 1;
+    }
+
+    /// Records that a migration PRE issued on `bank`: either the starting
+    /// PRE that closes a demand row (job still queued), or the
+    /// phase-ending PRE. Returns the resulting step so the controller can
+    /// apply the couple point or the completion.
+    pub fn note_pre(&mut self, bank: usize, now: u64) -> MigrationStep {
+        self.bump(bank);
+        if self.active[bank].is_none() {
+            // Starting PRE: the job takes ownership; its first ACT is next.
+            self.start(bank, now);
+            return MigrationStep::InProgress;
+        }
+        let job = self.active[bank].as_mut().expect("PRE requires a job");
+        if !job.opened {
+            // The job owned the bank but its phase ACT had not issued —
+            // only possible for the starting PRE path, which `start`
+            // already consumed. Treat as progress (defensive).
+            return MigrationStep::InProgress;
+        }
+        debug_assert_eq!(job.remaining, 0, "PRE before the phase drained");
+        self.held[bank] = false;
+        match job.phase {
+            JobPhase::ReadOut => {
+                job.phase = JobPhase::WriteBack;
+                job.opened = false;
+                job.remaining = self.bursts_per_phase;
+                // From the couple point on, the source row is usable in
+                // its new mode; only the destination frame still blocks.
+                self.row_block[bank] = job.dest;
+                self.readout_src[bank] = u32::MAX;
+                MigrationStep::Couple {
+                    row: job.row,
+                    to: job.to,
+                }
+            }
+            JobPhase::WriteBack => {
+                let row = job.row;
+                let to = job.to;
+                self.active[bank] = None;
+                self.busy[bank] = false;
+                self.row_block[bank] = u32::MAX;
+                self.pending_jobs -= 1;
+                self.completed.push((bank as u32, row, to));
+                MigrationStep::Complete { row, to }
+            }
+        }
+    }
+
+    /// A refresh (or other controller-side maintenance) precharged `bank`
+    /// out from under an in-flight job: the current phase must
+    /// re-activate before continuing.
+    pub fn on_forced_precharge(&mut self, bank: usize) {
+        if let Some(job) = self.active[bank].as_mut() {
+            job.opened = false;
+            self.held[bank] = false;
+        }
+    }
+
+    /// The bank the round-robin scan should visit first.
+    pub fn rr_start(&self) -> usize {
+        self.rr_next
+    }
+
+    /// Banks that currently have migration work (active job or non-empty
+    /// queue), visited from the round-robin pointer.
+    pub fn banks_with_work(&self) -> impl Iterator<Item = usize> + '_ {
+        let n = self.queues.len();
+        (0..n)
+            .map(move |i| (self.rr_next + i) % n)
+            .filter(move |&b| self.active[b].is_some() || !self.queues[b].is_empty())
+    }
+
+    /// Drains completed `(bank, row, mode)` transitions into `out`
+    /// (clearing `out` first).
+    pub fn drain_completed_into(&mut self, out: &mut Vec<(u32, u32, RowMode)>) {
+        out.clear();
+        out.append(&mut self.completed);
+    }
+
+    /// Installs the bank's front job as in flight, charging one start
+    /// against the rate window.
+    fn start(&mut self, bank: usize, now: u64) {
+        if let Some(rate) = self.cfg.rate {
+            let idx = now / rate.window_cycles;
+            if idx != self.window_index {
+                self.window_index = idx;
+                self.issued_in_window = 0;
+            }
+            self.issued_in_window += 1;
+        }
+        let job = self.queues[bank]
+            .pop_front()
+            .expect("start requires a queued job");
+        self.busy[bank] = true;
+        self.row_block[bank] = job.row;
+        self.readout_src[bank] = job.row;
+        self.active[bank] = Some(job);
+    }
+
+    fn bump(&mut self, bank: usize) {
+        self.rr_next = (bank + 1) % self.queues.len().max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(rate: Option<MigrationRate>) -> MigrationEngine {
+        MigrationEngine::new(
+            RelocationConfig {
+                mode: RelocationMode::Background,
+                rate,
+            },
+            4,
+            1024,
+            64,
+        )
+    }
+
+    #[test]
+    fn job_walks_read_out_couple_write_back() {
+        let mut e = engine(None);
+        assert!(e.dispatch(1, 7, 40, RowMode::MaxCapacity, RowMode::HighPerformance, 0));
+        assert!(!e.dispatch(1, 7, 41, RowMode::MaxCapacity, RowMode::HighPerformance, 0));
+        assert!(
+            !e.dispatch(1, 9, 40, RowMode::MaxCapacity, RowMode::HighPerformance, 0),
+            "a busy destination frame refuses a second job"
+        );
+        assert_eq!(e.pending_jobs(), 1);
+        assert_eq!(e.bursts_per_phase(), 16);
+
+        // Bank closed → first command is the read-out ACT in the old mode.
+        assert_eq!(e.queued_start(1), Some((7, RowMode::MaxCapacity)));
+        let c = e.next_command(1, None, 0).unwrap();
+        assert_eq!(c.command, Command::Act);
+        assert_eq!(c.mode, RowMode::MaxCapacity);
+        assert_eq!(c.row, 7);
+        e.note_act(1, 0);
+        assert!(e.is_busy(1));
+        assert_eq!(e.queued_start(1), None, "in-flight job is not a start");
+
+        assert_eq!(e.blocked_row(1), Some(7), "read-out blocks the source");
+        for i in 0..16 {
+            let c = e
+                .next_command(1, Some((7, RowMode::MaxCapacity)), 10 + i)
+                .unwrap();
+            assert_eq!(c.command, Command::Rd, "burst {i}");
+            e.note_column(1, 10 + i);
+        }
+        let c = e
+            .next_command(1, Some((7, RowMode::MaxCapacity)), 99)
+            .unwrap();
+        assert_eq!(c.command, Command::Pre);
+        let step = e.note_pre(1, 100);
+        assert_eq!(
+            step,
+            MigrationStep::Couple {
+                row: 7,
+                to: RowMode::HighPerformance
+            }
+        );
+
+        // Write-back activates the destination frame (max-capacity): the
+        // coupled source row is demand-usable from the couple point on.
+        assert_eq!(e.blocked_row(1), Some(40), "block moves to the dest");
+        let c = e.next_command(1, None, 110).unwrap();
+        assert_eq!(c.command, Command::Act);
+        assert_eq!(c.row, 40);
+        assert_eq!(c.mode, RowMode::MaxCapacity);
+        e.note_act(1, 120);
+        for i in 0..16 {
+            let c = e
+                .next_command(1, Some((40, RowMode::MaxCapacity)), 130 + i)
+                .unwrap();
+            assert_eq!(c.command, Command::Wr, "burst {i}");
+            e.note_column(1, 130 + i);
+        }
+        let step = e.note_pre(1, 300);
+        assert_eq!(
+            step,
+            MigrationStep::Complete {
+                row: 7,
+                to: RowMode::HighPerformance
+            }
+        );
+        assert!(!e.is_busy(1));
+        assert_eq!(e.pending_jobs(), 0);
+        let mut done = Vec::new();
+        e.drain_completed_into(&mut done);
+        assert_eq!(done, vec![(1, 7, RowMode::HighPerformance)]);
+    }
+
+    #[test]
+    fn pure_background_never_starts_on_an_open_bank() {
+        let mut e = engine(None);
+        e.dispatch(0, 3, 40, RowMode::MaxCapacity, RowMode::HighPerformance, 0);
+        // The bank is open with a demand row: no start command until the
+        // bank closes (demand territory).
+        assert!(e
+            .next_command(0, Some((9, RowMode::MaxCapacity)), 1_000_000)
+            .is_none());
+        assert_eq!(e.boosted_start_at(0), None);
+        // Once closed, the start ACT is offered.
+        let c = e.next_command(0, None, 1_000_000).unwrap();
+        assert_eq!(c.command, Command::Act);
+        assert_eq!(c.row, 3);
+    }
+
+    #[test]
+    fn overdue_deadline_start_precharges_the_open_demand_row() {
+        let mut e = MigrationEngine::new(
+            RelocationConfig {
+                mode: RelocationMode::DeadlineBoosted {
+                    deadline_cycles: 100,
+                },
+                rate: None,
+            },
+            4,
+            1024,
+            64,
+        );
+        e.dispatch(0, 3, 40, RowMode::MaxCapacity, RowMode::HighPerformance, 50);
+        assert_eq!(e.boosted_start_at(0), Some(150));
+        // Before the deadline: the open bank is left to demand.
+        assert!(!e.is_overdue_start(0, 149));
+        assert!(e
+            .next_command(0, Some((9, RowMode::MaxCapacity)), 149)
+            .is_none());
+        // Past it: the start may close the demand row.
+        assert!(e.is_overdue_start(0, 150));
+        let c = e
+            .next_command(0, Some((9, RowMode::MaxCapacity)), 150)
+            .unwrap();
+        assert_eq!(c.command, Command::Pre);
+        assert_eq!(c.row, 9, "closes the demand row, not the job row");
+        assert_eq!(e.note_pre(0, 150), MigrationStep::InProgress);
+        assert!(e.is_busy(0), "the starting PRE takes bank ownership");
+        let c = e.next_command(0, None, 151).unwrap();
+        assert_eq!(c.command, Command::Act);
+        assert_eq!(c.row, 3);
+    }
+
+    #[test]
+    fn forced_precharge_restarts_the_phase_act() {
+        let mut e = engine(None);
+        e.dispatch(2, 1, 40, RowMode::MaxCapacity, RowMode::HighPerformance, 0);
+        e.note_act(2, 0);
+        e.note_column(2, 10);
+        e.on_forced_precharge(2);
+        let c = e.next_command(2, None, 50).unwrap();
+        assert_eq!(c.command, Command::Act, "phase re-activates after refresh");
+        e.note_act(2, 50);
+        // The burst already transferred stays transferred.
+        let mut remaining = 0;
+        while e
+            .next_command(2, Some((1, RowMode::MaxCapacity)), 60 + remaining)
+            .unwrap()
+            .command
+            == Command::Rd
+        {
+            e.note_column(2, 60 + remaining);
+            remaining += 1;
+        }
+        assert_eq!(remaining, 15, "one of 16 bursts was already done");
+    }
+
+    #[test]
+    fn rate_limiter_gates_job_starts_only() {
+        let rate = MigrationRate {
+            window_cycles: 100,
+            max_starts: 1,
+        };
+        let mut e = engine(Some(rate));
+        e.dispatch(0, 1, 40, RowMode::MaxCapacity, RowMode::HighPerformance, 0);
+        e.dispatch(2, 5, 40, RowMode::MaxCapacity, RowMode::HighPerformance, 0);
+        assert_eq!(e.rate_gate(5), 5);
+        e.note_act(0, 5); // first start charges the window
+                          // Window 0 exhausted for *starts*: gate jumps to the boundary...
+        assert_eq!(e.rate_gate(11), 100);
+        assert_eq!(e.rate_gate(99), 100);
+        // ...but the in-flight job's own commands are never gated.
+        e.note_column(0, 10);
+        e.note_column(0, 20);
+        assert_eq!(e.rate_gate(99), 100, "columns do not charge the window");
+        // New window: the second job may start, counter reset on charge.
+        assert_eq!(e.rate_gate(100), 100);
+        e.note_act(2, 100);
+        assert_eq!(e.rate_gate(101), 200);
+    }
+
+    #[test]
+    fn round_robin_rotates_across_banks_with_work() {
+        let mut e = engine(None);
+        e.dispatch(0, 1, 40, RowMode::MaxCapacity, RowMode::HighPerformance, 0);
+        e.dispatch(2, 5, 40, RowMode::MaxCapacity, RowMode::HighPerformance, 0);
+        let first: Vec<usize> = e.banks_with_work().collect();
+        assert_eq!(first, vec![0, 2]);
+        e.note_act(0, 0);
+        let next: Vec<usize> = e.banks_with_work().collect();
+        assert_eq!(next, vec![2, 0], "pointer moved past the served bank");
+    }
+}

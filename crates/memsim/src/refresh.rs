@@ -81,7 +81,14 @@ impl RefreshScheduler {
                 let fresh_due = now as f64 + interval_cycles;
                 let next_due = match self.streams.iter().find(|o| o.mode == s.mode) {
                     Some(old) => old.next_due.min(fresh_due),
-                    None => fresh_due,
+                    // A newly appearing stream anchors to the absolute
+                    // tREFI grid (hardware refresh counters free-run), so
+                    // *when* it is created does not shift its phase — a
+                    // mode population that reaches a given state via a
+                    // stall apply and via background migration sees the
+                    // same refresh train, instead of diverging on an
+                    // arbitrary creation-cycle offset.
+                    None => ((now as f64 / interval_cycles).floor() + 1.0) * interval_cycles,
                 };
                 StreamState {
                     mode: s.mode,

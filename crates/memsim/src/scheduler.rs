@@ -97,6 +97,37 @@ impl Lane {
         }
     }
 
+    /// Folds one queue entry into the lane. Comparisons are lexicographic
+    /// on `(arrival, queue index)`, so the fold is *order-independent*:
+    /// folding the bank's entries in any order produces the same lane as
+    /// the queue-order pass (the incremental [`LaneCache`] rebuilds from
+    /// unordered per-bank index lists).
+    fn fold(&mut self, e: &QueueEntry, i: usize, open_row_hit: bool) {
+        let arrival = e.request.arrival_cycle;
+        let row = e.decoded.row;
+        if (arrival, i) < (self.oldest.0, self.oldest.1) {
+            if row != self.oldest.2 && self.oldest.1 != usize::MAX {
+                // The displaced oldest is the best "other row" candidate:
+                // its arrival is a lower bound on every other entry's.
+                self.oldest_other_row = self.oldest.0;
+            }
+            self.oldest = (arrival, i, row);
+        } else if row != self.oldest.2 && arrival < self.oldest_other_row {
+            self.oldest_other_row = arrival;
+        }
+        if open_row_hit {
+            let slot = match e.request.kind {
+                crate::request::RequestKind::Read => &mut self.hit_rd,
+                crate::request::RequestKind::Write => &mut self.hit_wr,
+            };
+            if slot.is_none_or(|(a, j)| (arrival, i) < (a, j)) {
+                *slot = Some((arrival, i));
+            }
+        } else if self.miss.is_none_or(|(a, j)| (arrival, i) < (a, j)) {
+            self.miss = Some((arrival, i));
+        }
+    }
+
     /// Whether a strictly older entry targeting a row other than `row`
     /// waits in this bank — the FR-FCFS-Cap fairness test, O(1).
     fn older_waiter(&self, arrival: u64, row: u32) -> bool {
@@ -122,8 +153,37 @@ pub struct SchedScratch {
     stamp: u64,
 }
 
-/// Builds the per-bank lanes for `entries` into `scratch` (one O(n) pass).
-fn analyze(entries: &[QueueEntry], banks: &[BankState], scratch: &mut SchedScratch) {
+/// Whether `(bank, row)` is excluded from scheduling by a per-bank row
+/// block (`u32::MAX` sentinel = no block; an empty slice blocks nothing).
+/// A background migration blocks exactly the row whose content is in
+/// flux for its job's whole lifetime — except that *reads* stay servable
+/// while the row is listed in `read_ok_rows` (the read-out phase keeps
+/// the source's data intact in the row buffer).
+fn entry_excluded(
+    blocked_rows: &[u32],
+    read_ok_rows: &[u32],
+    bank: usize,
+    row: u32,
+    kind: crate::request::RequestKind,
+) -> bool {
+    if blocked_rows.get(bank).is_none_or(|&r| r != row) {
+        return false;
+    }
+    !(kind == crate::request::RequestKind::Read
+        && read_ok_rows.get(bank).is_some_and(|&r| r == row))
+}
+
+/// Builds the per-bank lanes for `entries` into `scratch` (one O(n)
+/// pass). Entries whose row is blocked are left out of the lanes
+/// entirely: they neither issue nor contribute to readiness bounds until
+/// the block lifts (a scheduling event).
+fn analyze(
+    entries: &[QueueEntry],
+    banks: &[BankState],
+    scratch: &mut SchedScratch,
+    blocked_rows: &[u32],
+    read_ok_rows: &[u32],
+) {
     scratch.stamp += 1;
     scratch.touched.clear();
     if scratch.lanes.len() < banks.len() {
@@ -131,37 +191,14 @@ fn analyze(entries: &[QueueEntry], banks: &[BankState], scratch: &mut SchedScrat
     }
     for (i, e) in entries.iter().enumerate() {
         let b = e.target.bank;
-        let lane = &mut scratch.lanes[b];
-        if lane.stamp != scratch.stamp {
-            *lane = Lane::fresh(scratch.stamp);
+        if scratch.lanes[b].stamp != scratch.stamp {
+            scratch.lanes[b] = Lane::fresh(scratch.stamp);
             scratch.touched.push(b);
         }
-        let arrival = e.request.arrival_cycle;
-        let row = e.decoded.row;
-        // Track the oldest entry and the oldest entry with a different
-        // row. Iterating in queue order keeps the lowest queue index for
-        // equal arrivals, matching the naive (arrival, index) ordering.
-        if arrival < lane.oldest.0 {
-            if row != lane.oldest.2 && lane.oldest.1 != usize::MAX {
-                // The displaced oldest is the best "other row" candidate:
-                // it is older than everything else already seen.
-                lane.oldest_other_row = lane.oldest.0;
-            }
-            lane.oldest = (arrival, i, row);
-        } else if row != lane.oldest.2 && arrival < lane.oldest_other_row {
-            lane.oldest_other_row = arrival;
+        if entry_excluded(blocked_rows, read_ok_rows, b, e.decoded.row, e.request.kind) {
+            continue;
         }
-        if banks[b].is_open(row) {
-            let slot = match e.request.kind {
-                crate::request::RequestKind::Read => &mut lane.hit_rd,
-                crate::request::RequestKind::Write => &mut lane.hit_wr,
-            };
-            if slot.is_none_or(|(a, _)| arrival < a) {
-                *slot = Some((arrival, i));
-            }
-        } else if lane.miss.is_none_or(|(a, _)| arrival < a) {
-            lane.miss = Some((arrival, i));
-        }
+        scratch.lanes[b].fold(e, i, banks[b].is_open(e.decoded.row));
     }
 }
 
@@ -198,19 +235,69 @@ pub fn pick_with_bound(
     now: u64,
     scratch: &mut SchedScratch,
 ) -> (Option<Decision>, u64) {
-    let mut bound = u64::MAX;
     if entries.is_empty() {
-        return (None, bound);
+        return (None, u64::MAX);
     }
-    analyze(entries, banks, scratch);
+    analyze(entries, banks, scratch, &[], &[]);
+    pick_from_lanes(
+        entries,
+        banks,
+        engine,
+        hit_streak,
+        cap,
+        now,
+        &scratch.lanes,
+        &scratch.touched,
+        &[],
+        &[],
+    )
+}
+
+/// The shared scheduling passes over a set of built lanes. `bank_list` is
+/// the banks with queued work; banks flagged in `blocked` (demand service
+/// suspended — e.g. an in-flight background migration owns the row
+/// buffer) are skipped entirely, in both the decision and the bound.
+#[allow(clippy::too_many_arguments)]
+fn pick_from_lanes(
+    entries: &[QueueEntry],
+    banks: &[BankState],
+    engine: &TimingEngine,
+    hit_streak: &[u32],
+    cap: u32,
+    now: u64,
+    lanes: &[Lane],
+    bank_list: &[usize],
+    blocked: &[bool],
+    read_ok_rows: &[u32],
+) -> (Option<Decision>, u64) {
+    let mut bound = u64::MAX;
+    let is_blocked = |b: usize| blocked.get(b).copied().unwrap_or(false);
+    // A blocked bank whose open row is read-servable (a migration
+    // read-out in progress) still serves *read hits* to that row; all
+    // other service on the bank waits for the job.
+    let read_hits_only = |b: usize| {
+        banks[b]
+            .open_row
+            .is_some_and(|r| read_ok_rows.get(b).copied() == Some(r))
+    };
 
     // Pass 1: ready row hits, oldest first, unless capped.
     let mut best: Option<(u64, usize, Command)> = None;
-    for &b in &scratch.touched {
-        let lane = &scratch.lanes[b];
+    for &b in bank_list {
+        let gated = is_blocked(b);
+        if gated && !read_hits_only(b) {
+            continue;
+        }
+        let lane = &lanes[b];
         for (cand, cmd) in [(lane.hit_rd, Command::Rd), (lane.hit_wr, Command::Wr)] {
+            if gated && cmd != Command::Rd {
+                continue;
+            }
             let Some((arrival, i)) = cand else { continue };
             let e = &entries[i];
+            if gated && e.decoded.row != read_ok_rows[b] {
+                continue;
+            }
             if hit_streak[b] >= cap && lane.older_waiter(arrival, e.decoded.row) {
                 continue;
             }
@@ -235,8 +322,12 @@ pub fn pick_with_bound(
     // service (PRE → ACT → column) is ready. All entries of a lane share
     // readiness, so the lane's oldest entry stands for the whole lane.
     let mut best: Option<(u64, usize, Command)> = None;
-    for &b in &scratch.touched {
-        let lane = &scratch.lanes[b];
+    for &b in bank_list {
+        let gated = is_blocked(b);
+        if gated && !read_hits_only(b) {
+            continue;
+        }
+        let lane = &lanes[b];
         let miss_cmd = if banks[b].open_row.is_some() {
             Command::Pre
         } else {
@@ -247,7 +338,13 @@ pub fn pick_with_bound(
             (lane.hit_wr, Command::Wr),
             (lane.miss, miss_cmd),
         ] {
+            if gated && cmd != Command::Rd {
+                continue;
+            }
             let Some((arrival, i)) = cand else { continue };
+            if gated && entries[i].decoded.row != read_ok_rows[b] {
+                continue;
+            }
             // PRE must respect the mode of the row it closes, not the
             // target's.
             let target = if cmd == Command::Pre {
@@ -274,6 +371,62 @@ pub fn pick_with_bound(
     )
 }
 
+/// The readiness pass shared by [`next_ready_cycle`] and
+/// [`next_ready_cached`].
+fn ready_from_lanes(
+    entries: &[QueueEntry],
+    banks: &[BankState],
+    engine: &TimingEngine,
+    lanes: &[Lane],
+    bank_list: &[usize],
+    blocked: &[bool],
+    read_ok_rows: &[u32],
+) -> Option<u64> {
+    let is_blocked = |b: usize| blocked.get(b).copied().unwrap_or(false);
+    let read_hits_only = |b: usize| {
+        banks[b]
+            .open_row
+            .is_some_and(|r| read_ok_rows.get(b).copied() == Some(r))
+    };
+    let mut next: Option<u64> = None;
+    for &b in bank_list {
+        let gated = is_blocked(b);
+        if gated && !read_hits_only(b) {
+            continue;
+        }
+        let lane = &lanes[b];
+        let miss_cmd = if banks[b].open_row.is_some() {
+            Command::Pre
+        } else {
+            Command::Act
+        };
+        for (cand, cmd) in [
+            (lane.hit_rd, Command::Rd),
+            (lane.hit_wr, Command::Wr),
+            (lane.miss, miss_cmd),
+        ] {
+            if gated && cmd != Command::Rd {
+                continue;
+            }
+            let Some((_, i)) = cand else { continue };
+            if gated && entries[i].decoded.row != read_ok_rows[b] {
+                continue;
+            }
+            let target = if cmd == Command::Pre {
+                Target {
+                    mode: banks[b].open_mode,
+                    ..entries[i].target
+                }
+            } else {
+                entries[i].target
+            };
+            let t = engine.earliest(cmd, target);
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+    }
+    next
+}
+
 /// The earliest cycle at which *any* queued entry's next service command
 /// could issue, or `None` for an empty queue — the queue's contribution
 /// to the controller's next-event computation. The FR-FCFS cap is
@@ -288,34 +441,249 @@ pub fn next_ready_cycle(
     if entries.is_empty() {
         return None;
     }
-    analyze(entries, banks, scratch);
-    let mut next: Option<u64> = None;
-    for &b in &scratch.touched {
-        let lane = &scratch.lanes[b];
-        let miss_cmd = if banks[b].open_row.is_some() {
-            Command::Pre
-        } else {
-            Command::Act
-        };
-        for (cand, cmd) in [
-            (lane.hit_rd, Command::Rd),
-            (lane.hit_wr, Command::Wr),
-            (lane.miss, miss_cmd),
-        ] {
-            let Some((_, i)) = cand else { continue };
-            let target = if cmd == Command::Pre {
-                Target {
-                    mode: banks[b].open_mode,
-                    ..entries[i].target
-                }
-            } else {
-                entries[i].target
-            };
-            let t = engine.earliest(cmd, target);
-            next = Some(next.map_or(t, |n| n.min(t)));
+    analyze(entries, banks, scratch, &[], &[]);
+    ready_from_lanes(
+        entries,
+        banks,
+        engine,
+        &scratch.lanes,
+        &scratch.touched,
+        &[],
+        &[],
+    )
+}
+
+/// Incrementally maintained per-bank lanes for one request queue.
+///
+/// [`analyze`] rebuilds every lane from scratch on each scheduling pass —
+/// an O(queue) walk that profiling showed at ≈40 % of the simulation
+/// loop. The cache instead keeps the lanes *live* across passes and
+/// rebuilds a bank's lane only when something it depends on changed:
+///
+/// * **queue composition** — an enqueue folds the new entry into its
+///   bank's lane in O(1) (the lane fold is purely accumulative); a
+///   removal dirties the removed entry's bank and, because the queues use
+///   `swap_remove`, the bank of the entry whose queue index moved;
+/// * **bank state** — an ACT or PRE flips entries between the hit and
+///   miss classes, so the controller dirties the bank on every row-buffer
+///   change (demand, refresh, timeout close, or migration).
+///
+/// Timing-engine state is *not* a lane input (readiness is queried per
+/// pass), so engine updates never dirty the cache. Lane folds compare
+/// `(arrival, queue index)` lexicographically, which makes the fold
+/// order-independent — rebuilding from the unordered per-bank index list
+/// yields exactly the lane the queue-order pass would build, a property
+/// the fuzz test below checks against both [`analyze`] and the naive
+/// reference scan.
+#[derive(Debug, Default)]
+pub struct LaneCache {
+    lanes: Vec<Lane>,
+    /// Queue indices per bank, unordered.
+    by_bank: Vec<Vec<u32>>,
+    /// Banks with at least one queued entry, unordered.
+    occupied: Vec<usize>,
+    /// Position of each bank in `occupied` (`u32::MAX` when absent).
+    occupied_pos: Vec<u32>,
+    dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+}
+
+impl LaneCache {
+    /// An empty cache for `banks` banks.
+    pub fn new(banks: usize) -> Self {
+        LaneCache {
+            lanes: vec![Lane::fresh(0); banks],
+            by_bank: vec![Vec::new(); banks],
+            occupied: Vec::new(),
+            occupied_pos: vec![u32::MAX; banks],
+            dirty: vec![false; banks],
+            dirty_list: Vec::new(),
         }
     }
-    next
+
+    /// Whether any queued entry targets `bank` (maintained exactly by the
+    /// push/remove hooks, so it is O(1) and always current).
+    pub fn has_entries(&self, bank: usize) -> bool {
+        self.occupied_pos[bank] != u32::MAX
+    }
+
+    /// Marks a bank whose row-buffer state changed (ACT or PRE): its hit
+    /// and miss classes must be re-derived on the next pass.
+    pub fn bank_state_changed(&mut self, bank: usize) {
+        if self.occupied_pos[bank] != u32::MAX {
+            self.force_dirty(bank);
+        }
+    }
+
+    fn force_dirty(&mut self, bank: usize) {
+        if !self.dirty[bank] {
+            self.dirty[bank] = true;
+            self.dirty_list.push(bank as u32);
+        }
+    }
+
+    /// Whether any queued entry targets `(bank, row)` (an O(entries in
+    /// bank) scan of the per-bank index list — used to decide whether
+    /// demand is waiting on a migrating row).
+    pub fn has_row_entry(&self, entries: &[QueueEntry], bank: usize, row: u32) -> bool {
+        self.by_bank[bank]
+            .iter()
+            .any(|&i| entries[i as usize].decoded.row == row)
+    }
+
+    /// Folds the entry just pushed onto `entries` into its bank's lane
+    /// (O(1) — an enqueue cannot invalidate any existing lane). Entries
+    /// targeting a blocked row are indexed but not folded, mirroring
+    /// [`analyze`].
+    pub fn on_push(
+        &mut self,
+        entries: &[QueueEntry],
+        banks: &[BankState],
+        blocked_rows: &[u32],
+        read_ok_rows: &[u32],
+    ) {
+        let i = entries.len() - 1;
+        let e = &entries[i];
+        let b = e.target.bank;
+        self.by_bank[b].push(i as u32);
+        if self.occupied_pos[b] == u32::MAX {
+            self.occupied_pos[b] = self.occupied.len() as u32;
+            self.occupied.push(b);
+            self.lanes[b] = Lane::fresh(0);
+        } else if self.dirty[b] {
+            return;
+        }
+        if !entry_excluded(blocked_rows, read_ok_rows, b, e.decoded.row, e.request.kind) {
+            self.lanes[b].fold(e, i, banks[b].is_open(e.decoded.row));
+        }
+    }
+
+    /// Updates the index structures for `entries.swap_remove(idx)`. Must
+    /// be called *before* the removal (it needs the entry still in
+    /// place). Dirties the removed entry's bank and — when the queue's
+    /// last entry moves into the hole — the moved entry's bank, whose
+    /// lane holds the now-stale index.
+    pub fn before_swap_remove(&mut self, entries: &[QueueEntry], idx: usize) {
+        let last = entries.len() - 1;
+        let b = entries[idx].target.bank;
+        let list = &mut self.by_bank[b];
+        let pos = list
+            .iter()
+            .position(|&x| x as usize == idx)
+            .expect("removed entry is indexed");
+        list.swap_remove(pos);
+        if list.is_empty() {
+            let p = self.occupied_pos[b] as usize;
+            let moved = *self.occupied.last().expect("occupied is nonempty");
+            self.occupied.swap_remove(p);
+            if moved != b {
+                self.occupied_pos[moved] = p as u32;
+            }
+            self.occupied_pos[b] = u32::MAX;
+            // A stale dirty flag (if any) is skipped lazily on rebuild.
+        } else {
+            self.force_dirty(b);
+        }
+        if last != idx {
+            let b2 = entries[last].target.bank;
+            let list2 = &mut self.by_bank[b2];
+            let pos2 = list2
+                .iter()
+                .position(|&x| x as usize == last)
+                .expect("moved entry is indexed");
+            list2[pos2] = idx as u32;
+            self.force_dirty(b2);
+        }
+    }
+
+    /// Rebuilds every dirty (and still occupied) lane from its per-bank
+    /// index list.
+    fn rebuild_dirty(
+        &mut self,
+        entries: &[QueueEntry],
+        banks: &[BankState],
+        blocked_rows: &[u32],
+        read_ok_rows: &[u32],
+    ) {
+        for k in 0..self.dirty_list.len() {
+            let b = self.dirty_list[k] as usize;
+            self.dirty[b] = false;
+            if self.occupied_pos[b] == u32::MAX {
+                continue;
+            }
+            let mut lane = Lane::fresh(0);
+            for &i in &self.by_bank[b] {
+                let e = &entries[i as usize];
+                if entry_excluded(blocked_rows, read_ok_rows, b, e.decoded.row, e.request.kind) {
+                    continue;
+                }
+                lane.fold(e, i as usize, banks[b].is_open(e.decoded.row));
+            }
+            self.lanes[b] = lane;
+        }
+        self.dirty_list.clear();
+    }
+}
+
+/// [`pick_with_bound`] over an incrementally maintained [`LaneCache`]:
+/// only banks dirtied since the last pass are re-aggregated. Banks
+/// flagged in `blocked` are skipped (their entries neither issue nor
+/// contribute to the bound — unblocking is itself a scheduling event).
+#[allow(clippy::too_many_arguments)]
+pub fn pick_cached(
+    entries: &[QueueEntry],
+    banks: &[BankState],
+    engine: &TimingEngine,
+    hit_streak: &[u32],
+    cap: u32,
+    now: u64,
+    cache: &mut LaneCache,
+    blocked: &[bool],
+    blocked_rows: &[u32],
+    read_ok_rows: &[u32],
+) -> (Option<Decision>, u64) {
+    if entries.is_empty() {
+        return (None, u64::MAX);
+    }
+    cache.rebuild_dirty(entries, banks, blocked_rows, read_ok_rows);
+    pick_from_lanes(
+        entries,
+        banks,
+        engine,
+        hit_streak,
+        cap,
+        now,
+        &cache.lanes,
+        &cache.occupied,
+        blocked,
+        read_ok_rows,
+    )
+}
+
+/// [`next_ready_cycle`] over a [`LaneCache`], skipping blocked banks and
+/// blocked rows.
+pub fn next_ready_cached(
+    entries: &[QueueEntry],
+    banks: &[BankState],
+    engine: &TimingEngine,
+    cache: &mut LaneCache,
+    blocked: &[bool],
+    blocked_rows: &[u32],
+    read_ok_rows: &[u32],
+) -> Option<u64> {
+    if entries.is_empty() {
+        return None;
+    }
+    cache.rebuild_dirty(entries, banks, blocked_rows, read_ok_rows);
+    ready_from_lanes(
+        entries,
+        banks,
+        engine,
+        &cache.lanes,
+        &cache.occupied,
+        blocked,
+        read_ok_rows,
+    )
 }
 
 /// The column command for a request.
@@ -550,6 +918,171 @@ mod tests {
         assert!(pick(&entries, &banks, &e, &[0; 4], 4, ready - 1, &mut s).is_none());
         assert!(pick(&entries, &banks, &e, &[0; 4], 4, ready, &mut s).is_some());
         assert!(next_ready_cycle(&[], &banks, &e, &mut s).is_none());
+    }
+
+    #[test]
+    fn lane_cache_matches_full_rebuild_on_fuzzed_op_sequences() {
+        // Drive a persistent LaneCache through random enqueue /
+        // swap-remove / bank-state / blocked-bank op sequences; after
+        // every op both the decision and the bound must match a
+        // from-scratch rebuild (analyze + the shared lane passes), and —
+        // with no banks blocked — the public pick_with_bound path.
+        let mut state = 0x0DD0_FEED_5EED_1234u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..80 {
+            let mut e = engine();
+            let mut banks = vec![BankState::new(); 4];
+            // Warm the engine with a few legal issues so readiness varies.
+            for (b, bank) in banks.iter_mut().enumerate() {
+                if rng() % 2 == 0 {
+                    let t = Target {
+                        bank: b,
+                        bank_group: b / 2,
+                        rank: 0,
+                        channel: 0,
+                        mode: RowMode::MaxCapacity,
+                    };
+                    let at = e.earliest(Command::Act, t);
+                    e.issue(Command::Act, t, at);
+                    bank.activate((rng() % 4) as u32, RowMode::MaxCapacity, at);
+                }
+            }
+            let mut entries: Vec<QueueEntry> = Vec::new();
+            let mut cache = LaneCache::new(4);
+            let mut blocked = vec![false; 4];
+            let mut blocked_rows = vec![u32::MAX; 4];
+            let mut read_ok_rows = vec![u32::MAX; 4];
+            let mut next_id = 0u64;
+            for op in 0..60 {
+                match rng() % 7 {
+                    0..=2 => {
+                        let kind = if rng() % 4 == 0 {
+                            RequestKind::Write
+                        } else {
+                            RequestKind::Read
+                        };
+                        entries.push(mk(
+                            next_id,
+                            (rng() % 4) as usize,
+                            (rng() % 4) as u32,
+                            kind,
+                            rng() % 8,
+                        ));
+                        next_id += 1;
+                        cache.on_push(&entries, &banks, &blocked_rows, &read_ok_rows);
+                    }
+                    3 => {
+                        if !entries.is_empty() {
+                            let idx = (rng() % entries.len() as u64) as usize;
+                            cache.before_swap_remove(&entries, idx);
+                            entries.swap_remove(idx);
+                        }
+                    }
+                    4 => {
+                        let b = (rng() % 4) as usize;
+                        if banks[b].open_row.is_some() {
+                            let _ = banks[b].precharge();
+                        } else {
+                            banks[b].activate((rng() % 4) as u32, RowMode::MaxCapacity, 0);
+                        }
+                        cache.bank_state_changed(b);
+                    }
+                    5 => {
+                        let b = (rng() % 4) as usize;
+                        blocked[b] = !blocked[b];
+                    }
+                    _ => {
+                        // Row blocks change only alongside a lane
+                        // invalidation (in the controller they coincide
+                        // with a migration ACT/PRE on the bank).
+                        let b = (rng() % 4) as usize;
+                        if blocked_rows[b] == u32::MAX {
+                            blocked_rows[b] = (rng() % 4) as u32;
+                            // Half the time the blocked row stays
+                            // read-servable (a read-out in progress).
+                            read_ok_rows[b] = if rng() % 2 == 0 {
+                                blocked_rows[b]
+                            } else {
+                                u32::MAX
+                            };
+                        } else {
+                            blocked_rows[b] = u32::MAX;
+                            read_ok_rows[b] = u32::MAX;
+                        }
+                        cache.bank_state_changed(b);
+                    }
+                }
+                let streaks: Vec<u32> = (0..4).map(|_| (rng() % 6) as u32).collect();
+                let cap = 1 + (rng() % 4) as u32;
+                let now = (rng() % 64).max(20);
+
+                let got = pick_cached(
+                    &entries,
+                    &banks,
+                    &e,
+                    &streaks,
+                    cap,
+                    now,
+                    &mut cache,
+                    &blocked,
+                    &blocked_rows,
+                    &read_ok_rows,
+                );
+                let got_ready = next_ready_cached(
+                    &entries,
+                    &banks,
+                    &e,
+                    &mut cache,
+                    &blocked,
+                    &blocked_rows,
+                    &read_ok_rows,
+                );
+                let (want, want_ready) = if entries.is_empty() {
+                    ((None, u64::MAX), None)
+                } else {
+                    let mut s = SchedScratch::default();
+                    analyze(&entries, &banks, &mut s, &blocked_rows, &read_ok_rows);
+                    (
+                        pick_from_lanes(
+                            &entries,
+                            &banks,
+                            &e,
+                            &streaks,
+                            cap,
+                            now,
+                            &s.lanes,
+                            &s.touched,
+                            &blocked,
+                            &read_ok_rows,
+                        ),
+                        ready_from_lanes(
+                            &entries,
+                            &banks,
+                            &e,
+                            &s.lanes,
+                            &s.touched,
+                            &blocked,
+                            &read_ok_rows,
+                        ),
+                    )
+                };
+                assert_eq!(got, want, "round {round} op {op}: cached pick diverges");
+                assert_eq!(
+                    got_ready, want_ready,
+                    "round {round} op {op}: cached readiness diverges"
+                );
+                if blocked.iter().all(|&b| !b) && blocked_rows.iter().all(|&r| r == u32::MAX) {
+                    let mut s = SchedScratch::default();
+                    let public = pick_with_bound(&entries, &banks, &e, &streaks, cap, now, &mut s);
+                    assert_eq!(got, public, "round {round} op {op}: public path diverges");
+                }
+            }
+        }
     }
 
     #[test]

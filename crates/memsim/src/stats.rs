@@ -52,6 +52,25 @@ pub struct MemStats {
     /// Cycles queue service was blocked by relocation (mode-migration)
     /// work.
     pub relocation_stall_cycles: u64,
+    /// Background-migration ACT commands in max-capacity mode (read-out
+    /// phase activations).
+    pub migration_acts_max_capacity: u64,
+    /// Background-migration ACT commands in high-performance mode
+    /// (write-back phase activations).
+    pub migration_acts_high_performance: u64,
+    /// Background-migration PRE commands closing max-capacity rows.
+    pub migration_pres_max_capacity: u64,
+    /// Background-migration PRE commands closing high-performance rows.
+    pub migration_pres_high_performance: u64,
+    /// Background-migration RD bursts (read-out data movement).
+    pub migration_reads: u64,
+    /// Background-migration WR bursts (write-back data movement).
+    pub migration_writes: u64,
+    /// Cycles in which a background-migration command occupied the
+    /// command bus — the migration-slot utilization numerator.
+    pub migration_slot_cycles: u64,
+    /// Row-migration jobs completed (read-out + couple + write-back).
+    pub migration_jobs_completed: u64,
 }
 
 impl MemStats {
@@ -99,6 +118,42 @@ impl MemStats {
         }
     }
 
+    /// Records a background-migration ACT per mode.
+    pub fn record_migration_act(&mut self, mode: RowMode) {
+        match mode {
+            RowMode::MaxCapacity => self.migration_acts_max_capacity += 1,
+            RowMode::HighPerformance => self.migration_acts_high_performance += 1,
+        }
+    }
+
+    /// Records a background-migration PRE per mode of the closed row.
+    pub fn record_migration_pre(&mut self, mode: RowMode) {
+        match mode {
+            RowMode::MaxCapacity => self.migration_pres_max_capacity += 1,
+            RowMode::HighPerformance => self.migration_pres_high_performance += 1,
+        }
+    }
+
+    /// Total background-migration commands issued.
+    pub fn migration_commands(&self) -> u64 {
+        self.migration_acts_max_capacity
+            + self.migration_acts_high_performance
+            + self.migration_pres_max_capacity
+            + self.migration_pres_high_performance
+            + self.migration_reads
+            + self.migration_writes
+    }
+
+    /// Fraction of all cycles in which a migration command occupied the
+    /// command bus (the migration-slot utilization).
+    pub fn migration_slot_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.migration_slot_cycles as f64 / self.cycles as f64
+        }
+    }
+
     /// Average read latency in DRAM cycles.
     pub fn avg_read_latency(&self) -> f64 {
         if self.reads_completed == 0 {
@@ -139,6 +194,19 @@ impl MemStats {
             queue_rejections: self.queue_rejections - earlier.queue_rejections,
             mode_transitions: self.mode_transitions - earlier.mode_transitions,
             relocation_stall_cycles: self.relocation_stall_cycles - earlier.relocation_stall_cycles,
+            migration_acts_max_capacity: self.migration_acts_max_capacity
+                - earlier.migration_acts_max_capacity,
+            migration_acts_high_performance: self.migration_acts_high_performance
+                - earlier.migration_acts_high_performance,
+            migration_pres_max_capacity: self.migration_pres_max_capacity
+                - earlier.migration_pres_max_capacity,
+            migration_pres_high_performance: self.migration_pres_high_performance
+                - earlier.migration_pres_high_performance,
+            migration_reads: self.migration_reads - earlier.migration_reads,
+            migration_writes: self.migration_writes - earlier.migration_writes,
+            migration_slot_cycles: self.migration_slot_cycles - earlier.migration_slot_cycles,
+            migration_jobs_completed: self.migration_jobs_completed
+                - earlier.migration_jobs_completed,
         }
     }
 

@@ -248,10 +248,12 @@ impl ModePolicy for TopKHotness {
 }
 
 /// Top-K hotness with hysteresis and migration-cost awareness: a row is
-/// promoted only when the latency it stands to save exceeds the relocation
-/// cost by `payoff_factor`, and an HP row is demoted only after staying
-/// cold for `cold_epochs_to_demote` consecutive epochs. This is the policy
-/// the paper's §6 discussion of OS-driven reconfiguration implies.
+/// promoted only when it has stayed promotion-worthy for
+/// `hot_epochs_to_promote` consecutive epochs *and* the latency it stands
+/// to save exceeds the relocation cost by `payoff_factor`; an HP row is
+/// demoted only after staying cold for `cold_epochs_to_demote`
+/// consecutive epochs. This is the policy the paper's §6 discussion of
+/// OS-driven reconfiguration implies.
 #[derive(Debug, Clone)]
 pub struct Hysteresis {
     /// *Effective* DRAM cycles saved per access served in
@@ -261,11 +263,17 @@ pub struct Hysteresis {
     /// Required promotion payoff: saved cycles must exceed relocation
     /// cycles by this factor.
     pub payoff_factor: f64,
+    /// Consecutive promotion-worthy epochs before a row is promoted: a
+    /// relocation only pays if the row's heat *persists*, so one hot
+    /// epoch is not evidence enough on a drifting working set (the row
+    /// may cool exactly as its migration lands).
+    pub hot_epochs_to_promote: u32,
     /// Consecutive cold epochs before an HP row is demoted.
     pub cold_epochs_to_demote: u32,
     /// Accesses/epoch below which an HP row counts as cold.
     pub cold_max_accesses: u64,
     cold_streak: std::collections::BTreeMap<RowId, u32>,
+    hot_streak: std::collections::BTreeMap<RowId, u32>,
 }
 
 impl Hysteresis {
@@ -274,9 +282,11 @@ impl Hysteresis {
         Hysteresis {
             saved_cycles_per_access: 3.0,
             payoff_factor: 0.5,
+            hot_epochs_to_promote: 2,
             cold_epochs_to_demote: 3,
             cold_max_accesses: 1,
             cold_streak: std::collections::BTreeMap::new(),
+            hot_streak: std::collections::BTreeMap::new(),
         }
     }
 }
@@ -329,11 +339,13 @@ impl ModePolicy for Hysteresis {
         }
 
         // Promotions: hottest rows whose payoff covers the *marginal*
-        // (bank-overlapped) migration cost.
+        // (bank-overlapped) migration cost, and whose heat has persisted
+        // for `hot_epochs_to_promote` consecutive epochs.
         let demotions = out.len() as u64;
         let mut hp_after = ctx.modes.high_performance_rows().saturating_sub(demotions);
         let min_payoff = ctx.reloc.params().effective_cycles_per_row() as f64 * self.payoff_factor;
         let mut candidates: Vec<(RowId, u64)> = Vec::new();
+        let mut worthy: std::collections::BTreeSet<RowId> = Default::default();
         for (id, count) in t.hottest(usize::MAX) {
             if (count as f64) * self.saved_cycles_per_access < min_payoff {
                 break; // sorted: nothing below pays for its relocation
@@ -341,11 +353,27 @@ impl ModePolicy for Hysteresis {
             if ctx.modes.mode_of(id.bank as usize, id.row) == RowMode::HighPerformance {
                 continue;
             }
+            worthy.insert(id);
+            let streak = self.hot_streak.get(&id).copied().unwrap_or(0) + 1;
+            if streak < self.hot_epochs_to_promote {
+                continue; // heat not yet proven persistent
+            }
             if hp_after >= budget {
-                break;
+                // Over budget: not promotable this epoch, but keep
+                // scanning so later promotion-worthy rows still
+                // accumulate their hot streaks (a `break` would reset
+                // them and make every budget-pressure episode cost an
+                // extra `hot_epochs_to_promote` epochs of latency).
+                continue;
             }
             candidates.push((id, count));
             hp_after += 1;
+        }
+        // Advance the hot streaks: rows promotion-worthy this epoch
+        // accumulate, everything else resets.
+        self.hot_streak.retain(|id, _| worthy.contains(id));
+        for &id in &worthy {
+            *self.hot_streak.entry(id).or_insert(0) += 1;
         }
         // Relocation is priced per bank-parallel wave and same-bank rows
         // serialize, so promoting more than a wave's share from one bank
@@ -373,8 +401,7 @@ impl ModePolicy for Hysteresis {
         let mut keep = candidates.len();
         while keep > 0 {
             let max_in_one_bank = bank_counts.values().copied().max().unwrap_or(0);
-            let waves = params.coupling_waves(keep as u64, max_in_one_bank);
-            let batch_cost = (waves * params.cycles_per_row()) as f64;
+            let batch_cost = params.batch_cycles(keep as u64, max_in_one_bank) as f64;
             if total_saved >= self.payoff_factor * batch_cost {
                 break;
             }

@@ -56,23 +56,45 @@ impl RelocationParams {
         }
     }
 
+    /// Column bursts needed per migration phase: the half-row a single
+    /// coupling displaces, at one burst per column access. This is the
+    /// unit the background relocation engine's per-row jobs are generated
+    /// from — each job streams `bursts_per_row()` RDs out and the same
+    /// number of WRs back (`clr_memsim::migrate` sizes its jobs with the
+    /// same formula).
+    pub fn bursts_per_row(&self) -> u64 {
+        (self.row_bytes / 2).div_ceil(self.burst_bytes)
+    }
+
     /// Raw DRAM cycles to relocate the half-row a single transition
     /// moves, before bank-parallel overlap.
     pub fn cycles_per_row(&self) -> u64 {
-        let bursts = (self.row_bytes / 2).div_ceil(self.burst_bytes);
         // Data is read from the reconfigured row and written to its new
         // frame: two bursts of bus time per chunk plus row overhead on
         // both ends.
-        self.row_overhead_cycles * 2 + bursts * self.cycles_per_burst * 2
+        self.row_overhead_cycles * 2 + self.bursts_per_row() * self.cycles_per_burst * 2
     }
 
-    /// Amortized channel-blocking cycles per relocated row when a full
-    /// bank-parallel wave is in flight — the *marginal* cost a policy
-    /// weighs one more promotion against. Batch totals are priced per
-    /// wave by [`RelocationEngine::cost_of`], so a lone row still pays
-    /// [`RelocationParams::cycles_per_row`] in full.
+    /// Channel (data-bus) cycles one relocated row's bursts occupy: the
+    /// half-row crosses the channel once out and once back, and column
+    /// bursts serialize channel-wide at the burst cadence (tCCD) no
+    /// matter how many banks work in parallel.
+    pub fn bus_cycles_per_row(&self) -> u64 {
+        self.bursts_per_row() * self.cycles_per_burst * 2
+    }
+
+    /// Marginal channel-blocking cycles per relocated row when a full
+    /// bank-parallel wave is in flight — the cost a policy weighs one
+    /// more promotion against. Bank parallelism hides the ACT/PRE
+    /// row-overhead windows behind other banks' bursts, but the burst
+    /// traffic itself serializes on the channel, so the marginal row can
+    /// never cost less than [`RelocationParams::bus_cycles_per_row`].
+    /// Batch totals are priced by [`RelocationEngine::cost_of`]; a lone
+    /// row still pays [`RelocationParams::cycles_per_row`] in full.
     pub fn effective_cycles_per_row(&self) -> u64 {
-        (self.cycles_per_row() / self.bank_parallelism.max(1)).max(1)
+        (self.cycles_per_row() / self.bank_parallelism.max(1))
+            .max(self.bus_cycles_per_row())
+            .max(1)
     }
 
     /// Bank-parallel waves needed to couple `total` rows of which at
@@ -81,6 +103,21 @@ impl RelocationParams {
     /// channel bounds throughput at `bank_parallelism` rows per wave.
     pub fn coupling_waves(&self, total: u64, max_in_one_bank: u64) -> u64 {
         max_in_one_bank.max(total.div_ceil(self.bank_parallelism.max(1)))
+    }
+
+    /// Total channel-blocking cycles to couple `total` rows with at most
+    /// `max_in_one_bank` in a single bank: the row-overhead windows
+    /// overlap across banks (wave-priced), but every burst still crosses
+    /// the one channel — whichever bound binds is the cost. This is the
+    /// command-accurate price the background migration engine's real
+    /// command stream converges to, so stall-mode runs charged with it
+    /// are an honest baseline for the stall-vs-background comparison.
+    pub fn batch_cycles(&self, total: u64, max_in_one_bank: u64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let waves = self.coupling_waves(total, max_in_one_bank);
+        (waves * self.cycles_per_row()).max(total * self.bus_cycles_per_row())
     }
 }
 
@@ -146,17 +183,16 @@ impl RelocationEngine {
         }
         let decoupled = transitions.len() as u64 - coupled;
         // Only coupling moves data; decoupling is bookkeeping (see the
-        // module docs). Overlap comes from *distinct* banks working in
-        // parallel, so the batch is priced per wave: same-bank rows
-        // serialize, and a batch smaller than one wave still pays a full
-        // serialized row.
+        // module docs). Row overheads overlap across *distinct* banks
+        // (wave-priced; same-bank rows serialize, and a batch smaller
+        // than one wave still pays a full serialized row), but burst
+        // traffic serializes on the channel regardless of banking.
         let max_in_one_bank = per_bank.values().copied().max().unwrap_or(0);
-        let waves = self.params.coupling_waves(coupled, max_in_one_bank);
         RelocationCost {
             rows_coupled: coupled,
             rows_decoupled: decoupled,
             bytes_moved: coupled * (self.params.row_bytes / 2),
-            dram_cycles: waves * self.params.cycles_per_row(),
+            dram_cycles: self.params.batch_cycles(coupled, max_in_one_bank),
         }
     }
 }
@@ -193,14 +229,17 @@ mod tests {
         assert_eq!(one.rows_moved(), 1);
         assert_eq!(three.rows_coupled, 2);
         assert_eq!(three.rows_decoupled, 1);
-        // Decoupling is free, and couplings in *distinct* banks fit in one
-        // bank-parallel wave: a lone row pays the full serialized row cost.
+        // Decoupling is free; a lone coupling pays the full serialized
+        // row cost (the overhead windows have nothing to hide behind).
         assert_eq!(one.dram_cycles, e.params().cycles_per_row());
-        assert_eq!(three.dram_cycles, one.dram_cycles);
+        // Two couplings in distinct banks overlap their row overheads,
+        // but both half-rows still cross the one channel.
+        assert_eq!(three.dram_cycles, 2 * e.params().bus_cycles_per_row());
         assert_eq!(three.bytes_moved, 2 * one.bytes_moved);
         assert_eq!(e.cost_of(&[down]).dram_cycles, 0);
         // Rows in one bank cannot overlap with themselves: 33 couplings
-        // of the same bank serialize into 33 waves.
+        // of the same bank serialize into 33 waves (which dominates the
+        // channel bound).
         let same_bank: Vec<RowTransition> = (0..33)
             .map(|r| RowTransition {
                 row: RowId::new(0, r),
@@ -211,7 +250,8 @@ mod tests {
             e.cost_of(&same_bank).dram_cycles,
             33 * e.params().cycles_per_row()
         );
-        // Spread evenly over 16 banks, 32 rows fit in two waves.
+        // Spread evenly over 16 banks, 32 rows need only two waves of
+        // row overhead — the channel's burst serialization is what binds.
         let spread: Vec<RowTransition> = (0..32)
             .map(|r| RowTransition {
                 row: RowId::new(r % 16, r),
@@ -220,7 +260,7 @@ mod tests {
             .collect();
         assert_eq!(
             e.cost_of(&spread).dram_cycles,
-            2 * e.params().cycles_per_row()
+            32 * e.params().bus_cycles_per_row()
         );
     }
 
@@ -228,12 +268,21 @@ mod tests {
     fn half_row_of_bursts_plus_overhead() {
         let p = RelocationParams::ddr4_default();
         // 4 KiB to move at 64 B per burst = 64 bursts; ×4 cycles ×2 (rd+wr).
+        assert_eq!(p.bursts_per_row(), 64);
         assert_eq!(p.cycles_per_row(), 120 + 64 * 4 * 2);
-        assert_eq!(p.effective_cycles_per_row(), p.cycles_per_row() / 16);
+        assert_eq!(p.bus_cycles_per_row(), 64 * 4 * 2);
+        // The marginal row is channel-bound: overheads hide behind other
+        // banks, burst time does not.
+        assert_eq!(p.effective_cycles_per_row(), p.bus_cycles_per_row());
         let serial = RelocationParams {
             bank_parallelism: 1,
             ..p
         };
         assert_eq!(serial.effective_cycles_per_row(), serial.cycles_per_row());
+        // batch_cycles: zero rows cost nothing; the two bounds cross over
+        // as banking stops helping.
+        assert_eq!(p.batch_cycles(0, 0), 0);
+        assert_eq!(p.batch_cycles(1, 1), p.cycles_per_row());
+        assert_eq!(p.batch_cycles(16, 1), 16 * p.bus_cycles_per_row());
     }
 }

@@ -16,7 +16,7 @@ use clr_core::mode::{ModeTable, RowMode};
 
 use crate::policy::{ModePolicy, PolicyConstraints, PolicyContext, RowTransition};
 use crate::reloc::{RelocationCost, RelocationEngine};
-use crate::telemetry::EpochTelemetry;
+use crate::telemetry::{EpochTelemetry, RowId};
 
 /// The validated result of one epoch.
 #[derive(Debug, Clone)]
@@ -53,6 +53,8 @@ pub struct RuntimeStats {
     /// Sum over epochs of the HP fraction after the epoch's transitions
     /// (divide by `epochs` for the time-average capacity loss).
     pub hp_fraction_sum: f64,
+    /// Background migrations reported complete by the controller.
+    pub migrations_completed: u64,
 }
 
 impl RuntimeStats {
@@ -80,6 +82,13 @@ pub struct PolicyRuntime {
     reloc: RelocationEngine,
     epoch: u64,
     stats: RuntimeStats,
+    /// Rows whose promotion has been dispatched as a background
+    /// migration but not yet reported complete. In-flight rows are
+    /// excluded from new proposals (a row cannot transition while its
+    /// data is mid-move) and counted against the capacity budget (the
+    /// coupling *will* land), so an atomic batch apply is no longer
+    /// assumed anywhere in the validation.
+    in_flight: std::collections::BTreeSet<RowId>,
 }
 
 impl PolicyRuntime {
@@ -96,7 +105,40 @@ impl PolicyRuntime {
             reloc,
             epoch: 0,
             stats: RuntimeStats::default(),
+            in_flight: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Marks controller-*confirmed* coupling dispatches as in flight —
+    /// the `(bank, row)` set reported back by
+    /// `begin_row_migrations_tracked`, not the proposed batch: the
+    /// controller may silently skip a proposal (row already migrating,
+    /// row serving as another job's destination frame, no free frame),
+    /// and a skipped row never produces a completion callback, so
+    /// tracking it here would leak it out of the proposal pool forever.
+    /// Until each row is reported back via
+    /// [`PolicyRuntime::note_completed`], it is excluded from new
+    /// proposals and counts against the capacity budget. (Demotions
+    /// decouple immediately and are never tracked.)
+    pub fn note_in_flight(&mut self, dispatched: &[(u32, u32)]) {
+        for &(bank, row) in dispatched {
+            self.in_flight.insert(RowId::new(bank, row));
+        }
+    }
+
+    /// Completion callback: the controller finished migrating these
+    /// `(bank, row, mode)` transitions.
+    pub fn note_completed(&mut self, completed: &[(u32, u32, RowMode)]) {
+        for &(bank, row, _) in completed {
+            if self.in_flight.remove(&RowId::new(bank, row)) {
+                self.stats.migrations_completed += 1;
+            }
+        }
+    }
+
+    /// Rows currently mid-migration.
+    pub fn in_flight_rows(&self) -> usize {
+        self.in_flight.len()
     }
 
     /// The policy's report label.
@@ -118,8 +160,24 @@ impl PolicyRuntime {
     /// table as the controller currently sees it; the caller applies
     /// `EpochOutcome::applied` to it afterwards.
     pub fn on_epoch(&mut self, telemetry: &EpochTelemetry, modes: &ModeTable) -> EpochOutcome {
+        // The policy reasons about the *committed* state: a dispatched
+        // background migration will land, so its row counts as already
+        // high-performance. This keeps decisions identical whether a
+        // batch applied atomically (stall) or is still in flight
+        // (background) — the table clone is copy-on-write, so the
+        // overlay costs one bitmap split per touched bank.
+        let committed_view = if self.in_flight.is_empty() {
+            None
+        } else {
+            let mut view = modes.clone();
+            for id in &self.in_flight {
+                view.set(id.bank as usize, id.row, RowMode::HighPerformance);
+            }
+            Some(view)
+        };
+        let view = committed_view.as_ref().unwrap_or(modes);
         let ctx = PolicyContext {
-            modes,
+            modes: view,
             constraints: &self.constraints,
             reloc: &self.reloc,
         };
@@ -147,7 +205,10 @@ impl PolicyRuntime {
         }
 
         let budget = self.constraints.budget_rows(modes);
-        let mut hp_now = modes.high_performance_rows();
+        // Validation runs against the committed view, so in-flight
+        // promotions count toward the budget exactly once whether or not
+        // their couple point has reached the physical table yet.
+        let mut hp_now = view.high_performance_rows();
         let mut seen = std::collections::BTreeSet::new();
         let mut applied = Vec::new();
         for t in batch {
@@ -159,7 +220,12 @@ impl PolicyRuntime {
             if !seen.insert(t.row) {
                 continue;
             }
-            let cur = modes.mode_of(t.row.bank as usize, t.row.row);
+            // A row mid-migration cannot transition again until its data
+            // movement completes.
+            if self.in_flight.contains(&t.row) {
+                continue;
+            }
+            let cur = view.mode_of(t.row.bank as usize, t.row.row);
             if cur == t.to {
                 continue; // no-op
             }
@@ -290,9 +356,20 @@ mod tests {
         // Budget of exactly one row, so the single promotion puts the
         // policy under budget pressure and demotion gating is exercised.
         let mut rt = runtime(PolicySpec::Hysteresis, 1.0 / 256.0);
+        // Promotion requires a *persistent* hot streak, so the row is
+        // still max-capacity after the first hot epoch.
         let hot = telemetry(&[(0, 3, 500)]);
         let out = rt.on_epoch(&hot, &modes);
         PolicyRuntime::apply(&out, &mut modes);
+        assert_eq!(modes.mode_of(0, 3), clr_core::mode::RowMode::MaxCapacity);
+        loop {
+            let hot = telemetry(&[(0, 3, 500)]);
+            let out = rt.on_epoch(&hot, &modes);
+            PolicyRuntime::apply(&out, &mut modes);
+            if !out.applied.is_empty() {
+                break;
+            }
+        }
         assert_eq!(
             modes.mode_of(0, 3),
             clr_core::mode::RowMode::HighPerformance

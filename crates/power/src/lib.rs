@@ -87,12 +87,23 @@ pub struct EnergyBreakdown {
     pub refresh_j: f64,
     /// Background (standby) energy.
     pub background_j: f64,
+    /// Row-migration energy: the ACT/PRE/RD/WR bursts issued by the
+    /// background relocation engine, accounted separately from demand
+    /// traffic so the cost of a mode-management policy's data movement is
+    /// visible in the breakdown.
+    pub migration_j: f64,
 }
 
 impl EnergyBreakdown {
     /// Total energy in joules.
     pub fn total_j(&self) -> f64 {
-        self.act_j + self.pre_j + self.rd_j + self.wr_j + self.refresh_j + self.background_j
+        self.act_j
+            + self.pre_j
+            + self.rd_j
+            + self.wr_j
+            + self.refresh_j
+            + self.background_j
+            + self.migration_j
     }
 
     /// Average power in watts over `duration_ns`.
@@ -151,6 +162,13 @@ pub fn energy_of_run(stats: &MemStats, cfg: &MemConfig, idd: &IddParams) -> Ener
             * (idd.idd3n_ma * stats.rank_active_cycles as f64
                 + idd.idd2n_ma * stats.rank_precharged_cycles as f64)
             * t_ck,
+        migration_j: pj
+            * (stats.migration_acts_max_capacity as f64 * e_act(&mc)
+                + stats.migration_acts_high_performance as f64 * e_act(&hp)
+                + stats.migration_pres_max_capacity as f64 * e_pre(&mc)
+                + stats.migration_pres_high_performance as f64 * e_pre(&hp)
+                + stats.migration_reads as f64 * e_rd
+                + stats.migration_writes as f64 * e_wr),
     }
 }
 
@@ -223,9 +241,39 @@ mod tests {
         let idd = IddParams::default();
         let cfg = MemConfig::paper_baseline();
         let e = energy_of_run(&stats_with(10, 10), &cfg, &idd);
-        let sum = e.act_j + e.pre_j + e.rd_j + e.wr_j + e.refresh_j + e.background_j;
+        let sum =
+            e.act_j + e.pre_j + e.rd_j + e.wr_j + e.refresh_j + e.background_j + e.migration_j;
         assert!((e.total_j() - sum).abs() < 1e-18);
         assert!(e.total_j() > 0.0);
+    }
+
+    #[test]
+    fn migration_bursts_show_up_as_their_own_component() {
+        let idd = IddParams::default();
+        let clr_cfg = MemConfig::paper_clr(1.0);
+        let mut s = MemStats::new();
+        s.migration_acts_max_capacity = 10;
+        s.migration_acts_high_performance = 10;
+        s.migration_pres_max_capacity = 10;
+        s.migration_pres_high_performance = 10;
+        s.migration_reads = 640;
+        s.migration_writes = 640;
+        let e = energy_of_run(&s, &clr_cfg, &idd);
+        assert!(e.migration_j > 0.0);
+        assert_eq!(e.act_j, 0.0, "demand components stay clean");
+        assert_eq!(e.rd_j, 0.0);
+        // The same command mix issued as demand costs the same energy:
+        // the split is attribution, not a different model.
+        let mut d = MemStats::new();
+        d.acts_max_capacity = 10;
+        d.acts_high_performance = 10;
+        d.pres_max_capacity = 10;
+        d.pres_high_performance = 10;
+        d.reads = 640;
+        d.writes = 640;
+        let ed = energy_of_run(&d, &clr_cfg, &idd);
+        let demand_sum = ed.act_j + ed.pre_j + ed.rd_j + ed.wr_j;
+        assert!((e.migration_j - demand_sum).abs() < 1e-15);
     }
 
     #[test]

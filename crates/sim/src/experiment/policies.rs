@@ -29,6 +29,7 @@ use clr_core::geometry::DramGeometry;
 use clr_cpu::cache::CacheConfig;
 use clr_cpu::cluster::ClusterConfig;
 use clr_memsim::config::{ClrModeConfig, MemConfig};
+use clr_memsim::migrate::RelocationConfig;
 use clr_policy::policy::{PolicyConstraints, PolicySpec};
 use clr_trace::phase::PhaseShiftSpec;
 use clr_trace::synthetic::{SyntheticKind, SyntheticSpec};
@@ -41,15 +42,19 @@ use crate::system::RunConfig;
 /// The capacity budget every dynamic policy runs under.
 pub const DYNAMIC_BUDGET: f64 = 0.25;
 
-/// Results of one (policy, workload) cell.
+/// Results of one (policy, workload, relocation-model) cell.
 #[derive(Debug, Clone)]
 pub struct PolicyCell {
     /// Policy label ("static-25", "hysteresis", ...).
     pub policy: String,
     /// Workload name.
     pub workload: String,
-    /// IPC of the single simulated core.
+    /// Relocation model the cell ran under ("stall" or "background").
+    pub reloc: String,
+    /// IPC (mean over cores; see `ipc_per_core` for the breakdown).
     pub ipc: f64,
+    /// Per-core IPC (one entry for single-core cells).
+    pub ipc_per_core: Vec<f64>,
     /// DRAM energy over the measurement window, joules.
     pub energy_j: f64,
     /// Time-averaged fraction of device capacity forfeited.
@@ -58,8 +63,13 @@ pub struct PolicyCell {
     pub final_hp_fraction: f64,
     /// Mode transitions applied over the run.
     pub transitions: u64,
-    /// Cycles the controller spent stalled on relocation work.
+    /// Cycles the controller spent stalled on relocation work (zero
+    /// under background relocation).
     pub relocation_stall_cycles: u64,
+    /// Background-migration jobs completed over the run.
+    pub migration_jobs: u64,
+    /// Fraction of window cycles a migration command occupied the bus.
+    pub migration_slot_utilization: f64,
     /// Row-buffer hit rate.
     pub row_hit_rate: f64,
 }
@@ -197,14 +207,42 @@ pub fn epoch_cycles(scale: Scale) -> u64 {
     (spec.accesses_per_phase * 10 / 4).max(2_000)
 }
 
-fn run_cell(
-    spec: PolicySpec,
+/// The relocation models a policy is swept across: dynamic policies run
+/// under both the legacy stall-the-world apply and background migration;
+/// static splits never relocate at runtime (their layout is the initial
+/// table), so only the stall cell is run.
+pub fn reloc_axis(spec: PolicySpec) -> Vec<RelocationConfig> {
+    match spec {
+        PolicySpec::StaticSplit { .. } => vec![RelocationConfig::default()],
+        _ => vec![
+            RelocationConfig::default(),
+            RelocationConfig::background_paced(),
+        ],
+    }
+}
+
+/// Label for a relocation configuration in reports.
+pub fn reloc_label(cfg: &RelocationConfig) -> &'static str {
+    if cfg.is_background() {
+        "background"
+    } else {
+        "stall"
+    }
+}
+
+/// One sweep job: a policy driving one or more cores' workloads under a
+/// relocation model.
+#[derive(Debug, Clone)]
+struct CellSpec {
+    policy: PolicySpec,
     budget: f64,
-    workload: Workload,
-    scale: Scale,
-    seed: u64,
-) -> PolicyCell {
-    let initial_fraction = match spec {
+    workloads: Vec<Workload>,
+    reloc: RelocationConfig,
+    workload_label: String,
+}
+
+fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
+    let initial_fraction = match spec.policy {
         // Static splits start (and stay) at their configured layout; the
         // profile-guided placement sees the same fraction.
         PolicySpec::StaticSplit { fraction } => fraction,
@@ -213,6 +251,7 @@ fn run_cell(
     };
     let mut mem = policy_mem_config(initial_fraction);
     mem.refresh_enabled = true;
+    mem.relocation = spec.reloc;
     let base = RunConfig {
         mem,
         cluster: policy_cluster(),
@@ -226,20 +265,22 @@ fn run_cell(
     };
     let cfg = PolicyRunConfig::new(
         base,
-        spec,
+        spec.policy,
         PolicyConstraints {
-            max_hp_fraction: budget,
+            max_hp_fraction: spec.budget,
             max_transitions_per_epoch: 512,
         },
         epoch_cycles(scale),
     );
-    let r = run_policy_workloads(&[workload], &cfg);
+    let r = run_policy_workloads(&spec.workloads, &cfg);
     PolicyCell {
-        policy: spec.label(),
-        workload: workload.name(),
-        ipc: r.run.ipc[0],
+        policy: spec.policy.label(),
+        workload: spec.workload_label.clone(),
+        reloc: reloc_label(&spec.reloc).to_string(),
+        ipc: r.run.ipc.iter().sum::<f64>() / r.run.ipc.len() as f64,
+        ipc_per_core: r.run.ipc.clone(),
         energy_j: r.run.energy.total_j(),
-        avg_capacity_loss: if matches!(spec, PolicySpec::StaticSplit { .. }) {
+        avg_capacity_loss: if matches!(spec.policy, PolicySpec::StaticSplit { .. }) {
             // A static split forfeits its fraction's capacity for the
             // whole run, independent of epoch accounting.
             initial_fraction / 2.0
@@ -249,24 +290,53 @@ fn run_cell(
         final_hp_fraction: r.final_hp_fraction,
         transitions: r.policy_stats.transitions_applied,
         relocation_stall_cycles: r.run.mem.relocation_stall_cycles,
+        migration_jobs: r.run.mem.migration_jobs_completed,
+        migration_slot_utilization: r.migration_slot_utilization(),
         row_hit_rate: r.run.mem.row_hit_rate(),
     }
 }
 
+/// The 2-core shared-fast-row-budget contention cell: two cores — a
+/// drifting hot set and a stable hot set — compete for one controller's
+/// capacity budget under the hysteresis policy with background
+/// relocation. The per-core IPC column shows who wins the shared fast
+/// rows (first step on the multi-core contention roadmap item).
+fn multicore_cell(scale: Scale) -> CellSpec {
+    let w0 = phase_workload(scale);
+    let w1 = stable_hot_workload(scale);
+    let workload_label = format!("2core:{}+{}", w0.name(), w1.name());
+    CellSpec {
+        policy: PolicySpec::Hysteresis,
+        budget: DYNAMIC_BUDGET,
+        workloads: vec![w0, w1],
+        reloc: RelocationConfig::background_paced(),
+        workload_label,
+    }
+}
+
 /// Runs the sweep: every roster policy × every roster workload
-/// (drifting-hot, stable-hot, uniform-random), cells distributed over
-/// worker threads. Cells are workload-major with the drifting-hot-set
-/// column first, so [`PolicySweepReport::cell`] lookups by policy alone
-/// keep resolving to the headline workload.
+/// (drifting-hot, stable-hot, uniform-random) × the policy's relocation
+/// axis (stall vs background for dynamic policies), plus the 2-core
+/// shared-budget contention cell; cells are distributed over worker
+/// threads. Cells are workload-major with the drifting-hot-set column
+/// first, so [`PolicySweepReport::cell`] lookups by policy alone keep
+/// resolving to the headline workload.
 pub fn run(scale: Scale, seed: u64) -> PolicySweepReport {
-    let jobs: Vec<(PolicySpec, f64, Workload)> = workload_roster(scale)
-        .into_iter()
-        .flat_map(|w| {
-            policy_roster()
-                .into_iter()
-                .map(move |(spec, budget)| (spec, budget, w))
-        })
-        .collect();
+    let mut jobs: Vec<CellSpec> = Vec::new();
+    for w in workload_roster(scale) {
+        for (spec, budget) in policy_roster() {
+            for reloc in reloc_axis(spec) {
+                jobs.push(CellSpec {
+                    policy: spec,
+                    budget,
+                    workloads: vec![w],
+                    reloc,
+                    workload_label: w.name(),
+                });
+            }
+        }
+    }
+    jobs.push(multicore_cell(scale));
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, PolicyCell)>> = Mutex::new(Vec::with_capacity(jobs.len()));
     let workers = std::thread::available_parallelism()
@@ -280,8 +350,7 @@ pub fn run(scale: Scale, seed: u64) -> PolicySweepReport {
                 if i >= jobs.len() {
                     break;
                 }
-                let (spec, budget, workload) = jobs[i];
-                let cell = run_cell(spec, budget, workload, scale, seed);
+                let cell = run_cell(&jobs[i], scale, seed);
                 results.lock().expect("no poisoned workers").push((i, cell));
             });
         }
@@ -307,11 +376,37 @@ impl PolicySweepReport {
         self.cell_for(policy, workload)
     }
 
-    /// The cell for an exact (policy, workload) pair, if present.
+    /// The cell for an exact (policy, workload) pair, if present. When
+    /// the policy ran under both relocation models, the background cell
+    /// is the representative (it is the configuration that dominates).
     pub fn cell_for(&self, policy: &str, workload: &str) -> Option<&PolicyCell> {
         self.cells
             .iter()
-            .find(|c| c.policy == policy && c.workload == workload)
+            .filter(|c| c.policy == policy && c.workload == workload)
+            .max_by_key(|c| c.reloc == "background")
+    }
+
+    /// The cell for an exact (policy, workload, relocation) triple.
+    pub fn cell_with(&self, policy: &str, workload: &str, reloc: &str) -> Option<&PolicyCell> {
+        self.cells
+            .iter()
+            .find(|c| c.policy == policy && c.workload == workload && c.reloc == reloc)
+    }
+
+    /// Every (policy, workload) pair that ran under both relocation
+    /// models, as `(policy, workload, background IPC, stall IPC)` — the
+    /// background-vs-stall dominance comparison.
+    pub fn background_vs_stall(&self) -> Vec<(&str, &str, f64, f64)> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if c.reloc != "background" {
+                continue;
+            }
+            if let Some(stall) = self.cell_with(&c.policy, &c.workload, "stall") {
+                out.push((c.policy.as_str(), c.workload.as_str(), c.ipc, stall.ipc));
+            }
+        }
+        out
     }
 
     /// The best static-split cell on the headline workload whose capacity
@@ -337,27 +432,31 @@ impl PolicySweepReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<14} {:<16} {:>7} {:>10} {:>9} {:>8} {:>11} {:>9}\n",
+            "{:<14} {:<28} {:<10} {:>7} {:>10} {:>9} {:>8} {:>11} {:>9} {:>8}\n",
             "policy",
             "workload",
+            "reloc",
             "IPC",
             "energy(mJ)",
             "cap-loss",
             "hit-rate",
             "transitions",
-            "stall-cyc"
+            "stall-cyc",
+            "mig-util"
         ));
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<14} {:<16} {:>7.4} {:>10.3} {:>8.1}% {:>7.1}% {:>11} {:>9}\n",
+                "{:<14} {:<28} {:<10} {:>7.4} {:>10.3} {:>8.1}% {:>7.1}% {:>11} {:>9} {:>7.2}%\n",
                 c.policy,
                 c.workload,
+                c.reloc,
                 c.ipc,
                 c.energy_j * 1e3,
                 c.avg_capacity_loss * 100.0,
                 c.row_hit_rate * 100.0,
                 c.transitions,
                 c.relocation_stall_cycles,
+                c.migration_slot_utilization * 100.0,
             ));
         }
         out
@@ -365,29 +464,43 @@ impl PolicySweepReport {
 
     /// Machine-readable JSON (schema: `{schema, scale, cells: [...]}`),
     /// emitted by the `policy_sweep` binary so future PRs can track a
-    /// performance trajectory.
+    /// performance trajectory. `v2` adds the relocation-model axis
+    /// (`reloc`, `migration_jobs`, `migration_slot_utilization`) and the
+    /// per-core IPC breakdown.
     pub fn to_json(&self) -> String {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v1\",\n");
+        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v2\",\n");
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.label()));
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
+            let per_core = c
+                .ipc_per_core
+                .iter()
+                .map(|v| format!("{v:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
-                "    {{\"policy\": \"{}\", \"workload\": \"{}\", \"ipc\": {:.6}, \
+                "    {{\"policy\": \"{}\", \"workload\": \"{}\", \"reloc\": \"{}\", \
+                 \"ipc\": {:.6}, \"ipc_per_core\": [{}], \
                  \"energy_j\": {:.6e}, \"avg_capacity_loss\": {:.6}, \
                  \"final_hp_fraction\": {:.6}, \"transitions\": {}, \
-                 \"relocation_stall_cycles\": {}, \"row_hit_rate\": {:.6}}}{}\n",
+                 \"relocation_stall_cycles\": {}, \"migration_jobs\": {}, \
+                 \"migration_slot_utilization\": {:.6}, \"row_hit_rate\": {:.6}}}{}\n",
                 esc(&c.policy),
                 esc(&c.workload),
+                esc(&c.reloc),
                 c.ipc,
+                per_core,
                 c.energy_j,
                 c.avg_capacity_loss,
                 c.final_hp_fraction,
                 c.transitions,
                 c.relocation_stall_cycles,
+                c.migration_jobs,
+                c.migration_slot_utilization,
                 c.row_hit_rate,
                 if i + 1 == self.cells.len() { "" } else { "," },
             ));
@@ -432,26 +545,71 @@ mod tests {
         assert_eq!(g.capacity_bytes(), 16 << 20);
     }
 
+    fn cell(policy: &str, workload: &str, reloc: &str, ipc: f64) -> PolicyCell {
+        PolicyCell {
+            policy: policy.into(),
+            workload: workload.into(),
+            reloc: reloc.into(),
+            ipc,
+            ipc_per_core: vec![ipc],
+            energy_j: 1e-3,
+            avg_capacity_loss: 0.125,
+            final_hp_fraction: 0.25,
+            transitions: 10,
+            relocation_stall_cycles: if reloc == "stall" { 100 } else { 0 },
+            migration_jobs: if reloc == "background" { 10 } else { 0 },
+            migration_slot_utilization: if reloc == "background" { 0.01 } else { 0.0 },
+            row_hit_rate: 0.4,
+        }
+    }
+
     #[test]
     fn json_shape_is_stable() {
         let report = PolicySweepReport {
             scale: Scale::Smoke,
-            cells: vec![PolicyCell {
-                policy: "topk".into(),
-                workload: "phase_12m_h04".into(),
-                ipc: 0.5,
-                energy_j: 1e-3,
-                avg_capacity_loss: 0.125,
-                final_hp_fraction: 0.25,
-                transitions: 10,
-                relocation_stall_cycles: 100,
-                row_hit_rate: 0.4,
-            }],
+            cells: vec![cell("topk", "phase_12m_h04", "background", 0.5)],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v1\""));
+        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v2\""));
         assert!(json.contains("\"policy\": \"topk\""));
+        assert!(json.contains("\"reloc\": \"background\""));
+        assert!(json.contains("\"ipc_per_core\": [0.500000]"));
         assert!(report.cell("topk").is_some());
         assert!(report.best_static_within(0.2).is_none());
+    }
+
+    #[test]
+    fn reloc_axis_doubles_dynamic_policies_only() {
+        assert_eq!(
+            reloc_axis(PolicySpec::StaticSplit { fraction: 0.25 }).len(),
+            1
+        );
+        let dynamic = reloc_axis(PolicySpec::Hysteresis);
+        assert_eq!(dynamic.len(), 2);
+        assert!(!dynamic[0].is_background());
+        assert!(dynamic[1].is_background());
+        assert_eq!(reloc_label(&dynamic[1]), "background");
+    }
+
+    #[test]
+    fn cell_lookup_prefers_background_and_pairs_compare() {
+        let report = PolicySweepReport {
+            scale: Scale::Smoke,
+            cells: vec![
+                cell("hysteresis", "w", "stall", 0.40),
+                cell("hysteresis", "w", "background", 0.45),
+                cell("static-25", "w", "stall", 0.42),
+            ],
+        };
+        assert_eq!(
+            report.cell_for("hysteresis", "w").unwrap().reloc,
+            "background"
+        );
+        assert_eq!(
+            report.cell_with("hysteresis", "w", "stall").unwrap().ipc,
+            0.40
+        );
+        let pairs = report.background_vs_stall();
+        assert_eq!(pairs, vec![("hysteresis", "w", 0.45, 0.40)]);
     }
 }

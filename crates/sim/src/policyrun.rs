@@ -4,12 +4,24 @@
 //! epoch driver: every `epoch_dram_cycles` DRAM cycles it drains the
 //! controller's per-row telemetry, lets a [`clr_policy`] runtime decide
 //! transitions against the controller's live [`ModeTable`], and applies
-//! the validated batch back through
-//! [`MemoryController::apply_row_modes`] — charging the relocation
-//! engine's data-movement cost as controller stall cycles.
+//! the validated batch back to the controller. How the batch lands is
+//! governed by the memory configuration's
+//! [`RelocationConfig`](clr_memsim::migrate::RelocationConfig):
+//!
+//! * **stall** (legacy) — the batch flips atomically through
+//!   [`MemoryController::apply_row_modes`], charging the relocation
+//!   engine's priced data movement as controller stall cycles;
+//! * **background** — the batch is dispatched through
+//!   [`MemoryController::begin_row_migrations`]: demotions flip
+//!   immediately, promotions become per-row migration jobs whose
+//!   commands steal idle bank slots while demand traffic keeps flowing.
+//!   The driver feeds the controller's completion reports back into the
+//!   runtime each epoch, so epoch boundaries can overlap in-progress
+//!   migrations without double-proposing rows.
 //!
 //! [`ModeTable`]: clr_core::mode::ModeTable
 //! [`MemoryController::apply_row_modes`]: clr_memsim::controller::MemoryController::apply_row_modes
+//! [`MemoryController::begin_row_migrations`]: clr_memsim::controller::MemoryController::begin_row_migrations
 
 use clr_core::mode::RowMode;
 use clr_memsim::controller::MemoryController;
@@ -72,6 +84,13 @@ impl PolicyRunResult {
     pub fn avg_capacity_loss(&self) -> f64 {
         self.policy_stats.avg_capacity_loss()
     }
+
+    /// Fraction of measurement-window cycles a background-migration
+    /// command occupied the command bus — the overlap metric that
+    /// replaces `relocation_stall_cycles` under background relocation.
+    pub fn migration_slot_utilization(&self) -> f64 {
+        self.run.mem.migration_slot_utilization()
+    }
 }
 
 struct EpochDriver {
@@ -80,10 +99,16 @@ struct EpochDriver {
     next_epoch: u64,
     last_epoch_cycle: u64,
     final_hp_fraction: f64,
+    /// Whether transition batches go through the background migration
+    /// engine instead of the atomic stall apply (derived from the
+    /// controller's relocation configuration at run start).
+    background: bool,
     /// Reused across epochs so the steady-state epoch loop allocates
     /// nothing per drain.
     telemetry_scratch: Vec<((u32, u32), u64)>,
     changes_scratch: Vec<(usize, u32, RowMode)>,
+    completed_scratch: Vec<(u32, u32, RowMode)>,
+    dispatched_scratch: Vec<(u32, u32)>,
 }
 
 impl RunObserver for EpochDriver {
@@ -92,12 +117,19 @@ impl RunObserver for EpochDriver {
         // before the very first command — including commands replayed
         // inside a skip-ahead window before the first per-tick callback.
         mc.enable_row_telemetry();
+        self.background = mc.config().relocation.is_background();
     }
 
     fn after_dram_tick(&mut self, mc: &mut MemoryController) {
         let now = mc.cycle();
         if now < self.next_epoch {
             return;
+        }
+        // Feed migration completions back first, so rows that finished
+        // moving since the last epoch are proposable again this epoch.
+        if self.background {
+            mc.drain_completed_migrations_into(&mut self.completed_scratch);
+            self.runtime.note_completed(&self.completed_scratch);
         }
         let mut telemetry =
             EpochTelemetry::new(self.runtime.stats().epochs, now - self.last_epoch_cycle);
@@ -114,7 +146,16 @@ impl RunObserver for EpochDriver {
                     .iter()
                     .map(|t| (t.row.bank as usize, t.row.row, t.to)),
             );
-            mc.apply_row_modes(&self.changes_scratch, outcome.cost.dram_cycles);
+            if self.background {
+                self.dispatched_scratch.clear();
+                mc.begin_row_migrations_tracked(
+                    &self.changes_scratch,
+                    &mut self.dispatched_scratch,
+                );
+                self.runtime.note_in_flight(&self.dispatched_scratch);
+            } else {
+                mc.apply_row_modes(&self.changes_scratch, outcome.cost.dram_cycles);
+            }
         }
         self.final_hp_fraction = mc.mode_table().fraction_high_performance();
         self.last_epoch_cycle = now;
@@ -147,8 +188,11 @@ pub fn run_policy_workloads(workloads: &[Workload], cfg: &PolicyRunConfig) -> Po
         next_epoch: cfg.epoch_dram_cycles,
         last_epoch_cycle: 0,
         final_hp_fraction: cfg.base.mem.clr.fraction_hp(),
+        background: cfg.base.mem.relocation.is_background(),
         telemetry_scratch: Vec::new(),
         changes_scratch: Vec::new(),
+        completed_scratch: Vec::new(),
+        dispatched_scratch: Vec::new(),
     };
     let run = run_workloads_observed(workloads, &cfg.base, &mut driver);
     PolicyRunResult {
@@ -208,6 +252,50 @@ mod tests {
             "table already matches the static split"
         );
         assert!((r.final_hp_fraction - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn background_relocation_overlaps_instead_of_stalling() {
+        use clr_memsim::migrate::RelocationConfig;
+        let mut mem = crate::experiment::policies::policy_mem_config(0.0);
+        mem.refresh_enabled = false;
+        mem.relocation = RelocationConfig::background();
+        let base = RunConfig {
+            mem,
+            cluster: clr_cpu::cluster::ClusterConfig::tiny(),
+            budget_insts: 6_000,
+            warmup_insts: 500,
+            seed: 11,
+            skip_ahead: true,
+        };
+        let spec = PhaseShiftSpec {
+            footprint_mib: 1,
+            accesses_per_phase: 500,
+            ..PhaseShiftSpec::paper_default()
+        };
+        let cfg = PolicyRunConfig::new(
+            base,
+            PolicySpec::TopKHotness,
+            PolicyConstraints::with_budget(0.25),
+            2_000,
+        );
+        let r = run_policy_workloads(&[Workload::PhaseShift(spec)], &cfg);
+        assert!(r.policy_stats.transitions_applied > 0);
+        assert_eq!(
+            r.run.mem.relocation_stall_cycles, 0,
+            "background mode must never stall the controller"
+        );
+        assert!(
+            r.run.mem.migration_jobs_completed > 0,
+            "promotions must complete as background jobs"
+        );
+        assert!(r.migration_slot_utilization() > 0.0);
+        assert!(
+            r.policy_stats.migrations_completed > 0,
+            "completions must flow back into the runtime"
+        );
+        // Completed couplings are in the table.
+        assert!(r.policy_stats.avg_hp_fraction() > 0.0);
     }
 
     #[test]

@@ -64,18 +64,58 @@
 //!     PolicyConstraints::with_budget(0.25), // give up ≤ 12.5 % capacity
 //!     RelocationEngine::default(),
 //! );
-//! let mut epoch = EpochTelemetry::new(0, 50_000);
-//! epoch.record(RowId::new(0, 9), 300); // a hot row appears
-//! let outcome = rt.on_epoch(&epoch, &modes);
-//! PolicyRuntime::apply(&outcome, &mut modes);
+//! // Hysteresis promotes only *persistently* hot rows: the row must
+//! // stay promotion-worthy for two consecutive epochs.
+//! for e in 0..2 {
+//!     let mut epoch = EpochTelemetry::new(e, 50_000);
+//!     epoch.record(RowId::new(0, 9), 300); // the hot row persists
+//!     let outcome = rt.on_epoch(&epoch, &modes);
+//!     PolicyRuntime::apply(&outcome, &mut modes);
+//! }
 //! assert_eq!(modes.mode_of(0, 9), RowMode::HighPerformance);
 //! ```
 //!
+//! # Background row migration
+//!
+//! How a validated transition batch *lands* is configurable
+//! ([`memsim::migrate`]): the legacy model charges the priced data
+//! movement as a controller-wide stall, while
+//! `RelocationMode::Background` decomposes each coupling into a per-row
+//! job — read-out, couple, write-back into a destination frame — whose
+//! commands steal idle bank slots while demand traffic keeps flowing
+//! (only the row whose content is in flux blocks, and reads of the
+//! source stay servable during read-out):
+//!
+//! ```
+//! use clr_dram::arch::mode::RowMode;
+//! use clr_dram::memsim::config::MemConfig;
+//! use clr_dram::memsim::controller::MemoryController;
+//! use clr_dram::memsim::migrate::RelocationConfig;
+//!
+//! let mut cfg = MemConfig::tiny_clr(0.0);
+//! cfg.refresh_enabled = false;
+//! cfg.relocation = RelocationConfig::background();
+//! let mut mc = MemoryController::new(cfg);
+//! // Promote a row: the mode flips at the job's couple point, not here.
+//! mc.begin_row_migrations(&[(0, 3, RowMode::HighPerformance)]);
+//! let mut done = Vec::new();
+//! while mc.pending_migrations() > 0 {
+//!     mc.tick(&mut done);
+//! }
+//! assert_eq!(mc.mode_of_row(0, 3), RowMode::HighPerformance);
+//! assert_eq!(mc.stats().relocation_stall_cycles, 0); // no stall-the-world
+//! assert!(mc.stats().migration_jobs_completed > 0);
+//! ```
+//!
 //! End-to-end, `clr_dram::sim::policyrun::run_policy_workloads` runs this
-//! loop against the cycle-accurate controller, and the `policy_sweep`
-//! binary in `crates/bench` compares policies × workloads (IPC, energy,
-//! capacity loss) on the drifting-hot-set workload plus two contrast
-//! columns (stable-hot and uniform-random).
+//! loop against the cycle-accurate controller (dispatching batches as
+//! background migration whenever the memory configuration says so), and
+//! the `policy_sweep` binary in `crates/bench` compares policies ×
+//! workloads × relocation models (IPC, energy, capacity loss,
+//! migration-slot utilization) on the drifting-hot-set workload plus two
+//! contrast columns (stable-hot and uniform-random) and a 2-core
+//! shared-budget contention cell. Background migration equals or beats
+//! stall-the-world on every cell of the default sweep.
 //!
 //! # Simulation speed
 //!

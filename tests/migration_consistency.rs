@@ -1,0 +1,291 @@
+//! Property test: a completed background migration leaves the
+//! [`ModeTable`] and the (command-log-visible) row contents consistent
+//! under arbitrary interleaving with demand traffic.
+//!
+//! The simulator is data-less, so "row contents" are audited through the
+//! command stream: each coupling must read its displaced half-row out of
+//! the *source* row before the mode flips, write exactly the same number
+//! of bursts into its *destination* frame afterwards, and no demand
+//! command may touch the row whose content is in flux — the source until
+//! the couple point, the destination until the job completes. On top of
+//! the per-job discipline, the whole log (demand + migration + refresh)
+//! must pass the independent DDR4/CLR protocol checker.
+//!
+//! [`ModeTable`]: clr_dram::arch::mode::ModeTable
+
+use std::collections::BTreeMap;
+
+use clr_dram::arch::addr::PhysAddr;
+use clr_dram::arch::mode::RowMode;
+use clr_dram::memsim::checker::check;
+use clr_dram::memsim::command::{Command, IssuedCommand};
+use clr_dram::memsim::config::MemConfig;
+use clr_dram::memsim::controller::MemoryController;
+use clr_dram::memsim::cycletimings::CycleTimings;
+use clr_dram::memsim::migrate::RelocationConfig;
+use clr_dram::memsim::request::{MemRequest, RequestKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-bank audit that replays the command log against the migration
+/// phase discipline for one coupling job.
+#[derive(Debug, Default, Clone)]
+struct JobAudit {
+    started: bool,
+    coupled: bool,
+    completed: bool,
+    reads: u64,
+    writes: u64,
+    saw_source_act_old_mode: bool,
+    saw_dest_act: bool,
+}
+
+fn run_case(seed: u64, demand: usize, couplings: usize) {
+    let mut cfg = MemConfig::tiny_clr(0.0);
+    cfg.refresh_enabled = true;
+    cfg.relocation = RelocationConfig::background();
+    let geometry = cfg.geometry.clone();
+    let bursts = geometry.row_bytes() / 2 / geometry.burst_bytes();
+    let banks =
+        (geometry.channels * geometry.ranks * geometry.bank_groups * geometry.banks_per_group)
+            as usize;
+    let timings = CycleTimings::new(
+        &cfg.timings,
+        &cfg.clr.hp_params(&cfg.timings),
+        &cfg.interface,
+    );
+    let mut mc = MemoryController::new(cfg);
+    mc.enable_command_log();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Distinct promotion targets (each row migrates at most once, so the
+    // expected final table is simply "every requested row is HP").
+    let mut requested: Vec<(usize, u32)> = Vec::new();
+    for k in 0..couplings {
+        let bank = k % banks.min(3);
+        let row = (2 * k / banks.min(3)) as u32; // distinct per bank
+        requested.push((bank, row));
+    }
+
+    // Drive random demand while dispatching the couplings in random
+    // batches at random times.
+    let mut done = Vec::new();
+    let mut sent = 0usize;
+    let mut next_batch = 0usize;
+    let mut cycles = 0u64;
+    while sent < demand || next_batch < requested.len() || mc.pending_migrations() > 0 {
+        if next_batch < requested.len() && rng.gen_bool(0.02) {
+            let take = (1 + rng.gen_range(0..3usize)).min(requested.len() - next_batch);
+            let changes: Vec<(usize, u32, RowMode)> = requested[next_batch..next_batch + take]
+                .iter()
+                .map(|&(b, r)| (b, r, RowMode::HighPerformance))
+                .collect();
+            mc.begin_row_migrations(&changes);
+            next_batch += take;
+        }
+        if sent < demand && rng.gen_bool(0.4) {
+            let addr = rng.gen_range(0..geometry.capacity_bytes()) & !63;
+            let kind = if rng.gen_bool(0.3) {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            };
+            if mc
+                .try_enqueue(MemRequest::new(
+                    sent as u64,
+                    PhysAddr(addr),
+                    kind,
+                    mc.cycle(),
+                ))
+                .is_ok()
+            {
+                sent += 1;
+            }
+        }
+        mc.tick(&mut done);
+        done.clear();
+        cycles += 1;
+        assert!(cycles < 10_000_000, "case did not drain");
+    }
+    // Let the queues drain so the log ends quiescent.
+    for _ in 0..5_000 {
+        mc.tick(&mut done);
+    }
+
+    // 1. Every requested coupling landed in the mode table.
+    assert_eq!(mc.pending_migrations(), 0);
+    for &(bank, row) in &requested {
+        assert_eq!(
+            mc.mode_of_row(bank, row),
+            RowMode::HighPerformance,
+            "bank {bank} row {row} did not couple"
+        );
+    }
+    assert_eq!(mc.stats().migration_jobs_completed, requested.len() as u64);
+    assert_eq!(mc.stats().migration_reads, bursts * requested.len() as u64);
+    assert_eq!(mc.stats().migration_writes, bursts * requested.len() as u64);
+    assert_eq!(mc.stats().relocation_stall_cycles, 0);
+
+    // 2. The command log obeys the per-job phase discipline.
+    let log: Vec<IssuedCommand> = mc.command_log().unwrap().to_vec();
+    let mut audits: BTreeMap<(usize, u32), JobAudit> = requested
+        .iter()
+        .map(|&(b, r)| ((b, r), JobAudit::default()))
+        .collect();
+    // The migrating (blocked) row per bank as the log replays: source
+    // until the couple PRE, destination until the completing PRE.
+    let mut source_of: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut dest_of: BTreeMap<usize, u32> = BTreeMap::new();
+    for c in &log {
+        let b = c.flat_bank;
+        if c.migration {
+            match c.command {
+                Command::Act => {
+                    if let Some(&src) = source_of.get(&b) {
+                        // Mid-job ACT: either a (refresh-interrupted)
+                        // re-ACT of the source or the first ACT.
+                        if c.row == src {
+                            let a = audits.get_mut(&(b, src)).expect("tracked job");
+                            assert_eq!(c.mode, RowMode::MaxCapacity, "read-out in old mode");
+                            a.saw_source_act_old_mode = true;
+                        }
+                    } else if let Some(&_dst) = dest_of.get(&b) {
+                        let src = dest_src(&audits, b, &dest_of);
+                        let a = audits.get_mut(&(b, src)).expect("tracked job");
+                        a.saw_dest_act = true;
+                        assert_eq!(
+                            c.mode,
+                            RowMode::MaxCapacity,
+                            "the destination frame is an ordinary MC row"
+                        );
+                    } else if audits.contains_key(&(b, c.row)) {
+                        // Job start.
+                        let a = audits.get_mut(&(b, c.row)).expect("tracked job");
+                        assert!(!a.started, "row migrates exactly once");
+                        a.started = true;
+                        a.saw_source_act_old_mode = true;
+                        assert_eq!(c.mode, RowMode::MaxCapacity);
+                        source_of.insert(b, c.row);
+                    }
+                }
+                Command::Rd => {
+                    if let Some(&src) = source_of.get(&b) {
+                        audits.get_mut(&(b, src)).expect("tracked job").reads += 1;
+                    }
+                }
+                Command::Wr => {
+                    let src = dest_src(&audits, b, &dest_of);
+                    audits.get_mut(&(b, src)).expect("tracked job").writes += 1;
+                }
+                Command::Pre => {
+                    if let Some(&src) = source_of.get(&b) {
+                        let a = audits.get_mut(&(b, src)).expect("tracked job");
+                        if a.reads == bursts {
+                            // The couple point: source readable again,
+                            // destination now in flux. (The destination
+                            // is identified by the write-back ACT.)
+                            a.coupled = true;
+                            source_of.remove(&b);
+                            dest_of.insert(b, u32::MAX);
+                        }
+                    } else if dest_of.contains_key(&b) {
+                        let src = dest_src(&audits, b, &dest_of);
+                        let a = audits.get_mut(&(b, src)).expect("tracked job");
+                        if a.writes == bursts {
+                            a.completed = true;
+                            dest_of.remove(&b);
+                        }
+                    }
+                }
+                Command::Ref => {}
+            }
+            if c.command == Command::Act && dest_of.contains_key(&b) {
+                // Record the write-back destination once observed.
+                dest_of.insert(b, c.row);
+            }
+        } else {
+            // Demand (or refresh) traffic: must not touch the row whose
+            // content is in flux. Reads of the source row during
+            // read-out are explicitly allowed (the data still sits
+            // intact in the row buffer); writes are not. Refresh-driven
+            // PREs (row 0 placeholder) are exempt — they close the whole
+            // bank and the job re-activates.
+            if let Some(&src) = source_of.get(&b) {
+                match c.command {
+                    Command::Wr => {
+                        assert_ne!(c.row, src, "demand write to a row mid-read-out (bank {b})")
+                    }
+                    Command::Act => { /* demand may open other rows between phases */ }
+                    _ => {}
+                }
+            }
+            if let Some(&dst) = dest_of.get(&b) {
+                if dst != u32::MAX && matches!(c.command, Command::Act | Command::Rd | Command::Wr)
+                {
+                    assert_ne!(
+                        c.row, dst,
+                        "demand touched the destination frame mid-write-back (bank {b})"
+                    );
+                }
+            }
+        }
+    }
+    for (&(b, r), a) in &audits {
+        assert!(a.started, "job (bank {b}, row {r}) never started");
+        assert!(a.coupled, "job (bank {b}, row {r}) never coupled");
+        assert!(a.completed, "job (bank {b}, row {r}) never completed");
+        assert!(a.saw_source_act_old_mode);
+        assert!(
+            a.saw_dest_act,
+            "write-back ACT missing for (bank {b}, row {r})"
+        );
+        assert_eq!(a.reads, bursts, "read-out burst count (bank {b}, row {r})");
+        assert_eq!(
+            a.writes, bursts,
+            "write-back burst count (bank {b}, row {r})"
+        );
+    }
+
+    // 3. The whole interleaved stream is protocol-clean under the
+    // independent checker.
+    let banks_per_group = geometry.banks_per_group as usize;
+    let violations = check(&log, &timings, banks, |b| b / banks_per_group);
+    assert!(
+        violations.is_empty(),
+        "protocol violations: {:?} (showing up to 5 of {})",
+        &violations[..violations.len().min(5)],
+        violations.len()
+    );
+}
+
+/// The source row of the single in-flight job on `bank` during its
+/// write-back phase (jobs are per-bank serial, so it is the unique
+/// started-but-not-completed audit).
+fn dest_src(
+    audits: &BTreeMap<(usize, u32), JobAudit>,
+    bank: usize,
+    _dest_of: &BTreeMap<usize, u32>,
+) -> u32 {
+    audits
+        .iter()
+        .find(|(&(b, _), a)| b == bank && a.started && !a.completed)
+        .map(|(&(_, r), _)| r)
+        .expect("exactly one in-flight job per bank")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Arbitrary demand interleavings leave the mode table and the
+    /// command-log-visible row contents consistent.
+    #[test]
+    fn completed_migrations_are_consistent(seed in 0u64..10_000) {
+        run_case(seed, 120, 5);
+    }
+}
+
+#[test]
+fn migration_consistency_heavy_interleaving() {
+    run_case(424_242, 400, 9);
+}

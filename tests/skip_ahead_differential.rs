@@ -51,14 +51,16 @@ fn schedule() -> Vec<(u64, MemRequest)> {
 }
 
 /// Drives a controller over `schedule`, advancing either per-cycle or via
-/// `tick_until`, applying the same mode-transition batch mid-run, and
-/// returns every observable output.
+/// `tick_until`, applying the same mode-transition batch mid-run (as a
+/// stall-mode apply, or as background migration when the configuration
+/// says so), and returns every observable output.
 fn drive(
     mut cfg: MemConfig,
     skip: bool,
     transitions_at: Option<u64>,
 ) -> (Vec<IssuedCommand>, Vec<Completion>, MemStats) {
     cfg.refresh_enabled = true;
+    let background = cfg.relocation.is_background();
     let mut mc = MemoryController::new(cfg);
     mc.enable_command_log();
     let mut done = Vec::new();
@@ -71,14 +73,20 @@ fn drive(
             }
         }
     };
+    let mut dispatched = false;
     for (at, req) in schedule() {
         advance_to(&mut mc, &mut done, at);
         if let Some(t) = transitions_at {
-            if mc.cycle() >= t && mc.stats().mode_transitions == 0 {
+            if mc.cycle() >= t && !dispatched {
+                dispatched = true;
                 let changes: Vec<(usize, u32, RowMode)> = (0..mc.mode_table().banks() as usize)
                     .map(|b| (b, 3u32, RowMode::HighPerformance))
                     .collect();
-                mc.apply_row_modes(&changes, 120);
+                if background {
+                    mc.begin_row_migrations(&changes);
+                } else {
+                    mc.apply_row_modes(&changes, 120);
+                }
             }
         }
         // Backpressure: retry one cycle later, exactly like the system
@@ -135,6 +143,43 @@ fn controller_mode_transitions_and_stalls_are_bit_identical() {
 }
 
 #[test]
+fn controller_background_migration_is_bit_identical() {
+    use clr_dram::memsim::migrate::{MigrationRate, RelocationConfig, RelocationMode};
+    // Pure background and deadline-boosted + rate-limited: the
+    // skip-ahead walk must replay the migration command stream (job
+    // starts in idle slots, couple points, rate-window boundaries,
+    // deadline boosts) bit-identically.
+    for reloc in [
+        RelocationConfig::background(),
+        RelocationConfig {
+            mode: RelocationMode::DeadlineBoosted {
+                deadline_cycles: 4_000,
+            },
+            rate: Some(MigrationRate {
+                window_cycles: 1_024,
+                max_starts: 1,
+            }),
+        },
+    ] {
+        let mut cfg = MemConfig::tiny_clr(0.0);
+        cfg.relocation = reloc;
+        let (log_a, done_a, stats_a) = drive(cfg.clone(), false, Some(8_000));
+        let (log_b, done_b, stats_b) = drive(cfg, true, Some(8_000));
+        assert_eq!(log_a.len(), log_b.len(), "command counts diverge");
+        for (i, (a, b)) in log_a.iter().zip(&log_b).enumerate() {
+            assert_eq!(a, b, "command {i} diverges");
+        }
+        assert_eq!(done_a, done_b, "completions diverge");
+        assert_eq!(stats_a, stats_b, "statistics diverge");
+        // The run must actually have migrated in the background.
+        assert!(stats_a.migration_jobs_completed > 0, "jobs must complete");
+        assert!(stats_a.migration_reads > 0 && stats_a.migration_writes > 0);
+        assert_eq!(stats_a.relocation_stall_cycles, 0, "no stall in background");
+        assert!(log_a.iter().any(|c| c.migration));
+    }
+}
+
+#[test]
 fn full_system_run_is_bit_identical() {
     let w = Workload::PhaseShift(PhaseShiftSpec {
         footprint_mib: 2,
@@ -164,9 +209,12 @@ fn policy_run_with_epoch_boundaries_is_bit_identical() {
             seed: 5,
             skip_ahead: skip,
         };
+        // The threshold policy proposes on raw access counts, so the run
+        // is guaranteed to move the table (hysteresis may rightly decline
+        // promotions this small under the honest relocation price).
         let cfg = PolicyRunConfig::new(
             base,
-            PolicySpec::Hysteresis,
+            PolicySpec::UtilizationThreshold { hot: 4, cold: 1 },
             PolicyConstraints::with_budget(0.25),
             2_500,
         );
