@@ -1,14 +1,57 @@
 //! Regenerates the dynamic-policy sweep: mode-management policies × the
-//! phase-shifting workload → IPC, DRAM energy, capacity loss.
+//! phase-shifting workload → IPC, DRAM energy, capacity loss — plus the
+//! multi-core/multi-channel contention sweep (per-core IPC, weighted
+//! speedup, max slowdown under a shared fast-row budget).
 //!
 //! The final stdout block is machine-readable JSON
-//! (`clr-dram/policy-sweep/v1`) so successive PRs can track the
+//! (`clr-dram/policy-sweep/v3`) so successive PRs can track the
 //! performance trajectory of the policies.
+//!
+//! Set `CLR_SWEEP=contention` to run only the contention sweep (the CI
+//! smoke cell exercising the channel-sharded path).
 
 use clr_sim::experiment::policies;
+use clr_sim::scale::Scale;
+
+/// Prints the contention block: the table plus per-core breakdowns.
+fn print_contention(report: &policies::PolicySweepReport) {
+    println!("\n--- contention sweep (cores × channels × budget splits) ---");
+    print!("{}", report.render_contention());
+    for c in &report.contention {
+        let per_core = c
+            .ipc_per_core
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("core{i} {v:.4}"))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        println!(
+            "{} {} ({} split): per-core IPC {per_core} | weighted speedup {:.3} | max slowdown {:.3}",
+            c.policy,
+            c.workload,
+            c.budget_split,
+            c.weighted_speedup.unwrap_or(f64::NAN),
+            c.max_slowdown.unwrap_or(f64::NAN),
+        );
+    }
+}
 
 fn main() {
     let scale = clr_bench::startup("policy sweep (dynamic capacity-latency trade-off, §6)");
+    if std::env::var("CLR_SWEEP").as_deref() == Ok("contention") {
+        // Contention-only mode: the CI smoke step driving the sharded
+        // 2-channel path on every push without the full roster.
+        let report = policies::PolicySweepReport {
+            cells: Vec::new(),
+            contention: policies::run_contention(scale, 42),
+            scale,
+        };
+        print_contention(&report);
+        println!("\n--- machine-readable (clr-dram/policy-sweep/v3) ---");
+        print!("{}", report.to_json());
+        sanity_check_contention(&report, scale);
+        return;
+    }
     let report = policies::run(scale, 42);
     print!("{}", report.render());
 
@@ -75,6 +118,41 @@ fn main() {
         }
     }
 
-    println!("\n--- machine-readable (clr-dram/policy-sweep/v1) ---");
+    print_contention(&report);
+
+    println!("\n--- machine-readable (clr-dram/policy-sweep/v3) ---");
     print!("{}", report.to_json());
+    sanity_check_contention(&report, scale);
+}
+
+/// Hard acceptance checks on the contention sweep: every cell must have
+/// run under background relocation with zero stall cycles and report
+/// the fairness columns. A violation is a regression in the sharded
+/// path, so the binary fails loudly (CI runs it on every push).
+fn sanity_check_contention(report: &policies::PolicySweepReport, scale: Scale) {
+    for c in &report.contention {
+        assert_eq!(
+            c.relocation_stall_cycles, 0,
+            "contention cell {} stalled under background relocation",
+            c.workload
+        );
+        assert_eq!(c.ipc_per_core.len(), c.cores, "per-core IPC missing");
+        let ws = c.weighted_speedup.expect("weighted speedup missing");
+        let ms = c.max_slowdown.expect("max slowdown missing");
+        assert!(
+            ws > 0.0 && ws <= c.cores as f64 * 1.5,
+            "ws {ws} out of range"
+        );
+        assert!(ms >= 0.5, "max slowdown {ms} out of range");
+    }
+    // The headline 4-core/2-channel hysteresis cell must be present at
+    // every scale (it is the acceptance cell of the sharding work).
+    assert!(
+        report
+            .contention
+            .iter()
+            .any(|c| c.cores == 4 && c.channels == 2 && c.policy == "hysteresis"),
+        "4-core/2-channel hysteresis contention cell missing at scale {}",
+        scale.label()
+    );
 }

@@ -78,6 +78,13 @@ impl DramAddr {
 }
 
 /// One field of the sliced address, MSB-to-LSB order is scheme-specific.
+///
+/// The column is split into a high part and the *burst* part (the beats
+/// of one transfer): channel-interleaving schemes place the channel bits
+/// between them, so channels interleave at cache-line (burst) rather
+/// than bus-beat granularity — Ramulator's convention of addressing at
+/// transaction granularity. With one channel the split is invisible (the
+/// two parts are adjacent).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Field {
     Channel,
@@ -85,7 +92,10 @@ enum Field {
     BankGroup,
     Bank,
     Row,
-    Column,
+    /// Column bits above the burst (`column_bits − burst_bits`).
+    ColumnHigh,
+    /// The low `log2(burst_length)` column bits (one transfer's beats).
+    ColumnBurst,
 }
 
 /// Physical-address interleaving schemes.
@@ -93,7 +103,15 @@ enum Field {
 /// Names read MSB → LSB (`Ro` = row, `Bg` = bank group, `Ba` = bank,
 /// `Ra` = rank, `Co` = column, `Ch` = channel), following Ramulator's
 /// convention. The byte offset within a column beat always occupies the
-/// least-significant bits.
+/// least-significant bits. In the channel-low schemes
+/// ([`RoBgBaRaCoCh`](AddressMapping::RoBgBaRaCoCh),
+/// [`RoRaBaBgCoCh`](AddressMapping::RoRaBaBgCoCh)) the burst's beats
+/// stay below the channel bits — as in Ramulator, which addresses at
+/// transaction granularity — so consecutive *cache lines* (not bus
+/// beats) alternate channels. The adversarial
+/// [`CoChRaBgBaRo`](AddressMapping::CoChRaBgBaRo) keeps the whole
+/// column (burst included) above the channel, interleaving channels at
+/// a much coarser granularity by design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AddressMapping {
     /// Row, bank group, bank, rank, column, channel (Ramulator's default
@@ -112,14 +130,30 @@ pub enum AddressMapping {
 }
 
 impl AddressMapping {
-    fn order(self) -> [Field; 6] {
+    fn order(self) -> [Field; 7] {
         use Field::*;
         match self {
-            // MSB ............................................. LSB
-            AddressMapping::RoBgBaRaCoCh => [Row, BankGroup, Bank, Rank, Column, Channel],
-            AddressMapping::RoRaBaBgCoCh => [Row, Rank, Bank, BankGroup, Column, Channel],
-            AddressMapping::CoChRaBgBaRo => [Column, Channel, Rank, BankGroup, Bank, Row],
+            // MSB ....................................................... LSB
+            // Channel-low schemes keep the burst bits below the channel
+            // so consecutive cache lines alternate channels
+            // (transaction-granularity interleaving); CoChRaBgBaRo keeps
+            // the whole column above the channel on purpose. With one
+            // channel the column is contiguous either way.
+            AddressMapping::RoBgBaRaCoCh => {
+                [Row, BankGroup, Bank, Rank, ColumnHigh, Channel, ColumnBurst]
+            }
+            AddressMapping::RoRaBaBgCoCh => {
+                [Row, Rank, Bank, BankGroup, ColumnHigh, Channel, ColumnBurst]
+            }
+            AddressMapping::CoChRaBgBaRo => {
+                [ColumnHigh, ColumnBurst, Channel, Rank, BankGroup, Bank, Row]
+            }
         }
+    }
+
+    /// log2 of the burst-beat slice of the column field.
+    fn burst_bits(g: &DramGeometry) -> u32 {
+        g.burst_length.trailing_zeros().min(g.column_bits())
     }
 
     fn width(field: Field, g: &DramGeometry) -> u32 {
@@ -129,7 +163,8 @@ impl AddressMapping {
             Field::BankGroup => g.bank_group_bits(),
             Field::Bank => g.bank_bits(),
             Field::Row => g.row_bits(),
-            Field::Column => g.column_bits(),
+            Field::ColumnHigh => g.column_bits() - Self::burst_bits(g),
+            Field::ColumnBurst => Self::burst_bits(g),
         }
     }
 
@@ -148,6 +183,7 @@ impl AddressMapping {
         }
         let mut rest = addr.0 >> g.offset_bits();
         let mut out = DramAddr::default();
+        let burst_bits = Self::burst_bits(g);
         // Consume fields LSB-first (reverse of the MSB-first order).
         for field in self.order().iter().rev() {
             let w = Self::width(*field, g);
@@ -159,7 +195,8 @@ impl AddressMapping {
                 Field::BankGroup => out.bank_group = v,
                 Field::Bank => out.bank = v,
                 Field::Row => out.row = v,
-                Field::Column => out.column = v,
+                Field::ColumnHigh => out.column |= v << burst_bits,
+                Field::ColumnBurst => out.column |= v,
             }
         }
         Ok(out)
@@ -187,6 +224,7 @@ impl AddressMapping {
             }
         }
         let mut acc: u64 = 0;
+        let burst_bits = Self::burst_bits(g);
         for field in self.order() {
             let w = Self::width(field, g);
             let v = match field {
@@ -195,11 +233,64 @@ impl AddressMapping {
                 Field::BankGroup => d.bank_group,
                 Field::Bank => d.bank,
                 Field::Row => d.row,
-                Field::Column => d.column,
+                Field::ColumnHigh => d.column >> burst_bits,
+                Field::ColumnBurst => d.column & ((1 << burst_bits) - 1),
             } as u64;
             acc = (acc << w) | v;
         }
         Ok(PhysAddr(acc << g.offset_bits()))
+    }
+
+    /// Routes a system-wide physical address to its channel, returning
+    /// `(channel, channel-local address)`.
+    ///
+    /// The channel-local address is the same bit-slice encoding with the
+    /// channel field removed — i.e. `self.map(local, &g.channel_slice())`
+    /// yields the same rank/bank/row/column coordinates with `channel ==
+    /// 0`. The intra-column byte offset is preserved, so routing a
+    /// line-aligned address yields a line-aligned local address. Together
+    /// with [`AddressMapping::unroute`] this is a bijection between the
+    /// global address space and the disjoint union of the per-channel
+    /// address spaces (property-tested in `tests/prop.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::AddressOutOfRange`] if `addr` exceeds the
+    /// geometry's capacity.
+    pub fn route(self, addr: PhysAddr, g: &DramGeometry) -> Result<(u32, PhysAddr), CoreError> {
+        let d = self.map(addr, g)?;
+        let slice = g.channel_slice();
+        let local = self.unmap(&DramAddr { channel: 0, ..d }, &slice)?;
+        let offset = addr.0 & (g.bytes_per_column() - 1);
+        Ok((d.channel, PhysAddr(local.0 | offset)))
+    }
+
+    /// The inverse of [`AddressMapping::route`]: re-encodes a
+    /// channel-local address back into the system-wide physical address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CoordinateOutOfRange`] if `channel` exceeds
+    /// the geometry's channel count, or [`CoreError::AddressOutOfRange`]
+    /// if `local` exceeds one channel's capacity.
+    pub fn unroute(
+        self,
+        channel: u32,
+        local: PhysAddr,
+        g: &DramGeometry,
+    ) -> Result<PhysAddr, CoreError> {
+        if channel >= g.channels {
+            return Err(CoreError::CoordinateOutOfRange {
+                what: "channel",
+                got: channel as u64,
+                bound: g.channels as u64,
+            });
+        }
+        let slice = g.channel_slice();
+        let d = self.map(local, &slice)?;
+        let global = self.unmap(&DramAddr { channel, ..d }, g)?;
+        let offset = local.0 & (g.bytes_per_column() - 1);
+        Ok(PhysAddr(global.0 | offset))
     }
 
     /// Number of OS pages of `page_bytes` that collectively occupy one
@@ -329,6 +420,56 @@ mod tests {
         // offset all select rows, striping the page across 512 rows.
         let rows = AddressMapping::CoChRaBgBaRo.rows_per_page(&g, 4096);
         assert_eq!(rows, 512);
+    }
+
+    #[test]
+    fn route_strips_the_channel_and_unroute_restores_it() {
+        let mut g = DramGeometry::tiny();
+        g.channels = 4;
+        for s in schemes() {
+            for addr in [0u64, 64, 4096, g.capacity_bytes() - 64] {
+                let (ch, local) = s.route(PhysAddr(addr), &g).unwrap();
+                assert_eq!(ch, s.map(PhysAddr(addr), &g).unwrap().channel);
+                assert!(local.0 < g.channel_slice().capacity_bytes());
+                // The local address decodes to the same sub-channel
+                // coordinates with channel 0.
+                let d_global = s.map(PhysAddr(addr), &g).unwrap();
+                let d_local = s.map(local, &g.channel_slice()).unwrap();
+                assert_eq!(d_local.channel, 0);
+                assert_eq!(d_local.rank, d_global.rank);
+                assert_eq!(d_local.bank_group, d_global.bank_group);
+                assert_eq!(d_local.bank, d_global.bank);
+                assert_eq!(d_local.row, d_global.row);
+                assert_eq!(d_local.column, d_global.column);
+                // Round-trip back to the global address.
+                let back = s.unroute(ch, local, &g).unwrap();
+                assert_eq!(back.0, addr, "scheme {s:?} addr {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_on_single_channel_is_the_identity() {
+        let g = DramGeometry::tiny();
+        for s in schemes() {
+            for addr in [0u64, 64, g.capacity_bytes() - 64] {
+                let (ch, local) = s.route(PhysAddr(addr), &g).unwrap();
+                assert_eq!(ch, 0);
+                assert_eq!(local.0, addr);
+            }
+        }
+    }
+
+    #[test]
+    fn unroute_rejects_out_of_range_channel() {
+        let g = DramGeometry::tiny();
+        assert!(matches!(
+            AddressMapping::default().unroute(1, PhysAddr(0), &g),
+            Err(CoreError::CoordinateOutOfRange {
+                what: "channel",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -116,6 +116,20 @@ impl DramGeometry {
         self.bank_groups * self.banks_per_group
     }
 
+    /// The geometry of one channel of this system: identical at every
+    /// level below the channel, with `channels = 1`.
+    ///
+    /// A channel-sharded memory system instantiates one controller per
+    /// channel against this slice; [`crate::addr::AddressMapping::route`]
+    /// converts a system-wide physical address into the `(channel,
+    /// channel-local address)` pair the per-channel controller sees.
+    pub fn channel_slice(&self) -> DramGeometry {
+        DramGeometry {
+            channels: 1,
+            ..self.clone()
+        }
+    }
+
     /// Number of devices ganged into one rank.
     pub fn devices_per_rank(&self) -> u32 {
         self.bus_width_bits / self.device_width_bits

@@ -86,6 +86,50 @@ proptest! {
         prop_assert_eq!(a == b, da == db);
     }
 
+    /// Channel routing is bijective: for arbitrary geometries and
+    /// schemes, `addr → (channel, local) → addr` round-trips, the channel
+    /// agrees with the full decode, and the local address stays within
+    /// one channel's capacity. This is the contract the channel-sharded
+    /// `MemorySystem` relies on to route requests without collisions.
+    #[test]
+    fn channel_routing_roundtrips(
+        g in arb_geometry(),
+        s in schemes(),
+        frac in 0.0f64..1.0,
+        offset_beats in 0u64..8,
+    ) {
+        let col = g.bytes_per_column();
+        let base = ((g.capacity_bytes() as f64 * frac) as u64) & !(col - 1);
+        let base = base.min(g.capacity_bytes() - col);
+        // Line-aligned plus an arbitrary intra-column offset: routing
+        // must preserve the offset bits verbatim.
+        let addr = base | (offset_beats % col);
+        let (ch, local) = s.route(PhysAddr(addr), &g).expect("in range");
+        prop_assert_eq!(ch, s.map(PhysAddr(addr), &g).expect("in range").channel);
+        prop_assert!(ch < g.channels);
+        prop_assert!(local.0 < g.channel_slice().capacity_bytes());
+        let back = s.unroute(ch, local, &g).expect("valid");
+        prop_assert_eq!(back.0, addr);
+    }
+
+    /// Distinct global addresses never collide on the same
+    /// `(channel, local)` pair — routing is injective, so per-channel
+    /// controllers serve disjoint address spaces.
+    #[test]
+    fn channel_routing_is_injective(
+        g in arb_geometry(),
+        s in schemes(),
+        a in 0u64..10_000,
+        b in 0u64..10_000,
+    ) {
+        let col = g.bytes_per_column();
+        let a = (a * col) % g.capacity_bytes();
+        let b = (b * col) % g.capacity_bytes();
+        let ra = s.route(PhysAddr(a), &g).expect("in range");
+        let rb = s.route(PhysAddr(b), &g).expect("in range");
+        prop_assert_eq!(a == b, ra == rb);
+    }
+
     /// Mode-table set/get roundtrip under arbitrary mutation sequences,
     /// with an exact running high-performance count.
     #[test]

@@ -42,6 +42,19 @@
 //! and the `sim_throughput` bench in `clr-bench` tracks the wall-clock
 //! payoff.
 //!
+//! # Channel sharding
+//!
+//! [`system::MemorySystem`] scales the model past one channel: it owns
+//! one independent [`controller::MemoryController`] per channel (each
+//! with its own mode table, refresh streams, migration engine, and
+//! scheduler lanes — no cross-channel locking), routes requests through
+//! the address mapping's bijective channel split
+//! ([`clr_core::addr::AddressMapping::route`]), and fuses the per-channel
+//! exact event bounds (`next_event_cycle` = min over channels) so
+//! whole-system skip-ahead stays bit-identical on multi-channel
+//! configurations. A 1-channel `MemorySystem` reproduces the bare
+//! controller bit for bit.
+//!
 //! The per-cycle path itself is kept cheap by per-bank aggregation in
 //! [`scheduler`] (O(queue) FR-FCFS-Cap with an O(1) older-waiter test), a
 //! per-bank mode-lookup cache keyed on the open row, and allocation reuse
@@ -83,9 +96,11 @@ pub mod refresh;
 pub mod request;
 pub mod scheduler;
 pub mod stats;
+pub mod system;
 
 pub use config::{ClrModeConfig, MemConfig, SchedulerConfig};
 pub use controller::MemoryController;
 pub use migrate::{MigrationRate, RelocationConfig, RelocationMode};
 pub use request::{MemRequest, RequestKind};
 pub use stats::MemStats;
+pub use system::MemorySystem;

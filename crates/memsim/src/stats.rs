@@ -210,6 +210,57 @@ impl MemStats {
         }
     }
 
+    /// Counter-wise sum `self + other` — the aggregation a channel-sharded
+    /// memory system uses to fuse per-channel statistics into one view.
+    ///
+    /// Every field is summed, *including* `cycles`: channels run in
+    /// lockstep, so the fused `cycles` counts channel-cycles (N channels ×
+    /// wall cycles) and derived rates (`row_hit_rate`,
+    /// `avg_read_latency`, `migration_slot_utilization`) recompute from
+    /// the summed numerators and denominators — they are traffic-weighted
+    /// averages over channels, never a drifting copy of per-channel
+    /// values.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.cycles += other.cycles;
+        self.acts_max_capacity += other.acts_max_capacity;
+        self.acts_high_performance += other.acts_high_performance;
+        self.pres_max_capacity += other.pres_max_capacity;
+        self.pres_high_performance += other.pres_high_performance;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refs_max_capacity += other.refs_max_capacity;
+        self.refs_high_performance += other.refs_high_performance;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.read_latency_sum += other.read_latency_sum;
+        self.reads_completed += other.reads_completed;
+        self.forwarded_reads += other.forwarded_reads;
+        self.rank_active_cycles += other.rank_active_cycles;
+        self.rank_precharged_cycles += other.rank_precharged_cycles;
+        self.refresh_busy_cycles += other.refresh_busy_cycles;
+        self.queue_rejections += other.queue_rejections;
+        self.mode_transitions += other.mode_transitions;
+        self.relocation_stall_cycles += other.relocation_stall_cycles;
+        self.migration_acts_max_capacity += other.migration_acts_max_capacity;
+        self.migration_acts_high_performance += other.migration_acts_high_performance;
+        self.migration_pres_max_capacity += other.migration_pres_max_capacity;
+        self.migration_pres_high_performance += other.migration_pres_high_performance;
+        self.migration_reads += other.migration_reads;
+        self.migration_writes += other.migration_writes;
+        self.migration_slot_cycles += other.migration_slot_cycles;
+        self.migration_jobs_completed += other.migration_jobs_completed;
+    }
+
+    /// The counter-wise sum of `stats` (see [`MemStats::merge`]).
+    pub fn fused<'a>(stats: impl IntoIterator<Item = &'a MemStats>) -> MemStats {
+        let mut out = MemStats::new();
+        for s in stats {
+            out.merge(s);
+        }
+        out
+    }
+
     /// Row-buffer hit rate over classified requests.
     pub fn row_hit_rate(&self) -> f64 {
         let total = self.row_hits + self.row_misses + self.row_conflicts;
@@ -243,6 +294,91 @@ mod tests {
         let s = MemStats::new();
         assert_eq!(s.avg_read_latency(), 0.0);
         assert_eq!(s.row_hit_rate(), 0.0);
+    }
+
+    /// Every field set, no `..Default` — adding a `MemStats` field breaks
+    /// this constructor at compile time, forcing [`MemStats::merge`] and
+    /// [`MemStats::delta_since`] to be revisited so per-channel and fused
+    /// views cannot silently drift.
+    fn all_fields(seed: u64) -> MemStats {
+        MemStats {
+            cycles: seed,
+            acts_max_capacity: seed + 1,
+            acts_high_performance: seed + 2,
+            pres_max_capacity: seed + 3,
+            pres_high_performance: seed + 4,
+            reads: seed + 5,
+            writes: seed + 6,
+            refs_max_capacity: seed + 7,
+            refs_high_performance: seed + 8,
+            row_hits: seed + 9,
+            row_misses: seed + 10,
+            row_conflicts: seed + 11,
+            read_latency_sum: seed + 12,
+            reads_completed: seed + 13,
+            forwarded_reads: seed + 14,
+            rank_active_cycles: seed + 15,
+            rank_precharged_cycles: seed + 16,
+            refresh_busy_cycles: seed + 17,
+            queue_rejections: seed + 18,
+            mode_transitions: seed + 19,
+            relocation_stall_cycles: seed + 20,
+            migration_acts_max_capacity: seed + 21,
+            migration_acts_high_performance: seed + 22,
+            migration_pres_max_capacity: seed + 23,
+            migration_pres_high_performance: seed + 24,
+            migration_reads: seed + 25,
+            migration_writes: seed + 26,
+            migration_slot_cycles: seed + 27,
+            migration_jobs_completed: seed + 28,
+        }
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = all_fields(100);
+        let b = all_fields(1_000);
+        let mut fused = a.clone();
+        fused.merge(&b);
+        // merge and delta_since are inverses field-by-field: subtracting
+        // one addend back out must recover the other exactly. A counter
+        // summed by merge but skipped by delta_since (or vice versa)
+        // fails here.
+        assert_eq!(fused.delta_since(&a), b);
+        assert_eq!(fused.delta_since(&b), a);
+        // Spot-check the sum itself.
+        assert_eq!(fused.cycles, 1_100);
+        assert_eq!(fused.migration_jobs_completed, 128 + 1_028);
+    }
+
+    #[test]
+    fn fused_recomputes_derived_rates_from_sums() {
+        let a = MemStats {
+            cycles: 100,
+            row_hits: 9,
+            row_misses: 1,
+            read_latency_sum: 200,
+            reads_completed: 10,
+            migration_slot_cycles: 30,
+            ..MemStats::new()
+        };
+        let b = MemStats {
+            cycles: 100,
+            row_hits: 0,
+            row_misses: 10,
+            read_latency_sum: 100,
+            reads_completed: 2,
+            migration_slot_cycles: 10,
+            ..MemStats::new()
+        };
+        let fused = MemStats::fused([&a, &b]);
+        // Traffic-weighted, not the mean of per-channel rates.
+        assert!((fused.row_hit_rate() - 9.0 / 20.0).abs() < 1e-12);
+        assert!((fused.avg_read_latency() - 300.0 / 12.0).abs() < 1e-12);
+        assert!((fused.migration_slot_utilization() - 40.0 / 200.0).abs() < 1e-12);
+        // Identity: fusing one set of stats changes nothing.
+        assert_eq!(MemStats::fused([&a]), a);
+        assert_eq!(MemStats::fused(std::iter::empty()), MemStats::new());
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! The channel-sharded memory system: N independent per-channel
+//! controllers behind one request-routing front end.
+//!
+//! A DDR channel is the natural shard boundary of a memory system: each
+//! channel has its own command/data bus, its own controller queues, its
+//! own refresh streams — nothing is shared except the physical address
+//! space. [`MemorySystem`] exploits exactly that: it owns one
+//! [`MemoryController`] per channel (each running the channel-slice
+//! geometry, with its own [`ModeTable`](clr_core::mode::ModeTable),
+//! refresh scheduler, migration engine, and scheduler lanes — no
+//! cross-channel locking or shared mutable state), routes every request
+//! through the configured [`AddressMapping`](clr_core::addr::AddressMapping)'s
+//! bijective channel split ([`route`](clr_core::addr::AddressMapping::route)),
+//! and fuses the per-channel event bounds and statistics back into one
+//! system-level view.
+//!
+//! # Sharding contract
+//!
+//! * **Lockstep clocks** — all channels advance together; `tick`,
+//!   `tick_fast`, and `tick_until` keep every channel at the same cycle.
+//! * **Exact fused events** — [`MemorySystem::next_event_cycle`] is the
+//!   minimum over channels of each controller's exact bound, so a
+//!   full-system driver can co-jump the CPU domain across a dead window
+//!   of the *whole* memory system and stay bit-identical to per-cycle
+//!   stepping (the workspace differential test enforces this at the
+//!   2-channel system level).
+//! * **Deterministic completion order** — the per-cycle reference ticks
+//!   channels in index order, so completions within one cycle are
+//!   delivered channel 0 first; `tick_until` reproduces that order by
+//!   merging per-channel completion streams on `(finish_cycle, channel)`.
+//! * **Degenerate case is free** — a 1-channel `MemorySystem` is the
+//!   single controller plus an identity route: it produces bit-identical
+//!   command logs, completions, and statistics to driving the controller
+//!   directly.
+
+use clr_core::addr::PhysAddr;
+
+use crate::config::MemConfig;
+use crate::controller::MemoryController;
+use crate::request::{Completion, MemRequest};
+use crate::stats::MemStats;
+
+/// A channel-sharded memory system (see the module docs).
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: MemConfig,
+    channels: Vec<MemoryController>,
+    /// Mask folding tagged/out-of-range physical addresses into the
+    /// global capacity (capacity is a power of two).
+    addr_mask: u64,
+    /// Per-channel completion scratch for the `tick_until` merge.
+    scratch: Vec<Vec<Completion>>,
+}
+
+impl MemorySystem {
+    /// Builds one controller per channel of `config.geometry`.
+    ///
+    /// Each per-channel controller runs the *channel slice* of the
+    /// geometry (`channels = 1`, everything below identical) with the
+    /// same timing, scheduling, CLR, and relocation configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (as
+    /// [`MemoryController::new`]).
+    pub fn new(config: MemConfig) -> Self {
+        config.geometry.validate().expect("invalid geometry");
+        let n = config.geometry.channels as usize;
+        let channel_cfg = MemConfig {
+            geometry: config.geometry.channel_slice(),
+            ..config.clone()
+        };
+        let channels = (0..n)
+            .map(|_| MemoryController::new(channel_cfg.clone()))
+            .collect();
+        MemorySystem {
+            addr_mask: config.geometry.capacity_bytes() - 1,
+            channels,
+            scratch: vec![Vec::new(); n],
+            config,
+        }
+    }
+
+    /// The system-wide configuration (the per-channel controllers hold
+    /// the channel slice).
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The per-channel controller (telemetry drains, mode tables, and
+    /// migration feeds are per-channel state, accessed through here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel(&self, channel: usize) -> &MemoryController {
+        &self.channels[channel]
+    }
+
+    /// Mutable access to one channel's controller (see
+    /// [`MemorySystem::channel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel_mut(&mut self, channel: usize) -> &mut MemoryController {
+        &mut self.channels[channel]
+    }
+
+    /// Routes a physical address to `(channel, channel-local address)`
+    /// under the configured mapping, after folding it into the global
+    /// capacity.
+    pub fn route(&self, addr: PhysAddr) -> (usize, PhysAddr) {
+        let masked = PhysAddr(addr.0 & self.addr_mask);
+        if self.channels.len() == 1 {
+            return (0, masked);
+        }
+        let (ch, local) = self
+            .config
+            .mapping
+            .route(masked, &self.config.geometry)
+            .expect("masked address is always in range");
+        (ch as usize, local)
+    }
+
+    /// Attempts to enqueue a request on its channel, returning it back on
+    /// queue-full (callers retry next cycle — backpressure is per
+    /// channel). Read forwarding against queued writes happens inside the
+    /// owning channel; a line always routes to one channel, so
+    /// cross-channel forwarding cannot arise.
+    pub fn try_enqueue(&mut self, request: MemRequest) -> Result<(), MemRequest> {
+        let (ch, local) = self.route(request.addr);
+        self.channels[ch]
+            .try_enqueue(MemRequest {
+                addr: local,
+                ..request
+            })
+            .map_err(|_| request)
+    }
+
+    /// Current DRAM cycle (channels run in lockstep).
+    pub fn cycle(&self) -> u64 {
+        debug_assert!(
+            self.channels
+                .iter()
+                .all(|c| c.cycle() == self.channels[0].cycle()),
+            "channels must stay in lockstep"
+        );
+        self.channels[0].cycle()
+    }
+
+    /// Advances every channel one DRAM cycle, pushing finished reads into
+    /// `completions` in channel order — the per-cycle reference
+    /// semantics.
+    pub fn tick(&mut self, completions: &mut Vec<Completion>) {
+        for ch in &mut self.channels {
+            ch.tick(completions);
+        }
+    }
+
+    /// [`MemorySystem::tick`] with each channel shortcutting its provably
+    /// dead cycles (see [`MemoryController::tick_fast`]). Bit-identical
+    /// to `tick`.
+    pub fn tick_fast(&mut self, completions: &mut Vec<Completion>) {
+        for ch in &mut self.channels {
+            ch.tick_fast(completions);
+        }
+    }
+
+    /// Advances every channel to DRAM cycle `target`, jumping dead
+    /// windows per channel and merging completions back into the
+    /// per-cycle delivery order (`finish_cycle`, then channel index).
+    /// Bit-identical to calling [`MemorySystem::tick`] in a loop.
+    pub fn tick_until(&mut self, target: u64, completions: &mut Vec<Completion>) {
+        if self.channels.len() == 1 {
+            self.channels[0].tick_until(target, completions);
+            return;
+        }
+        for (ch, out) in self.channels.iter_mut().zip(&mut self.scratch) {
+            out.clear();
+            ch.tick_until(target, out);
+        }
+        // K-way merge on (finish_cycle, channel): each channel's stream
+        // is already nondecreasing in finish_cycle, and the per-cycle
+        // reference delivers equal-cycle completions in channel order.
+        let n = self.scratch.len();
+        let mut idx = vec![0usize; n];
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (c, (done, i)) in self.scratch.iter().zip(&idx).enumerate() {
+                if let Some(comp) = done.get(*i) {
+                    if best.is_none_or(|b| (comp.finish_cycle, c) < b) {
+                        best = Some((comp.finish_cycle, c));
+                    }
+                }
+            }
+            let Some((_, c)) = best else { break };
+            completions.push(self.scratch[c][idx[c]]);
+            idx[c] += 1;
+        }
+    }
+
+    /// The earliest cycle at which *any* channel has an event — the fused
+    /// skip-ahead bound. Exact because each channel's bound is exact and
+    /// channels share no state: nothing can happen system-wide strictly
+    /// before the minimum.
+    pub fn next_event_cycle(&mut self) -> u64 {
+        self.channels
+            .iter_mut()
+            .map(|c| c.next_event_cycle())
+            .min()
+            .expect("at least one channel")
+    }
+
+    /// A lower bound on the next cycle any channel can deliver a read
+    /// completion (the min over channels of
+    /// [`MemoryController::next_completion_bound`]) — the co-jump cap for
+    /// a full-system driver.
+    pub fn next_completion_bound(&mut self) -> u64 {
+        self.channels
+            .iter_mut()
+            .map(|c| c.next_completion_bound())
+            .min()
+            .expect("at least one channel")
+    }
+
+    /// Counter-wise sum of every channel's statistics (see
+    /// [`MemStats::merge`] for the rate semantics).
+    pub fn fused_stats(&self) -> MemStats {
+        MemStats::fused(self.channels.iter().map(|c| c.stats()))
+    }
+
+    /// One channel's statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel_stats(&self, channel: usize) -> &MemStats {
+        self.channels[channel].stats()
+    }
+
+    /// Whether every channel's queues and in-flight buffers are empty.
+    pub fn is_idle(&self) -> bool {
+        self.channels.iter().all(|c| c.is_idle())
+    }
+
+    /// Queued reads across all channels.
+    pub fn pending_reads(&self) -> usize {
+        self.channels.iter().map(|c| c.pending_reads()).sum()
+    }
+
+    /// Queued writes across all channels.
+    pub fn pending_writes(&self) -> usize {
+        self.channels.iter().map(|c| c.pending_writes()).sum()
+    }
+
+    /// Migration jobs dispatched but not yet complete, across all
+    /// channels.
+    pub fn pending_migrations(&self) -> usize {
+        self.channels.iter().map(|c| c.pending_migrations()).sum()
+    }
+
+    /// Switches on per-row telemetry collection on every channel (the
+    /// drains stay per-channel: [`MemoryController::drain_row_telemetry_into`]
+    /// via [`MemorySystem::channel_mut`]).
+    pub fn enable_row_telemetry(&mut self) {
+        for ch in &mut self.channels {
+            ch.enable_row_telemetry();
+        }
+    }
+
+    /// Starts command logging on every channel (logs stay per-channel:
+    /// [`MemorySystem::command_log`]).
+    pub fn enable_command_log(&mut self) {
+        for ch in &mut self.channels {
+            ch.enable_command_log();
+        }
+    }
+
+    /// One channel's recorded command log, if enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn command_log(&self, channel: usize) -> Option<&[crate::command::IssuedCommand]> {
+        self.channels[channel].command_log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+    use clr_core::geometry::DramGeometry;
+
+    fn two_channel_cfg() -> MemConfig {
+        let mut cfg = MemConfig::paper_tiny();
+        cfg.geometry.channels = 2;
+        cfg
+    }
+
+    fn line_requests(n: u64, stride: u64) -> Vec<MemRequest> {
+        (0..n)
+            .map(|i| MemRequest::new(i, PhysAddr(i * stride), RequestKind::Read, 0))
+            .collect()
+    }
+
+    #[test]
+    fn one_channel_system_is_bit_identical_to_bare_controller() {
+        let cfg = MemConfig::paper_tiny();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let mut mc = MemoryController::new(cfg);
+        sys.enable_command_log();
+        mc.enable_command_log();
+        let (mut done_sys, mut done_mc) = (Vec::new(), Vec::new());
+        for req in line_requests(32, 64) {
+            sys.try_enqueue(req).unwrap();
+            mc.try_enqueue(req).unwrap();
+        }
+        sys.tick_until(20_000, &mut done_sys);
+        while mc.cycle() < 20_000 {
+            mc.tick(&mut done_mc);
+        }
+        assert_eq!(done_sys, done_mc);
+        assert_eq!(sys.command_log(0).unwrap(), mc.command_log().unwrap());
+        assert_eq!(sys.fused_stats(), *mc.stats());
+    }
+
+    #[test]
+    fn requests_spread_across_channels() {
+        let mut sys = MemorySystem::new(two_channel_cfg());
+        // Consecutive lines alternate channels under the default
+        // mapping (channel bits sit just above the burst).
+        for req in line_requests(16, 64) {
+            sys.try_enqueue(req).unwrap();
+        }
+        assert!(sys.channel(0).pending_reads() > 0);
+        assert!(sys.channel(1).pending_reads() > 0);
+        assert_eq!(sys.pending_reads(), 16);
+        let mut done = Vec::new();
+        sys.tick_until(30_000, &mut done);
+        assert_eq!(done.len(), 16);
+        assert_eq!(sys.cycle(), 30_000);
+        let fused = sys.fused_stats();
+        assert_eq!(fused.reads_completed, 16);
+        assert_eq!(
+            fused.reads,
+            sys.channel_stats(0).reads + sys.channel_stats(1).reads
+        );
+        assert!(sys.is_idle());
+    }
+
+    #[test]
+    fn routing_matches_the_mapping_and_masks_tags() {
+        let cfg = two_channel_cfg();
+        let sys = MemorySystem::new(cfg.clone());
+        let g = &cfg.geometry;
+        for addr in [0u64, 64, 128, 4096, g.capacity_bytes() - 64] {
+            let (ch, local) = sys.route(PhysAddr(addr));
+            let (ech, elocal) = cfg.mapping.route(PhysAddr(addr), g).unwrap();
+            assert_eq!(ch, ech as usize);
+            assert_eq!(local, elocal);
+            // Core-tagged (out-of-range) addresses fold into capacity.
+            let tagged = addr + g.capacity_bytes() * 3;
+            assert_eq!(sys.route(PhysAddr(tagged)), (ch, local));
+        }
+    }
+
+    #[test]
+    fn completion_merge_preserves_cycle_then_channel_order() {
+        let cfg = two_channel_cfg();
+        let mut per_cycle = MemorySystem::new(cfg.clone());
+        let mut jumped = MemorySystem::new(cfg);
+        let reqs = line_requests(40, 64);
+        for sys in [&mut per_cycle, &mut jumped] {
+            for &req in &reqs {
+                sys.try_enqueue(req).unwrap();
+            }
+        }
+        let (mut done_a, mut done_b) = (Vec::new(), Vec::new());
+        while per_cycle.cycle() < 25_000 {
+            per_cycle.tick(&mut done_a);
+        }
+        jumped.tick_until(25_000, &mut done_b);
+        assert_eq!(done_a, done_b);
+        assert_eq!(per_cycle.fused_stats(), jumped.fused_stats());
+    }
+
+    #[test]
+    fn fused_event_bound_is_min_over_channels() {
+        let mut sys = MemorySystem::new(two_channel_cfg());
+        // Idle system with refresh: the bound is the earliest refresh
+        // due time, identical on both channels.
+        let fused = sys.next_event_cycle();
+        let per_ch: Vec<u64> = (0..2)
+            .map(|c| sys.channel_mut(c).next_event_cycle())
+            .collect();
+        assert_eq!(fused, *per_ch.iter().min().unwrap());
+    }
+
+    #[test]
+    fn channel_slice_geometry_shares_everything_below_the_channel() {
+        let g = DramGeometry {
+            channels: 4,
+            ..DramGeometry::tiny()
+        };
+        let s = g.channel_slice();
+        assert_eq!(s.channels, 1);
+        assert_eq!(s.ranks, g.ranks);
+        assert_eq!(s.banks_total(), g.banks_total());
+        assert_eq!(s.capacity_bytes() * 4, g.capacity_bytes());
+    }
+}

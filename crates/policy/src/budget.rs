@@ -1,0 +1,291 @@
+//! Partitioning one global fast-row capacity budget across the channels
+//! of a sharded memory system.
+//!
+//! A channel-sharded controller keeps one [`ModeTable`] — and therefore
+//! one [`PolicyRuntime`](crate::runtime::PolicyRuntime) — per channel,
+//! but the *capacity* the system may forfeit to high-performance rows is
+//! a global contract. [`BudgetSplit`] turns the global budget (a
+//! fraction of all rows) into per-channel budget fractions, either
+//! statically (even split) or rebalanced each epoch in proportion to the
+//! demand each channel observed.
+//!
+//! Channels have identical row counts (they are slices of one geometry),
+//! so fractions add up simply: the per-channel fractions always satisfy
+//! `mean(fractions) ≤ global`, i.e. the partition never mints capacity.
+//! [`BudgetSplit::partition`] enforces that invariant and per-channel
+//! bounds (`0 ≤ f ≤ 1`, plus a starvation floor for the proportional
+//! split) by deterministic water-filling.
+
+use clr_core::mode::ModeTable;
+
+/// How the global high-performance capacity budget is divided across
+/// channels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum BudgetSplit {
+    /// Every channel gets the global fraction — correct whenever demand
+    /// is roughly symmetric, and the configuration that makes a
+    /// 1-channel system identical to the unsharded runtime.
+    #[default]
+    EvenSplit,
+    /// Each epoch, channels receive budget in proportion to the accesses
+    /// they served that epoch, subject to a floor so an idle channel is
+    /// never starved below `floor_of_even` times its even share (it must
+    /// still be able to react when its demand returns).
+    DemandProportional {
+        /// Fraction of the even share every channel keeps regardless of
+        /// demand (`0.0..=1.0`).
+        floor_of_even: f64,
+    },
+}
+
+impl BudgetSplit {
+    /// The proportional split with the default floor (¼ of the even
+    /// share).
+    pub fn demand_proportional() -> Self {
+        BudgetSplit::DemandProportional {
+            floor_of_even: 0.25,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BudgetSplit::EvenSplit => "even",
+            BudgetSplit::DemandProportional { .. } => "demand",
+        }
+    }
+
+    /// Splits `global_fraction` of all rows into one budget fraction per
+    /// channel, given each channel's demand (accesses observed this
+    /// epoch). Returns `channels` fractions, each within `0.0..=1.0`,
+    /// whose mean never exceeds `global_fraction`.
+    ///
+    /// With zero total demand the proportional split degrades to even —
+    /// there is no signal to follow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is empty, `global_fraction` is outside
+    /// `0.0..=1.0`, or a proportional floor is outside `0.0..=1.0`.
+    pub fn partition(&self, global_fraction: f64, demand: &[u64]) -> Vec<f64> {
+        assert!(!demand.is_empty(), "at least one channel");
+        assert!(
+            (0.0..=1.0).contains(&global_fraction),
+            "global budget {global_fraction} not within 0.0..=1.0"
+        );
+        let n = demand.len();
+        let total: u64 = demand.iter().sum();
+        let even = vec![global_fraction; n];
+        let floor_of_even = match *self {
+            BudgetSplit::EvenSplit => return even,
+            BudgetSplit::DemandProportional { floor_of_even } => {
+                assert!(
+                    (0.0..=1.0).contains(&floor_of_even),
+                    "floor {floor_of_even} not within 0.0..=1.0"
+                );
+                floor_of_even
+            }
+        };
+        if total == 0 || n == 1 {
+            return even;
+        }
+        // Water-filling: hand each unpinned channel budget in proportion
+        // to demand; a channel pushed past a bound is pinned there and
+        // the remainder re-flows. Terminates in ≤ n rounds and is fully
+        // deterministic (no float-order ambiguity: pins happen in index
+        // order within a round).
+        let budget_total = global_fraction * n as f64;
+        let floor = global_fraction * floor_of_even;
+        let mut share = vec![0.0f64; n];
+        let mut pinned = vec![false; n];
+        loop {
+            let pinned_sum: f64 = share
+                .iter()
+                .zip(&pinned)
+                .filter(|&(_, &p)| p)
+                .map(|(s, _)| s)
+                .sum();
+            let free_budget = (budget_total - pinned_sum).max(0.0);
+            let free_demand: u64 = demand
+                .iter()
+                .zip(&pinned)
+                .filter(|&(_, &p)| !p)
+                .map(|(d, _)| d)
+                .sum();
+            let mut repinned = false;
+            for c in 0..n {
+                if pinned[c] {
+                    continue;
+                }
+                let raw = if free_demand == 0 {
+                    free_budget / pinned.iter().filter(|&&p| !p).count() as f64
+                } else {
+                    free_budget * demand[c] as f64 / free_demand as f64
+                };
+                if raw < floor || raw > 1.0 {
+                    share[c] = raw.clamp(floor, 1.0).min(1.0);
+                    pinned[c] = true;
+                    repinned = true;
+                } else {
+                    share[c] = raw;
+                }
+            }
+            if !repinned || pinned.iter().all(|&p| p) {
+                break;
+            }
+        }
+        // Pinning (floor lifts colliding with the 1.0 cap) can push the
+        // sum above the budget. Remove the excess from the *above-floor*
+        // headroom only, so no channel ever drops below its promised
+        // floor: the floors alone sum to n·global·floor_of_even ≤
+        // budget_total, so the headroom always covers the excess in one
+        // pass.
+        let sum: f64 = share.iter().sum();
+        if sum > budget_total {
+            let excess = sum - budget_total;
+            let headroom: f64 = share.iter().map(|s| (s - floor).max(0.0)).sum();
+            if headroom > 0.0 {
+                let keep = (1.0 - excess / headroom).max(0.0);
+                for s in &mut share {
+                    *s = floor + (*s - floor).max(0.0) * keep;
+                }
+            }
+        }
+        for s in &share {
+            debug_assert!((floor - 1e-12..=1.0 + 1e-12).contains(s));
+        }
+        debug_assert!(share.iter().sum::<f64>() <= budget_total + 1e-9);
+        share
+    }
+
+    /// Validates a partition against per-channel mode tables: each
+    /// channel's budget rows must be representable (fraction within
+    /// bounds) and the summed row budget must not exceed the global
+    /// budget over all channels' rows. Returns the total budget rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fractions` and `tables` lengths differ.
+    pub fn validate_partition(
+        global_fraction: f64,
+        fractions: &[f64],
+        tables: &[&ModeTable],
+    ) -> u64 {
+        assert_eq!(fractions.len(), tables.len(), "one fraction per channel");
+        let mut total_rows = 0u64;
+        let mut budget_rows = 0u64;
+        for (f, t) in fractions.iter().zip(tables) {
+            assert!((0.0..=1.0 + 1e-12).contains(f), "fraction {f} out of range");
+            let rows = t.rows_per_bank() as u64 * t.banks() as u64;
+            total_rows += rows;
+            budget_rows += (rows as f64 * f).floor() as u64;
+        }
+        let global_rows = (total_rows as f64 * global_fraction).floor() as u64;
+        assert!(
+            budget_rows <= global_rows + tables.len() as u64,
+            "partition mints capacity: {budget_rows} rows vs global {global_rows}"
+        );
+        budget_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_core::geometry::DramGeometry;
+
+    #[test]
+    fn even_split_ignores_demand() {
+        let s = BudgetSplit::EvenSplit.partition(0.25, &[100, 0, 7]);
+        assert_eq!(s, vec![0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn proportional_follows_demand_exactly_when_unclamped() {
+        // Budget total = 0.2 × 2 = 0.4, demand 3:1 → 0.3 / 0.1, both
+        // within [floor = 0.05, 1.0].
+        let s = BudgetSplit::DemandProportional {
+            floor_of_even: 0.25,
+        }
+        .partition(0.2, &[300, 100]);
+        assert!((s[0] - 0.3).abs() < 1e-12, "{s:?}");
+        assert!((s[1] - 0.1).abs() < 1e-12, "{s:?}");
+    }
+
+    #[test]
+    fn idle_channel_keeps_the_floor() {
+        // Demand 100:0 → raw split would be 0.5/0.0; the idle channel is
+        // floored at 0.25 × 0.25 = 0.0625 and the hot one gets the rest.
+        let s = BudgetSplit::demand_proportional().partition(0.25, &[100, 0]);
+        assert!((s[1] - 0.0625).abs() < 1e-12, "{s:?}");
+        assert!((s[0] - (0.5 - 0.0625)).abs() < 1e-12, "{s:?}");
+        let mean = (s[0] + s[1]) / 2.0;
+        assert!(mean <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn shares_never_exceed_one_channel() {
+        // 0.9 global over 4 channels with demand concentrated on one:
+        // the hot channel pins at 1.0 and the overflow re-flows.
+        let s = BudgetSplit::DemandProportional { floor_of_even: 0.0 }
+            .partition(0.9, &[1_000_000, 1, 1, 1]);
+        assert!(s.iter().all(|&f| (0.0..=1.0 + 1e-12).contains(&f)), "{s:?}");
+        let sum: f64 = s.iter().sum();
+        assert!(sum <= 0.9 * 4.0 + 1e-9, "{s:?}");
+        assert!((s[0] - 1.0).abs() < 1e-9, "hot channel saturates: {s:?}");
+        // Re-flowed overflow reaches the cold channels.
+        assert!(s[1] > 0.5, "{s:?}");
+    }
+
+    #[test]
+    fn scale_back_preserves_the_floor() {
+        // Floor = even share (floor_of_even 1.0), budget 0.9 over 2
+        // channels, demand 1000:1 — the hot channel pins at 1.0 and the
+        // cold one at its 0.9 floor, overflowing the 1.8 total. The
+        // excess must come out of the above-floor headroom only: the
+        // cold channel keeps its full floor.
+        let s = BudgetSplit::DemandProportional { floor_of_even: 1.0 }.partition(0.9, &[1000, 1]);
+        assert!((s[1] - 0.9).abs() < 1e-9, "floor violated: {s:?}");
+        assert!((s[0] - 0.9).abs() < 1e-9, "{s:?}");
+        assert!(s[0] + s[1] <= 2.0 * 0.9 + 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_degrades_to_even() {
+        let s = BudgetSplit::demand_proportional().partition(0.25, &[0, 0]);
+        assert_eq!(s, vec![0.25, 0.25]);
+    }
+
+    #[test]
+    fn single_channel_is_the_global_budget() {
+        let s = BudgetSplit::demand_proportional().partition(0.3, &[42]);
+        assert_eq!(s, vec![0.3]);
+    }
+
+    #[test]
+    fn validate_partition_counts_rows() {
+        let g = DramGeometry::tiny().channel_slice();
+        let (ta, tb) = (ModeTable::new(&g), ModeTable::new(&g));
+        let rows = BudgetSplit::validate_partition(0.25, &[0.3, 0.2], &[&ta, &tb]);
+        let per_ch = ta.rows_per_bank() as u64 * ta.banks() as u64;
+        assert_eq!(
+            rows,
+            (per_ch as f64 * 0.3) as u64 + (per_ch as f64 * 0.2) as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mints capacity")]
+    fn validate_partition_rejects_overcommit() {
+        let g = DramGeometry::tiny().channel_slice();
+        let (ta, tb) = (ModeTable::new(&g), ModeTable::new(&g));
+        BudgetSplit::validate_partition(0.1, &[0.9, 0.9], &[&ta, &tb]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BudgetSplit::EvenSplit.label(), "even");
+        assert_eq!(BudgetSplit::demand_proportional().label(), "demand");
+        assert_eq!(BudgetSplit::default(), BudgetSplit::EvenSplit);
+    }
+}

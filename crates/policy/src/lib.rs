@@ -15,7 +15,10 @@
 //!   coupling/decoupling a populated row requires,
 //! * [`runtime`] — the epoch loop that validates policy proposals against
 //!   the capacity budget and oscillation/rate guards, and prices the
-//!   surviving batch.
+//!   surviving batch,
+//! * [`budget`] — partitioning one global capacity budget across the
+//!   channels of a sharded memory system (even split or
+//!   demand-proportional rebalancing at epoch boundaries).
 //!
 //! The runtime deliberately never owns the [`ModeTable`]: the memory
 //! controller in `clr-memsim` is the single owner, and the simulator in
@@ -52,11 +55,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod budget;
 pub mod policy;
 pub mod reloc;
 pub mod runtime;
 pub mod telemetry;
 
+pub use budget::BudgetSplit;
 pub use policy::{ModePolicy, PolicyConstraints, PolicySpec, RowTransition};
 pub use reloc::{RelocationCost, RelocationEngine, RelocationParams};
 pub use runtime::{EpochOutcome, PolicyRuntime, RuntimeStats};

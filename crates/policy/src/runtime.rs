@@ -72,6 +72,26 @@ impl RuntimeStats {
     pub fn avg_capacity_loss(&self) -> f64 {
         self.avg_hp_fraction() / 2.0
     }
+
+    /// Counter-wise sum `self + other` — fusing per-channel runtimes of a
+    /// sharded memory system into one view. Channels run the same number
+    /// of epochs (boundaries fire at the same cycle on every channel), so
+    /// the fused `avg_hp_fraction` is the mean of the per-channel
+    /// fractions.
+    #[must_use]
+    pub fn merged(&self, other: &RuntimeStats) -> RuntimeStats {
+        RuntimeStats {
+            epochs: self.epochs + other.epochs,
+            transitions_applied: self.transitions_applied + other.transitions_applied,
+            transitions_dropped: self.transitions_dropped + other.transitions_dropped,
+            promotions: self.promotions + other.promotions,
+            demotions: self.demotions + other.demotions,
+            accesses_observed: self.accesses_observed + other.accesses_observed,
+            total_cost: self.total_cost.merged(&other.total_cost),
+            hp_fraction_sum: self.hp_fraction_sum + other.hp_fraction_sum,
+            migrations_completed: self.migrations_completed + other.migrations_completed,
+        }
+    }
 }
 
 /// Drives a policy across epochs and validates its proposals.
@@ -149,6 +169,25 @@ impl PolicyRuntime {
     /// The constraints in force.
     pub fn constraints(&self) -> &PolicyConstraints {
         &self.constraints
+    }
+
+    /// Rebinds the capacity budget before the next epoch — the hook a
+    /// cross-channel [`BudgetSplit`](crate::budget::BudgetSplit)
+    /// partitioner uses to rebalance per-channel budgets at epoch
+    /// boundaries. Shrinking the budget never force-demotes: promotions
+    /// stop until the policy's own demotions bring the channel back
+    /// under its new budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_hp_fraction` is outside `0.0..=1.0` (a tolerance
+    /// above 1.0 from float partitioning is clamped).
+    pub fn set_max_hp_fraction(&mut self, max_hp_fraction: f64) {
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&max_hp_fraction),
+            "budget {max_hp_fraction} not within 0.0..=1.0"
+        );
+        self.constraints.max_hp_fraction = max_hp_fraction.min(1.0);
     }
 
     /// Lifetime counters.
@@ -388,6 +427,52 @@ mod tests {
         let out = rt.on_epoch(&telemetry(&[]), &modes);
         PolicyRuntime::apply(&out, &mut modes);
         assert_eq!(modes.mode_of(0, 3), clr_core::mode::RowMode::MaxCapacity);
+    }
+
+    #[test]
+    fn rebound_budget_gates_promotions_without_force_demoting() {
+        let g = DramGeometry::tiny();
+        let mut modes = ModeTable::new(&g);
+        let mut rt = runtime(PolicySpec::UtilizationThreshold { hot: 1, cold: 0 }, 0.5);
+        let hot: Vec<(u32, u32, u64)> = (0..8).map(|r| (0, r, 50)).collect();
+        let out = rt.on_epoch(&telemetry(&hot), &modes);
+        PolicyRuntime::apply(&out, &mut modes);
+        let promoted = modes.high_performance_rows();
+        assert!(promoted > 0);
+        // Shrink the budget to zero: the still-hot rows stay promoted
+        // (no forced demotion), but nothing new can be promoted.
+        rt.set_max_hp_fraction(0.0);
+        let more: Vec<(u32, u32, u64)> = (8..16).map(|r| (0, r, 50)).collect();
+        let out = rt.on_epoch(&telemetry(&[hot.clone(), more].concat()), &modes);
+        assert!(out
+            .applied
+            .iter()
+            .all(|t| t.to == clr_core::mode::RowMode::MaxCapacity));
+        assert_eq!(rt.constraints().max_hp_fraction, 0.0);
+    }
+
+    #[test]
+    fn runtime_stats_merge_sums_and_averages() {
+        let a = RuntimeStats {
+            epochs: 2,
+            transitions_applied: 3,
+            hp_fraction_sum: 0.5,
+            accesses_observed: 10,
+            ..RuntimeStats::default()
+        };
+        let b = RuntimeStats {
+            epochs: 2,
+            transitions_applied: 5,
+            hp_fraction_sum: 1.5,
+            accesses_observed: 20,
+            ..RuntimeStats::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.epochs, 4);
+        assert_eq!(m.transitions_applied, 8);
+        assert_eq!(m.accesses_observed, 30);
+        // Mean of per-channel fractions: (0.25 + 0.75) / 2.
+        assert!((m.avg_hp_fraction() - 0.5).abs() < 1e-12);
     }
 
     #[test]

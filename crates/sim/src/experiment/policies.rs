@@ -30,6 +30,7 @@ use clr_cpu::cache::CacheConfig;
 use clr_cpu::cluster::ClusterConfig;
 use clr_memsim::config::{ClrModeConfig, MemConfig};
 use clr_memsim::migrate::RelocationConfig;
+use clr_policy::budget::BudgetSplit;
 use clr_policy::policy::{PolicyConstraints, PolicySpec};
 use clr_trace::phase::PhaseShiftSpec;
 use clr_trace::synthetic::{SyntheticKind, SyntheticSpec};
@@ -51,6 +52,17 @@ pub struct PolicyCell {
     pub workload: String,
     /// Relocation model the cell ran under ("stall" or "background").
     pub reloc: String,
+    /// Cores the cell ran (1 for the single-core sweep columns).
+    pub cores: usize,
+    /// Memory channels the cell ran.
+    pub channels: u32,
+    /// Cross-channel budget split ("even" or "demand").
+    pub budget_split: String,
+    /// Weighted speedup `Σ IPC_shared/IPC_alone` against per-core alone
+    /// baselines (contention cells only).
+    pub weighted_speedup: Option<f64>,
+    /// Max slowdown `max IPC_alone/IPC_shared` (contention cells only).
+    pub max_slowdown: Option<f64>,
     /// IPC (mean over cores; see `ipc_per_core` for the breakdown).
     pub ipc: f64,
     /// Per-core IPC (one entry for single-core cells).
@@ -79,6 +91,10 @@ pub struct PolicyCell {
 pub struct PolicySweepReport {
     /// One cell per (policy, workload), in sweep order.
     pub cells: Vec<PolicyCell>,
+    /// The contention sweep: core counts × channel counts × budget
+    /// splits × dynamic policies, with per-core IPC and fairness
+    /// metrics against per-core alone baselines.
+    pub contention: Vec<PolicyCell>,
     /// Scale the sweep ran at.
     pub scale: Scale,
 }
@@ -231,7 +247,7 @@ pub fn reloc_label(cfg: &RelocationConfig) -> &'static str {
 }
 
 /// One sweep job: a policy driving one or more cores' workloads under a
-/// relocation model.
+/// relocation model on a (possibly multi-channel) memory system.
 #[derive(Debug, Clone)]
 struct CellSpec {
     policy: PolicySpec,
@@ -239,6 +255,30 @@ struct CellSpec {
     workloads: Vec<Workload>,
     reloc: RelocationConfig,
     workload_label: String,
+    channels: u32,
+    split: BudgetSplit,
+}
+
+impl CellSpec {
+    /// A single-channel cell with the even (trivial) budget split — the
+    /// classic sweep shape.
+    fn single_channel(
+        policy: PolicySpec,
+        budget: f64,
+        workloads: Vec<Workload>,
+        reloc: RelocationConfig,
+        workload_label: String,
+    ) -> Self {
+        CellSpec {
+            policy,
+            budget,
+            workloads,
+            reloc,
+            workload_label,
+            channels: 1,
+            split: BudgetSplit::EvenSplit,
+        }
+    }
 }
 
 fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
@@ -250,6 +290,7 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
         _ => 0.0,
     };
     let mut mem = policy_mem_config(initial_fraction);
+    mem.geometry.channels = spec.channels;
     mem.refresh_enabled = true;
     mem.relocation = spec.reloc;
     let base = RunConfig {
@@ -271,12 +312,18 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
             max_transitions_per_epoch: 512,
         },
         epoch_cycles(scale),
-    );
+    )
+    .with_budget_split(spec.split);
     let r = run_policy_workloads(&spec.workloads, &cfg);
     PolicyCell {
         policy: spec.policy.label(),
         workload: spec.workload_label.clone(),
         reloc: reloc_label(&spec.reloc).to_string(),
+        cores: spec.workloads.len(),
+        channels: spec.channels,
+        budget_split: spec.split.label().to_string(),
+        weighted_speedup: None,
+        max_slowdown: None,
         ipc: r.run.ipc.iter().sum::<f64>() / r.run.ipc.len() as f64,
         ipc_per_core: r.run.ipc.clone(),
         energy_j: r.run.energy.total_j(),
@@ -305,60 +352,275 @@ fn multicore_cell(scale: Scale) -> CellSpec {
     let w0 = phase_workload(scale);
     let w1 = stable_hot_workload(scale);
     let workload_label = format!("2core:{}+{}", w0.name(), w1.name());
-    CellSpec {
-        policy: PolicySpec::Hysteresis,
-        budget: DYNAMIC_BUDGET,
-        workloads: vec![w0, w1],
-        reloc: RelocationConfig::background_paced(),
+    CellSpec::single_channel(
+        PolicySpec::Hysteresis,
+        DYNAMIC_BUDGET,
+        vec![w0, w1],
+        RelocationConfig::background_paced(),
         workload_label,
+    )
+}
+
+/// One contention-sweep configuration: how many cores compete for how
+/// many channels, under which policy and cross-channel budget split.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionSpec {
+    /// Competing cores (workloads assigned round-robin from the roster).
+    pub cores: usize,
+    /// Memory channels.
+    pub channels: u32,
+    /// The dynamic policy managing every channel.
+    pub policy: PolicySpec,
+    /// How the global budget splits across channels.
+    pub split: BudgetSplit,
+}
+
+impl ContentionSpec {
+    fn label(&self, workloads: &[Workload]) -> String {
+        let mix = workloads
+            .iter()
+            .map(|w| {
+                // First component of the workload name ("phase",
+                // "stablehot", "random") keeps the label readable.
+                let name = w.name();
+                name.split('_').next().unwrap_or("w").to_string()
+            })
+            .collect::<Vec<_>>()
+            .join("+");
+        format!("{}core/{}ch:{mix}", self.cores, self.channels)
     }
+}
+
+/// The contention sweep's configurations: core counts {1, 2, 4} ×
+/// channel counts {1, 2} × budget splits (even always; demand only
+/// where there is more than one channel to rebalance) × the two
+/// interesting dynamic policies. At smoke scale the roster is trimmed
+/// to the two cells CI must exercise: the 2-core × 2-channel sharded
+/// path and the 4-core × 2-channel hysteresis headline.
+pub fn contention_roster(scale: Scale) -> Vec<ContentionSpec> {
+    if scale == Scale::Smoke {
+        return vec![
+            // Util-threshold promotes eagerly even at smoke budgets, so
+            // this cell drives real background migration through the
+            // sharded path on every CI push (hysteresis's payoff
+            // threshold rightly declines promotions this small).
+            ContentionSpec {
+                cores: 2,
+                channels: 2,
+                policy: PolicySpec::UtilizationThreshold { hot: 4, cold: 1 },
+                split: BudgetSplit::EvenSplit,
+            },
+            ContentionSpec {
+                cores: 4,
+                channels: 2,
+                policy: PolicySpec::Hysteresis,
+                split: BudgetSplit::demand_proportional(),
+            },
+        ];
+    }
+    let mut out = Vec::new();
+    for policy in [
+        PolicySpec::Hysteresis,
+        PolicySpec::UtilizationThreshold { hot: 4, cold: 1 },
+    ] {
+        for cores in [1usize, 2, 4] {
+            for channels in [1u32, 2] {
+                // The workload mix must physically fit the device: each
+                // phase/stable-hot footprint is half of one channel's
+                // capacity, so the 4-core mix (~28 MiB) needs the
+                // 2-channel device — on 1 channel page placement would
+                // rightly refuse (PlacementOverflow).
+                if cores == 4 && channels == 1 {
+                    continue;
+                }
+                let mut splits = vec![BudgetSplit::EvenSplit];
+                if channels > 1 {
+                    splits.push(BudgetSplit::demand_proportional());
+                }
+                for split in splits {
+                    out.push(ContentionSpec {
+                        cores,
+                        channels,
+                        policy,
+                        split,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The workload mix for an n-core contention cell: the roster columns
+/// (drifting-hot, stable-hot, uniform-random) assigned round-robin, so
+/// every cell mixes latency-sensitive and streaming behaviour.
+pub fn contention_workloads(scale: Scale, cores: usize) -> Vec<Workload> {
+    let roster = workload_roster(scale);
+    (0..cores).map(|i| roster[i % roster.len()]).collect()
+}
+
+/// Identity of one alone-baseline run: `(workload, trace seed,
+/// channels, policy, split)`. Cells in the same (policy, channels,
+/// split) group share baselines for the cores they have in common, so
+/// each distinct configuration is simulated exactly once per sweep.
+type AloneKey = (String, u64, u32, String, &'static str);
+
+fn alone_key(spec: &ContentionSpec, w: &Workload, alone_seed: u64) -> AloneKey {
+    (
+        w.name(),
+        alone_seed,
+        spec.channels,
+        spec.policy.label(),
+        spec.split.label(),
+    )
+}
+
+fn alone_cell_spec(spec: &ContentionSpec, w: Workload) -> CellSpec {
+    CellSpec {
+        policy: spec.policy,
+        budget: DYNAMIC_BUDGET,
+        workloads: vec![w],
+        reloc: RelocationConfig::background_paced(),
+        workload_label: String::new(),
+        channels: spec.channels,
+        split: spec.split,
+    }
+}
+
+/// Runs one contention cell, filling in weighted speedup and max
+/// slowdown against the precomputed per-core alone baselines (each
+/// core's workload alone on the identical memory system, replaying the
+/// exact per-core trace seed).
+fn run_contention_cell(
+    spec: &ContentionSpec,
+    scale: Scale,
+    seed: u64,
+    baselines: &std::collections::HashMap<AloneKey, PolicyCell>,
+) -> PolicyCell {
+    let workloads = contention_workloads(scale, spec.cores);
+    let cell_spec = CellSpec {
+        policy: spec.policy,
+        budget: DYNAMIC_BUDGET,
+        workloads: workloads.clone(),
+        reloc: RelocationConfig::background_paced(),
+        workload_label: spec.label(&workloads),
+        channels: spec.channels,
+        split: spec.split,
+    };
+    // A 1-core cell *is* an alone run (per_core_seed(seed, 0) == seed):
+    // when its group's core-0 baseline already exists, relabel it
+    // instead of re-simulating the identical configuration; its
+    // fairness metrics are exactly 1.0 by construction either way.
+    if spec.cores == 1 {
+        let mut cell = match baselines.get(&alone_key(spec, &workloads[0], seed)) {
+            Some(baseline) => baseline.clone(),
+            None => run_cell(&cell_spec, scale, seed),
+        };
+        cell.workload = cell_spec.workload_label;
+        cell.weighted_speedup = Some(1.0);
+        cell.max_slowdown = Some(1.0);
+        return cell;
+    }
+    let mut cell = run_cell(&cell_spec, scale, seed);
+    let alone: Vec<f64> = workloads
+        .iter()
+        .enumerate()
+        .map(|(core, w)| {
+            let alone_seed = crate::system::per_core_seed(seed, core);
+            baselines[&alone_key(spec, w, alone_seed)].ipc
+        })
+        .collect();
+    cell.weighted_speedup = Some(crate::metrics::weighted_speedup(&cell.ipc_per_core, &alone));
+    cell.max_slowdown = Some(crate::metrics::max_slowdown(&cell.ipc_per_core, &alone));
+    cell
+}
+
+/// Runs the contention sweep (see [`contention_roster`]): first every
+/// *distinct* alone-baseline configuration (deduplicated across cells
+/// — a 4-core cell shares its first two baselines with the 2-core and
+/// 1-core cells of the same policy/channels/split group), then every
+/// contention cell, all distributed over worker threads.
+pub fn run_contention(scale: Scale, seed: u64) -> Vec<PolicyCell> {
+    let specs = contention_roster(scale);
+    let mut wanted: Vec<(AloneKey, CellSpec, u64)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for spec in &specs {
+        if spec.cores == 1 {
+            continue; // reuses its group's core-0 baseline (or runs once)
+        }
+        for (core, w) in contention_workloads(scale, spec.cores).iter().enumerate() {
+            let alone_seed = crate::system::per_core_seed(seed, core);
+            let key = alone_key(spec, w, alone_seed);
+            if seen.insert(key.clone()) {
+                wanted.push((key, alone_cell_spec(spec, *w), alone_seed));
+            }
+        }
+    }
+    let cells = parallel_map(wanted.len(), |i| run_cell(&wanted[i].1, scale, wanted[i].2));
+    let baselines: std::collections::HashMap<AloneKey, PolicyCell> = wanted
+        .into_iter()
+        .zip(cells)
+        .map(|((key, _, _), cell)| (key, cell))
+        .collect();
+    parallel_map(specs.len(), |i| {
+        run_contention_cell(&specs[i], scale, seed, &baselines)
+    })
+}
+
+/// Runs `n` jobs over worker threads, returning results in job order.
+fn parallel_map<T: Send>(n: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = job(i);
+                results.lock().expect("no poisoned workers").push((i, out));
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("workers joined");
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, t)| t).collect()
 }
 
 /// Runs the sweep: every roster policy × every roster workload
 /// (drifting-hot, stable-hot, uniform-random) × the policy's relocation
 /// axis (stall vs background for dynamic policies), plus the 2-core
-/// shared-budget contention cell; cells are distributed over worker
-/// threads. Cells are workload-major with the drifting-hot-set column
-/// first, so [`PolicySweepReport::cell`] lookups by policy alone keep
-/// resolving to the headline workload.
+/// shared-budget cell and the contention sweep (core counts × channel
+/// counts × budget splits; see [`contention_roster`]); cells are
+/// distributed over worker threads. Cells are workload-major with the
+/// drifting-hot-set column first, so [`PolicySweepReport::cell`]
+/// lookups by policy alone keep resolving to the headline workload.
 pub fn run(scale: Scale, seed: u64) -> PolicySweepReport {
     let mut jobs: Vec<CellSpec> = Vec::new();
     for w in workload_roster(scale) {
         for (spec, budget) in policy_roster() {
             for reloc in reloc_axis(spec) {
-                jobs.push(CellSpec {
-                    policy: spec,
+                jobs.push(CellSpec::single_channel(
+                    spec,
                     budget,
-                    workloads: vec![w],
+                    vec![w],
                     reloc,
-                    workload_label: w.name(),
-                });
+                    w.name(),
+                ));
             }
         }
     }
     jobs.push(multicore_cell(scale));
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, PolicyCell)>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let cell = run_cell(&jobs[i], scale, seed);
-                results.lock().expect("no poisoned workers").push((i, cell));
-            });
-        }
-    });
-    let mut cells = results.into_inner().expect("workers joined");
-    cells.sort_by_key(|(i, _)| *i);
+    let cells = parallel_map(jobs.len(), |i| run_cell(&jobs[i], scale, seed));
+    let contention = run_contention(scale, seed);
     PolicySweepReport {
-        cells: cells.into_iter().map(|(_, c)| c).collect(),
+        cells,
+        contention,
         scale,
     }
 }
@@ -462,50 +724,113 @@ impl PolicySweepReport {
         out
     }
 
-    /// Machine-readable JSON (schema: `{schema, scale, cells: [...]}`),
-    /// emitted by the `policy_sweep` binary so future PRs can track a
-    /// performance trajectory. `v2` adds the relocation-model axis
-    /// (`reloc`, `migration_jobs`, `migration_slot_utilization`) and the
-    /// per-core IPC breakdown.
-    pub fn to_json(&self) -> String {
+    /// Renders the contention-sweep table (empty string when the sweep
+    /// has no contention cells).
+    pub fn render_contention(&self) -> String {
+        if self.contention.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:<34} {:>5} {:>3} {:<7} {:>7} {:>8} {:>9} {:>9} {:>8}\n",
+            "policy",
+            "cell",
+            "cores",
+            "ch",
+            "split",
+            "IPC",
+            "wspeedup",
+            "max-slow",
+            "stall-cyc",
+            "mig-util"
+        ));
+        for c in &self.contention {
+            out.push_str(&format!(
+                "{:<14} {:<34} {:>5} {:>3} {:<7} {:>7.4} {:>8.3} {:>9.3} {:>9} {:>7.2}%\n",
+                c.policy,
+                c.workload,
+                c.cores,
+                c.channels,
+                c.budget_split,
+                c.ipc,
+                c.weighted_speedup.unwrap_or(f64::NAN),
+                c.max_slowdown.unwrap_or(f64::NAN),
+                c.relocation_stall_cycles,
+                c.migration_slot_utilization * 100.0,
+            ));
+        }
+        out
+    }
+
+    fn cell_json(c: &PolicyCell) -> String {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
-        let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v2\",\n");
-        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.label()));
-        out.push_str("  \"cells\": [\n");
-        for (i, c) in self.cells.iter().enumerate() {
-            let per_core = c
-                .ipc_per_core
-                .iter()
-                .map(|v| format!("{v:.6}"))
-                .collect::<Vec<_>>()
-                .join(", ");
-            out.push_str(&format!(
-                "    {{\"policy\": \"{}\", \"workload\": \"{}\", \"reloc\": \"{}\", \
-                 \"ipc\": {:.6}, \"ipc_per_core\": [{}], \
-                 \"energy_j\": {:.6e}, \"avg_capacity_loss\": {:.6}, \
-                 \"final_hp_fraction\": {:.6}, \"transitions\": {}, \
-                 \"relocation_stall_cycles\": {}, \"migration_jobs\": {}, \
-                 \"migration_slot_utilization\": {:.6}, \"row_hit_rate\": {:.6}}}{}\n",
-                esc(&c.policy),
-                esc(&c.workload),
-                esc(&c.reloc),
-                c.ipc,
-                per_core,
-                c.energy_j,
-                c.avg_capacity_loss,
-                c.final_hp_fraction,
-                c.transitions,
-                c.relocation_stall_cycles,
-                c.migration_jobs,
-                c.migration_slot_utilization,
-                c.row_hit_rate,
-                if i + 1 == self.cells.len() { "" } else { "," },
-            ));
+        fn opt(v: Option<f64>) -> String {
+            v.map_or_else(|| "null".to_string(), |x| format!("{x:.6}"))
         }
-        out.push_str("  ]\n}\n");
+        let per_core = c
+            .ipc_per_core
+            .iter()
+            .map(|v| format!("{v:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"policy\": \"{}\", \"workload\": \"{}\", \"reloc\": \"{}\", \
+             \"cores\": {}, \"channels\": {}, \"budget_split\": \"{}\", \
+             \"ipc\": {:.6}, \"ipc_per_core\": [{}], \
+             \"weighted_speedup\": {}, \"max_slowdown\": {}, \
+             \"energy_j\": {:.6e}, \"avg_capacity_loss\": {:.6}, \
+             \"final_hp_fraction\": {:.6}, \"transitions\": {}, \
+             \"relocation_stall_cycles\": {}, \"migration_jobs\": {}, \
+             \"migration_slot_utilization\": {:.6}, \"row_hit_rate\": {:.6}}}",
+            esc(&c.policy),
+            esc(&c.workload),
+            esc(&c.reloc),
+            c.cores,
+            c.channels,
+            esc(&c.budget_split),
+            c.ipc,
+            per_core,
+            opt(c.weighted_speedup),
+            opt(c.max_slowdown),
+            c.energy_j,
+            c.avg_capacity_loss,
+            c.final_hp_fraction,
+            c.transitions,
+            c.relocation_stall_cycles,
+            c.migration_jobs,
+            c.migration_slot_utilization,
+            c.row_hit_rate,
+        )
+    }
+
+    /// Machine-readable JSON (schema:
+    /// `{schema, scale, cells: [...], contention: [...]}`), emitted by
+    /// the `policy_sweep` binary so future PRs can track a performance
+    /// trajectory. `v2` added the relocation-model axis (`reloc`,
+    /// `migration_jobs`, `migration_slot_utilization`) and the per-core
+    /// IPC breakdown; `v3` adds the channel-sharding axis (`cores`,
+    /// `channels`, `budget_split`) and the contention array with
+    /// `weighted_speedup` / `max_slowdown` fairness columns (null on
+    /// non-contention cells).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v3\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.label()));
+        for (key, cells, trailing) in [
+            ("cells", &self.cells, ","),
+            ("contention", &self.contention, ""),
+        ] {
+            out.push_str(&format!("  \"{key}\": [\n"));
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str("    ");
+                out.push_str(&Self::cell_json(c));
+                out.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+            }
+            out.push_str(&format!("  ]{trailing}\n"));
+        }
+        out.push_str("}\n");
         out
     }
 }
@@ -550,6 +875,11 @@ mod tests {
             policy: policy.into(),
             workload: workload.into(),
             reloc: reloc.into(),
+            cores: 1,
+            channels: 1,
+            budget_split: "even".into(),
+            weighted_speedup: None,
+            max_slowdown: None,
             ipc,
             ipc_per_core: vec![ipc],
             energy_j: 1e-3,
@@ -565,17 +895,69 @@ mod tests {
 
     #[test]
     fn json_shape_is_stable() {
+        let mut contention = cell("hysteresis", "4core/2ch:mix", "background", 0.5);
+        contention.cores = 4;
+        contention.channels = 2;
+        contention.budget_split = "demand".into();
+        contention.ipc_per_core = vec![0.5; 4];
+        contention.weighted_speedup = Some(3.2);
+        contention.max_slowdown = Some(1.4);
         let report = PolicySweepReport {
             scale: Scale::Smoke,
             cells: vec![cell("topk", "phase_12m_h04", "background", 0.5)],
+            contention: vec![contention],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v2\""));
+        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v3\""));
         assert!(json.contains("\"policy\": \"topk\""));
         assert!(json.contains("\"reloc\": \"background\""));
         assert!(json.contains("\"ipc_per_core\": [0.500000]"));
+        // v3 axes on every cell; fairness metrics null outside the
+        // contention array.
+        assert!(json.contains("\"channels\": 1"));
+        assert!(json.contains("\"weighted_speedup\": null"));
+        assert!(json.contains("\"contention\": ["));
+        assert!(json.contains("\"budget_split\": \"demand\""));
+        assert!(json.contains("\"weighted_speedup\": 3.200000"));
+        assert!(json.contains("\"max_slowdown\": 1.400000"));
         assert!(report.cell("topk").is_some());
         assert!(report.best_static_within(0.2).is_none());
+        // The contention table renders its fairness columns.
+        let table = report.render_contention();
+        assert!(table.contains("4core/2ch:mix"));
+        assert!(table.contains("3.200"));
+    }
+
+    #[test]
+    fn contention_roster_shape() {
+        // Smoke: exactly the two CI cells, both 2-channel background.
+        let smoke = contention_roster(Scale::Smoke);
+        assert_eq!(smoke.len(), 2);
+        assert!(smoke.iter().all(|s| s.channels == 2));
+        assert_eq!(smoke[0].cores, 2);
+        assert!(matches!(
+            smoke[0].policy,
+            PolicySpec::UtilizationThreshold { .. }
+        ));
+        assert_eq!(smoke[1].cores, 4);
+        assert!(matches!(smoke[1].policy, PolicySpec::Hysteresis));
+        // Full cross at default scale: 2 policies × (cores {1,2} ×
+        // (1ch even + 2ch even + 2ch demand) + cores 4 × 2ch-only) —
+        // the 4-core mix does not fit a 1-channel device.
+        let full = contention_roster(Scale::Default);
+        assert_eq!(full.len(), 2 * (2 * 3 + 2));
+        assert!(!full.iter().any(|s| s.cores == 4 && s.channels == 1));
+        assert!(full
+            .iter()
+            .any(|s| s.channels == 1 && matches!(s.split, BudgetSplit::EvenSplit)));
+        assert!(full
+            .iter()
+            .any(|s| s.channels == 2 && s.split == BudgetSplit::demand_proportional()));
+        // Workload mixes cycle the roster columns.
+        let ws = contention_workloads(Scale::Smoke, 4);
+        assert_eq!(ws.len(), 4);
+        assert_eq!(ws[0].name(), ws[3].name());
+        assert_ne!(ws[0].name(), ws[1].name());
     }
 
     #[test]
@@ -600,6 +982,7 @@ mod tests {
                 cell("hysteresis", "w", "background", 0.45),
                 cell("static-25", "w", "stall", 0.42),
             ],
+            contention: Vec::new(),
         };
         assert_eq!(
             report.cell_for("hysteresis", "w").unwrap().reloc,

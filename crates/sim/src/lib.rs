@@ -30,7 +30,7 @@ pub mod scale;
 pub mod system;
 pub mod translate;
 
-pub use metrics::{geomean, weighted_speedup};
+pub use metrics::{geomean, max_slowdown, weighted_speedup};
 pub use policyrun::{run_policy_workloads, PolicyRunConfig, PolicyRunResult};
 pub use scale::Scale;
 pub use system::{RunConfig, RunResult};

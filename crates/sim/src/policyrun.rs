@@ -1,11 +1,17 @@
 //! Full-system runs with a dynamic mode-management policy in the loop.
 //!
 //! [`run_policy_workloads`] is [`crate::system::run_workloads`] plus an
-//! epoch driver: every `epoch_dram_cycles` DRAM cycles it drains the
-//! controller's per-row telemetry, lets a [`clr_policy`] runtime decide
-//! transitions against the controller's live [`ModeTable`], and applies
-//! the validated batch back to the controller. How the batch lands is
-//! governed by the memory configuration's
+//! epoch driver: every `epoch_dram_cycles` DRAM cycles it drains each
+//! channel's per-row telemetry, lets one [`clr_policy`] runtime *per
+//! channel* decide transitions against that channel's live [`ModeTable`],
+//! and applies the validated batches back to the owning controllers.
+//! Channels advance in lockstep, so every epoch boundary fires at the
+//! same cycle on every channel; one global capacity budget is partitioned
+//! across the per-channel runtimes by a [`BudgetSplit`] (static even
+//! split, or demand-proportional rebalancing recomputed at each
+//! boundary from the epoch's per-channel access counts).
+//!
+//! How a batch lands is governed by the memory configuration's
 //! [`RelocationConfig`](clr_memsim::migrate::RelocationConfig):
 //!
 //! * **stall** (legacy) — the batch flips atomically through
@@ -15,8 +21,8 @@
 //!   [`MemoryController::begin_row_migrations`]: demotions flip
 //!   immediately, promotions become per-row migration jobs whose
 //!   commands steal idle bank slots while demand traffic keeps flowing.
-//!   The driver feeds the controller's completion reports back into the
-//!   runtime each epoch, so epoch boundaries can overlap in-progress
+//!   The driver feeds each channel's completion reports back into that
+//!   channel's runtime, so epoch boundaries can overlap in-progress
 //!   migrations without double-proposing rows.
 //!
 //! [`ModeTable`]: clr_core::mode::ModeTable
@@ -24,7 +30,8 @@
 //! [`MemoryController::begin_row_migrations`]: clr_memsim::controller::MemoryController::begin_row_migrations
 
 use clr_core::mode::RowMode;
-use clr_memsim::controller::MemoryController;
+use clr_memsim::system::MemorySystem;
+use clr_policy::budget::BudgetSplit;
 use clr_policy::policy::{PolicyConstraints, PolicySpec};
 use clr_policy::reloc::{RelocationEngine, RelocationParams};
 use clr_policy::runtime::{PolicyRuntime, RuntimeStats};
@@ -39,16 +46,21 @@ pub struct PolicyRunConfig {
     /// The underlying full-system run (its `mem.clr` fraction is the
     /// *initial* table layout; the policy takes over from epoch 0).
     pub base: RunConfig,
-    /// Which policy to run.
+    /// Which policy to run (instantiated once per channel).
     pub policy: PolicySpec,
-    /// Capacity budget and transition-rate limits.
+    /// Global capacity budget and transition-rate limits; the budget is
+    /// partitioned across channels by `budget_split`.
     pub constraints: PolicyConstraints,
     /// Epoch length in DRAM cycles.
     pub epoch_dram_cycles: u64,
+    /// How the global capacity budget is divided across channels (even
+    /// split by default; irrelevant for 1-channel systems).
+    pub budget_split: BudgetSplit,
 }
 
 impl PolicyRunConfig {
-    /// A policy run over `base` with an epoch every `epoch_dram_cycles`.
+    /// A policy run over `base` with an epoch every `epoch_dram_cycles`
+    /// and an even cross-channel budget split.
     pub fn new(
         base: RunConfig,
         policy: PolicySpec,
@@ -61,7 +73,15 @@ impl PolicyRunConfig {
             policy,
             constraints,
             epoch_dram_cycles,
+            budget_split: BudgetSplit::EvenSplit,
         }
+    }
+
+    /// Replaces the cross-channel budget split.
+    #[must_use]
+    pub fn with_budget_split(mut self, split: BudgetSplit) -> Self {
+        self.budget_split = split;
+        self
     }
 }
 
@@ -72,10 +92,17 @@ pub struct PolicyRunResult {
     pub run: RunResult,
     /// Policy label.
     pub policy: String,
-    /// The runtime's lifetime counters.
+    /// The fused lifetime counters (sum over per-channel runtimes; see
+    /// [`RuntimeStats::merged`]).
     pub policy_stats: RuntimeStats,
-    /// High-performance row fraction at the end of the run.
+    /// Each channel's runtime counters (channel 0 first).
+    pub policy_stats_per_channel: Vec<RuntimeStats>,
+    /// System-wide high-performance row fraction at the end of the run
+    /// (mean over channels — channels have equal row counts).
     pub final_hp_fraction: f64,
+    /// Each channel's budget fraction at the last epoch boundary — the
+    /// partitioner's final verdict (equal entries under an even split).
+    pub final_channel_budgets: Vec<f64>,
 }
 
 impl PolicyRunResult {
@@ -85,92 +112,132 @@ impl PolicyRunResult {
         self.policy_stats.avg_capacity_loss()
     }
 
-    /// Fraction of measurement-window cycles a background-migration
-    /// command occupied the command bus — the overlap metric that
-    /// replaces `relocation_stall_cycles` under background relocation.
+    /// Fraction of measurement-window channel-cycles a
+    /// background-migration command occupied a command bus — the overlap
+    /// metric that replaces `relocation_stall_cycles` under background
+    /// relocation.
     pub fn migration_slot_utilization(&self) -> f64 {
         self.run.mem.migration_slot_utilization()
     }
 }
 
 struct EpochDriver {
-    runtime: PolicyRuntime,
+    /// One runtime per channel, sharing one policy spec and one global
+    /// budget.
+    runtimes: Vec<PolicyRuntime>,
+    split: BudgetSplit,
+    global_budget: f64,
     epoch_dram_cycles: u64,
     next_epoch: u64,
     last_epoch_cycle: u64,
     final_hp_fraction: f64,
+    channel_budgets: Vec<f64>,
     /// Whether transition batches go through the background migration
     /// engine instead of the atomic stall apply (derived from the
-    /// controller's relocation configuration at run start).
+    /// memory configuration at run start).
     background: bool,
     /// Reused across epochs so the steady-state epoch loop allocates
     /// nothing per drain.
     telemetry_scratch: Vec<((u32, u32), u64)>,
+    epoch_scratch: Vec<EpochTelemetry>,
+    demand_scratch: Vec<u64>,
     changes_scratch: Vec<(usize, u32, RowMode)>,
     completed_scratch: Vec<(u32, u32, RowMode)>,
     dispatched_scratch: Vec<(u32, u32)>,
 }
 
 impl RunObserver for EpochDriver {
-    fn on_run_start(&mut self, mc: &mut MemoryController) {
-        // Telemetry collection is opt-in on the controller; it must be on
-        // before the very first command — including commands replayed
+    fn on_run_start(&mut self, mem: &mut MemorySystem) {
+        // Telemetry collection is opt-in on the controllers; it must be
+        // on before the very first command — including commands replayed
         // inside a skip-ahead window before the first per-tick callback.
-        mc.enable_row_telemetry();
-        self.background = mc.config().relocation.is_background();
+        mem.enable_row_telemetry();
+        self.background = mem.config().relocation.is_background();
     }
 
-    fn after_dram_tick(&mut self, mc: &mut MemoryController) {
-        let now = mc.cycle();
+    fn after_dram_tick(&mut self, mem: &mut MemorySystem) {
+        let now = mem.cycle();
         if now < self.next_epoch {
             return;
         }
-        // Feed migration completions back first, so rows that finished
-        // moving since the last epoch are proposable again this epoch.
-        if self.background {
-            mc.drain_completed_migrations_into(&mut self.completed_scratch);
-            self.runtime.note_completed(&self.completed_scratch);
-        }
-        let mut telemetry =
-            EpochTelemetry::new(self.runtime.stats().epochs, now - self.last_epoch_cycle);
-        mc.drain_row_telemetry_into(&mut self.telemetry_scratch);
-        for &((bank, row), n) in &self.telemetry_scratch {
-            telemetry.record(RowId::new(bank, row), n);
-        }
-        let outcome = self.runtime.on_epoch(&telemetry, mc.mode_table());
-        if !outcome.applied.is_empty() {
-            self.changes_scratch.clear();
-            self.changes_scratch.extend(
-                outcome
-                    .applied
-                    .iter()
-                    .map(|t| (t.row.bank as usize, t.row.row, t.to)),
-            );
+        let channels = self.runtimes.len();
+        let epoch_len = now - self.last_epoch_cycle;
+
+        // Pass 1 per channel: feed migration completions back (rows that
+        // finished moving are proposable again this epoch) and collect
+        // the epoch telemetry + demand.
+        self.epoch_scratch.clear();
+        self.demand_scratch.clear();
+        for ch in 0..channels {
+            let mc = mem.channel_mut(ch);
             if self.background {
-                self.dispatched_scratch.clear();
-                mc.begin_row_migrations_tracked(
-                    &self.changes_scratch,
-                    &mut self.dispatched_scratch,
-                );
-                self.runtime.note_in_flight(&self.dispatched_scratch);
-            } else {
-                mc.apply_row_modes(&self.changes_scratch, outcome.cost.dram_cycles);
+                mc.drain_completed_migrations_into(&mut self.completed_scratch);
+                self.runtimes[ch].note_completed(&self.completed_scratch);
             }
+            let mut telemetry = EpochTelemetry::new(self.runtimes[ch].stats().epochs, epoch_len);
+            mc.drain_row_telemetry_into(&mut self.telemetry_scratch);
+            for &((bank, row), n) in &self.telemetry_scratch {
+                telemetry.record(RowId::new(bank, row), n);
+            }
+            self.demand_scratch.push(telemetry.total_accesses());
+            self.epoch_scratch.push(telemetry);
         }
-        self.final_hp_fraction = mc.mode_table().fraction_high_performance();
+
+        // Rebalance the global budget across channels from this epoch's
+        // demand, then run each channel's epoch under its new budget.
+        self.channel_budgets = self
+            .split
+            .partition(self.global_budget, &self.demand_scratch);
+        #[cfg(debug_assertions)]
+        {
+            // The partition must never mint capacity: validated against
+            // every channel's live table (panics on violation).
+            let tables: Vec<&clr_core::mode::ModeTable> =
+                (0..channels).map(|c| mem.channel(c).mode_table()).collect();
+            BudgetSplit::validate_partition(self.global_budget, &self.channel_budgets, &tables);
+        }
+        let mut hp_fraction_sum = 0.0;
+        for ch in 0..channels {
+            self.runtimes[ch].set_max_hp_fraction(self.channel_budgets[ch]);
+            let outcome =
+                self.runtimes[ch].on_epoch(&self.epoch_scratch[ch], mem.channel(ch).mode_table());
+            if !outcome.applied.is_empty() {
+                self.changes_scratch.clear();
+                self.changes_scratch.extend(
+                    outcome
+                        .applied
+                        .iter()
+                        .map(|t| (t.row.bank as usize, t.row.row, t.to)),
+                );
+                let mc = mem.channel_mut(ch);
+                if self.background {
+                    self.dispatched_scratch.clear();
+                    mc.begin_row_migrations_tracked(
+                        &self.changes_scratch,
+                        &mut self.dispatched_scratch,
+                    );
+                    self.runtimes[ch].note_in_flight(&self.dispatched_scratch);
+                } else {
+                    mc.apply_row_modes(&self.changes_scratch, outcome.cost.dram_cycles);
+                }
+            }
+            hp_fraction_sum += mem.channel(ch).mode_table().fraction_high_performance();
+        }
+        self.final_hp_fraction = hp_fraction_sum / channels as f64;
         self.last_epoch_cycle = now;
         self.next_epoch = now + self.epoch_dram_cycles;
     }
 
     /// Epoch boundaries must fire at exact cycles even under skip-ahead:
     /// telemetry windows, relocation-stall start cycles, and refresh
-    /// retunes all anchor to them.
+    /// retunes all anchor to them — on every channel at once.
     fn next_boundary(&self) -> Option<u64> {
         Some(self.next_epoch)
     }
 }
 
-/// Runs `workloads` under `cfg` with the policy runtime in the loop.
+/// Runs `workloads` under `cfg` with one policy runtime per memory
+/// channel in the loop.
 ///
 /// # Panics
 ///
@@ -178,28 +245,47 @@ impl RunObserver for EpochDriver {
 /// [`crate::system::run_workloads`]).
 pub fn run_policy_workloads(workloads: &[Workload], cfg: &PolicyRunConfig) -> PolicyRunResult {
     let g = &cfg.base.mem.geometry;
-    let reloc = RelocationEngine::new(RelocationParams::for_geometry(
-        g.row_bytes(),
-        g.burst_bytes(),
-    ));
+    let channels = g.channels as usize;
+    let reloc = || {
+        RelocationEngine::new(RelocationParams::for_geometry(
+            g.row_bytes(),
+            g.burst_bytes(),
+        ))
+    };
+    let runtimes: Vec<PolicyRuntime> = (0..channels)
+        .map(|_| PolicyRuntime::new(cfg.policy.build(), cfg.constraints, reloc()))
+        .collect();
     let mut driver = EpochDriver {
-        runtime: PolicyRuntime::new(cfg.policy.build(), cfg.constraints, reloc),
+        runtimes,
+        split: cfg.budget_split,
+        global_budget: cfg.constraints.max_hp_fraction,
         epoch_dram_cycles: cfg.epoch_dram_cycles,
         next_epoch: cfg.epoch_dram_cycles,
         last_epoch_cycle: 0,
         final_hp_fraction: cfg.base.mem.clr.fraction_hp(),
+        channel_budgets: vec![cfg.constraints.max_hp_fraction; channels],
         background: cfg.base.mem.relocation.is_background(),
         telemetry_scratch: Vec::new(),
+        epoch_scratch: Vec::new(),
+        demand_scratch: Vec::new(),
         changes_scratch: Vec::new(),
         completed_scratch: Vec::new(),
         dispatched_scratch: Vec::new(),
     };
     let run = run_workloads_observed(workloads, &cfg.base, &mut driver);
+    let policy = driver.runtimes[0].policy_name();
+    let policy_stats_per_channel: Vec<RuntimeStats> =
+        driver.runtimes.iter().map(|r| *r.stats()).collect();
+    let policy_stats = policy_stats_per_channel
+        .iter()
+        .fold(RuntimeStats::default(), |acc, s| acc.merged(s));
     PolicyRunResult {
         run,
-        policy: driver.runtime.policy_name(),
-        policy_stats: *driver.runtime.stats(),
+        policy,
+        policy_stats,
+        policy_stats_per_channel,
         final_hp_fraction: driver.final_hp_fraction,
+        final_channel_budgets: driver.channel_budgets,
     }
 }
 
@@ -307,5 +393,47 @@ mod tests {
         );
         assert!(r.final_hp_fraction <= 0.125 + 1e-9);
         assert!(r.avg_capacity_loss() <= 0.125 / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn two_channel_policy_run_partitions_the_budget() {
+        let mut mem = crate::experiment::policies::policy_mem_config(0.0);
+        mem.geometry.channels = 2;
+        mem.refresh_enabled = false;
+        mem.relocation = clr_memsim::migrate::RelocationConfig::background();
+        let base = RunConfig {
+            mem,
+            cluster: clr_cpu::cluster::ClusterConfig::tiny(),
+            budget_insts: 6_000,
+            warmup_insts: 500,
+            seed: 11,
+            skip_ahead: true,
+        };
+        let spec = PhaseShiftSpec {
+            footprint_mib: 1,
+            accesses_per_phase: 500,
+            ..PhaseShiftSpec::paper_default()
+        };
+        let cfg = PolicyRunConfig::new(
+            base,
+            PolicySpec::UtilizationThreshold { hot: 2, cold: 0 },
+            PolicyConstraints::with_budget(0.25),
+            2_000,
+        )
+        .with_budget_split(BudgetSplit::demand_proportional());
+        let r = run_policy_workloads(&[Workload::PhaseShift(spec)], &cfg);
+        assert_eq!(r.policy_stats_per_channel.len(), 2);
+        assert_eq!(r.final_channel_budgets.len(), 2);
+        assert_eq!(r.run.mem_per_channel.len(), 2);
+        // The global budget contract holds: mean of per-channel budgets
+        // never exceeds the global fraction.
+        let mean: f64 = r.final_channel_budgets.iter().sum::<f64>() / 2.0;
+        assert!(mean <= 0.25 + 1e-9, "{:?}", r.final_channel_budgets);
+        // Both channels saw traffic and the system-wide fraction
+        // respects the global budget.
+        assert!(r.run.mem_per_channel.iter().all(|s| s.reads > 0));
+        assert!(r.final_hp_fraction <= 0.25 + 1e-9);
+        assert!(r.policy_stats.epochs > 0);
+        assert_eq!(r.run.mem.relocation_stall_cycles, 0);
     }
 }

@@ -1,5 +1,10 @@
-//! The full-system simulator: CPU cluster + memory controller with the
-//! 4 GHz / 1200 MHz clock-domain crossing.
+//! The full-system simulator: CPU cluster + channel-sharded memory
+//! system with the 4 GHz / 1200 MHz clock-domain crossing.
+//!
+//! The memory side is a [`MemorySystem`]: one independent controller per
+//! channel of the configured geometry, requests routed by the address
+//! mapping's bijective channel split. A 1-channel configuration is
+//! bit-identical to driving the single controller directly.
 //!
 //! # Skip-ahead
 //!
@@ -7,27 +12,29 @@
 //! [`RunConfig::skip_ahead`] enabled (the default), the loop jumps over
 //! windows in which *both* sides are provably inert: the cluster reports
 //! via [`CpuCluster::stalled_until`] that every core is blocked on memory
-//! with nothing to inject, and the controller's
-//! [`MemoryController::next_event_cycle`] bounds the first cycle at which
-//! any DRAM event (command issue, refresh, completion, stall expiry, row
-//! close) can fire. The jump is capped so that the first DRAM event, the
-//! first scheduled CPU wakeup, and the observer's next exact-cycle
-//! boundary are all reached by ordinary stepping — which is why a
-//! skip-ahead run is bit-identical to a per-cycle run (identical IPC,
-//! statistics, and command streams; enforced by the workspace
-//! differential test).
+//! with nothing to inject, and the memory system's
+//! [`MemorySystem::next_event_cycle`] — the minimum over channels of
+//! each controller's exact bound — bounds the first cycle at which any
+//! DRAM event (command issue, refresh, completion, stall expiry, row
+//! close) can fire on *any* channel. The jump is capped so that the
+//! first DRAM event, the first scheduled CPU wakeup, and the observer's
+//! next exact-cycle boundary are all reached by ordinary stepping —
+//! which is why a skip-ahead run is bit-identical to a per-cycle run
+//! (identical IPC, statistics, and command streams; enforced by the
+//! workspace differential test, including on multi-channel
+//! configurations).
 //!
 //! [`CpuCluster::stalled_until`]: clr_cpu::cluster::CpuCluster::stalled_until
-//! [`MemoryController::next_event_cycle`]: clr_memsim::controller::MemoryController::next_event_cycle
+//! [`MemorySystem::next_event_cycle`]: clr_memsim::system::MemorySystem::next_event_cycle
 
 use clr_core::addr::PhysAddr;
 use clr_core::mapping::{PagePlacement, PageProfile};
 use clr_cpu::cluster::{ClusterConfig, CpuCluster};
 use clr_cpu::trace::TraceSource;
 use clr_memsim::config::MemConfig;
-use clr_memsim::controller::MemoryController;
 use clr_memsim::request::{Completion, MemRequest, RequestKind};
 use clr_memsim::stats::MemStats;
+use clr_memsim::system::MemorySystem;
 use clr_power::{energy_of_run, EnergyBreakdown, IddParams};
 use clr_trace::workload::Workload;
 
@@ -84,8 +91,13 @@ pub struct RunResult {
     pub dram_cycles: u64,
     /// Wall-clock nanoseconds of the measurement window.
     pub duration_ns: f64,
-    /// Memory-system statistics delta over the window.
+    /// Fused memory-system statistics delta over the window (the
+    /// counter-wise sum of every channel; see
+    /// [`MemStats::merge`](clr_memsim::stats::MemStats::merge)).
     pub mem: MemStats,
+    /// Per-channel statistics deltas over the window (one entry per
+    /// channel, channel 0 first).
+    pub mem_per_channel: Vec<MemStats>,
     /// Energy over the window.
     pub energy: EnergyBreakdown,
     /// Host wall-clock seconds spent in the simulation loop itself
@@ -101,7 +113,10 @@ impl RunResult {
     }
 }
 
-fn per_core_seed(seed: u64, core: usize) -> u64 {
+/// The trace seed core `core` derives from a run's master seed — exposed
+/// crate-wide so an alone-IPC baseline run can hand core 0 exactly the
+/// trace that core `core` replays in a shared run.
+pub(crate) fn per_core_seed(seed: u64, core: usize) -> u64 {
     seed.wrapping_add((core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
@@ -127,17 +142,19 @@ fn build_placement(workloads: &[Workload], cfg: &RunConfig) -> PagePlacement {
 
 /// Observer invoked after every DRAM tick — the hook the policy runtime
 /// in [`crate::policyrun`] uses to run its epoch loop against the live
-/// controller.
+/// memory system.
 pub(crate) trait RunObserver {
-    /// Called once with the freshly built controller before the first
+    /// Called once with the freshly built memory system before the first
     /// cycle — the place to switch on collection features (telemetry)
     /// that must precede every command, including those replayed inside
     /// skip-ahead windows.
-    fn on_run_start(&mut self, _mc: &mut MemoryController) {}
+    fn on_run_start(&mut self, _mem: &mut MemorySystem) {}
 
-    /// Called with the controller immediately after it ticked (or, on the
-    /// skip-ahead path, after a dead-window jump).
-    fn after_dram_tick(&mut self, mc: &mut MemoryController);
+    /// Called with the memory system immediately after it ticked (or, on
+    /// the skip-ahead path, after a dead-window jump). Channels advance
+    /// in lockstep, so any exact-cycle boundary work the observer does
+    /// here fires at the same cycle on every channel.
+    fn after_dram_tick(&mut self, mem: &mut MemorySystem);
 
     /// The next DRAM cycle this observer must see at an *exact* cycle
     /// boundary (e.g. a policy epoch). Skip-ahead never jumps the
@@ -152,7 +169,7 @@ pub(crate) trait RunObserver {
 pub(crate) struct NoObserver;
 
 impl RunObserver for NoObserver {
-    fn after_dram_tick(&mut self, _mc: &mut MemoryController) {}
+    fn after_dram_tick(&mut self, _mem: &mut MemorySystem) {}
 }
 
 /// Runs `workloads` (one per core) under `cfg` and returns the
@@ -188,16 +205,18 @@ pub(crate) fn run_workloads_observed(
         .collect();
 
     let mut cluster = CpuCluster::new(cfg.cluster, traces);
-    let mut mc = MemoryController::new(cfg.mem.clone());
-    observer.on_run_start(&mut mc);
+    let mut mem_sys = MemorySystem::new(cfg.mem.clone());
+    observer.on_run_start(&mut mem_sys);
     let mut completions: Vec<Completion> = Vec::new();
     let mut dram_done: u64 = 0;
 
     let n = workloads.len();
+    let channels = mem_sys.channels();
     let mut warm_retired: Vec<u64> = vec![0; n];
     let mut warm_cpu_cycle: u64 = 0;
     let mut warm_dram_cycle: u64 = 0;
     let mut warm_stats = MemStats::new();
+    let mut warm_channel_stats: Vec<MemStats> = vec![MemStats::new(); channels];
     let mut warmed = cfg.warmup_insts == 0;
     let mut finish_cycle: Vec<Option<u64>> = vec![None; n];
 
@@ -212,34 +231,35 @@ pub(crate) fn run_workloads_observed(
 
     loop {
         cluster.tick();
-        let now_dram = mc.cycle();
+        let now_dram = mem_sys.cycle();
         cluster.drain_mem_requests(|req| {
             let kind = if req.write {
                 RequestKind::Write
             } else {
                 RequestKind::Read
             };
-            mc.try_enqueue(MemRequest::new(
-                req.id,
-                PhysAddr(req.line_addr),
-                kind,
-                now_dram,
-            ))
-            .is_ok()
+            mem_sys
+                .try_enqueue(MemRequest::new(
+                    req.id,
+                    PhysAddr(req.line_addr),
+                    kind,
+                    now_dram,
+                ))
+                .is_ok()
         });
         let due = cluster.cycle() * DRAM_PER_CPU_NUM / DRAM_PER_CPU_DEN;
         while dram_done < due {
             if cfg.skip_ahead {
-                mc.tick_fast(&mut completions);
+                mem_sys.tick_fast(&mut completions);
             } else {
-                mc.tick(&mut completions);
+                mem_sys.tick(&mut completions);
             }
             dram_done += 1;
             for c in completions.drain(..) {
                 cluster.complete_read(c.id);
                 stall_cache = None;
             }
-            observer.after_dram_tick(&mut mc);
+            observer.after_dram_tick(&mut mem_sys);
         }
         if !warmed {
             if (0..n).all(|i| cluster.retired(i) >= cfg.warmup_insts) {
@@ -248,8 +268,11 @@ pub(crate) fn run_workloads_observed(
                     *wr = cluster.retired(i);
                 }
                 warm_cpu_cycle = cluster.cycle();
-                warm_dram_cycle = mc.cycle();
-                warm_stats = mc.stats().clone();
+                warm_dram_cycle = mem_sys.cycle();
+                warm_stats = mem_sys.fused_stats();
+                for (c, w) in warm_channel_stats.iter_mut().enumerate() {
+                    *w = mem_sys.channel_stats(c).clone();
+                }
             }
         } else {
             let mut all_done = true;
@@ -295,7 +318,7 @@ pub(crate) fn run_workloads_observed(
                 // are replayed bit-identically by `tick_until` below. The
                 // controller memoizes the bound, so repeated queries
                 // across a dead window are O(1).
-                let dram_cap = mc.next_completion_bound().min(boundary);
+                let dram_cap = mem_sys.next_completion_bound().min(boundary);
                 // The largest CPU cycle whose DRAM due-count stays within
                 // the cap, so the delivering cycle itself is reached by
                 // real ticks: due(C) = C·3/10 ≤ cap ⇔ C ≤ ((cap+1)·10−1)/3.
@@ -310,11 +333,12 @@ pub(crate) fn run_workloads_observed(
                     let due = target * DRAM_PER_CPU_NUM / DRAM_PER_CPU_DEN;
                     if due > dram_done {
                         // Replays command events and skips dead stretches;
-                        // the cap guarantees no completion pops in range.
-                        mc.tick_until(due, &mut completions);
+                        // the cap guarantees no completion pops in range
+                        // on any channel.
+                        mem_sys.tick_until(due, &mut completions);
                         dram_done = due;
                         debug_assert!(completions.is_empty());
-                        observer.after_dram_tick(&mut mc);
+                        observer.after_dram_tick(&mut mem_sys);
                     }
                 }
             }
@@ -323,9 +347,12 @@ pub(crate) fn run_workloads_observed(
 
     let host_loop_s = loop_start.elapsed().as_secs_f64();
     let cpu_cycles = cluster.cycle() - warm_cpu_cycle;
-    let dram_cycles = mc.cycle() - warm_dram_cycle;
+    let dram_cycles = mem_sys.cycle() - warm_dram_cycle;
     let duration_ns = dram_cycles as f64 * cfg.mem.interface.t_ck_ns;
-    let mem = mc.stats().delta_since(&warm_stats);
+    let mem = mem_sys.fused_stats().delta_since(&warm_stats);
+    let mem_per_channel: Vec<MemStats> = (0..channels)
+        .map(|c| mem_sys.channel_stats(c).delta_since(&warm_channel_stats[c]))
+        .collect();
     let energy = energy_of_run(&mem, &cfg.mem, &IddParams::default());
     let ipc = (0..n)
         .map(|i| {
@@ -340,6 +367,7 @@ pub(crate) fn run_workloads_observed(
         dram_cycles,
         duration_ns,
         mem,
+        mem_per_channel,
         energy,
         host_loop_s,
     }

@@ -10,9 +10,10 @@
 //! * [`circuit`] ([`clr_circuit`]) — the transient circuit simulator that
 //!   regenerates Table 1 and Figures 7/8/11 from first principles;
 //! * [`memsim`] ([`clr_memsim`]) — the cycle-accurate DDR4 device +
-//!   memory-controller model with per-row CLR timing and an event-driven
+//!   memory-controller model with per-row CLR timing, an event-driven
 //!   skip-ahead core (bit-identical to per-cycle stepping; see the crate
-//!   docs for the event model);
+//!   docs for the event model), and a channel-sharded `MemorySystem`
+//!   front end (one independent controller per channel);
 //! * [`cpu`] ([`clr_cpu`]) — the trace-driven core and LLC models;
 //! * [`trace`] ([`clr_trace`]) — workload models and trace generators;
 //! * [`power`] ([`clr_power`]) — the DRAMPower-style energy model;
@@ -108,14 +109,54 @@
 //! ```
 //!
 //! End-to-end, `clr_dram::sim::policyrun::run_policy_workloads` runs this
-//! loop against the cycle-accurate controller (dispatching batches as
+//! loop against the cycle-accurate memory system (dispatching batches as
 //! background migration whenever the memory configuration says so), and
 //! the `policy_sweep` binary in `crates/bench` compares policies ×
 //! workloads × relocation models (IPC, energy, capacity loss,
 //! migration-slot utilization) on the drifting-hot-set workload plus two
-//! contrast columns (stable-hot and uniform-random) and a 2-core
-//! shared-budget contention cell. Background migration equals or beats
-//! stall-the-world on every cell of the default sweep.
+//! contrast columns (stable-hot and uniform-random) and a contention
+//! sweep (below). Background migration equals or beats stall-the-world
+//! on every cell of the default sweep.
+//!
+//! # Channel-sharded memory system
+//!
+//! The memory side scales past one channel through
+//! [`memsim::system::MemorySystem`]: configure `geometry.channels` and
+//! every channel gets its own controller — own mode table, refresh
+//! streams, migration engine, scheduler lanes — with requests routed by
+//! the address mapping's bijective channel split and consecutive cache
+//! lines alternating channels:
+//!
+//! ```
+//! use clr_dram::arch::addr::PhysAddr;
+//! use clr_dram::memsim::config::MemConfig;
+//! use clr_dram::memsim::request::{MemRequest, RequestKind};
+//! use clr_dram::memsim::system::MemorySystem;
+//!
+//! let mut cfg = MemConfig::paper_tiny();
+//! cfg.geometry.channels = 2;
+//! let mut sys = MemorySystem::new(cfg);
+//! // Consecutive lines land on alternating channels.
+//! assert_eq!(sys.route(PhysAddr(0)).0, 0);
+//! assert_eq!(sys.route(PhysAddr(64)).0, 1);
+//! sys.try_enqueue(MemRequest::new(0, PhysAddr(0), RequestKind::Read, 0))
+//!     .unwrap();
+//! sys.try_enqueue(MemRequest::new(1, PhysAddr(64), RequestKind::Read, 0))
+//!     .unwrap();
+//! let mut done = Vec::new();
+//! sys.tick_until(2_000, &mut done); // skip-ahead, bit-identical to tick()
+//! assert_eq!(done.len(), 2);
+//! assert_eq!(sys.fused_stats().reads, 2);
+//! ```
+//!
+//! A policy run on a sharded system keeps one `PolicyRuntime` per
+//! channel; a `clr_dram::policy::budget::BudgetSplit` partitions the
+//! global fast-row capacity budget across them — evenly, or rebalanced
+//! each epoch in proportion to per-channel demand
+//! (`PolicyRunConfig::with_budget_split`). The `policy_sweep` binary's
+//! contention sweep (core counts × channel counts × budget splits ×
+//! policies, schema `clr-dram/policy-sweep/v3`) reports per-core IPC,
+//! weighted speedup, and max slowdown against per-core alone baselines.
 //!
 //! # Simulation speed
 //!

@@ -16,6 +16,7 @@ use clr_dram::memsim::command::{Command, IssuedCommand};
 use clr_dram::memsim::config::MemConfig;
 use clr_dram::memsim::controller::MemoryController;
 use clr_dram::memsim::request::{Completion, MemRequest, RequestKind};
+use clr_dram::memsim::system::MemorySystem;
 use clr_dram::memsim::MemStats;
 use clr_dram::policy::policy::{PolicyConstraints, PolicySpec};
 use clr_dram::sim::policyrun::{run_policy_workloads, PolicyRunConfig};
@@ -179,6 +180,112 @@ fn controller_background_migration_is_bit_identical() {
     }
 }
 
+/// Drives a 2-channel `MemorySystem` over the schedule, per-cycle or via
+/// `tick_until`, optionally dispatching a mid-run background-migration
+/// batch on every channel, and returns every observable output: one
+/// command log per channel, the merged completion stream, and the fused
+/// statistics.
+fn drive_sharded(
+    mut cfg: MemConfig,
+    skip: bool,
+    transitions_at: Option<u64>,
+) -> (Vec<Vec<IssuedCommand>>, Vec<Completion>, MemStats) {
+    cfg.refresh_enabled = true;
+    cfg.geometry.channels = 2;
+    let background = cfg.relocation.is_background();
+    let mut sys = MemorySystem::new(cfg);
+    sys.enable_command_log();
+    let mut done = Vec::new();
+    let advance_to = |sys: &mut MemorySystem, done: &mut Vec<Completion>, to: u64| {
+        if skip {
+            sys.tick_until(to, done);
+        } else {
+            while sys.cycle() < to {
+                sys.tick(done);
+            }
+        }
+    };
+    let mut dispatched = false;
+    for (at, req) in schedule() {
+        advance_to(&mut sys, &mut done, at);
+        if let Some(t) = transitions_at {
+            if sys.cycle() >= t && !dispatched {
+                dispatched = true;
+                for ch in 0..sys.channels() {
+                    let mc = sys.channel_mut(ch);
+                    let changes: Vec<(usize, u32, RowMode)> = (0..mc.mode_table().banks() as usize)
+                        .map(|b| (b, 3u32, RowMode::HighPerformance))
+                        .collect();
+                    if background {
+                        mc.begin_row_migrations(&changes);
+                    } else {
+                        mc.apply_row_modes(&changes, 120);
+                    }
+                }
+            }
+        }
+        let mut req = req;
+        while let Err(back) = sys.try_enqueue(req) {
+            req = back;
+            let retry_at = sys.cycle() + 1;
+            advance_to(&mut sys, &mut done, retry_at);
+        }
+    }
+    advance_to(&mut sys, &mut done, 120_000);
+    assert_eq!(sys.cycle(), 120_000);
+    let logs = (0..sys.channels())
+        .map(|c| sys.command_log(c).unwrap().to_vec())
+        .collect();
+    (logs, done, sys.fused_stats())
+}
+
+#[test]
+fn two_channel_system_is_bit_identical() {
+    for (cfg, transitions_at) in [
+        (MemConfig::paper_tiny(), None),
+        (MemConfig::tiny_clr(0.25), None),
+        (MemConfig::tiny_clr(0.0), Some(8_000)),
+    ] {
+        let (logs_a, done_a, stats_a) = drive_sharded(cfg.clone(), false, transitions_at);
+        let (logs_b, done_b, stats_b) = drive_sharded(cfg, true, transitions_at);
+        assert_eq!(logs_a.len(), 2);
+        for (ch, (a, b)) in logs_a.iter().zip(&logs_b).enumerate() {
+            assert_eq!(a.len(), b.len(), "channel {ch} command counts diverge");
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(x, y, "channel {ch} command {i} diverges");
+            }
+        }
+        assert_eq!(done_a, done_b, "completions diverge");
+        assert_eq!(stats_a, stats_b, "statistics diverge");
+        // Both channels must have actually served traffic.
+        for log in &logs_a {
+            assert!(log.iter().any(|c| c.command == Command::Rd));
+        }
+        assert!(stats_a.refs() > 0, "refresh must have fired");
+    }
+}
+
+#[test]
+fn two_channel_background_migration_is_bit_identical() {
+    use clr_dram::memsim::migrate::RelocationConfig;
+    let mut cfg = MemConfig::tiny_clr(0.0);
+    cfg.relocation = RelocationConfig::background();
+    let (logs_a, done_a, stats_a) = drive_sharded(cfg.clone(), false, Some(8_000));
+    let (logs_b, done_b, stats_b) = drive_sharded(cfg, true, Some(8_000));
+    assert_eq!(logs_a, logs_b, "command logs diverge");
+    assert_eq!(done_a, done_b, "completions diverge");
+    assert_eq!(stats_a, stats_b, "statistics diverge");
+    assert!(stats_a.migration_jobs_completed > 0, "jobs must complete");
+    assert_eq!(stats_a.relocation_stall_cycles, 0, "no stall in background");
+    // Migration ran on both channels (each got its own batch).
+    for (ch, log) in logs_a.iter().enumerate() {
+        assert!(
+            log.iter().any(|c| c.migration),
+            "channel {ch} never migrated"
+        );
+    }
+}
+
 #[test]
 fn full_system_run_is_bit_identical() {
     let w = Workload::PhaseShift(PhaseShiftSpec {
@@ -195,6 +302,80 @@ fn full_system_run_is_bit_identical() {
     assert_eq!(per_cycle.cpu_cycles, skipped.cpu_cycles);
     assert_eq!(per_cycle.dram_cycles, skipped.dram_cycles);
     assert_eq!(per_cycle.mem, skipped.mem);
+}
+
+#[test]
+fn two_channel_full_system_run_is_bit_identical() {
+    let w = Workload::PhaseShift(PhaseShiftSpec {
+        footprint_mib: 2,
+        accesses_per_phase: 1_500,
+        ..PhaseShiftSpec::paper_default()
+    });
+    let mut mem = MemConfig::paper_clr(0.25);
+    mem.geometry.channels = 2;
+    let mut cfg = RunConfig::paper(mem, 12_000, 1_500, 77);
+    cfg.skip_ahead = false;
+    let per_cycle = run_workloads(&[w], &cfg);
+    cfg.skip_ahead = true;
+    let skipped = run_workloads(&[w], &cfg);
+    assert_eq!(per_cycle.ipc, skipped.ipc);
+    assert_eq!(per_cycle.cpu_cycles, skipped.cpu_cycles);
+    assert_eq!(per_cycle.dram_cycles, skipped.dram_cycles);
+    assert_eq!(per_cycle.mem, skipped.mem);
+    assert_eq!(per_cycle.mem_per_channel, skipped.mem_per_channel);
+    // Both channels must have served reads, or the sharded co-jump was
+    // never exercised.
+    assert_eq!(per_cycle.mem_per_channel.len(), 2);
+    assert!(per_cycle.mem_per_channel.iter().all(|s| s.reads > 0));
+}
+
+#[test]
+fn two_channel_policy_run_with_epoch_boundaries_is_bit_identical() {
+    use clr_dram::policy::budget::BudgetSplit;
+    use clr_dram::sim::experiment::policies::{policy_cluster, policy_mem_config};
+    let run = |skip: bool| {
+        let mut mem = policy_mem_config(0.0);
+        mem.geometry.channels = 2;
+        let base = RunConfig {
+            mem,
+            cluster: policy_cluster(),
+            budget_insts: 15_000,
+            warmup_insts: 1_000,
+            seed: 5,
+            skip_ahead: skip,
+        };
+        let cfg = PolicyRunConfig::new(
+            base,
+            PolicySpec::UtilizationThreshold { hot: 4, cold: 1 },
+            PolicyConstraints::with_budget(0.25),
+            2_500,
+        )
+        .with_budget_split(BudgetSplit::demand_proportional());
+        let spec = PhaseShiftSpec {
+            footprint_mib: 1,
+            accesses_per_phase: 800,
+            ..PhaseShiftSpec::paper_default()
+        };
+        run_policy_workloads(&[Workload::PhaseShift(spec)], &cfg)
+    };
+    let a = run(false);
+    let b = run(true);
+    assert_eq!(a.run.ipc, b.run.ipc);
+    assert_eq!(a.run.cpu_cycles, b.run.cpu_cycles);
+    assert_eq!(a.run.dram_cycles, b.run.dram_cycles);
+    assert_eq!(a.run.mem, b.run.mem);
+    assert_eq!(a.run.mem_per_channel, b.run.mem_per_channel);
+    assert_eq!(a.policy_stats_per_channel, b.policy_stats_per_channel);
+    assert_eq!(a.final_channel_budgets, b.final_channel_budgets);
+    assert_eq!(a.final_hp_fraction, b.final_hp_fraction);
+    // The run must actually have moved both channels' tables — epoch
+    // boundaries fire at the same cycle on every channel, and the
+    // demand-proportional partitioner saw real telemetry.
+    assert!(a.policy_stats.epochs > 0);
+    assert!(a
+        .policy_stats_per_channel
+        .iter()
+        .all(|s| s.transitions_applied > 0));
 }
 
 #[test]
