@@ -4,11 +4,14 @@
 //! speedup, max slowdown under a shared fast-row budget).
 //!
 //! The final stdout block is machine-readable JSON
-//! (`clr-dram/policy-sweep/v3`) so successive PRs can track the
+//! (`clr-dram/policy-sweep/v4`) so successive PRs can track the
 //! performance trajectory of the policies.
 //!
 //! Set `CLR_SWEEP=contention` to run only the contention sweep (the CI
-//! smoke cell exercising the channel-sharded path).
+//! smoke cell exercising the channel-sharded path), or
+//! `CLR_SWEEP=placement` to run only the placement sweep (same-bank vs
+//! cross-bank vs cross-channel destination placement on the
+//! channel-skewed hot-set mix).
 
 use clr_sim::experiment::policies;
 use clr_sim::scale::Scale;
@@ -36,21 +39,63 @@ fn print_contention(report: &policies::PolicySweepReport) {
     }
 }
 
+/// Prints the placement block: same-bank (budget-only) vs cross-bank vs
+/// cross-channel destination placement on the skewed hot-set mix.
+fn print_placement(report: &policies::PolicySweepReport) {
+    println!("\n--- placement sweep (destination placement on the channel-skewed mix) ---");
+    print!("{}", report.render_placement());
+    if let (Some(budget_only), Some(frames)) = (
+        report.placement_cell("same-bank"),
+        report.placement_cell("cross-channel"),
+    ) {
+        let (ws_b, ws_f) = (
+            budget_only.weighted_speedup.unwrap_or(f64::NAN),
+            frames.weighted_speedup.unwrap_or(f64::NAN),
+        );
+        println!(
+            "cross-channel frame rebalancing vs budget-only: weighted speedup {ws_f:.3} vs {ws_b:.3} \
+             ({:+.1}%), {} frame moves landed",
+            (ws_f / ws_b - 1.0) * 100.0,
+            frames.frames_moved,
+        );
+    }
+}
+
 fn main() {
     let scale = clr_bench::startup("policy sweep (dynamic capacity-latency trade-off, §6)");
-    if std::env::var("CLR_SWEEP").as_deref() == Ok("contention") {
-        // Contention-only mode: the CI smoke step driving the sharded
-        // 2-channel path on every push without the full roster.
-        let report = policies::PolicySweepReport {
-            cells: Vec::new(),
-            contention: policies::run_contention(scale, 42),
-            scale,
-        };
-        print_contention(&report);
-        println!("\n--- machine-readable (clr-dram/policy-sweep/v3) ---");
-        print!("{}", report.to_json());
-        sanity_check_contention(&report, scale);
-        return;
+    match std::env::var("CLR_SWEEP").as_deref() {
+        Ok("contention") => {
+            // Contention-only mode: the CI smoke step driving the sharded
+            // 2-channel path on every push without the full roster.
+            let report = policies::PolicySweepReport {
+                cells: Vec::new(),
+                contention: policies::run_contention(scale, 42),
+                placement: Vec::new(),
+                scale,
+            };
+            print_contention(&report);
+            println!("\n--- machine-readable (clr-dram/policy-sweep/v4) ---");
+            print!("{}", report.to_json());
+            sanity_check_contention(&report, scale);
+            return;
+        }
+        Ok("placement") => {
+            // Placement-only mode: the CI smoke step driving cross-channel
+            // frame rebalancing (staged evacuate/fill jobs, remap installs)
+            // on every push.
+            let report = policies::PolicySweepReport {
+                cells: Vec::new(),
+                contention: Vec::new(),
+                placement: policies::run_placement(scale, 42),
+                scale,
+            };
+            print_placement(&report);
+            println!("\n--- machine-readable (clr-dram/policy-sweep/v4) ---");
+            print!("{}", report.to_json());
+            sanity_check_placement(&report);
+            return;
+        }
+        _ => {}
     }
     let report = policies::run(scale, 42);
     print!("{}", report.render());
@@ -119,10 +164,50 @@ fn main() {
     }
 
     print_contention(&report);
+    print_placement(&report);
 
-    println!("\n--- machine-readable (clr-dram/policy-sweep/v3) ---");
+    println!("\n--- machine-readable (clr-dram/policy-sweep/v4) ---");
     print!("{}", report.to_json());
     sanity_check_contention(&report, scale);
+    sanity_check_placement(&report);
+}
+
+/// Hard acceptance checks on the placement sweep: every cell runs under
+/// background relocation with zero stall cycles, the cross-channel cell
+/// must exist, and its rebalancer must have actually landed frame moves
+/// (staged evacuate → fill → remap) — otherwise the placement path
+/// regressed.
+fn sanity_check_placement(report: &policies::PolicySweepReport) {
+    for c in &report.placement {
+        assert_eq!(
+            c.relocation_stall_cycles, 0,
+            "placement cell {} stalled under background relocation",
+            c.placement
+        );
+        assert!(c.weighted_speedup.is_some(), "fairness metrics missing");
+    }
+    let frames = report
+        .placement_cell("cross-channel")
+        .expect("cross-channel placement cell missing");
+    assert!(
+        frames.frames_moved > 0 && frames.rows_remapped > 0,
+        "cross-channel rebalancing moved no frames (moved {}, remapped {})",
+        frames.frames_moved,
+        frames.rows_remapped,
+    );
+    // The subsystem's acceptance property: moving frames must beat
+    // moving only budget on weighted speedup (runs are seeded and
+    // deterministic, so this is a regression gate, not a flaky bound).
+    if let Some(budget_only) = report.placement_cell("same-bank") {
+        let (ws_f, ws_b) = (
+            frames.weighted_speedup.unwrap_or(0.0),
+            budget_only.weighted_speedup.unwrap_or(f64::MAX),
+        );
+        assert!(
+            ws_f > ws_b,
+            "cross-channel rebalancing ({ws_f:.3}) no longer beats budget-only ({ws_b:.3})"
+        );
+    }
 }
 
 /// Hard acceptance checks on the contention sweep: every cell must have

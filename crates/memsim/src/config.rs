@@ -4,6 +4,7 @@ use clr_core::addr::AddressMapping;
 use clr_core::geometry::DramGeometry;
 use clr_core::timing::{ClrTimings, InterfaceTimings, TimingParams};
 
+use crate::frames::DestinationPicker;
 use crate::migrate::RelocationConfig;
 
 /// How the CLR-DRAM device is configured for a run.
@@ -184,6 +185,9 @@ pub struct MemConfig {
     /// How mode-transition data movement is realized (legacy
     /// stall-the-world by default; see [`crate::migrate`]).
     pub relocation: RelocationConfig,
+    /// Where a coupling's displaced data is placed (legacy same-bank by
+    /// default; see [`crate::frames`]).
+    pub placement: DestinationPicker,
 }
 
 impl MemConfig {
@@ -199,6 +203,7 @@ impl MemConfig {
             scheduler: SchedulerConfig::default(),
             refresh_enabled: true,
             relocation: RelocationConfig::default(),
+            placement: DestinationPicker::default(),
         }
     }
 

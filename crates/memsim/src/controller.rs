@@ -47,7 +47,8 @@ use crate::command::{Command, IssuedCommand};
 use crate::config::{ClrModeConfig, MemConfig};
 use crate::cycletimings::CycleTimings;
 use crate::engine::{Target, TimingEngine};
-use crate::migrate::{MigrationEngine, MigrationStep};
+use crate::frames::FrameDirectory;
+use crate::migrate::{MigrationEngine, MigrationStep, PlacementEvent};
 use crate::refresh::RefreshScheduler;
 use crate::request::{Completion, MemRequest, RequestKind};
 use crate::scheduler::{self, LaneCache, QueueEntry};
@@ -103,6 +104,14 @@ pub struct MemoryController {
     /// whose commands are issued into idle bank slots (see
     /// [`crate::migrate`]).
     migration: MigrationEngine,
+    /// The capacity directory's per-bank free-frame sets: rows whose
+    /// contents were evacuated elsewhere, preferred by the destination
+    /// pickers (see [`crate::frames`]).
+    frames: FrameDirectory,
+    /// Rotating bank cursor for cross-bank destination picks, so
+    /// consecutive couplings spread their write-back load instead of
+    /// piling onto one partner bank.
+    dest_cursor: usize,
     /// Memoized raw next-event bound (unclamped). Controller state only
     /// changes at event ticks, on enqueue, and on mode application — the
     /// only places that clear this — so dead ticks, dead-window jumps,
@@ -224,6 +233,8 @@ impl MemoryController {
                 g.row_bytes() / 2,
                 g.burst_bytes(),
             ),
+            frames: FrameDirectory::new(banks_total),
+            dest_cursor: 0,
             next_event_cache: None,
             queue_ready_hint: u64::MAX,
             wanted_scratch: vec![false; banks_total],
@@ -416,11 +427,14 @@ impl MemoryController {
                     flips += 1;
                 }
                 RowMode::HighPerformance => {
-                    if let Some(dest) = self.pick_migration_dest(bank, row) {
+                    if let Some((dest_bank, dest)) = self.pick_migration_dest(bank, row) {
                         if self
                             .migration
-                            .dispatch(bank, row, dest, cur, mode, self.cycle)
+                            .dispatch_couple(bank, row, dest_bank, dest, cur, mode, self.cycle)
                         {
+                            if self.frames.take_exact(dest_bank, dest) {
+                                self.stats.frames_reused += 1;
+                            }
                             jobs += 1;
                             if let Some(out) = dispatched.as_deref_mut() {
                                 out.push((bank as u32, row));
@@ -440,13 +454,23 @@ impl MemoryController {
         jobs
     }
 
-    /// Picks the destination frame for a coupling's displaced half-row: a
-    /// max-capacity row of the same bank with no pending migration role,
-    /// scanned deterministically from half a bank away (so destinations
-    /// land far from the contiguous fast-row prefix). `None` when no such
-    /// row exists — the coupling is then impossible and skipped, exactly
-    /// as an OS with no free frame would decline it.
-    fn pick_migration_dest(&self, bank: usize, row: u32) -> Option<u32> {
+    /// Picks the destination frame for a coupling's displaced half-row
+    /// under the configured [`DestinationPicker`]. Same-bank placement is
+    /// the legacy scan: a max-capacity row of the same bank with no
+    /// pending migration role, scanned deterministically from half a
+    /// bank away (so destinations land far from the contiguous fast-row
+    /// prefix). Cross-bank placement prefers a frame in another bank —
+    /// known-free directory frames first, then the same deterministic
+    /// scan — falling back to the same-bank scan on single-bank
+    /// geometries. `None` when no frame exists anywhere — the coupling
+    /// is then impossible and skipped, exactly as an OS with no free
+    /// frame would decline it.
+    fn pick_migration_dest(&mut self, bank: usize, row: u32) -> Option<(usize, u32)> {
+        if self.config.placement.is_cross_bank() {
+            if let Some(hit) = self.pick_cross_bank_dest(bank, row) {
+                return Some(hit);
+            }
+        }
         let rows = self.config.geometry.rows;
         (0..rows)
             .map(|k| (row + rows / 2 + k) % rows)
@@ -455,6 +479,40 @@ impl MemoryController {
                     && self.modes.mode_of(bank, cand) == RowMode::MaxCapacity
                     && !self.migration.is_row_pending(bank, cand)
             })
+            .map(|r| (bank, r))
+    }
+
+    /// The cross-bank destination scan: rotate over the other banks
+    /// (starting opposite the source, advanced by a cursor so
+    /// consecutive couplings spread), preferring each bank's known-free
+    /// frames before its deterministic row scan.
+    fn pick_cross_bank_dest(&mut self, bank: usize, row: u32) -> Option<(usize, u32)> {
+        let banks = self.banks.len();
+        if banks < 2 {
+            return None;
+        }
+        let rows = self.config.geometry.rows;
+        let start = bank + banks / 2 + self.dest_cursor;
+        for k in 0..banks {
+            let cand_bank = (start + k) % banks;
+            if cand_bank == bank {
+                continue;
+            }
+            let (frames, modes, migration) = (&mut self.frames, &self.modes, &self.migration);
+            if let Some(r) = frames.take_in_bank(cand_bank, |r| {
+                modes.mode_of(cand_bank, r) == RowMode::MaxCapacity
+                    && !migration.is_row_pending(cand_bank, r)
+            }) {
+                self.stats.frames_reused += 1;
+                self.dest_cursor = (self.dest_cursor + 1) % banks;
+                return Some((cand_bank, r));
+            }
+            if let Some(r) = self.scan_mc_frame(cand_bank, row + rows / 2) {
+                self.dest_cursor = (self.dest_cursor + 1) % banks;
+                return Some((cand_bank, r));
+            }
+        }
+        None
     }
 
     /// Migration jobs dispatched but not yet complete.
@@ -467,6 +525,169 @@ impl MemoryController {
     /// feed for a policy runtime tracking in-progress transitions.
     pub fn drain_completed_migrations_into(&mut self, out: &mut Vec<(u32, u32, RowMode)>) {
         self.migration.drain_completed_into(out);
+    }
+
+    /// Drains completed frame-placement actions (evacuations, staged
+    /// cross-channel read-outs, fills, cross-bank couplings) into `out`
+    /// (clearing `out` first) — the feed a [`MemorySystem`] pump uses to
+    /// install remap entries and advance staged cross-channel moves.
+    ///
+    /// [`MemorySystem`]: crate::system::MemorySystem
+    pub fn drain_placement_events_into(&mut self, out: &mut Vec<PlacementEvent>) {
+        self.migration.drain_placements_into(out);
+    }
+
+    /// Additionally records completed cross-bank couplings as placement
+    /// events (off by default — the system pump ignores them, so
+    /// unconditional recording would accumulate without bound on runs
+    /// that never drain; audits and debugging switch it on before
+    /// driving traffic, like [`MemoryController::enable_command_log`]).
+    pub fn enable_couple_placement_log(&mut self) {
+        self.migration.enable_couple_placement_log();
+    }
+
+    /// Dispatches a same-channel whole-row frame move as background
+    /// migration traffic: the full max-capacity row `(bank, row)` is
+    /// streamed into the frame `(dest_bank, dest)` of another bank.
+    /// Returns `false` if either row is not max-capacity or already has
+    /// a pending migration role.
+    pub fn begin_row_evacuation(
+        &mut self,
+        bank: usize,
+        row: u32,
+        dest_bank: usize,
+        dest: u32,
+    ) -> bool {
+        if self.modes.mode_of(bank, row) != RowMode::MaxCapacity
+            || self.modes.mode_of(dest_bank, dest) != RowMode::MaxCapacity
+        {
+            return false;
+        }
+        let ok = self
+            .migration
+            .dispatch_evacuate(bank, row, dest_bank, dest, self.cycle);
+        if ok {
+            if self.frames.take_exact(dest_bank, dest) {
+                self.stats.frames_reused += 1;
+            }
+            self.next_event_cache = None;
+        }
+        ok
+    }
+
+    /// Dispatches the read-out half of a cross-channel frame move: the
+    /// full max-capacity row `(bank, row)` is streamed out and staged
+    /// for a fill on another channel. The row stays reserved after the
+    /// job completes, until [`MemoryController::note_frame_freed`]
+    /// confirms the landing. Returns `false` if the row is not
+    /// max-capacity or already has a pending role.
+    pub fn begin_evacuation_out(&mut self, bank: usize, row: u32) -> bool {
+        if self.modes.mode_of(bank, row) != RowMode::MaxCapacity {
+            return false;
+        }
+        let ok = self.migration.dispatch_evacuate_out(bank, row, self.cycle);
+        if ok {
+            self.next_event_cache = None;
+        }
+        ok
+    }
+
+    /// Dispatches the write-back half of a cross-channel frame move into
+    /// the frame `(bank, row)`, which must have been reserved through
+    /// [`MemoryController::reserve_frame`] when the move was scheduled.
+    /// Returns `false` if no such reservation exists.
+    pub fn begin_fill(&mut self, bank: usize, row: u32) -> bool {
+        let ok = self.migration.dispatch_fill(bank, row, true, self.cycle);
+        if ok {
+            // The move is committed from here: a known-free frame is
+            // consumed only now, so an aborted reservation loses
+            // nothing.
+            if self.frames.take_exact(bank, row) {
+                self.stats.frames_reused += 1;
+            }
+            self.next_event_cache = None;
+        }
+        ok
+    }
+
+    /// Reserves `(bank, row)` as the destination frame of a scheduled
+    /// (but not yet dispatched) cross-channel move, so no picker hands
+    /// it out in the meantime. A known-free frame stays in the directory
+    /// (the reservation keeps pickers away; it is consumed by
+    /// [`MemoryController::begin_fill`]). Returns `false` if the row
+    /// already has a pending role.
+    pub fn reserve_frame(&mut self, bank: usize, row: u32) -> bool {
+        if self.modes.mode_of(bank, row) != RowMode::MaxCapacity {
+            return false;
+        }
+        self.migration.reserve(bank, row)
+    }
+
+    /// Releases a frame reservation without freeing the frame (an
+    /// aborted scheduled move).
+    pub fn release_frame(&mut self, bank: usize, row: u32) -> bool {
+        self.migration.release(bank, row)
+    }
+
+    /// Confirms that the contents of `(bank, row)` landed elsewhere (a
+    /// cross-channel move's fill completed): the row's reservation is
+    /// released and it enters the capacity directory as a known-free
+    /// frame.
+    pub fn note_frame_freed(&mut self, bank: usize, row: u32) {
+        self.migration.release(bank, row);
+        self.frames.free(bank, row);
+        self.stats.frames_freed += 1;
+    }
+
+    /// The capacity directory's free-frame view for this channel.
+    pub fn frame_directory(&self) -> &FrameDirectory {
+        &self.frames
+    }
+
+    /// Whether `(bank, row)` has a pending migration role or frame
+    /// reservation.
+    pub fn is_row_migrating(&self, bank: usize, row: u32) -> bool {
+        self.migration.is_row_pending(bank, row)
+    }
+
+    /// Finds and reserves a destination frame for an incoming
+    /// cross-channel move: a known-free directory frame if one exists,
+    /// else a deterministic scan over max-capacity rows without pending
+    /// roles, rotated by `hint` so successive imports spread over banks.
+    /// The frame is only *reserved* here — a known-free frame leaves the
+    /// directory when the fill actually dispatches, so aborted moves
+    /// lose nothing.
+    pub fn reserve_import_frame(&mut self, hint: usize) -> Option<(usize, u32)> {
+        let banks = self.banks.len();
+        let rows = self.config.geometry.rows;
+        for k in 0..banks {
+            let bank = (hint + k) % banks;
+            if let Some(r) = self.frames.peek_in_bank(bank, |r| {
+                self.modes.mode_of(bank, r) == RowMode::MaxCapacity
+                    && !self.migration.is_row_pending(bank, r)
+            }) {
+                self.migration.reserve(bank, r);
+                return Some((bank, r));
+            }
+            if let Some(r) = self.scan_mc_frame(bank, rows / 2) {
+                self.migration.reserve(bank, r);
+                return Some((bank, r));
+            }
+        }
+        None
+    }
+
+    /// The shared allocatability scan: the first max-capacity row of
+    /// `bank` with no pending migration role, walking `rows` entries
+    /// from `start_row` (wrapping) — the deterministic fallback every
+    /// destination picker uses when the directory has no known-free
+    /// frame.
+    fn scan_mc_frame(&self, bank: usize, start_row: u32) -> Option<u32> {
+        let rows = self.config.geometry.rows;
+        (0..rows).map(|k| (start_row + k) % rows).find(|&cand| {
+            self.modes.mode_of(bank, cand) == RowMode::MaxCapacity
+                && !self.migration.is_row_pending(bank, cand)
+        })
     }
 
     /// Starts counting per-row column accesses for telemetry export.
@@ -911,14 +1132,16 @@ impl MemoryController {
         for b in 0..self.banks.len() {
             let open = self.banks[b].open_row.map(|r| (r, self.banks[b].open_mode));
             if self.migration.is_busy(b) {
-                let nc = self
-                    .migration
-                    .next_command(b, open, self.cycle)
-                    .expect("in-flight job always has a next command");
-                fold(
-                    self.engine
-                        .earliest(nc.command, self.bank_target(b, nc.mode)),
-                );
+                // A role blocked on another side's progress (a write
+                // burst waiting for unread data, a completion waiting for
+                // the couple point) has no command; the event that
+                // releases it is priced on the other bank.
+                if let Some(nc) = self.migration.next_command(b, open, self.cycle) {
+                    fold(
+                        self.engine
+                            .earliest(nc.command, self.bank_target(b, nc.mode)),
+                    );
+                }
             } else if let Some((_row, from)) = self.migration.queued_start(b) {
                 let demand_free =
                     !self.read_lanes.has_entries(b) && !self.write_lanes.has_entries(b);
@@ -993,13 +1216,11 @@ impl MemoryController {
             // also finishes contiguously (one turnaround instead of one
             // per dribbled burst).
             let eager = busy
-                && if self.migration.is_mid_phase(b) {
-                    true
-                } else {
-                    let row = self.migration.blocked_row(b).expect("in-flight job");
-                    self.read_lanes.has_row_entry(&self.read_q, b, row)
-                        || self.write_lanes.has_row_entry(&self.write_q, b, row)
-                };
+                && (self.migration.is_mid_phase(b)
+                    || self.migration.blocked_row(b).is_some_and(|row| {
+                        self.read_lanes.has_row_entry(&self.read_q, b, row)
+                            || self.write_lanes.has_row_entry(&self.write_q, b, row)
+                    }));
             if busy {
                 if !idle_slot && !eager {
                     continue;
@@ -1075,8 +1296,28 @@ impl MemoryController {
                             self.stats.mode_transitions += 1;
                             self.retune_refresh();
                         }
-                        MigrationStep::Complete { .. } => {
+                        MigrationStep::Complete { cross_bank, .. } => {
                             self.stats.migration_jobs_completed += 1;
+                            if cross_bank {
+                                self.stats.migration_cross_bank_jobs += 1;
+                            }
+                        }
+                        MigrationStep::Evacuated { bank, row, .. } => {
+                            // The vacated source is a free frame from here
+                            // on; the system installs the remap entry at
+                            // its next placement pump.
+                            self.stats.migration_evacuations += 1;
+                            self.frames.free(bank as usize, row);
+                            self.stats.frames_freed += 1;
+                        }
+                        MigrationStep::StagedOut { .. } => {
+                            // The data left for another channel; the frame
+                            // is freed only once the system confirms the
+                            // landing (note_frame_freed).
+                            self.stats.migration_evacuations += 1;
+                        }
+                        MigrationStep::Filled { .. } => {
+                            self.stats.migration_fills += 1;
                         }
                         MigrationStep::InProgress => {}
                     }
@@ -2104,6 +2345,161 @@ mod tests {
         assert!(stats_a.migration_jobs_completed > 0);
         assert!(log_a.iter().any(|c| c.migration));
         assert!(log_a.iter().any(|c| !c.migration));
+    }
+
+    #[test]
+    fn cross_bank_placement_overlaps_read_out_and_write_back() {
+        use crate::frames::DestinationPicker;
+        use crate::migrate::RelocationConfig;
+        let mut cfg = MemConfig::tiny_clr(0.0);
+        cfg.refresh_enabled = false;
+        cfg.relocation = RelocationConfig::background();
+        cfg.placement = DestinationPicker::CrossBank;
+        let mut mc = MemoryController::new(cfg);
+        mc.enable_command_log();
+        let jobs = mc.begin_row_migrations(&[(0, 0, RowMode::HighPerformance)]);
+        assert_eq!(jobs, 1);
+        let mut done = Vec::new();
+        for _ in 0..20_000 {
+            mc.tick(&mut done);
+            if mc.pending_migrations() == 0 {
+                break;
+            }
+        }
+        assert_eq!(mc.pending_migrations(), 0);
+        assert_eq!(mc.mode_of_row(0, 0), RowMode::HighPerformance);
+        assert_eq!(mc.stats().migration_jobs_completed, 1);
+        assert_eq!(mc.stats().migration_cross_bank_jobs, 1);
+        // The destination frame was activated in *another* bank while the
+        // source bank's read-out was still open — concurrent activity of
+        // both banks within one job.
+        let log = mc.command_log().unwrap();
+        let src_act = log
+            .iter()
+            .find(|c| c.migration && c.command == Command::Act && c.flat_bank == 0)
+            .expect("source ACT");
+        let dest_act = log
+            .iter()
+            .find(|c| c.migration && c.command == Command::Act && c.flat_bank != 0)
+            .expect("destination ACT in a different bank");
+        let src_pre = log
+            .iter()
+            .find(|c| c.migration && c.command == Command::Pre && c.flat_bank == 0)
+            .expect("source PRE");
+        assert!(
+            src_act.cycle < dest_act.cycle && dest_act.cycle < src_pre.cycle,
+            "destination ACT at {} must land inside the source's open window [{}, {}]",
+            dest_act.cycle,
+            src_act.cycle,
+            src_pre.cycle
+        );
+        // The displaced half-row moved in full, once out and once in.
+        let bursts = mc.config().geometry.row_bytes() / 2 / mc.config().geometry.burst_bytes();
+        assert_eq!(mc.stats().migration_reads, bursts);
+        assert_eq!(mc.stats().migration_writes, bursts);
+    }
+
+    #[test]
+    fn tick_until_is_bit_identical_with_cross_bank_placement() {
+        use crate::frames::DestinationPicker;
+        use crate::migrate::RelocationConfig;
+        let run = |skip: bool| {
+            let mut cfg = MemConfig::tiny_clr(0.0);
+            cfg.refresh_enabled = true;
+            cfg.relocation = RelocationConfig::background();
+            cfg.placement = DestinationPicker::CrossBank;
+            let mut mc = MemoryController::new(cfg);
+            mc.enable_command_log();
+            mc.try_enqueue(read(1, 0x0, 0)).unwrap();
+            mc.try_enqueue(read(2, 0x1000, 0)).unwrap();
+            let mut done = Vec::new();
+            let step_to = |mc: &mut MemoryController, done: &mut Vec<Completion>, to: u64| {
+                if skip {
+                    mc.tick_until(to, done);
+                } else {
+                    while mc.cycle() < to {
+                        mc.tick(done);
+                    }
+                }
+            };
+            step_to(&mut mc, &mut done, 2_000);
+            let changes: Vec<(usize, u32, RowMode)> = (0..mc.mode_table().banks() as usize)
+                .map(|b| (b, 0u32, RowMode::HighPerformance))
+                .collect();
+            mc.begin_row_migrations(&changes);
+            step_to(&mut mc, &mut done, 10_000);
+            mc.try_enqueue(read(3, 0x0, mc.cycle())).unwrap();
+            step_to(&mut mc, &mut done, 60_000);
+            (
+                mc.command_log().unwrap().to_vec(),
+                done,
+                mc.stats().clone(),
+                mc.pending_migrations(),
+            )
+        };
+        let (log_a, done_a, stats_a, pend_a) = run(false);
+        let (log_b, done_b, stats_b, pend_b) = run(true);
+        assert_eq!(log_a, log_b, "command logs diverge");
+        assert_eq!(done_a, done_b, "completions diverge");
+        assert_eq!(stats_a, stats_b, "statistics diverge");
+        assert_eq!(pend_a, pend_b);
+        assert_eq!(pend_a, 0, "all jobs completed in the horizon");
+        assert!(stats_a.migration_cross_bank_jobs > 0, "cross-bank jobs ran");
+    }
+
+    #[test]
+    fn evacuation_and_fill_run_as_background_traffic() {
+        use crate::migrate::RelocationConfig;
+        let mut cfg = MemConfig::tiny_clr(0.0);
+        cfg.refresh_enabled = false;
+        cfg.relocation = RelocationConfig::background();
+        let mut mc = MemoryController::new(cfg);
+        // Same-channel whole-row move between two banks.
+        assert!(mc.begin_row_evacuation(0, 5, 1, 9));
+        let mut done = Vec::new();
+        for _ in 0..30_000 {
+            mc.tick(&mut done);
+            if mc.pending_migrations() == 0 {
+                break;
+            }
+        }
+        assert_eq!(mc.pending_migrations(), 0);
+        assert_eq!(mc.stats().migration_evacuations, 1);
+        assert_eq!(mc.stats().frames_freed, 1);
+        assert!(mc.frame_directory().is_free(0, 5), "vacated row is a frame");
+        let mut events = Vec::new();
+        mc.drain_placement_events_into(&mut events);
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            (
+                events[0].bank,
+                events[0].row,
+                events[0].dest_bank,
+                events[0].dest
+            ),
+            (0, 5, 1, 9)
+        );
+        // The freed frame is preferred by the next coupling's picker in
+        // cross-bank-capable configurations; under same-bank placement it
+        // is simply bookkeeping. Exercise the fill half too.
+        assert!(mc.reserve_frame(2, 7));
+        assert!(!mc.reserve_frame(2, 7), "double reservation refused");
+        assert!(mc.begin_fill(2, 7));
+        for _ in 0..30_000 {
+            mc.tick(&mut done);
+            if mc.pending_migrations() == 0 {
+                break;
+            }
+        }
+        assert_eq!(mc.stats().migration_fills, 1);
+        assert!(!mc.is_row_migrating(2, 7), "fill released the reservation");
+        let full_row = mc.config().geometry.row_bytes() / mc.config().geometry.burst_bytes();
+        assert_eq!(mc.stats().migration_reads, full_row, "evacuation reads");
+        assert_eq!(
+            mc.stats().migration_writes,
+            2 * full_row,
+            "evacuation + fill writes"
+        );
     }
 
     #[test]

@@ -55,6 +55,25 @@
 //! configurations. A 1-channel `MemorySystem` reproduces the bare
 //! controller bit for bit.
 //!
+//! # Capacity directory
+//!
+//! Where migrated data *lands* is a placement decision ([`frames`]):
+//! the legacy same-bank picker serializes a coupling's read-out and
+//! write-back on one row buffer; [`frames::DestinationPicker::CrossBank`]
+//! places the destination frame in another bank so one job's two sides
+//! issue into two banks concurrently; and
+//! [`frames::DestinationPicker::CrossChannel`] adds a system-level
+//! rebalancer ([`frames::CapacityRebalancer`]) that moves whole frames
+//! between channels at epoch boundaries via staged evacuate-out /
+//! fill-in jobs. Rows whose contents moved to another bank or channel
+//! stay addressable through [`system::RemapTable`] — a row-granular
+//! indirection applied after the channel route whose installs compose as
+//! transpositions, keeping `remap ∘ route` a bijection with an exact
+//! inverse (property-tested in `tests/remap_bijection.rs`). Every new
+//! command source (two-bank overlap, data-gated write bursts, staged
+//! fills) is priced into `next_event_cycle()`, so skip-ahead stays
+//! bit-identical under every placement mode.
+//!
 //! The per-cycle path itself is kept cheap by per-bank aggregation in
 //! [`scheduler`] (O(queue) FR-FCFS-Cap with an O(1) older-waiter test), a
 //! per-bank mode-lookup cache keyed on the open row, and allocation reuse
@@ -91,6 +110,7 @@ pub mod config;
 pub mod controller;
 pub mod cycletimings;
 pub mod engine;
+pub mod frames;
 pub mod migrate;
 pub mod refresh;
 pub mod request;
@@ -100,7 +120,8 @@ pub mod system;
 
 pub use config::{ClrModeConfig, MemConfig, SchedulerConfig};
 pub use controller::MemoryController;
+pub use frames::{CapacityRebalancer, DestinationPicker, FrameDirectory, RebalanceConfig};
 pub use migrate::{MigrationRate, RelocationConfig, RelocationMode};
 pub use request::{MemRequest, RequestKind};
 pub use stats::MemStats;
-pub use system::MemorySystem;
+pub use system::{MemorySystem, RemapTable, RowKey};

@@ -14,48 +14,68 @@
 //! 2. **couple** — flip the row's [`ModeTable`] entry (the ISO control
 //!    signals are applied at the next activation, §3.3 — no bus
 //!    command);
-//! 3. **write-back** — ACT the *destination frame* (a max-capacity row
-//!    of the same bank, the "new frame" the OS allocated for the
-//!    displaced data) and stream the data back as WR bursts, PRE.
+//! 3. **write-back** — ACT the *destination frame* (the max-capacity row
+//!    the capacity directory allocated for the displaced data) and
+//!    stream the data back as WR bursts, PRE.
 //!
 //! Decoupling (high-performance → max-capacity) is free at the device
 //! level — a coupled logical cell drives both physical cells, so each
 //! cell already holds the stored bit — and is applied immediately, as in
 //! the stall model.
 //!
-//! Jobs queue per bank and at most one job per bank is *in flight*.
-//! Blocking is row-granular: while a phase's burst train holds the row
-//! buffer the bank blocks demand, but between phases only the row whose
-//! content is in flux waits — the source until the couple point (and
-//! even there, *reads* stay servable: the data sits intact in the row
-//! buffer during read-out), the destination until the job completes.
-//! Every other bank schedules normally — relocation steals idle
-//! command-bus slots instead of freezing the controller.
+//! # Placement: one bank or two
 //!
-//! Under [`RelocationMode::Background`] a job *starts* only on a cycle
-//! where no demand command could issue, on a bank with no queued demand,
+//! Where the destination frame lives is the
+//! [`DestinationPicker`](crate::frames::DestinationPicker)'s call. With
+//! the legacy **same-bank** placement the two phases serialize on one
+//! row buffer and the write-back ACT additionally waits for a
+//! write-drain episode. With a **cross-bank** destination the job spans
+//! *two* banks: the destination's ACT issues while the read-out is still
+//! streaming (its ACT/tRCD window hides under the read bursts), write
+//! bursts are released as soon as the data they carry has been read
+//! (`wr_remaining > rd_remaining`), and the couple point still gates the
+//! completion so the mode flip always precedes it. Row blocking is
+//! two-bank: the source row blocks until the couple point (reads stay
+//! servable during read-out — the data sits intact in the row buffer),
+//! the destination row blocks until the job completes, and each bank
+//! blocks demand entirely only while the job holds *that bank's* row
+//! buffer.
+//!
+//! Beyond couplings, the engine executes the capacity directory's
+//! whole-row frame moves ([`JobKind`]): same-channel **evacuations**
+//! (read a full max-capacity row out of one bank, write it into a frame
+//! of another), and the two halves of a cross-channel move — an
+//! **evacuate-out** (read-out only; the data leaves the channel) and a
+//! **fill-in** (write-back only; the data arrives from another channel),
+//! staged by [`MemorySystem::pump_placement`]. Completed placement work
+//! is reported as [`PlacementEvent`]s so the system can install
+//! [`RemapTable`](crate::system::RemapTable) entries.
+//!
+//! Jobs queue per owning bank and at most one migration role (job source
+//! *or* destination) is in flight per bank. Under
+//! [`RelocationMode::Background`] a job *starts* only on a cycle where
+//! no demand command could issue, on a bank with no queued demand,
 //! outside the tRRD shadow of imminent demand activates; once a phase's
-//! ACT has issued, the burst train finishes contiguously (one bus
-//! turnaround instead of one per dribbled burst), and a job that demand
-//! is actually waiting on finishes at demand priority. Write-back
-//! phases preferentially ride write-drain episodes, when the rank is
-//! already turned around for writes. Under
+//! ACT has issued, the burst train finishes contiguously, and a job that
+//! demand is actually waiting on finishes at demand priority. Same-bank
+//! write-back phases preferentially ride write-drain episodes. Under
 //! [`RelocationMode::DeadlineBoosted`] a job that has waited longer
 //! than its deadline may also start ahead of demand. An optional
-//! [`MigrationRate`] caps job starts per cycle window so a large
-//! transition batch cannot monopolize an idle channel right before a
-//! demand burst arrives.
+//! [`MigrationRate`] caps job starts per cycle window.
 //!
 //! The engine is driven by the controller, which owns all protocol state;
 //! this module tracks job progress and answers two questions the
 //! controller's event model needs: *which command would migration issue
 //! next on bank `b`*, and *from which cycle onward is migration allowed
 //! to issue at all* (the rate-limiter window). Both are constant across a
-//! dead window, so the skip-ahead bound stays exact.
+//! dead window — a write burst gated on unread data has no command, and
+//! the read that releases it is itself an event — so the skip-ahead
+//! bound stays exact.
 //!
 //! [`ModeTable`]: clr_core::mode::ModeTable
+//! [`MemorySystem::pump_placement`]: crate::system::MemorySystem::pump_placement
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use clr_core::mode::RowMode;
 
@@ -155,7 +175,7 @@ impl Default for RelocationConfig {
     }
 }
 
-/// Which half of the data movement a job is executing.
+/// Which half of the data movement a same-bank job is executing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum JobPhase {
     /// ACT in the old mode, RD bursts, PRE — then the couple point.
@@ -164,28 +184,94 @@ enum JobPhase {
     WriteBack,
 }
 
+/// What a migration job moves and why — the capacity directory's job
+/// taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// A mode-transition coupling: half a row out of the source, mode
+    /// flip at the couple point, half a row into the destination frame.
+    Couple,
+    /// A same-channel whole-row frame move: a full max-capacity row out
+    /// of one bank into a free frame of another. No mode flip; the
+    /// vacated source becomes a free frame (and the system remaps the
+    /// row's address).
+    Evacuate,
+    /// The source half of a cross-channel frame move: a full row read
+    /// out; the data leaves this channel (staged by the system).
+    EvacuateOut,
+    /// The destination half of a cross-channel frame move: a full row
+    /// written into a local frame; the data arrived from another
+    /// channel.
+    FillIn,
+}
+
+/// Per-side execution state of a job.
+#[derive(Debug, Clone, Copy)]
+enum JobState {
+    /// Legacy same-bank coupling: strictly sequential phases on one
+    /// bank's row buffer.
+    SameBank {
+        phase: JobPhase,
+        /// Whether the current phase's ACT has issued.
+        opened: bool,
+        /// Column bursts remaining in the current phase.
+        remaining: u32,
+    },
+    /// A job whose read-out and write-back sides live on different banks
+    /// (or that has only one side): the sides progress concurrently.
+    TwoBank {
+        /// Whether the read-out ACT has issued.
+        src_opened: bool,
+        /// RD bursts remaining.
+        rd_remaining: u32,
+        /// Whether the read-out side finished (its PRE issued) — for
+        /// [`JobKind::FillIn`] true from dispatch.
+        src_done: bool,
+        /// Whether the write-back ACT has issued.
+        dest_opened: bool,
+        /// WR bursts remaining.
+        wr_remaining: u32,
+    },
+}
+
 /// One row's relocation, decomposed into commands.
 #[derive(Debug, Clone, Copy)]
 pub struct MigrationJob {
-    /// The row being coupled.
+    /// What the job moves (see [`JobKind`]).
+    pub kind: JobKind,
+    /// The source row (for [`JobKind::FillIn`], equal to `dest`).
     pub row: u32,
-    /// The max-capacity row receiving the displaced half-row's data (the
-    /// "new frame"). The write-back activates *this* row, so the coupled
-    /// source row is usable by demand from the couple point on; only the
-    /// (cold, OS-allocated) destination blocks during write-back.
+    /// The destination frame row (`u32::MAX` for
+    /// [`JobKind::EvacuateOut`], whose data leaves the channel).
     pub dest: u32,
-    /// Mode before the transition.
+    /// The destination frame's flat bank (the owning bank for same-bank
+    /// couplings and fill-ins; `u32::MAX` for evacuate-outs).
+    pub dest_bank: u32,
+    /// Mode before the transition (the mode the source is read in).
     pub from: RowMode,
-    /// Mode after the transition.
+    /// Mode after the transition (couplings only; frame moves keep
+    /// max-capacity).
     pub to: RowMode,
     /// Cycle the job was dispatched (drives the deadline boost).
     pub dispatched_at: u64,
-    phase: JobPhase,
-    /// Whether the current phase's ACT has issued (a refresh that closes
-    /// the bank clears this; the phase re-activates and continues).
-    opened: bool,
-    /// Column bursts remaining in the current phase.
-    remaining: u32,
+    state: JobState,
+}
+
+impl MigrationJob {
+    /// The bank the destination side runs on, when it differs from the
+    /// owning bank.
+    fn cross_dest_bank(&self, owning: usize) -> Option<usize> {
+        if self.dest_bank == u32::MAX || self.dest_bank as usize == owning {
+            None
+        } else {
+            Some(self.dest_bank as usize)
+        }
+    }
+
+    /// Whether the job has a read-out side still to run.
+    fn has_src_side(&self) -> bool {
+        !matches!(self.kind, JobKind::FillIn)
+    }
 }
 
 /// The migration command the engine wants to issue next on a bank, with
@@ -205,7 +291,7 @@ pub struct NextMigrationCommand {
 /// issued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MigrationStep {
-    /// The job made progress but still owns the bank.
+    /// The job made progress but still owns its bank(s).
     InProgress,
     /// The read-out phase finished: the controller must flip the row's
     /// mode-table entry now (the couple point).
@@ -215,13 +301,64 @@ pub enum MigrationStep {
         /// Mode to flip it to.
         to: RowMode,
     },
-    /// The job finished; the bank is free again.
+    /// A coupling finished; its banks are free again.
     Complete {
         /// The migrated row.
         row: u32,
         /// Its (already applied) final mode.
         to: RowMode,
+        /// Whether the destination frame lived in another bank (the
+        /// overlapped two-bank execution).
+        cross_bank: bool,
     },
+    /// A same-channel whole-row frame move finished; the vacated source
+    /// is now a free frame.
+    Evacuated {
+        /// Source bank vacated.
+        bank: u32,
+        /// Source row vacated.
+        row: u32,
+        /// Destination bank filled.
+        dest_bank: u32,
+        /// Destination row filled.
+        dest: u32,
+    },
+    /// A cross-channel move's read-out half finished; the row's data is
+    /// staged for a fill on another channel (the source row stays
+    /// reserved until the system confirms the landing).
+    StagedOut {
+        /// Source bank read out.
+        bank: u32,
+        /// Source row read out.
+        row: u32,
+    },
+    /// A cross-channel move's write-back half finished; the data landed
+    /// in this channel's frame.
+    Filled {
+        /// Destination bank filled.
+        bank: u32,
+        /// Destination row filled.
+        row: u32,
+    },
+}
+
+/// A completed placement action, drained by the memory system to update
+/// the capacity directory and the remap table. `bank`/`row` is the
+/// source location, `dest_bank`/`dest` the destination (both `u32::MAX`
+/// for [`JobKind::EvacuateOut`], whose destination lives on another
+/// channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementEvent {
+    /// What kind of job completed.
+    pub kind: JobKind,
+    /// Source flat bank.
+    pub bank: u32,
+    /// Source row.
+    pub row: u32,
+    /// Destination flat bank.
+    pub dest_bank: u32,
+    /// Destination row.
+    pub dest: u32,
 }
 
 /// Per-bank job queues plus the rate limiter — the bookkeeping half of
@@ -229,30 +366,49 @@ pub enum MigrationStep {
 #[derive(Debug)]
 pub struct MigrationEngine {
     cfg: RelocationConfig,
-    /// Column bursts per phase: the displaced half-row at one burst per
-    /// column access (matches the relocation cost model's
-    /// `bursts_per_row`).
+    /// Column bursts per coupling phase: the displaced half-row at one
+    /// burst per column access (matches the relocation cost model's
+    /// `bursts_per_row`). Whole-row frame moves transfer twice this.
     bursts_per_phase: u32,
     queues: Vec<VecDeque<MigrationJob>>,
     active: Vec<Option<MigrationJob>>,
-    /// Banks with an in-flight job (whole-job granularity).
+    /// For banks serving as the *destination* side of an active two-bank
+    /// job: the owning bank.
+    dest_of: Vec<Option<usize>>,
+    /// Banks with an in-flight migration role (job source or
+    /// destination).
     busy: Vec<bool>,
-    /// Banks whose in-flight job currently *holds the row buffer* (its
-    /// phase ACT has issued): the whole bank blocks demand. Between
-    /// phases only the migrating row blocks (see `row_block`).
+    /// Banks whose in-flight role currently *holds the row buffer* (its
+    /// side's ACT has issued): the whole bank blocks demand. Otherwise
+    /// only the migrating row blocks (see `row_block`).
     held: Vec<bool>,
     /// The migrating row per bank (`u32::MAX` when none): demand to this
-    /// row waits for the whole job — its content is in flux — while the
-    /// bank's other rows stay schedulable whenever the bank is not held.
+    /// row waits — its content is in flux — while the bank's other rows
+    /// stay schedulable whenever the bank is not held.
     row_block: Vec<u32>,
     /// The source row per bank while its job is in the read-out phase
     /// (`u32::MAX` otherwise): reads to it remain servable (see
     /// [`MigrationEngine::read_ok_rows`]).
     readout_src: Vec<u32>,
+    /// Every `(bank, row)` with a pending migration role (queued or in
+    /// flight, source or destination) or an external reservation by the
+    /// capacity directory — the "do not touch" set pickers and
+    /// dispatchers consult.
+    reserved: BTreeSet<(u32, u32)>,
     pending_jobs: usize,
-    /// Completed `(bank, row, mode)` transitions awaiting a drain by the
-    /// policy driver.
+    /// Completed coupling `(bank, row, mode)` transitions awaiting a
+    /// drain by the policy driver.
     completed: Vec<(u32, u32, RowMode)>,
+    /// Completed frame-placement actions awaiting a drain by the memory
+    /// system.
+    placements: Vec<PlacementEvent>,
+    /// Whether completed *couplings* with cross-bank destinations are
+    /// also recorded as placement events. Off by default: the system
+    /// pump ignores them (couplings need no remap), so recording them
+    /// unconditionally would grow `placements` without bound on runs
+    /// that never drain it. Audits (the workspace consistency test)
+    /// switch it on.
+    log_couple_placements: bool,
     /// Rate-limiter state: the window index last charged and the
     /// commands issued within it.
     window_index: u64,
@@ -263,8 +419,8 @@ pub struct MigrationEngine {
 }
 
 impl MigrationEngine {
-    /// An engine for `banks` banks moving `half_row_bytes` per job at
-    /// `burst_bytes` per column access.
+    /// An engine for `banks` banks moving `half_row_bytes` per coupling
+    /// phase at `burst_bytes` per column access.
     pub fn new(cfg: RelocationConfig, banks: usize, half_row_bytes: u64, burst_bytes: u64) -> Self {
         let bursts = half_row_bytes.div_ceil(burst_bytes.max(1)).max(1) as u32;
         MigrationEngine {
@@ -272,12 +428,16 @@ impl MigrationEngine {
             bursts_per_phase: bursts,
             queues: vec![VecDeque::new(); banks],
             active: vec![None; banks],
+            dest_of: vec![None; banks],
             busy: vec![false; banks],
             held: vec![false; banks],
             row_block: vec![u32::MAX; banks],
             readout_src: vec![u32::MAX; banks],
+            reserved: BTreeSet::new(),
             pending_jobs: 0,
             completed: Vec::new(),
+            placements: Vec::new(),
+            log_couple_placements: false,
             window_index: 0,
             issued_in_window: 0,
             rr_next: 0,
@@ -289,9 +449,21 @@ impl MigrationEngine {
         &self.cfg
     }
 
-    /// Column bursts per job phase.
+    /// Starts recording completed cross-bank couplings as placement
+    /// events (frame moves are always recorded — the system pump
+    /// consumes them; coupling events exist for audits and debugging).
+    pub fn enable_couple_placement_log(&mut self) {
+        self.log_couple_placements = true;
+    }
+
+    /// Column bursts per coupling phase.
     pub fn bursts_per_phase(&self) -> u32 {
         self.bursts_per_phase
+    }
+
+    /// Column bursts of a whole-row frame move (both halves of the row).
+    pub fn bursts_per_frame_move(&self) -> u32 {
+        self.bursts_per_phase * 2
     }
 
     /// Jobs dispatched but not yet complete (queued + in flight).
@@ -299,39 +471,50 @@ impl MigrationEngine {
         self.pending_jobs
     }
 
-    /// Whether bank `b` has an in-flight job (started, not complete).
+    /// Whether bank `b` has an in-flight migration role (job source or
+    /// destination; started, not complete).
     pub fn is_busy(&self, bank: usize) -> bool {
         self.busy[bank]
     }
 
-    /// Whether bank `b`'s in-flight job is mid-phase (its phase ACT has
-    /// issued, so the job holds the row buffer and the whole bank blocks
-    /// demand). A mid-phase job should finish its burst train
+    /// Whether bank `b`'s in-flight role is mid-burst-train (its side's
+    /// ACT has issued, so the role holds the row buffer and the whole
+    /// bank blocks demand). A mid-phase burst train should finish
     /// contiguously: dribbling the bursts one idle slot at a time would
     /// pay the rank-level read/write turnaround penalties once per burst
-    /// instead of once per phase.
+    /// instead of once per train.
     pub fn is_mid_phase(&self, bank: usize) -> bool {
         self.held[bank]
     }
 
-    /// Whether bank `b`'s in-flight job is waiting to open its
-    /// *write-back* phase. The controller aligns these with write-drain
-    /// episodes: a WR burst train injected while the rank serves reads
-    /// pays a write→read turnaround that blocks the whole rank, but
-    /// during a drain the bus is already turned around for writes.
+    /// Whether bank `b`'s in-flight *same-bank* job is waiting to open
+    /// its write-back phase. The controller aligns these with
+    /// write-drain episodes: a WR burst train injected while the rank
+    /// serves reads pays a write→read turnaround that blocks the whole
+    /// rank, but during a drain the bus is already turned around for
+    /// writes. Cross-bank destinations are exempt — hiding the
+    /// destination ACT under the read-out is the point of the placement.
     pub fn pending_writeback_act(&self, bank: usize) -> bool {
-        self.active[bank].is_some_and(|j| !j.opened && j.phase == JobPhase::WriteBack)
+        self.active[bank].is_some_and(|j| {
+            matches!(
+                j.state,
+                JobState::SameBank {
+                    opened: false,
+                    phase: JobPhase::WriteBack,
+                    ..
+                }
+            )
+        })
     }
 
     /// Per-bank whole-bank demand-blocking flags for the scheduler: set
-    /// exactly while a job holds the bank's row buffer.
+    /// exactly while a migration role holds the bank's row buffer.
     pub fn held_banks(&self) -> &[bool] {
         &self.held
     }
 
     /// Per-bank migrating-row blocks for the scheduler (`u32::MAX` =
-    /// none): the row whose content is in flux for the whole job
-    /// lifetime.
+    /// none): the row whose content is in flux for the role's lifetime.
     pub fn blocked_rows(&self) -> &[u32] {
         &self.row_block
     }
@@ -345,25 +528,35 @@ impl MigrationEngine {
         &self.readout_src
     }
 
-    /// The migrating row on `bank`, if a job is in flight.
+    /// The migrating row on `bank`, if a role is in flight there.
     pub fn blocked_row(&self, bank: usize) -> Option<u32> {
         let r = self.row_block[bank];
         (r != u32::MAX).then_some(r)
     }
 
-    /// Whether a job involving `(bank, row)` — as migration source *or*
-    /// write-back destination — is queued or in flight.
+    /// Whether `(bank, row)` has a pending migration role (queued or in
+    /// flight, as source *or* destination) or an external reservation.
     pub fn is_row_pending(&self, bank: usize, row: u32) -> bool {
-        self.active[bank].is_some_and(|j| j.row == row || j.dest == row)
-            || self.queues[bank]
-                .iter()
-                .any(|j| j.row == row || j.dest == row)
+        self.reserved.contains(&(bank as u32, row))
+    }
+
+    /// Reserves `(bank, row)` for the capacity directory (e.g. the
+    /// destination frame of a cross-channel move scheduled but not yet
+    /// dispatched on this channel). Returns `false` if the row already
+    /// has a pending role.
+    pub fn reserve(&mut self, bank: usize, row: u32) -> bool {
+        self.reserved.insert((bank as u32, row))
+    }
+
+    /// Releases an external reservation (or a staged-out source row once
+    /// its move has landed elsewhere). Returns whether it was held.
+    pub fn release(&mut self, bank: usize, row: u32) -> bool {
+        self.reserved.remove(&(bank as u32, row))
     }
 
     /// Dispatches one coupling job whose displaced data lands in `dest`
     /// (a max-capacity row of the same bank). Returns `false` (and does
-    /// nothing) if either row already has a pending job.
-    #[allow(clippy::too_many_arguments)]
+    /// nothing) if either row already has a pending role.
     pub fn dispatch(
         &mut self,
         bank: usize,
@@ -373,21 +566,189 @@ impl MigrationEngine {
         to: RowMode,
         now: u64,
     ) -> bool {
-        if self.is_row_pending(bank, row) || self.is_row_pending(bank, dest) || row == dest {
+        self.dispatch_couple(bank, row, bank, dest, from, to, now)
+    }
+
+    /// Dispatches one coupling job with an explicit destination bank:
+    /// `dest_bank == bank` is the legacy serialized placement, anything
+    /// else the overlapped two-bank execution. Returns `false` (and does
+    /// nothing) if either row already has a pending role or the
+    /// coordinates are degenerate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dispatch_couple(
+        &mut self,
+        bank: usize,
+        row: u32,
+        dest_bank: usize,
+        dest: u32,
+        from: RowMode,
+        to: RowMode,
+        now: u64,
+    ) -> bool {
+        if self.is_row_pending(bank, row)
+            || self.is_row_pending(dest_bank, dest)
+            || (bank == dest_bank && row == dest)
+        {
             return false;
         }
-        self.queues[bank].push_back(MigrationJob {
-            row,
-            dest,
-            from,
-            to,
-            dispatched_at: now,
-            phase: JobPhase::ReadOut,
-            opened: false,
-            remaining: self.bursts_per_phase,
-        });
-        self.pending_jobs += 1;
+        let state = if dest_bank == bank {
+            JobState::SameBank {
+                phase: JobPhase::ReadOut,
+                opened: false,
+                remaining: self.bursts_per_phase,
+            }
+        } else {
+            JobState::TwoBank {
+                src_opened: false,
+                rd_remaining: self.bursts_per_phase,
+                src_done: false,
+                dest_opened: false,
+                wr_remaining: self.bursts_per_phase,
+            }
+        };
+        self.enqueue_job(
+            bank,
+            MigrationJob {
+                kind: JobKind::Couple,
+                row,
+                dest,
+                dest_bank: dest_bank as u32,
+                from,
+                to,
+                dispatched_at: now,
+                state,
+            },
+        );
         true
+    }
+
+    /// Dispatches a same-channel whole-row frame move: the full
+    /// max-capacity row `(bank, row)` is read out and written into the
+    /// frame `(dest_bank, dest)` of a *different* bank. Returns `false`
+    /// if either row has a pending role or the banks coincide.
+    pub fn dispatch_evacuate(
+        &mut self,
+        bank: usize,
+        row: u32,
+        dest_bank: usize,
+        dest: u32,
+        now: u64,
+    ) -> bool {
+        if bank == dest_bank
+            || self.is_row_pending(bank, row)
+            || self.is_row_pending(dest_bank, dest)
+        {
+            return false;
+        }
+        self.enqueue_job(
+            bank,
+            MigrationJob {
+                kind: JobKind::Evacuate,
+                row,
+                dest,
+                dest_bank: dest_bank as u32,
+                from: RowMode::MaxCapacity,
+                to: RowMode::MaxCapacity,
+                dispatched_at: now,
+                state: JobState::TwoBank {
+                    src_opened: false,
+                    rd_remaining: self.bursts_per_frame_move(),
+                    src_done: false,
+                    dest_opened: false,
+                    wr_remaining: self.bursts_per_frame_move(),
+                },
+            },
+        );
+        true
+    }
+
+    /// Dispatches the read-out half of a cross-channel frame move: the
+    /// full row `(bank, row)` is streamed out; on completion the data is
+    /// staged (the row stays reserved until the system confirms the
+    /// landing and releases it). Returns `false` if the row has a
+    /// pending role.
+    pub fn dispatch_evacuate_out(&mut self, bank: usize, row: u32, now: u64) -> bool {
+        if self.is_row_pending(bank, row) {
+            return false;
+        }
+        self.enqueue_job(
+            bank,
+            MigrationJob {
+                kind: JobKind::EvacuateOut,
+                row,
+                dest: u32::MAX,
+                dest_bank: u32::MAX,
+                from: RowMode::MaxCapacity,
+                to: RowMode::MaxCapacity,
+                dispatched_at: now,
+                state: JobState::TwoBank {
+                    src_opened: false,
+                    rd_remaining: self.bursts_per_frame_move(),
+                    src_done: false,
+                    dest_opened: false,
+                    wr_remaining: 0,
+                },
+            },
+        );
+        true
+    }
+
+    /// Dispatches the write-back half of a cross-channel frame move: a
+    /// full row's worth of data (staged by the system) is written into
+    /// the frame `(bank, row)`. An external [`MigrationEngine::reserve`]
+    /// held for exactly this frame is adopted by the job. Returns
+    /// `false` if the row is pending under a *different* role.
+    pub fn dispatch_fill(
+        &mut self,
+        bank: usize,
+        row: u32,
+        reserved_by_caller: bool,
+        now: u64,
+    ) -> bool {
+        if reserved_by_caller {
+            // The caller's reservation becomes the job's own entry.
+            if !self.reserved.contains(&(bank as u32, row)) {
+                return false;
+            }
+        } else if self.is_row_pending(bank, row) {
+            return false;
+        }
+        self.enqueue_job(
+            bank,
+            MigrationJob {
+                kind: JobKind::FillIn,
+                row,
+                dest: row,
+                dest_bank: bank as u32,
+                from: RowMode::MaxCapacity,
+                to: RowMode::MaxCapacity,
+                dispatched_at: now,
+                state: JobState::TwoBank {
+                    src_opened: false,
+                    rd_remaining: 0,
+                    src_done: true,
+                    dest_opened: false,
+                    wr_remaining: self.bursts_per_frame_move(),
+                },
+            },
+        );
+        true
+    }
+
+    fn enqueue_job(&mut self, bank: usize, job: MigrationJob) {
+        self.reserved.insert((bank as u32, job.row));
+        if job.dest_bank != u32::MAX {
+            self.reserved.insert((job.dest_bank, job.dest));
+        }
+        // The capacity directory's frame moves are few and system-wide
+        // (a stuck move pins reservations on two channels), so they jump
+        // the bank's coupling backlog; couplings keep FIFO order among
+        // themselves.
+        match job.kind {
+            JobKind::Couple => self.queues[bank].push_back(job),
+            _ => self.queues[bank].push_front(job),
+        }
+        self.pending_jobs += 1;
     }
 
     /// Whether bank `b` has a queued (not yet started) job past the
@@ -397,18 +758,45 @@ impl MigrationEngine {
         let RelocationMode::DeadlineBoosted { deadline_cycles } = self.cfg.mode else {
             return false;
         };
+        if self.start_blocked(bank) {
+            return false;
+        }
         self.queues[bank]
             .front()
             .is_some_and(|j| now.saturating_sub(j.dispatched_at) >= deadline_cycles)
     }
 
+    /// Whether the front job of `bank`'s queue cannot start because a
+    /// migration role already occupies one of its banks.
+    fn start_blocked(&self, bank: usize) -> bool {
+        if self.active[bank].is_some() || self.dest_of[bank].is_some() {
+            return true;
+        }
+        self.queues[bank].front().is_some_and(|j| {
+            j.cross_dest_bank(bank)
+                .is_some_and(|db| self.active[db].is_some() || self.dest_of[db].is_some())
+        })
+    }
+
+    /// The first command of a queued job: the read-out ACT of its
+    /// source, or — for a fill-in — the write-back ACT of its frame.
+    fn start_target(job: &MigrationJob) -> (u32, RowMode) {
+        match job.kind {
+            JobKind::FillIn => (job.dest, RowMode::MaxCapacity),
+            _ => (job.row, job.from),
+        }
+    }
+
     /// The queued job a closed `bank` could start next, as
-    /// `(row, from-mode)` — the event-bound input for start candidates.
+    /// `(row, mode)` of its first ACT — the event-bound input for start
+    /// candidates. `None` while any of the job's banks is occupied by
+    /// another migration role (the occupying job's completion is an
+    /// event, so the bound stays exact).
     pub fn queued_start(&self, bank: usize) -> Option<(u32, RowMode)> {
-        if self.active[bank].is_some() {
+        if self.start_blocked(bank) {
             return None;
         }
-        self.queues[bank].front().map(|j| (j.row, j.from))
+        self.queues[bank].front().map(Self::start_target)
     }
 
     /// The cycle from which a queued job on `bank` may start *despite
@@ -419,7 +807,7 @@ impl MigrationEngine {
         let RelocationMode::DeadlineBoosted { deadline_cycles } = self.cfg.mode else {
             return None;
         };
-        if self.active[bank].is_some() {
+        if self.start_blocked(bank) {
             return None;
         }
         self.queues[bank]
@@ -443,61 +831,199 @@ impl MigrationEngine {
         }
     }
 
+    /// The read-out-side command of an in-flight job on its owning bank,
+    /// `None` once that side is done.
+    fn src_side_command(
+        job: &MigrationJob,
+        open: Option<(u32, RowMode)>,
+    ) -> Option<NextMigrationCommand> {
+        match job.state {
+            JobState::SameBank {
+                phase,
+                opened,
+                remaining,
+            } => {
+                // Legacy sequential walk, verbatim.
+                let cmd = if !opened {
+                    // Between phases the bank is released to demand; if a
+                    // demand row is open when the next phase is due, it is
+                    // closed first.
+                    if let Some((row, mode)) = open {
+                        NextMigrationCommand {
+                            command: Command::Pre,
+                            row,
+                            mode,
+                        }
+                    } else {
+                        // Read-out activates the source in its old mode; the
+                        // write-back activates the (max-capacity) destination
+                        // frame.
+                        let (row, mode) = match phase {
+                            JobPhase::ReadOut => (job.row, job.from),
+                            JobPhase::WriteBack => (job.dest, RowMode::MaxCapacity),
+                        };
+                        NextMigrationCommand {
+                            command: Command::Act,
+                            row,
+                            mode,
+                        }
+                    }
+                } else if remaining > 0 {
+                    let command = match phase {
+                        JobPhase::ReadOut => Command::Rd,
+                        JobPhase::WriteBack => Command::Wr,
+                    };
+                    let (row, mode) = open.expect("in-flight job holds the bank open");
+                    NextMigrationCommand { command, row, mode }
+                } else {
+                    let (row, mode) = open.expect("in-flight job holds the bank open");
+                    NextMigrationCommand {
+                        command: Command::Pre,
+                        row,
+                        mode,
+                    }
+                };
+                Some(cmd)
+            }
+            JobState::TwoBank {
+                src_opened,
+                rd_remaining,
+                src_done,
+                ..
+            } => {
+                if src_done || !job.has_src_side() {
+                    return None;
+                }
+                let cmd = if !src_opened {
+                    if let Some((row, mode)) = open {
+                        // A demand row (or refresh leftover) occupies the
+                        // buffer; close it before (re-)activating.
+                        NextMigrationCommand {
+                            command: Command::Pre,
+                            row,
+                            mode,
+                        }
+                    } else {
+                        NextMigrationCommand {
+                            command: Command::Act,
+                            row: job.row,
+                            mode: job.from,
+                        }
+                    }
+                } else if rd_remaining > 0 {
+                    let (row, mode) = open.expect("read-out holds the bank open");
+                    NextMigrationCommand {
+                        command: Command::Rd,
+                        row,
+                        mode,
+                    }
+                } else {
+                    let (row, mode) = open.expect("read-out holds the bank open");
+                    NextMigrationCommand {
+                        command: Command::Pre,
+                        row,
+                        mode,
+                    }
+                };
+                Some(cmd)
+            }
+        }
+    }
+
+    /// The write-back-side command of an in-flight two-bank job on its
+    /// destination bank. `None` while the side is blocked on unread data
+    /// or on the couple point — both released by source-side events.
+    fn dest_side_command(
+        job: &MigrationJob,
+        open: Option<(u32, RowMode)>,
+    ) -> Option<NextMigrationCommand> {
+        let JobState::TwoBank {
+            rd_remaining,
+            src_done,
+            dest_opened,
+            wr_remaining,
+            ..
+        } = job.state
+        else {
+            return None;
+        };
+        if !dest_opened {
+            return Some(match open {
+                // A demand row occupies the destination's buffer; close
+                // it first.
+                Some((row, mode)) => NextMigrationCommand {
+                    command: Command::Pre,
+                    row,
+                    mode,
+                },
+                // The write-back ACT may issue any time from the job's
+                // start: hiding its ACT/tRCD window under the read-out is
+                // the overlap this placement buys.
+                None => NextMigrationCommand {
+                    command: Command::Act,
+                    row: job.dest,
+                    mode: RowMode::MaxCapacity,
+                },
+            });
+        }
+        if wr_remaining > 0 {
+            // A write burst may only carry data that has been read:
+            // wr_remaining must stay strictly behind rd_remaining.
+            if wr_remaining > rd_remaining {
+                let (row, mode) = open.expect("write-back holds the bank open");
+                return Some(NextMigrationCommand {
+                    command: Command::Wr,
+                    row,
+                    mode,
+                });
+            }
+            return None;
+        }
+        if !src_done {
+            // All data written but the source has not precharged (the
+            // couple point, for couplings): completion must not outrun
+            // it.
+            return None;
+        }
+        let (row, mode) = open.expect("write-back holds the bank open");
+        Some(NextMigrationCommand {
+            command: Command::Pre,
+            row,
+            mode,
+        })
+    }
+
     /// The command migration would issue next on `bank`, given the bank's
-    /// open row/mode (`None` when the bank has no job it may progress at
-    /// `now`). Pure bookkeeping: timing readiness is the controller's
-    /// engine's call. In-flight jobs always have a next command; a queued
-    /// job starts with ACT on a closed bank, and may start by precharging
-    /// an open bank only once overdue under deadline-boosted priority.
+    /// open row/mode (`None` when the bank has no migration work it may
+    /// progress at `now`). Pure bookkeeping: timing readiness is the
+    /// controller's engine's call. A queued job starts with ACT on a
+    /// closed bank, and may start by precharging an open bank only once
+    /// overdue under deadline-boosted priority.
     pub fn next_command(
         &self,
         bank: usize,
         open: Option<(u32, RowMode)>,
         now: u64,
     ) -> Option<NextMigrationCommand> {
-        if let Some(job) = self.active[bank] {
-            let cmd = if !job.opened {
-                // Between phases the bank is released to demand; if a
-                // demand row is open when the next phase is due, it is
-                // closed first.
-                if let Some((row, mode)) = open {
-                    NextMigrationCommand {
-                        command: Command::Pre,
-                        row,
-                        mode,
-                    }
-                } else {
-                    // Read-out activates the source in its old mode; the
-                    // write-back activates the (max-capacity) destination
-                    // frame.
-                    let (row, mode) = match job.phase {
-                        JobPhase::ReadOut => (job.row, job.from),
-                        JobPhase::WriteBack => (job.dest, RowMode::MaxCapacity),
-                    };
-                    NextMigrationCommand {
-                        command: Command::Act,
-                        row,
-                        mode,
-                    }
-                }
-            } else if job.remaining > 0 {
-                let command = match job.phase {
-                    JobPhase::ReadOut => Command::Rd,
-                    JobPhase::WriteBack => Command::Wr,
-                };
-                let (row, mode) = open.expect("in-flight job holds the bank open");
-                NextMigrationCommand { command, row, mode }
-            } else {
-                let (row, mode) = open.expect("in-flight job holds the bank open");
-                NextMigrationCommand {
-                    command: Command::Pre,
-                    row,
-                    mode,
-                }
-            };
-            return Some(cmd);
+        if let Some(job) = self.active[bank].as_ref() {
+            if let Some(cmd) = Self::src_side_command(job, open) {
+                return Some(cmd);
+            }
+            // The source side is done (or absent). If this bank doubles
+            // as the job's destination (fill-in), the dest lookup below
+            // serves it; a cross-bank owner has nothing more to issue
+            // here.
         }
-        let job = self.queues[bank].front()?;
+        if let Some(owner) = self.dest_of[bank] {
+            let job = self.active[owner]
+                .as_ref()
+                .expect("dest role implies an active owner");
+            return Self::dest_side_command(job, open);
+        }
+        if self.active[bank].is_some() {
+            return None;
+        }
+        let (srow, smode) = self.queued_start(bank)?;
         match open {
             // An open bank is demand territory: only an overdue job under
             // deadline boost may close it to start.
@@ -514,87 +1040,336 @@ impl MigrationEngine {
             }
             None => Some(NextMigrationCommand {
                 command: Command::Act,
-                row: job.row,
-                mode: job.from,
+                row: srow,
+                mode: smode,
             }),
         }
     }
 
-    /// Records that the current phase's ACT issued on `bank` (installs
-    /// the job as active first if it was still queued).
+    /// Records that a migration ACT issued on `bank` (installs the
+    /// owning job as active first if it was still queued).
     pub fn note_act(&mut self, bank: usize, now: u64) {
         self.bump(bank);
-        if self.active[bank].is_none() {
+        if self.active[bank].is_none() && self.dest_of[bank].is_none() {
             self.start(bank, now);
         }
-        let job = self.active[bank].as_mut().expect("ACT requires a job");
-        debug_assert!(!job.opened, "double ACT within a phase");
-        job.opened = true;
+        // Source side?
+        if let Some(job) = self.active[bank].as_mut() {
+            match &mut job.state {
+                JobState::SameBank { opened, .. } => {
+                    debug_assert!(!*opened, "double ACT within a phase");
+                    *opened = true;
+                    self.held[bank] = true;
+                    return;
+                }
+                JobState::TwoBank {
+                    src_opened,
+                    src_done,
+                    ..
+                } if !*src_done && job.kind != JobKind::FillIn => {
+                    debug_assert!(!*src_opened, "double read-out ACT");
+                    *src_opened = true;
+                    self.held[bank] = true;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // Destination side.
+        let owner = self.dest_of[bank].expect("ACT requires a migration role");
+        let job = self.active[owner].as_mut().expect("active owner");
+        let JobState::TwoBank { dest_opened, .. } = &mut job.state else {
+            unreachable!("dest role is only taken by two-bank jobs");
+        };
+        debug_assert!(!*dest_opened, "double write-back ACT");
+        *dest_opened = true;
         self.held[bank] = true;
     }
 
     /// Records that a migration column burst issued on `bank`.
     pub fn note_column(&mut self, bank: usize, _now: u64) {
         self.bump(bank);
-        let job = self.active[bank].as_mut().expect("column requires a job");
-        debug_assert!(job.opened && job.remaining > 0);
-        job.remaining -= 1;
+        if let Some(job) = self.active[bank].as_mut() {
+            match &mut job.state {
+                JobState::SameBank {
+                    opened, remaining, ..
+                } => {
+                    debug_assert!(*opened && *remaining > 0);
+                    *remaining -= 1;
+                    return;
+                }
+                JobState::TwoBank {
+                    src_opened,
+                    rd_remaining,
+                    src_done,
+                    ..
+                } if !*src_done && job.kind != JobKind::FillIn => {
+                    debug_assert!(*src_opened && *rd_remaining > 0);
+                    *rd_remaining -= 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        let owner = self.dest_of[bank].expect("column requires a migration role");
+        let job = self.active[owner].as_mut().expect("active owner");
+        let JobState::TwoBank {
+            dest_opened,
+            wr_remaining,
+            rd_remaining,
+            ..
+        } = &mut job.state
+        else {
+            unreachable!("dest role is only taken by two-bank jobs");
+        };
+        debug_assert!(*dest_opened && *wr_remaining > *rd_remaining);
+        *wr_remaining -= 1;
     }
 
-    /// Records that a migration PRE issued on `bank`: either the starting
-    /// PRE that closes a demand row (job still queued), or the
-    /// phase-ending PRE. Returns the resulting step so the controller can
-    /// apply the couple point or the completion.
+    /// Records that a migration PRE issued on `bank`: a starting PRE
+    /// that closes a demand row (job still queued), a side's
+    /// phase-ending PRE, or a demand-row close before a side's
+    /// (re-)ACT. Returns the resulting step so the controller can apply
+    /// couple points, completions, and placement bookkeeping.
     pub fn note_pre(&mut self, bank: usize, now: u64) -> MigrationStep {
         self.bump(bank);
-        if self.active[bank].is_none() {
+        if self.active[bank].is_none() && self.dest_of[bank].is_none() {
             // Starting PRE: the job takes ownership; its first ACT is next.
             self.start(bank, now);
             return MigrationStep::InProgress;
         }
-        let job = self.active[bank].as_mut().expect("PRE requires a job");
-        if !job.opened {
-            // The job owned the bank but its phase ACT had not issued —
-            // only possible for the starting PRE path, which `start`
-            // already consumed. Treat as progress (defensive).
+        // Source side?
+        if let Some(job) = self.active[bank] {
+            match job.state {
+                JobState::SameBank {
+                    phase,
+                    opened,
+                    remaining,
+                } => {
+                    if !opened {
+                        // The job owned the bank but its phase ACT had not
+                        // issued — the PRE closed a demand row ahead of the
+                        // re-ACT.
+                        return MigrationStep::InProgress;
+                    }
+                    debug_assert_eq!(remaining, 0, "PRE before the phase drained");
+                    self.held[bank] = false;
+                    match phase {
+                        JobPhase::ReadOut => {
+                            let job = self.active[bank].as_mut().expect("checked above");
+                            job.state = JobState::SameBank {
+                                phase: JobPhase::WriteBack,
+                                opened: false,
+                                remaining: self.bursts_per_phase,
+                            };
+                            // From the couple point on, the source row is
+                            // usable in its new mode; only the destination
+                            // frame still blocks.
+                            self.row_block[bank] = job.dest;
+                            self.readout_src[bank] = u32::MAX;
+                            return MigrationStep::Couple {
+                                row: job.row,
+                                to: job.to,
+                            };
+                        }
+                        JobPhase::WriteBack => {
+                            return self.complete_job(bank);
+                        }
+                    }
+                }
+                JobState::TwoBank {
+                    src_opened,
+                    rd_remaining,
+                    src_done,
+                    ..
+                } if !src_done && job.has_src_side() => {
+                    if !src_opened {
+                        return MigrationStep::InProgress;
+                    }
+                    debug_assert_eq!(rd_remaining, 0, "PRE before the read-out drained");
+                    self.held[bank] = false;
+                    let job = self.active[bank].as_mut().expect("checked above");
+                    let JobState::TwoBank { src_done, .. } = &mut job.state else {
+                        unreachable!()
+                    };
+                    *src_done = true;
+                    match job.kind {
+                        JobKind::Couple => {
+                            // The couple point: the source row is usable in
+                            // its new mode from here; only the destination
+                            // frame (in its own bank) still blocks.
+                            let (row, to) = (job.row, job.to);
+                            self.row_block[bank] = u32::MAX;
+                            self.readout_src[bank] = u32::MAX;
+                            return MigrationStep::Couple { row, to };
+                        }
+                        JobKind::Evacuate => {
+                            // The data is staged in flight to the other
+                            // bank; the vacated row stays blocked until the
+                            // move lands.
+                            self.readout_src[bank] = u32::MAX;
+                            return MigrationStep::InProgress;
+                        }
+                        JobKind::EvacuateOut => {
+                            // Single-sided: the read-out completes the job.
+                            // The source row's reservation survives until
+                            // the system confirms the landing on the other
+                            // channel. The *demand* block is released here,
+                            // though: row blocks are tied to in-flight
+                            // roles, so a demand write landing in the
+                            // staging window (before the fill lands and the
+                            // remap swap redirects the address) is a known
+                            // fidelity approximation of this data-less
+                            // model — it costs nothing in timing, and the
+                            // staging window is bounded by the pump cadence
+                            // (see the ROADMAP open item).
+                            let row = job.row;
+                            self.active[bank] = None;
+                            self.busy[bank] = false;
+                            self.row_block[bank] = u32::MAX;
+                            self.readout_src[bank] = u32::MAX;
+                            self.pending_jobs -= 1;
+                            self.placements.push(PlacementEvent {
+                                kind: JobKind::EvacuateOut,
+                                bank: bank as u32,
+                                row,
+                                dest_bank: u32::MAX,
+                                dest: u32::MAX,
+                            });
+                            return MigrationStep::StagedOut {
+                                bank: bank as u32,
+                                row,
+                            };
+                        }
+                        JobKind::FillIn => unreachable!("fill-ins have no source side"),
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Destination side.
+        let owner = self.dest_of[bank].expect("PRE requires a migration role");
+        let job = self.active[owner].expect("active owner");
+        let JobState::TwoBank {
+            dest_opened,
+            wr_remaining,
+            src_done,
+            ..
+        } = job.state
+        else {
+            unreachable!("dest role is only taken by two-bank jobs");
+        };
+        if !dest_opened {
+            // Closed a demand row ahead of the write-back ACT.
             return MigrationStep::InProgress;
         }
-        debug_assert_eq!(job.remaining, 0, "PRE before the phase drained");
+        debug_assert_eq!(wr_remaining, 0, "PRE before the write-back drained");
+        debug_assert!(src_done, "completion must not outrun the couple point");
         self.held[bank] = false;
-        match job.phase {
-            JobPhase::ReadOut => {
-                job.phase = JobPhase::WriteBack;
-                job.opened = false;
-                job.remaining = self.bursts_per_phase;
-                // From the couple point on, the source row is usable in
-                // its new mode; only the destination frame still blocks.
-                self.row_block[bank] = job.dest;
-                self.readout_src[bank] = u32::MAX;
-                MigrationStep::Couple {
+        self.complete_job(owner)
+    }
+
+    /// Finishes the active job owned by `owner`, releasing every role
+    /// and reservation it held and emitting its completion records.
+    fn complete_job(&mut self, owner: usize) -> MigrationStep {
+        let job = self.active[owner].take().expect("completing an active job");
+        self.busy[owner] = false;
+        self.row_block[owner] = u32::MAX;
+        self.readout_src[owner] = u32::MAX;
+        if let Some(db) = job.cross_dest_bank(owner) {
+            self.dest_of[db] = None;
+            self.busy[db] = false;
+            self.row_block[db] = u32::MAX;
+        }
+        if owner as u32 == job.dest_bank && job.kind == JobKind::FillIn {
+            self.dest_of[owner] = None;
+        }
+        self.pending_jobs -= 1;
+        self.reserved.remove(&(owner as u32, job.row));
+        if job.dest_bank != u32::MAX {
+            self.reserved.remove(&(job.dest_bank, job.dest));
+        }
+        match job.kind {
+            JobKind::Couple => {
+                self.completed.push((owner as u32, job.row, job.to));
+                let cross_bank = job.dest_bank as usize != owner;
+                if cross_bank && self.log_couple_placements {
+                    self.placements.push(PlacementEvent {
+                        kind: JobKind::Couple,
+                        bank: owner as u32,
+                        row: job.row,
+                        dest_bank: job.dest_bank,
+                        dest: job.dest,
+                    });
+                }
+                MigrationStep::Complete {
                     row: job.row,
                     to: job.to,
+                    cross_bank,
                 }
             }
-            JobPhase::WriteBack => {
-                let row = job.row;
-                let to = job.to;
-                self.active[bank] = None;
-                self.busy[bank] = false;
-                self.row_block[bank] = u32::MAX;
-                self.pending_jobs -= 1;
-                self.completed.push((bank as u32, row, to));
-                MigrationStep::Complete { row, to }
+            JobKind::Evacuate => {
+                self.placements.push(PlacementEvent {
+                    kind: JobKind::Evacuate,
+                    bank: owner as u32,
+                    row: job.row,
+                    dest_bank: job.dest_bank,
+                    dest: job.dest,
+                });
+                MigrationStep::Evacuated {
+                    bank: owner as u32,
+                    row: job.row,
+                    dest_bank: job.dest_bank,
+                    dest: job.dest,
+                }
             }
+            JobKind::FillIn => {
+                self.placements.push(PlacementEvent {
+                    kind: JobKind::FillIn,
+                    bank: owner as u32,
+                    row: job.dest,
+                    dest_bank: job.dest_bank,
+                    dest: job.dest,
+                });
+                MigrationStep::Filled {
+                    bank: job.dest_bank,
+                    row: job.dest,
+                }
+            }
+            JobKind::EvacuateOut => unreachable!("evacuate-outs complete at their source PRE"),
         }
     }
 
     /// A refresh (or other controller-side maintenance) precharged `bank`
-    /// out from under an in-flight job: the current phase must
+    /// out from under an in-flight migration role: that side must
     /// re-activate before continuing.
     pub fn on_forced_precharge(&mut self, bank: usize) {
         if let Some(job) = self.active[bank].as_mut() {
-            job.opened = false;
-            self.held[bank] = false;
+            match &mut job.state {
+                JobState::SameBank { opened, .. } => {
+                    *opened = false;
+                    self.held[bank] = false;
+                    return;
+                }
+                JobState::TwoBank {
+                    src_opened,
+                    src_done,
+                    ..
+                } if !*src_done && job.kind != JobKind::FillIn => {
+                    *src_opened = false;
+                    self.held[bank] = false;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        if let Some(owner) = self.dest_of[bank] {
+            if let Some(job) = self.active[owner].as_mut() {
+                if let JobState::TwoBank { dest_opened, .. } = &mut job.state {
+                    *dest_opened = false;
+                    self.held[bank] = false;
+                }
+            }
         }
     }
 
@@ -603,20 +1378,30 @@ impl MigrationEngine {
         self.rr_next
     }
 
-    /// Banks that currently have migration work (active job or non-empty
-    /// queue), visited from the round-robin pointer.
+    /// Banks that currently have migration work (an in-flight role or a
+    /// non-empty queue), visited from the round-robin pointer.
     pub fn banks_with_work(&self) -> impl Iterator<Item = usize> + '_ {
         let n = self.queues.len();
         (0..n)
             .map(move |i| (self.rr_next + i) % n)
-            .filter(move |&b| self.active[b].is_some() || !self.queues[b].is_empty())
+            .filter(move |&b| {
+                self.active[b].is_some() || self.dest_of[b].is_some() || !self.queues[b].is_empty()
+            })
     }
 
-    /// Drains completed `(bank, row, mode)` transitions into `out`
-    /// (clearing `out` first).
+    /// Drains completed coupling `(bank, row, mode)` transitions into
+    /// `out` (clearing `out` first).
     pub fn drain_completed_into(&mut self, out: &mut Vec<(u32, u32, RowMode)>) {
         out.clear();
         out.append(&mut self.completed);
+    }
+
+    /// Drains completed placement actions (evacuations, staged
+    /// read-outs, fills, cross-bank couplings) into `out` (clearing
+    /// `out` first).
+    pub fn drain_placements_into(&mut self, out: &mut Vec<PlacementEvent>) {
+        out.clear();
+        out.append(&mut self.placements);
     }
 
     /// Installs the bank's front job as in flight, charging one start
@@ -634,8 +1419,22 @@ impl MigrationEngine {
             .pop_front()
             .expect("start requires a queued job");
         self.busy[bank] = true;
-        self.row_block[bank] = job.row;
-        self.readout_src[bank] = job.row;
+        match job.kind {
+            JobKind::FillIn => {
+                // Owning bank doubles as the destination bank.
+                self.row_block[bank] = job.dest;
+                self.dest_of[bank] = Some(bank);
+            }
+            _ => {
+                self.row_block[bank] = job.row;
+                self.readout_src[bank] = job.row;
+                if let Some(db) = job.cross_dest_bank(bank) {
+                    self.dest_of[db] = Some(bank);
+                    self.busy[db] = true;
+                    self.row_block[db] = job.dest;
+                }
+            }
+        }
         self.active[bank] = Some(job);
     }
 
@@ -723,7 +1522,8 @@ mod tests {
             step,
             MigrationStep::Complete {
                 row: 7,
-                to: RowMode::HighPerformance
+                to: RowMode::HighPerformance,
+                cross_bank: false,
             }
         );
         assert!(!e.is_busy(1));
@@ -841,5 +1641,232 @@ mod tests {
         e.note_act(0, 0);
         let next: Vec<usize> = e.banks_with_work().collect();
         assert_eq!(next, vec![2, 0], "pointer moved past the served bank");
+    }
+
+    #[test]
+    fn cross_bank_couple_overlaps_its_two_sides() {
+        let mut e = engine(None);
+        e.enable_couple_placement_log();
+        assert!(e.dispatch_couple(
+            1,
+            7,
+            3,
+            40,
+            RowMode::MaxCapacity,
+            RowMode::HighPerformance,
+            0
+        ));
+        // Both rows are guarded from the moment of dispatch.
+        assert!(e.is_row_pending(1, 7));
+        assert!(e.is_row_pending(3, 40));
+        assert!(!e.is_row_pending(1, 40));
+
+        // The start is the source ACT on the owning bank.
+        let c = e.next_command(1, None, 0).unwrap();
+        assert_eq!((c.command, c.row), (Command::Act, 7));
+        e.note_act(1, 0);
+        assert!(e.is_busy(1) && e.is_busy(3), "both banks carry a role");
+        assert_eq!(e.blocked_row(1), Some(7));
+        assert_eq!(e.blocked_row(3), Some(40), "dest row blocks from start");
+
+        // The destination ACT is offered immediately — concurrent with
+        // the read-out.
+        let c = e.next_command(3, None, 1).unwrap();
+        assert_eq!(
+            (c.command, c.row, c.mode),
+            (Command::Act, 40, RowMode::MaxCapacity)
+        );
+        e.note_act(3, 1);
+        assert!(e.is_mid_phase(3));
+
+        // Writes stay strictly behind reads.
+        assert!(
+            e.next_command(3, Some((40, RowMode::MaxCapacity)), 2)
+                .is_none(),
+            "no data read yet → no write burst"
+        );
+        let c = e
+            .next_command(1, Some((7, RowMode::MaxCapacity)), 2)
+            .unwrap();
+        assert_eq!(c.command, Command::Rd);
+        e.note_column(1, 2);
+        let c = e
+            .next_command(3, Some((40, RowMode::MaxCapacity)), 3)
+            .unwrap();
+        assert_eq!(c.command, Command::Wr, "one read releases one write");
+        e.note_column(3, 3);
+        assert!(e
+            .next_command(3, Some((40, RowMode::MaxCapacity)), 4)
+            .is_none());
+
+        // Drain the remaining reads; writes catch up but the destination
+        // PRE still waits for the couple point.
+        for i in 0..15 {
+            e.note_column(1, 10 + i);
+        }
+        for i in 0..15 {
+            let c = e
+                .next_command(3, Some((40, RowMode::MaxCapacity)), 40 + i)
+                .unwrap();
+            assert_eq!(c.command, Command::Wr);
+            e.note_column(3, 40 + i);
+        }
+        assert!(
+            e.next_command(3, Some((40, RowMode::MaxCapacity)), 60)
+                .is_none(),
+            "write-back complete but the couple point has not passed"
+        );
+        // Source PRE = the couple point; the source bank frees entirely.
+        let c = e
+            .next_command(1, Some((7, RowMode::MaxCapacity)), 61)
+            .unwrap();
+        assert_eq!(c.command, Command::Pre);
+        assert_eq!(
+            e.note_pre(1, 61),
+            MigrationStep::Couple {
+                row: 7,
+                to: RowMode::HighPerformance
+            }
+        );
+        assert_eq!(e.blocked_row(1), None, "source bank freed at couple");
+        assert!(e.is_busy(1), "owner stays busy until the move lands");
+        // Destination PRE completes the job.
+        let c = e
+            .next_command(3, Some((40, RowMode::MaxCapacity)), 70)
+            .unwrap();
+        assert_eq!(c.command, Command::Pre);
+        assert_eq!(
+            e.note_pre(3, 70),
+            MigrationStep::Complete {
+                row: 7,
+                to: RowMode::HighPerformance,
+                cross_bank: true,
+            }
+        );
+        assert!(!e.is_busy(1) && !e.is_busy(3));
+        assert!(!e.is_row_pending(1, 7) && !e.is_row_pending(3, 40));
+        let mut done = Vec::new();
+        e.drain_completed_into(&mut done);
+        assert_eq!(done, vec![(1, 7, RowMode::HighPerformance)]);
+        let mut events = Vec::new();
+        e.drain_placements_into(&mut events);
+        assert_eq!(
+            events,
+            vec![PlacementEvent {
+                kind: JobKind::Couple,
+                bank: 1,
+                row: 7,
+                dest_bank: 3,
+                dest: 40,
+            }]
+        );
+    }
+
+    #[test]
+    fn queued_start_waits_for_a_free_destination_bank() {
+        let mut e = engine(None);
+        e.dispatch_couple(
+            0,
+            1,
+            2,
+            40,
+            RowMode::MaxCapacity,
+            RowMode::HighPerformance,
+            0,
+        );
+        e.dispatch_couple(
+            1,
+            5,
+            2,
+            41,
+            RowMode::MaxCapacity,
+            RowMode::HighPerformance,
+            0,
+        );
+        e.note_act(0, 0); // first job takes banks 0 and 2
+        assert_eq!(
+            e.queued_start(1),
+            None,
+            "second job's dest bank is occupied"
+        );
+        assert!(e.next_command(1, None, 5).is_none());
+        // A bank serving as a destination cannot start its own queue
+        // either.
+        e.dispatch(2, 9, 50, RowMode::MaxCapacity, RowMode::HighPerformance, 0);
+        assert_eq!(e.queued_start(2), None);
+    }
+
+    #[test]
+    fn evacuation_stages_and_fill_lands_a_frame_move() {
+        let mut e = engine(None);
+        // Cross-channel stage 1: read the full row out.
+        assert!(e.dispatch_evacuate_out(0, 9, 0));
+        assert_eq!(e.bursts_per_frame_move(), 32);
+        let c = e.next_command(0, None, 0).unwrap();
+        assert_eq!((c.command, c.row), (Command::Act, 9));
+        e.note_act(0, 0);
+        for i in 0..32 {
+            e.note_column(0, 1 + i);
+        }
+        let step = e.note_pre(0, 50);
+        assert_eq!(step, MigrationStep::StagedOut { bank: 0, row: 9 });
+        assert!(!e.is_busy(0));
+        assert!(
+            e.is_row_pending(0, 9),
+            "staged-out source stays reserved until the landing is confirmed"
+        );
+        assert!(e.release(0, 9), "the system releases it after the fill");
+
+        // Stage 2 on the destination channel: a fill-in adopting the
+        // system's reservation.
+        assert!(e.reserve(2, 17));
+        assert!(e.dispatch_fill(2, 17, true, 60));
+        let c = e.next_command(2, None, 60).unwrap();
+        assert_eq!(
+            (c.command, c.row, c.mode),
+            (Command::Act, 17, RowMode::MaxCapacity)
+        );
+        e.note_act(2, 60);
+        for i in 0..32 {
+            let c = e
+                .next_command(2, Some((17, RowMode::MaxCapacity)), 61 + i)
+                .unwrap();
+            assert_eq!(c.command, Command::Wr, "burst {i}");
+            e.note_column(2, 61 + i);
+        }
+        let step = e.note_pre(2, 120);
+        assert_eq!(step, MigrationStep::Filled { bank: 2, row: 17 });
+        assert!(!e.is_row_pending(2, 17));
+        let mut events = Vec::new();
+        e.drain_placements_into(&mut events);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, JobKind::EvacuateOut);
+        assert_eq!(events[1].kind, JobKind::FillIn);
+        assert_eq!((events[1].dest_bank, events[1].dest), (2, 17));
+    }
+
+    #[test]
+    fn same_channel_evacuation_moves_a_whole_row() {
+        let mut e = engine(None);
+        assert!(e.dispatch_evacuate(0, 9, 1, 17, 0));
+        assert!(!e.dispatch_evacuate(0, 9, 0, 17, 0), "same bank refused");
+        e.note_act(0, 0);
+        e.note_act(1, 1);
+        for i in 0..32 {
+            e.note_column(0, 2 + i);
+            e.note_column(1, 3 + i);
+        }
+        assert_eq!(e.note_pre(0, 80), MigrationStep::InProgress);
+        assert_eq!(
+            e.note_pre(1, 90),
+            MigrationStep::Evacuated {
+                bank: 0,
+                row: 9,
+                dest_bank: 1,
+                dest: 17
+            }
+        );
+        assert_eq!(e.pending_jobs(), 0);
+        assert!(!e.is_row_pending(0, 9) && !e.is_row_pending(1, 17));
     }
 }

@@ -71,6 +71,20 @@ pub struct MemStats {
     pub migration_slot_cycles: u64,
     /// Row-migration jobs completed (read-out + couple + write-back).
     pub migration_jobs_completed: u64,
+    /// Completed couplings whose destination frame lived in a different
+    /// bank (the overlapped two-bank execution).
+    pub migration_cross_bank_jobs: u64,
+    /// Whole-row frame evacuations completed on this channel (same-channel
+    /// moves plus the read-out halves of cross-channel moves).
+    pub migration_evacuations: u64,
+    /// Whole-row frame fills completed on this channel (the write-back
+    /// halves of cross-channel moves).
+    pub migration_fills: u64,
+    /// Frames entering the capacity directory as known-free (their
+    /// contents were evacuated elsewhere).
+    pub frames_freed: u64,
+    /// Known-free frames handed back out by the destination pickers.
+    pub frames_reused: u64,
 }
 
 impl MemStats {
@@ -207,6 +221,12 @@ impl MemStats {
             migration_slot_cycles: self.migration_slot_cycles - earlier.migration_slot_cycles,
             migration_jobs_completed: self.migration_jobs_completed
                 - earlier.migration_jobs_completed,
+            migration_cross_bank_jobs: self.migration_cross_bank_jobs
+                - earlier.migration_cross_bank_jobs,
+            migration_evacuations: self.migration_evacuations - earlier.migration_evacuations,
+            migration_fills: self.migration_fills - earlier.migration_fills,
+            frames_freed: self.frames_freed - earlier.frames_freed,
+            frames_reused: self.frames_reused - earlier.frames_reused,
         }
     }
 
@@ -250,6 +270,11 @@ impl MemStats {
         self.migration_writes += other.migration_writes;
         self.migration_slot_cycles += other.migration_slot_cycles;
         self.migration_jobs_completed += other.migration_jobs_completed;
+        self.migration_cross_bank_jobs += other.migration_cross_bank_jobs;
+        self.migration_evacuations += other.migration_evacuations;
+        self.migration_fills += other.migration_fills;
+        self.frames_freed += other.frames_freed;
+        self.frames_reused += other.frames_reused;
     }
 
     /// The counter-wise sum of `stats` (see [`MemStats::merge`]).
@@ -331,6 +356,11 @@ mod tests {
             migration_writes: seed + 26,
             migration_slot_cycles: seed + 27,
             migration_jobs_completed: seed + 28,
+            migration_cross_bank_jobs: seed + 29,
+            migration_evacuations: seed + 30,
+            migration_fills: seed + 31,
+            frames_freed: seed + 32,
+            frames_reused: seed + 33,
         }
     }
 

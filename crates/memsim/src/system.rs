@@ -33,12 +33,119 @@
 //!   command logs, completions, and statistics to driving the controller
 //!   directly.
 
-use clr_core::addr::PhysAddr;
+use std::collections::HashMap;
+
+use clr_core::addr::{DramAddr, PhysAddr};
+use clr_core::geometry::DramGeometry;
 
 use crate::config::MemConfig;
 use crate::controller::MemoryController;
+use crate::migrate::{JobKind, PlacementEvent};
 use crate::request::{Completion, MemRequest};
 use crate::stats::MemStats;
+
+/// Identity of one DRAM row in the sharded system: channel, channel-local
+/// flat bank, row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowKey {
+    /// Channel index.
+    pub channel: u32,
+    /// Flat bank index within the channel (rank × bank-group × bank).
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+}
+
+impl RowKey {
+    /// Convenience constructor.
+    pub fn new(channel: u32, bank: u32, row: u32) -> Self {
+        RowKey { channel, bank, row }
+    }
+}
+
+/// Row-granular address indirection applied *after*
+/// [`AddressMapping::route`](clr_core::addr::AddressMapping::route): the
+/// capacity directory's record of rows whose contents were written back
+/// into another bank or channel, so they remain addressable at their
+/// original physical addresses.
+///
+/// Every completed frame move installs a **swap** (a transposition of
+/// the two rows' identities): the evacuated row's logical identity now
+/// resolves to the destination frame, and the destination frame's old
+/// identity resolves to the vacated row (which the directory hands out
+/// as fresh capacity). Because each install composes the current mapping
+/// with a transposition, the table is a permutation of the row space
+/// under *arbitrary* install sequences — so `remap ∘ route` stays a
+/// bijection (property-tested in the workspace `tests/` directory) and
+/// [`RemapTable::invert`] is an exact inverse for unrouting.
+///
+/// Only non-identity entries are stored; an empty table costs one branch
+/// on the request path.
+#[derive(Debug, Clone, Default)]
+pub struct RemapTable {
+    fwd: HashMap<RowKey, RowKey>,
+    inv: HashMap<RowKey, RowKey>,
+    installs: u64,
+}
+
+impl RemapTable {
+    /// An identity table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the table is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty()
+    }
+
+    /// Non-identity entries currently installed.
+    pub fn len(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Swaps installed over the table's lifetime.
+    pub fn installs(&self) -> u64 {
+        self.installs
+    }
+
+    /// Where the row addressed as `logical` physically lives now.
+    pub fn resolve(&self, logical: RowKey) -> RowKey {
+        self.fwd.get(&logical).copied().unwrap_or(logical)
+    }
+
+    /// The exact inverse of [`RemapTable::resolve`]: which logical row
+    /// currently lives in the physical row `physical`.
+    pub fn invert(&self, physical: RowKey) -> RowKey {
+        self.inv.get(&physical).copied().unwrap_or(physical)
+    }
+
+    /// Records that the contents of physical row `a` and physical row
+    /// `b` exchanged places (a completed frame move: the evacuated
+    /// data went `a → b`, and `b`'s free-frame identity now names `a`).
+    /// Composing the permutation with a transposition keeps it a
+    /// permutation, whatever the install history.
+    pub fn install_swap(&mut self, a: RowKey, b: RowKey) {
+        if a == b {
+            return;
+        }
+        let la = self.inv.remove(&a).unwrap_or(a);
+        let lb = self.inv.remove(&b).unwrap_or(b);
+        if la == b {
+            self.fwd.remove(&la);
+        } else {
+            self.fwd.insert(la, b);
+            self.inv.insert(b, la);
+        }
+        if lb == a {
+            self.fwd.remove(&lb);
+        } else {
+            self.fwd.insert(lb, a);
+            self.inv.insert(a, lb);
+        }
+        self.installs += 1;
+    }
+}
 
 /// A channel-sharded memory system (see the module docs).
 #[derive(Debug)]
@@ -50,6 +157,22 @@ pub struct MemorySystem {
     addr_mask: u64,
     /// Per-channel completion scratch for the `tick_until` merge.
     scratch: Vec<Vec<Completion>>,
+    /// One channel's slice of the geometry (identical for every
+    /// channel), cached for the remap decode on the request path.
+    slice: DramGeometry,
+    /// The capacity directory's row indirection (see [`RemapTable`]).
+    remap: RemapTable,
+    /// Scheduled cross-channel moves whose read-out half is still in
+    /// flight: source row → reserved destination frame.
+    moves: HashMap<RowKey, RowKey>,
+    /// Dispatched fill halves still in flight: destination frame →
+    /// source row (released and remapped when the fill lands).
+    fills: HashMap<RowKey, RowKey>,
+    /// Scratch buffer for placement-event drains.
+    placement_scratch: Vec<PlacementEvent>,
+    /// Rotating hint for import-frame picks, so successive imports
+    /// spread across the destination channel's banks.
+    import_cursor: usize,
 }
 
 impl MemorySystem {
@@ -77,6 +200,12 @@ impl MemorySystem {
             addr_mask: config.geometry.capacity_bytes() - 1,
             channels,
             scratch: vec![Vec::new(); n],
+            slice: config.geometry.channel_slice(),
+            remap: RemapTable::new(),
+            moves: HashMap::new(),
+            fills: HashMap::new(),
+            placement_scratch: Vec::new(),
+            import_cursor: 0,
             config,
         }
     }
@@ -114,18 +243,227 @@ impl MemorySystem {
 
     /// Routes a physical address to `(channel, channel-local address)`
     /// under the configured mapping, after folding it into the global
-    /// capacity.
+    /// capacity, then applies the capacity directory's [`RemapTable`] —
+    /// a request to a row whose contents were moved to another bank or
+    /// channel lands where the data actually lives.
     pub fn route(&self, addr: PhysAddr) -> (usize, PhysAddr) {
         let masked = PhysAddr(addr.0 & self.addr_mask);
-        if self.channels.len() == 1 {
-            return (0, masked);
+        let (ch, local) = if self.channels.len() == 1 {
+            (0u32, masked)
+        } else {
+            self.config
+                .mapping
+                .route(masked, &self.config.geometry)
+                .expect("masked address is always in range")
+        };
+        if self.remap.is_empty() {
+            return (ch as usize, local);
         }
-        let (ch, local) = self
+        let d = self
             .config
             .mapping
-            .route(masked, &self.config.geometry)
-            .expect("masked address is always in range");
-        (ch as usize, local)
+            .map(local, &self.slice)
+            .expect("channel-local address is always in range");
+        let key = RowKey::new(ch, d.flat_bank(&self.slice) as u32, d.row);
+        let r = self.remap.resolve(key);
+        if r == key {
+            return (ch as usize, local);
+        }
+        let nd = Self::bank_coords(&self.slice, r.bank, r.row, d.column);
+        let nlocal = self
+            .config
+            .mapping
+            .unmap(&nd, &self.slice)
+            .expect("remapped coordinates are always in range");
+        let offset = local.0 & (self.slice.bytes_per_column() - 1);
+        (r.channel as usize, PhysAddr(nlocal.0 | offset))
+    }
+
+    /// The exact inverse of [`MemorySystem::route`]: re-encodes a
+    /// physical `(channel, channel-local address)` back into the
+    /// system-wide address that routes to it, undoing the remap first.
+    pub fn unroute(&self, channel: usize, local: PhysAddr) -> PhysAddr {
+        let (lch, llocal) = if self.remap.is_empty() {
+            (channel as u32, local)
+        } else {
+            let d = self
+                .config
+                .mapping
+                .map(local, &self.slice)
+                .expect("channel-local address is always in range");
+            let key = RowKey::new(channel as u32, d.flat_bank(&self.slice) as u32, d.row);
+            let l = self.remap.invert(key);
+            if l == key {
+                (channel as u32, local)
+            } else {
+                let nd = Self::bank_coords(&self.slice, l.bank, l.row, d.column);
+                let nlocal = self
+                    .config
+                    .mapping
+                    .unmap(&nd, &self.slice)
+                    .expect("remapped coordinates are always in range");
+                let offset = local.0 & (self.slice.bytes_per_column() - 1);
+                (l.channel, PhysAddr(nlocal.0 | offset))
+            }
+        };
+        if self.channels.len() == 1 {
+            return llocal;
+        }
+        self.config
+            .mapping
+            .unroute(lch, llocal, &self.config.geometry)
+            .expect("channel-local address is always in range")
+    }
+
+    /// Splits a channel-local flat bank index back into DRAM
+    /// coordinates.
+    fn bank_coords(g: &DramGeometry, flat: u32, row: u32, column: u32) -> DramAddr {
+        let bpg = g.banks_per_group;
+        let bgs = g.bank_groups;
+        DramAddr {
+            channel: 0,
+            rank: flat / (bgs * bpg),
+            bank_group: (flat / bpg) % bgs,
+            bank: flat % bpg,
+            row,
+            column,
+        }
+    }
+
+    /// The capacity directory's row indirection.
+    pub fn remap_table(&self) -> &RemapTable {
+        &self.remap
+    }
+
+    /// Mutable access to the remap table (tests and external placement
+    /// drivers installing swaps directly).
+    pub fn remap_table_mut(&mut self) -> &mut RemapTable {
+        &mut self.remap
+    }
+
+    /// Cross-channel frame moves currently staged (read-out or fill half
+    /// still in flight).
+    pub fn moves_in_flight(&self) -> usize {
+        self.moves.len() + self.fills.len()
+    }
+
+    /// Schedules a whole-row frame move: the contents of `src` relocate
+    /// into the free frame `dest`, after which the two rows' identities
+    /// swap in the [`RemapTable`]. Same-channel moves dispatch directly
+    /// as a two-bank evacuation job; cross-channel moves stage a
+    /// read-out on the source channel now and a fill on the destination
+    /// channel at the next [`MemorySystem::pump_placement`] after the
+    /// read-out lands. Returns `false` (and changes nothing) if either
+    /// row is unavailable (not max-capacity, or already migrating).
+    pub fn schedule_row_move(&mut self, src: RowKey, dest: RowKey) -> bool {
+        if src == dest {
+            return false;
+        }
+        if src.channel == dest.channel {
+            return self.channels[src.channel as usize].begin_row_evacuation(
+                src.bank as usize,
+                src.row,
+                dest.bank as usize,
+                dest.row,
+            );
+        }
+        if !self.channels[dest.channel as usize].reserve_frame(dest.bank as usize, dest.row) {
+            return false;
+        }
+        if !self.channels[src.channel as usize].begin_evacuation_out(src.bank as usize, src.row) {
+            self.channels[dest.channel as usize].release_frame(dest.bank as usize, dest.row);
+            return false;
+        }
+        self.moves.insert(src, dest);
+        true
+    }
+
+    /// [`MemorySystem::schedule_row_move`] with the destination frame
+    /// chosen (and reserved) by the destination channel's capacity
+    /// directory. Returns the reserved frame, or `None` if no frame was
+    /// available or the source row is unavailable.
+    pub fn schedule_row_export(
+        &mut self,
+        src_channel: usize,
+        bank: usize,
+        row: u32,
+        dest_channel: usize,
+    ) -> Option<RowKey> {
+        if src_channel == dest_channel {
+            return None;
+        }
+        let hint = self.import_cursor;
+        let (db, dr) = self.channels[dest_channel].reserve_import_frame(hint)?;
+        self.import_cursor = self.import_cursor.wrapping_add(1);
+        if !self.channels[src_channel].begin_evacuation_out(bank, row) {
+            self.channels[dest_channel].release_frame(db, dr);
+            return None;
+        }
+        let dest = RowKey::new(dest_channel as u32, db as u32, dr);
+        self.moves
+            .insert(RowKey::new(src_channel as u32, bank as u32, row), dest);
+        Some(dest)
+    }
+
+    /// Advances staged placement work: drains every channel's completed
+    /// placement events, installs [`RemapTable`] swaps for landed moves,
+    /// dispatches the fill half of cross-channel moves whose read-out
+    /// finished, and releases vacated frames into their channel's
+    /// capacity directory.
+    ///
+    /// Determinism contract: the pump mutates routing state, so drivers
+    /// must call it at cycle points that are identical across per-cycle
+    /// and skip-ahead walks — epoch boundaries in the policy runtime,
+    /// fixed cycles in tests. It is deliberately *not* called from
+    /// `tick`/`tick_until`.
+    pub fn pump_placement(&mut self) {
+        let n = self.channels.len();
+        for ch in 0..n {
+            let mut events = std::mem::take(&mut self.placement_scratch);
+            self.channels[ch].drain_placement_events_into(&mut events);
+            for ev in &events {
+                match ev.kind {
+                    JobKind::Couple => {
+                        // Cross-bank couplings need no remap: the coupled
+                        // row keeps its (hot) identity; the displaced
+                        // half-row's movement is placement-priced only.
+                    }
+                    JobKind::Evacuate => {
+                        self.remap.install_swap(
+                            RowKey::new(ch as u32, ev.bank, ev.row),
+                            RowKey::new(ch as u32, ev.dest_bank, ev.dest),
+                        );
+                    }
+                    JobKind::EvacuateOut => {
+                        let src = RowKey::new(ch as u32, ev.bank, ev.row);
+                        if let Some(dest) = self.moves.remove(&src) {
+                            if self.channels[dest.channel as usize]
+                                .begin_fill(dest.bank as usize, dest.row)
+                            {
+                                self.fills.insert(dest, src);
+                            } else {
+                                // The reservation vanished (cannot happen
+                                // through this API); abort the move,
+                                // releasing both rows.
+                                self.channels[dest.channel as usize]
+                                    .release_frame(dest.bank as usize, dest.row);
+                                self.channels[ch].release_frame(ev.bank as usize, ev.row);
+                            }
+                        }
+                    }
+                    JobKind::FillIn => {
+                        let dest = RowKey::new(ch as u32, ev.dest_bank, ev.dest);
+                        if let Some(src) = self.fills.remove(&dest) {
+                            self.remap.install_swap(src, dest);
+                            self.channels[src.channel as usize]
+                                .note_frame_freed(src.bank as usize, src.row);
+                        }
+                    }
+                }
+            }
+            events.clear();
+            self.placement_scratch = events;
+        }
     }
 
     /// Attempts to enqueue a request on its channel, returning it back on
@@ -401,6 +739,163 @@ mod tests {
             .map(|c| sys.channel_mut(c).next_event_cycle())
             .collect();
         assert_eq!(fused, *per_ch.iter().min().unwrap());
+    }
+
+    #[test]
+    fn remap_swaps_compose_into_a_permutation() {
+        let mut t = RemapTable::new();
+        let a = RowKey::new(0, 0, 5);
+        let b = RowKey::new(1, 2, 9);
+        let c = RowKey::new(1, 0, 1);
+        assert!(t.is_empty());
+        t.install_swap(a, b);
+        assert_eq!(t.resolve(a), b);
+        assert_eq!(t.resolve(b), a);
+        assert_eq!(t.invert(b), a);
+        assert_eq!(t.len(), 2);
+        // Chained: a's data moves on from b to c.
+        t.install_swap(b, c);
+        assert_eq!(t.resolve(a), c, "a's data is at c now");
+        assert_eq!(t.invert(c), a);
+        // Swapping back to identity prunes entries.
+        t.install_swap(c, a); // a's data returns home: a ↦ a
+        assert_eq!(t.resolve(a), a);
+        t.install_swap(b, c); // b's and c's data return home too
+        assert_eq!(t.resolve(b), b);
+        assert_eq!(t.resolve(c), c);
+        assert!(t.is_empty(), "identity entries are pruned");
+        assert_eq!(t.installs(), 4);
+        // Self-swap is a no-op.
+        t.install_swap(a, a);
+        assert_eq!(t.installs(), 4);
+    }
+
+    #[test]
+    fn cross_channel_move_stages_fills_and_remaps() {
+        use crate::migrate::RelocationConfig;
+        let mut cfg = two_channel_cfg();
+        cfg.refresh_enabled = false;
+        cfg.relocation = RelocationConfig::background();
+        let g = cfg.geometry.clone();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let dest = sys.schedule_row_export(0, 0, 5, 1).expect("frame reserved");
+        assert_eq!(dest.channel, 1);
+        assert_eq!(sys.moves_in_flight(), 1);
+        assert!(
+            sys.channel(1)
+                .is_row_migrating(dest.bank as usize, dest.row),
+            "destination frame reserved on the target channel"
+        );
+        let mut done = Vec::new();
+        sys.tick_until(30_000, &mut done);
+        assert_eq!(sys.pending_migrations(), 0, "read-out half finished");
+        sys.pump_placement(); // dispatches the fill on channel 1
+        assert_eq!(sys.moves_in_flight(), 1, "fill half in flight");
+        assert!(sys.remap_table().is_empty(), "no remap before the landing");
+        sys.tick_until(60_000, &mut done);
+        sys.pump_placement(); // fill landed → swap installed
+        assert_eq!(sys.moves_in_flight(), 0);
+        assert_eq!(sys.remap_table().installs(), 1);
+        assert!(
+            sys.channel(0).frame_directory().is_free(0, 5),
+            "vacated source row is a free frame on channel 0"
+        );
+        assert_eq!(sys.fused_stats().migration_evacuations, 1);
+        assert_eq!(sys.fused_stats().migration_fills, 1);
+
+        // Addresses that decoded to (ch 0, bank 0, row 5) now route to
+        // the destination frame on channel 1 — and unroute restores the
+        // original address exactly.
+        use clr_core::addr::DramAddr;
+        let global = cfg
+            .mapping
+            .unmap(
+                &DramAddr {
+                    channel: 0,
+                    rank: 0,
+                    bank_group: 0,
+                    bank: 0,
+                    row: 5,
+                    column: 3,
+                },
+                &g,
+            )
+            .unwrap();
+        let (ch, local) = sys.route(global);
+        assert_eq!(ch, 1, "moved row routes to its new channel");
+        let d = cfg.mapping.map(local, &g.channel_slice()).unwrap();
+        assert_eq!(d.row, dest.row);
+        assert_eq!(d.flat_bank(&g.channel_slice()) as u32, dest.bank);
+        assert_eq!(d.column, 3, "column preserved through the remap");
+        assert_eq!(sys.unroute(ch, local), global, "unroute is the inverse");
+        // The displaced free-frame identity resolves back to the vacated
+        // row (the swap's other leg).
+        let back = cfg
+            .mapping
+            .unmap(
+                &DramAddr {
+                    channel: 1,
+                    rank: (dest.bank / (g.bank_groups * g.banks_per_group)),
+                    bank_group: (dest.bank / g.banks_per_group) % g.bank_groups,
+                    bank: dest.bank % g.banks_per_group,
+                    row: dest.row,
+                    column: 0,
+                },
+                &g,
+            )
+            .unwrap();
+        let (bch, blocal) = sys.route(back);
+        assert_eq!(bch, 0);
+        let bd = cfg.mapping.map(blocal, &g.channel_slice()).unwrap();
+        assert_eq!((bd.flat_bank(&g.channel_slice()), bd.row), (0, 5));
+    }
+
+    #[test]
+    fn pump_at_fixed_cycles_is_bit_identical_under_skip_ahead() {
+        use crate::migrate::RelocationConfig;
+        let run = |skip: bool| {
+            let mut cfg = two_channel_cfg();
+            cfg.refresh_enabled = true;
+            cfg.relocation = RelocationConfig::background();
+            let mut sys = MemorySystem::new(cfg);
+            sys.enable_command_log();
+            for req in line_requests(24, 64) {
+                sys.try_enqueue(req).unwrap();
+            }
+            let mut done = Vec::new();
+            let step_to = |sys: &mut MemorySystem, done: &mut Vec<Completion>, to: u64| {
+                if skip {
+                    sys.tick_until(to, done);
+                } else {
+                    while sys.cycle() < to {
+                        sys.tick(done);
+                    }
+                }
+            };
+            sys.schedule_row_export(0, 0, 5, 1);
+            sys.schedule_row_export(1, 1, 7, 0);
+            step_to(&mut sys, &mut done, 20_000);
+            sys.pump_placement();
+            step_to(&mut sys, &mut done, 40_000);
+            sys.pump_placement();
+            step_to(&mut sys, &mut done, 60_000);
+            sys.pump_placement();
+            (
+                sys.command_log(0).unwrap().to_vec(),
+                sys.command_log(1).unwrap().to_vec(),
+                done,
+                sys.fused_stats(),
+                sys.remap_table().installs(),
+            )
+        };
+        let (l0a, l1a, done_a, stats_a, inst_a) = run(false);
+        let (l0b, l1b, done_b, stats_b, inst_b) = run(true);
+        assert_eq!(l0a, l0b, "channel-0 command logs diverge");
+        assert_eq!(l1a, l1b, "channel-1 command logs diverge");
+        assert_eq!(done_a, done_b, "completions diverge");
+        assert_eq!(stats_a, stats_b, "statistics diverge");
+        assert_eq!(inst_a, inst_b);
+        assert_eq!(inst_a, 2, "both moves landed in the horizon");
     }
 
     #[test]

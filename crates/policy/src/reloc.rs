@@ -17,6 +17,44 @@
 
 use crate::policy::RowTransition;
 
+/// Where the migration engine places a coupling's destination frame —
+/// the policy-side mirror of the memory system's destination picker,
+/// so the relocation cost model prices what the engine actually does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DestinationSpread {
+    /// Destination frames share the source's bank: the read-out and
+    /// write-back serialize on one row buffer, paying both row-overhead
+    /// windows back to back.
+    #[default]
+    SameBank,
+    /// Destination frames sit in other banks of the same channel: the
+    /// write-back's ACT/tRCD window hides under the read-out's burst
+    /// train, so each coupling pays one row-overhead window instead of
+    /// two.
+    CrossBank,
+    /// Cross-bank couplings plus the system-level cross-channel frame
+    /// rebalancer. Coupling costs price as cross-bank; the rebalancer's
+    /// whole-row moves are separately metered background traffic.
+    CrossChannel,
+}
+
+impl DestinationSpread {
+    /// Whether the write-back overlaps the read-out (any non-same-bank
+    /// spread).
+    pub fn overlaps_phases(&self) -> bool {
+        !matches!(self, DestinationSpread::SameBank)
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DestinationSpread::SameBank => "same-bank",
+            DestinationSpread::CrossBank => "cross-bank",
+            DestinationSpread::CrossChannel => "cross-channel",
+        }
+    }
+}
+
 /// Cost parameters of one row relocation, in DRAM cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RelocationParams {
@@ -32,6 +70,10 @@ pub struct RelocationParams {
     /// controller relocates across idle banks, so the *channel-blocking*
     /// cost is `cycles_per_row / bank_parallelism`. 1 = fully serialized.
     pub bank_parallelism: u64,
+    /// Destination placement the engine runs under (see
+    /// [`DestinationSpread`]): cross-bank overlap halves the per-row
+    /// row-overhead term.
+    pub spread: DestinationSpread,
 }
 
 impl RelocationParams {
@@ -44,6 +86,7 @@ impl RelocationParams {
             cycles_per_burst: 4,
             row_overhead_cycles: 60,
             bank_parallelism: 16,
+            spread: DestinationSpread::SameBank,
         }
     }
 
@@ -54,6 +97,13 @@ impl RelocationParams {
             burst_bytes: burst_bytes.max(1),
             ..Self::ddr4_default()
         }
+    }
+
+    /// The same parameters re-priced for a destination placement.
+    #[must_use]
+    pub fn with_spread(mut self, spread: DestinationSpread) -> Self {
+        self.spread = spread;
+        self
     }
 
     /// Column bursts needed per migration phase: the half-row a single
@@ -71,8 +121,13 @@ impl RelocationParams {
     pub fn cycles_per_row(&self) -> u64 {
         // Data is read from the reconfigured row and written to its new
         // frame: two bursts of bus time per chunk plus row overhead on
-        // both ends.
-        self.row_overhead_cycles * 2 + self.bursts_per_row() * self.cycles_per_burst * 2
+        // both ends — or on *one* end under cross-bank placement, where
+        // the destination's ACT/tRCD window hides under the read-out
+        // burst train and the write bursts chase the reads with no
+        // inter-phase gap (measured behavior of the two-bank engine).
+        let overhead_windows = if self.spread.overlaps_phases() { 1 } else { 2 };
+        self.row_overhead_cycles * overhead_windows
+            + self.bursts_per_row() * self.cycles_per_burst * 2
     }
 
     /// Channel (data-bus) cycles one relocated row's bursts occupy: the
@@ -284,5 +339,41 @@ mod tests {
         assert_eq!(p.batch_cycles(0, 0), 0);
         assert_eq!(p.batch_cycles(1, 1), p.cycles_per_row());
         assert_eq!(p.batch_cycles(16, 1), 16 * p.bus_cycles_per_row());
+    }
+
+    #[test]
+    fn cross_bank_spread_pays_one_overhead_window() {
+        let same = RelocationParams::ddr4_default();
+        let cross = same.with_spread(DestinationSpread::CrossBank);
+        // The burst traffic is identical; only the serialized ACT/PRE
+        // windows collapse from two to one.
+        assert_eq!(
+            same.cycles_per_row() - cross.cycles_per_row(),
+            same.row_overhead_cycles
+        );
+        assert_eq!(same.bus_cycles_per_row(), cross.bus_cycles_per_row());
+        // Cross-channel couplings price like cross-bank (the rebalancer's
+        // frame moves are metered separately).
+        let xc = same.with_spread(DestinationSpread::CrossChannel);
+        assert_eq!(xc.cycles_per_row(), cross.cycles_per_row());
+        // A serialized (1-bank) engine still feels the full win per row.
+        let serial_same = RelocationParams {
+            bank_parallelism: 1,
+            ..same
+        };
+        let serial_cross = RelocationParams {
+            bank_parallelism: 1,
+            ..cross
+        };
+        assert!(serial_cross.effective_cycles_per_row() < serial_same.effective_cycles_per_row());
+        // Wave pricing inherits the cheaper rows: a same-bank-source
+        // batch of 33 rows saves 33 overhead windows.
+        assert_eq!(
+            same.batch_cycles(33, 33) - cross.batch_cycles(33, 33),
+            33 * same.row_overhead_cycles
+        );
+        assert_eq!(DestinationSpread::default(), DestinationSpread::SameBank);
+        assert_eq!(DestinationSpread::CrossChannel.label(), "cross-channel");
+        assert!(!DestinationSpread::SameBank.overlaps_phases());
     }
 }

@@ -172,6 +172,38 @@ pub fn energy_of_run(stats: &MemStats, cfg: &MemConfig, idd: &IddParams) -> Ener
     }
 }
 
+/// Per-channel energy breakdowns for a channel-sharded run: one
+/// [`energy_of_run`] per channel's statistics delta. Channels share one
+/// device configuration, so the per-channel and fused views are
+/// consistent — summing the per-channel breakdowns component-wise
+/// reproduces the fused breakdown exactly (the model is linear in the
+/// counters).
+pub fn energy_per_channel<'a>(
+    stats: impl IntoIterator<Item = &'a MemStats>,
+    cfg: &MemConfig,
+    idd: &IddParams,
+) -> Vec<EnergyBreakdown> {
+    stats
+        .into_iter()
+        .map(|s| energy_of_run(s, cfg, idd))
+        .collect()
+}
+
+/// The migration-energy component per channel, in joules — the cost of
+/// each channel's mode-management data movement (couplings plus the
+/// capacity directory's evacuations and fills), visible per shard
+/// instead of only in the fused breakdown.
+pub fn migration_energy_per_channel<'a>(
+    stats: impl IntoIterator<Item = &'a MemStats>,
+    cfg: &MemConfig,
+    idd: &IddParams,
+) -> Vec<f64> {
+    energy_per_channel(stats, cfg, idd)
+        .iter()
+        .map(|e| e.migration_j)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +312,30 @@ mod tests {
     fn zero_duration_power_is_zero() {
         let e = EnergyBreakdown::default();
         assert_eq!(e.avg_power_w(0.0), 0.0);
+    }
+
+    #[test]
+    fn per_channel_energies_sum_to_the_fused_breakdown() {
+        let idd = IddParams::default();
+        let cfg = MemConfig::paper_clr(0.5);
+        let mut a = stats_with(10, 50);
+        a.migration_reads = 128;
+        a.migration_writes = 128;
+        a.migration_acts_max_capacity = 2;
+        let mut b = stats_with(200, 5);
+        b.migration_writes = 640;
+        b.migration_pres_high_performance = 3;
+        let per = energy_per_channel([&a, &b], &cfg, &idd);
+        assert_eq!(per.len(), 2);
+        let fused = energy_of_run(&MemStats::fused([&a, &b]), &cfg, &idd);
+        let sum: f64 = per.iter().map(|e| e.total_j()).sum();
+        assert!((fused.total_j() - sum).abs() < 1e-15);
+        let mig = migration_energy_per_channel([&a, &b], &cfg, &idd);
+        assert!((mig[0] - per[0].migration_j).abs() < 1e-18);
+        assert!(mig[0] > 0.0 && mig[1] > 0.0);
+        assert!(
+            (fused.migration_j - (mig[0] + mig[1])).abs() < 1e-15,
+            "migration energy is linear over channels"
+        );
     }
 }

@@ -29,6 +29,7 @@ use clr_core::geometry::DramGeometry;
 use clr_cpu::cache::CacheConfig;
 use clr_cpu::cluster::ClusterConfig;
 use clr_memsim::config::{ClrModeConfig, MemConfig};
+use clr_memsim::frames::DestinationPicker;
 use clr_memsim::migrate::RelocationConfig;
 use clr_policy::budget::BudgetSplit;
 use clr_policy::policy::{PolicyConstraints, PolicySpec};
@@ -58,6 +59,14 @@ pub struct PolicyCell {
     pub channels: u32,
     /// Cross-channel budget split ("even" or "demand").
     pub budget_split: String,
+    /// Destination placement the cell ran under ("same-bank",
+    /// "cross-bank", or "cross-channel").
+    pub placement: String,
+    /// Whole-row frame moves that landed on another channel (fills
+    /// completed; nonzero only under cross-channel placement).
+    pub frames_moved: u64,
+    /// Remap-table swaps installed by the capacity rebalancer.
+    pub rows_remapped: u64,
     /// Weighted speedup `Σ IPC_shared/IPC_alone` against per-core alone
     /// baselines (contention cells only).
     pub weighted_speedup: Option<f64>,
@@ -95,6 +104,10 @@ pub struct PolicySweepReport {
     /// splits × dynamic policies, with per-core IPC and fairness
     /// metrics against per-core alone baselines.
     pub contention: Vec<PolicyCell>,
+    /// The placement sweep: destination placements (same-bank /
+    /// cross-bank / cross-channel) on the channel-skewed hot-set mix,
+    /// comparing frame rebalancing against budget-only rebalancing.
+    pub placement: Vec<PolicyCell>,
     /// Scale the sweep ran at.
     pub scale: Scale,
 }
@@ -257,6 +270,7 @@ struct CellSpec {
     workload_label: String,
     channels: u32,
     split: BudgetSplit,
+    placement: DestinationPicker,
 }
 
 impl CellSpec {
@@ -277,6 +291,7 @@ impl CellSpec {
             workload_label,
             channels: 1,
             split: BudgetSplit::EvenSplit,
+            placement: DestinationPicker::SameBank,
         }
     }
 }
@@ -293,6 +308,7 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
     mem.geometry.channels = spec.channels;
     mem.refresh_enabled = true;
     mem.relocation = spec.reloc;
+    mem.placement = spec.placement;
     let base = RunConfig {
         mem,
         cluster: policy_cluster(),
@@ -322,6 +338,9 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
         cores: spec.workloads.len(),
         channels: spec.channels,
         budget_split: spec.split.label().to_string(),
+        placement: spec.placement.label().to_string(),
+        frames_moved: r.run.mem.migration_fills,
+        rows_remapped: r.rows_remapped,
         weighted_speedup: None,
         max_slowdown: None,
         ipc: r.run.ipc.iter().sum::<f64>() / r.run.ipc.len() as f64,
@@ -484,6 +503,7 @@ fn alone_cell_spec(spec: &ContentionSpec, w: Workload) -> CellSpec {
         workload_label: String::new(),
         channels: spec.channels,
         split: spec.split,
+        placement: DestinationPicker::SameBank,
     }
 }
 
@@ -506,6 +526,7 @@ fn run_contention_cell(
         workload_label: spec.label(&workloads),
         channels: spec.channels,
         split: spec.split,
+        placement: DestinationPicker::SameBank,
     };
     // A 1-core cell *is* an alone run (per_core_seed(seed, 0) == seed):
     // when its group's core-0 baseline already exists, relabel it
@@ -567,6 +588,95 @@ pub fn run_contention(scale: Scale, seed: u64) -> Vec<PolicyCell> {
     })
 }
 
+/// The placement sweep's workload mix: the drifting and stable hot sets
+/// with their hot lines pinned to channel 0 of a 2-channel system — a
+/// saturated channel next to a mostly idle one, the regime where moving
+/// *frames* (not just budget) across channels pays.
+pub fn skewed_workloads(scale: Scale) -> Vec<Workload> {
+    let Workload::PhaseShift(drifting) = phase_workload(scale) else {
+        unreachable!("phase_workload returns PhaseShift");
+    };
+    let Workload::PhaseShift(stable) = stable_hot_workload(scale) else {
+        unreachable!("stable_hot_workload returns PhaseShift");
+    };
+    vec![
+        Workload::PhaseShift(drifting.with_channel_skew(2, 0)),
+        Workload::PhaseShift(stable.with_channel_skew(2, 0)),
+    ]
+}
+
+/// The placement axis: same-bank (the budget-only baseline — demand
+/// rebalancing still runs, but capacity never physically moves),
+/// cross-bank (overlapped couplings), and cross-channel (overlapped
+/// couplings plus the frame rebalancer). At smoke scale the roster is
+/// trimmed to the two ends CI must exercise.
+pub fn placement_roster(scale: Scale) -> Vec<DestinationPicker> {
+    if scale == Scale::Smoke {
+        return vec![DestinationPicker::SameBank, DestinationPicker::CrossChannel];
+    }
+    vec![
+        DestinationPicker::SameBank,
+        DestinationPicker::CrossBank,
+        DestinationPicker::CrossChannel,
+    ]
+}
+
+fn placement_cell_spec(
+    placement: DestinationPicker,
+    workloads: Vec<Workload>,
+    label: String,
+) -> CellSpec {
+    CellSpec {
+        // Util-threshold promotes eagerly even at smoke budgets, so the
+        // placement machinery is exercised on every CI push.
+        policy: PolicySpec::UtilizationThreshold { hot: 4, cold: 1 },
+        budget: DYNAMIC_BUDGET,
+        workloads,
+        reloc: RelocationConfig::background_paced(),
+        workload_label: label,
+        channels: 2,
+        // Demand-proportional budget on every cell: the same-bank column
+        // is then exactly "budget-only rebalancing", so the placement
+        // axis is isolated.
+        split: BudgetSplit::demand_proportional(),
+        placement,
+    }
+}
+
+/// Runs the placement sweep: each placement mode drives the 2-core
+/// channel-skewed mix on a 2-channel system, with weighted speedup and
+/// max slowdown computed against per-core alone baselines run under the
+/// *same* placement mode (exact per-core trace seeds, as in the
+/// contention sweep).
+pub fn run_placement(scale: Scale, seed: u64) -> Vec<PolicyCell> {
+    let placements = placement_roster(scale);
+    let workloads = skewed_workloads(scale);
+    let per = workloads.len() + 1;
+    let mut jobs: Vec<(CellSpec, u64)> = Vec::new();
+    for &p in &placements {
+        for (core, w) in workloads.iter().enumerate() {
+            jobs.push((
+                placement_cell_spec(p, vec![*w], String::new()),
+                crate::system::per_core_seed(seed, core),
+            ));
+        }
+        let label = format!("2core/2ch:skewed:{}", p.label());
+        jobs.push((placement_cell_spec(p, workloads.clone(), label), seed));
+    }
+    let cells = parallel_map(jobs.len(), |i| run_cell(&jobs[i].0, scale, jobs[i].1));
+    cells
+        .chunks(per)
+        .map(|chunk| {
+            let alone: Vec<f64> = chunk[..per - 1].iter().map(|c| c.ipc).collect();
+            let mut cell = chunk[per - 1].clone();
+            cell.weighted_speedup =
+                Some(crate::metrics::weighted_speedup(&cell.ipc_per_core, &alone));
+            cell.max_slowdown = Some(crate::metrics::max_slowdown(&cell.ipc_per_core, &alone));
+            cell
+        })
+        .collect()
+}
+
 /// Runs `n` jobs over worker threads, returning results in job order.
 fn parallel_map<T: Send>(n: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let next = AtomicUsize::new(0);
@@ -618,9 +728,11 @@ pub fn run(scale: Scale, seed: u64) -> PolicySweepReport {
     jobs.push(multicore_cell(scale));
     let cells = parallel_map(jobs.len(), |i| run_cell(&jobs[i], scale, seed));
     let contention = run_contention(scale, seed);
+    let placement = run_placement(scale, seed);
     PolicySweepReport {
         cells,
         contention,
+        placement,
         scale,
     }
 }
@@ -762,6 +874,47 @@ impl PolicySweepReport {
         out
     }
 
+    /// Renders the placement-sweep table (empty string when the sweep
+    /// has no placement cells).
+    pub fn render_placement(&self) -> String {
+        if self.placement.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:<34} {:<13} {:>7} {:>8} {:>9} {:>7} {:>8} {:>9}\n",
+            "policy",
+            "cell",
+            "placement",
+            "IPC",
+            "wspeedup",
+            "max-slow",
+            "moves",
+            "remaps",
+            "stall-cyc"
+        ));
+        for c in &self.placement {
+            out.push_str(&format!(
+                "{:<14} {:<34} {:<13} {:>7.4} {:>8.3} {:>9.3} {:>7} {:>8} {:>9}\n",
+                c.policy,
+                c.workload,
+                c.placement,
+                c.ipc,
+                c.weighted_speedup.unwrap_or(f64::NAN),
+                c.max_slowdown.unwrap_or(f64::NAN),
+                c.frames_moved,
+                c.rows_remapped,
+                c.relocation_stall_cycles,
+            ));
+        }
+        out
+    }
+
+    /// The placement cell for a placement label, if present.
+    pub fn placement_cell(&self, placement: &str) -> Option<&PolicyCell> {
+        self.placement.iter().find(|c| c.placement == placement)
+    }
+
     fn cell_json(c: &PolicyCell) -> String {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -778,6 +931,7 @@ impl PolicySweepReport {
         format!(
             "{{\"policy\": \"{}\", \"workload\": \"{}\", \"reloc\": \"{}\", \
              \"cores\": {}, \"channels\": {}, \"budget_split\": \"{}\", \
+             \"placement\": \"{}\", \"frames_moved\": {}, \"rows_remapped\": {}, \
              \"ipc\": {:.6}, \"ipc_per_core\": [{}], \
              \"weighted_speedup\": {}, \"max_slowdown\": {}, \
              \"energy_j\": {:.6e}, \"avg_capacity_loss\": {:.6}, \
@@ -790,6 +944,9 @@ impl PolicySweepReport {
             c.cores,
             c.channels,
             esc(&c.budget_split),
+            esc(&c.placement),
+            c.frames_moved,
+            c.rows_remapped,
             c.ipc,
             per_core,
             opt(c.weighted_speedup),
@@ -806,21 +963,25 @@ impl PolicySweepReport {
     }
 
     /// Machine-readable JSON (schema:
-    /// `{schema, scale, cells: [...], contention: [...]}`), emitted by
-    /// the `policy_sweep` binary so future PRs can track a performance
-    /// trajectory. `v2` added the relocation-model axis (`reloc`,
-    /// `migration_jobs`, `migration_slot_utilization`) and the per-core
-    /// IPC breakdown; `v3` adds the channel-sharding axis (`cores`,
-    /// `channels`, `budget_split`) and the contention array with
-    /// `weighted_speedup` / `max_slowdown` fairness columns (null on
-    /// non-contention cells).
+    /// `{schema, scale, cells: [...], contention: [...], placement:
+    /// [...]}`), emitted by the `policy_sweep` binary so future PRs can
+    /// track a performance trajectory. `v2` added the relocation-model
+    /// axis (`reloc`, `migration_jobs`, `migration_slot_utilization`)
+    /// and the per-core IPC breakdown; `v3` added the channel-sharding
+    /// axis (`cores`, `channels`, `budget_split`) and the contention
+    /// array with `weighted_speedup` / `max_slowdown` fairness columns
+    /// (null on non-contention cells); `v4` adds the placement axis
+    /// (`placement`, `frames_moved`, `rows_remapped` on every cell) and
+    /// the placement array comparing same-bank / cross-bank /
+    /// cross-channel destination placement on the channel-skewed mix.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v3\",\n");
+        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v4\",\n");
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.label()));
         for (key, cells, trailing) in [
             ("cells", &self.cells, ","),
-            ("contention", &self.contention, ""),
+            ("contention", &self.contention, ","),
+            ("placement", &self.placement, ""),
         ] {
             out.push_str(&format!("  \"{key}\": [\n"));
             for (i, c) in cells.iter().enumerate() {
@@ -878,6 +1039,9 @@ mod tests {
             cores: 1,
             channels: 1,
             budget_split: "even".into(),
+            placement: "same-bank".into(),
+            frames_moved: 0,
+            rows_remapped: 0,
             weighted_speedup: None,
             max_slowdown: None,
             ipc,
@@ -902,13 +1066,24 @@ mod tests {
         contention.ipc_per_core = vec![0.5; 4];
         contention.weighted_speedup = Some(3.2);
         contention.max_slowdown = Some(1.4);
+        let mut placement = cell(
+            "util-4-1",
+            "2core/2ch:skewed:cross-channel",
+            "background",
+            0.6,
+        );
+        placement.placement = "cross-channel".into();
+        placement.frames_moved = 12;
+        placement.rows_remapped = 12;
+        placement.weighted_speedup = Some(1.8);
         let report = PolicySweepReport {
             scale: Scale::Smoke,
             cells: vec![cell("topk", "phase_12m_h04", "background", 0.5)],
             contention: vec![contention],
+            placement: vec![placement],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v3\""));
+        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v4\""));
         assert!(json.contains("\"policy\": \"topk\""));
         assert!(json.contains("\"reloc\": \"background\""));
         assert!(json.contains("\"ipc_per_core\": [0.500000]"));
@@ -920,12 +1095,42 @@ mod tests {
         assert!(json.contains("\"budget_split\": \"demand\""));
         assert!(json.contains("\"weighted_speedup\": 3.200000"));
         assert!(json.contains("\"max_slowdown\": 1.400000"));
+        // v4: the placement axis on every cell plus the placement array.
+        assert!(json.contains("\"placement\": \"same-bank\""));
+        assert!(json.contains("\"placement\": ["));
+        assert!(json.contains("\"placement\": \"cross-channel\""));
+        assert!(json.contains("\"frames_moved\": 12"));
+        assert!(json.contains("\"rows_remapped\": 12"));
         assert!(report.cell("topk").is_some());
         assert!(report.best_static_within(0.2).is_none());
         // The contention table renders its fairness columns.
         let table = report.render_contention();
         assert!(table.contains("4core/2ch:mix"));
         assert!(table.contains("3.200"));
+        // The placement table renders the frame-move columns.
+        let ptable = report.render_placement();
+        assert!(ptable.contains("cross-channel"));
+        assert!(ptable.contains("12"));
+        assert!(report.placement_cell("cross-channel").is_some());
+        assert!(report.placement_cell("cross-bank").is_none());
+    }
+
+    #[test]
+    fn placement_roster_shape() {
+        let smoke = placement_roster(Scale::Smoke);
+        assert_eq!(
+            smoke,
+            vec![DestinationPicker::SameBank, DestinationPicker::CrossChannel]
+        );
+        let full = placement_roster(Scale::Default);
+        assert_eq!(full.len(), 3);
+        assert!(full.contains(&DestinationPicker::CrossBank));
+        // The skewed mix pins both cores' hot sets to channel 0 and its
+        // workload names carry the skew suffix.
+        let ws = skewed_workloads(Scale::Smoke);
+        assert_eq!(ws.len(), 2);
+        assert!(ws[0].name().starts_with("phase_") && ws[0].name().ends_with("_ch0"));
+        assert!(ws[1].name().starts_with("stablehot_") && ws[1].name().ends_with("_ch0"));
     }
 
     #[test]
@@ -983,6 +1188,7 @@ mod tests {
                 cell("static-25", "w", "stall", 0.42),
             ],
             contention: Vec::new(),
+            placement: Vec::new(),
         };
         assert_eq!(
             report.cell_for("hysteresis", "w").unwrap().reloc,

@@ -30,10 +30,11 @@
 //! [`MemoryController::begin_row_migrations`]: clr_memsim::controller::MemoryController::begin_row_migrations
 
 use clr_core::mode::RowMode;
+use clr_memsim::frames::{CapacityRebalancer, DestinationPicker, RebalanceConfig};
 use clr_memsim::system::MemorySystem;
 use clr_policy::budget::BudgetSplit;
 use clr_policy::policy::{PolicyConstraints, PolicySpec};
-use clr_policy::reloc::{RelocationEngine, RelocationParams};
+use clr_policy::reloc::{DestinationSpread, RelocationEngine, RelocationParams};
 use clr_policy::runtime::{PolicyRuntime, RuntimeStats};
 use clr_policy::telemetry::{EpochTelemetry, RowId};
 use clr_trace::workload::Workload;
@@ -103,6 +104,10 @@ pub struct PolicyRunResult {
     /// Each channel's budget fraction at the last epoch boundary — the
     /// partitioner's final verdict (equal entries under an even split).
     pub final_channel_budgets: Vec<f64>,
+    /// Remap-table swaps installed by the cross-channel capacity
+    /// rebalancer over the run (0 outside
+    /// [`DestinationPicker::CrossChannel`]).
+    pub rows_remapped: u64,
 }
 
 impl PolicyRunResult {
@@ -136,6 +141,17 @@ struct EpochDriver {
     /// engine instead of the atomic stall apply (derived from the
     /// memory configuration at run start).
     background: bool,
+    /// Whether the cross-channel frame rebalancer runs at epoch
+    /// boundaries (placement `CrossChannel` on a multi-channel system
+    /// with background relocation).
+    cross_channel: bool,
+    /// The frame-move planner (consulted only when `cross_channel`).
+    rebalancer: CapacityRebalancer,
+    /// Remap installs observed so far (copied into the result).
+    remap_installs: u64,
+    /// Whether `CLR_DEBUG_REBALANCE` diagnostics are on (resolved once
+    /// at run start; the epoch loop stays allocation-free).
+    debug_rebalance: bool,
     /// Reused across epochs so the steady-state epoch loop allocates
     /// nothing per drain.
     telemetry_scratch: Vec<((u32, u32), u64)>,
@@ -153,6 +169,11 @@ impl RunObserver for EpochDriver {
         // inside a skip-ahead window before the first per-tick callback.
         mem.enable_row_telemetry();
         self.background = mem.config().relocation.is_background();
+        // Frame moves are background migration traffic; the stall model
+        // has no engine to execute them.
+        self.cross_channel =
+            self.background && mem.config().placement.is_cross_channel() && mem.channels() > 1;
+        self.debug_rebalance = std::env::var("CLR_DEBUG_REBALANCE").is_ok();
     }
 
     fn after_dram_tick(&mut self, mem: &mut MemorySystem) {
@@ -181,6 +202,78 @@ impl RunObserver for EpochDriver {
             }
             self.demand_scratch.push(telemetry.total_accesses());
             self.epoch_scratch.push(telemetry);
+        }
+
+        // Frame rebalancing: advance staged cross-channel moves, then
+        // plan new ones from this epoch's demand imbalance. Everything
+        // here happens at the epoch boundary — the same cycle on every
+        // channel under both per-cycle and skip-ahead walks — so routing
+        // changes stay bit-identical across walks.
+        if self.cross_channel {
+            mem.pump_placement();
+            let plan = self.rebalancer.plan(&self.demand_scratch);
+            if self.debug_rebalance {
+                eprintln!(
+                    "epoch@{now}: demand={:?} plan={plan:?} in_flight={} installs={}",
+                    self.demand_scratch,
+                    mem.moves_in_flight(),
+                    mem.remap_table().installs()
+                );
+            }
+            if let Some(plan) = plan {
+                // Victims: the donor channel's hottest rows still in
+                // max-capacity mode with no migration in flight — hot
+                // data the policy's fast-row budget did not absorb
+                // (promotions and their in-flight jobs are skipped), so
+                // moving it shifts real bus load onto the recipient,
+                // which can serve (and even promote) it with its idle
+                // budget. The scan walks the full heat-ordered telemetry
+                // and stops at the heat floor: everything below shifts
+                // too little traffic to repay a whole-row move.
+                let min_heat = self.rebalancer.config().min_row_heat.max(1);
+                let donor_rows = self.epoch_scratch[plan.from].rows_touched();
+                // Back off while staged moves are still draining: more
+                // scheduling would only pile reservations into the
+                // migration queues.
+                let headroom = self
+                    .rebalancer
+                    .config()
+                    .max_in_flight
+                    .saturating_sub(mem.moves_in_flight());
+                let mut scheduled = 0usize;
+                let (mut rej_mode, mut rej_pend, mut rej_export, mut examined) = (0, 0, 0, 0);
+                for (rid, count) in self.epoch_scratch[plan.from].hottest(donor_rows) {
+                    if scheduled >= plan.moves.min(headroom) || count < min_heat {
+                        break;
+                    }
+                    examined += 1;
+                    let donor = mem.channel(plan.from);
+                    if donor.mode_table().mode_of(rid.bank as usize, rid.row)
+                        != RowMode::MaxCapacity
+                    {
+                        rej_mode += 1;
+                        continue;
+                    }
+                    if donor.is_row_migrating(rid.bank as usize, rid.row) {
+                        rej_pend += 1;
+                        continue;
+                    }
+                    if mem
+                        .schedule_row_export(plan.from, rid.bank as usize, rid.row, plan.to)
+                        .is_some()
+                    {
+                        scheduled += 1;
+                    } else {
+                        rej_export += 1;
+                    }
+                }
+                if self.debug_rebalance {
+                    eprintln!(
+                        "  victims: examined={examined} scheduled={scheduled} rej_mode={rej_mode} rej_pend={rej_pend} rej_export={rej_export} donor_rows={donor_rows}"
+                    );
+                }
+            }
+            self.remap_installs = mem.remap_table().installs();
         }
 
         // Rebalance the global budget across channels from this epoch's
@@ -223,6 +316,7 @@ impl RunObserver for EpochDriver {
             }
             hp_fraction_sum += mem.channel(ch).mode_table().fraction_high_performance();
         }
+
         self.final_hp_fraction = hp_fraction_sum / channels as f64;
         self.last_epoch_cycle = now;
         self.next_epoch = now + self.epoch_dram_cycles;
@@ -246,11 +340,18 @@ impl RunObserver for EpochDriver {
 pub fn run_policy_workloads(workloads: &[Workload], cfg: &PolicyRunConfig) -> PolicyRunResult {
     let g = &cfg.base.mem.geometry;
     let channels = g.channels as usize;
+    // The policy-side cost model prices what the engine will actually
+    // do: cross-bank (and cross-channel) placements overlap the two
+    // phases of each coupling.
+    let spread = match cfg.base.mem.placement {
+        DestinationPicker::SameBank => DestinationSpread::SameBank,
+        DestinationPicker::CrossBank => DestinationSpread::CrossBank,
+        DestinationPicker::CrossChannel => DestinationSpread::CrossChannel,
+    };
     let reloc = || {
-        RelocationEngine::new(RelocationParams::for_geometry(
-            g.row_bytes(),
-            g.burst_bytes(),
-        ))
+        RelocationEngine::new(
+            RelocationParams::for_geometry(g.row_bytes(), g.burst_bytes()).with_spread(spread),
+        )
     };
     let runtimes: Vec<PolicyRuntime> = (0..channels)
         .map(|_| PolicyRuntime::new(cfg.policy.build(), cfg.constraints, reloc()))
@@ -265,6 +366,10 @@ pub fn run_policy_workloads(workloads: &[Workload], cfg: &PolicyRunConfig) -> Po
         final_hp_fraction: cfg.base.mem.clr.fraction_hp(),
         channel_budgets: vec![cfg.constraints.max_hp_fraction; channels],
         background: cfg.base.mem.relocation.is_background(),
+        cross_channel: false,
+        rebalancer: CapacityRebalancer::new(RebalanceConfig::default()),
+        remap_installs: 0,
+        debug_rebalance: false,
         telemetry_scratch: Vec::new(),
         epoch_scratch: Vec::new(),
         demand_scratch: Vec::new(),
@@ -286,6 +391,7 @@ pub fn run_policy_workloads(workloads: &[Workload], cfg: &PolicyRunConfig) -> Po
         policy_stats_per_channel,
         final_hp_fraction: driver.final_hp_fraction,
         final_channel_budgets: driver.channel_budgets,
+        rows_remapped: driver.remap_installs,
     }
 }
 
@@ -382,6 +488,49 @@ mod tests {
         );
         // Completed couplings are in the table.
         assert!(r.policy_stats.avg_hp_fraction() > 0.0);
+    }
+
+    #[test]
+    fn cross_channel_rebalancer_moves_frames_on_a_skewed_hot_set() {
+        use clr_memsim::frames::DestinationPicker;
+        use clr_memsim::migrate::RelocationConfig;
+        let mut mem = crate::experiment::policies::policy_mem_config(0.0);
+        mem.geometry.channels = 2;
+        mem.refresh_enabled = false;
+        mem.relocation = RelocationConfig::background();
+        mem.placement = DestinationPicker::CrossChannel;
+        let base = RunConfig {
+            mem,
+            cluster: clr_cpu::cluster::ClusterConfig::tiny(),
+            budget_insts: 12_000,
+            warmup_insts: 500,
+            seed: 11,
+            skip_ahead: true,
+        };
+        let spec = PhaseShiftSpec {
+            footprint_mib: 1,
+            accesses_per_phase: 500,
+            ..PhaseShiftSpec::paper_default()
+        }
+        .with_channel_skew(2, 0);
+        let cfg = PolicyRunConfig::new(
+            base,
+            PolicySpec::UtilizationThreshold { hot: 2, cold: 0 },
+            PolicyConstraints::with_budget(0.25),
+            2_000,
+        )
+        .with_budget_split(BudgetSplit::demand_proportional());
+        let r = run_policy_workloads(&[Workload::PhaseShift(spec)], &cfg);
+        // The skew loads channel 0; the rebalancer must export hot
+        // overflow rows into channel 1's frames and remap them.
+        assert!(r.rows_remapped > 0, "no frames moved between channels");
+        assert!(r.run.mem.migration_evacuations > 0);
+        assert!(r.run.mem.migration_fills > 0);
+        assert_eq!(r.run.mem.relocation_stall_cycles, 0);
+        assert!(
+            r.run.mem_per_channel[0].reads > r.run.mem_per_channel[1].reads,
+            "the skew must actually load channel 0"
+        );
     }
 
     #[test]

@@ -100,6 +100,10 @@ pub struct RunResult {
     pub mem_per_channel: Vec<MemStats>,
     /// Energy over the window.
     pub energy: EnergyBreakdown,
+    /// Per-channel energy over the window (component-wise, these sum to
+    /// `energy`); `energy_per_channel[c].migration_j` is channel `c`'s
+    /// mode-management data-movement cost.
+    pub energy_per_channel: Vec<EnergyBreakdown>,
     /// Host wall-clock seconds spent in the simulation loop itself
     /// (excluding trace profiling and placement construction) — the
     /// denominator for simulator-throughput reporting.
@@ -354,6 +358,8 @@ pub(crate) fn run_workloads_observed(
         .map(|c| mem_sys.channel_stats(c).delta_since(&warm_channel_stats[c]))
         .collect();
     let energy = energy_of_run(&mem, &cfg.mem, &IddParams::default());
+    let energy_per_channel =
+        clr_power::energy_per_channel(mem_per_channel.iter(), &cfg.mem, &IddParams::default());
     let ipc = (0..n)
         .map(|i| {
             let cycles = finish_cycle[i].expect("every core finished") - warm_cpu_cycle;
@@ -369,6 +375,7 @@ pub(crate) fn run_workloads_observed(
         mem,
         mem_per_channel,
         energy,
+        energy_per_channel,
         host_loop_s,
     }
 }

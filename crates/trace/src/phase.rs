@@ -33,6 +33,25 @@ use crate::zipf::Zipf;
 /// Lines per OS page.
 const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
 
+/// Pins the hot window's traffic to one memory channel.
+///
+/// Under the default `RoBgBaRaCoCh` interleaving the channel bits sit
+/// directly above the burst, so a cache line's channel is
+/// `line_index mod channels` (for power-of-two channel counts). Hot
+/// accesses restricted to lines with `line % channels == hot_channel`
+/// therefore all land on one channel, while the uniform background
+/// traffic keeps spreading — the skewed-hot-set workload the
+/// cross-channel capacity rebalancer exists for. Because page placement
+/// translates at page granularity (offsets preserved), the skew
+/// survives profile-guided placement and per-core address tagging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelSkew {
+    /// Memory channels the target system has (power of two).
+    pub channels: u64,
+    /// The channel the hot window's lines are pinned to.
+    pub hot_channel: u64,
+}
+
 /// Descriptor of one phase-shifting workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseShiftSpec {
@@ -53,6 +72,9 @@ pub struct PhaseShiftSpec {
     /// uniform). Real hot sets are themselves skewed; the skew is what
     /// per-row hotness policies lock onto.
     pub hot_zipf_alpha: f64,
+    /// Optional channel pinning of the hot window's lines (`None` =
+    /// unskewed, the classic workload). See [`ChannelSkew`].
+    pub channel_skew: Option<ChannelSkew>,
 }
 
 impl PhaseShiftSpec {
@@ -68,14 +90,33 @@ impl PhaseShiftSpec {
             accesses_per_phase: 6_000,
             drift_fraction: 0.0625,
             hot_zipf_alpha: 0.8,
+            channel_skew: None,
         }
+    }
+
+    /// The same spec with the hot window's lines pinned to
+    /// `hot_channel` of a `channels`-channel system (see
+    /// [`ChannelSkew`]).
+    #[must_use]
+    pub fn with_channel_skew(mut self, channels: u64, hot_channel: u64) -> Self {
+        assert!(
+            channels.is_power_of_two(),
+            "channel counts are powers of two"
+        );
+        assert!(hot_channel < channels);
+        self.channel_skew = Some(ChannelSkew {
+            channels,
+            hot_channel,
+        });
+        self
     }
 
     /// Display name. A zero drift is the *stable-hot* degenerate case —
     /// the hot window never moves, so a static placement can match any
-    /// dynamic policy — and is named accordingly.
+    /// dynamic policy — and is named accordingly; a channel skew adds a
+    /// `_chN` suffix.
     pub fn name(&self) -> String {
-        if self.drift_fraction == 0.0 {
+        let base = if self.drift_fraction == 0.0 {
             format!(
                 "stablehot_{}m_h{:02.0}",
                 self.footprint_mib,
@@ -87,6 +128,10 @@ impl PhaseShiftSpec {
                 self.footprint_mib,
                 self.hot_fraction * 100.0
             )
+        };
+        match self.channel_skew {
+            Some(s) => format!("{base}_ch{}", s.hot_channel),
+            None => base,
         }
     }
 
@@ -145,7 +190,8 @@ impl TraceSource for PhaseShiftTrace {
             self.window_base = (self.window_base + self.drift_pages) % self.pages;
         }
         self.items += 1;
-        let page = if self.rng.gen_bool(self.spec.hot_access_frac) {
+        let hot = self.rng.gen_bool(self.spec.hot_access_frac);
+        let page = if hot {
             // Zipf rank 0 is the window's *leading* edge: a page enters
             // the window at peak popularity and cools as the base drifts
             // past it, so per-page heat persists across several phases.
@@ -155,7 +201,15 @@ impl TraceSource for PhaseShiftTrace {
         } else {
             self.rng.gen_range(0..self.pages)
         };
-        let line = self.rng.gen_range(0..LINES_PER_PAGE);
+        let line = match self.spec.channel_skew {
+            // Hot lines are pinned to the skew's channel lane; the
+            // uniform background keeps spreading over all channels.
+            Some(s) if hot => {
+                let lanes = (LINES_PER_PAGE / s.channels).max(1);
+                self.rng.gen_range(0..lanes) * s.channels + s.hot_channel
+            }
+            _ => self.rng.gen_range(0..LINES_PER_PAGE),
+        };
         let addr = PhysAddr(page * PAGE_BYTES + line * LINE_BYTES);
         let write = if self.rng.gen_bool(0.25) {
             Some(addr)
@@ -214,6 +268,35 @@ mod tests {
         assert_ne!(base0, base1, "window must move after a phase");
         let _ = take(&mut g, 100);
         assert_ne!(base1, g.window_base());
+    }
+
+    #[test]
+    fn channel_skew_pins_hot_lines_to_one_lane() {
+        let spec = PhaseShiftSpec::paper_default().with_channel_skew(2, 0);
+        assert!(spec.name().ends_with("_ch0"), "{}", spec.name());
+        let items = take(&mut spec.build(5), 2_000);
+        let on_lane = items
+            .iter()
+            .filter(|i| (i.read.0 / crate::gen::LINE_BYTES).is_multiple_of(2))
+            .count();
+        let frac = on_lane as f64 / items.len() as f64;
+        // ~85% hot traffic pinned to lane 0 plus half the background.
+        assert!(frac > 0.85, "lane-0 fraction {frac}");
+        assert!(
+            frac < 0.999,
+            "the uniform background must keep spreading ({frac})"
+        );
+        // Unskewed runs stay balanced.
+        let base = take(&mut PhaseShiftSpec::paper_default().build(5), 2_000);
+        let balanced = base
+            .iter()
+            .filter(|i| (i.read.0 / crate::gen::LINE_BYTES).is_multiple_of(2))
+            .count() as f64
+            / base.len() as f64;
+        assert!(
+            (0.4..0.6).contains(&balanced),
+            "unskewed fraction {balanced}"
+        );
     }
 
     #[test]

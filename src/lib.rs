@@ -155,8 +155,66 @@
 //! each epoch in proportion to per-channel demand
 //! (`PolicyRunConfig::with_budget_split`). The `policy_sweep` binary's
 //! contention sweep (core counts × channel counts × budget splits ×
-//! policies, schema `clr-dram/policy-sweep/v3`) reports per-core IPC,
+//! policies, schema `clr-dram/policy-sweep/v4`) reports per-core IPC,
 //! weighted speedup, and max slowdown against per-core alone baselines.
+//!
+//! # Capacity directory: placement and cross-channel frame rebalancing
+//!
+//! Where a coupling's displaced half-row *lands* is a placement decision
+//! ([`memsim::frames`]): the legacy same-bank model serializes the two
+//! phases on one row buffer; `DestinationPicker::CrossBank` places the
+//! destination frame in another bank, so one job's read-out and
+//! write-back issue into **two banks concurrently** (the destination's
+//! ACT/tRCD hides under the read bursts and the write bursts chase the
+//! reads); `DestinationPicker::CrossChannel` additionally runs a
+//! system-level rebalancer that moves whole *frames* between channels at
+//! epoch boundaries — hot rows overflowing a saturated channel's
+//! fast-row budget are evacuated into an underloaded channel's free
+//! frames as staged background jobs (evacuate-out → fill-in), tracked by
+//! a per-channel `FrameDirectory` and made addressable again by the
+//! system's [`memsim::system::RemapTable`], a row-granular indirection
+//! applied after the channel route whose installs compose as
+//! transpositions, so `remap ∘ route` stays a bijection with an exact
+//! inverse for `unroute`:
+//!
+//! ```
+//! use clr_dram::arch::addr::PhysAddr;
+//! use clr_dram::memsim::config::MemConfig;
+//! use clr_dram::memsim::migrate::RelocationConfig;
+//! use clr_dram::memsim::system::{MemorySystem, RowKey};
+//!
+//! let mut cfg = MemConfig::paper_tiny();
+//! cfg.geometry.channels = 2;
+//! cfg.refresh_enabled = false;
+//! cfg.relocation = RelocationConfig::background();
+//! let mut sys = MemorySystem::new(cfg);
+//! // Move row 5 of channel 0, bank 0 into a frame on channel 1. The
+//! // read-out runs now; the fill dispatches at the next pump after it
+//! // lands (pumps run at deterministic cycles — epoch boundaries in the
+//! // policy runtime — so skip-ahead stays bit-identical).
+//! let dest = sys.schedule_row_export(0, 0, 5, 1).expect("frame reserved");
+//! let mut done = Vec::new();
+//! sys.tick_until(30_000, &mut done);
+//! sys.pump_placement(); // read-out landed → dispatch the fill
+//! sys.tick_until(60_000, &mut done);
+//! sys.pump_placement(); // fill landed → remap installed, frame freed
+//! assert_eq!(sys.remap_table().installs(), 1);
+//! let addr = PhysAddr(0); // routes to (channel 0, bank 0, row 0) …
+//! let (ch, local) = sys.route(addr);
+//! assert_eq!(sys.unroute(ch, local), addr); // … and unroute inverts it
+//! assert!(sys.channel(0).frame_directory().is_free(0, 5));
+//! let _ = dest;
+//! ```
+//!
+//! The policy-side cost model prices what the engine will do:
+//! `clr_dram::policy::reloc::DestinationSpread` drops one of the two
+//! per-row row-overhead windows under cross-bank placement, so
+//! hysteresis-style payoff thresholds match the measured overlapped
+//! behavior. The `policy_sweep` binary's placement sweep compares
+//! same-bank (budget-only rebalancing) vs cross-bank vs cross-channel on
+//! a channel-skewed hot-set mix (`CLR_SWEEP=placement` for the fast
+//! local mode); `examples/capacity_rebalance.rs` is the runnable
+//! before/after demonstration.
 //!
 //! # Simulation speed
 //!

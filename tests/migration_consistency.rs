@@ -274,6 +274,210 @@ fn dest_src(
         .expect("exactly one in-flight job per bank")
 }
 
+/// The cross-bank variant of the consistency audit: couplings whose
+/// destination frame lives in another bank, with the two sides running
+/// concurrently. The audit reconstructs each job's source/destination
+/// pair from the engine's placement events and replays the log tracking
+/// which row's content is in flux per bank: demand must never write the
+/// source mid-read-out (reads stay servable) nor touch the destination
+/// while the write-back side owns it, burst counts must balance, the
+/// mode table must agree with the requested couplings, and the whole
+/// interleaved stream must pass the protocol checker.
+fn run_case_cross_bank(seed: u64, demand: usize, couplings: usize) {
+    use clr_dram::memsim::frames::DestinationPicker;
+    use clr_dram::memsim::migrate::JobKind;
+
+    let mut cfg = MemConfig::tiny_clr(0.0);
+    cfg.refresh_enabled = true;
+    cfg.relocation = RelocationConfig::background();
+    cfg.placement = DestinationPicker::CrossBank;
+    let geometry = cfg.geometry.clone();
+    let bursts = geometry.row_bytes() / 2 / geometry.burst_bytes();
+    let banks =
+        (geometry.channels * geometry.ranks * geometry.bank_groups * geometry.banks_per_group)
+            as usize;
+    let timings = CycleTimings::new(
+        &cfg.timings,
+        &cfg.clr.hp_params(&cfg.timings),
+        &cfg.interface,
+    );
+    let mut mc = MemoryController::new(cfg);
+    mc.enable_command_log();
+    mc.enable_couple_placement_log();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+    let mut requested: Vec<(usize, u32)> = Vec::new();
+    for k in 0..couplings {
+        let bank = k % banks.min(3);
+        let row = (2 * k / banks.min(3)) as u32;
+        requested.push((bank, row));
+    }
+
+    let mut done = Vec::new();
+    let mut sent = 0usize;
+    let mut next_batch = 0usize;
+    let mut cycles = 0u64;
+    while sent < demand || next_batch < requested.len() || mc.pending_migrations() > 0 {
+        if next_batch < requested.len() && rng.gen_bool(0.02) {
+            let take = (1 + rng.gen_range(0..3usize)).min(requested.len() - next_batch);
+            let changes: Vec<(usize, u32, RowMode)> = requested[next_batch..next_batch + take]
+                .iter()
+                .map(|&(b, r)| (b, r, RowMode::HighPerformance))
+                .collect();
+            mc.begin_row_migrations(&changes);
+            next_batch += take;
+        }
+        if sent < demand && rng.gen_bool(0.4) {
+            let addr = rng.gen_range(0..geometry.capacity_bytes()) & !63;
+            let kind = if rng.gen_bool(0.3) {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            };
+            if mc
+                .try_enqueue(MemRequest::new(
+                    sent as u64,
+                    PhysAddr(addr),
+                    kind,
+                    mc.cycle(),
+                ))
+                .is_ok()
+            {
+                sent += 1;
+            }
+        }
+        mc.tick(&mut done);
+        done.clear();
+        cycles += 1;
+        assert!(cycles < 10_000_000, "case did not drain");
+    }
+    for _ in 0..5_000 {
+        mc.tick(&mut done);
+    }
+
+    // 1. Every requested coupling landed, cross-bank, and the burst
+    // accounting balances.
+    assert_eq!(mc.pending_migrations(), 0);
+    for &(bank, row) in &requested {
+        assert_eq!(
+            mc.mode_of_row(bank, row),
+            RowMode::HighPerformance,
+            "bank {bank} row {row} did not couple"
+        );
+    }
+    let n = requested.len() as u64;
+    assert_eq!(mc.stats().migration_jobs_completed, n);
+    assert_eq!(
+        mc.stats().migration_cross_bank_jobs,
+        n,
+        "every coupling must have placed cross-bank"
+    );
+    assert_eq!(mc.stats().migration_reads, bursts * n);
+    assert_eq!(mc.stats().migration_writes, bursts * n);
+    assert_eq!(mc.stats().relocation_stall_cycles, 0);
+
+    // 2. Reconstruct each job's (source bank, row) → (dest bank, row)
+    // from the placement events, then replay the log.
+    let mut events = Vec::new();
+    mc.drain_placement_events_into(&mut events);
+    assert_eq!(events.len(), requested.len());
+    let mut dest_for: BTreeMap<(usize, u32), (usize, u32)> = BTreeMap::new();
+    for ev in &events {
+        assert_eq!(ev.kind, JobKind::Couple);
+        assert_ne!(ev.bank, ev.dest_bank, "destination must be another bank");
+        dest_for.insert((ev.bank as usize, ev.row), (ev.dest_bank as usize, ev.dest));
+    }
+    assert_eq!(dest_for.len(), requested.len());
+
+    let log: Vec<IssuedCommand> = mc.command_log().unwrap().to_vec();
+    let sources: BTreeMap<(usize, u32), (usize, u32)> = dest_for.clone();
+    let dests: BTreeMap<(usize, u32), (usize, u32)> =
+        dest_for.iter().map(|(&s, &d)| (d, s)).collect();
+    // Per-bank in-flux markers: source row until the couple PRE (reads
+    // servable), destination row until the completing PRE.
+    let mut src_active: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut dest_active: BTreeMap<usize, u32> = BTreeMap::new();
+    let (mut rd_seen, mut wr_seen) = (0u64, 0u64);
+    let mut overlap_seen = false;
+    for c in &log {
+        let b = c.flat_bank;
+        if c.migration {
+            match c.command {
+                Command::Act => {
+                    if sources.contains_key(&(b, c.row)) {
+                        assert_eq!(c.mode, RowMode::MaxCapacity, "read-out in the old mode");
+                        src_active.insert(b, c.row);
+                    } else if dests.contains_key(&(b, c.row)) {
+                        assert_eq!(c.mode, RowMode::MaxCapacity, "dest frame is an MC row");
+                        dest_active.insert(b, c.row);
+                    }
+                    // (Other migration ACTs would be demand-row closes —
+                    // those are PREs, so every migration ACT matches.)
+                }
+                Command::Rd => {
+                    assert!(src_active.contains_key(&b), "stray migration RD");
+                    rd_seen += 1;
+                }
+                Command::Wr => {
+                    assert!(dest_active.contains_key(&b), "stray migration WR");
+                    wr_seen += 1;
+                    // Writes may only carry data already read: the
+                    // running totals can never let writes outpace reads.
+                    assert!(wr_seen <= rd_seen, "write burst outran the read-out");
+                }
+                Command::Pre => {
+                    // A PRE on a bank whose side has drained ends that
+                    // side; otherwise it closed a demand row ahead of a
+                    // (re-)ACT and the marker stays.
+                    if let Some(&src) = src_active.get(&b) {
+                        let (db, _) = sources[&(b, src)];
+                        if dest_active.contains_key(&db) {
+                            overlap_seen = true;
+                        }
+                        src_active.remove(&b);
+                    } else if dest_active.contains_key(&b) {
+                        dest_active.remove(&b);
+                    }
+                }
+                Command::Ref => {}
+            }
+        } else {
+            // Demand/refresh traffic: never write a source mid-read-out,
+            // never touch a destination while the write-back owns it.
+            if let Some(&src) = src_active.get(&b) {
+                if c.command == Command::Wr {
+                    assert_ne!(c.row, src, "demand write to a row mid-read-out (bank {b})");
+                }
+            }
+            if let Some(&dst) = dest_active.get(&b) {
+                if matches!(c.command, Command::Act | Command::Rd | Command::Wr) {
+                    assert_ne!(
+                        c.row, dst,
+                        "demand touched a destination frame in flux (bank {b})"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(rd_seen, bursts * n);
+    assert_eq!(wr_seen, bursts * n);
+    assert!(
+        overlap_seen,
+        "no job ever had its destination open while the source precharged — the two-bank \
+         overlap never happened"
+    );
+
+    // 3. The whole interleaved stream is protocol-clean.
+    let banks_per_group = geometry.banks_per_group as usize;
+    let violations = check(&log, &timings, banks, |b| b / banks_per_group);
+    assert!(
+        violations.is_empty(),
+        "protocol violations: {:?} (showing up to 5 of {})",
+        &violations[..violations.len().min(5)],
+        violations.len()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -283,9 +487,20 @@ proptest! {
     fn completed_migrations_are_consistent(seed in 0u64..10_000) {
         run_case(seed, 120, 5);
     }
+
+    /// The same property for overlapped cross-bank jobs.
+    #[test]
+    fn completed_cross_bank_migrations_are_consistent(seed in 0u64..10_000) {
+        run_case_cross_bank(seed, 120, 5);
+    }
 }
 
 #[test]
 fn migration_consistency_heavy_interleaving() {
     run_case(424_242, 400, 9);
+}
+
+#[test]
+fn cross_bank_migration_consistency_heavy_interleaving() {
+    run_case_cross_bank(424_242, 400, 9);
 }

@@ -1,0 +1,137 @@
+//! The capacity directory's address-indirection contract:
+//! `RemapTable ∘ AddressMapping::route` must stay a **bijection** between
+//! the global physical address space and the disjoint union of the
+//! per-channel address spaces, under *arbitrary* sequences of remap
+//! installs — and `MemorySystem::unroute` must be its exact inverse.
+//!
+//! The table composes each install as a transposition (a swap of two
+//! rows' physical identities), so any install history yields a
+//! permutation of the row space; these tests enumerate the entire
+//! address space of a small geometry to check injectivity directly
+//! rather than trusting the algebra.
+
+use std::collections::HashSet;
+
+use clr_dram::arch::addr::PhysAddr;
+use clr_dram::arch::geometry::DramGeometry;
+use clr_dram::memsim::config::MemConfig;
+use clr_dram::memsim::system::{MemorySystem, RemapTable, RowKey};
+use proptest::prelude::*;
+
+fn two_channel_system() -> (MemorySystem, DramGeometry) {
+    let mut cfg = MemConfig::paper_tiny();
+    cfg.geometry.channels = 2;
+    let g = cfg.geometry.clone();
+    (MemorySystem::new(cfg), g)
+}
+
+/// Routes every line of the address space and checks that (a) no two
+/// global lines land on the same `(channel, local line)` — injectivity,
+/// and surjectivity by counting — and (b) `unroute ∘ route` is the
+/// identity.
+fn assert_bijective(sys: &MemorySystem, g: &DramGeometry) {
+    let line = 64u64;
+    let lines = g.capacity_bytes() / line;
+    let per_channel = g.channel_slice().capacity_bytes() / line;
+    let mut seen: HashSet<(usize, u64)> = HashSet::with_capacity(lines as usize);
+    for i in 0..lines {
+        let addr = PhysAddr(i * line);
+        let (ch, local) = sys.route(addr);
+        assert!(
+            local.0 < g.channel_slice().capacity_bytes(),
+            "local address out of the channel's range"
+        );
+        assert!(local.0 < per_channel * line);
+        assert!(
+            seen.insert((ch, local.0 / line)),
+            "two global lines routed to channel {ch} line {:#x}",
+            local.0
+        );
+        assert_eq!(
+            sys.unroute(ch, local),
+            addr,
+            "unroute must invert route for {addr}"
+        );
+    }
+    assert_eq!(seen.len() as u64, lines, "the image covers every slot");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary install sequences — same-channel swaps, cross-channel
+    /// swaps, repeats, chains, self-swaps — keep the composed mapping a
+    /// bijection with an exact inverse.
+    #[test]
+    fn remap_compose_route_stays_bijective(
+        swaps in proptest::collection::vec(
+            ((0u32..2, 0u32..4, 0u32..64), (0u32..2, 0u32..4, 0u32..64)),
+            0..24,
+        ),
+    ) {
+        let (mut sys, g) = two_channel_system();
+        for ((ca, ba, ra), (cb, bb, rb)) in swaps {
+            sys.remap_table_mut()
+                .install_swap(RowKey::new(ca, ba, ra), RowKey::new(cb, bb, rb));
+        }
+        assert_bijective(&sys, &g);
+    }
+
+    /// The forward and inverse lookups agree entry-by-entry after any
+    /// install history (the table really is a permutation).
+    #[test]
+    fn forward_and_inverse_lookups_agree(
+        swaps in proptest::collection::vec(
+            ((0u32..2, 0u32..4, 0u32..64), (0u32..2, 0u32..4, 0u32..64)),
+            1..32,
+        ),
+    ) {
+        let mut t = RemapTable::new();
+        for ((ca, ba, ra), (cb, bb, rb)) in swaps {
+            t.install_swap(RowKey::new(ca, ba, ra), RowKey::new(cb, bb, rb));
+        }
+        for ch in 0..2u32 {
+            for bank in 0..4u32 {
+                for row in 0..64u32 {
+                    let k = RowKey::new(ch, bank, row);
+                    prop_assert_eq!(t.invert(t.resolve(k)), k);
+                    prop_assert_eq!(t.resolve(t.invert(k)), k);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn identity_table_routes_like_the_bare_mapping() {
+    let (sys, g) = two_channel_system();
+    assert!(sys.remap_table().is_empty());
+    for addr in [0u64, 64, 4096, g.capacity_bytes() - 64] {
+        let (ch, local) = sys.route(PhysAddr(addr));
+        let (ech, elocal) = g
+            .channel_slice()
+            .capacity_bytes()
+            .checked_mul(0) // no-op to keep the comparison explicit below
+            .map(|_| {
+                let cfg = MemConfig::paper_tiny();
+                cfg.mapping.route(PhysAddr(addr), &g).unwrap()
+            })
+            .unwrap();
+        assert_eq!((ch, local), (ech as usize, elocal));
+    }
+    assert_bijective(&sys, &g);
+}
+
+#[test]
+fn single_channel_remap_still_bijective() {
+    // Same-channel (cross-bank) evacuations install swaps on 1-channel
+    // systems too; the composed route must stay bijective there.
+    let cfg = MemConfig::paper_tiny();
+    let g = cfg.geometry.clone();
+    let mut sys = MemorySystem::new(cfg);
+    sys.remap_table_mut()
+        .install_swap(RowKey::new(0, 0, 3), RowKey::new(0, 2, 40));
+    sys.remap_table_mut()
+        .install_swap(RowKey::new(0, 2, 40), RowKey::new(0, 1, 9));
+    assert_bijective(&sys, &g);
+}

@@ -180,6 +180,30 @@ fn controller_background_migration_is_bit_identical() {
     }
 }
 
+#[test]
+fn controller_cross_bank_migration_is_bit_identical() {
+    use clr_dram::memsim::frames::DestinationPicker;
+    use clr_dram::memsim::migrate::RelocationConfig;
+    let mut cfg = MemConfig::tiny_clr(0.0);
+    cfg.relocation = RelocationConfig::background();
+    cfg.placement = DestinationPicker::CrossBank;
+    let (log_a, done_a, stats_a) = drive(cfg.clone(), false, Some(8_000));
+    let (log_b, done_b, stats_b) = drive(cfg, true, Some(8_000));
+    assert_eq!(log_a.len(), log_b.len(), "command counts diverge");
+    for (i, (a, b)) in log_a.iter().zip(&log_b).enumerate() {
+        assert_eq!(a, b, "command {i} diverges");
+    }
+    assert_eq!(done_a, done_b, "completions diverge");
+    assert_eq!(stats_a, stats_b, "statistics diverge");
+    // The overlapped two-bank jobs must actually have run.
+    assert!(stats_a.migration_jobs_completed > 0);
+    assert!(
+        stats_a.migration_cross_bank_jobs > 0,
+        "destinations must have landed cross-bank"
+    );
+    assert_eq!(stats_a.relocation_stall_cycles, 0);
+}
+
 /// Drives a 2-channel `MemorySystem` over the schedule, per-cycle or via
 /// `tick_until`, optionally dispatching a mid-run background-migration
 /// batch on every channel, and returns every observable output: one
@@ -287,6 +311,22 @@ fn two_channel_background_migration_is_bit_identical() {
 }
 
 #[test]
+fn two_channel_cross_bank_migration_is_bit_identical() {
+    use clr_dram::memsim::frames::DestinationPicker;
+    use clr_dram::memsim::migrate::RelocationConfig;
+    let mut cfg = MemConfig::tiny_clr(0.0);
+    cfg.relocation = RelocationConfig::background();
+    cfg.placement = DestinationPicker::CrossBank;
+    let (logs_a, done_a, stats_a) = drive_sharded(cfg.clone(), false, Some(8_000));
+    let (logs_b, done_b, stats_b) = drive_sharded(cfg, true, Some(8_000));
+    assert_eq!(logs_a, logs_b, "command logs diverge");
+    assert_eq!(done_a, done_b, "completions diverge");
+    assert_eq!(stats_a, stats_b, "statistics diverge");
+    assert!(stats_a.migration_cross_bank_jobs > 0);
+    assert_eq!(stats_a.relocation_stall_cycles, 0);
+}
+
+#[test]
 fn full_system_run_is_bit_identical() {
     let w = Workload::PhaseShift(PhaseShiftSpec {
         footprint_mib: 2,
@@ -376,6 +416,82 @@ fn two_channel_policy_run_with_epoch_boundaries_is_bit_identical() {
         .policy_stats_per_channel
         .iter()
         .all(|s| s.transitions_applied > 0));
+}
+
+/// Every placement mode must be bit-identical at the policy-epoch level:
+/// cross-bank exercises the overlapped two-bank jobs under the epoch
+/// loop, cross-channel additionally runs the frame rebalancer (placement
+/// pumps, staged evacuate/fill jobs, remap installs) at every epoch
+/// boundary.
+#[test]
+fn placement_modes_policy_runs_are_bit_identical() {
+    use clr_dram::memsim::frames::DestinationPicker;
+    use clr_dram::memsim::migrate::RelocationConfig;
+    use clr_dram::policy::budget::BudgetSplit;
+    use clr_dram::sim::experiment::policies::{policy_cluster, policy_mem_config};
+    let run = |placement: DestinationPicker, skip: bool| {
+        let mut mem = policy_mem_config(0.0);
+        mem.geometry.channels = 2;
+        mem.relocation = RelocationConfig::background();
+        mem.placement = placement;
+        let base = RunConfig {
+            mem,
+            cluster: policy_cluster(),
+            budget_insts: 15_000,
+            warmup_insts: 1_000,
+            seed: 5,
+            skip_ahead: skip,
+        };
+        let cfg = PolicyRunConfig::new(
+            base,
+            PolicySpec::UtilizationThreshold { hot: 4, cold: 1 },
+            PolicyConstraints::with_budget(0.25),
+            2_500,
+        )
+        .with_budget_split(BudgetSplit::demand_proportional());
+        let spec = PhaseShiftSpec {
+            footprint_mib: 1,
+            accesses_per_phase: 800,
+            ..PhaseShiftSpec::paper_default()
+        }
+        .with_channel_skew(2, 0);
+        run_policy_workloads(&[Workload::PhaseShift(spec)], &cfg)
+    };
+    for placement in [
+        DestinationPicker::SameBank,
+        DestinationPicker::CrossBank,
+        DestinationPicker::CrossChannel,
+    ] {
+        let a = run(placement, false);
+        let b = run(placement, true);
+        assert_eq!(a.run.ipc, b.run.ipc, "{placement:?} IPC diverges");
+        assert_eq!(a.run.cpu_cycles, b.run.cpu_cycles, "{placement:?}");
+        assert_eq!(a.run.dram_cycles, b.run.dram_cycles, "{placement:?}");
+        assert_eq!(a.run.mem, b.run.mem, "{placement:?} statistics diverge");
+        assert_eq!(
+            a.run.mem_per_channel, b.run.mem_per_channel,
+            "{placement:?}"
+        );
+        assert_eq!(a.rows_remapped, b.rows_remapped, "{placement:?}");
+        assert_eq!(a.run.mem.relocation_stall_cycles, 0);
+        match placement {
+            DestinationPicker::SameBank => {
+                assert_eq!(a.run.mem.migration_cross_bank_jobs, 0);
+                assert_eq!(a.rows_remapped, 0);
+            }
+            DestinationPicker::CrossBank => {
+                assert!(a.run.mem.migration_cross_bank_jobs > 0);
+                assert_eq!(a.rows_remapped, 0);
+            }
+            DestinationPicker::CrossChannel => {
+                assert!(
+                    a.rows_remapped > 0,
+                    "the rebalancer must have moved frames on the skewed hot set"
+                );
+                assert!(a.run.mem.migration_fills > 0);
+            }
+        }
+    }
 }
 
 #[test]
