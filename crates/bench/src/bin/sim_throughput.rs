@@ -83,6 +83,7 @@ fn run_saturated(mode: &'static str, skip_ahead: bool, scale: Scale) -> Sample {
         warmup_insts: scale.warmup_insts(),
         seed: 42,
         skip_ahead,
+        trace: None,
     };
     let cfg = PolicyRunConfig::new(
         base,

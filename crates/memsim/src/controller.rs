@@ -41,6 +41,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use clr_core::addr::PhysAddr;
 use clr_core::mode::{ModeTable, RowMode};
 use clr_core::refresh::RefreshPlan;
+use clr_obs::{EventSource, SkipProfile, TraceCategory, TraceConfig, TraceSink};
 
 use crate::bankstate::BankState;
 use crate::command::{Command, IssuedCommand};
@@ -133,6 +134,20 @@ pub struct MemoryController {
     /// the bitmap walk. Invalidated whenever `apply_row_modes` touches the
     /// bank.
     mode_cache: Vec<Cell<(u32, RowMode)>>,
+    /// Structured event-trace sink (off by default; see
+    /// [`MemoryController::enable_tracing`]). Purely observational:
+    /// recording never changes a simulated outcome.
+    trace: Option<Box<TraceSink>>,
+    /// Skip-ahead profiling: dead-window jump lengths, which event
+    /// source bounded each jump, and ticked-vs-skipped cycle totals.
+    /// Lives outside [`MemStats`] because jump shapes legitimately
+    /// differ between per-cycle and skip-ahead walks of the same
+    /// simulation.
+    skip_profile: SkipProfile,
+    /// The event source that produced the memoized `next_event_cache`
+    /// bound (meaningful only while the memo is `Some`): attributes each
+    /// dead-window jump to the event that ended it.
+    next_event_source: EventSource,
 }
 
 impl MemoryController {
@@ -239,6 +254,9 @@ impl MemoryController {
             queue_ready_hint: u64::MAX,
             wanted_scratch: vec![false; banks_total],
             mode_cache: vec![Cell::new((MODE_CACHE_EMPTY, RowMode::MaxCapacity)); banks_total],
+            trace: None,
+            skip_profile: SkipProfile::default(),
+            next_event_source: EventSource::Completion,
             config,
         }
     }
@@ -257,6 +275,27 @@ impl MemoryController {
     /// The recorded command log, if enabled.
     pub fn command_log(&self) -> Option<&[IssuedCommand]> {
         self.command_log.as_deref()
+    }
+
+    /// Installs a structured event-trace sink recording `cfg.categories`
+    /// under process id `pid` (the channel index in a sharded system).
+    /// Tracing is observational only: with or without a sink, every
+    /// simulated outcome is bit-identical (the workspace tracing
+    /// differential test enforces this).
+    pub fn enable_tracing(&mut self, cfg: &TraceConfig, pid: u32) {
+        self.trace = Some(Box::new(TraceSink::new(cfg, pid)));
+    }
+
+    /// The installed trace sink, if any — the memory system drains these
+    /// into a merged [`clr_obs::TraceLog`].
+    pub fn trace_sink_mut(&mut self) -> Option<&mut TraceSink> {
+        self.trace.as_deref_mut()
+    }
+
+    /// Skip-ahead profiling counters: dead-window jump-length histogram,
+    /// per-source trigger counts, and ticked/skipped cycle totals.
+    pub fn skip_profile(&self) -> &SkipProfile {
+        &self.skip_profile
     }
 
     fn log_command(
@@ -289,6 +328,20 @@ impl MemoryController {
                 mode,
                 migration,
             });
+        }
+        if let Some(sink) = self.trace.as_deref_mut() {
+            if sink.wants(TraceCategory::Commands) {
+                sink.instant(
+                    TraceCategory::Commands,
+                    command.mnemonic(),
+                    cycle,
+                    vec![
+                        ("bank", flat_bank as u64),
+                        ("row", row as u64),
+                        ("migration", migration as u64),
+                    ],
+                );
+            }
         }
     }
 
@@ -777,7 +830,7 @@ impl MemoryController {
                 {
                     self.stats.forwarded_reads += 1;
                     self.inflight.push(Reverse((self.cycle + 1, request.id)));
-                    self.merge_event_bound(self.cycle + 1);
+                    self.merge_event_bound(self.cycle + 1, EventSource::Completion);
                     return Ok(());
                 }
                 if self.read_q.len() >= self.config.scheduler.read_queue {
@@ -820,11 +873,14 @@ impl MemoryController {
         }
     }
 
-    /// Folds an additional possible event at `at` into the memoized
-    /// next-event bound (a stale `None` stays `None` — it will be fully
-    /// recomputed anyway).
-    fn merge_event_bound(&mut self, at: u64) {
+    /// Folds an additional possible event at `at` (from `source`) into
+    /// the memoized next-event bound (a stale `None` stays `None` — it
+    /// will be fully recomputed anyway).
+    fn merge_event_bound(&mut self, at: u64, source: EventSource) {
         if let Some(r) = self.next_event_cache {
+            if at < r {
+                self.next_event_source = source;
+            }
             self.next_event_cache = Some(r.min(at));
         }
     }
@@ -899,7 +955,7 @@ impl MemoryController {
             None => (Command::Act, entry.target),
         };
         let at = self.engine.earliest(cmd, target);
-        self.merge_event_bound(at);
+        self.merge_event_bound(at, EventSource::QueueReady);
     }
 
     fn make_entry(&self, request: MemRequest) -> QueueEntry {
@@ -928,6 +984,7 @@ impl MemoryController {
     /// `completions`.
     pub fn tick(&mut self, completions: &mut Vec<Completion>) {
         let now = self.cycle;
+        self.skip_profile.record_tick();
         let mut changed = false;
 
         // 1. Deliver finished reads.
@@ -1068,31 +1125,46 @@ impl MemoryController {
     /// selected queue, sparing the rescan.
     fn compute_next_event(&mut self, queue_ready: Option<u64>) -> u64 {
         let now = self.cycle;
+        // Track which source produced the minimum so skip-ahead
+        // profiling can attribute each dead-window jump.
         let mut next = u64::MAX;
+        let mut source = EventSource::Completion;
+        let fold = |next: &mut u64, source: &mut EventSource, t: u64, s: EventSource| {
+            if t < *next {
+                *next = t;
+                *source = s;
+            }
+        };
         // 1. In-flight read completions are delivered at their cycle.
         if let Some(&Reverse((done, _))) = self.inflight.peek() {
-            next = next.min(done);
+            fold(&mut next, &mut source, done, EventSource::Completion);
         }
         let maintenance_active = now < self.maintenance_until;
         if let Some((mode, _rfc)) = self.pending_refresh {
             // 2a. A pending refresh progresses (PRE of an open bank, or
             // the REF itself) as soon as the engine allows.
-            next = next.min(self.refresh_progress_ready_cycle(mode));
+            let t = self.refresh_progress_ready_cycle(mode);
+            fold(&mut next, &mut source, t, EventSource::Refresh);
             // The timeout row policy still runs while refresh is blocked
             // (it fires whenever no command issued and no stall holds).
             if !maintenance_active {
                 if let Some(t) = self.next_timeout_close_cycle() {
-                    next = next.min(t);
+                    fold(&mut next, &mut source, t, EventSource::TimeoutClose);
                 }
             }
         } else {
             // 2b. Refresh becoming due preempts queue service.
             if let Some(due) = self.refresh.next_due_cycle() {
-                next = next.min(due);
+                fold(&mut next, &mut source, due, EventSource::Refresh);
             }
             if maintenance_active {
                 // 3. Queue service resumes when the relocation stall ends.
-                next = next.min(self.maintenance_until);
+                fold(
+                    &mut next,
+                    &mut source,
+                    self.maintenance_until,
+                    EventSource::RelocationStall,
+                );
             } else {
                 // 4. The earliest issuable command of the queue the
                 // drain policy would select this window.
@@ -1100,18 +1172,19 @@ impl MemoryController {
                     Some(hint) => hint,
                     None => self.next_queue_ready_cycle().unwrap_or(u64::MAX),
                 };
-                next = next.min(t);
+                fold(&mut next, &mut source, t, EventSource::QueueReady);
                 // 5. Timeout-policy background row close.
                 if let Some(t) = self.next_timeout_close_cycle() {
-                    next = next.min(t);
+                    fold(&mut next, &mut source, t, EventSource::TimeoutClose);
                 }
                 // 6. The earliest issuable background-migration command
                 // (rate-limiter gated).
                 if let Some(t) = self.migration_next_ready() {
-                    next = next.min(t);
+                    fold(&mut next, &mut source, t, EventSource::Migration);
                 }
             }
         }
+        self.next_event_source = source;
         next
     }
 
@@ -1193,6 +1266,48 @@ impl MemoryController {
     /// is not a free slot.
     fn migration_act_shadow(&self) -> u64 {
         self.engine.timings().rrd_l
+    }
+
+    /// Records a migration job reaching its terminal step: end-to-end
+    /// job latency (dispatch → terminal PRE) into the stats histogram,
+    /// and — when tracing — a span covering the job's lifetime.
+    fn note_migration_done(
+        &mut self,
+        name: &'static str,
+        dispatched_at: u64,
+        now: u64,
+        bank: u32,
+        row: u32,
+    ) {
+        self.stats
+            .migration_latency_hist
+            .record(now.saturating_sub(dispatched_at));
+        if let Some(sink) = self.trace.as_deref_mut() {
+            if sink.wants(TraceCategory::Migration) {
+                sink.span(
+                    TraceCategory::Migration,
+                    name,
+                    dispatched_at,
+                    now.saturating_sub(dispatched_at).max(1),
+                    vec![("bank", bank as u64), ("row", row as u64)],
+                );
+            }
+        }
+    }
+
+    /// Emits an instant migration-lifecycle trace event (couple points,
+    /// dispatches) when tracing is enabled.
+    fn trace_migration_instant(&mut self, name: &'static str, ts: u64, bank: u32, row: u32) {
+        if let Some(sink) = self.trace.as_deref_mut() {
+            if sink.wants(TraceCategory::Migration) {
+                sink.instant(
+                    TraceCategory::Migration,
+                    name,
+                    ts,
+                    vec![("bank", bank as u64), ("row", row as u64)],
+                );
+            }
+        }
     }
 
     /// Issues one background-migration command if any bank's next
@@ -1295,29 +1410,52 @@ impl MemoryController {
                             self.mode_cache[b].set((MODE_CACHE_EMPTY, RowMode::MaxCapacity));
                             self.stats.mode_transitions += 1;
                             self.retune_refresh();
+                            self.trace_migration_instant("couple_point", now, b as u32, row);
                         }
-                        MigrationStep::Complete { cross_bank, .. } => {
+                        MigrationStep::Complete {
+                            row,
+                            cross_bank,
+                            dispatched_at,
+                            ..
+                        } => {
                             self.stats.migration_jobs_completed += 1;
                             if cross_bank {
                                 self.stats.migration_cross_bank_jobs += 1;
                             }
+                            self.note_migration_done("couple", dispatched_at, now, b as u32, row);
                         }
-                        MigrationStep::Evacuated { bank, row, .. } => {
+                        MigrationStep::Evacuated {
+                            bank,
+                            row,
+                            dispatched_at,
+                            ..
+                        } => {
                             // The vacated source is a free frame from here
                             // on; the system installs the remap entry at
                             // its next placement pump.
                             self.stats.migration_evacuations += 1;
                             self.frames.free(bank as usize, row);
                             self.stats.frames_freed += 1;
+                            self.note_migration_done("evacuate", dispatched_at, now, bank, row);
                         }
-                        MigrationStep::StagedOut { .. } => {
+                        MigrationStep::StagedOut {
+                            bank,
+                            row,
+                            dispatched_at,
+                        } => {
                             // The data left for another channel; the frame
                             // is freed only once the system confirms the
                             // landing (note_frame_freed).
                             self.stats.migration_evacuations += 1;
+                            self.note_migration_done("stage_out", dispatched_at, now, bank, row);
                         }
-                        MigrationStep::Filled { .. } => {
+                        MigrationStep::Filled {
+                            bank,
+                            row,
+                            dispatched_at,
+                        } => {
                             self.stats.migration_fills += 1;
+                            self.note_migration_done("fill_in", dispatched_at, now, bank, row);
                         }
                         MigrationStep::InProgress => {}
                     }
@@ -1391,6 +1529,7 @@ impl MemoryController {
     fn skip_dead_cycles(&mut self, to: u64) {
         debug_assert!(to > self.cycle);
         let n = to - self.cycle;
+        self.skip_profile.record_jump(n, self.next_event_source);
         if self.banks.iter().any(|b| b.open_row.is_some()) {
             self.stats.rank_active_cycles += n;
         } else {
@@ -1651,13 +1790,19 @@ impl MemoryController {
                     Command::Rd => {
                         self.stats.reads += 1;
                         let done = self.engine.read_done(now);
-                        self.stats.read_latency_sum +=
-                            done.saturating_sub(entry.request.arrival_cycle);
+                        let latency = done.saturating_sub(entry.request.arrival_cycle);
+                        self.stats.read_latency_sum += latency;
+                        self.stats.read_latency_hist.record(latency);
                         self.stats.reads_completed += 1;
                         self.inflight.push(Reverse((done, entry.request.id)));
                     }
                     Command::Wr => {
                         self.stats.writes += 1;
+                        // Writes are posted: service latency is arrival →
+                        // WR issue (there is no completion to wait for).
+                        self.stats
+                            .write_latency_hist
+                            .record(now.saturating_sub(entry.request.arrival_cycle));
                     }
                     _ => unreachable!(),
                 }

@@ -310,6 +310,8 @@ pub enum MigrationStep {
         /// Whether the destination frame lived in another bank (the
         /// overlapped two-bank execution).
         cross_bank: bool,
+        /// Cycle the job was dispatched, for end-to-end job latency.
+        dispatched_at: u64,
     },
     /// A same-channel whole-row frame move finished; the vacated source
     /// is now a free frame.
@@ -322,6 +324,8 @@ pub enum MigrationStep {
         dest_bank: u32,
         /// Destination row filled.
         dest: u32,
+        /// Cycle the job was dispatched, for end-to-end job latency.
+        dispatched_at: u64,
     },
     /// A cross-channel move's read-out half finished; the row's data is
     /// staged for a fill on another channel (the source row stays
@@ -331,6 +335,8 @@ pub enum MigrationStep {
         bank: u32,
         /// Source row read out.
         row: u32,
+        /// Cycle the job was dispatched, for end-to-end job latency.
+        dispatched_at: u64,
     },
     /// A cross-channel move's write-back half finished; the data landed
     /// in this channel's frame.
@@ -339,6 +345,8 @@ pub enum MigrationStep {
         bank: u32,
         /// Destination row filled.
         row: u32,
+        /// Cycle the job was dispatched, for end-to-end job latency.
+        dispatched_at: u64,
     },
 }
 
@@ -1224,6 +1232,7 @@ impl MigrationEngine {
                             // staging window is bounded by the pump cadence
                             // (see the ROADMAP open item).
                             let row = job.row;
+                            let dispatched_at = job.dispatched_at;
                             self.active[bank] = None;
                             self.busy[bank] = false;
                             self.row_block[bank] = u32::MAX;
@@ -1239,6 +1248,7 @@ impl MigrationEngine {
                             return MigrationStep::StagedOut {
                                 bank: bank as u32,
                                 row,
+                                dispatched_at,
                             };
                         }
                         JobKind::FillIn => unreachable!("fill-ins have no source side"),
@@ -1306,6 +1316,7 @@ impl MigrationEngine {
                     row: job.row,
                     to: job.to,
                     cross_bank,
+                    dispatched_at: job.dispatched_at,
                 }
             }
             JobKind::Evacuate => {
@@ -1321,6 +1332,7 @@ impl MigrationEngine {
                     row: job.row,
                     dest_bank: job.dest_bank,
                     dest: job.dest,
+                    dispatched_at: job.dispatched_at,
                 }
             }
             JobKind::FillIn => {
@@ -1334,6 +1346,7 @@ impl MigrationEngine {
                 MigrationStep::Filled {
                     bank: job.dest_bank,
                     row: job.dest,
+                    dispatched_at: job.dispatched_at,
                 }
             }
             JobKind::EvacuateOut => unreachable!("evacuate-outs complete at their source PRE"),
@@ -1524,6 +1537,7 @@ mod tests {
                 row: 7,
                 to: RowMode::HighPerformance,
                 cross_bank: false,
+                dispatched_at: 0,
             }
         );
         assert!(!e.is_busy(1));
@@ -1741,6 +1755,7 @@ mod tests {
                 row: 7,
                 to: RowMode::HighPerformance,
                 cross_bank: true,
+                dispatched_at: 0,
             }
         );
         assert!(!e.is_busy(1) && !e.is_busy(3));
@@ -1809,7 +1824,14 @@ mod tests {
             e.note_column(0, 1 + i);
         }
         let step = e.note_pre(0, 50);
-        assert_eq!(step, MigrationStep::StagedOut { bank: 0, row: 9 });
+        assert_eq!(
+            step,
+            MigrationStep::StagedOut {
+                bank: 0,
+                row: 9,
+                dispatched_at: 0
+            }
+        );
         assert!(!e.is_busy(0));
         assert!(
             e.is_row_pending(0, 9),
@@ -1835,7 +1857,14 @@ mod tests {
             e.note_column(2, 61 + i);
         }
         let step = e.note_pre(2, 120);
-        assert_eq!(step, MigrationStep::Filled { bank: 2, row: 17 });
+        assert_eq!(
+            step,
+            MigrationStep::Filled {
+                bank: 2,
+                row: 17,
+                dispatched_at: 60
+            }
+        );
         assert!(!e.is_row_pending(2, 17));
         let mut events = Vec::new();
         e.drain_placements_into(&mut events);
@@ -1863,7 +1892,8 @@ mod tests {
                 bank: 0,
                 row: 9,
                 dest_bank: 1,
-                dest: 17
+                dest: 17,
+                dispatched_at: 0
             }
         );
         assert_eq!(e.pending_jobs(), 0);

@@ -1,6 +1,7 @@
 //! Memory-system statistics consumed by the metrics and power models.
 
 use clr_core::mode::RowMode;
+use clr_obs::LatencyHistogram;
 
 /// Counters accumulated by the controller over a run.
 ///
@@ -85,6 +86,19 @@ pub struct MemStats {
     pub frames_freed: u64,
     /// Known-free frames handed back out by the destination pickers.
     pub frames_reused: u64,
+    /// Distribution of demand-read service latencies in DRAM cycles
+    /// (arrival → last beat), recorded at issue alongside
+    /// `read_latency_sum` — the tail-latency view (p50/p95/p99/p999)
+    /// behind every per-channel and fused report.
+    pub read_latency_hist: LatencyHistogram,
+    /// Distribution of demand-write service latencies in DRAM cycles
+    /// (arrival → WR issue; writes are posted, so issue is completion
+    /// from the requester's view).
+    pub write_latency_hist: LatencyHistogram,
+    /// Distribution of background-migration job latencies in DRAM
+    /// cycles (dispatch → terminal step) — the migration request class,
+    /// reported separately from demand traffic.
+    pub migration_latency_hist: LatencyHistogram,
 }
 
 impl MemStats {
@@ -177,6 +191,14 @@ impl MemStats {
         }
     }
 
+    /// Read-latency percentiles `(p50, p95, p99)` in DRAM cycles — the
+    /// tail-latency summary every report prints alongside (or instead
+    /// of) the average.
+    pub fn read_latency_percentiles(&self) -> (u64, u64, u64) {
+        let h = &self.read_latency_hist;
+        (h.p50(), h.p95(), h.p99())
+    }
+
     /// Counter-wise difference `self − earlier` (for excluding warmup from
     /// measurement windows).
     ///
@@ -227,6 +249,15 @@ impl MemStats {
             migration_fills: self.migration_fills - earlier.migration_fills,
             frames_freed: self.frames_freed - earlier.frames_freed,
             frames_reused: self.frames_reused - earlier.frames_reused,
+            read_latency_hist: self
+                .read_latency_hist
+                .delta_since(&earlier.read_latency_hist),
+            write_latency_hist: self
+                .write_latency_hist
+                .delta_since(&earlier.write_latency_hist),
+            migration_latency_hist: self
+                .migration_latency_hist
+                .delta_since(&earlier.migration_latency_hist),
         }
     }
 
@@ -275,6 +306,10 @@ impl MemStats {
         self.migration_fills += other.migration_fills;
         self.frames_freed += other.frames_freed;
         self.frames_reused += other.frames_reused;
+        self.read_latency_hist.merge(&other.read_latency_hist);
+        self.write_latency_hist.merge(&other.write_latency_hist);
+        self.migration_latency_hist
+            .merge(&other.migration_latency_hist);
     }
 
     /// The counter-wise sum of `stats` (see [`MemStats::merge`]).
@@ -325,6 +360,16 @@ mod tests {
     /// this constructor at compile time, forcing [`MemStats::merge`] and
     /// [`MemStats::delta_since`] to be revisited so per-channel and fused
     /// views cannot silently drift.
+    /// Seed-derived histogram so the merge/delta inverse check below
+    /// exercises the bucket-wise algebra, not just empty histograms.
+    fn hist(seed: u64) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        h.record(seed);
+        h.record(seed * 7 + 3);
+        h.record(seed.wrapping_mul(131) % 100_000);
+        h
+    }
+
     fn all_fields(seed: u64) -> MemStats {
         MemStats {
             cycles: seed,
@@ -361,6 +406,9 @@ mod tests {
             migration_fills: seed + 31,
             frames_freed: seed + 32,
             frames_reused: seed + 33,
+            read_latency_hist: hist(seed + 34),
+            write_latency_hist: hist(seed + 35),
+            migration_latency_hist: hist(seed + 36),
         }
     }
 
@@ -379,6 +427,15 @@ mod tests {
         // Spot-check the sum itself.
         assert_eq!(fused.cycles, 1_100);
         assert_eq!(fused.migration_jobs_completed, 128 + 1_028);
+        // Histograms fuse as multiset unions with exact counts/sums.
+        assert_eq!(
+            fused.read_latency_hist.count(),
+            a.read_latency_hist.count() + b.read_latency_hist.count()
+        );
+        assert_eq!(
+            fused.read_latency_hist.sum(),
+            a.read_latency_hist.sum() + b.read_latency_hist.sum()
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ use std::collections::HashMap;
 
 use clr_core::addr::{DramAddr, PhysAddr};
 use clr_core::geometry::DramGeometry;
+use clr_obs::{SkipProfile, TraceCategory, TraceConfig, TraceLog, TraceSink, SYSTEM_PID};
 
 use crate::config::MemConfig;
 use crate::controller::MemoryController;
@@ -173,6 +174,10 @@ pub struct MemorySystem {
     /// Rotating hint for import-frame picks, so successive imports
     /// spread across the destination channel's banks.
     import_cursor: usize,
+    /// The system's own trace sink (pid = [`SYSTEM_PID`]): placement
+    /// pumps, remap installs, cross-channel move lifecycle. Per-channel
+    /// command/migration events live in each controller's sink.
+    trace: Option<Box<TraceSink>>,
 }
 
 impl MemorySystem {
@@ -206,6 +211,7 @@ impl MemorySystem {
             fills: HashMap::new(),
             placement_scratch: Vec::new(),
             import_cursor: 0,
+            trace: None,
             config,
         }
     }
@@ -418,10 +424,32 @@ impl MemorySystem {
     /// `tick`/`tick_until`.
     pub fn pump_placement(&mut self) {
         let n = self.channels.len();
+        let now = self.cycle();
         for ch in 0..n {
             let mut events = std::mem::take(&mut self.placement_scratch);
             self.channels[ch].drain_placement_events_into(&mut events);
             for ev in &events {
+                if let Some(sink) = self.trace.as_deref_mut() {
+                    if sink.wants(TraceCategory::Placement) {
+                        sink.instant(
+                            TraceCategory::Placement,
+                            match ev.kind {
+                                JobKind::Couple => "couple_placed",
+                                JobKind::Evacuate => "evacuate_placed",
+                                JobKind::EvacuateOut => "staged_out",
+                                JobKind::FillIn => "fill_landed",
+                            },
+                            now,
+                            vec![
+                                ("channel", ch as u64),
+                                ("bank", ev.bank as u64),
+                                ("row", ev.row as u64),
+                                ("dest_bank", ev.dest_bank as u64),
+                                ("dest", ev.dest as u64),
+                            ],
+                        );
+                    }
+                }
                 match ev.kind {
                     JobKind::Couple => {
                         // Cross-bank couplings need no remap: the coupled
@@ -433,6 +461,7 @@ impl MemorySystem {
                             RowKey::new(ch as u32, ev.bank, ev.row),
                             RowKey::new(ch as u32, ev.dest_bank, ev.dest),
                         );
+                        self.trace_remap_install(now, ch as u32, ev.bank, ev.row);
                     }
                     JobKind::EvacuateOut => {
                         let src = RowKey::new(ch as u32, ev.bank, ev.row);
@@ -457,12 +486,33 @@ impl MemorySystem {
                             self.remap.install_swap(src, dest);
                             self.channels[src.channel as usize]
                                 .note_frame_freed(src.bank as usize, src.row);
+                            self.trace_remap_install(now, src.channel, src.bank, src.row);
                         }
                     }
                 }
             }
             events.clear();
             self.placement_scratch = events;
+        }
+    }
+
+    /// Emits a remap-table install instant event (Placement category)
+    /// when tracing is enabled.
+    fn trace_remap_install(&mut self, now: u64, channel: u32, bank: u32, row: u32) {
+        if let Some(sink) = self.trace.as_deref_mut() {
+            if sink.wants(TraceCategory::Placement) {
+                sink.instant(
+                    TraceCategory::Placement,
+                    "remap_install",
+                    now,
+                    vec![
+                        ("channel", channel as u64),
+                        ("bank", bank as u64),
+                        ("row", row as u64),
+                        ("installs", self.remap.installs()),
+                    ],
+                );
+            }
         }
     }
 
@@ -618,6 +668,59 @@ impl MemorySystem {
         for ch in &mut self.channels {
             ch.enable_command_log();
         }
+    }
+
+    /// Installs structured event tracing: one sink per channel (pid =
+    /// channel index) for command and migration events, plus a
+    /// system-level sink (pid = [`SYSTEM_PID`]) for placement and remap
+    /// events. Tracing is inert — every simulated outcome is
+    /// bit-identical with or without it (the workspace tracing
+    /// differential test enforces this).
+    pub fn enable_tracing(&mut self, cfg: &TraceConfig) {
+        for (pid, ch) in self.channels.iter_mut().enumerate() {
+            ch.enable_tracing(cfg, pid as u32);
+        }
+        self.trace = Some(Box::new(TraceSink::new(cfg, SYSTEM_PID)));
+    }
+
+    /// Drains every sink (per-channel and system) into one merged
+    /// [`TraceLog`], sorted by `(ts, pid)`. Returns an empty log when
+    /// tracing was never enabled.
+    pub fn collect_trace(&mut self) -> TraceLog {
+        let mut sinks: Vec<&mut TraceSink> = self
+            .channels
+            .iter_mut()
+            .filter_map(|c| c.trace_sink_mut())
+            .collect();
+        if let Some(own) = self.trace.as_deref_mut() {
+            sinks.push(own);
+        }
+        TraceLog::collect(sinks)
+    }
+
+    /// Whether a trace sink is installed.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The system-level sink (pid = [`SYSTEM_PID`]), if tracing is
+    /// enabled — drivers above the memory system (the policy-epoch loop)
+    /// record their decisions here so they land in the same merged
+    /// trace.
+    pub fn system_trace_sink_mut(&mut self) -> Option<&mut TraceSink> {
+        self.trace.as_deref_mut()
+    }
+
+    /// Merged skip-ahead profile across every channel: jump-length
+    /// histogram, per-source trigger counts, ticked/skipped cycle
+    /// totals. Lives outside [`MemStats`] because jump shapes
+    /// legitimately differ between per-cycle and skip-ahead walks.
+    pub fn fused_skip_profile(&self) -> SkipProfile {
+        let mut fused = SkipProfile::default();
+        for ch in &self.channels {
+            fused.merge(ch.skip_profile());
+        }
+        fused
     }
 
     /// One channel's recorded command log, if enabled.

@@ -1,0 +1,113 @@
+//! Property tests for [`clr_obs::LatencyHistogram`]: the exact-algebra
+//! guarantees (merge = multiset union, delta = exact inverse) and the
+//! quantile contract (monotone, bounded quantization error) the memory
+//! system's per-channel fusion and warmup subtraction rely on.
+
+use clr_obs::hist::{LatencyHistogram, SUB_BUCKETS};
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Mixed-magnitude sample strategy: small exact-range values, mid-range
+/// values around bucket boundaries, and large values.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        28u64..40, // straddles the exact/log2 boundary
+        (0u32..40).prop_map(|s| (1u64 << (s % 40)).wrapping_add(s as u64)),
+        0u64..1_000_000,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, b) is exactly record(a ∪ b): building one histogram from
+    /// the concatenated samples equals merging two built separately.
+    #[test]
+    fn merge_equals_record_of_union(
+        xs in proptest::collection::vec(sample(), 0..80),
+        ys in proptest::collection::vec(sample(), 0..80),
+    ) {
+        let mut merged = hist_of(&xs);
+        merged.merge(&hist_of(&ys));
+        let mut both = xs.clone();
+        both.extend_from_slice(&ys);
+        prop_assert_eq!(merged, hist_of(&both));
+    }
+
+    /// merge then delta round-trips exactly: (a ⊎ b) − a == b and
+    /// (a ⊎ b) − b == a.
+    #[test]
+    fn delta_inverts_merge(
+        xs in proptest::collection::vec(sample(), 0..80),
+        ys in proptest::collection::vec(sample(), 0..80),
+    ) {
+        let a = hist_of(&xs);
+        let b = hist_of(&ys);
+        let mut fused = a.clone();
+        fused.merge(&b);
+        prop_assert_eq!(fused.delta_since(&a), b.clone());
+        prop_assert_eq!(fused.delta_since(&b), a.clone());
+        // Degenerate deltas: to-self is empty, since-empty is identity.
+        prop_assert_eq!(a.delta_since(&a), LatencyHistogram::new());
+        prop_assert_eq!(a.delta_since(&LatencyHistogram::new()), a);
+    }
+
+    /// Quantiles are monotone in q and bracketed by [min-bucket, max].
+    #[test]
+    fn quantiles_are_monotone(
+        xs in proptest::collection::vec(sample(), 1..120),
+    ) {
+        let h = hist_of(&xs);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone: {:?}", vals);
+        }
+        prop_assert_eq!(h.quantile(1.0), h.max());
+        // Every quantile overestimates its sample by < 1/SUB_BUCKETS.
+        let true_max = *xs.iter().max().unwrap();
+        prop_assert!(h.max() >= true_max);
+        let bound = true_max as f64 * (1.0 + 1.0 / SUB_BUCKETS as f64) + 1.0;
+        prop_assert!((h.max() as f64) <= bound, "max {} vs true {}", h.max(), true_max);
+    }
+
+    /// Values in the exact low range are reported exactly; count/sum are
+    /// always exact.
+    #[test]
+    fn exact_range_and_exact_moments(
+        xs in proptest::collection::vec(0u64..SUB_BUCKETS, 1..64),
+    ) {
+        let h = hist_of(&xs);
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(h.sum(), xs.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), *xs.iter().max().unwrap());
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let median = sorted[(xs.len() - 1) / 2];
+        prop_assert_eq!(h.p50(), median);
+    }
+
+    /// Bucket-boundary edge cases: a value and its successor either
+    /// share a bucket or land in adjacent ones, and recording both
+    /// preserves order in the quantile walk.
+    #[test]
+    fn bucket_boundaries_preserve_order(shift in 0u32..63) {
+        let edge = 1u64 << shift;
+        for v in [edge - 1, edge, edge + 1] {
+            let h = hist_of(&[v]);
+            prop_assert!(h.max() >= v);
+            prop_assert!(h.p50() >= v);
+        }
+        let h = hist_of(&[edge - 1, edge + 1]);
+        prop_assert!(h.quantile(0.0) <= h.quantile(1.0));
+        prop_assert_eq!(h.count(), 2);
+    }
+}

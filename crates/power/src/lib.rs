@@ -114,6 +114,54 @@ impl EnergyBreakdown {
             self.total_j() / (duration_ns * 1e-9)
         }
     }
+
+    /// Regroups the command-type components by *traffic class*: who
+    /// asked for the energy, rather than which command spent it. The
+    /// classes partition the breakdown, so their sum equals
+    /// [`EnergyBreakdown::total_j`] exactly.
+    pub fn by_class(&self) -> ClassEnergy {
+        ClassEnergy {
+            demand_j: self.act_j + self.pre_j + self.rd_j + self.wr_j,
+            migration_j: self.migration_j,
+            refresh_j: self.refresh_j,
+            background_j: self.background_j,
+        }
+    }
+}
+
+/// Energy attributed to traffic classes (joules, whole rank): demand
+/// ACT/PRE/RD/WR serving CPU requests, the relocation engine's
+/// migration bursts, refresh, and background standby. A reporting view
+/// over [`EnergyBreakdown`] — the underlying model and its interfaces
+/// are unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassEnergy {
+    /// Demand-traffic energy (ACT + PRE + RD + WR).
+    pub demand_j: f64,
+    /// Migration-traffic energy (the relocation engine's bursts).
+    pub migration_j: f64,
+    /// Refresh energy.
+    pub refresh_j: f64,
+    /// Background (standby) energy.
+    pub background_j: f64,
+}
+
+impl ClassEnergy {
+    /// Total energy in joules; equals the source breakdown's total.
+    pub fn total_j(&self) -> f64 {
+        self.demand_j + self.migration_j + self.refresh_j + self.background_j
+    }
+
+    /// Migration energy as a fraction of the total — the headline
+    /// "what does mode management cost" number (0 when total is 0).
+    pub fn migration_fraction(&self) -> f64 {
+        let total = self.total_j();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.migration_j / total
+        }
+    }
 }
 
 /// The analog windows each operating mode pays energy over.
@@ -312,6 +360,26 @@ mod tests {
     fn zero_duration_power_is_zero() {
         let e = EnergyBreakdown::default();
         assert_eq!(e.avg_power_w(0.0), 0.0);
+    }
+
+    #[test]
+    fn class_attribution_partitions_the_total() {
+        let idd = IddParams::default();
+        let cfg = MemConfig::paper_clr(0.5);
+        let mut s = stats_with(100, 300);
+        s.migration_reads = 128;
+        s.migration_writes = 128;
+        s.migration_acts_max_capacity = 2;
+        s.migration_pres_max_capacity = 2;
+        let e = energy_of_run(&s, &cfg, &idd);
+        let c = e.by_class();
+        assert!((c.total_j() - e.total_j()).abs() < 1e-15);
+        assert!((c.demand_j - (e.act_j + e.pre_j + e.rd_j + e.wr_j)).abs() < 1e-18);
+        assert_eq!(c.migration_j, e.migration_j);
+        assert_eq!(c.refresh_j, e.refresh_j);
+        assert_eq!(c.background_j, e.background_j);
+        assert!(c.migration_fraction() > 0.0 && c.migration_fraction() < 1.0);
+        assert_eq!(ClassEnergy::default().migration_fraction(), 0.0);
     }
 
     #[test]

@@ -93,6 +93,13 @@ pub struct PolicyCell {
     pub migration_slot_utilization: f64,
     /// Row-buffer hit rate.
     pub row_hit_rate: f64,
+    /// Median demand-read service latency over the window, DRAM cycles.
+    pub read_latency_p50: u64,
+    /// 95th-percentile demand-read service latency, DRAM cycles.
+    pub read_latency_p95: u64,
+    /// 99th-percentile demand-read service latency, DRAM cycles — the
+    /// tail the paper's refresh/relocation interference shows up in.
+    pub read_latency_p99: u64,
 }
 
 /// The full sweep.
@@ -319,6 +326,7 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
         // escape hatch forces the reference walk for A/B timing and for
         // bisecting a suspected divergence without a rebuild.
         skip_ahead: std::env::var("CLR_FORCE_PER_CYCLE").is_err(),
+        trace: None,
     };
     let cfg = PolicyRunConfig::new(
         base,
@@ -331,6 +339,7 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
     )
     .with_budget_split(spec.split);
     let r = run_policy_workloads(&spec.workloads, &cfg);
+    let (read_p50, read_p95, read_p99) = r.run.mem.read_latency_percentiles();
     PolicyCell {
         policy: spec.policy.label(),
         workload: spec.workload_label.clone(),
@@ -359,6 +368,9 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
         migration_jobs: r.run.mem.migration_jobs_completed,
         migration_slot_utilization: r.migration_slot_utilization(),
         row_hit_rate: r.run.mem.row_hit_rate(),
+        read_latency_p50: read_p50,
+        read_latency_p95: read_p95,
+        read_latency_p99: read_p99,
     }
 }
 
@@ -937,7 +949,9 @@ impl PolicySweepReport {
              \"energy_j\": {:.6e}, \"avg_capacity_loss\": {:.6}, \
              \"final_hp_fraction\": {:.6}, \"transitions\": {}, \
              \"relocation_stall_cycles\": {}, \"migration_jobs\": {}, \
-             \"migration_slot_utilization\": {:.6}, \"row_hit_rate\": {:.6}}}",
+             \"migration_slot_utilization\": {:.6}, \"row_hit_rate\": {:.6}, \
+             \"read_latency_p50\": {}, \"read_latency_p95\": {}, \
+             \"read_latency_p99\": {}}}",
             esc(&c.policy),
             esc(&c.workload),
             esc(&c.reloc),
@@ -959,6 +973,9 @@ impl PolicySweepReport {
             c.migration_jobs,
             c.migration_slot_utilization,
             c.row_hit_rate,
+            c.read_latency_p50,
+            c.read_latency_p95,
+            c.read_latency_p99,
         )
     }
 
@@ -973,10 +990,12 @@ impl PolicySweepReport {
     /// (null on non-contention cells); `v4` adds the placement axis
     /// (`placement`, `frames_moved`, `rows_remapped` on every cell) and
     /// the placement array comparing same-bank / cross-bank /
-    /// cross-channel destination placement on the channel-skewed mix.
+    /// cross-channel destination placement on the channel-skewed mix;
+    /// `v5` adds tail latency (`read_latency_p50`/`p95`/`p99`, DRAM
+    /// cycles, from the per-request latency histograms) to every cell.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v4\",\n");
+        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v5\",\n");
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.label()));
         for (key, cells, trailing) in [
             ("cells", &self.cells, ","),
@@ -1054,6 +1073,9 @@ mod tests {
             migration_jobs: if reloc == "background" { 10 } else { 0 },
             migration_slot_utilization: if reloc == "background" { 0.01 } else { 0.0 },
             row_hit_rate: 0.4,
+            read_latency_p50: 40,
+            read_latency_p95: 120,
+            read_latency_p99: 250,
         }
     }
 
@@ -1083,7 +1105,7 @@ mod tests {
             placement: vec![placement],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v4\""));
+        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v5\""));
         assert!(json.contains("\"policy\": \"topk\""));
         assert!(json.contains("\"reloc\": \"background\""));
         assert!(json.contains("\"ipc_per_core\": [0.500000]"));
@@ -1101,6 +1123,10 @@ mod tests {
         assert!(json.contains("\"placement\": \"cross-channel\""));
         assert!(json.contains("\"frames_moved\": 12"));
         assert!(json.contains("\"rows_remapped\": 12"));
+        // v5: read-latency tail percentiles on every cell.
+        assert!(json.contains("\"read_latency_p50\": 40"));
+        assert!(json.contains("\"read_latency_p95\": 120"));
+        assert!(json.contains("\"read_latency_p99\": 250"));
         assert!(report.cell("topk").is_some());
         assert!(report.best_static_within(0.2).is_none());
         // The contention table renders its fairness columns.

@@ -32,6 +32,7 @@
 use clr_core::mode::RowMode;
 use clr_memsim::frames::{CapacityRebalancer, DestinationPicker, RebalanceConfig};
 use clr_memsim::system::MemorySystem;
+use clr_obs::TraceCategory;
 use clr_policy::budget::BudgetSplit;
 use clr_policy::policy::{PolicyConstraints, PolicySpec};
 use clr_policy::reloc::{DestinationSpread, RelocationEngine, RelocationParams};
@@ -290,10 +291,12 @@ impl RunObserver for EpochDriver {
             BudgetSplit::validate_partition(self.global_budget, &self.channel_budgets, &tables);
         }
         let mut hp_fraction_sum = 0.0;
+        let mut applied_total = 0u64;
         for ch in 0..channels {
             self.runtimes[ch].set_max_hp_fraction(self.channel_budgets[ch]);
             let outcome =
                 self.runtimes[ch].on_epoch(&self.epoch_scratch[ch], mem.channel(ch).mode_table());
+            applied_total += outcome.applied.len() as u64;
             if !outcome.applied.is_empty() {
                 self.changes_scratch.clear();
                 self.changes_scratch.extend(
@@ -318,6 +321,34 @@ impl RunObserver for EpochDriver {
         }
 
         self.final_hp_fraction = hp_fraction_sum / channels as f64;
+
+        // Policy-epoch trace event: one instant per boundary recording
+        // what the decision pass did (observational only).
+        if let Some(sink) = mem.system_trace_sink_mut() {
+            if sink.wants(TraceCategory::Policy) {
+                let budget_permille: u64 = self
+                    .channel_budgets
+                    .iter()
+                    .map(|b| (b * 1000.0) as u64)
+                    .sum::<u64>()
+                    / channels as u64;
+                sink.instant(
+                    TraceCategory::Policy,
+                    "epoch",
+                    now,
+                    vec![
+                        ("epoch_len", epoch_len),
+                        ("transitions_applied", applied_total),
+                        (
+                            "hp_fraction_permille",
+                            (self.final_hp_fraction * 1000.0) as u64,
+                        ),
+                        ("budget_permille", budget_permille),
+                    ],
+                );
+            }
+        }
+
         self.last_epoch_cycle = now;
         self.next_epoch = now + self.epoch_dram_cycles;
     }
@@ -411,6 +442,7 @@ mod tests {
             warmup_insts: 500,
             seed: 11,
             skip_ahead: true,
+            trace: None,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -459,6 +491,7 @@ mod tests {
             warmup_insts: 500,
             seed: 11,
             skip_ahead: true,
+            trace: None,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -506,6 +539,7 @@ mod tests {
             warmup_insts: 500,
             seed: 11,
             skip_ahead: true,
+            trace: None,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -557,6 +591,7 @@ mod tests {
             warmup_insts: 500,
             seed: 11,
             skip_ahead: true,
+            trace: None,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,

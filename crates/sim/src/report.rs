@@ -1,5 +1,7 @@
 //! Minimal fixed-width table rendering for the bench binaries.
 
+use clr_obs::LatencyHistogram;
+
 /// A simple left-aligned text table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -77,6 +79,23 @@ pub fn ratio(r: f64) -> String {
     format!("{r:.3}x")
 }
 
+/// Formats a latency histogram as a one-line percentile summary in DRAM
+/// cycles, for the human-readable output next to the JSON reports.
+pub fn latency_summary(h: &LatencyHistogram) -> String {
+    if h.count() == 0 {
+        return "n=0".into();
+    }
+    format!(
+        "p50/p95/p99 = {}/{}/{} cyc (mean {:.1}, max {}, n={})",
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.mean(),
+        h.max(),
+        h.count()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +126,17 @@ mod tests {
         assert_eq!(pct(0.124), "+12.4%");
         assert_eq!(pct(-0.297), "-29.7%");
         assert_eq!(ratio(0.8664), "0.866x");
+    }
+
+    #[test]
+    fn latency_summary_empty_and_filled() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(latency_summary(&h), "n=0");
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let s = latency_summary(&h);
+        assert!(s.starts_with("p50/p95/p99 = "), "{s}");
+        assert!(s.contains("n=3"), "{s}");
     }
 }

@@ -35,6 +35,7 @@ use clr_memsim::config::MemConfig;
 use clr_memsim::request::{Completion, MemRequest, RequestKind};
 use clr_memsim::stats::MemStats;
 use clr_memsim::system::MemorySystem;
+use clr_obs::{SkipProfile, TraceConfig, TraceLog};
 use clr_power::{energy_of_run, EnergyBreakdown, IddParams};
 use clr_trace::workload::Workload;
 
@@ -63,10 +64,17 @@ pub struct RunConfig {
     /// see the module docs). Disable only to measure the per-cycle
     /// baseline or to bisect a suspected skip-ahead divergence.
     pub skip_ahead: bool,
+    /// Structured event tracing (`None` = off, the default; tracing is
+    /// inert — it changes no simulated outcome). [`RunConfig::paper`]
+    /// resolves this from the `CLR_TRACE` environment variable; see
+    /// [`clr_obs::trace`](clr_obs::TraceConfig) for the category filter
+    /// syntax.
+    pub trace: Option<TraceConfig>,
 }
 
 impl RunConfig {
-    /// Paper-configured system at the given scale knobs.
+    /// Paper-configured system at the given scale knobs. Tracing follows
+    /// the `CLR_TRACE` environment variable.
     pub fn paper(mem: MemConfig, budget_insts: u64, warmup_insts: u64, seed: u64) -> Self {
         RunConfig {
             mem,
@@ -75,6 +83,7 @@ impl RunConfig {
             warmup_insts,
             seed,
             skip_ahead: true,
+            trace: TraceConfig::from_env(),
         }
     }
 }
@@ -108,6 +117,15 @@ pub struct RunResult {
     /// (excluding trace profiling and placement construction) — the
     /// denominator for simulator-throughput reporting.
     pub host_loop_s: f64,
+    /// The merged event trace (whole run, warmup included), present only
+    /// when [`RunConfig::trace`] enabled tracing.
+    pub trace: Option<TraceLog>,
+    /// Skip-ahead profiling fused across channels: dead-window jump
+    /// lengths, which event source bounded each jump, ticked-vs-skipped
+    /// cycle totals. Host-side observability — deliberately outside
+    /// [`MemStats`], because jump shapes legitimately differ between
+    /// per-cycle and skip-ahead walks of the same simulation.
+    pub skip_profile: SkipProfile,
 }
 
 impl RunResult {
@@ -210,6 +228,9 @@ pub(crate) fn run_workloads_observed(
 
     let mut cluster = CpuCluster::new(cfg.cluster, traces);
     let mut mem_sys = MemorySystem::new(cfg.mem.clone());
+    if let Some(tc) = &cfg.trace {
+        mem_sys.enable_tracing(tc);
+    }
     observer.on_run_start(&mut mem_sys);
     let mut completions: Vec<Completion> = Vec::new();
     let mut dram_done: u64 = 0;
@@ -367,6 +388,7 @@ pub(crate) fn run_workloads_observed(
         })
         .collect();
 
+    let trace = mem_sys.tracing_enabled().then(|| mem_sys.collect_trace());
     RunResult {
         ipc,
         cpu_cycles,
@@ -377,6 +399,8 @@ pub(crate) fn run_workloads_observed(
         energy,
         energy_per_channel,
         host_loop_s,
+        trace,
+        skip_profile: mem_sys.fused_skip_profile(),
     }
 }
 
@@ -394,6 +418,7 @@ mod tests {
             warmup_insts: 1_000,
             seed: 7,
             skip_ahead: true,
+            trace: None,
         }
     }
 

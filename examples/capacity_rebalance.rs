@@ -36,6 +36,7 @@ fn run(placement: DestinationPicker, scale: Scale) -> PolicyRunResult {
         warmup_insts: scale.warmup_insts(),
         seed: 42,
         skip_ahead: true,
+        trace: None,
     };
     let cfg = PolicyRunConfig::new(
         base,
@@ -60,9 +61,10 @@ fn report(label: &str, r: &PolicyRunResult) {
         .sum();
     for (ch, s) in r.run.mem_per_channel.iter().enumerate() {
         let share = (s.reads + s.writes) as f64 / total_cols.max(1) as f64;
+        let (p50, p95, p99) = s.read_latency_percentiles();
         println!(
             "  channel {ch}: {:>5.1}% of column traffic | budget {:>5.1}% | \
-             migration energy {:.3} mJ",
+             migration energy {:.3} mJ | read p50/p95/p99 {p50}/{p95}/{p99} cyc",
             share * 100.0,
             r.final_channel_budgets[ch] * 100.0,
             r.run.energy_per_channel[ch].migration_j * 1e3,

@@ -20,6 +20,7 @@ fn run(policy: PolicySpec, initial_fraction: f64, budget: f64, scale: Scale) {
         warmup_insts: scale.warmup_insts(),
         seed: 42,
         skip_ahead: true,
+        trace: None,
     };
     let cfg = PolicyRunConfig::new(
         base,

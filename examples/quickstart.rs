@@ -69,4 +69,32 @@ fn main() {
         baseline.mem.row_hit_rate() * 100.0,
         clr.mem.row_hit_rate() * 100.0
     );
+    // Tail latency, not just the mean: the read-latency histogram per
+    // channel (here one channel), baseline vs CLR.
+    for (ch, (b, c)) in baseline
+        .mem_per_channel
+        .iter()
+        .zip(&clr.mem_per_channel)
+        .enumerate()
+    {
+        let (bp50, bp95, bp99) = b.read_latency_percentiles();
+        let (cp50, cp95, cp99) = c.read_latency_percentiles();
+        println!(
+            "  read latency ch{ch} p50/p95/p99: {bp50}/{bp95}/{bp99} -> \
+             {cp50}/{cp95}/{cp99} cycles"
+        );
+    }
+
+    // 4. Optional: a Perfetto-openable trace of the CLR run. Set
+    //    CLR_TRACE=1 (or a category list like "commands,migration")
+    //    before running; the trace rides along with zero simulated-state
+    //    impact — tracing on vs off is bit-identical.
+    if let Some(trace) = &clr.trace {
+        let path = std::env::var("CLR_TRACE_OUT").unwrap_or_else(|_| "clr_trace.json".into());
+        std::fs::write(&path, trace.to_chrome_json()).expect("write trace");
+        println!(
+            "\nwrote {} trace events to {path} (open at https://ui.perfetto.dev)",
+            trace.events.len()
+        );
+    }
 }

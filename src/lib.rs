@@ -155,7 +155,7 @@
 //! each epoch in proportion to per-channel demand
 //! (`PolicyRunConfig::with_budget_split`). The `policy_sweep` binary's
 //! contention sweep (core counts × channel counts × budget splits ×
-//! policies, schema `clr-dram/policy-sweep/v4`) reports per-core IPC,
+//! policies, schema `clr-dram/policy-sweep/v5`) reports per-core IPC,
 //! weighted speedup, and max slowdown against per-core alone baselines.
 //!
 //! # Capacity directory: placement and cross-channel frame rebalancing
@@ -241,6 +241,12 @@ pub mod arch {
 /// Transient circuit simulation (re-export of [`clr_circuit`]).
 pub mod circuit {
     pub use clr_circuit::*;
+}
+
+/// Observability: latency histograms, event tracing, skip-ahead
+/// profiling (re-export of [`clr_obs`]).
+pub mod obs {
+    pub use clr_obs::*;
 }
 
 /// Cycle-accurate DRAM + controller (re-export of [`clr_memsim`]).

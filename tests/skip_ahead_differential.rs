@@ -383,6 +383,7 @@ fn two_channel_policy_run_with_epoch_boundaries_is_bit_identical() {
             warmup_insts: 1_000,
             seed: 5,
             skip_ahead: skip,
+            trace: None,
         };
         let cfg = PolicyRunConfig::new(
             base,
@@ -441,6 +442,7 @@ fn placement_modes_policy_runs_are_bit_identical() {
             warmup_insts: 1_000,
             seed: 5,
             skip_ahead: skip,
+            trace: None,
         };
         let cfg = PolicyRunConfig::new(
             base,
@@ -505,6 +507,7 @@ fn policy_run_with_epoch_boundaries_is_bit_identical() {
             warmup_insts: 1_000,
             seed: 5,
             skip_ahead: skip,
+            trace: None,
         };
         // The threshold policy proposes on raw access counts, so the run
         // is guaranteed to move the table (hysteresis may rightly decline
