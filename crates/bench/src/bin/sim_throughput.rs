@@ -1,8 +1,8 @@
 //! Simulation-throughput benchmark: host wall-clock speed of the
-//! full-system simulator with and without the event-driven skip-ahead
-//! core (`clr-dram/sim-throughput/v1`).
+//! full-system simulator across walk modes and worker-thread counts
+//! (`clr-dram/sim-throughput/v2`).
 //!
-//! Two scenarios bracket the design space:
+//! Three scenarios bracket the design space:
 //!
 //! * **policy-saturated** — the policy sweep's headline cell (hysteresis
 //!   policy × drifting-hot-set workload, refresh on). Memory stays busy a
@@ -11,20 +11,34 @@
 //! * **light-intensity** — a low-MPKI synthetic on the paper system,
 //!   where the DRAM sits idle between bursts and the CPU stalls on
 //!   isolated misses: long dead windows, the skip-ahead *headline*.
+//! * **contention-4c2ch** — the 4-core × 2-channel contention cell
+//!   (hysteresis, demand-proportional split), additionally run with two
+//!   worker threads (`threads=2`): the multi-channel walk the threaded
+//!   executor exists for.
 //!
-//! Each scenario runs per-cycle then skip-ahead, verifies the runs are
-//! statistically bit-identical (the skip-ahead contract), and reports
-//! simulated DRAM cycles/second and requests/second over the simulation
-//! loop (total wall additionally includes identical trace-profiling
-//! setup). The closing JSON lets successive PRs track the simulator's own
-//! performance trajectory alongside the modelled one.
+//! Each scenario runs a per-cycle reference then the skip-ahead walk at
+//! each thread count, verifies every mode is statistically bit-identical
+//! (the skip-ahead *and* threading contracts), and reports simulated
+//! DRAM cycles/second plus the per-phase host-time breakdown (channel
+//! walk vs completion merge vs policy epochs). Every mode ladder is run
+//! for several *interleaved* repetitions and each mode keeps its
+//! fastest sample: host clock-speed drift hits all modes instead of
+//! whichever happened to run last, and the minimum is the standard
+//! noise-robust wall-clock estimator (the runs are deterministic, so
+//! every repetition does identical work). The closing JSON is also
+//! written to `BENCH_sim_throughput.json` so successive PRs track the
+//! simulator's own performance trajectory alongside the modelled one.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
+use clr_memsim::migrate::RelocationConfig;
 use clr_memsim::MemStats;
+use clr_policy::budget::BudgetSplit;
 use clr_policy::policy::{PolicyConstraints, PolicySpec};
 use clr_sim::experiment::policies::{
-    epoch_cycles, phase_workload, policy_cluster, policy_mem_config, DYNAMIC_BUDGET,
+    contention_workloads, epoch_cycles, phase_workload, policy_cluster, policy_mem_config,
+    DYNAMIC_BUDGET,
 };
 use clr_sim::policyrun::{run_policy_workloads, PolicyRunConfig};
 use clr_sim::system::{run_workloads, RunConfig};
@@ -34,8 +48,16 @@ use clr_trace::workload::Workload;
 
 struct Sample {
     mode: &'static str,
+    threads: usize,
     wall_s: f64,
     loop_s: f64,
+    /// Host seconds inside the memory-side channel walk.
+    walk_s: f64,
+    /// Host seconds merging per-channel completion streams.
+    merge_s: f64,
+    /// Host seconds in epoch-boundary policy work (0 for policy-free
+    /// runs).
+    policy_s: f64,
     ipc: Vec<f64>,
     mem: MemStats,
 }
@@ -54,20 +76,42 @@ impl Sample {
     }
 }
 
+/// One scenario's mode ladder: `modes[0]` is always the per-cycle
+/// reference; later entries are skip-ahead at increasing thread counts.
 struct Scenario {
     name: &'static str,
     workload: String,
-    per_cycle: Sample,
-    skip: Sample,
+    modes: Vec<Sample>,
 }
 
 impl Scenario {
+    /// Skip-ahead (serial) over the per-cycle reference.
     fn speedup(&self) -> f64 {
-        self.per_cycle.loop_s / self.skip.loop_s
+        self.modes[0].loop_s / self.modes[1].loop_s
+    }
+
+    /// The threaded mode's speedup over the per-cycle reference, when
+    /// the scenario ran one.
+    fn speedup_threaded(&self) -> Option<f64> {
+        self.modes
+            .iter()
+            .find(|s| s.threads > 1)
+            .map(|s| self.modes[0].loop_s / s.loop_s)
+    }
+
+    /// Serial-skip over threaded-skip wall time (how much the worker
+    /// pool itself buys at this event density).
+    fn thread_scaling(&self) -> Option<f64> {
+        self.modes
+            .iter()
+            .find(|s| s.threads > 1)
+            .map(|s| self.modes[1].loop_s / s.loop_s)
     }
 
     fn identical(&self) -> bool {
-        self.per_cycle.ipc == self.skip.ipc && self.per_cycle.mem == self.skip.mem
+        self.modes[1..]
+            .iter()
+            .all(|s| s.ipc == self.modes[0].ipc && s.mem == self.modes[0].mem)
     }
 }
 
@@ -84,6 +128,7 @@ fn run_saturated(mode: &'static str, skip_ahead: bool, scale: Scale) -> Sample {
         seed: 42,
         skip_ahead,
         trace: None,
+        threads: 1,
     };
     let cfg = PolicyRunConfig::new(
         base,
@@ -95,8 +140,12 @@ fn run_saturated(mode: &'static str, skip_ahead: bool, scale: Scale) -> Sample {
     let r = run_policy_workloads(&[phase_workload(scale)], &cfg);
     Sample {
         mode,
+        threads: 1,
         wall_s: start.elapsed().as_secs_f64(),
         loop_s: r.run.host_loop_s,
+        walk_s: r.run.host_walk_s,
+        merge_s: r.run.host_merge_s,
+        policy_s: r.host_policy_s,
         ipc: r.run.ipc,
         mem: r.run.mem,
     }
@@ -121,93 +170,286 @@ fn run_light(mode: &'static str, skip_ahead: bool, scale: Scale) -> Sample {
         42,
     );
     cfg.skip_ahead = skip_ahead;
+    cfg.threads = 1;
     let start = Instant::now();
     let r = run_workloads(&[light_workload()], &cfg);
     Sample {
         mode,
+        threads: 1,
         wall_s: start.elapsed().as_secs_f64(),
         loop_s: r.host_loop_s,
+        walk_s: r.host_walk_s,
+        merge_s: r.host_merge_s,
+        policy_s: 0.0,
         ipc: r.ipc,
         mem: r.mem,
     }
 }
 
+/// The 4-core × 2-channel contention cell (hysteresis policy,
+/// demand-proportional budget split, paced background relocation) — the
+/// smoke roster's headline cell and the threaded walk's target shape.
+fn run_contention(mode: &'static str, skip_ahead: bool, threads: usize, scale: Scale) -> Sample {
+    let mut mem = policy_mem_config(0.0);
+    mem.geometry.channels = 2;
+    mem.refresh_enabled = true;
+    mem.relocation = RelocationConfig::background_paced();
+    let base = RunConfig {
+        mem,
+        cluster: policy_cluster(),
+        budget_insts: scale.budget_insts(),
+        warmup_insts: scale.warmup_insts(),
+        seed: 42,
+        skip_ahead,
+        trace: None,
+        threads,
+    };
+    let cfg = PolicyRunConfig::new(
+        base,
+        PolicySpec::Hysteresis,
+        PolicyConstraints::with_budget(DYNAMIC_BUDGET),
+        epoch_cycles(scale),
+    )
+    .with_budget_split(BudgetSplit::demand_proportional());
+    let workloads = contention_workloads(scale, 4);
+    let start = Instant::now();
+    let r = run_policy_workloads(&workloads, &cfg);
+    Sample {
+        mode,
+        threads,
+        wall_s: start.elapsed().as_secs_f64(),
+        loop_s: r.run.host_loop_s,
+        walk_s: r.run.host_walk_s,
+        merge_s: r.run.host_merge_s,
+        policy_s: r.host_policy_s,
+        ipc: r.run.ipc,
+        mem: r.run.mem,
+    }
+}
+
+/// Worker count for the contention cell's threaded lane: `CLR_THREADS`
+/// when it asks for real parallelism, else two (one worker per channel
+/// shard). CI pins `CLR_THREADS=2` so the threaded path runs on every
+/// push regardless of runner defaults.
+fn threaded_workers() -> usize {
+    std::env::var("CLR_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(2)
+}
+
+/// Runs a scenario's mode ladder `reps` times round-robin, keeping each
+/// mode's minimum-`loop_s` sample. Interleaving spreads host frequency
+/// drift across every mode; the min strips the remaining noise.
+fn run_ladder(reps: usize, runners: &[&dyn Fn() -> Sample]) -> Vec<Sample> {
+    let mut best: Vec<Option<Sample>> = runners.iter().map(|_| None).collect();
+    for _ in 0..reps {
+        for (slot, run) in best.iter_mut().zip(runners) {
+            let s = run();
+            if slot.as_ref().is_none_or(|b| s.loop_s < b.loop_s) {
+                *slot = Some(s);
+            }
+        }
+    }
+    best.into_iter().map(|s| s.expect("reps >= 1")).collect()
+}
+
+fn json_report(
+    scale: Scale,
+    scenarios: &[Scenario],
+    host_parallelism: usize,
+    gate_enforced: bool,
+) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": \"clr-dram/sim-throughput/v2\",");
+    let _ = writeln!(j, "  \"scale\": \"{}\",", scale.label());
+    let _ = writeln!(j, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(j, "  \"gate_enforced\": {gate_enforced},");
+    let _ = writeln!(j, "  \"scenarios\": [");
+    for (i, sc) in scenarios.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"name\": \"{}\",", sc.name);
+        let _ = writeln!(j, "      \"workload\": \"{}\",", sc.workload);
+        let _ = writeln!(j, "      \"modes\": [");
+        for (k, s) in sc.modes.iter().enumerate() {
+            let _ = writeln!(
+                j,
+                "        {{\"mode\": \"{}\", \"threads\": {}, \"wall_s\": {:.6}, \
+                 \"loop_s\": {:.6}, \"walk_s\": {:.6}, \"merge_s\": {:.6}, \
+                 \"policy_s\": {:.6}, \"dram_cycles\": {}, \"requests\": {}, \
+                 \"sim_cycles_per_sec\": {:.1}, \"requests_per_sec\": {:.1}}}{}",
+                s.mode,
+                s.threads,
+                s.wall_s,
+                s.loop_s,
+                s.walk_s,
+                s.merge_s,
+                s.policy_s,
+                s.mem.cycles,
+                s.requests(),
+                s.cycles_per_sec(),
+                s.requests_per_sec(),
+                if k + 1 == sc.modes.len() { "" } else { "," },
+            );
+        }
+        let _ = writeln!(j, "      ],");
+        let _ = writeln!(j, "      \"speedup\": {:.4},", sc.speedup());
+        if let Some(st) = sc.speedup_threaded() {
+            let _ = writeln!(j, "      \"speedup_threaded\": {st:.4},");
+            let _ = writeln!(
+                j,
+                "      \"thread_scaling\": {:.4},",
+                sc.thread_scaling().unwrap()
+            );
+        }
+        let _ = writeln!(j, "      \"bit_identical\": {}", sc.identical());
+        let _ = writeln!(
+            j,
+            "    }}{}",
+            if i + 1 == scenarios.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
 fn main() {
-    let scale = clr_bench::startup("simulation throughput (skip-ahead vs per-cycle)");
+    let scale = clr_bench::startup("simulation throughput (walk modes x threads)");
+    let reps = match scale {
+        Scale::Full => 2,
+        _ => 3,
+    };
     let scenarios = [
         Scenario {
             name: "policy-saturated",
             workload: phase_workload(scale).name(),
-            per_cycle: run_saturated("per-cycle", false, scale),
-            skip: run_saturated("skip-ahead", true, scale),
+            modes: run_ladder(
+                reps,
+                &[&|| run_saturated("per-cycle", false, scale), &|| {
+                    run_saturated("skip-ahead", true, scale)
+                }],
+            ),
         },
         Scenario {
             name: "light-intensity",
             workload: light_workload().name(),
-            per_cycle: run_light("per-cycle", false, scale),
-            skip: run_light("skip-ahead", true, scale),
+            modes: run_ladder(
+                reps,
+                &[&|| run_light("per-cycle", false, scale), &|| {
+                    run_light("skip-ahead", true, scale)
+                }],
+            ),
+        },
+        Scenario {
+            name: "contention-4c2ch",
+            workload: "4core/2ch:contention-mix".into(),
+            modes: run_ladder(
+                reps,
+                &[
+                    &|| run_contention("per-cycle", false, 1, scale),
+                    &|| run_contention("skip-ahead", true, 1, scale),
+                    // CI drives this lane with CLR_THREADS=2 explicitly;
+                    // any larger env value widens the pool.
+                    &|| run_contention("skip-ahead", true, threaded_workers(), scale),
+                ],
+            ),
         },
     ];
 
     for sc in &scenarios {
         println!("scenario: {} ({})", sc.name, sc.workload);
         println!(
-            "  {:<11} {:>9} {:>9} {:>13} {:>9} {:>15} {:>13}",
-            "mode", "wall(s)", "loop(s)", "DRAM cycles", "requests", "sim cycles/s", "requests/s"
+            "  {:<11} {:>3} {:>9} {:>9} {:>8} {:>8} {:>8} {:>13} {:>15}",
+            "mode",
+            "thr",
+            "wall(s)",
+            "loop(s)",
+            "walk(s)",
+            "merge(s)",
+            "policy",
+            "DRAM cycles",
+            "sim cycles/s"
         );
-        for s in [&sc.per_cycle, &sc.skip] {
+        for s in &sc.modes {
             println!(
-                "  {:<11} {:>9.3} {:>9.3} {:>13} {:>9} {:>15.0} {:>13.0}",
+                "  {:<11} {:>3} {:>9.3} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>13} {:>15.0}",
                 s.mode,
+                s.threads,
                 s.wall_s,
                 s.loop_s,
+                s.walk_s,
+                s.merge_s,
+                s.policy_s,
                 s.mem.cycles,
-                s.requests(),
                 s.cycles_per_sec(),
-                s.requests_per_sec(),
             );
         }
-        println!(
-            "  speedup: {:.2}x | statistics bit-identical: {}\n",
-            sc.speedup(),
-            sc.identical()
-        );
+        print!("  speedup: {:.2}x", sc.speedup());
+        if let Some(st) = sc.speedup_threaded() {
+            print!(
+                " | threaded: {:.2}x (walk scaling {:.2}x)",
+                st,
+                sc.thread_scaling().unwrap()
+            );
+        }
+        println!(" | statistics bit-identical: {}\n", sc.identical());
         assert!(
             sc.identical(),
-            "skip-ahead diverged from the per-cycle reference — simulator bug"
+            "a walk mode diverged from the per-cycle reference — simulator bug"
+        );
+        if sc.name == "contention-4c2ch" {
+            // Background-paced relocation must stay off the demand
+            // critical path: zero stall cycles in every mode, serial or
+            // threaded.
+            for s in &sc.modes {
+                assert_eq!(
+                    s.mem.relocation_stall_cycles, 0,
+                    "{} (threads={}) charged relocation stall cycles in the \
+                     background-paced contention cell",
+                    s.mode, s.threads
+                );
+            }
+        }
+    }
+
+    // The threaded contention cell is the PR gate: skip-ahead with two
+    // workers must clear 2x over the per-cycle reference. The gate is a
+    // wall-clock claim about parallel execution, so it is only
+    // *enforced* where it is physically meaningful: from the default
+    // scale up (smoke cells finish in milliseconds, pure timer noise)
+    // and on hosts where two workers can actually overlap
+    // (`available_parallelism` >= 2 — on a single-core host the scoped
+    // workers serialize and the ratio measures scheduler jitter, not
+    // the walk). The measured ratio and whether it was enforced are
+    // always recorded in the JSON.
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let contention = &scenarios[2];
+    let gate = contention
+        .speedup_threaded()
+        .expect("contention scenario runs a threaded mode");
+    let enforced = scale != Scale::Smoke && host_parallelism >= 2;
+    if enforced {
+        assert!(
+            gate >= 2.0,
+            "threaded contention cell below the 2x gate: {gate:.2}x"
+        );
+    } else {
+        println!(
+            "(2x contention gate reported, not enforced: {gate:.2}x; \
+             scale={}, host parallelism={host_parallelism})",
+            scale.label()
         );
     }
 
-    println!("--- machine-readable (clr-dram/sim-throughput/v1) ---");
-    println!("{{");
-    println!("  \"schema\": \"clr-dram/sim-throughput/v1\",");
-    println!("  \"scale\": \"{}\",", scale.label());
-    println!("  \"scenarios\": [");
-    for (i, sc) in scenarios.iter().enumerate() {
-        println!("    {{");
-        println!("      \"name\": \"{}\",", sc.name);
-        println!("      \"workload\": \"{}\",", sc.workload);
-        println!("      \"modes\": [");
-        for (j, s) in [&sc.per_cycle, &sc.skip].into_iter().enumerate() {
-            println!(
-                "        {{\"mode\": \"{}\", \"wall_s\": {:.6}, \"loop_s\": {:.6}, \
-                 \"dram_cycles\": {}, \"requests\": {}, \
-                 \"sim_cycles_per_sec\": {:.1}, \"requests_per_sec\": {:.1}}}{}",
-                s.mode,
-                s.wall_s,
-                s.loop_s,
-                s.mem.cycles,
-                s.requests(),
-                s.cycles_per_sec(),
-                s.requests_per_sec(),
-                if j == 0 { "," } else { "" },
-            );
-        }
-        println!("      ],");
-        println!("      \"speedup\": {:.4},", sc.speedup());
-        println!("      \"bit_identical\": {}", sc.identical());
-        println!("    }}{}", if i + 1 == scenarios.len() { "" } else { "," });
+    let json = json_report(scale, &scenarios, host_parallelism, enforced);
+    println!("--- machine-readable (clr-dram/sim-throughput/v2) ---");
+    print!("{json}");
+    let out = "BENCH_sim_throughput.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
     }
-    println!("  ]");
-    println!("}}");
 }

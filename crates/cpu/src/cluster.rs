@@ -148,19 +148,26 @@ impl CpuCluster {
         }
     }
 
-    /// If the whole cluster is provably inert — every core stalled on
-    /// memory and no outbound requests awaiting injection — returns the
-    /// next CPU cycle at which its state can change on its own: the
-    /// earliest scheduled LLC-hit wakeup, or `u64::MAX` when only an
-    /// external memory completion can unblock it. Ticks on cycles
-    /// strictly before that are pure no-ops (only the clock advances), so
-    /// a driver may [`CpuCluster::skip_to`] any cycle up to the returned
-    /// one. Returns `None` while any core can make progress.
+    /// If the whole cluster is provably replayable — every core either
+    /// stalled on memory or in a closed-form bubble drain (see
+    /// [`Core::draining_bubbles`]), and no outbound requests awaiting
+    /// injection — returns the next CPU cycle at which its state can
+    /// change on its own: the earliest scheduled LLC-hit wakeup, or
+    /// `u64::MAX` when only an external memory completion can unblock
+    /// it. Ticks on cycles strictly before that either are pure no-ops
+    /// or only insert ready bubbles — both reproduced exactly by
+    /// [`CpuCluster::skip_to`] — so a driver may skip to any cycle up
+    /// to the returned one. Returns `None` while any core can make
+    /// observable progress (retire, or LLC traffic).
     pub fn stalled_until(&self) -> Option<u64> {
         if self.llc.outbox_len() > 0 {
             return None;
         }
-        if self.cores.iter().any(|c| !c.stalled_on_memory(&self.llc)) {
+        if self
+            .cores
+            .iter()
+            .any(|c| !c.stalled_on_memory(&self.llc) && !c.draining_bubbles())
+        {
             return None;
         }
         Some(
@@ -171,16 +178,22 @@ impl CpuCluster {
     }
 
     /// Advances the cluster clock to `cycle` without simulating the
-    /// intervening cycles. Sound only when [`CpuCluster::stalled_until`]
-    /// returned `Some(t)` with `t >= cycle` and no memory completion was
-    /// delivered in between — the skipped ticks would all have been
-    /// no-ops.
+    /// intervening cycles, replaying any in-progress bubble drains in
+    /// closed form so the landing state is bit-identical to ticking.
+    /// Sound only when [`CpuCluster::stalled_until`] returned `Some(t)`
+    /// with `t >= cycle` and no memory completion was delivered in
+    /// between.
     ///
     /// # Panics
     ///
     /// Panics (debug builds) if `cycle` is in the past.
     pub fn skip_to(&mut self, cycle: u64) {
         debug_assert!(cycle >= self.cycle, "cluster clock cannot go backwards");
+        let elapsed = cycle - self.cycle;
+        for c in &mut self.cores {
+            // No-op for cores that are genuinely stalled (guards inside).
+            c.fast_forward_bubbles(elapsed);
+        }
         self.cycle = cycle;
     }
 }
@@ -304,6 +317,76 @@ mod tests {
         cl.tick();
         cl.tick();
         assert_eq!(cl.retired(0), 14);
+    }
+
+    #[test]
+    fn bubble_drain_skip_matches_per_cycle_ticking() {
+        // A blocked head miss followed by an item with more bubbles than
+        // the tiny window holds: the drain stretch must be replayable in
+        // closed form, landing bit-identical to per-cycle ticking.
+        let items = || {
+            vec![
+                TraceItem::load(0, PhysAddr(0x40)),
+                TraceItem::load(100, PhysAddr(0x1000)),
+            ]
+        };
+        let mut ticked = CpuCluster::new(ClusterConfig::tiny(), vec![boxed(items())]);
+        let mut skipped = CpuCluster::new(ClusterConfig::tiny(), vec![boxed(items())]);
+        let mut ids_t = Vec::new();
+        let mut ids_s = Vec::new();
+        ticked.tick();
+        skipped.tick();
+        ticked.drain_mem_requests(|r| {
+            ids_t.push(r.id);
+            true
+        });
+        skipped.drain_mem_requests(|r| {
+            ids_s.push(r.id);
+            true
+        });
+        // Head blocked on the outstanding miss, dispatch mid-bubble:
+        // without drain awareness this state was unskippable.
+        assert_eq!(skipped.stalled_until(), Some(u64::MAX));
+        for _ in 0..64 {
+            ticked.tick();
+        }
+        let target = skipped.cycle() + 64;
+        skipped.skip_to(target);
+        assert_eq!(ticked.cycle(), skipped.cycle());
+        for id in ids_t.drain(..) {
+            ticked.complete_read(id);
+        }
+        for id in ids_s.drain(..) {
+            skipped.complete_read(id);
+        }
+        // From the fill on, the two walks must stay in lockstep.
+        for step in 0..200 {
+            assert_eq!(ticked.retired(0), skipped.retired(0), "step {step}");
+            assert_eq!(
+                ticked.stalled_until(),
+                skipped.stalled_until(),
+                "step {step}"
+            );
+            ticked.tick();
+            skipped.tick();
+            ticked.drain_mem_requests(|r| {
+                ids_t.push(r.id);
+                true
+            });
+            skipped.drain_mem_requests(|r| {
+                ids_s.push(r.id);
+                true
+            });
+            for id in ids_t.drain(..) {
+                ticked.complete_read(id);
+            }
+            for id in ids_s.drain(..) {
+                skipped.complete_read(id);
+            }
+        }
+        // 2 loads + 100 bubbles.
+        assert_eq!(ticked.retired(0), 102);
+        assert_eq!(skipped.retired(0), 102);
     }
 
     #[test]

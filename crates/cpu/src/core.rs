@@ -107,6 +107,49 @@ impl Core {
         }
     }
 
+    /// Whether this core is in a *bubble drain*: the window head is
+    /// blocked on memory, the window still has free slots, and the
+    /// current item carries at least enough bubbles to fill them. Every
+    /// tick in this state only inserts ready bubbles (retire makes no
+    /// progress, and the window fills before the item's load is
+    /// reached), so the whole stretch can be replayed in closed form by
+    /// [`Core::fast_forward_bubbles`].
+    pub fn draining_bubbles(&self) -> bool {
+        if self.window.head_ready() || self.window.is_empty() || self.window.is_full() {
+            return false;
+        }
+        matches!(self.current, Some((_, Phase::Bubbles(n))) if n as usize >= self.window.free_slots())
+    }
+
+    /// Replays `cycles` ticks of a bubble drain in closed form: inserts
+    /// `min(free_slots, cycles × width)` ready bubbles and advances the
+    /// bubble count, exactly as that many [`Core::tick`] calls would
+    /// (retire stays at zero — the head is blocked — and the LLC is
+    /// never touched, since the window fills before the load phase can
+    /// issue). A no-op unless [`Core::draining_bubbles`] holds, so it is
+    /// safe to call on every core across a cluster skip.
+    pub fn fast_forward_bubbles(&mut self, cycles: u64) {
+        if cycles == 0 || !self.draining_bubbles() {
+            return;
+        }
+        let Some((item, Phase::Bubbles(n))) = self.current else {
+            return;
+        };
+        let free = self.window.free_slots() as u64;
+        let inserts = free.min(cycles.saturating_mul(self.dispatch_width as u64)) as usize;
+        for _ in 0..inserts {
+            self.window.insert(true, 0);
+        }
+        self.current = Some((
+            item,
+            if n as usize > inserts {
+                Phase::Bubbles(n - inserts as u32)
+            } else {
+                Phase::Load
+            },
+        ));
+    }
+
     /// Executes one CPU cycle: retire, then dispatch up to the width.
     ///
     /// `hit_wakeups` receives `(ready_cycle, line_addr)` events for LLC

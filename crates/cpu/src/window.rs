@@ -9,6 +9,11 @@
 pub struct Window {
     ready: Vec<bool>,
     addr: Vec<u64>,
+    /// Slot indices of entries still pending on a memory line
+    /// (`addr[slot] != NO_ADDR`), unordered. Wakes scan only these —
+    /// the pending set is bounded by outstanding misses, far below the
+    /// window depth — instead of walking the whole ring.
+    waiting: Vec<usize>,
     depth: usize,
     retire_width: usize,
     load: usize,
@@ -31,6 +36,7 @@ impl Window {
         Window {
             ready: vec![false; depth],
             addr: vec![NO_ADDR; depth],
+            waiting: Vec::new(),
             depth,
             retire_width,
             load: 0,
@@ -54,6 +60,12 @@ impl Window {
         self.load
     }
 
+    /// Unoccupied entries — how many dispatches fit before the window
+    /// is full.
+    pub fn free_slots(&self) -> usize {
+        self.depth - self.load
+    }
+
     /// Whether the oldest entry could retire this cycle — i.e. whether
     /// [`Window::retire`] would make progress. `false` for an empty
     /// window or one blocked on a pending load at its head.
@@ -72,6 +84,9 @@ impl Window {
         assert!(!self.is_full(), "window overflow");
         self.ready[self.head] = ready;
         self.addr[self.head] = if ready { NO_ADDR } else { line_addr };
+        if !ready {
+            self.waiting.push(self.head);
+        }
         self.head = (self.head + 1) % self.depth;
         self.load += 1;
     }
@@ -93,16 +108,16 @@ impl Window {
     /// Marks every entry waiting on `line_addr` as ready (a cache line
     /// fill serves all loads to that line).
     pub fn set_ready(&mut self, line_addr: u64) {
-        if self.load == 0 {
-            return;
-        }
-        let mut i = self.tail;
-        for _ in 0..self.load {
-            if self.addr[i] == line_addr {
-                self.ready[i] = true;
-                self.addr[i] = NO_ADDR;
+        let mut i = 0;
+        while i < self.waiting.len() {
+            let s = self.waiting[i];
+            if self.addr[s] == line_addr {
+                self.ready[s] = true;
+                self.addr[s] = NO_ADDR;
+                self.waiting.swap_remove(i);
+            } else {
+                i += 1;
             }
-            i = (i + 1) % self.depth;
         }
     }
 }

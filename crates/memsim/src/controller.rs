@@ -124,10 +124,6 @@ pub struct MemoryController {
     /// tick's failed scheduling pass (`u64::MAX` otherwise). Only
     /// meaningful within the tick that set it.
     queue_ready_hint: u64,
-    /// Reusable per-bank "open row is wanted by a queued request" flags
-    /// for the timeout-close event scan (one pass over both queues
-    /// instead of one scan per open bank).
-    wanted_scratch: Vec<bool>,
     /// Per-bank one-entry cache of the last `(row, mode)` lookup, keyed on
     /// the row — repeated resolutions against an open row (enqueue-time
     /// target classification, per-ACT resolution of row-hit streams) skip
@@ -240,8 +236,8 @@ impl MemoryController {
             addr_mask,
             command_log: None,
             per_bank_acts: vec![0; banks_total],
-            read_lanes: LaneCache::new(banks_total),
-            write_lanes: LaneCache::new(banks_total),
+            read_lanes: LaneCache::new(banks_total, banks_per_group * bgs_per_rank),
+            write_lanes: LaneCache::new(banks_total, banks_per_group * bgs_per_rank),
             migration: MigrationEngine::new(
                 config.relocation,
                 banks_total,
@@ -252,7 +248,6 @@ impl MemoryController {
             dest_cursor: 0,
             next_event_cache: None,
             queue_ready_hint: u64::MAX,
-            wanted_scratch: vec![false; banks_total],
             mode_cache: vec![Cell::new((MODE_CACHE_EMPTY, RowMode::MaxCapacity)); banks_total],
             trace: None,
             skip_profile: SkipProfile::default(),
@@ -1079,7 +1074,9 @@ impl MemoryController {
             // Jump only on a memoized bound; otherwise tick — event ticks
             // do real work, and the first dead tick after them re-fills
             // the memo as a byproduct of its own scheduling pass, so the
-            // walk never pays a from-scratch event computation.
+            // walk never pays a from-scratch event computation (the exact
+            // pricing pass walks every candidate; a failing serve pass
+            // prunes, so it is the cheaper way to re-derive the bound).
             match self.next_event_cache {
                 Some(r) if r > self.cycle => self.skip_dead_cycles(r.min(target)),
                 _ => self.tick(completions),
@@ -1203,6 +1200,9 @@ impl MemoryController {
         let mut next: Option<u64> = None;
         let mut fold = |t: u64| next = Some(next.map_or(t, |n: u64| n.min(t)));
         for b in 0..self.banks.len() {
+            if !self.migration.bank_has_work(b) {
+                continue;
+            }
             let open = self.banks[b].open_row.map(|r| (r, self.banks[b].open_mode));
             if self.migration.is_busy(b) {
                 // A role blocked on another side's progress (a write
@@ -1322,9 +1322,18 @@ impl MemoryController {
     fn serve_migration(&mut self, now: u64, idle_slot: bool, demand_ready: u64) -> bool {
         let n = self.banks.len();
         let start = self.migration.rr_start();
+        // The rate limiter is global and applies to every start (overdue
+        // or not), so when it is closed only busy banks merit a look.
+        let start_blocked = self.migration.rate_gate(now) > now;
         for k in 0..n {
             let b = (start + k) % n;
+            if !self.migration.bank_has_work(b) {
+                continue;
+            }
             let busy = self.migration.is_busy(b);
+            if !busy && start_blocked {
+                continue;
+            }
             // Demand waiting on the job justifies forcing it through at
             // demand priority: blocked-row waiters any time, any waiter
             // once the job holds the whole bank. A mid-phase burst train
@@ -1361,9 +1370,6 @@ impl MemoryController {
                     continue;
                 }
                 if !overdue && (self.read_lanes.has_entries(b) || self.write_lanes.has_entries(b)) {
-                    continue;
-                }
-                if self.migration.rate_gate(now) > now {
                     continue;
                 }
             }
@@ -1513,6 +1519,15 @@ impl MemoryController {
             .inflight
             .peek()
             .map_or(u64::MAX, |&Reverse((done, _))| done);
+        // An in-flight read due within CAS + burst of now beats any read
+        // that has yet to issue — no new RD (earliest at `now`) can
+        // complete before `now + read_done`, so the min below would
+        // return `inflight` regardless of the event bound. Skipping the
+        // event evaluation here spares the saturated-loop caller a full
+        // repricing pass per query.
+        if inflight <= self.engine.read_done(self.cycle) {
+            return inflight;
+        }
         let event = self.next_event_cycle();
         let new_read = if event == u64::MAX {
             u64::MAX
@@ -1598,27 +1613,32 @@ impl MemoryController {
     /// marks the wanted banks, then only open banks are visited.
     fn next_timeout_close_cycle(&mut self) -> Option<u64> {
         let timeout_cycles = self.timeout_cycles?;
-        if self.banks.iter().all(|b| b.open_row.is_none()) {
-            return None;
-        }
-        self.wanted_scratch.fill(false);
-        for e in self.read_q.iter().chain(self.write_q.iter()) {
-            let b = e.target.bank;
-            if self.banks[b].open_row == Some(e.decoded.row) {
-                self.wanted_scratch[b] = true;
-            }
-        }
         let mut next: Option<u64> = None;
         for b in 0..self.banks.len() {
-            if self.banks[b].open_row.is_none()
-                || self.wanted_scratch[b]
-                || self.migration.is_mid_phase(b)
+            let Some(row) = self.banks[b].open_row else {
+                continue;
+            };
+            // A bank's close cycle is at least `last_use + timeout`, so
+            // one that cannot beat the running minimum is settled before
+            // the wanted check or the engine query is paid — in a busy
+            // system most open rows were touched recently and fall here.
+            let floor = self.banks[b].last_use_cycle + timeout_cycles;
+            if next.is_some_and(|n| floor >= n) {
+                continue;
+            }
+            if self.migration.is_mid_phase(b) {
+                continue;
+            }
+            // Wanted check via the per-bank lane indexes (always current)
+            // — visiting only the open banks' own entries instead of
+            // scanning both queues in full on every repricing.
+            if self.read_lanes.has_row_entry(&self.read_q, b, row)
+                || self.write_lanes.has_row_entry(&self.write_q, b, row)
             {
                 continue;
             }
             let target = self.bank_target(b, self.banks[b].open_mode);
-            let t = (self.banks[b].last_use_cycle + timeout_cycles)
-                .max(self.engine.earliest(Command::Pre, target));
+            let t = floor.max(self.engine.earliest(Command::Pre, target));
             next = Some(next.map_or(t, |n| n.min(t)));
         }
         next
@@ -1831,12 +1851,9 @@ impl MemoryController {
             if now.saturating_sub(self.banks[b].last_use_cycle) < timeout_cycles {
                 continue;
             }
-            let wanted = self
-                .read_q
-                .iter()
-                .chain(self.write_q.iter())
-                .any(|e| e.target.bank == b && e.decoded.row == row);
-            if wanted {
+            if self.read_lanes.has_row_entry(&self.read_q, b, row)
+                || self.write_lanes.has_row_entry(&self.write_q, b, row)
+            {
                 continue;
             }
             let target = self.bank_target(b, self.banks[b].open_mode);

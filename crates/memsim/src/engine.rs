@@ -124,6 +124,15 @@ impl TimingEngine {
         self.earliest(cmd, target) <= now
     }
 
+    /// The rank-scope component of [`TimingEngine::earliest`] for `cmd`
+    /// on `rank` — a lower bound shared by every bank of the rank
+    /// (tRRD/tFAW shadows, refresh tRFC, write-to-read turnaround). The
+    /// rank-split scheduler uses it to discharge a whole rank's hit
+    /// lanes with one query while the rank is gated.
+    pub fn rank_gate(&self, cmd: Command, rank: usize) -> u64 {
+        self.rank_earliest[rank][cmd.index()]
+    }
+
     /// Records the issue of `cmd` at cycle `now` and updates every affected
     /// earliest-issue register.
     ///

@@ -75,7 +75,7 @@
 //! [`ModeTable`]: clr_core::mode::ModeTable
 //! [`MemorySystem::pump_placement`]: crate::system::MemorySystem::pump_placement
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::BTreeSet;
 
 use clr_core::mode::RowMode;
 
@@ -369,6 +369,95 @@ pub struct PlacementEvent {
     pub dest: u32,
 }
 
+/// Sentinel slot index for [`JobArena`] links.
+const NIL: u32 = u32::MAX;
+
+/// Per-bank migration-job FIFOs backed by one shared slab: jobs live in
+/// a single contiguous `Vec` with intrusive `next` links and per-bank
+/// `head`/`tail` cursors, so steady-state push/pop recycles slots from
+/// the free list instead of reallocating per-bank ring buffers. Queue
+/// order is identical to the `Vec<VecDeque>` it replaces.
+#[derive(Debug)]
+struct JobArena {
+    jobs: Vec<MigrationJob>,
+    /// Next slot in the owning bank's FIFO (`NIL` at the tail).
+    next: Vec<u32>,
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl JobArena {
+    fn new(banks: usize) -> Self {
+        JobArena {
+            jobs: Vec::new(),
+            next: Vec::new(),
+            head: vec![NIL; banks],
+            tail: vec![NIL; banks],
+            free: Vec::new(),
+        }
+    }
+
+    fn banks(&self) -> usize {
+        self.head.len()
+    }
+
+    fn alloc(&mut self, job: MigrationJob) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.jobs[slot as usize] = job;
+            self.next[slot as usize] = NIL;
+            slot
+        } else {
+            self.jobs.push(job);
+            self.next.push(NIL);
+            (self.jobs.len() - 1) as u32
+        }
+    }
+
+    fn push_back(&mut self, bank: usize, job: MigrationJob) {
+        let slot = self.alloc(job);
+        match self.tail[bank] {
+            NIL => self.head[bank] = slot,
+            t => self.next[t as usize] = slot,
+        }
+        self.tail[bank] = slot;
+    }
+
+    fn push_front(&mut self, bank: usize, job: MigrationJob) {
+        let slot = self.alloc(job);
+        self.next[slot as usize] = self.head[bank];
+        self.head[bank] = slot;
+        if self.tail[bank] == NIL {
+            self.tail[bank] = slot;
+        }
+    }
+
+    fn front(&self, bank: usize) -> Option<&MigrationJob> {
+        match self.head[bank] {
+            NIL => None,
+            h => Some(&self.jobs[h as usize]),
+        }
+    }
+
+    fn pop_front(&mut self, bank: usize) -> Option<MigrationJob> {
+        let h = self.head[bank];
+        if h == NIL {
+            return None;
+        }
+        let job = self.jobs[h as usize];
+        self.head[bank] = self.next[h as usize];
+        if self.head[bank] == NIL {
+            self.tail[bank] = NIL;
+        }
+        self.free.push(h);
+        Some(job)
+    }
+
+    fn is_empty(&self, bank: usize) -> bool {
+        self.head[bank] == NIL
+    }
+}
+
 /// Per-bank job queues plus the rate limiter — the bookkeeping half of
 /// background migration (the controller owns all protocol state).
 #[derive(Debug)]
@@ -378,7 +467,7 @@ pub struct MigrationEngine {
     /// burst per column access (matches the relocation cost model's
     /// `bursts_per_row`). Whole-row frame moves transfer twice this.
     bursts_per_phase: u32,
-    queues: Vec<VecDeque<MigrationJob>>,
+    queues: JobArena,
     active: Vec<Option<MigrationJob>>,
     /// For banks serving as the *destination* side of an active two-bank
     /// job: the owning bank.
@@ -434,7 +523,7 @@ impl MigrationEngine {
         MigrationEngine {
             cfg,
             bursts_per_phase: bursts,
-            queues: vec![VecDeque::new(); banks],
+            queues: JobArena::new(banks),
             active: vec![None; banks],
             dest_of: vec![None; banks],
             busy: vec![false; banks],
@@ -483,6 +572,14 @@ impl MigrationEngine {
     /// destination; started, not complete).
     pub fn is_busy(&self, bank: usize) -> bool {
         self.busy[bank]
+    }
+
+    /// Whether bank `b` has any migration work to consider at all — an
+    /// in-flight role (source or destination) or a queued job. O(1), so
+    /// the controller's per-tick scans can skip workless banks before
+    /// paying any eligibility or timing checks.
+    pub fn bank_has_work(&self, bank: usize) -> bool {
+        self.busy[bank] || self.active[bank].is_some() || !self.queues.is_empty(bank)
     }
 
     /// Whether bank `b`'s in-flight role is mid-burst-train (its side's
@@ -753,8 +850,8 @@ impl MigrationEngine {
         // the bank's coupling backlog; couplings keep FIFO order among
         // themselves.
         match job.kind {
-            JobKind::Couple => self.queues[bank].push_back(job),
-            _ => self.queues[bank].push_front(job),
+            JobKind::Couple => self.queues.push_back(bank, job),
+            _ => self.queues.push_front(bank, job),
         }
         self.pending_jobs += 1;
     }
@@ -769,8 +866,8 @@ impl MigrationEngine {
         if self.start_blocked(bank) {
             return false;
         }
-        self.queues[bank]
-            .front()
+        self.queues
+            .front(bank)
             .is_some_and(|j| now.saturating_sub(j.dispatched_at) >= deadline_cycles)
     }
 
@@ -780,7 +877,7 @@ impl MigrationEngine {
         if self.active[bank].is_some() || self.dest_of[bank].is_some() {
             return true;
         }
-        self.queues[bank].front().is_some_and(|j| {
+        self.queues.front(bank).is_some_and(|j| {
             j.cross_dest_bank(bank)
                 .is_some_and(|db| self.active[db].is_some() || self.dest_of[db].is_some())
         })
@@ -804,7 +901,7 @@ impl MigrationEngine {
         if self.start_blocked(bank) {
             return None;
         }
-        self.queues[bank].front().map(Self::start_target)
+        self.queues.front(bank).map(Self::start_target)
     }
 
     /// The cycle from which a queued job on `bank` may start *despite
@@ -818,8 +915,8 @@ impl MigrationEngine {
         if self.start_blocked(bank) {
             return None;
         }
-        self.queues[bank]
-            .front()
+        self.queues
+            .front(bank)
             .map(|j| j.dispatched_at.saturating_add(deadline_cycles))
     }
 
@@ -1394,11 +1491,11 @@ impl MigrationEngine {
     /// Banks that currently have migration work (an in-flight role or a
     /// non-empty queue), visited from the round-robin pointer.
     pub fn banks_with_work(&self) -> impl Iterator<Item = usize> + '_ {
-        let n = self.queues.len();
+        let n = self.queues.banks();
         (0..n)
             .map(move |i| (self.rr_next + i) % n)
             .filter(move |&b| {
-                self.active[b].is_some() || self.dest_of[b].is_some() || !self.queues[b].is_empty()
+                self.active[b].is_some() || self.dest_of[b].is_some() || !self.queues.is_empty(b)
             })
     }
 
@@ -1428,8 +1525,9 @@ impl MigrationEngine {
             }
             self.issued_in_window += 1;
         }
-        let job = self.queues[bank]
-            .pop_front()
+        let job = self
+            .queues
+            .pop_front(bank)
             .expect("start requires a queued job");
         self.busy[bank] = true;
         match job.kind {
@@ -1452,7 +1550,7 @@ impl MigrationEngine {
     }
 
     fn bump(&mut self, bank: usize) {
-        self.rr_next = (bank + 1) % self.queues.len().max(1);
+        self.rr_next = (bank + 1) % self.queues.banks().max(1);
     }
 }
 

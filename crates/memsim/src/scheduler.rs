@@ -253,12 +253,29 @@ pub fn pick_with_bound(
     )
 }
 
-/// The shared scheduling passes over a set of built lanes. `bank_list` is
-/// the banks with queued work; banks flagged in `blocked` (demand service
-/// suspended — e.g. an in-flight background migration owns the row
-/// buffer) are skipped entirely, in both the decision and the bound.
+/// Per-command-class gating of pass 1's ready-hit scan: a rank whose
+/// rank-scope earliest (tFAW/tRRD shadow, tRFC, turnaround) is in the
+/// future cannot issue that column class *anywhere* in the rank, so the
+/// rank-split cached path discharges all its hit lanes with one
+/// [`TimingEngine::rank_gate`] query per class.
+#[derive(Debug, Clone, Copy)]
+struct HitGate {
+    rd: bool,
+    wr: bool,
+}
+
+impl HitGate {
+    const OPEN: HitGate = HitGate {
+        rd: false,
+        wr: false,
+    };
+}
+
+/// Pass 1 over one bank list: ready row hits, oldest first, unless
+/// capped. Folds the best candidate into `best` (shared across rank
+/// lists by the rank-split path).
 #[allow(clippy::too_many_arguments)]
-fn pick_from_lanes(
+fn pass_hits(
     entries: &[QueueEntry],
     banks: &[BankState],
     engine: &TimingEngine,
@@ -267,10 +284,11 @@ fn pick_from_lanes(
     now: u64,
     lanes: &[Lane],
     bank_list: &[usize],
+    gate: HitGate,
     blocked: &[bool],
     read_ok_rows: &[u32],
-) -> (Option<Decision>, u64) {
-    let mut bound = u64::MAX;
+    best: &mut Option<(u64, usize, Command)>,
+) {
     let is_blocked = |b: usize| blocked.get(b).copied().unwrap_or(false);
     // A blocked bank whose open row is read-servable (a migration
     // read-out in progress) still serves *read hits* to that row; all
@@ -280,17 +298,17 @@ fn pick_from_lanes(
             .open_row
             .is_some_and(|r| read_ok_rows.get(b).copied() == Some(r))
     };
-
-    // Pass 1: ready row hits, oldest first, unless capped.
-    let mut best: Option<(u64, usize, Command)> = None;
     for &b in bank_list {
         let gated = is_blocked(b);
         if gated && !read_hits_only(b) {
             continue;
         }
         let lane = &lanes[b];
-        for (cand, cmd) in [(lane.hit_rd, Command::Rd), (lane.hit_wr, Command::Wr)] {
-            if gated && cmd != Command::Rd {
+        for (cand, cmd, class_gated) in [
+            (lane.hit_rd, Command::Rd, gate.rd),
+            (lane.hit_wr, Command::Wr, gate.wr),
+        ] {
+            if class_gated || (gated && cmd != Command::Rd) {
                 continue;
             }
             let Some((arrival, i)) = cand else { continue };
@@ -304,24 +322,37 @@ fn pick_from_lanes(
             if engine.can_issue(cmd, e.target, now)
                 && best.is_none_or(|(a, j, _)| (arrival, i) < (a, j))
             {
-                best = Some((arrival, i, cmd));
+                *best = Some((arrival, i, cmd));
             }
         }
     }
-    if let Some((_, i, command)) = best {
-        return (
-            Some(Decision {
-                queue_index: i,
-                command,
-            }),
-            bound,
-        );
-    }
+}
 
-    // Pass 2: oldest-first over every request; issue whatever step of its
-    // service (PRE → ACT → column) is ready. All entries of a lane share
-    // readiness, so the lane's oldest entry stands for the whole lane.
-    let mut best: Option<(u64, usize, Command)> = None;
+/// Pass 2 over one bank list: oldest-first over every request; issue
+/// whatever step of its service (PRE → ACT → column) is ready. All
+/// entries of a lane share readiness, so the lane's oldest entry stands
+/// for the whole lane. Also folds every candidate's earliest issue cycle
+/// into `bound` (the queue's next-event contribution — never pruned, so
+/// the skip-ahead bound stays exact).
+#[allow(clippy::too_many_arguments)]
+fn pass_oldest(
+    entries: &[QueueEntry],
+    banks: &[BankState],
+    engine: &TimingEngine,
+    now: u64,
+    lanes: &[Lane],
+    bank_list: &[usize],
+    blocked: &[bool],
+    read_ok_rows: &[u32],
+    best: &mut Option<(u64, usize, Command)>,
+    bound: &mut u64,
+) {
+    let is_blocked = |b: usize| blocked.get(b).copied().unwrap_or(false);
+    let read_hits_only = |b: usize| {
+        banks[b]
+            .open_row
+            .is_some_and(|r| read_ok_rows.get(b).copied() == Some(r))
+    };
     for &b in bank_list {
         let gated = is_blocked(b);
         if gated && !read_hits_only(b) {
@@ -356,11 +387,149 @@ fn pick_from_lanes(
                 entries[i].target
             };
             let ready = engine.earliest(cmd, target);
-            bound = bound.min(ready);
+            *bound = (*bound).min(ready);
             if ready <= now && best.is_none_or(|(a, j, _)| (arrival, i) < (a, j)) {
-                best = Some((arrival, i, cmd));
+                *best = Some((arrival, i, cmd));
             }
         }
+    }
+}
+
+/// The shared scheduling passes over a set of built lanes. `bank_list` is
+/// the banks with queued work; banks flagged in `blocked` (demand service
+/// suspended — e.g. an in-flight background migration owns the row
+/// buffer) are skipped entirely, in both the decision and the bound.
+#[allow(clippy::too_many_arguments)]
+fn pick_from_lanes(
+    entries: &[QueueEntry],
+    banks: &[BankState],
+    engine: &TimingEngine,
+    hit_streak: &[u32],
+    cap: u32,
+    now: u64,
+    lanes: &[Lane],
+    bank_list: &[usize],
+    blocked: &[bool],
+    read_ok_rows: &[u32],
+) -> (Option<Decision>, u64) {
+    let mut best: Option<(u64, usize, Command)> = None;
+    pass_hits(
+        entries,
+        banks,
+        engine,
+        hit_streak,
+        cap,
+        now,
+        lanes,
+        bank_list,
+        HitGate::OPEN,
+        blocked,
+        read_ok_rows,
+        &mut best,
+    );
+    if let Some((_, i, command)) = best {
+        return (
+            Some(Decision {
+                queue_index: i,
+                command,
+            }),
+            u64::MAX,
+        );
+    }
+    let mut best = None;
+    let mut bound = u64::MAX;
+    pass_oldest(
+        entries,
+        banks,
+        engine,
+        now,
+        lanes,
+        bank_list,
+        blocked,
+        read_ok_rows,
+        &mut best,
+        &mut bound,
+    );
+    (
+        best.map(|(_, i, command)| Decision {
+            queue_index: i,
+            command,
+        }),
+        bound,
+    )
+}
+
+/// [`pick_from_lanes`] over rank-split bank lists (one list per rank):
+/// pass 1 consults the per-rank column gates once and skips every hit
+/// lane of a rank that cannot issue that class now — one query
+/// discharging the whole rank during tFAW shadows, refresh tRFC blocks,
+/// and write-to-read turnarounds. Decision-identical to the flat pass
+/// (the gate only removes candidates whose `can_issue` is false), which
+/// the lane-cache fuzz test enforces.
+#[allow(clippy::too_many_arguments)]
+fn pick_from_ranked_lanes(
+    entries: &[QueueEntry],
+    banks: &[BankState],
+    engine: &TimingEngine,
+    hit_streak: &[u32],
+    cap: u32,
+    now: u64,
+    lanes: &[Lane],
+    rank_lists: &[Vec<usize>],
+    blocked: &[bool],
+    read_ok_rows: &[u32],
+) -> (Option<Decision>, u64) {
+    let mut best: Option<(u64, usize, Command)> = None;
+    for (r, list) in rank_lists.iter().enumerate() {
+        if list.is_empty() {
+            continue;
+        }
+        let gate = HitGate {
+            rd: engine.rank_gate(Command::Rd, r) > now,
+            wr: engine.rank_gate(Command::Wr, r) > now,
+        };
+        if gate.rd && gate.wr {
+            continue;
+        }
+        pass_hits(
+            entries,
+            banks,
+            engine,
+            hit_streak,
+            cap,
+            now,
+            lanes,
+            list,
+            gate,
+            blocked,
+            read_ok_rows,
+            &mut best,
+        );
+    }
+    if let Some((_, i, command)) = best {
+        return (
+            Some(Decision {
+                queue_index: i,
+                command,
+            }),
+            u64::MAX,
+        );
+    }
+    let mut best = None;
+    let mut bound = u64::MAX;
+    for list in rank_lists {
+        pass_oldest(
+            entries,
+            banks,
+            engine,
+            now,
+            lanes,
+            list,
+            blocked,
+            read_ok_rows,
+            &mut best,
+            &mut bound,
+        );
     }
     (
         best.map(|(_, i, command)| Decision {
@@ -480,22 +649,31 @@ pub struct LaneCache {
     lanes: Vec<Lane>,
     /// Queue indices per bank, unordered.
     by_bank: Vec<Vec<u32>>,
-    /// Banks with at least one queued entry, unordered.
-    occupied: Vec<usize>,
-    /// Position of each bank in `occupied` (`u32::MAX` when absent).
+    /// Occupied banks, split by rank (`occupied[rank]` = that rank's
+    /// banks with queued work, unordered within the rank) — the
+    /// rank-split lanes the gated scheduling passes iterate.
+    occupied: Vec<Vec<usize>>,
+    /// Position of each bank within its rank's `occupied` list
+    /// (`u32::MAX` when absent).
     occupied_pos: Vec<u32>,
+    /// Banks per rank (for the flat-bank → rank split).
+    banks_per_rank: usize,
     dirty: Vec<bool>,
     dirty_list: Vec<u32>,
 }
 
 impl LaneCache {
-    /// An empty cache for `banks` banks.
-    pub fn new(banks: usize) -> Self {
+    /// An empty cache for `banks` banks split into ranks of
+    /// `banks_per_rank` (flat bank layout is rank-major, matching the
+    /// controller's target decomposition).
+    pub fn new(banks: usize, banks_per_rank: usize) -> Self {
+        let bpr = banks_per_rank.max(1);
         LaneCache {
             lanes: vec![Lane::fresh(0); banks],
             by_bank: vec![Vec::new(); banks],
-            occupied: Vec::new(),
+            occupied: vec![Vec::new(); banks.div_ceil(bpr).max(1)],
             occupied_pos: vec![u32::MAX; banks],
+            banks_per_rank: bpr,
             dirty: vec![false; banks],
             dirty_list: Vec::new(),
         }
@@ -547,8 +725,9 @@ impl LaneCache {
         let b = e.target.bank;
         self.by_bank[b].push(i as u32);
         if self.occupied_pos[b] == u32::MAX {
-            self.occupied_pos[b] = self.occupied.len() as u32;
-            self.occupied.push(b);
+            let list = &mut self.occupied[b / self.banks_per_rank];
+            self.occupied_pos[b] = list.len() as u32;
+            list.push(b);
             self.lanes[b] = Lane::fresh(0);
         } else if self.dirty[b] {
             return;
@@ -574,8 +753,9 @@ impl LaneCache {
         list.swap_remove(pos);
         if list.is_empty() {
             let p = self.occupied_pos[b] as usize;
-            let moved = *self.occupied.last().expect("occupied is nonempty");
-            self.occupied.swap_remove(p);
+            let rank_list = &mut self.occupied[b / self.banks_per_rank];
+            let moved = *rank_list.last().expect("rank list is nonempty");
+            rank_list.swap_remove(p);
             if moved != b {
                 self.occupied_pos[moved] = p as u32;
             }
@@ -626,9 +806,11 @@ impl LaneCache {
 }
 
 /// [`pick_with_bound`] over an incrementally maintained [`LaneCache`]:
-/// only banks dirtied since the last pass are re-aggregated. Banks
-/// flagged in `blocked` are skipped (their entries neither issue nor
-/// contribute to the bound — unblocking is itself a scheduling event).
+/// only banks dirtied since the last pass are re-aggregated, and the
+/// rank-split occupied lists let pass 1 discharge whole ranks through
+/// their column gates. Banks flagged in `blocked` are skipped (their
+/// entries neither issue nor contribute to the bound — unblocking is
+/// itself a scheduling event).
 #[allow(clippy::too_many_arguments)]
 pub fn pick_cached(
     entries: &[QueueEntry],
@@ -646,7 +828,7 @@ pub fn pick_cached(
         return (None, u64::MAX);
     }
     cache.rebuild_dirty(entries, banks, blocked_rows, read_ok_rows);
-    pick_from_lanes(
+    pick_from_ranked_lanes(
         entries,
         banks,
         engine,
@@ -661,7 +843,9 @@ pub fn pick_cached(
 }
 
 /// [`next_ready_cycle`] over a [`LaneCache`], skipping blocked banks and
-/// blocked rows.
+/// blocked rows. The readiness bound is a min over every candidate, so
+/// the rank lists are walked in full (no gate pruning — the bound must
+/// stay exact for the skip-ahead engine).
 pub fn next_ready_cached(
     entries: &[QueueEntry],
     banks: &[BankState],
@@ -675,15 +859,21 @@ pub fn next_ready_cached(
         return None;
     }
     cache.rebuild_dirty(entries, banks, blocked_rows, read_ok_rows);
-    ready_from_lanes(
-        entries,
-        banks,
-        engine,
-        &cache.lanes,
-        &cache.occupied,
-        blocked,
-        read_ok_rows,
-    )
+    let mut next: Option<u64> = None;
+    for list in &cache.occupied {
+        if let Some(t) = ready_from_lanes(
+            entries,
+            banks,
+            engine,
+            &cache.lanes,
+            list,
+            blocked,
+            read_ok_rows,
+        ) {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+    }
+    next
 }
 
 /// The column command for a request.
@@ -953,7 +1143,7 @@ mod tests {
                 }
             }
             let mut entries: Vec<QueueEntry> = Vec::new();
-            let mut cache = LaneCache::new(4);
+            let mut cache = LaneCache::new(4, 4);
             let mut blocked = vec![false; 4];
             let mut blocked_rows = vec![u32::MAX; 4];
             let mut read_ok_rows = vec![u32::MAX; 4];
@@ -1081,6 +1271,125 @@ mod tests {
                     let public = pick_with_bound(&entries, &banks, &e, &streaks, cap, now, &mut s);
                     assert_eq!(got, public, "round {round} op {op}: public path diverges");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_split_matches_flat_passes_on_two_ranks() {
+        // An 8-bank, 2-rank engine: the rank-split cached pick (with its
+        // per-rank column-gate skip) must stay decision- and
+        // bound-identical to the flat, ungated passes under fuzzed
+        // queues, bank states, and rank-gating engine histories
+        // (ACT bursts filling one rank's tFAW window, refreshes).
+        let t = ClrTimings::from_circuit_defaults();
+        let i = InterfaceTimings::ddr4_2400();
+        let ct = CycleTimings::baseline(&t, &i);
+        let mk8 = |id: u64, bank: usize, row: u32, kind: RequestKind, arrival: u64| {
+            let decoded = DramAddr {
+                bank: (bank % 2) as u32,
+                bank_group: ((bank / 2) % 2) as u32,
+                rank: (bank / 4) as u32,
+                row,
+                ..DramAddr::default()
+            };
+            entry(
+                MemRequest::new(id, PhysAddr(0), kind, arrival),
+                decoded,
+                Target {
+                    bank,
+                    bank_group: bank / 2,
+                    rank: bank / 4,
+                    channel: 0,
+                    mode: RowMode::MaxCapacity,
+                },
+            )
+        };
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..80 {
+            let mut e = TimingEngine::new(ct.clone(), 8, 4, 2, 1, |b| (b / 2, b / 4));
+            let mut banks = vec![BankState::new(); 8];
+            // Saturate one rank's ACT window so its gate sits in the
+            // future while the other rank stays issuable.
+            let hot_rank = (rng() % 2) as usize;
+            for k in 0..4 {
+                let b = hot_rank * 4 + k;
+                let tgt = Target {
+                    bank: b,
+                    bank_group: b / 2,
+                    rank: hot_rank,
+                    channel: 0,
+                    mode: RowMode::MaxCapacity,
+                };
+                let at = e.earliest(Command::Act, tgt);
+                e.issue(Command::Act, tgt, at);
+                banks[b].activate((rng() % 4) as u32, RowMode::MaxCapacity, at);
+            }
+            let mut entries: Vec<QueueEntry> = Vec::new();
+            let mut cache = LaneCache::new(8, 4);
+            let blocked = vec![false; 8];
+            let blocked_rows = vec![u32::MAX; 8];
+            let read_ok_rows = vec![u32::MAX; 8];
+            for op in 0..40 {
+                if rng() % 4 < 3 || entries.is_empty() {
+                    let kind = if rng() % 4 == 0 {
+                        RequestKind::Write
+                    } else {
+                        RequestKind::Read
+                    };
+                    entries.push(mk8(
+                        op as u64,
+                        (rng() % 8) as usize,
+                        (rng() % 4) as u32,
+                        kind,
+                        rng() % 8,
+                    ));
+                    cache.on_push(&entries, &banks, &blocked_rows, &read_ok_rows);
+                } else {
+                    let idx = (rng() % entries.len() as u64) as usize;
+                    cache.before_swap_remove(&entries, idx);
+                    entries.swap_remove(idx);
+                }
+                let streaks: Vec<u32> = (0..8).map(|_| (rng() % 6) as u32).collect();
+                let cap = 1 + (rng() % 4) as u32;
+                let now = (rng() % 96).max(20);
+                let got = pick_cached(
+                    &entries,
+                    &banks,
+                    &e,
+                    &streaks,
+                    cap,
+                    now,
+                    &mut cache,
+                    &blocked,
+                    &blocked_rows,
+                    &read_ok_rows,
+                );
+                let want = if entries.is_empty() {
+                    (None, u64::MAX)
+                } else {
+                    let mut s = SchedScratch::default();
+                    analyze(&entries, &banks, &mut s, &blocked_rows, &read_ok_rows);
+                    pick_from_lanes(
+                        &entries,
+                        &banks,
+                        &e,
+                        &streaks,
+                        cap,
+                        now,
+                        &s.lanes,
+                        &s.touched,
+                        &blocked,
+                        &read_ok_rows,
+                    )
+                };
+                assert_eq!(got, want, "round {round} op {op}: rank split diverges");
             }
         }
     }

@@ -45,6 +45,14 @@ use crate::migrate::{JobKind, PlacementEvent};
 use crate::request::{Completion, MemRequest};
 use crate::stats::MemStats;
 
+/// Minimum `tick_until` window (in DRAM cycles) worth fanning out to
+/// worker threads. Spawning a scoped worker costs tens of µs; even a
+/// fully event-dense window walks at well under a µs per cycle, so a
+/// window needs thousands of cycles before splitting it beats walking
+/// it serially. Short windows run serially — an invisible cutover,
+/// since the serial and threaded walks are bit-identical.
+const PARALLEL_MIN_WINDOW: u64 = 4096;
+
 /// Identity of one DRAM row in the sharded system: channel, channel-local
 /// flat bank, row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -158,6 +166,24 @@ pub struct MemorySystem {
     addr_mask: u64,
     /// Per-channel completion scratch for the `tick_until` merge.
     scratch: Vec<Vec<Completion>>,
+    /// Per-channel cursors for the k-way completion merge (reused across
+    /// calls so the merge allocates nothing).
+    merge_idx: Vec<usize>,
+    /// Worker threads for the `tick_until` channel walk (1 = serial).
+    /// Parallelism is a host-speed knob only: the threaded walk is
+    /// bit-identical to the serial one (see [`MemorySystem::tick_until`]).
+    threads: usize,
+    /// Minimum walk window (DRAM cycles) that fans out to workers;
+    /// defaults to [`PARALLEL_MIN_WINDOW`]. A tuning knob: tests drop it
+    /// to force the threaded path onto every window, and hosts with
+    /// cheaper or pricier thread spawns can move the break-even point.
+    parallel_cutover: u64,
+    /// Host nanoseconds spent walking channels inside `tick_until`
+    /// (serial loop or thread-scope span) — the bench's per-phase
+    /// breakdown numerator.
+    walk_ns: u64,
+    /// Host nanoseconds spent merging per-channel completion streams.
+    merge_ns: u64,
     /// One channel's slice of the geometry (identical for every
     /// channel), cached for the remap decode on the request path.
     slice: DramGeometry,
@@ -205,6 +231,11 @@ impl MemorySystem {
             addr_mask: config.geometry.capacity_bytes() - 1,
             channels,
             scratch: vec![Vec::new(); n],
+            merge_idx: vec![0; n],
+            threads: 1,
+            parallel_cutover: PARALLEL_MIN_WINDOW,
+            walk_ns: 0,
+            merge_ns: 0,
             slice: config.geometry.channel_slice(),
             remap: RemapTable::new(),
             moves: HashMap::new(),
@@ -560,27 +591,92 @@ impl MemorySystem {
         }
     }
 
+    /// Sets the worker-thread count for [`MemorySystem::tick_until`]'s
+    /// channel walk (clamped to ≥ 1; 1 = today's serial path). Purely a
+    /// host-speed knob: thread count never changes a simulated outcome.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Overrides the minimum window fanned out to worker threads
+    /// (default [`PARALLEL_MIN_WINDOW`]). Purely a host-speed knob —
+    /// the cutover is invisible in every simulated outcome — but
+    /// differential tests drop it to `1` so the scoped-worker path runs
+    /// on every window instead of only the long ones.
+    pub fn set_parallel_cutover(&mut self, window: u64) {
+        self.parallel_cutover = window.max(1);
+    }
+
+    /// Host time spent inside [`MemorySystem::tick_until`] as
+    /// `(walk_seconds, merge_seconds)`: per-channel walking (serial loop
+    /// or thread-scope span) vs the deterministic completion merge — the
+    /// per-phase breakdown `sim_throughput` v2 reports.
+    pub fn host_phase_seconds(&self) -> (f64, f64) {
+        (self.walk_ns as f64 / 1e9, self.merge_ns as f64 / 1e9)
+    }
+
     /// Advances every channel to DRAM cycle `target`, jumping dead
     /// windows per channel and merging completions back into the
     /// per-cycle delivery order (`finish_cycle`, then channel index).
     /// Bit-identical to calling [`MemorySystem::tick`] in a loop.
+    ///
+    /// With [`MemorySystem::set_threads`] > 1, channels walk on scoped
+    /// worker threads — sound because channels share no mutable state
+    /// (each controller owns its mode table, refresh streams, migration
+    /// engine, scheduler lanes, trace sink, and skip profile, all handed
+    /// to the worker via a disjoint `&mut` chunk), and bit-identical
+    /// because the deterministic `(finish_cycle, channel)` merge erases
+    /// completion arrival order. Short windows stay serial: spawn
+    /// overhead would dominate a walk of a few cycles, and the serial
+    /// and threaded walks agree exactly, so the cutover is invisible.
     pub fn tick_until(&mut self, target: u64, completions: &mut Vec<Completion>) {
         if self.channels.len() == 1 {
+            let t0 = std::time::Instant::now();
             self.channels[0].tick_until(target, completions);
+            self.walk_ns += t0.elapsed().as_nanos() as u64;
             return;
         }
-        for (ch, out) in self.channels.iter_mut().zip(&mut self.scratch) {
-            out.clear();
-            ch.tick_until(target, out);
+        let window = target.saturating_sub(self.cycle());
+        let workers = self.threads.min(self.channels.len());
+        let t0 = std::time::Instant::now();
+        if workers > 1 && window >= self.parallel_cutover {
+            let chunk = self.channels.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                for (chs, outs) in self
+                    .channels
+                    .chunks_mut(chunk)
+                    .zip(self.scratch.chunks_mut(chunk))
+                {
+                    s.spawn(move || {
+                        for (ch, out) in chs.iter_mut().zip(outs.iter_mut()) {
+                            out.clear();
+                            ch.tick_until(target, out);
+                        }
+                    });
+                }
+            });
+        } else {
+            for (ch, out) in self.channels.iter_mut().zip(&mut self.scratch) {
+                out.clear();
+                ch.tick_until(target, out);
+            }
         }
+        let t1 = std::time::Instant::now();
+        self.walk_ns += (t1 - t0).as_nanos() as u64;
         // K-way merge on (finish_cycle, channel): each channel's stream
         // is already nondecreasing in finish_cycle, and the per-cycle
         // reference delivers equal-cycle completions in channel order.
-        let n = self.scratch.len();
-        let mut idx = vec![0usize; n];
+        let scratch = &self.scratch;
+        let idx = &mut self.merge_idx;
+        idx.iter_mut().for_each(|i| *i = 0);
         loop {
             let mut best: Option<(u64, usize)> = None;
-            for (c, (done, i)) in self.scratch.iter().zip(&idx).enumerate() {
+            for (c, (done, i)) in scratch.iter().zip(idx.iter()).enumerate() {
                 if let Some(comp) = done.get(*i) {
                     if best.is_none_or(|b| (comp.finish_cycle, c) < b) {
                         best = Some((comp.finish_cycle, c));
@@ -588,9 +684,10 @@ impl MemorySystem {
                 }
             }
             let Some((_, c)) = best else { break };
-            completions.push(self.scratch[c][idx[c]]);
+            completions.push(scratch[c][idx[c]]);
             idx[c] += 1;
         }
+        self.merge_ns += t1.elapsed().as_nanos() as u64;
     }
 
     /// The earliest cycle at which *any* channel has an event — the fused
@@ -618,9 +715,21 @@ impl MemorySystem {
     }
 
     /// Counter-wise sum of every channel's statistics (see
-    /// [`MemStats::merge`] for the rate semantics).
+    /// [`MemStats::merge`] for the rate semantics). Allocates a fresh
+    /// block (three histogram buffers); hot loops reporting per epoch
+    /// should reuse an accumulator via [`MemorySystem::fused_stats_into`].
     pub fn fused_stats(&self) -> MemStats {
         MemStats::fused(self.channels.iter().map(|c| c.stats()))
+    }
+
+    /// [`MemorySystem::fused_stats`] into a caller-owned accumulator:
+    /// `out` is reset in place (histogram buffers kept) and refilled, so
+    /// per-epoch reporting allocates nothing after the first call.
+    pub fn fused_stats_into(&self, out: &mut MemStats) {
+        out.reset();
+        for ch in &self.channels {
+            out.merge(ch.stats());
+        }
     }
 
     /// One channel's statistics.
@@ -717,10 +826,18 @@ impl MemorySystem {
     /// legitimately differ between per-cycle and skip-ahead walks.
     pub fn fused_skip_profile(&self) -> SkipProfile {
         let mut fused = SkipProfile::default();
-        for ch in &self.channels {
-            fused.merge(ch.skip_profile());
-        }
+        self.fused_skip_profile_into(&mut fused);
         fused
+    }
+
+    /// [`MemorySystem::fused_skip_profile`] into a caller-owned
+    /// accumulator (reset in place, jump-histogram buffer kept) — the
+    /// allocation-free form for per-epoch reporting.
+    pub fn fused_skip_profile_into(&self, out: &mut SkipProfile) {
+        out.clear();
+        for ch in &self.channels {
+            out.merge(ch.skip_profile());
+        }
     }
 
     /// One channel's recorded command log, if enabled.
@@ -830,6 +947,80 @@ mod tests {
         jumped.tick_until(25_000, &mut done_b);
         assert_eq!(done_a, done_b);
         assert_eq!(per_cycle.fused_stats(), jumped.fused_stats());
+    }
+
+    #[test]
+    fn threaded_walk_is_bit_identical_to_serial() {
+        use crate::migrate::RelocationConfig;
+        let run = |threads: usize| {
+            let mut cfg = two_channel_cfg();
+            cfg.geometry.channels = 4;
+            cfg.relocation = RelocationConfig::background();
+            let mut sys = MemorySystem::new(cfg);
+            sys.set_threads(threads);
+            // Fan out every window, not just cutover-sized ones.
+            sys.set_parallel_cutover(1);
+            sys.enable_command_log();
+            for req in line_requests(64, 64) {
+                sys.try_enqueue(req).unwrap();
+            }
+            sys.schedule_row_export(0, 0, 5, 1);
+            let mut done = Vec::new();
+            sys.tick_until(20_000, &mut done);
+            sys.pump_placement();
+            sys.tick_until(40_000, &mut done);
+            sys.pump_placement();
+            let logs: Vec<_> = (0..4)
+                .map(|c| sys.command_log(c).unwrap().to_vec())
+                .collect();
+            (
+                logs,
+                done,
+                sys.fused_stats(),
+                sys.fused_skip_profile(),
+                sys.remap_table().installs(),
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            let threaded = run(threads);
+            assert_eq!(
+                serial.0, threaded.0,
+                "command logs diverge at threads={threads}"
+            );
+            assert_eq!(
+                serial.1, threaded.1,
+                "completions diverge at threads={threads}"
+            );
+            assert_eq!(
+                serial.2, threaded.2,
+                "statistics diverge at threads={threads}"
+            );
+            assert_eq!(
+                serial.3, threaded.3,
+                "skip profiles diverge at threads={threads}"
+            );
+            assert_eq!(serial.4, threaded.4);
+        }
+    }
+
+    #[test]
+    fn fused_accumulator_apis_match_the_allocating_forms() {
+        let mut sys = MemorySystem::new(two_channel_cfg());
+        for req in line_requests(24, 64) {
+            sys.try_enqueue(req).unwrap();
+        }
+        let mut done = Vec::new();
+        sys.tick_until(15_000, &mut done);
+        let mut stats = MemStats::new();
+        let mut profile = SkipProfile::default();
+        // Pre-dirty the accumulators: `_into` must reset, not merge.
+        stats.reads = 999;
+        profile.record_jump(5, clr_obs::EventSource::Refresh);
+        sys.fused_stats_into(&mut stats);
+        sys.fused_skip_profile_into(&mut profile);
+        assert_eq!(stats, sys.fused_stats());
+        assert_eq!(profile, sys.fused_skip_profile());
     }
 
     #[test]

@@ -98,6 +98,15 @@ impl LatencyHistogram {
         self.sum += v * n;
     }
 
+    /// Empties the histogram in place, keeping the bucket allocation so
+    /// a reused accumulator (e.g. a fused per-channel scratch) records
+    /// again without reallocating.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0;
+    }
+
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.count

@@ -327,6 +327,7 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
         // bisecting a suspected divergence without a rebuild.
         skip_ahead: std::env::var("CLR_FORCE_PER_CYCLE").is_err(),
         trace: None,
+        threads: crate::system::threads_from_env(),
     };
     let cfg = PolicyRunConfig::new(
         base,

@@ -109,6 +109,11 @@ pub struct PolicyRunResult {
     /// rebalancer over the run (0 outside
     /// [`DestinationPicker::CrossChannel`]).
     pub rows_remapped: u64,
+    /// Host wall-clock seconds spent inside epoch-boundary policy work
+    /// (telemetry drain, decision pass, batch dispatch, rebalancing) —
+    /// the "policy" slice of the run's host-time breakdown, next to
+    /// [`RunResult::host_walk_s`] and [`RunResult::host_merge_s`].
+    pub host_policy_s: f64,
 }
 
 impl PolicyRunResult {
@@ -161,6 +166,10 @@ struct EpochDriver {
     changes_scratch: Vec<(usize, u32, RowMode)>,
     completed_scratch: Vec<(u32, u32, RowMode)>,
     dispatched_scratch: Vec<(u32, u32)>,
+    /// Host nanoseconds spent in epoch-boundary work (the per-tick
+    /// early-out is excluded; boundaries are rare, so the two `Instant`
+    /// reads per epoch are noise).
+    policy_ns: u64,
 }
 
 impl RunObserver for EpochDriver {
@@ -182,6 +191,7 @@ impl RunObserver for EpochDriver {
         if now < self.next_epoch {
             return;
         }
+        let epoch_start = std::time::Instant::now();
         let channels = self.runtimes.len();
         let epoch_len = now - self.last_epoch_cycle;
 
@@ -351,6 +361,7 @@ impl RunObserver for EpochDriver {
 
         self.last_epoch_cycle = now;
         self.next_epoch = now + self.epoch_dram_cycles;
+        self.policy_ns += epoch_start.elapsed().as_nanos() as u64;
     }
 
     /// Epoch boundaries must fire at exact cycles even under skip-ahead:
@@ -407,6 +418,7 @@ pub fn run_policy_workloads(workloads: &[Workload], cfg: &PolicyRunConfig) -> Po
         changes_scratch: Vec::new(),
         completed_scratch: Vec::new(),
         dispatched_scratch: Vec::new(),
+        policy_ns: 0,
     };
     let run = run_workloads_observed(workloads, &cfg.base, &mut driver);
     let policy = driver.runtimes[0].policy_name();
@@ -423,6 +435,7 @@ pub fn run_policy_workloads(workloads: &[Workload], cfg: &PolicyRunConfig) -> Po
         final_hp_fraction: driver.final_hp_fraction,
         final_channel_budgets: driver.channel_budgets,
         rows_remapped: driver.remap_installs,
+        host_policy_s: driver.policy_ns as f64 / 1e9,
     }
 }
 
@@ -443,6 +456,7 @@ mod tests {
             seed: 11,
             skip_ahead: true,
             trace: None,
+            threads: 1,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -492,6 +506,7 @@ mod tests {
             seed: 11,
             skip_ahead: true,
             trace: None,
+            threads: 1,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -540,6 +555,7 @@ mod tests {
             seed: 11,
             skip_ahead: true,
             trace: None,
+            threads: 1,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -592,6 +608,7 @@ mod tests {
             seed: 11,
             skip_ahead: true,
             trace: None,
+            threads: 1,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,

@@ -70,11 +70,19 @@ pub struct RunConfig {
     /// [`clr_obs::trace`](clr_obs::TraceConfig) for the category filter
     /// syntax.
     pub trace: Option<TraceConfig>,
+    /// Worker threads for the memory-side channel walk (1 = serial, the
+    /// default). Channels are partitioned across workers between epoch
+    /// barriers and their completion streams merged on
+    /// `(finish_cycle, channel)`, so any value is bit-identical to
+    /// serial. [`RunConfig::paper`] resolves this from the
+    /// `CLR_THREADS` environment variable.
+    pub threads: usize,
 }
 
 impl RunConfig {
     /// Paper-configured system at the given scale knobs. Tracing follows
-    /// the `CLR_TRACE` environment variable.
+    /// the `CLR_TRACE` environment variable; worker threads follow
+    /// `CLR_THREADS`.
     pub fn paper(mem: MemConfig, budget_insts: u64, warmup_insts: u64, seed: u64) -> Self {
         RunConfig {
             mem,
@@ -84,8 +92,19 @@ impl RunConfig {
             seed,
             skip_ahead: true,
             trace: TraceConfig::from_env(),
+            threads: threads_from_env(),
         }
     }
+}
+
+/// Worker-thread count from the `CLR_THREADS` environment variable
+/// (default 1 = serial; invalid or zero values fall back to 1).
+pub fn threads_from_env() -> usize {
+    std::env::var("CLR_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
 }
 
 /// Results of one run (measurement window only; warmup excluded).
@@ -117,6 +136,12 @@ pub struct RunResult {
     /// (excluding trace profiling and placement construction) — the
     /// denominator for simulator-throughput reporting.
     pub host_loop_s: f64,
+    /// Host seconds spent inside the memory-side channel walk (serial or
+    /// threaded), a subset of [`RunResult::host_loop_s`].
+    pub host_walk_s: f64,
+    /// Host seconds spent merging per-channel completion streams, a
+    /// subset of [`RunResult::host_loop_s`].
+    pub host_merge_s: f64,
     /// The merged event trace (whole run, warmup included), present only
     /// when [`RunConfig::trace`] enabled tracing.
     pub trace: Option<TraceLog>,
@@ -228,6 +253,7 @@ pub(crate) fn run_workloads_observed(
 
     let mut cluster = CpuCluster::new(cfg.cluster, traces);
     let mut mem_sys = MemorySystem::new(cfg.mem.clone());
+    mem_sys.set_threads(cfg.threads);
     if let Some(tc) = &cfg.trace {
         mem_sys.enable_tracing(tc);
     }
@@ -389,6 +415,7 @@ pub(crate) fn run_workloads_observed(
         .collect();
 
     let trace = mem_sys.tracing_enabled().then(|| mem_sys.collect_trace());
+    let (host_walk_s, host_merge_s) = mem_sys.host_phase_seconds();
     RunResult {
         ipc,
         cpu_cycles,
@@ -399,6 +426,8 @@ pub(crate) fn run_workloads_observed(
         energy,
         energy_per_channel,
         host_loop_s,
+        host_walk_s,
+        host_merge_s,
         trace,
         skip_profile: mem_sys.fused_skip_profile(),
     }
@@ -419,6 +448,7 @@ mod tests {
             seed: 7,
             skip_ahead: true,
             trace: None,
+            threads: 1,
         }
     }
 

@@ -7,6 +7,7 @@ use clr_dram::arch::geometry::DramGeometry;
 use clr_dram::arch::mode::{ModeTable, RowMode};
 use clr_dram::arch::timing::ClrTimings;
 use clr_dram::sim::experiment::mem_config;
+use clr_dram::sim::report::host_throughput_summary;
 use clr_dram::sim::system::{run_workloads, RunConfig};
 use clr_dram::trace::apps::by_name;
 use clr_dram::trace::workload::Workload;
@@ -84,6 +85,11 @@ fn main() {
              {cp50}/{cp95}/{cp99} cycles"
         );
     }
+
+    // Simulator throughput, not simulated performance: how fast the
+    // host chewed through the run (CLR_THREADS>1 parallelizes the
+    // channel walk on multi-channel configurations, bit-identically).
+    println!("  {}", host_throughput_summary(&clr, None));
 
     // 4. Optional: a Perfetto-openable trace of the CLR run. Set
     //    CLR_TRACE=1 (or a category list like "commands,migration")

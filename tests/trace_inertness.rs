@@ -25,6 +25,10 @@ use clr_dram::trace::workload::Workload;
 /// lifecycles, policy epochs, and the frame rebalancer's placement
 /// events.
 fn run(trace: Option<TraceConfig>) -> PolicyRunResult {
+    run_threaded(trace, 1)
+}
+
+fn run_threaded(trace: Option<TraceConfig>, threads: usize) -> PolicyRunResult {
     let mut mem = policy_mem_config(0.0);
     mem.geometry.channels = 2;
     mem.relocation = RelocationConfig::background();
@@ -37,6 +41,7 @@ fn run(trace: Option<TraceConfig>) -> PolicyRunResult {
         seed: 5,
         skip_ahead: true,
         trace,
+        threads,
     };
     let cfg = PolicyRunConfig::new(
         base,
@@ -102,6 +107,37 @@ fn tracing_changes_no_simulated_outcome() {
     assert!(p.skipped_cycles > 0 && p.ticked_cycles > 0);
     assert!(p.triggers.iter().sum::<u64>() == p.jumps.count());
     assert!(p.jump_coverage() > 0.0 && p.jump_coverage() < 1.0);
+}
+
+#[test]
+fn tracing_stays_inert_and_bit_identical_under_threads() {
+    // The threaded channel walk must preserve both halves of the
+    // contract at once: tracing stays invisible, and two workers are
+    // bit-identical to the serial walk — same simulation, same merged
+    // event log.
+    let serial = run_threaded(Some(all_categories()), 1);
+    let threaded = run_threaded(Some(all_categories()), 2);
+    assert_eq!(serial.run.ipc, threaded.run.ipc);
+    assert_eq!(serial.run.cpu_cycles, threaded.run.cpu_cycles);
+    assert_eq!(serial.run.dram_cycles, threaded.run.dram_cycles);
+    assert_eq!(serial.run.mem, threaded.run.mem);
+    assert_eq!(serial.run.mem_per_channel, threaded.run.mem_per_channel);
+    assert_eq!(serial.rows_remapped, threaded.rows_remapped);
+    assert_eq!(serial.final_hp_fraction, threaded.final_hp_fraction);
+    assert_eq!(
+        serial.policy_stats_per_channel,
+        threaded.policy_stats_per_channel
+    );
+    assert_eq!(serial.run.skip_profile, threaded.run.skip_profile);
+    let a = serial.run.trace.as_ref().expect("serial log");
+    let b = threaded.run.trace.as_ref().expect("threaded log");
+    assert_eq!(a.events, b.events, "merged event streams diverge");
+
+    // And a traced threaded run is still inert next to an untraced one.
+    let untraced = run_threaded(None, 2);
+    assert_eq!(untraced.run.ipc, threaded.run.ipc);
+    assert_eq!(untraced.run.mem, threaded.run.mem);
+    assert_eq!(untraced.rows_remapped, threaded.rows_remapped);
 }
 
 #[test]
