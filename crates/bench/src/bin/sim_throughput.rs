@@ -128,6 +128,7 @@ fn run_saturated(mode: &'static str, skip_ahead: bool, scale: Scale) -> Sample {
         seed: 42,
         skip_ahead,
         trace: None,
+        metrics: None,
         threads: 1,
     };
     let cfg = PolicyRunConfig::new(
@@ -202,6 +203,7 @@ fn run_contention(mode: &'static str, skip_ahead: bool, threads: usize, scale: S
         seed: 42,
         skip_ahead,
         trace: None,
+        metrics: None,
         threads,
     };
     let cfg = PolicyRunConfig::new(
@@ -295,6 +297,13 @@ fn json_report(
             );
         }
         let _ = writeln!(j, "      ],");
+        // The walks are bit-identical, so one mode's histogram speaks
+        // for the whole scenario's simulated latency tail.
+        let _ = writeln!(
+            j,
+            "      \"read_latency_p99\": {},",
+            sc.modes[0].mem.read_latency_hist.p99()
+        );
         let _ = writeln!(j, "      \"speedup\": {:.4},", sc.speedup());
         if let Some(st) = sc.speedup_threaded() {
             let _ = writeln!(j, "      \"speedup_threaded\": {st:.4},");

@@ -25,6 +25,16 @@
 //!   trigger counts, event density per kilocycle). Deliberately *not*
 //!   part of `MemStats`: per-cycle and skip-ahead walks produce
 //!   identical simulation statistics but different profiles.
+//! * [`series`] — [`MetricsRecorder`]/[`TimeSeries`]: continuous
+//!   telemetry sampled in simulated-cycle windows from exact
+//!   statistics deltas — counters, gauges, and windowed tail
+//!   latencies — with exact bucket-wise `merge` for
+//!   per-channel→system fusion, and Chrome trace-event counter-track
+//!   export. Enabled per run via `CLR_METRICS`
+//!   ([`MetricsConfig::from_env`]).
+//! * [`slo`] — [`SloSpec`]/[`SloReport`]: declarative service-level
+//!   objectives over the series (error budgets, multi-window
+//!   burn-rate alerts), producing machine-checkable verdicts.
 //!
 //! # Capturing a trace
 //!
@@ -43,10 +53,20 @@
 
 pub mod hist;
 pub mod profile;
+pub mod series;
+pub mod slo;
 pub mod trace;
 
 pub use hist::LatencyHistogram;
 pub use profile::{EventSource, SkipProfile};
+pub use series::{
+    ChannelSample, MetricsConfig, MetricsRecorder, SeriesCounters, SeriesGauges, TimeSeries,
+    WindowSummary,
+};
+pub use slo::{
+    BurnRatePolicy, ObjectiveOutcome, ScalarObjective, ScalarOutcome, SloReport, SloSpec,
+    WindowMetric, WindowedObjective,
+};
 pub use trace::{
     CategorySet, TraceCategory, TraceConfig, TraceEvent, TraceLog, TraceSink, SYSTEM_PID,
 };

@@ -41,15 +41,19 @@ pub enum TraceCategory {
     Policy,
     /// Frame moves and remap-table installs (the capacity directory).
     Placement,
+    /// Continuous-telemetry counter tracks (windowed traffic, queue
+    /// depth, migration backlog, tail latency, capacity fractions).
+    Metrics,
 }
 
 impl TraceCategory {
     /// All categories, in a fixed order.
-    pub const ALL: [TraceCategory; 4] = [
+    pub const ALL: [TraceCategory; 5] = [
         TraceCategory::Commands,
         TraceCategory::Migration,
         TraceCategory::Policy,
         TraceCategory::Placement,
+        TraceCategory::Metrics,
     ];
 
     /// The category's stable lowercase label (used in the JSON `cat`
@@ -60,6 +64,7 @@ impl TraceCategory {
             TraceCategory::Migration => "migration",
             TraceCategory::Policy => "policy",
             TraceCategory::Placement => "placement",
+            TraceCategory::Metrics => "metrics",
         }
     }
 
@@ -69,6 +74,7 @@ impl TraceCategory {
             TraceCategory::Migration => 1 << 1,
             TraceCategory::Policy => 1 << 2,
             TraceCategory::Placement => 1 << 3,
+            TraceCategory::Metrics => 1 << 4,
         }
     }
 }
@@ -171,9 +177,10 @@ impl TraceConfig {
     }
 }
 
-/// One recorded event. `dur == 0` exports as a Chrome instant event
-/// (`ph: "i"`); `dur > 0` as a complete span (`ph: "X"`) starting at
-/// `ts`.
+/// One recorded event. `counter` exports as a Chrome counter sample
+/// (`ph: "C"` — every `args` key becomes a counter-track series);
+/// otherwise `dur == 0` exports as an instant event (`ph: "i"`) and
+/// `dur > 0` as a complete span (`ph: "X"`) starting at `ts`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Start cycle.
@@ -186,7 +193,10 @@ pub struct TraceEvent {
     pub name: &'static str,
     /// Owning process in the export: channel index, or [`SYSTEM_PID`].
     pub pid: u32,
-    /// Key/value payload (the Chrome `args` object).
+    /// Whether this is a counter sample (`ph: "C"`).
+    pub counter: bool,
+    /// Key/value payload (the Chrome `args` object; for a counter
+    /// event, the sampled series values).
     pub args: Vec<(&'static str, u64)>,
 }
 
@@ -254,6 +264,7 @@ impl TraceSink {
             category: cat,
             name,
             pid: self.pid,
+            counter: false,
             args,
         });
     }
@@ -312,6 +323,13 @@ impl TraceLog {
         self.events.iter().filter(|e| e.category == cat).count()
     }
 
+    /// Appends `events` (e.g. metrics counter tracks) and restores the
+    /// `(ts, pid)` sort order.
+    pub fn append(&mut self, events: impl IntoIterator<Item = TraceEvent>) {
+        self.events.extend(events);
+        self.events.sort_by_key(|e| (e.ts, e.pid));
+    }
+
     /// Serializes to Chrome trace-event JSON (the object form, with a
     /// `traceEvents` array) — open the output in Perfetto or
     /// `chrome://tracing`. Timestamps are DRAM cycles.
@@ -326,7 +344,9 @@ impl TraceLog {
             out.push_str(e.name);
             out.push_str("\",\"cat\":\"");
             out.push_str(e.category.label());
-            if e.dur == 0 {
+            if e.counter {
+                out.push_str("\",\"ph\":\"C");
+            } else if e.dur == 0 {
                 out.push_str("\",\"ph\":\"i\",\"s\":\"t");
             } else {
                 out.push_str("\",\"ph\":\"X");
@@ -429,5 +449,42 @@ mod tests {
         assert!(json.ends_with("}}"));
         // Sinks are drained by collection.
         assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn counter_events_serialize_as_counter_samples() {
+        let mut log = TraceLog::default();
+        log.append([TraceEvent {
+            ts: 100,
+            dur: 0,
+            category: TraceCategory::Metrics,
+            name: "queue",
+            pid: 1,
+            counter: true,
+            args: vec![("depth", 9)],
+        }]);
+        let json = log.to_chrome_json();
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"cat\":\"metrics\""));
+        assert!(json.contains("\"depth\":9"));
+        assert!(!json.contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn append_restores_sort_order() {
+        let mut sink = TraceSink::new(&cfg(16), 0);
+        sink.instant(TraceCategory::Commands, "act", 50, vec![]);
+        let mut log = TraceLog::collect([&mut sink]);
+        log.append([TraceEvent {
+            ts: 10,
+            dur: 0,
+            category: TraceCategory::Metrics,
+            name: "queue",
+            pid: 2,
+            counter: true,
+            args: vec![],
+        }]);
+        let ts: Vec<u64> = log.events.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![10, 50]);
     }
 }

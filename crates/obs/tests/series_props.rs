@@ -1,0 +1,160 @@
+//! Property tests for [`clr_obs::series`]: the exact window algebra
+//! (merge = component-wise fusion, delta = exact inverse), the windowed
+//! quantile contract, and the ring-buffer eviction invariant
+//! (`evicted_totals + Σ live == totals`) the per-channel→system fusion
+//! and the SLO engine rely on.
+
+use clr_obs::hist::LatencyHistogram;
+use clr_obs::series::{SeriesCounters, SeriesGauges, TimeSeries, WindowSummary};
+use proptest::prelude::*;
+
+fn counters(v: &[u16]) -> SeriesCounters {
+    SeriesCounters {
+        acts: v[0] as u64,
+        reads: v[1] as u64,
+        writes: v[2] as u64,
+        mode_transitions: v[3] as u64,
+        migration_jobs: v[4] as u64,
+        frames_moved: v[5] as u64,
+        stall_cycles: v[6] as u64,
+        migration_slot_cycles: v[7] as u64,
+    }
+}
+
+fn gauges(v: &[u16]) -> SeriesGauges {
+    SeriesGauges {
+        queue_depth: v[0] as u64,
+        in_flight_migrations: v[1] as u64,
+        hp_permille: v[2] as u64,
+        budget_permille: v[3] as u64,
+    }
+}
+
+/// One window's raw payload: counter fields, gauge fields, latency
+/// samples.
+type Payload = (Vec<u16>, Vec<u16>, Vec<u64>);
+
+fn payload() -> impl Strategy<Value = Payload> {
+    (
+        proptest::collection::vec(any::<u16>(), 8..=8),
+        proptest::collection::vec(any::<u16>(), 4..=4),
+        proptest::collection::vec(0u64..100_000, 0..40),
+    )
+}
+
+/// Builds the `i`-th window of an aligned series from a payload.
+fn window(i: u64, p: &Payload) -> WindowSummary {
+    let mut read_latency = LatencyHistogram::new();
+    for &s in &p.2 {
+        read_latency.record(s);
+    }
+    WindowSummary {
+        index: i,
+        start_cycle: i * 100,
+        end_cycle: (i + 1) * 100,
+        sources: 1,
+        counters: counters(&p.0),
+        gauges: gauges(&p.1),
+        read_latency,
+    }
+}
+
+fn series_of(payloads: &[Payload], capacity: usize) -> TimeSeries {
+    let mut ts = TimeSeries::new(capacity);
+    for (i, p) in payloads.iter().enumerate() {
+        ts.push(window(i as u64, p));
+    }
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// delta_since exactly inverts merge on aligned windows:
+    /// (a ⊎ b) − a == b and (a ⊎ b) − b == a, across counters, gauges,
+    /// latency buckets, and the sources weight.
+    #[test]
+    fn window_delta_inverts_merge(a in payload(), b in payload()) {
+        let wa = window(0, &a);
+        let wb = window(0, &b);
+        let mut fused = wa.clone();
+        fused.merge(&wb);
+        prop_assert_eq!(fused.sources, 2);
+        prop_assert_eq!(fused.delta_since(&wa), wb.clone());
+        prop_assert_eq!(fused.delta_since(&wb), wa.clone());
+        // Degenerate delta: to-self leaves the empty window.
+        let empty = wa.delta_since(&wa);
+        prop_assert_eq!(empty.sources, 0);
+        prop_assert_eq!(empty.counters, SeriesCounters::default());
+        prop_assert_eq!(empty.read_latency.count(), 0);
+    }
+
+    /// Windowed quantiles are monotone (p50 <= p95 <= p99) and bounded
+    /// by the recorded samples on every window of a random series.
+    #[test]
+    fn windowed_quantiles_are_monotone(
+        payloads in proptest::collection::vec(payload(), 1..12),
+    ) {
+        let ts = series_of(&payloads, 64);
+        for w in ts.windows() {
+            prop_assert!(w.read_p50() <= w.read_p95());
+            prop_assert!(w.read_p95() <= w.read_p99());
+            if w.read_latency.count() == 0 {
+                prop_assert_eq!(w.read_p99(), 0);
+            }
+        }
+    }
+
+    /// Ring-buffer eviction never loses totals, only per-window
+    /// resolution: `evicted_totals + Σ live == totals` on every counter
+    /// field, and the latency sample counts reconcile the same way.
+    #[test]
+    fn eviction_keeps_totals_consistent(
+        payloads in proptest::collection::vec(payload(), 0..24),
+        capacity in 1usize..6,
+    ) {
+        let ts = series_of(&payloads, capacity);
+        prop_assert_eq!(ts.len(), payloads.len().min(capacity));
+        prop_assert_eq!(
+            ts.evicted_windows() as usize,
+            payloads.len().saturating_sub(capacity)
+        );
+        let mut reconciled = ts.evicted_totals().clone();
+        for w in ts.windows() {
+            reconciled.merge(&w.counters);
+        }
+        prop_assert_eq!(&reconciled, ts.totals());
+        let live_samples: u64 = ts.windows().map(|w| w.read_latency.count()).sum();
+        prop_assert_eq!(
+            ts.total_latency().count() - live_samples,
+            ts.evicted_latency().count()
+        );
+    }
+
+    /// Series fusion is exact: merging channel series window-by-window
+    /// equals having recorded the per-window component sums directly —
+    /// totals, evicted accumulators, and every live window agree.
+    #[test]
+    fn series_merge_is_componentwise_exact(
+        pairs in proptest::collection::vec((payload(), payload()), 1..16),
+        capacity in 1usize..8,
+    ) {
+        let a: Vec<Payload> = pairs.iter().map(|(x, _)| x.clone()).collect();
+        let b: Vec<Payload> = pairs.iter().map(|(_, y)| y.clone()).collect();
+        let sa = series_of(&a, capacity);
+        let sb = series_of(&b, capacity);
+        let fused = TimeSeries::fused([&sa, &sb]);
+
+        let mut expected_totals = sa.totals().clone();
+        expected_totals.merge(sb.totals());
+        prop_assert_eq!(fused.totals(), &expected_totals);
+        prop_assert_eq!(fused.evicted_windows(), sa.evicted_windows());
+        prop_assert_eq!(fused.len(), sa.len());
+        for ((w, wa), wb) in fused.windows().zip(sa.windows()).zip(sb.windows()) {
+            prop_assert_eq!(w.sources, 2);
+            let mut expected = wa.clone();
+            expected.merge(wb);
+            prop_assert_eq!(w, &expected);
+        }
+    }
+}

@@ -31,6 +31,7 @@ use clr_cpu::cluster::ClusterConfig;
 use clr_memsim::config::{ClrModeConfig, MemConfig};
 use clr_memsim::frames::DestinationPicker;
 use clr_memsim::migrate::RelocationConfig;
+use clr_obs::{MetricsConfig, SloSpec, WindowMetric, WindowedObjective};
 use clr_policy::budget::BudgetSplit;
 use clr_policy::policy::{PolicyConstraints, PolicySpec};
 use clr_trace::phase::PhaseShiftSpec;
@@ -43,6 +44,43 @@ use crate::system::RunConfig;
 
 /// The capacity budget every dynamic policy runs under.
 pub const DYNAMIC_BUDGET: f64 = 0.25;
+
+/// Windowed 99th-percentile read-latency ceiling every cell is held to
+/// (DRAM cycles per epoch-length window, 10 % error budget — transient
+/// excursions around epoch boundaries are tolerated, sustained tail
+/// inflation is not).
+pub const SLO_READ_P99_CYCLES: u64 = 1_500;
+
+/// Ceiling on the fraction of window channel-cycles migration commands
+/// may occupy a command bus, permille (hard — the pacer must keep
+/// background relocation a minority tenant in every window).
+pub const SLO_MIGRATION_SLOT_PERMILLE: u64 = 500;
+
+/// Max-slowdown ceiling for contention/placement cells, milli-units
+/// (1.6×, the fairness bound the sweep's verdict enforces).
+pub const SLO_MAX_SLOWDOWN_MILLI: u64 = 1_600;
+
+/// The per-cell service-level spec the sweep evaluates on every cell's
+/// fused (system-level) time-series. Background-relocation cells add
+/// the hard zero-stall invariant; the stall model stalls by design, so
+/// it is held only to the latency and migration-tenancy objectives.
+pub fn cell_slo_spec(background: bool) -> SloSpec {
+    let mut spec = SloSpec::named("policy-sweep-cell");
+    if background {
+        spec.windowed
+            .push(WindowedObjective::hard(WindowMetric::StallCycles, 0));
+    }
+    spec.windowed.push(WindowedObjective::budgeted(
+        WindowMetric::ReadP99,
+        SLO_READ_P99_CYCLES,
+        0.10,
+    ));
+    spec.windowed.push(WindowedObjective::hard(
+        WindowMetric::MigrationSlotPermille,
+        SLO_MIGRATION_SLOT_PERMILLE,
+    ));
+    spec
+}
 
 /// Results of one (policy, workload, relocation-model) cell.
 #[derive(Debug, Clone)]
@@ -100,6 +138,19 @@ pub struct PolicyCell {
     /// 99th-percentile demand-read service latency, DRAM cycles — the
     /// tail the paper's refresh/relocation interference shows up in.
     pub read_latency_p99: u64,
+    /// Whether the cell passed its service-level spec
+    /// ([`cell_slo_spec`], plus the max-slowdown ceiling on fairness
+    /// cells) — the machine-checkable verdict of the continuous
+    /// telemetry the cell ran with.
+    pub slo_pass: bool,
+    /// Telemetry windows the SLO evaluation covered.
+    pub slo_windows: u64,
+    /// Total objective violations across all windowed objectives.
+    pub slo_violations: u64,
+    /// Worst *windowed* p99 read latency across the run, DRAM cycles
+    /// (the transient tail the end-of-run `read_latency_p99` smooths
+    /// over).
+    pub slo_worst_read_p99: u64,
 }
 
 /// The full sweep.
@@ -327,6 +378,15 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
         // bisecting a suspected divergence without a rebuild.
         skip_ahead: std::env::var("CLR_FORCE_PER_CYCLE").is_err(),
         trace: None,
+        // Every cell runs with continuous telemetry on — metrics are
+        // inert (proven by the workspace differential test), and the
+        // windowed series is what the SLO verdict evaluates. One window
+        // per policy epoch aligns the sampling grid with the decision
+        // grid.
+        metrics: Some(MetricsConfig {
+            interval_cycles: epoch_cycles(scale),
+            capacity: 4_096,
+        }),
         threads: crate::system::threads_from_env(),
     };
     let cfg = PolicyRunConfig::new(
@@ -341,6 +401,13 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
     .with_budget_split(spec.split);
     let r = run_policy_workloads(&spec.workloads, &cfg);
     let (read_p50, read_p95, read_p99) = r.run.mem.read_latency_percentiles();
+    let system_series = r.run.metrics.as_ref().expect("metrics enabled").system();
+    let slo = cell_slo_spec(spec.reloc.is_background()).evaluate(&system_series);
+    let slo_worst_read_p99 = system_series
+        .windows()
+        .map(|w| w.read_p99())
+        .max()
+        .unwrap_or(0);
     PolicyCell {
         policy: spec.policy.label(),
         workload: spec.workload_label.clone(),
@@ -372,6 +439,10 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
         read_latency_p50: read_p50,
         read_latency_p95: read_p95,
         read_latency_p99: read_p99,
+        slo_pass: slo.pass(),
+        slo_windows: slo.windows,
+        slo_violations: slo.objectives.iter().map(|o| o.violations).sum(),
+        slo_worst_read_p99,
     }
 }
 
@@ -566,7 +637,22 @@ fn run_contention_cell(
         .collect();
     cell.weighted_speedup = Some(crate::metrics::weighted_speedup(&cell.ipc_per_core, &alone));
     cell.max_slowdown = Some(crate::metrics::max_slowdown(&cell.ipc_per_core, &alone));
+    apply_slowdown_slo(&mut cell);
     cell
+}
+
+/// Folds the fairness ceiling into a cell's SLO verdict: once a
+/// contention/placement cell's max slowdown is known, it must also stay
+/// under [`SLO_MAX_SLOWDOWN_MILLI`] (a scalar objective the windowed
+/// series cannot see — it needs the alone baselines).
+fn apply_slowdown_slo(cell: &mut PolicyCell) {
+    if let Some(ms) = cell.max_slowdown {
+        let milli = (ms * 1000.0).round() as u64;
+        if milli > SLO_MAX_SLOWDOWN_MILLI {
+            cell.slo_pass = false;
+            cell.slo_violations += 1;
+        }
+    }
 }
 
 /// Runs the contention sweep (see [`contention_roster`]): first every
@@ -685,6 +771,7 @@ pub fn run_placement(scale: Scale, seed: u64) -> Vec<PolicyCell> {
             cell.weighted_speedup =
                 Some(crate::metrics::weighted_speedup(&cell.ipc_per_core, &alone));
             cell.max_slowdown = Some(crate::metrics::max_slowdown(&cell.ipc_per_core, &alone));
+            apply_slowdown_slo(&mut cell);
             cell
         })
         .collect()
@@ -952,7 +1039,9 @@ impl PolicySweepReport {
              \"relocation_stall_cycles\": {}, \"migration_jobs\": {}, \
              \"migration_slot_utilization\": {:.6}, \"row_hit_rate\": {:.6}, \
              \"read_latency_p50\": {}, \"read_latency_p95\": {}, \
-             \"read_latency_p99\": {}}}",
+             \"read_latency_p99\": {}, \"slo_pass\": {}, \
+             \"slo_windows\": {}, \"slo_violations\": {}, \
+             \"slo_worst_read_p99\": {}}}",
             esc(&c.policy),
             esc(&c.workload),
             esc(&c.reloc),
@@ -977,6 +1066,10 @@ impl PolicySweepReport {
             c.read_latency_p50,
             c.read_latency_p95,
             c.read_latency_p99,
+            c.slo_pass,
+            c.slo_windows,
+            c.slo_violations,
+            c.slo_worst_read_p99,
         )
     }
 
@@ -993,10 +1086,13 @@ impl PolicySweepReport {
     /// the placement array comparing same-bank / cross-bank /
     /// cross-channel destination placement on the channel-skewed mix;
     /// `v5` adds tail latency (`read_latency_p50`/`p95`/`p99`, DRAM
-    /// cycles, from the per-request latency histograms) to every cell.
+    /// cycles, from the per-request latency histograms) to every cell;
+    /// `v6` adds the continuous-telemetry SLO verdict (`slo_pass`,
+    /// `slo_windows`, `slo_violations`, `slo_worst_read_p99` — see
+    /// [`cell_slo_spec`]) to every cell.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v5\",\n");
+        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v6\",\n");
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.label()));
         for (key, cells, trailing) in [
             ("cells", &self.cells, ","),
@@ -1077,6 +1173,10 @@ mod tests {
             read_latency_p50: 40,
             read_latency_p95: 120,
             read_latency_p99: 250,
+            slo_pass: true,
+            slo_windows: 6,
+            slo_violations: 0,
+            slo_worst_read_p99: 310,
         }
     }
 
@@ -1106,7 +1206,7 @@ mod tests {
             placement: vec![placement],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v5\""));
+        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v6\""));
         assert!(json.contains("\"policy\": \"topk\""));
         assert!(json.contains("\"reloc\": \"background\""));
         assert!(json.contains("\"ipc_per_core\": [0.500000]"));
@@ -1128,6 +1228,11 @@ mod tests {
         assert!(json.contains("\"read_latency_p50\": 40"));
         assert!(json.contains("\"read_latency_p95\": 120"));
         assert!(json.contains("\"read_latency_p99\": 250"));
+        // v6: the SLO verdict on every cell.
+        assert!(json.contains("\"slo_pass\": true"));
+        assert!(json.contains("\"slo_windows\": 6"));
+        assert!(json.contains("\"slo_violations\": 0"));
+        assert!(json.contains("\"slo_worst_read_p99\": 310"));
         assert!(report.cell("topk").is_some());
         assert!(report.best_static_within(0.2).is_none());
         // The contention table renders its fairness columns.

@@ -32,7 +32,9 @@
 use clr_core::mode::RowMode;
 use clr_memsim::frames::{CapacityRebalancer, DestinationPicker, RebalanceConfig};
 use clr_memsim::system::MemorySystem;
-use clr_obs::TraceCategory;
+use clr_obs::{
+    LatencyHistogram, SeriesCounters, SeriesGauges, TimeSeries, TraceCategory, WindowSummary,
+};
 use clr_policy::budget::BudgetSplit;
 use clr_policy::policy::{PolicyConstraints, PolicySpec};
 use clr_policy::reloc::{DestinationSpread, RelocationEngine, RelocationParams};
@@ -114,6 +116,14 @@ pub struct PolicyRunResult {
     /// the "policy" slice of the run's host-time breakdown, next to
     /// [`RunResult::host_walk_s`] and [`RunResult::host_merge_s`].
     pub host_policy_s: f64,
+    /// Per-epoch policy telemetry (present only when
+    /// [`RunConfig::metrics`] enabled continuous telemetry): one window
+    /// per epoch boundary recording transitions applied
+    /// (`counters.mode_transitions`), the system hp fraction, and the
+    /// mean channel budget — the policy-decision series next to the
+    /// run's per-channel traffic series in
+    /// [`RunResult::metrics`](crate::system::RunMetrics).
+    pub policy_series: Option<TimeSeries>,
 }
 
 impl PolicyRunResult {
@@ -170,6 +180,9 @@ struct EpochDriver {
     /// early-out is excluded; boundaries are rare, so the two `Instant`
     /// reads per epoch are noise).
     policy_ns: u64,
+    /// Per-epoch decision series (present when the base run enabled
+    /// continuous telemetry).
+    policy_series: Option<TimeSeries>,
 }
 
 impl RunObserver for EpochDriver {
@@ -359,6 +372,34 @@ impl RunObserver for EpochDriver {
             }
         }
 
+        // Per-epoch decision window: what the policy pass did, anchored
+        // to the same exact boundary cycle in every walk.
+        if let Some(series) = self.policy_series.as_mut() {
+            let budget_permille: u64 = self
+                .channel_budgets
+                .iter()
+                .map(|b| (*b * 1000.0).round() as u64)
+                .sum::<u64>()
+                / channels as u64;
+            let index = series.len() as u64 + series.evicted_windows();
+            series.push(WindowSummary {
+                index,
+                start_cycle: self.last_epoch_cycle,
+                end_cycle: now,
+                sources: 1,
+                counters: SeriesCounters {
+                    mode_transitions: applied_total,
+                    ..SeriesCounters::default()
+                },
+                gauges: SeriesGauges {
+                    hp_permille: (self.final_hp_fraction * 1000.0).round() as u64,
+                    budget_permille,
+                    ..SeriesGauges::default()
+                },
+                read_latency: LatencyHistogram::new(),
+            });
+        }
+
         self.last_epoch_cycle = now;
         self.next_epoch = now + self.epoch_dram_cycles;
         self.policy_ns += epoch_start.elapsed().as_nanos() as u64;
@@ -369,6 +410,12 @@ impl RunObserver for EpochDriver {
     /// retunes all anchor to them — on every channel at once.
     fn next_boundary(&self) -> Option<u64> {
         Some(self.next_epoch)
+    }
+
+    /// The metrics layer samples the partitioner's live verdict as the
+    /// per-channel `budget_permille` gauge.
+    fn channel_budgets(&self) -> Option<&[f64]> {
+        Some(&self.channel_budgets)
     }
 }
 
@@ -419,6 +466,11 @@ pub fn run_policy_workloads(workloads: &[Workload], cfg: &PolicyRunConfig) -> Po
         completed_scratch: Vec::new(),
         dispatched_scratch: Vec::new(),
         policy_ns: 0,
+        policy_series: cfg
+            .base
+            .metrics
+            .as_ref()
+            .map(|m| TimeSeries::new(m.capacity)),
     };
     let run = run_workloads_observed(workloads, &cfg.base, &mut driver);
     let policy = driver.runtimes[0].policy_name();
@@ -436,6 +488,7 @@ pub fn run_policy_workloads(workloads: &[Workload], cfg: &PolicyRunConfig) -> Po
         final_channel_budgets: driver.channel_budgets,
         rows_remapped: driver.remap_installs,
         host_policy_s: driver.policy_ns as f64 / 1e9,
+        policy_series: driver.policy_series,
     }
 }
 
@@ -456,6 +509,7 @@ mod tests {
             seed: 11,
             skip_ahead: true,
             trace: None,
+            metrics: None,
             threads: 1,
         };
         let spec = PhaseShiftSpec {
@@ -506,6 +560,7 @@ mod tests {
             seed: 11,
             skip_ahead: true,
             trace: None,
+            metrics: None,
             threads: 1,
         };
         let spec = PhaseShiftSpec {
@@ -555,6 +610,7 @@ mod tests {
             seed: 11,
             skip_ahead: true,
             trace: None,
+            metrics: None,
             threads: 1,
         };
         let spec = PhaseShiftSpec {
@@ -608,6 +664,7 @@ mod tests {
             seed: 11,
             skip_ahead: true,
             trace: None,
+            metrics: None,
             threads: 1,
         };
         let spec = PhaseShiftSpec {

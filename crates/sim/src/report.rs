@@ -126,9 +126,36 @@ pub fn host_throughput_summary(r: &RunResult, serial_loop_s: Option<f64>) -> Str
     s
 }
 
+/// An 8-level unicode block sparkline of `values`, scaled to the
+/// largest value (all-zero input renders as a flat baseline).
+pub fn sparkline(values: &[u64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                BLOCKS[0]
+            } else {
+                BLOCKS[((v as u128 * 7) / max as u128) as usize]
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sparkline_scales_to_the_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let s = sparkline(&[0, 50, 100]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+    }
 
     #[test]
     fn renders_aligned_columns() {

@@ -35,7 +35,10 @@ use clr_memsim::config::MemConfig;
 use clr_memsim::request::{Completion, MemRequest, RequestKind};
 use clr_memsim::stats::MemStats;
 use clr_memsim::system::MemorySystem;
-use clr_obs::{SkipProfile, TraceConfig, TraceLog};
+use clr_obs::{
+    ChannelSample, MetricsConfig, MetricsRecorder, SeriesCounters, SeriesGauges, SkipProfile,
+    TimeSeries, TraceCategory, TraceConfig, TraceLog, SYSTEM_PID,
+};
 use clr_power::{energy_of_run, EnergyBreakdown, IddParams};
 use clr_trace::workload::Workload;
 
@@ -70,6 +73,14 @@ pub struct RunConfig {
     /// [`clr_obs::trace`](clr_obs::TraceConfig) for the category filter
     /// syntax.
     pub trace: Option<TraceConfig>,
+    /// Continuous telemetry (`None` = off, the default; like tracing,
+    /// metrics are inert). Windows close at exact simulated cycles —
+    /// the sampling boundary is an event source skip-ahead jumps are
+    /// clamped to — so the series are bit-identical across the
+    /// per-cycle, skip-ahead, and threaded walks. [`RunConfig::paper`]
+    /// resolves this from the `CLR_METRICS` environment variable (see
+    /// [`clr_obs::series`](clr_obs::MetricsConfig)).
+    pub metrics: Option<MetricsConfig>,
     /// Worker threads for the memory-side channel walk (1 = serial, the
     /// default). Channels are partitioned across workers between epoch
     /// barriers and their completion streams merged on
@@ -81,8 +92,8 @@ pub struct RunConfig {
 
 impl RunConfig {
     /// Paper-configured system at the given scale knobs. Tracing follows
-    /// the `CLR_TRACE` environment variable; worker threads follow
-    /// `CLR_THREADS`.
+    /// the `CLR_TRACE` environment variable; continuous telemetry
+    /// follows `CLR_METRICS`; worker threads follow `CLR_THREADS`.
     pub fn paper(mem: MemConfig, budget_insts: u64, warmup_insts: u64, seed: u64) -> Self {
         RunConfig {
             mem,
@@ -92,6 +103,7 @@ impl RunConfig {
             seed,
             skip_ahead: true,
             trace: TraceConfig::from_env(),
+            metrics: MetricsConfig::from_env(),
             threads: threads_from_env(),
         }
     }
@@ -143,8 +155,15 @@ pub struct RunResult {
     /// subset of [`RunResult::host_loop_s`].
     pub host_merge_s: f64,
     /// The merged event trace (whole run, warmup included), present only
-    /// when [`RunConfig::trace`] enabled tracing.
+    /// when [`RunConfig::trace`] enabled tracing. When metrics were also
+    /// enabled and the trace's category set includes
+    /// [`TraceCategory::Metrics`], the log carries the time-series as
+    /// Chrome counter tracks (`ph: "C"`) — per-channel under the channel
+    /// pids, system-fused under [`SYSTEM_PID`].
     pub trace: Option<TraceLog>,
+    /// Continuous telemetry (whole run, warmup included), present only
+    /// when [`RunConfig::metrics`] enabled it.
+    pub metrics: Option<RunMetrics>,
     /// Skip-ahead profiling fused across channels: dead-window jump
     /// lengths, which event source bounded each jump, ticked-vs-skipped
     /// cycle totals. Host-side observability — deliberately outside
@@ -157,6 +176,25 @@ impl RunResult {
     /// Average DRAM power over the window, in watts.
     pub fn avg_power_w(&self) -> f64 {
         self.energy.avg_power_w(self.duration_ns)
+    }
+}
+
+/// A run's continuous telemetry: one [`TimeSeries`] per channel,
+/// sampled every [`RunMetrics::interval_cycles`] of simulated time
+/// (plus a final partial window when the run ends off-boundary).
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Window length in DRAM cycles.
+    pub interval_cycles: u64,
+    /// Per-channel series, channel 0 first.
+    pub per_channel: Vec<TimeSeries>,
+}
+
+impl RunMetrics {
+    /// The system-level series: every channel's windows fused with the
+    /// exact bucket-wise [`TimeSeries::merge`].
+    pub fn system(&self) -> TimeSeries {
+        TimeSeries::fused(self.per_channel.iter())
     }
 }
 
@@ -210,6 +248,68 @@ pub(crate) trait RunObserver {
     fn next_boundary(&self) -> Option<u64> {
         None
     }
+
+    /// The per-channel capacity-budget fractions this observer manages
+    /// (the policy runtime's split), sampled by the metrics layer as a
+    /// gauge. `None` means no budgets are being managed.
+    fn channel_budgets(&self) -> Option<&[f64]> {
+        None
+    }
+}
+
+/// Continuous-telemetry sampling state for one run: the window clock
+/// plus the previous boundary's per-channel statistics snapshots, so
+/// each window is the exact `MemStats::delta_since` over the window.
+struct MetricsSampler {
+    recorder: MetricsRecorder,
+    prev: Vec<MemStats>,
+}
+
+impl MetricsSampler {
+    fn new(cfg: &MetricsConfig, channels: usize) -> Self {
+        MetricsSampler {
+            recorder: MetricsRecorder::new(cfg, channels),
+            prev: vec![MemStats::new(); channels],
+        }
+    }
+
+    /// Closes the window ending at `now` (the run loop calls this only
+    /// at due boundaries, plus once for the final partial window).
+    fn sample(&mut self, now: u64, mem: &MemorySystem, budgets: Option<&[f64]>) {
+        let channels = self.prev.len();
+        let samples: Vec<ChannelSample> = (0..channels)
+            .map(|ch| {
+                let delta = mem.channel_stats(ch).delta_since(&self.prev[ch]);
+                let mc = mem.channel(ch);
+                ChannelSample {
+                    counters: SeriesCounters {
+                        acts: delta.acts(),
+                        reads: delta.reads,
+                        writes: delta.writes,
+                        mode_transitions: delta.mode_transitions,
+                        migration_jobs: delta.migration_jobs_completed,
+                        frames_moved: delta.migration_fills,
+                        stall_cycles: delta.relocation_stall_cycles,
+                        migration_slot_cycles: delta.migration_slot_cycles,
+                    },
+                    gauges: SeriesGauges {
+                        queue_depth: (mc.pending_reads() + mc.pending_writes()) as u64,
+                        in_flight_migrations: mc.pending_migrations() as u64,
+                        hp_permille: (mc.mode_table().fraction_high_performance() * 1000.0).round()
+                            as u64,
+                        budget_permille: budgets
+                            .and_then(|b| b.get(ch))
+                            .map_or(0, |&f| (f * 1000.0).round() as u64),
+                    },
+                    read_latency: delta.read_latency_hist,
+                }
+            })
+            .collect();
+        for (ch, p) in self.prev.iter_mut().enumerate() {
+            *p = mem.channel_stats(ch).clone();
+        }
+        self.recorder.commit(now, samples);
+    }
 }
 
 /// The default observer: does nothing.
@@ -258,6 +358,10 @@ pub(crate) fn run_workloads_observed(
         mem_sys.enable_tracing(tc);
     }
     observer.on_run_start(&mut mem_sys);
+    let mut sampler = cfg
+        .metrics
+        .as_ref()
+        .map(|mc| MetricsSampler::new(mc, mem_sys.channels()));
     let mut completions: Vec<Completion> = Vec::new();
     let mut dram_done: u64 = 0;
 
@@ -311,6 +415,14 @@ pub(crate) fn run_workloads_observed(
                 stall_cache = None;
             }
             observer.after_dram_tick(&mut mem_sys);
+            // Sample after the observer so a policy epoch sharing the
+            // boundary cycle updates budgets/modes first — the same
+            // ordering the skip-ahead landing uses.
+            if let Some(s) = sampler.as_mut() {
+                if s.recorder.due(mem_sys.cycle()) {
+                    s.sample(mem_sys.cycle(), &mem_sys, observer.channel_budgets());
+                }
+            }
         }
         if !warmed {
             if (0..n).all(|i| cluster.retired(i) >= cfg.warmup_insts) {
@@ -362,7 +474,11 @@ pub(crate) fn run_workloads_observed(
                 }
             };
             if let Some(wake) = stalled {
-                let boundary = observer.next_boundary().unwrap_or(u64::MAX);
+                let boundary = observer.next_boundary().unwrap_or(u64::MAX).min(
+                    sampler
+                        .as_ref()
+                        .map_or(u64::MAX, |s| s.recorder.next_boundary()),
+                );
                 // Completions are the only DRAM→CPU signal, so the jump is
                 // capped by the first possible delivery (and the observer
                 // boundary) — command-only DRAM events inside the window
@@ -390,6 +506,11 @@ pub(crate) fn run_workloads_observed(
                         dram_done = due;
                         debug_assert!(completions.is_empty());
                         observer.after_dram_tick(&mut mem_sys);
+                        if let Some(s) = sampler.as_mut() {
+                            if s.recorder.due(mem_sys.cycle()) {
+                                s.sample(mem_sys.cycle(), &mem_sys, observer.channel_budgets());
+                            }
+                        }
                     }
                 }
             }
@@ -414,7 +535,29 @@ pub(crate) fn run_workloads_observed(
         })
         .collect();
 
-    let trace = mem_sys.tracing_enabled().then(|| mem_sys.collect_trace());
+    // Close the final partial window so the series tile the whole run.
+    let metrics = sampler.map(|mut s| {
+        if mem_sys.cycle() > s.recorder.last_boundary() {
+            s.sample(mem_sys.cycle(), &mem_sys, observer.channel_budgets());
+        }
+        RunMetrics {
+            interval_cycles: s.recorder.interval(),
+            per_channel: s.recorder.into_series(),
+        }
+    });
+    let mut trace = mem_sys.tracing_enabled().then(|| mem_sys.collect_trace());
+    if let (Some(log), Some(m)) = (trace.as_mut(), metrics.as_ref()) {
+        let wants_counters = cfg
+            .trace
+            .as_ref()
+            .is_some_and(|tc| tc.categories.contains(TraceCategory::Metrics));
+        if wants_counters {
+            for (ch, series) in m.per_channel.iter().enumerate() {
+                log.append(series.counter_events(ch as u32));
+            }
+            log.append(m.system().counter_events(SYSTEM_PID));
+        }
+    }
     let (host_walk_s, host_merge_s) = mem_sys.host_phase_seconds();
     RunResult {
         ipc,
@@ -429,6 +572,7 @@ pub(crate) fn run_workloads_observed(
         host_walk_s,
         host_merge_s,
         trace,
+        metrics,
         skip_profile: mem_sys.fused_skip_profile(),
     }
 }
@@ -448,6 +592,7 @@ mod tests {
             seed: 7,
             skip_ahead: true,
             trace: None,
+            metrics: None,
             threads: 1,
         }
     }

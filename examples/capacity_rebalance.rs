@@ -37,6 +37,7 @@ fn run(placement: DestinationPicker, scale: Scale) -> PolicyRunResult {
         seed: 42,
         skip_ahead: true,
         trace: None,
+        metrics: None,
         threads: 1,
     };
     let cfg = PolicyRunConfig::new(

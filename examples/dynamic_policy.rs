@@ -21,6 +21,7 @@ fn run(policy: PolicySpec, initial_fraction: f64, budget: f64, scale: Scale) {
         seed: 42,
         skip_ahead: true,
         trace: None,
+        metrics: None,
         threads: 1,
     };
     let cfg = PolicyRunConfig::new(

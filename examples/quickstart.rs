@@ -6,8 +6,9 @@ use clr_dram::arch::capacity;
 use clr_dram::arch::geometry::DramGeometry;
 use clr_dram::arch::mode::{ModeTable, RowMode};
 use clr_dram::arch::timing::ClrTimings;
+use clr_dram::obs::MetricsConfig;
 use clr_dram::sim::experiment::mem_config;
-use clr_dram::sim::report::host_throughput_summary;
+use clr_dram::sim::report::{host_throughput_summary, sparkline};
 use clr_dram::sim::system::{run_workloads, RunConfig};
 use clr_dram::trace::apps::by_name;
 use clr_dram::trace::workload::Workload;
@@ -48,10 +49,12 @@ fn main() {
         &[w],
         &RunConfig::paper(mem_config(None, 64.0), budget, warmup, 42),
     );
-    let clr = run_workloads(
-        &[w],
-        &RunConfig::paper(mem_config(Some(1.0), 64.0), budget, warmup, 42),
-    );
+    // Continuous telemetry rides the CLR run: windowed counters and
+    // latency quantiles in simulated-cycle time, provably inert
+    // (CLR_METRICS tunes the interval; quickstart always samples).
+    let mut clr_cfg = RunConfig::paper(mem_config(Some(1.0), 64.0), budget, warmup, 42);
+    clr_cfg.metrics.get_or_insert(MetricsConfig::every(5_000));
+    let clr = run_workloads(&[w], &clr_cfg);
     println!("\n429.mcf, {budget} instructions after {warmup} warmup:");
     println!(
         "  IPC        {:.3} -> {:.3}  ({:+.1}%)",
@@ -86,6 +89,19 @@ fn main() {
         );
     }
 
+    // The same tail, continuously: per-window p99 across the run as a
+    // sparkline (each column is one sampling window of simulated time).
+    if let Some(m) = &clr.metrics {
+        let system = m.system();
+        let p99s: Vec<u64> = system.windows().map(|w| w.read_p99()).collect();
+        println!(
+            "  windowed read p99 ({} windows x {} cycles): {}",
+            p99s.len(),
+            m.interval_cycles,
+            sparkline(&p99s)
+        );
+    }
+
     // Simulator throughput, not simulated performance: how fast the
     // host chewed through the run (CLR_THREADS>1 parallelizes the
     // channel walk on multi-channel configurations, bit-identically).
@@ -94,7 +110,9 @@ fn main() {
     // 4. Optional: a Perfetto-openable trace of the CLR run. Set
     //    CLR_TRACE=1 (or a category list like "commands,migration")
     //    before running; the trace rides along with zero simulated-state
-    //    impact — tracing on vs off is bit-identical.
+    //    impact — tracing on vs off is bit-identical. With telemetry on
+    //    (above), the trace also carries counter tracks (ph "C"):
+    //    traffic, queue depth, windowed read-latency quantiles.
     if let Some(trace) = &clr.trace {
         let path = std::env::var("CLR_TRACE_OUT").unwrap_or_else(|_| "clr_trace.json".into());
         std::fs::write(&path, trace.to_chrome_json()).expect("write trace");

@@ -155,7 +155,7 @@
 //! each epoch in proportion to per-channel demand
 //! (`PolicyRunConfig::with_budget_split`). The `policy_sweep` binary's
 //! contention sweep (core counts × channel counts × budget splits ×
-//! policies, schema `clr-dram/policy-sweep/v5`) reports per-core IPC,
+//! policies, schema `clr-dram/policy-sweep/v6`) reports per-core IPC,
 //! weighted speedup, and max slowdown against per-core alone baselines.
 //!
 //! # Capacity directory: placement and cross-channel frame rebalancing
@@ -225,7 +225,22 @@
 //! `tests/skip_ahead_differential.rs` — and can be disabled per run via
 //! `RunConfig::skip_ahead` (or `CLR_FORCE_PER_CYCLE=1` for the policy
 //! sweep). The `sim_throughput` binary reports simulated cycles/second
-//! for both walks (`clr-dram/sim-throughput/v1`).
+//! for both walks (`clr-dram/sim-throughput/v2`).
+//!
+//! # Continuous telemetry and SLOs
+//!
+//! Any run can sample time-series metrics in simulated-cycle time
+//! (`RunConfig::metrics` / `CLR_METRICS`): fixed-interval windows of
+//! exact counter deltas, boundary gauges, and windowed read-latency
+//! quantiles, per channel and fused system-wide
+//! (`RunResult::metrics`). Boundaries are exact-cycle events the
+//! skip-ahead walk clamps to, so the series are bit-identical across
+//! per-cycle, skip-ahead, and threaded walks, and — like tracing —
+//! provably inert (`tests/metrics_inertness.rs`). `clr_dram::obs`'s
+//! SLO engine evaluates declarative objectives with error budgets and
+//! burn-rate alerts over any series; every `policy_sweep` cell carries
+//! its verdict, and the `slo_report` binary gates the CI smoke cell
+//! (`clr-dram/slo/v1`).
 //!
 //! See `examples/` for runnable end-to-end scenarios (in particular
 //! `examples/dynamic_policy.rs`) and `crates/bench` for the binaries
@@ -244,7 +259,7 @@ pub mod circuit {
 }
 
 /// Observability: latency histograms, event tracing, skip-ahead
-/// profiling (re-export of [`clr_obs`]).
+/// profiling, time-series metrics, SLOs (re-export of [`clr_obs`]).
 pub mod obs {
     pub use clr_obs::*;
 }

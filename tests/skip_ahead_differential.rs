@@ -464,6 +464,7 @@ fn two_channel_policy_run_with_epoch_boundaries_is_bit_identical() {
             seed: 5,
             skip_ahead: skip,
             trace: None,
+            metrics: None,
             threads: 1,
         };
         let cfg = PolicyRunConfig::new(
@@ -527,6 +528,7 @@ fn placement_modes_policy_runs_are_bit_identical() {
             seed: 5,
             skip_ahead: skip,
             trace: None,
+            metrics: None,
             threads,
         };
         let cfg = PolicyRunConfig::new(
@@ -600,6 +602,7 @@ fn policy_run_with_epoch_boundaries_is_bit_identical() {
             seed: 5,
             skip_ahead: skip,
             trace: None,
+            metrics: None,
             threads: 1,
         };
         // The threshold policy proposes on raw access counts, so the run

@@ -11,7 +11,7 @@
 
 use clr_dram::memsim::frames::DestinationPicker;
 use clr_dram::memsim::migrate::RelocationConfig;
-use clr_dram::obs::{CategorySet, TraceCategory, TraceConfig, TraceLog};
+use clr_dram::obs::{CategorySet, MetricsConfig, TraceCategory, TraceConfig, TraceLog};
 use clr_dram::policy::budget::BudgetSplit;
 use clr_dram::policy::policy::{PolicyConstraints, PolicySpec};
 use clr_dram::sim::experiment::policies::{policy_cluster, policy_mem_config};
@@ -40,6 +40,10 @@ fn run_threaded(trace: Option<TraceConfig>, threads: usize) -> PolicyRunResult {
         warmup_insts: 1_000,
         seed: 5,
         skip_ahead: true,
+        // Continuous telemetry rides along whenever tracing is on, so
+        // the traced runs exercise both instrumentation layers at once
+        // (and the Metrics category's counter tracks land in the log).
+        metrics: trace.is_some().then(|| MetricsConfig::every(2_500)),
         trace,
         threads,
     };
@@ -86,6 +90,8 @@ fn tracing_changes_no_simulated_outcome() {
     // The untraced run carries no log; the traced one captured at least
     // one event in *every* enabled category.
     assert!(off.run.trace.is_none());
+    assert!(off.run.metrics.is_none());
+    assert!(on.run.metrics.is_some(), "traced run carries metrics too");
     let log = on.run.trace.as_ref().expect("traced run returns a log");
     assert!(!log.events.is_empty());
     for cat in TraceCategory::ALL {
@@ -133,6 +139,16 @@ fn tracing_stays_inert_and_bit_identical_under_threads() {
     let b = threaded.run.trace.as_ref().expect("threaded log");
     assert_eq!(a.events, b.events, "merged event streams diverge");
 
+    // The continuous-telemetry series are part of the contract too:
+    // window boundaries are exact-cycle events, so the per-channel
+    // series must be bit-identical between the serial and threaded
+    // walks.
+    let ms = serial.run.metrics.as_ref().expect("serial metrics");
+    let mt = threaded.run.metrics.as_ref().expect("threaded metrics");
+    assert_eq!(ms.per_channel, mt.per_channel, "metrics series diverge");
+    assert_eq!(ms.system(), mt.system());
+    assert_eq!(serial.policy_series, threaded.policy_series);
+
     // And a traced threaded run is still inert next to an untraced one.
     let untraced = run_threaded(None, 2);
     assert_eq!(untraced.run.ipc, threaded.run.ipc);
@@ -152,6 +168,10 @@ fn category_filter_restricts_the_log() {
     assert_eq!(log.count(TraceCategory::Commands), 0);
     assert_eq!(log.count(TraceCategory::Migration), 0);
     assert_eq!(log.count(TraceCategory::Placement), 0);
+    // Metrics were recorded (the series exist) but the category filter
+    // keeps their counter tracks out of the log.
+    assert!(r.run.metrics.is_some());
+    assert_eq!(log.count(TraceCategory::Metrics), 0);
 }
 
 #[test]
@@ -182,9 +202,21 @@ fn chrome_trace_json_is_valid_and_complete() {
             Some(Json::String(ph)) if ph == "i" => {
                 assert!(lookup(fields, "s").is_some(), "instant without scope")
             }
+            Some(Json::String(ph)) if ph == "C" => {
+                assert!(lookup(fields, "dur").is_none(), "counter with dur");
+                let Some(Json::Object(args)) = lookup(fields, "args") else {
+                    panic!("counter without args object");
+                };
+                assert!(!args.is_empty(), "counter with no series values");
+            }
             other => panic!("unexpected ph {other:?}"),
         }
     }
+    // The metrics layer contributed real counter tracks.
+    assert!(
+        log.events.iter().any(|e| e.counter),
+        "no counter-track events in the merged log"
+    );
     assert!(lookup(&top, "displayTimeUnit").is_some());
 }
 
