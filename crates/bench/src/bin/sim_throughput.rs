@@ -1,6 +1,6 @@
 //! Simulation-throughput benchmark: host wall-clock speed of the
 //! full-system simulator across walk modes and worker-thread counts
-//! (`clr-dram/sim-throughput/v2`).
+//! (`clr-dram/sim-throughput/v3`).
 //!
 //! Three scenarios bracket the design space:
 //!
@@ -13,8 +13,12 @@
 //!   isolated misses: long dead windows, the skip-ahead *headline*.
 //! * **contention-4c2ch** — the 4-core × 2-channel contention cell
 //!   (hysteresis, demand-proportional split), additionally run with two
-//!   worker threads (`threads=2`): the multi-channel walk the threaded
-//!   executor exists for.
+//!   worker threads (`threads=2`): the multi-channel walk the persistent
+//!   executor exists for. The threaded lane runs with the production
+//!   resolve-time clamp on, so the v3 **executor axis** records both the
+//!   requested and the effective thread count per mode — on a 1-core
+//!   host the lane clamps to serial (no fan-out, no regression), and the
+//!   bench asserts exactly that.
 //!
 //! Each scenario runs a per-cycle reference then the skip-ahead walk at
 //! each thread count, verifies every mode is statistically bit-identical
@@ -48,7 +52,11 @@ use clr_trace::workload::Workload;
 
 struct Sample {
     mode: &'static str,
-    threads: usize,
+    /// Worker threads the mode asked for.
+    threads_requested: usize,
+    /// Worker threads the walk ran with after the resolve-time clamp
+    /// against the host's available parallelism.
+    threads_effective: usize,
     wall_s: f64,
     loop_s: f64,
     /// Host seconds inside the memory-side channel walk.
@@ -95,7 +103,7 @@ impl Scenario {
     fn speedup_threaded(&self) -> Option<f64> {
         self.modes
             .iter()
-            .find(|s| s.threads > 1)
+            .find(|s| s.threads_requested > 1)
             .map(|s| self.modes[0].loop_s / s.loop_s)
     }
 
@@ -104,7 +112,7 @@ impl Scenario {
     fn thread_scaling(&self) -> Option<f64> {
         self.modes
             .iter()
-            .find(|s| s.threads > 1)
+            .find(|s| s.threads_requested > 1)
             .map(|s| self.modes[1].loop_s / s.loop_s)
     }
 
@@ -130,6 +138,7 @@ fn run_saturated(mode: &'static str, skip_ahead: bool, scale: Scale) -> Sample {
         trace: None,
         metrics: None,
         threads: 1,
+        clamp_threads: true,
     };
     let cfg = PolicyRunConfig::new(
         base,
@@ -141,7 +150,8 @@ fn run_saturated(mode: &'static str, skip_ahead: bool, scale: Scale) -> Sample {
     let r = run_policy_workloads(&[phase_workload(scale)], &cfg);
     Sample {
         mode,
-        threads: 1,
+        threads_requested: r.run.threads_requested,
+        threads_effective: r.run.threads_effective,
         wall_s: start.elapsed().as_secs_f64(),
         loop_s: r.run.host_loop_s,
         walk_s: r.run.host_walk_s,
@@ -176,7 +186,8 @@ fn run_light(mode: &'static str, skip_ahead: bool, scale: Scale) -> Sample {
     let r = run_workloads(&[light_workload()], &cfg);
     Sample {
         mode,
-        threads: 1,
+        threads_requested: r.threads_requested,
+        threads_effective: r.threads_effective,
         wall_s: start.elapsed().as_secs_f64(),
         loop_s: r.host_loop_s,
         walk_s: r.host_walk_s,
@@ -205,6 +216,9 @@ fn run_contention(mode: &'static str, skip_ahead: bool, threads: usize, scale: S
         trace: None,
         metrics: None,
         threads,
+        // The production clamp stays on: this lane is the bench's proof
+        // that a thread request past the host's cores does not fan out.
+        clamp_threads: true,
     };
     let cfg = PolicyRunConfig::new(
         base,
@@ -218,7 +232,8 @@ fn run_contention(mode: &'static str, skip_ahead: bool, threads: usize, scale: S
     let r = run_policy_workloads(&workloads, &cfg);
     Sample {
         mode,
-        threads,
+        threads_requested: r.run.threads_requested,
+        threads_effective: r.run.threads_effective,
         wall_s: start.elapsed().as_secs_f64(),
         loop_s: r.run.host_loop_s,
         walk_s: r.run.host_walk_s,
@@ -265,7 +280,7 @@ fn json_report(
 ) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"clr-dram/sim-throughput/v2\",");
+    let _ = writeln!(j, "  \"schema\": \"clr-dram/sim-throughput/v3\",");
     let _ = writeln!(j, "  \"scale\": \"{}\",", scale.label());
     let _ = writeln!(j, "  \"host_parallelism\": {host_parallelism},");
     let _ = writeln!(j, "  \"gate_enforced\": {gate_enforced},");
@@ -278,12 +293,14 @@ fn json_report(
         for (k, s) in sc.modes.iter().enumerate() {
             let _ = writeln!(
                 j,
-                "        {{\"mode\": \"{}\", \"threads\": {}, \"wall_s\": {:.6}, \
+                "        {{\"mode\": \"{}\", \"threads_requested\": {}, \
+                 \"threads_effective\": {}, \"wall_s\": {:.6}, \
                  \"loop_s\": {:.6}, \"walk_s\": {:.6}, \"merge_s\": {:.6}, \
                  \"policy_s\": {:.6}, \"dram_cycles\": {}, \"requests\": {}, \
                  \"sim_cycles_per_sec\": {:.1}, \"requests_per_sec\": {:.1}}}{}",
                 s.mode,
-                s.threads,
+                s.threads_requested,
+                s.threads_effective,
                 s.wall_s,
                 s.loop_s,
                 s.walk_s,
@@ -386,7 +403,7 @@ fn main() {
             println!(
                 "  {:<11} {:>3} {:>9.3} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>13} {:>15.0}",
                 s.mode,
-                s.threads,
+                s.threads_effective,
                 s.wall_s,
                 s.loop_s,
                 s.walk_s,
@@ -418,9 +435,28 @@ fn main() {
                     s.mem.relocation_stall_cycles, 0,
                     "{} (threads={}) charged relocation stall cycles in the \
                      background-paced contention cell",
-                    s.mode, s.threads
+                    s.mode, s.threads_effective
                 );
             }
+        }
+    }
+
+    // The executor axis: every mode's effective thread count must be
+    // the requested count clamped to the host's cores. On a 1-core host
+    // the threaded lane therefore runs serial — the pool never fans out
+    // past physical parallelism, which is the fix for the 2-thread
+    // regression v2 measured (thread_scaling 0.92 with spawned workers
+    // serializing on one core).
+    let host_parallelism = clr_sim::host_parallelism();
+    for sc in &scenarios {
+        for s in &sc.modes {
+            assert_eq!(
+                s.threads_effective,
+                s.threads_requested.min(host_parallelism),
+                "{}/{}: resolve-time clamp not applied",
+                sc.name,
+                s.mode
+            );
         }
     }
 
@@ -430,11 +466,10 @@ fn main() {
     // *enforced* where it is physically meaningful: from the default
     // scale up (smoke cells finish in milliseconds, pure timer noise)
     // and on hosts where two workers can actually overlap
-    // (`available_parallelism` >= 2 — on a single-core host the scoped
-    // workers serialize and the ratio measures scheduler jitter, not
-    // the walk). The measured ratio and whether it was enforced are
-    // always recorded in the JSON.
-    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // (`available_parallelism` >= 2 — on a single-core host the clamp
+    // resolves the threaded lane to serial and the ratio measures
+    // scheduler jitter, not the walk). The measured ratio and whether
+    // it was enforced are always recorded in the JSON.
     let contention = &scenarios[2];
     let gate = contention
         .speedup_threaded()
@@ -454,7 +489,7 @@ fn main() {
     }
 
     let json = json_report(scale, &scenarios, host_parallelism, enforced);
-    println!("--- machine-readable (clr-dram/sim-throughput/v2) ---");
+    println!("--- machine-readable (clr-dram/sim-throughput/v3) ---");
     print!("{json}");
     let out = "BENCH_sim_throughput.json";
     match std::fs::write(out, &json) {

@@ -47,6 +47,7 @@ fn run(scale: Scale, metrics: Option<MetricsConfig>) -> PolicyRunResult {
         trace: None,
         metrics,
         threads: threads_from_env(),
+        clamp_threads: true,
     };
     let cfg = PolicyRunConfig::new(
         base,

@@ -1,0 +1,374 @@
+//! Fleet-level fusion: distributions, SLO verdict, and the
+//! `clr-dram/fleet/v1` JSON.
+//!
+//! Per-instance read-latency histograms fold into the fleet
+//! distribution with exact bucket sums
+//! ([`LatencyHistogram::fused`]) — fleet p50/p95/p99 cost one merge
+//! pass, never a re-simulation. The SLO verdict reuses the
+//! [`clr_obs::slo`] engine by laying the fleet out as a
+//! [`TimeSeries`] with **one window per instance**: a windowed
+//! objective's error budget then reads as "the fraction of instances
+//! allowed to violate", and scalar objectives bound the fused
+//! distribution and the worst per-tenant slowdown.
+//!
+//! The JSON is a pure function of the fleet spec: stable key order,
+//! fixed-precision floats, and **no host wall-clock or pool-shape
+//! fields**, so byte-identity across pool sizes is checkable with
+//! `==` on the emitted strings.
+
+use clr_memsim::stats::MemStats;
+use clr_obs::{
+    LatencyHistogram, ScalarObjective, SeriesCounters, SeriesGauges, SloReport, SloSpec,
+    TimeSeries, WindowMetric, WindowSummary, WindowedObjective,
+};
+use clr_sim::experiment::policies::{SLO_MAX_SLOWDOWN_MILLI, SLO_READ_P99_CYCLES};
+use clr_sim::geomean;
+
+use crate::spec::FleetSpec;
+
+/// Fraction of instances allowed to violate the per-instance read-p99
+/// bound before the fleet objective fails.
+pub const FLEET_P99_ERROR_BUDGET: f64 = 0.10;
+
+/// One instance's fused results (measurement window only).
+#[derive(Debug, Clone)]
+pub struct InstanceResult {
+    /// Instance id (roster index).
+    pub id: u32,
+    /// The instance's master seed.
+    pub seed: u64,
+    /// DRAM channels.
+    pub channels: u32,
+    /// Tenant workload names, core order.
+    pub tenant_names: Vec<String>,
+    /// Mode-management label ([`crate::spec::InstanceSpec::policy_label`]).
+    pub policy_label: String,
+    /// Relocation model label (`stall` / `background`).
+    pub relocation_label: &'static str,
+    /// Instructions per tenant core in the measurement window.
+    pub budget_insts: u64,
+    /// Per-tenant IPC, core order.
+    pub ipc: Vec<f64>,
+    /// Per-tenant slowdowns (`alone_ipc / shared_ipc`; `[1.0]` for
+    /// single-tenant instances).
+    pub slowdowns: Vec<f64>,
+    /// DRAM cycles in the measurement window.
+    pub dram_cycles: u64,
+    /// Total DRAM energy over the window, joules.
+    pub energy_j: f64,
+    /// Mode-management data-movement energy, joules.
+    pub migration_energy_j: f64,
+    /// Time-averaged fraction of device capacity forfeited to
+    /// high-performance mode.
+    pub capacity_forfeited: f64,
+    /// High-performance row fraction at the end of the run.
+    pub final_hp_fraction: f64,
+    /// Fused memory-system statistics (all channels).
+    pub mem: MemStats,
+}
+
+impl InstanceResult {
+    /// The instance's worst per-tenant slowdown.
+    pub fn max_slowdown(&self) -> f64 {
+        self.slowdowns.iter().cloned().fold(1.0, f64::max)
+    }
+}
+
+/// Lays the fleet out as one [`TimeSeries`] window per instance
+/// (window `i` = instance `i`'s whole measurement window), so the
+/// windowed SLO engine's error budgets quantify over *instances*.
+pub fn fleet_series(instances: &[InstanceResult]) -> TimeSeries {
+    let mut ts = TimeSeries::new(instances.len().max(1));
+    for (i, inst) in instances.iter().enumerate() {
+        let m = &inst.mem;
+        ts.push(WindowSummary {
+            index: i as u64,
+            start_cycle: i as u64,
+            end_cycle: i as u64 + 1,
+            sources: 1,
+            counters: SeriesCounters {
+                acts: m.acts_max_capacity + m.acts_high_performance,
+                reads: m.reads,
+                writes: m.writes,
+                mode_transitions: m.mode_transitions,
+                migration_jobs: m.migration_jobs_completed,
+                frames_moved: m.migration_fills,
+                stall_cycles: m.relocation_stall_cycles,
+                migration_slot_cycles: m.migration_slot_cycles,
+            },
+            gauges: SeriesGauges {
+                hp_permille: (inst.final_hp_fraction * 1000.0) as u64,
+                ..SeriesGauges::default()
+            },
+            read_latency: m.read_latency_hist.clone(),
+        });
+    }
+    ts
+}
+
+/// The fleet service-level objective:
+///
+/// * **windowed** — each instance's read p99 stays under
+///   [`SLO_READ_P99_CYCLES`], with [`FLEET_P99_ERROR_BUDGET`] of
+///   instances allowed to violate (tail tenants exist in any fleet);
+/// * **scalars** — the *fused* fleet read p99 stays under the same
+///   bound, and the worst per-tenant slowdown stays under
+///   [`SLO_MAX_SLOWDOWN_MILLI`] (1.6×).
+pub fn fleet_slo_spec(fused_read_p99: u64, max_slowdown_milli: u64) -> SloSpec {
+    let mut spec = SloSpec::named("fleet-v1");
+    spec.windowed.push(WindowedObjective::budgeted(
+        WindowMetric::ReadP99,
+        SLO_READ_P99_CYCLES,
+        FLEET_P99_ERROR_BUDGET,
+    ));
+    spec.scalars.push(ScalarObjective {
+        name: "fleet_read_p99_cycles",
+        value: fused_read_p99,
+        max: SLO_READ_P99_CYCLES,
+    });
+    spec.scalars.push(ScalarObjective {
+        name: "max_tenant_slowdown_milli",
+        value: max_slowdown_milli,
+        max: SLO_MAX_SLOWDOWN_MILLI,
+    });
+    spec
+}
+
+/// The fused fleet report.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Scale label the roster was synthesized at.
+    pub scale: &'static str,
+    /// Fleet master seed.
+    pub seed: u64,
+    /// Per-instance results, id order.
+    pub instances: Vec<InstanceResult>,
+    /// Exact bucket-fold of every instance's read-latency histogram.
+    pub fused_read_latency: LatencyHistogram,
+    /// Geomean over every tenant IPC in the fleet.
+    pub ipc_geomean: f64,
+    /// Worst per-tenant slowdown across the fleet.
+    pub max_tenant_slowdown: f64,
+    /// Mean capacity forfeited across instances.
+    pub mean_capacity_forfeited: f64,
+    /// Total DRAM energy, joules.
+    pub total_energy_j: f64,
+    /// Total mode-management data-movement energy, joules.
+    pub total_migration_energy_j: f64,
+    /// Sum of instance measurement windows, DRAM cycles.
+    pub dram_cycles_total: u64,
+    /// The SLO verdict over the instance-granular series.
+    pub slo: SloReport,
+    /// Pool threads the caller asked for (host-side observability;
+    /// deliberately **not** in the JSON).
+    pub pool_threads_requested: usize,
+    /// Pool threads after the host-parallelism clamp (not in the JSON).
+    pub pool_threads_effective: usize,
+}
+
+impl FleetReport {
+    /// Fuses per-instance results into the fleet report. Skipped jobs
+    /// never happen here ([`clr_memsim::Executor::run_batch`] returns
+    /// every result or propagates the panic), so `instances` is
+    /// id-ordered and complete.
+    pub fn fuse(
+        spec: &FleetSpec,
+        instances: Vec<InstanceResult>,
+        pool_threads_requested: usize,
+        pool_threads_effective: usize,
+    ) -> FleetReport {
+        assert_eq!(instances.len(), spec.instances.len(), "batch is complete");
+        let fused_read_latency =
+            LatencyHistogram::fused(instances.iter().map(|i| &i.mem.read_latency_hist));
+        let all_ipc: Vec<f64> = instances
+            .iter()
+            .flat_map(|i| i.ipc.iter().copied())
+            .collect();
+        let max_tenant_slowdown = instances
+            .iter()
+            .map(InstanceResult::max_slowdown)
+            .fold(1.0, f64::max);
+        let mean_capacity_forfeited = instances.iter().map(|i| i.capacity_forfeited).sum::<f64>()
+            / instances.len().max(1) as f64;
+        let slo = fleet_slo_spec(
+            fused_read_latency.p99(),
+            (max_tenant_slowdown * 1000.0).round() as u64,
+        )
+        .evaluate(&fleet_series(&instances));
+        FleetReport {
+            scale: spec.scale.label(),
+            seed: spec.seed,
+            ipc_geomean: geomean(&all_ipc),
+            max_tenant_slowdown,
+            mean_capacity_forfeited,
+            total_energy_j: instances.iter().map(|i| i.energy_j).sum(),
+            total_migration_energy_j: instances.iter().map(|i| i.migration_energy_j).sum(),
+            dram_cycles_total: instances.iter().map(|i| i.dram_cycles).sum(),
+            fused_read_latency,
+            slo,
+            instances,
+            pool_threads_requested,
+            pool_threads_effective,
+        }
+    }
+
+    /// Serializes the report as deterministic `clr-dram/fleet/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"clr-dram/fleet/v1\",\n");
+        s.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"instances_n\": {},\n", self.instances.len()));
+        let h = &self.fused_read_latency;
+        s.push_str("  \"fleet\": {\n");
+        s.push_str(&format!(
+            "    \"read_latency\": {{\"count\": {}, \"mean\": {:.3}, \"p50\": {}, \
+             \"p95\": {}, \"p99\": {}, \"p999\": {}}},\n",
+            h.count(),
+            h.mean(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.p999(),
+        ));
+        s.push_str(&format!("    \"ipc_geomean\": {:.6},\n", self.ipc_geomean));
+        s.push_str(&format!(
+            "    \"max_tenant_slowdown\": {:.6},\n",
+            self.max_tenant_slowdown
+        ));
+        s.push_str(&format!(
+            "    \"mean_capacity_forfeited\": {:.6},\n",
+            self.mean_capacity_forfeited
+        ));
+        s.push_str(&format!(
+            "    \"total_energy_j\": {:.9},\n",
+            self.total_energy_j
+        ));
+        s.push_str(&format!(
+            "    \"total_migration_energy_j\": {:.9},\n",
+            self.total_migration_energy_j
+        ));
+        s.push_str(&format!(
+            "    \"dram_cycles_total\": {}\n",
+            self.dram_cycles_total
+        ));
+        s.push_str("  },\n");
+        s.push_str(&format!("  \"slo_pass\": {},\n", self.slo.pass()));
+        // SloReport::to_json is a complete JSON object; indentation
+        // inside it is cosmetic only.
+        s.push_str(&format!("  \"slo\": {},\n", self.slo.to_json()));
+        s.push_str("  \"instances\": [\n");
+        for (i, inst) in self.instances.iter().enumerate() {
+            let tenants: Vec<String> = inst
+                .tenant_names
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect();
+            let ipc: Vec<String> = inst.ipc.iter().map(|v| format!("{v:.6}")).collect();
+            let slow: Vec<String> = inst.slowdowns.iter().map(|v| format!("{v:.6}")).collect();
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"seed\": {}, \"channels\": {}, \"tenants\": [{}], \
+                 \"policy\": \"{}\", \"relocation\": \"{}\", \"budget_insts\": {}, \
+                 \"ipc\": [{}], \"slowdowns\": [{}], \"max_slowdown\": {:.6}, \
+                 \"read_p50\": {}, \"read_p95\": {}, \"read_p99\": {}, \
+                 \"capacity_forfeited\": {:.6}, \"final_hp_fraction\": {:.6}, \
+                 \"energy_j\": {:.9}, \"migration_energy_j\": {:.9}, \
+                 \"dram_cycles\": {}, \"migration_jobs\": {}, \"mode_transitions\": {}}}{}\n",
+                inst.id,
+                inst.seed,
+                inst.channels,
+                tenants.join(", "),
+                inst.policy_label,
+                inst.relocation_label,
+                inst.budget_insts,
+                ipc.join(", "),
+                slow.join(", "),
+                inst.max_slowdown(),
+                inst.mem.read_latency_hist.p50(),
+                inst.mem.read_latency_hist.p95(),
+                inst.mem.read_latency_hist.p99(),
+                inst.capacity_forfeited,
+                inst.final_hp_fraction,
+                inst.energy_j,
+                inst.migration_energy_j,
+                inst.dram_cycles,
+                inst.mem.migration_jobs_completed,
+                inst.mem.mode_transitions,
+                if i + 1 < self.instances.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stub_instance(id: u32, p99_latency: u64, slowdown: f64) -> InstanceResult {
+        let mut mem = MemStats {
+            reads: 100,
+            ..MemStats::default()
+        };
+        mem.read_latency_hist.record_n(p99_latency, 100);
+        InstanceResult {
+            id,
+            seed: u64::from(id) + 1,
+            channels: 1,
+            tenant_names: vec!["stub".to_string()],
+            policy_label: "layout-00".to_string(),
+            relocation_label: "stall",
+            budget_insts: 1000,
+            ipc: vec![1.0],
+            slowdowns: vec![slowdown],
+            dram_cycles: 10_000,
+            energy_j: 1e-6,
+            migration_energy_j: 0.0,
+            capacity_forfeited: 0.0,
+            final_hp_fraction: 0.0,
+            mem,
+        }
+    }
+
+    #[test]
+    fn fused_histogram_is_the_exact_bucket_sum() {
+        let instances = [stub_instance(0, 50, 1.0), stub_instance(1, 200, 1.0)];
+        let fused = LatencyHistogram::fused(instances.iter().map(|i| &i.mem.read_latency_hist));
+        assert_eq!(fused.count(), 200);
+        let (p50, p95, p99) = fused.percentiles();
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn error_budget_quantifies_over_instances() {
+        // 20 instances, 1 violating: inside the 10% budget.
+        let mut instances: Vec<_> = (0..19).map(|i| stub_instance(i, 50, 1.0)).collect();
+        instances.push(stub_instance(19, SLO_READ_P99_CYCLES * 4, 1.0));
+        let slo = fleet_slo_spec(50, 1000).evaluate(&fleet_series(&instances));
+        assert!(slo.pass(), "1/20 violations is inside the 10% budget");
+        // 5 of 20 violating: budget blown.
+        for (i, inst) in instances.iter_mut().enumerate().take(19).skip(15) {
+            *inst = stub_instance(i as u32, SLO_READ_P99_CYCLES * 4, 1.0);
+        }
+        let slo = fleet_slo_spec(50, 1000).evaluate(&fleet_series(&instances));
+        assert!(!slo.pass(), "5/20 violations blows the 10% budget");
+    }
+
+    #[test]
+    fn scalar_slowdown_bound_fails_past_1_6x() {
+        let instances = [stub_instance(0, 50, 1.9)];
+        let slo = fleet_slo_spec(50, 1900).evaluate(&fleet_series(&instances));
+        assert!(!slo.pass());
+        assert!(slo
+            .scalars
+            .iter()
+            .any(|o| o.name == "max_tenant_slowdown_milli" && !o.pass));
+    }
+}

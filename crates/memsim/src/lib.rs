@@ -110,6 +110,7 @@ pub mod config;
 pub mod controller;
 pub mod cycletimings;
 pub mod engine;
+pub mod executor;
 pub mod frames;
 pub mod migrate;
 pub mod refresh;
@@ -120,6 +121,7 @@ pub mod system;
 
 pub use config::{ClrModeConfig, MemConfig, SchedulerConfig};
 pub use controller::MemoryController;
+pub use executor::Executor;
 pub use frames::{CapacityRebalancer, DestinationPicker, FrameDirectory, RebalanceConfig};
 pub use migrate::{MigrationRate, RelocationConfig, RelocationMode};
 pub use request::{MemRequest, RequestKind};

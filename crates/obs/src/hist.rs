@@ -218,6 +218,26 @@ impl LatencyHistogram {
         }
     }
 
+    /// Folds many histograms into one with [`LatencyHistogram::merge`] —
+    /// the fleet-level fusion: per-instance read-latency distributions
+    /// combine exactly (no re-simulation, no approximation), so a fused
+    /// p99 over a thousand instances is the true p99 of the union of
+    /// every instance's samples.
+    pub fn fused<'a>(parts: impl IntoIterator<Item = &'a LatencyHistogram>) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for h in parts {
+            out.merge(h);
+        }
+        out
+    }
+
+    /// The percentile summary `(p50, p95, p99)` every fleet and bench
+    /// report prints — one call instead of three quantile walks' worth
+    /// of call sites.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (self.p50(), self.p95(), self.p99())
+    }
+
     /// Iterates non-empty buckets as `(upper_bound, count)`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts

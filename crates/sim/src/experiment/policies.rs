@@ -388,6 +388,7 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
             capacity: 4_096,
         }),
         threads: crate::system::threads_from_env(),
+        clamp_threads: true,
     };
     let cfg = PolicyRunConfig::new(
         base,

@@ -33,4 +33,4 @@ pub mod translate;
 pub use metrics::{geomean, max_slowdown, weighted_speedup};
 pub use policyrun::{run_policy_workloads, PolicyRunConfig, PolicyRunResult};
 pub use scale::Scale;
-pub use system::{RunConfig, RunResult};
+pub use system::{host_parallelism, per_core_seed, run_workloads, RunConfig, RunResult};

@@ -511,6 +511,7 @@ mod tests {
             trace: None,
             metrics: None,
             threads: 1,
+            clamp_threads: true,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -562,6 +563,7 @@ mod tests {
             trace: None,
             metrics: None,
             threads: 1,
+            clamp_threads: true,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -612,6 +614,7 @@ mod tests {
             trace: None,
             metrics: None,
             threads: 1,
+            clamp_threads: true,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -666,6 +669,7 @@ mod tests {
             trace: None,
             metrics: None,
             threads: 1,
+            clamp_threads: true,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,

@@ -88,6 +88,16 @@ pub struct RunConfig {
     /// serial. [`RunConfig::paper`] resolves this from the
     /// `CLR_THREADS` environment variable.
     pub threads: usize,
+    /// Clamp [`RunConfig::threads`] to the host's
+    /// [`std::thread::available_parallelism`] when the run resolves its
+    /// effective thread count (the default, and what every production
+    /// caller wants: `CLR_THREADS=2` on a 1-core host must not fan out —
+    /// parked workers on one core only add hand-off latency).
+    /// Differential tests set `false` so the pooled walk is exercised
+    /// even on 1-core hosts; the clamp can never change a simulated
+    /// outcome either way. The resolved counts are recorded in
+    /// [`RunResult::threads_requested`] / [`RunResult::threads_effective`].
+    pub clamp_threads: bool,
 }
 
 impl RunConfig {
@@ -105,6 +115,7 @@ impl RunConfig {
             trace: TraceConfig::from_env(),
             metrics: MetricsConfig::from_env(),
             threads: threads_from_env(),
+            clamp_threads: true,
         }
     }
 }
@@ -116,6 +127,15 @@ pub fn threads_from_env() -> usize {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// The host's available hardware parallelism (1 if unknown) — the
+/// ceiling [`RunConfig::clamp_threads`] holds effective worker threads
+/// to, and the value benches report alongside requested thread counts.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
         .unwrap_or(1)
 }
 
@@ -154,6 +174,14 @@ pub struct RunResult {
     /// Host seconds spent merging per-channel completion streams, a
     /// subset of [`RunResult::host_loop_s`].
     pub host_merge_s: f64,
+    /// Worker threads the configuration asked for
+    /// ([`RunConfig::threads`], ≥ 1).
+    pub threads_requested: usize,
+    /// Worker threads the walk actually ran with after the
+    /// [`RunConfig::clamp_threads`] resolve-time clamp against
+    /// [`host_parallelism`] (equals `threads_requested` when clamping
+    /// is off or the host has enough cores).
+    pub threads_effective: usize,
     /// The merged event trace (whole run, warmup included), present only
     /// when [`RunConfig::trace`] enabled tracing. When metrics were also
     /// enabled and the trace's category set includes
@@ -198,10 +226,11 @@ impl RunMetrics {
     }
 }
 
-/// The trace seed core `core` derives from a run's master seed — exposed
-/// crate-wide so an alone-IPC baseline run can hand core 0 exactly the
-/// trace that core `core` replays in a shared run.
-pub(crate) fn per_core_seed(seed: u64, core: usize) -> u64 {
+/// The trace seed core `core` derives from a run's master seed — public
+/// so an alone-IPC baseline run (in the experiment sweep or a fleet
+/// instance's slowdown baseline) can hand core 0 exactly the trace that
+/// core `core` replays in a shared run.
+pub fn per_core_seed(seed: u64, core: usize) -> u64 {
     seed.wrapping_add((core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
@@ -353,7 +382,16 @@ pub(crate) fn run_workloads_observed(
 
     let mut cluster = CpuCluster::new(cfg.cluster, traces);
     let mut mem_sys = MemorySystem::new(cfg.mem.clone());
-    mem_sys.set_threads(cfg.threads);
+    // Resolve the effective worker-thread count: fanning out past the
+    // host's cores only adds hand-off latency (the measured 2-thread
+    // regression on a 1-core host), so production runs clamp here.
+    let threads_requested = cfg.threads.max(1);
+    let threads_effective = if cfg.clamp_threads {
+        threads_requested.min(host_parallelism())
+    } else {
+        threads_requested
+    };
+    mem_sys.set_threads(threads_effective);
     if let Some(tc) = &cfg.trace {
         mem_sys.enable_tracing(tc);
     }
@@ -571,6 +609,8 @@ pub(crate) fn run_workloads_observed(
         host_loop_s,
         host_walk_s,
         host_merge_s,
+        threads_requested,
+        threads_effective,
         trace,
         metrics,
         skip_profile: mem_sys.fused_skip_profile(),
@@ -594,6 +634,7 @@ mod tests {
             trace: None,
             metrics: None,
             threads: 1,
+            clamp_threads: true,
         }
     }
 

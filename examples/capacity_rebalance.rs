@@ -39,6 +39,7 @@ fn run(placement: DestinationPicker, scale: Scale) -> PolicyRunResult {
         trace: None,
         metrics: None,
         threads: 1,
+        clamp_threads: true,
     };
     let cfg = PolicyRunConfig::new(
         base,

@@ -23,6 +23,7 @@ fn run(policy: PolicySpec, initial_fraction: f64, budget: f64, scale: Scale) {
         trace: None,
         metrics: None,
         threads: 1,
+        clamp_threads: true,
     };
     let cfg = PolicyRunConfig::new(
         base,

@@ -293,3 +293,8 @@ pub mod policy {
 pub mod sim {
     pub use clr_sim::*;
 }
+
+/// Fleet-scale batched simulation (re-export of [`clr_fleet`]).
+pub mod fleet {
+    pub use clr_fleet::*;
+}

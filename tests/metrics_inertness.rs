@@ -44,6 +44,8 @@ fn run(metrics: Option<MetricsConfig>, skip_ahead: bool, threads: usize) -> Poli
         trace: None,
         metrics,
         threads,
+        // Differential lane: exercise the pooled walk even on 1-core hosts.
+        clamp_threads: false,
     };
     let cfg = PolicyRunConfig::new(
         base,

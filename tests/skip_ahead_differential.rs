@@ -435,6 +435,9 @@ fn two_channel_threaded_full_system_run_is_bit_identical() {
         let mut cfg = RunConfig::paper(mem.clone(), 12_000, 1_500, 77);
         cfg.skip_ahead = skip_ahead;
         cfg.threads = threads;
+        // Differential lane: the pooled walk must run even on 1-core
+        // hosts, where the production clamp would degrade it to serial.
+        cfg.clamp_threads = false;
         run_workloads(&[w], &cfg)
     };
     let per_cycle = run(false, 1);
@@ -466,6 +469,7 @@ fn two_channel_policy_run_with_epoch_boundaries_is_bit_identical() {
             trace: None,
             metrics: None,
             threads: 1,
+            clamp_threads: true,
         };
         let cfg = PolicyRunConfig::new(
             base,
@@ -530,6 +534,9 @@ fn placement_modes_policy_runs_are_bit_identical() {
             trace: None,
             metrics: None,
             threads,
+            // Differential lane: exercise the pooled walk even on
+            // 1-core hosts.
+            clamp_threads: false,
         };
         let cfg = PolicyRunConfig::new(
             base,
@@ -604,6 +611,7 @@ fn policy_run_with_epoch_boundaries_is_bit_identical() {
             trace: None,
             metrics: None,
             threads: 1,
+            clamp_threads: true,
         };
         // The threshold policy proposes on raw access counts, so the run
         // is guaranteed to move the table (hysteresis may rightly decline

@@ -46,6 +46,8 @@ fn run_threaded(trace: Option<TraceConfig>, threads: usize) -> PolicyRunResult {
         metrics: trace.is_some().then(|| MetricsConfig::every(2_500)),
         trace,
         threads,
+        // Differential lane: exercise the pooled walk even on 1-core hosts.
+        clamp_threads: false,
     };
     let cfg = PolicyRunConfig::new(
         base,
