@@ -1,11 +1,14 @@
-//! Fleet-scale batched simulation report (`clr-dram/fleet/v1`).
+//! Fleet-scale batched simulation report (`clr-dram/fleet/v2`).
 //!
 //! Synthesizes a deterministic heterogeneous roster
 //! ([`FleetSpec::synth`]), pushes every instance through one shared
 //! persistent executor as whole-instance jobs, fuses the fleet
-//! read-latency distribution / slowdowns / capacity / energy, and
-//! evaluates the fleet SLO. Writes the deterministic JSON to
-//! `BENCH_fleet.json`.
+//! read-latency distribution / slowdowns / capacity / energy / blame
+//! budgets / skip-ahead profile, and evaluates the relocation-aware
+//! fleet SLO (background instances gated at the doubled fleet
+//! slowdown bound; stall-mode instances reported against the sweep
+//! bound but `expected_fail`-annotated — see `fleet_slo_spec`).
+//! Writes the deterministic JSON to `BENCH_fleet.json`.
 //!
 //! Knobs:
 //!
@@ -55,12 +58,31 @@ fn main() {
         h.p99(),
     );
     println!(
-        "  ipc geomean {:.4} | max tenant slowdown {:.3}x | mean capacity forfeited {:.3} | \
-         migration energy {:.3e} J",
+        "  ipc geomean {:.4} | max tenant slowdown {:.3}x (background {:.3}x, stall {:.3}x) | \
+         mean capacity forfeited {:.3} | migration energy {:.3e} J",
         report.ipc_geomean,
         report.max_tenant_slowdown,
+        report.max_background_slowdown,
+        report.max_stall_slowdown,
         report.mean_capacity_forfeited,
         report.total_migration_energy_j,
+    );
+    let total_wait = report.fused_read_blame.total_cycles();
+    let anatomy = report
+        .fused_read_blame
+        .dominant()
+        .into_iter()
+        .take(4)
+        .map(|(cause, cycles)| format!("{} {}%", cause.label(), cycles * 100 / total_wait.max(1)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("  fleet wait anatomy (top causes): {anatomy}");
+    let sp = &report.fused_skip_profile;
+    println!(
+        "  fused skip profile: {:.1}% cycles skipped, {:.3} events/kcycle, jump p95 {}",
+        sp.jump_coverage() * 100.0,
+        sp.events_per_kilocycle(),
+        sp.jumps.p95(),
     );
     println!(
         "  slo[{}]: {}",

@@ -4,7 +4,7 @@
 //! speedup, max slowdown under a shared fast-row budget).
 //!
 //! The final stdout block is machine-readable JSON
-//! (`clr-dram/policy-sweep/v6`) so successive PRs can track the
+//! (`clr-dram/policy-sweep/v7`) so successive PRs can track the
 //! performance trajectory of the policies.
 //!
 //! Set `CLR_SWEEP=contention` to run only the contention sweep (the CI
@@ -74,7 +74,7 @@ fn main() {
                 scale,
             };
             print_contention(&report);
-            println!("\n--- machine-readable (clr-dram/policy-sweep/v6) ---");
+            println!("\n--- machine-readable (clr-dram/policy-sweep/v7) ---");
             print!("{}", report.to_json());
             sanity_check_contention(&report, scale);
             return;
@@ -90,7 +90,7 @@ fn main() {
                 scale,
             };
             print_placement(&report);
-            println!("\n--- machine-readable (clr-dram/policy-sweep/v6) ---");
+            println!("\n--- machine-readable (clr-dram/policy-sweep/v7) ---");
             print!("{}", report.to_json());
             sanity_check_placement(&report);
             return;
@@ -166,7 +166,7 @@ fn main() {
     print_contention(&report);
     print_placement(&report);
 
-    println!("\n--- machine-readable (clr-dram/policy-sweep/v6) ---");
+    println!("\n--- machine-readable (clr-dram/policy-sweep/v7) ---");
     print!("{}", report.to_json());
     sanity_check_contention(&report, scale);
     sanity_check_placement(&report);

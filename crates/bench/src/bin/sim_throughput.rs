@@ -139,6 +139,7 @@ fn run_saturated(mode: &'static str, skip_ahead: bool, scale: Scale) -> Sample {
         metrics: None,
         threads: 1,
         clamp_threads: true,
+        blame: false,
     };
     let cfg = PolicyRunConfig::new(
         base,
@@ -219,6 +220,7 @@ fn run_contention(mode: &'static str, skip_ahead: bool, threads: usize, scale: S
         // The production clamp stays on: this lane is the bench's proof
         // that a thread request past the host's cores does not fan out.
         clamp_threads: true,
+        blame: false,
     };
     let cfg = PolicyRunConfig::new(
         base,

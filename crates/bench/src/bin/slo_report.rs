@@ -4,7 +4,9 @@
 //! Runs the 2-core × 2-channel util-threshold contention cell (the same
 //! shape the smoke `policy_sweep` roster drives through the sharded
 //! channel path) twice — once with continuous telemetry off, once on —
-//! and asserts the simulated outcome is bit-identical. Then evaluates
+//! and asserts the simulated outcome is bit-identical (the telemetry
+//! run also attributes wait causes, so the same differential proves the
+//! blame ledger inert after zeroing its own fields). Then evaluates
 //! the cell's [`cell_slo_spec`] against the fused system series, plus a
 //! scalar objective holding the final high-performance fraction under
 //! the policy budget, and writes the machine-checkable verdict
@@ -31,7 +33,7 @@ const SEED: u64 = 42;
 /// The smoke contention cell's exact shape: two cores (drifting +
 /// stable hot sets) over two channels, util-threshold policy,
 /// even budget split, background-paced relocation.
-fn run(scale: Scale, metrics: Option<MetricsConfig>) -> PolicyRunResult {
+fn run(scale: Scale, metrics: Option<MetricsConfig>, blame: bool) -> PolicyRunResult {
     let mut mem = policy_mem_config(0.0);
     mem.geometry.channels = 2;
     mem.refresh_enabled = true;
@@ -48,6 +50,7 @@ fn run(scale: Scale, metrics: Option<MetricsConfig>) -> PolicyRunResult {
         metrics,
         threads: threads_from_env(),
         clamp_threads: true,
+        blame,
     };
     let cfg = PolicyRunConfig::new(
         base,
@@ -68,14 +71,48 @@ fn assert_inert(off: &PolicyRunResult, on: &PolicyRunResult) {
     assert_eq!(off.run.ipc, on.run.ipc, "metrics changed IPC");
     assert_eq!(off.run.cpu_cycles, on.run.cpu_cycles);
     assert_eq!(off.run.dram_cycles, on.run.dram_cycles);
-    assert_eq!(off.run.mem, on.run.mem, "metrics changed DRAM statistics");
-    assert_eq!(off.run.mem_per_channel, on.run.mem_per_channel);
+    // The telemetry run also attributed wait causes; zeroing only the
+    // blame fields must make the statistics bit-identical — anything
+    // else differing means attribution perturbed the simulation.
+    let mut on_mem = on.run.mem.clone();
+    on_mem.read_blame.clear();
+    on_mem.write_blame.clear();
+    assert_eq!(off.run.mem, on_mem, "metrics/blame changed DRAM statistics");
+    let mut on_pc = on.run.mem_per_channel.clone();
+    for m in &mut on_pc {
+        m.read_blame.clear();
+        m.write_blame.clear();
+    }
+    assert_eq!(off.run.mem_per_channel, on_pc);
     assert_eq!(off.rows_remapped, on.rows_remapped);
     assert_eq!(off.final_hp_fraction, on.final_hp_fraction);
     assert!(off.run.metrics.is_none() && on.run.metrics.is_some());
 }
 
-fn emit_json(scale: Scale, workload: &str, report: &SloReport) {
+fn blame_json(mem: &clr_memsim::MemStats) -> String {
+    let total = mem.read_blame.total_cycles();
+    let entry = |scale: u64| {
+        clr_obs::WaitCause::ALL
+            .iter()
+            .map(|&c| {
+                format!(
+                    "\"{}\": {}",
+                    c.label(),
+                    mem.read_blame.of(c).sum() * 1000 / scale.max(1)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "{{\"read_latency_cycles\": {}, \"cycles\": {{{}}}, \"permille\": {{{}}}}}",
+        mem.read_latency_hist.sum(),
+        entry(1000),
+        entry(total),
+    )
+}
+
+fn emit_json(scale: Scale, workload: &str, report: &SloReport, blame: &str) {
     let indented = report
         .to_json()
         .lines()
@@ -86,9 +123,11 @@ fn emit_json(scale: Scale, workload: &str, report: &SloReport) {
         .to_string();
     let json = format!(
         "{{\n  \"schema\": \"clr-dram/slo/v1\",\n  \"scale\": \"{}\",\n  \
-         \"policy\": \"util-threshold\",\n  \"workload\": \"{}\",\n  \"report\": {}\n}}\n",
+         \"policy\": \"util-threshold\",\n  \"workload\": \"{}\",\n  \
+         \"blame\": {},\n  \"report\": {}\n}}\n",
         scale.label(),
         workload,
+        blame,
         indented,
     );
     let out = "BENCH_slo_report.json";
@@ -106,16 +145,42 @@ fn main() {
         clr_bench::startup("SLO report (continuous telemetry on the smoke contention cell)");
 
     println!("running the 2core/2ch util-threshold cell, metrics off vs on ...");
-    let off = run(scale, None);
+    let off = run(scale, None, false);
     let on = run(
         scale,
         Some(MetricsConfig {
             interval_cycles: epoch_cycles(scale),
             capacity: 4_096,
         }),
+        true,
     );
     assert_inert(&off, &on);
-    println!("inertness: outcomes bit-identical with telemetry enabled");
+    println!("inertness: outcomes bit-identical with telemetry + attribution enabled");
+
+    // The attribution exactness contract, re-proven end to end: the
+    // per-cause budgets sum to exactly the measured latency mass.
+    let mem = &on.run.mem;
+    assert_eq!(
+        mem.read_blame.total_cycles(),
+        mem.read_latency_hist.sum(),
+        "read blame budgets must sum to the read latency mass"
+    );
+    assert_eq!(
+        mem.write_blame.total_cycles(),
+        mem.write_latency_hist.sum(),
+        "write blame budgets must sum to the write latency mass"
+    );
+    println!("attribution: per-cause budgets sum exactly to measured latency");
+    println!("\nread wait anatomy (cycles, permille of total):");
+    let total = mem.read_blame.total_cycles();
+    for (cause, cycles) in mem.read_blame.dominant() {
+        println!(
+            "  {:<16} {:>12} {:>5}‰",
+            cause.label(),
+            cycles,
+            cycles * 1000 / total.max(1)
+        );
+    }
 
     let system = on.run.metrics.as_ref().expect("metrics enabled").system();
     let mut spec = cell_slo_spec(true);
@@ -123,6 +188,7 @@ fn main() {
         name: "final_hp_fraction_milli",
         value: (on.final_hp_fraction * 1000.0).round() as u64,
         max: (DYNAMIC_BUDGET * 1000.0).round() as u64,
+        expected_fail: false,
     });
     let report = spec.evaluate(&system);
 
@@ -149,6 +215,15 @@ fn main() {
             o.burn_alerts,
             if o.pass { "PASS" } else { "FAIL" },
         );
+        if !o.top_causes.is_empty() {
+            let causes = o
+                .top_causes
+                .iter()
+                .map(|(c, p)| format!("{c} {p}‰"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!("    └─ blamed on: {causes}");
+        }
     }
     for s in &report.scalars {
         println!(
@@ -160,7 +235,7 @@ fn main() {
         );
     }
 
-    emit_json(scale, &workload, &report);
+    emit_json(scale, &workload, &report, &blame_json(mem));
 
     assert!(
         report.pass(),

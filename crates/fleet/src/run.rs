@@ -42,6 +42,9 @@ fn instance_run_config(spec: &InstanceSpec, tenant_budget: u64, seed: u64) -> Ru
         // channel walk stays serial (1–2 channels, tiny windows).
         threads: 1,
         clamp_threads: true,
+        // Attribution on for every instance: the fleet report fuses
+        // per-cause blame distributions across the whole roster.
+        blame: true,
     }
 }
 
@@ -107,6 +110,7 @@ pub fn run_instance(spec: &InstanceSpec) -> InstanceResult {
         migration_energy_j: shared.energy.migration_j,
         capacity_forfeited,
         final_hp_fraction,
+        skip_profile: shared.skip_profile.clone(),
         mem: shared.mem,
     }
 }

@@ -41,7 +41,9 @@ use std::collections::{BTreeMap, BinaryHeap};
 use clr_core::addr::PhysAddr;
 use clr_core::mode::{ModeTable, RowMode};
 use clr_core::refresh::RefreshPlan;
-use clr_obs::{EventSource, SkipProfile, TraceCategory, TraceConfig, TraceSink};
+use clr_obs::{
+    BlameLedger, EventSource, SkipProfile, TraceCategory, TraceConfig, TraceSink, WaitCause,
+};
 
 use crate::bankstate::BankState;
 use crate::command::{Command, IssuedCommand};
@@ -144,6 +146,10 @@ pub struct MemoryController {
     /// bound (meaningful only while the memo is `Some`): attributes each
     /// dead-window jump to the event that ended it.
     next_event_source: EventSource,
+    /// Whether per-request wait-cause attribution is on (see
+    /// [`MemoryController::enable_blame`]). Off by default so the
+    /// scheduling hot paths pay one bool test.
+    blame_enabled: bool,
 }
 
 impl MemoryController {
@@ -252,6 +258,7 @@ impl MemoryController {
             trace: None,
             skip_profile: SkipProfile::default(),
             next_event_source: EventSource::Completion,
+            blame_enabled: false,
             config,
         }
     }
@@ -291,6 +298,138 @@ impl MemoryController {
     /// per-source trigger counts, and ticked/skipped cycle totals.
     pub fn skip_profile(&self) -> &SkipProfile {
         &self.skip_profile
+    }
+
+    /// Starts per-request wait-cause attribution: every demand
+    /// read/write's enqueue→completion latency is decomposed into an
+    /// exact per-[`WaitCause`] cycle budget, aggregated into
+    /// [`MemStats::read_blame`]/[`MemStats::write_blame`]. Purely
+    /// observational — with or without it, every simulated outcome is
+    /// bit-identical (the workspace `blame_inertness` differential
+    /// enforces this). Call before driving traffic, like
+    /// [`MemoryController::enable_tracing`].
+    ///
+    /// The charging is lazy: each queued request carries one frozen
+    /// cause and a resume cycle, re-derived only at the boundaries every
+    /// walk executes identically (enqueues, state-changing ticks, mode
+    /// applications, migration dispatches) — dead cycles and dead-window
+    /// jumps charge nothing at the time they elapse, so per-cycle,
+    /// skip-ahead, and threaded walks charge identical budgets.
+    pub fn enable_blame(&mut self) {
+        self.blame_enabled = true;
+    }
+
+    /// Whether wait-cause attribution is on.
+    pub fn blame_enabled(&self) -> bool {
+        self.blame_enabled
+    }
+
+    /// The wait cause `entry` is blocked on right now — the mutually
+    /// exclusive taxonomy, priority top to bottom. `preempted` carries a
+    /// queue-global preemption (pending refresh or relocation stall);
+    /// `deselected` flags that the drain policy is servicing the other
+    /// queue this window. An associated function over disjoint field
+    /// borrows so [`MemoryController::reblame_queues`] can hold the
+    /// queues mutably while deriving causes.
+    #[allow(clippy::too_many_arguments)]
+    fn cause_of(
+        banks: &[BankState],
+        engine: &TimingEngine,
+        migration: &MigrationEngine,
+        entry: &QueueEntry,
+        now: u64,
+        preempted: Option<WaitCause>,
+        deselected: bool,
+    ) -> WaitCause {
+        if let Some(cause) = preempted {
+            return cause;
+        }
+        if deselected {
+            return WaitCause::WriteDrain;
+        }
+        let bank = entry.target.bank;
+        let row = entry.decoded.row;
+        // Mirrors the scheduler's exclusion rules: a held bank blocks
+        // everything; a migrating row blocks writes always and reads
+        // unless the read-out source still sits intact in the row
+        // buffer.
+        let is_read = entry.request.kind == RequestKind::Read;
+        if migration.is_mid_phase(bank)
+            || (migration.blocked_row(bank) == Some(row)
+                && !(is_read && migration.read_ok_rows()[bank] == row))
+        {
+            return WaitCause::MigrationBlock;
+        }
+        // The entry's next command, exactly as `note_enqueue_event`
+        // derives it for the event bound.
+        let (cmd, target) = match banks[bank].open_row {
+            Some(open) if open == row => (scheduler::column_command(entry), entry.target),
+            Some(_) => (
+                Command::Pre,
+                Target {
+                    mode: banks[bank].open_mode,
+                    ..entry.target
+                },
+            ),
+            None => (Command::Act, entry.target),
+        };
+        let full = engine.earliest(cmd, target);
+        if full <= now {
+            // The command is issuable; the request lost FR-FCFS-Cap
+            // arbitration (or the single command-bus slot) to another.
+            return WaitCause::Aging;
+        }
+        if engine.bank_gate(cmd, bank) >= full {
+            // The bank's own timing window dominates the wait.
+            match cmd {
+                Command::Pre => WaitCause::RowConflict,
+                Command::Act if entry.needed_pre => WaitCause::RowConflict,
+                _ => WaitCause::BankBusy,
+            }
+        } else {
+            // Rank/bank-group/channel serialization dominates: tRRD,
+            // tFAW, tCCD, bus turnarounds.
+            WaitCause::Bus
+        }
+    }
+
+    /// The blame boundary step: settles every queued request's span
+    /// since its last boundary on its frozen cause, then re-freezes the
+    /// cause from the current state. Called only where every walk of the
+    /// same simulation executes identically — successful enqueues,
+    /// state-changing ticks, mode applications, and migration
+    /// dispatches — so the settled spans (and hence the final budgets)
+    /// are bit-identical across per-cycle, skip-ahead, and threaded
+    /// walks.
+    fn reblame_queues(&mut self) {
+        if !self.blame_enabled || (self.read_q.is_empty() && self.write_q.is_empty()) {
+            return;
+        }
+        let now = self.cycle;
+        let preempted = if self.pending_refresh.is_some() {
+            Some(WaitCause::Refresh)
+        } else if now < self.maintenance_until {
+            Some(WaitCause::RelocationStall)
+        } else {
+            None
+        };
+        let use_writes = self.queue_selection(self.read_q.len(), self.write_q.len());
+        let MemoryController {
+            ref mut read_q,
+            ref mut write_q,
+            ref banks,
+            ref engine,
+            ref migration,
+            ..
+        } = *self;
+        for e in read_q.iter_mut() {
+            let c = Self::cause_of(banks, engine, migration, e, now, preempted, use_writes);
+            e.blame.settle(now, c);
+        }
+        for e in write_q.iter_mut() {
+            let c = Self::cause_of(banks, engine, migration, e, now, preempted, !use_writes);
+            e.blame.settle(now, c);
+        }
     }
 
     fn log_command(
@@ -415,6 +554,10 @@ impl MemoryController {
             self.maintenance_until = self.maintenance_until.max(self.cycle) + stall_cycles;
             self.retune_refresh();
             self.next_event_cache = None;
+            // The stall window opening is a blame boundary: queued
+            // requests charge RelocationStall from here, not from the
+            // next state-changing tick.
+            self.reblame_queues();
         }
         changed
     }
@@ -498,6 +641,7 @@ impl MemoryController {
         }
         if flips > 0 || jobs > 0 {
             self.next_event_cache = None;
+            self.reblame_queues();
         }
         jobs
     }
@@ -619,6 +763,7 @@ impl MemoryController {
                 self.stats.frames_reused += 1;
             }
             self.next_event_cache = None;
+            self.reblame_queues();
         }
         ok
     }
@@ -636,6 +781,7 @@ impl MemoryController {
         let ok = self.migration.dispatch_evacuate_out(bank, row, self.cycle);
         if ok {
             self.next_event_cache = None;
+            self.reblame_queues();
         }
         ok
     }
@@ -654,6 +800,7 @@ impl MemoryController {
                 self.stats.frames_reused += 1;
             }
             self.next_event_cache = None;
+            self.reblame_queues();
         }
         ok
     }
@@ -844,6 +991,10 @@ impl MemoryController {
                     self.migration.blocked_rows(),
                     self.migration.read_ok_rows(),
                 );
+                // An enqueue is a blame boundary: it can flip the drain
+                // policy's queue selection for *every* queued request,
+                // not just freeze the new entry's first cause.
+                self.reblame_queues();
                 Ok(())
             }
             RequestKind::Write => {
@@ -863,6 +1014,7 @@ impl MemoryController {
                     self.migration.blocked_rows(),
                     self.migration.read_ok_rows(),
                 );
+                self.reblame_queues();
                 Ok(())
             }
         }
@@ -972,7 +1124,13 @@ impl MemoryController {
             channel: decoded.channel as usize,
             mode: self.mode_of_row(flat_bank, decoded.row),
         };
-        scheduler::entry(request, decoded, target)
+        let mut entry = scheduler::entry(request, decoded, target);
+        if self.blame_enabled {
+            // Arrival → successful enqueue is the backpressure budget
+            // (queue-full rejections make the CPU side retry).
+            entry.blame = BlameLedger::new(entry.request.arrival_cycle, self.cycle);
+        }
+        entry
     }
 
     /// Advances one DRAM clock cycle, pushing finished reads into
@@ -1052,6 +1210,11 @@ impl MemoryController {
             // Only ticks that actually did something move the next-event
             // bound; dead ticks keep the memoized value.
             self.next_event_cache = None;
+            // State-changing ticks are blame boundaries; dead ticks (and
+            // the dead-window jumps that replace them) charge nothing at
+            // the time, which is what keeps the budgets bit-identical
+            // across per-cycle and skip-ahead walks.
+            self.reblame_queues();
         } else if self.next_event_cache.is_none() {
             // A dead tick re-derives the bound almost for free: its
             // failed scheduling pass already priced the queue (the
@@ -1293,6 +1456,47 @@ impl MemoryController {
                 );
             }
         }
+    }
+
+    /// Emits a sampled tail-request async flow span when tracing wants
+    /// the `requests` category: arrival → last data beat, carrying the
+    /// read's full per-cause blame budget in the begin event's args.
+    /// The sampling predicate is deterministic — latency at least 4×
+    /// the unloaded CAS+burst service time — so traced and untraced
+    /// runs (and any two traced runs) see identical simulations and
+    /// identical spans.
+    fn emit_request_flow(
+        &mut self,
+        entry: &QueueEntry,
+        ledger: &BlameLedger,
+        latency: u64,
+        done: u64,
+    ) {
+        let threshold = 4 * self.engine.read_done(0);
+        let Some(sink) = self.trace.as_deref_mut() else {
+            return;
+        };
+        if !sink.wants(TraceCategory::Requests) || latency < threshold {
+            return;
+        }
+        let mut args: Vec<(&'static str, u64)> = vec![
+            ("bank", entry.target.bank as u64),
+            ("row", entry.decoded.row as u64),
+            ("latency", latency),
+        ];
+        for (cause, &cycles) in WaitCause::ALL.iter().zip(ledger.cycles.iter()) {
+            if cycles > 0 {
+                args.push((cause.label(), cycles));
+            }
+        }
+        sink.flow(
+            TraceCategory::Requests,
+            "slow_read",
+            entry.request.id,
+            done - latency,
+            latency,
+            args,
+        );
     }
 
     /// Emits an instant migration-lifecycle trace event (couple points,
@@ -1815,6 +2019,18 @@ impl MemoryController {
                         self.stats.read_latency_hist.record(latency);
                         self.stats.reads_completed += 1;
                         self.inflight.push(Reverse((done, entry.request.id)));
+                        if self.blame_enabled {
+                            // Settle the final wait span on the frozen
+                            // cause, then the data transfer itself is the
+                            // service component: the per-cause budget sums
+                            // to exactly `done − arrival`, the latency the
+                            // histogram just recorded.
+                            let mut ledger = entry.blame;
+                            ledger.settle(now, WaitCause::Service);
+                            ledger.cycles[WaitCause::Service.index()] += done - now;
+                            self.stats.read_blame.record(&ledger);
+                            self.emit_request_flow(&entry, &ledger, latency, done);
+                        }
                     }
                     Command::Wr => {
                         self.stats.writes += 1;
@@ -1823,6 +2039,11 @@ impl MemoryController {
                         self.stats
                             .write_latency_hist
                             .record(now.saturating_sub(entry.request.arrival_cycle));
+                        if self.blame_enabled {
+                            let mut ledger = entry.blame;
+                            ledger.settle(now, WaitCause::Service);
+                            self.stats.write_blame.record(&ledger);
+                        }
                     }
                     _ => unreachable!(),
                 }
@@ -2106,6 +2327,63 @@ mod tests {
         // timeout equivalent (~144 cycles after the column access).
         assert!(mc.banks.iter().all(|b| b.open_row.is_none()));
         assert_eq!(mc.stats().pres(), 1);
+    }
+
+    #[test]
+    fn blame_budgets_sum_exactly_to_recorded_latencies() {
+        let mut cfg = MemConfig::paper_tiny();
+        cfg.refresh_enabled = true;
+        let row_stride = cfg.geometry.capacity_bytes() / cfg.geometry.rows as u64;
+        let mut mc = MemoryController::new(cfg);
+        mc.enable_blame();
+        // Conflict-heavy mixed traffic so several causes are exercised.
+        for i in 0..24u64 {
+            let addr = (i % 5) * row_stride + (i % 3) * 0x40;
+            let _ = mc.try_enqueue(read(i, addr, 0));
+            let _ = mc.try_enqueue(write(100 + i, addr ^ 0x2000, 0));
+        }
+        let done = run_until_done(&mut mc, 500_000);
+        assert!(!done.is_empty());
+        let s = mc.stats();
+        // The exactness contract: per-cause budgets sum to the latency
+        // histograms' sums, cycle for cycle.
+        assert_eq!(s.read_blame.total_cycles(), s.read_latency_hist.sum());
+        assert_eq!(s.write_blame.total_cycles(), s.write_latency_hist.sum());
+        // Every issued read has a nonzero service component.
+        assert_eq!(
+            s.read_blame.of(WaitCause::Service).count(),
+            s.read_latency_hist.count()
+        );
+        // Queue-heavy traffic attributes real wait cycles, not just
+        // service time.
+        assert!(s.read_blame.total_cycles() > s.read_blame.of(WaitCause::Service).sum());
+    }
+
+    #[test]
+    fn blame_is_inert() {
+        let run = |blame: bool| {
+            let mut cfg = MemConfig::paper_tiny();
+            cfg.refresh_enabled = true;
+            let row_stride = cfg.geometry.capacity_bytes() / cfg.geometry.rows as u64;
+            let mut mc = MemoryController::new(cfg);
+            if blame {
+                mc.enable_blame();
+            }
+            for i in 0..24u64 {
+                let _ = mc.try_enqueue(read(i, (i % 5) * row_stride, 0));
+                let _ = mc.try_enqueue(write(100 + i, (i % 4) * row_stride + 0x40, 0));
+            }
+            let done = run_until_done(&mut mc, 500_000);
+            (done, mc.stats().clone())
+        };
+        let (done_off, stats_off) = run(false);
+        let (done_on, mut stats_on) = run(true);
+        assert_eq!(done_off, done_on);
+        // Attribution changes nothing but its own aggregates.
+        assert!(!stats_on.read_blame.is_empty());
+        stats_on.read_blame.clear();
+        stats_on.write_blame.clear();
+        assert_eq!(stats_off, stats_on);
     }
 
     #[test]

@@ -133,6 +133,15 @@ impl TimingEngine {
         self.rank_earliest[rank][cmd.index()]
     }
 
+    /// The bank-scope component of [`TimingEngine::earliest`] for `cmd`
+    /// on `bank`: the bank's own tRCD/tRP/tRAS/tRC window with no
+    /// rank/bus serialization included. The blame layer compares it to
+    /// the full bound to decide whether a wait is the bank's own timing
+    /// (row conflict, bank busy) or cross-bank serialization.
+    pub fn bank_gate(&self, cmd: Command, bank: usize) -> u64 {
+        self.bank_earliest[bank][cmd.index()]
+    }
+
     /// Records the issue of `cmd` at cycle `now` and updates every affected
     /// earliest-issue register.
     ///

@@ -55,6 +55,9 @@ pub struct QueueEntry {
     /// Whether the first service attempt has classified this request
     /// (hit/miss/conflict).
     pub classified: bool,
+    /// Wait-cause charge ledger (inert unless the controller has blame
+    /// attribution enabled).
+    pub blame: clr_obs::BlameLedger,
 }
 
 /// The scheduling decision for one cycle.
@@ -893,6 +896,7 @@ pub fn entry(request: MemRequest, decoded: DramAddr, target: Target) -> QueueEnt
         needed_act: false,
         needed_pre: false,
         classified: false,
+        blame: clr_obs::BlameLedger::disabled(),
     }
 }
 

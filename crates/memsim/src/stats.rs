@@ -1,7 +1,7 @@
 //! Memory-system statistics consumed by the metrics and power models.
 
 use clr_core::mode::RowMode;
-use clr_obs::LatencyHistogram;
+use clr_obs::{BlameSet, LatencyHistogram};
 
 /// Counters accumulated by the controller over a run.
 ///
@@ -99,6 +99,15 @@ pub struct MemStats {
     /// cycles (dispatch → terminal step) — the migration request class,
     /// reported separately from demand traffic.
     pub migration_latency_hist: LatencyHistogram,
+    /// Per-cause wait attribution for completed demand reads: when
+    /// blame is enabled, `read_blame.total_cycles()` equals
+    /// `read_latency_hist.sum()` exactly (the exactness contract);
+    /// empty otherwise.
+    pub read_blame: BlameSet,
+    /// Per-cause wait attribution for completed demand writes
+    /// (arrival → WR issue), with the same exactness contract against
+    /// `write_latency_hist`.
+    pub write_blame: BlameSet,
 }
 
 impl MemStats {
@@ -151,6 +160,8 @@ impl MemStats {
             read_latency_hist,
             write_latency_hist,
             migration_latency_hist,
+            read_blame,
+            write_blame,
         } = self;
         for c in [
             cycles,
@@ -193,6 +204,8 @@ impl MemStats {
         read_latency_hist.clear();
         write_latency_hist.clear();
         migration_latency_hist.clear();
+        read_blame.clear();
+        write_blame.clear();
     }
 
     /// Total ACT commands.
@@ -346,6 +359,8 @@ impl MemStats {
             migration_latency_hist: self
                 .migration_latency_hist
                 .delta_since(&earlier.migration_latency_hist),
+            read_blame: self.read_blame.delta_since(&earlier.read_blame),
+            write_blame: self.write_blame.delta_since(&earlier.write_blame),
         }
     }
 
@@ -398,6 +413,8 @@ impl MemStats {
         self.write_latency_hist.merge(&other.write_latency_hist);
         self.migration_latency_hist
             .merge(&other.migration_latency_hist);
+        self.read_blame.merge(&other.read_blame);
+        self.write_blame.merge(&other.write_blame);
     }
 
     /// The counter-wise sum of `stats` (see [`MemStats::merge`]).
@@ -458,6 +475,17 @@ mod tests {
         h
     }
 
+    /// Seed-derived blame set touching several causes so the inverse
+    /// check exercises the per-cause histogram algebra.
+    fn blame(seed: u64) -> BlameSet {
+        use clr_obs::WaitCause;
+        let mut b = BlameSet::new();
+        b.record_cause(WaitCause::RowConflict, seed);
+        b.record_cause(WaitCause::Refresh, seed * 3 + 1);
+        b.record_cause(WaitCause::Service, seed % 500 + 1);
+        b
+    }
+
     fn all_fields(seed: u64) -> MemStats {
         MemStats {
             cycles: seed,
@@ -497,6 +525,8 @@ mod tests {
             read_latency_hist: hist(seed + 34),
             write_latency_hist: hist(seed + 35),
             migration_latency_hist: hist(seed + 36),
+            read_blame: blame(seed + 37),
+            write_blame: blame(seed + 38),
         }
     }
 

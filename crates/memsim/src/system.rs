@@ -821,6 +821,20 @@ impl MemorySystem {
         }
     }
 
+    /// Switches on per-request wait-cause attribution on every channel
+    /// (see [`MemoryController::enable_blame`]): completed demand
+    /// requests' exact per-cause latency budgets accumulate into each
+    /// channel's [`MemStats::read_blame`]/[`MemStats::write_blame`] and
+    /// fuse through [`MemorySystem::fused_stats`] like every other
+    /// statistic. Inert: simulated outcomes are bit-identical with or
+    /// without it (the workspace `blame_inertness` differential
+    /// enforces this).
+    pub fn enable_blame(&mut self) {
+        for ch in &mut self.channels {
+            ch.enable_blame();
+        }
+    }
+
     /// Starts command logging on every channel (logs stay per-channel:
     /// [`MemorySystem::command_log`]).
     pub fn enable_command_log(&mut self) {

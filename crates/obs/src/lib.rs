@@ -35,6 +35,13 @@
 //! * [`slo`] — [`SloSpec`]/[`SloReport`]: declarative service-level
 //!   objectives over the series (error budgets, multi-window
 //!   burn-rate alerts), producing machine-checkable verdicts.
+//! * [`blame`] — [`WaitCause`]/[`BlameSet`]: per-request wait-cause
+//!   attribution. Every completed demand request's enqueue→completion
+//!   latency is decomposed into an exact, mutually exclusive per-cause
+//!   cycle budget (row conflict, refresh, migration blocking, bus
+//!   serialization, write-drain, FR-FCFS aging, service), aggregated
+//!   as one histogram per cause with the same exact `merge` /
+//!   `delta_since` algebra.
 //!
 //! # Capturing a trace
 //!
@@ -51,12 +58,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod blame;
 pub mod hist;
 pub mod profile;
 pub mod series;
 pub mod slo;
 pub mod trace;
 
+pub use blame::{BlameLedger, BlameSet, WaitCause};
 pub use hist::LatencyHistogram;
 pub use profile::{EventSource, SkipProfile};
 pub use series::{

@@ -25,6 +25,7 @@
 
 use std::collections::VecDeque;
 
+use crate::blame::BlameSet;
 use crate::hist::LatencyHistogram;
 use crate::trace::{TraceCategory, TraceEvent};
 
@@ -211,6 +212,9 @@ pub struct ChannelSample {
     /// Demand-read service latencies recorded inside the window (the
     /// histogram delta), for windowed p50/p95/p99.
     pub read_latency: LatencyHistogram,
+    /// Per-cause read wait budgets recorded inside the window (the
+    /// blame delta). Empty when attribution is off.
+    pub read_blame: BlameSet,
 }
 
 /// One closed window: counters, gauges, and the windowed read-latency
@@ -232,6 +236,9 @@ pub struct WindowSummary {
     pub gauges: SeriesGauges,
     /// Windowed demand-read latency distribution.
     pub read_latency: LatencyHistogram,
+    /// Windowed per-cause read wait budgets (empty when attribution is
+    /// off). The budgets sum to exactly the cycles in `read_latency`.
+    pub read_blame: BlameSet,
 }
 
 impl WindowSummary {
@@ -253,6 +260,19 @@ impl WindowSummary {
     /// Windowed 99th-percentile read latency.
     pub fn read_p99(&self) -> u64 {
         self.read_latency.p99()
+    }
+
+    /// The window's wait causes, heaviest first, as
+    /// `(label, permille-of-window-wait)` — the *top-blame vector* an
+    /// SLO violation in this window is annotated with. Empty when
+    /// attribution is off or no read completed.
+    pub fn top_blame(&self) -> Vec<(&'static str, u64)> {
+        let total = self.read_blame.total_cycles();
+        self.read_blame
+            .dominant()
+            .into_iter()
+            .map(|(cause, cycles)| (cause.label(), cycles * 1000 / total.max(1)))
+            .collect()
     }
 
     /// Mean high-performance fraction over fused sources, permille.
@@ -300,6 +320,7 @@ impl WindowSummary {
         self.counters.merge(&other.counters);
         self.gauges.merge(&other.gauges);
         self.read_latency.merge(&other.read_latency);
+        self.read_blame.merge(&other.read_blame);
     }
 
     /// Component-wise difference `self − earlier` over aligned windows —
@@ -325,6 +346,7 @@ impl WindowSummary {
             counters: self.counters.delta_since(&earlier.counters),
             gauges: self.gauges.delta_since(&earlier.gauges),
             read_latency: self.read_latency.delta_since(&earlier.read_latency),
+            read_blame: self.read_blame.delta_since(&earlier.read_blame),
         }
     }
 }
@@ -342,10 +364,14 @@ pub struct TimeSeries {
     evicted_totals: SeriesCounters,
     /// Latency samples of evicted windows.
     evicted_latency: LatencyHistogram,
+    /// Blame budgets of evicted windows.
+    evicted_blame: BlameSet,
     /// Counter totals over every window ever pushed.
     totals: SeriesCounters,
     /// Latency distribution over every window ever pushed.
     total_latency: LatencyHistogram,
+    /// Blame budgets over every window ever pushed.
+    total_blame: BlameSet,
 }
 
 impl TimeSeries {
@@ -357,8 +383,10 @@ impl TimeSeries {
             evicted: 0,
             evicted_totals: SeriesCounters::default(),
             evicted_latency: LatencyHistogram::new(),
+            evicted_blame: BlameSet::default(),
             totals: SeriesCounters::default(),
             total_latency: LatencyHistogram::new(),
+            total_blame: BlameSet::default(),
         }
     }
 
@@ -368,11 +396,13 @@ impl TimeSeries {
     pub fn push(&mut self, w: WindowSummary) {
         self.totals.merge(&w.counters);
         self.total_latency.merge(&w.read_latency);
+        self.total_blame.merge(&w.read_blame);
         if self.windows.len() >= self.capacity {
             let old = self.windows.pop_front().expect("capacity >= 1");
             self.evicted += 1;
             self.evicted_totals.merge(&old.counters);
             self.evicted_latency.merge(&old.read_latency);
+            self.evicted_blame.merge(&old.read_blame);
         }
         self.windows.push_back(w);
     }
@@ -423,6 +453,17 @@ impl TimeSeries {
         &self.total_latency
     }
 
+    /// Blame budgets of evicted windows.
+    pub fn evicted_blame(&self) -> &BlameSet {
+        &self.evicted_blame
+    }
+
+    /// Per-cause wait budgets over every window ever pushed (evicted
+    /// included). Empty when attribution is off.
+    pub fn total_blame(&self) -> &BlameSet {
+        &self.total_blame
+    }
+
     /// Fuses `other` into `self` window by window (exact bucket-wise
     /// sums) — the per-channel→system fusion. Totals and evicted
     /// accumulators fuse the same way.
@@ -439,8 +480,10 @@ impl TimeSeries {
         }
         self.evicted_totals.merge(&other.evicted_totals);
         self.evicted_latency.merge(&other.evicted_latency);
+        self.evicted_blame.merge(&other.evicted_blame);
         self.totals.merge(&other.totals);
         self.total_latency.merge(&other.total_latency);
+        self.total_blame.merge(&other.total_blame);
     }
 
     /// The window-wise fusion of `series` (see [`TimeSeries::merge`]).
@@ -477,6 +520,7 @@ impl TimeSeries {
                     name,
                     pid,
                     counter: true,
+                    flow_id: None,
                     args,
                 });
             };
@@ -509,6 +553,12 @@ impl TimeSeries {
                 "capacity_permille",
                 vec![("hp", w.hp_permille()), ("budget", w.budget_permille())],
             );
+            // Attribution track: per-cause share of the window's read
+            // wait, permille. Only present when attribution is on.
+            let blame = w.top_blame();
+            if !blame.is_empty() {
+                counter("blame_permille", blame);
+            }
         }
         out
     }
@@ -581,6 +631,7 @@ impl MetricsRecorder {
                 counters: s.counters,
                 gauges: s.gauges,
                 read_latency: s.read_latency,
+                read_blame: s.read_blame,
             });
             n += 1;
         }
@@ -637,6 +688,7 @@ mod tests {
                 budget_permille: 250,
             },
             read_latency,
+            read_blame: BlameSet::default(),
         }
     }
 
@@ -690,6 +742,7 @@ mod tests {
             },
             gauges: SeriesGauges::default(),
             read_latency: LatencyHistogram::new(),
+            read_blame: BlameSet::default(),
         };
         for i in 0..5 {
             ts.push(mk(i));
@@ -700,6 +753,42 @@ mod tests {
         assert_eq!(ts.evicted_totals().reads, 1 + 2 + 3);
         let live: u64 = ts.windows().map(|w| w.counters.reads).sum();
         assert_eq!(ts.evicted_totals().reads + live, ts.totals().reads);
+    }
+
+    #[test]
+    fn blame_windows_fuse_and_rank() {
+        use crate::blame::WaitCause;
+        let cfg = MetricsConfig {
+            interval_cycles: 50,
+            capacity: 8,
+        };
+        let mut r = MetricsRecorder::new(&cfg, 2);
+        let with_blame = |seed: u64, conflict: u64, refresh: u64| {
+            let mut s = sample(seed);
+            s.read_blame.record_cause(WaitCause::RowConflict, conflict);
+            s.read_blame.record_cause(WaitCause::Refresh, refresh);
+            s
+        };
+        r.commit(50, vec![with_blame(1, 300, 20), with_blame(2, 500, 80)]);
+        let fused = r.fused();
+        let w = fused.windows().next().unwrap();
+        // Fusion sums per-cause budgets exactly.
+        assert_eq!(w.read_blame.of(WaitCause::RowConflict).sum(), 800);
+        assert_eq!(w.read_blame.of(WaitCause::Refresh).sum(), 100);
+        // Top-blame vector is heaviest-first with permille shares.
+        let top = w.top_blame();
+        assert_eq!(top[0], ("row_conflict", 888));
+        assert_eq!(top[1], ("refresh", 111));
+        // The attribution counter track appears exactly once per window.
+        let events = fused.counter_events(3);
+        let blame_tracks: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "blame_permille")
+            .collect();
+        assert_eq!(blame_tracks.len(), 1);
+        assert_eq!(blame_tracks[0].args[0], ("row_conflict", 888));
+        // Totals survive in the running accumulator.
+        assert_eq!(fused.total_blame().total_cycles(), 900);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! the same report, so CI can assert `report.pass()` and trajectory
 //! tooling can diff serialized reports across commits.
 
+use crate::blame::BlameSet;
 use crate::series::{TimeSeries, WindowSummary};
 
 /// A per-window scalar a [`WindowedObjective`] can bound.
@@ -112,6 +113,12 @@ pub struct ScalarObjective {
     pub value: u64,
     /// Inclusive upper bound in the same milli-units.
     pub max: u64,
+    /// Known-failing annotation: the outcome still reports `pass`
+    /// honestly against `max`, but [`SloReport::pass`] does not gate on
+    /// it. For objectives a configuration violates *by design* (e.g.
+    /// stall-mode relocation vs a background fairness bound) — tracked,
+    /// not red.
+    pub expected_fail: bool,
 }
 
 /// Multi-window burn-rate alerting: alert when both the short and the
@@ -174,13 +181,21 @@ impl SloSpec {
                 let mut worst_value = 0u64;
                 let mut worst_window = 0u64;
                 let mut violating: Vec<bool> = Vec::with_capacity(n);
+                let mut blame = BlameSet::default();
                 for w in &windows {
                     let v = obj.metric.of(w);
                     if v > worst_value {
                         worst_value = v;
                         worst_window = w.index;
                     }
-                    violating.push(v > obj.max);
+                    let violates = v > obj.max;
+                    if violates {
+                        // Violating windows pool their wait-cause
+                        // budgets so the outcome names what the latency
+                        // was spent on, not just that it was spent.
+                        blame.merge(&w.read_blame);
+                    }
+                    violating.push(violates);
                 }
                 violations += violating.iter().filter(|&&v| v).count() as u64;
                 // Budget math: a budget of b over n windows allows
@@ -192,6 +207,20 @@ impl SloSpec {
                 } else {
                     0
                 };
+                // Burn alerts on a still-passing objective fall back
+                // to the whole series: the trend is the problem, so the
+                // whole run's blame profile is the right annotation.
+                if blame.is_empty() && burn_alerts > 0 {
+                    for w in &windows {
+                        blame.merge(&w.read_blame);
+                    }
+                }
+                let total = blame.total_cycles();
+                let top_causes = blame
+                    .dominant()
+                    .into_iter()
+                    .map(|(c, cycles)| (c.label(), cycles * 1000 / total.max(1)))
+                    .collect();
                 ObjectiveOutcome {
                     metric: obj.metric,
                     max: obj.max,
@@ -203,6 +232,7 @@ impl SloSpec {
                     worst_value,
                     worst_window,
                     burn_alerts,
+                    top_causes,
                 }
             })
             .collect();
@@ -214,6 +244,7 @@ impl SloSpec {
                 value: s.value,
                 max: s.max,
                 pass: s.value <= s.max,
+                expected_fail: s.expected_fail,
             })
             .collect();
         SloReport {
@@ -273,6 +304,11 @@ pub struct ObjectiveOutcome {
     pub worst_window: u64,
     /// Positions where the multi-window burn-rate alert fired.
     pub burn_alerts: u64,
+    /// Wait causes pooled over the violating windows (or, for a
+    /// passing objective with burn alerts, over all windows), heaviest
+    /// first as `(label, permille-of-pooled-wait)`. Empty when
+    /// attribution was off or nothing violated.
+    pub top_causes: Vec<(&'static str, u64)>,
 }
 
 /// One scalar objective's outcome.
@@ -286,6 +322,9 @@ pub struct ScalarOutcome {
     pub max: u64,
     /// Whether the value stayed within the bound.
     pub pass: bool,
+    /// Whether the spec declared this objective known-failing (the
+    /// verdict does not gate on it; `pass` stays honest).
+    pub expected_fail: bool,
 }
 
 /// The machine-checkable verdict of one [`SloSpec::evaluate`] call.
@@ -302,9 +341,11 @@ pub struct SloReport {
 }
 
 impl SloReport {
-    /// Whether every objective (windowed and scalar) passed.
+    /// Whether every objective (windowed and scalar) passed —
+    /// known-failing scalars are reported but not gated on.
     pub fn pass(&self) -> bool {
-        self.objectives.iter().all(|o| o.pass) && self.scalars.iter().all(|s| s.pass)
+        self.objectives.iter().all(|o| o.pass)
+            && self.scalars.iter().all(|s| s.pass || s.expected_fail)
     }
 
     /// Serializes the report as a JSON object (the schema wrapper —
@@ -317,10 +358,17 @@ impl SloReport {
         s.push_str(&format!("  \"pass\": {},\n", self.pass()));
         s.push_str("  \"objectives\": [\n");
         for (i, o) in self.objectives.iter().enumerate() {
+            let causes = o
+                .top_causes
+                .iter()
+                .map(|(c, p)| format!("{{\"cause\": \"{c}\", \"permille\": {p}}}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             s.push_str(&format!(
                 "    {{\"metric\": \"{}\", \"max\": {}, \"error_budget\": {:.4}, \
                  \"violations\": {}, \"allowed\": {}, \"worst_value\": {}, \
-                 \"worst_window\": {}, \"burn_alerts\": {}, \"pass\": {}}}{}\n",
+                 \"worst_window\": {}, \"burn_alerts\": {}, \"pass\": {}, \
+                 \"top_causes\": [{}]}}{}\n",
                 o.metric.label(),
                 o.max,
                 o.error_budget,
@@ -330,6 +378,7 @@ impl SloReport {
                 o.worst_window,
                 o.burn_alerts,
                 o.pass,
+                causes,
                 if i + 1 < self.objectives.len() {
                     ","
                 } else {
@@ -341,11 +390,13 @@ impl SloReport {
         s.push_str("  \"scalars\": [\n");
         for (i, o) in self.scalars.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"value\": {}, \"max\": {}, \"pass\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"value\": {}, \"max\": {}, \"pass\": {}, \
+                 \"expected_fail\": {}}}{}\n",
                 o.name,
                 o.value,
                 o.max,
                 o.pass,
+                o.expected_fail,
                 if i + 1 < self.scalars.len() { "," } else { "" },
             ));
         }
@@ -374,6 +425,7 @@ mod tests {
                 counters: SeriesCounters::default(),
                 gauges: SeriesGauges::default(),
                 read_latency,
+                read_blame: Default::default(),
             });
         }
         ts
@@ -438,6 +490,46 @@ mod tests {
     }
 
     #[test]
+    fn violations_carry_top_blame_causes() {
+        use crate::blame::WaitCause;
+        // Two good windows, one violating window whose wait is mostly
+        // row conflicts: the outcome must name the dominant cause.
+        let mut ts = TimeSeries::new(16);
+        for (i, &(p99, conflict)) in [(10u64, 0u64), (500, 900), (10, 0)].iter().enumerate() {
+            let mut read_latency = LatencyHistogram::new();
+            read_latency.record_n(p99, 100);
+            let mut read_blame = BlameSet::default();
+            if conflict > 0 {
+                read_blame.record_cause(WaitCause::RowConflict, conflict);
+                read_blame.record_cause(WaitCause::Refresh, 100);
+            }
+            ts.push(WindowSummary {
+                index: i as u64,
+                start_cycle: i as u64 * 10,
+                end_cycle: (i as u64 + 1) * 10,
+                sources: 1,
+                counters: SeriesCounters::default(),
+                gauges: SeriesGauges::default(),
+                read_latency,
+                read_blame,
+            });
+        }
+        let mut spec = SloSpec::named("t");
+        spec.windowed
+            .push(WindowedObjective::hard(WindowMetric::ReadP99, 100));
+        let r = spec.evaluate(&ts);
+        assert!(!r.pass());
+        let top = &r.objectives[0].top_causes;
+        assert_eq!(top[0], ("row_conflict", 900));
+        assert_eq!(top[1], ("refresh", 100));
+        let json = r.to_json();
+        assert!(json.contains("\"top_causes\": [{\"cause\": \"row_conflict\", \"permille\": 900}"));
+        // A passing objective over blame-free windows stays unannotated.
+        let clean = SloSpec::named("t").evaluate(&series_with_p99s(&[10, 10]));
+        assert!(clean.pass());
+    }
+
+    #[test]
     fn scalar_objectives_and_json() {
         let ts = series_with_p99s(&[10, 10]);
         let mut spec = SloSpec::named("cell");
@@ -447,6 +539,7 @@ mod tests {
             name: "max_slowdown_milli",
             value: 1_370,
             max: 1_600,
+            expected_fail: false,
         });
         let r = spec.evaluate(&ts);
         assert!(r.pass());

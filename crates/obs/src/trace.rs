@@ -44,16 +44,21 @@ pub enum TraceCategory {
     /// Continuous-telemetry counter tracks (windowed traffic, queue
     /// depth, migration backlog, tail latency, capacity fractions).
     Metrics,
+    /// Sampled tail-request async flow spans (`ph:"b"/"e"`): one span
+    /// per slow demand read, arrival → last data beat, carrying the
+    /// request's per-cause blame budget.
+    Requests,
 }
 
 impl TraceCategory {
     /// All categories, in a fixed order.
-    pub const ALL: [TraceCategory; 5] = [
+    pub const ALL: [TraceCategory; 6] = [
         TraceCategory::Commands,
         TraceCategory::Migration,
         TraceCategory::Policy,
         TraceCategory::Placement,
         TraceCategory::Metrics,
+        TraceCategory::Requests,
     ];
 
     /// The category's stable lowercase label (used in the JSON `cat`
@@ -65,6 +70,7 @@ impl TraceCategory {
             TraceCategory::Policy => "policy",
             TraceCategory::Placement => "placement",
             TraceCategory::Metrics => "metrics",
+            TraceCategory::Requests => "requests",
         }
     }
 
@@ -75,6 +81,7 @@ impl TraceCategory {
             TraceCategory::Policy => 1 << 2,
             TraceCategory::Placement => 1 << 3,
             TraceCategory::Metrics => 1 << 4,
+            TraceCategory::Requests => 1 << 5,
         }
     }
 }
@@ -179,8 +186,10 @@ impl TraceConfig {
 
 /// One recorded event. `counter` exports as a Chrome counter sample
 /// (`ph: "C"` — every `args` key becomes a counter-track series);
-/// otherwise `dur == 0` exports as an instant event (`ph: "i"`) and
-/// `dur > 0` as a complete span (`ph: "X"`) starting at `ts`.
+/// `flow_id` exports as an async flow-span pair (`ph: "b"` at `ts` and
+/// `ph: "e"` at `ts + dur`, both carrying the id); otherwise `dur == 0`
+/// exports as an instant event (`ph: "i"`) and `dur > 0` as a complete
+/// span (`ph: "X"`) starting at `ts`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Start cycle.
@@ -195,6 +204,9 @@ pub struct TraceEvent {
     pub pid: u32,
     /// Whether this is a counter sample (`ph: "C"`).
     pub counter: bool,
+    /// Async flow-span id (`ph: "b"/"e"` pair on export) — the request
+    /// id for tail-request spans. `None` for every other event shape.
+    pub flow_id: Option<u64>,
     /// Key/value payload (the Chrome `args` object; for a counter
     /// event, the sampled series values).
     pub args: Vec<(&'static str, u64)>,
@@ -265,6 +277,40 @@ impl TraceSink {
             name,
             pid: self.pid,
             counter: false,
+            flow_id: None,
+            args,
+        });
+    }
+
+    /// Records an async flow span `[ts, ts + dur)` with identity `id`
+    /// (no-op if the category is filtered): one buffered event,
+    /// exported as a `ph:"b"`/`ph:"e"` pair so the span renders on its
+    /// own async track in Perfetto even though it overlaps other
+    /// requests' spans.
+    pub fn flow(
+        &mut self,
+        cat: TraceCategory,
+        name: &'static str,
+        id: u64,
+        ts: u64,
+        dur: u64,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        if !self.categories.contains(cat) {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            ts,
+            dur,
+            category: cat,
+            name,
+            pid: self.pid,
+            counter: false,
+            flow_id: Some(id),
             args,
         });
     }
@@ -339,6 +385,38 @@ impl TraceLog {
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
+            }
+            if let Some(id) = e.flow_id {
+                // An async flow span serializes as its begin/end pair.
+                for (ph, ts, args) in [("b", e.ts, &e.args[..]), ("e", e.ts + e.dur, &[][..])] {
+                    if ph == "e" {
+                        out.push(',');
+                    }
+                    out.push_str("{\"name\":\"");
+                    out.push_str(e.name);
+                    out.push_str("\",\"cat\":\"");
+                    out.push_str(e.category.label());
+                    out.push_str("\",\"ph\":\"");
+                    out.push_str(ph);
+                    out.push_str("\",\"id\":");
+                    out.push_str(&id.to_string());
+                    out.push_str(",\"ts\":");
+                    out.push_str(&ts.to_string());
+                    out.push_str(",\"pid\":");
+                    out.push_str(&e.pid.to_string());
+                    out.push_str(",\"tid\":0,\"args\":{");
+                    for (j, (k, v)) in args.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push('"');
+                        out.push_str(k);
+                        out.push_str("\":");
+                        out.push_str(&v.to_string());
+                    }
+                    out.push_str("}}");
+                }
+                continue;
             }
             out.push_str("{\"name\":\"");
             out.push_str(e.name);
@@ -461,6 +539,7 @@ mod tests {
             name: "queue",
             pid: 1,
             counter: true,
+            flow_id: None,
             args: vec![("depth", 9)],
         }]);
         let json = log.to_chrome_json();
@@ -468,6 +547,28 @@ mod tests {
         assert!(json.contains("\"cat\":\"metrics\""));
         assert!(json.contains("\"depth\":9"));
         assert!(!json.contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn flow_spans_serialize_as_async_pairs() {
+        let mut sink = TraceSink::new(&cfg(16), 0);
+        sink.flow(
+            TraceCategory::Requests,
+            "slow_read",
+            77,
+            100,
+            40,
+            vec![("row_conflict", 25), ("service", 15)],
+        );
+        let log = TraceLog::collect([&mut sink]);
+        assert_eq!(log.events.len(), 1);
+        let json = log.to_chrome_json();
+        assert!(json.contains("\"ph\":\"b\",\"id\":77,\"ts\":100"));
+        assert!(json.contains("\"ph\":\"e\",\"id\":77,\"ts\":140"));
+        assert!(json.contains("\"cat\":\"requests\""));
+        // The blame budget rides the begin event only.
+        assert!(json.contains("\"row_conflict\":25"));
+        assert_eq!(json.matches("\"row_conflict\"").count(), 1);
     }
 
     #[test]
@@ -482,6 +583,7 @@ mod tests {
             name: "queue",
             pid: 2,
             counter: true,
+            flow_id: None,
             args: vec![],
         }]);
         let ts: Vec<u64> = log.events.iter().map(|e| e.ts).collect();

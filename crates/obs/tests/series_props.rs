@@ -4,6 +4,7 @@
 //! (`evicted_totals + Σ live == totals`) the per-channel→system fusion
 //! and the SLO engine rely on.
 
+use clr_obs::blame::{BlameSet, WaitCause};
 use clr_obs::hist::LatencyHistogram;
 use clr_obs::series::{SeriesCounters, SeriesGauges, TimeSeries, WindowSummary};
 use proptest::prelude::*;
@@ -45,8 +46,12 @@ fn payload() -> impl Strategy<Value = Payload> {
 /// Builds the `i`-th window of an aligned series from a payload.
 fn window(i: u64, p: &Payload) -> WindowSummary {
     let mut read_latency = LatencyHistogram::new();
+    let mut read_blame = BlameSet::default();
     for &s in &p.2 {
         read_latency.record(s);
+        // Spread the same samples across causes so the blame algebra is
+        // exercised by every window property below.
+        read_blame.record_cause(WaitCause::ALL[(s % 10) as usize], s);
     }
     WindowSummary {
         index: i,
@@ -56,6 +61,7 @@ fn window(i: u64, p: &Payload) -> WindowSummary {
         counters: counters(&p.0),
         gauges: gauges(&p.1),
         read_latency,
+        read_blame,
     }
 }
 
@@ -128,6 +134,11 @@ proptest! {
         prop_assert_eq!(
             ts.total_latency().count() - live_samples,
             ts.evicted_latency().count()
+        );
+        let live_blame: u64 = ts.windows().map(|w| w.read_blame.total_cycles()).sum();
+        prop_assert_eq!(
+            ts.total_blame().total_cycles() - live_blame,
+            ts.evicted_blame().total_cycles()
         );
     }
 

@@ -151,6 +151,14 @@ pub struct PolicyCell {
     /// (the transient tail the end-of-run `read_latency_p99` smooths
     /// over).
     pub slo_worst_read_p99: u64,
+    /// Total demand-read enqueue→completion cycles over the measurement
+    /// window (the latency histogram's exact sum). The per-cause blame
+    /// budgets below sum to exactly this value — the attribution
+    /// exactness contract, asserted by CI's independent parser.
+    pub read_latency_cycles: u64,
+    /// Per-cause read wait budgets in cycles, one entry per
+    /// [`clr_obs::WaitCause`] in `WaitCause::ALL` order.
+    pub read_blame_cycles: Vec<u64>,
 }
 
 /// The full sweep.
@@ -389,6 +397,10 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
         }),
         threads: crate::system::threads_from_env(),
         clamp_threads: true,
+        // Wait-cause attribution rides along: the blame ledger is inert
+        // (differential-tested) and the sweep schema reports per-cause
+        // latency fractions for every cell.
+        blame: true,
     };
     let cfg = PolicyRunConfig::new(
         base,
@@ -444,6 +456,11 @@ fn run_cell(spec: &CellSpec, scale: Scale, seed: u64) -> PolicyCell {
         slo_windows: slo.windows,
         slo_violations: slo.objectives.iter().map(|o| o.violations).sum(),
         slo_worst_read_p99,
+        read_latency_cycles: r.run.mem.read_latency_hist.sum(),
+        read_blame_cycles: clr_obs::WaitCause::ALL
+            .iter()
+            .map(|&c| r.run.mem.read_blame.of(c).sum())
+            .collect(),
     }
 }
 
@@ -1029,6 +1046,17 @@ impl PolicySweepReport {
             .map(|v| format!("{v:.6}"))
             .collect::<Vec<_>>()
             .join(", ");
+        let blame_entry = |scale: u64| {
+            clr_obs::WaitCause::ALL
+                .iter()
+                .zip(&c.read_blame_cycles)
+                .map(|(cause, &n)| format!("\"{}\": {}", cause.label(), n * 1000 / scale.max(1)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        // Exact cycles (scale 1000/1000) and permille-of-total-wait.
+        let blame_cycles = blame_entry(1000);
+        let blame_permille = blame_entry(c.read_latency_cycles);
         format!(
             "{{\"policy\": \"{}\", \"workload\": \"{}\", \"reloc\": \"{}\", \
              \"cores\": {}, \"channels\": {}, \"budget_split\": \"{}\", \
@@ -1042,7 +1070,9 @@ impl PolicySweepReport {
              \"read_latency_p50\": {}, \"read_latency_p95\": {}, \
              \"read_latency_p99\": {}, \"slo_pass\": {}, \
              \"slo_windows\": {}, \"slo_violations\": {}, \
-             \"slo_worst_read_p99\": {}}}",
+             \"slo_worst_read_p99\": {}, \
+             \"read_latency_cycles\": {}, \"blame_cycles\": {{{}}}, \
+             \"blame_permille\": {{{}}}}}",
             esc(&c.policy),
             esc(&c.workload),
             esc(&c.reloc),
@@ -1071,6 +1101,9 @@ impl PolicySweepReport {
             c.slo_windows,
             c.slo_violations,
             c.slo_worst_read_p99,
+            c.read_latency_cycles,
+            blame_cycles,
+            blame_permille,
         )
     }
 
@@ -1090,10 +1123,13 @@ impl PolicySweepReport {
     /// cycles, from the per-request latency histograms) to every cell;
     /// `v6` adds the continuous-telemetry SLO verdict (`slo_pass`,
     /// `slo_windows`, `slo_violations`, `slo_worst_read_p99` — see
-    /// [`cell_slo_spec`]) to every cell.
+    /// [`cell_slo_spec`]) to every cell; `v7` adds cycle-exact
+    /// wait-cause attribution (`read_latency_cycles`, per-cause
+    /// `blame_cycles` summing to exactly it, and the derived
+    /// `blame_permille` shares) to every cell.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v6\",\n");
+        out.push_str("  \"schema\": \"clr-dram/policy-sweep/v7\",\n");
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.label()));
         for (key, cells, trailing) in [
             ("cells", &self.cells, ","),
@@ -1178,6 +1214,8 @@ mod tests {
             slo_windows: 6,
             slo_violations: 0,
             slo_worst_read_p99: 310,
+            read_latency_cycles: 4_000,
+            read_blame_cycles: vec![0, 400, 0, 0, 0, 2_600, 0, 0, 0, 1_000],
         }
     }
 
@@ -1207,7 +1245,7 @@ mod tests {
             placement: vec![placement],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v6\""));
+        assert!(json.contains("\"schema\": \"clr-dram/policy-sweep/v7\""));
         assert!(json.contains("\"policy\": \"topk\""));
         assert!(json.contains("\"reloc\": \"background\""));
         assert!(json.contains("\"ipc_per_core\": [0.500000]"));
@@ -1234,6 +1272,13 @@ mod tests {
         assert!(json.contains("\"slo_windows\": 6"));
         assert!(json.contains("\"slo_violations\": 0"));
         assert!(json.contains("\"slo_worst_read_p99\": 310"));
+        // v7: wait-cause attribution on every cell — exact cycles and
+        // the derived permille shares, keyed by stable cause labels.
+        assert!(json.contains("\"read_latency_cycles\": 4000"));
+        assert!(json.contains("\"blame_cycles\": {\"backpressure\": 0, \"refresh\": 400,"));
+        assert!(json.contains("\"row_conflict\": 2600,"));
+        assert!(json.contains("\"blame_permille\": {\"backpressure\": 0, \"refresh\": 100,"));
+        assert!(json.contains("\"service\": 250}"));
         assert!(report.cell("topk").is_some());
         assert!(report.best_static_within(0.2).is_none());
         // The contention table renders its fairness columns.

@@ -397,6 +397,7 @@ impl RunObserver for EpochDriver {
                     ..SeriesGauges::default()
                 },
                 read_latency: LatencyHistogram::new(),
+                read_blame: Default::default(),
             });
         }
 
@@ -512,6 +513,7 @@ mod tests {
             metrics: None,
             threads: 1,
             clamp_threads: true,
+            blame: false,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -564,6 +566,7 @@ mod tests {
             metrics: None,
             threads: 1,
             clamp_threads: true,
+            blame: false,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -615,6 +618,7 @@ mod tests {
             metrics: None,
             threads: 1,
             clamp_threads: true,
+            blame: false,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,
@@ -670,6 +674,7 @@ mod tests {
             metrics: None,
             threads: 1,
             clamp_threads: true,
+            blame: false,
         };
         let spec = PhaseShiftSpec {
             footprint_mib: 1,

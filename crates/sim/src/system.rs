@@ -98,6 +98,15 @@ pub struct RunConfig {
     /// outcome either way. The resolved counts are recorded in
     /// [`RunResult::threads_requested`] / [`RunResult::threads_effective`].
     pub clamp_threads: bool,
+    /// Per-request wait-cause attribution (off by default; inert, like
+    /// tracing and metrics): every completed demand request's
+    /// enqueue→completion latency is decomposed into an exact per-cause
+    /// cycle budget, accumulated in
+    /// [`MemStats::read_blame`](clr_memsim::stats::MemStats)/`write_blame`
+    /// and windowed into the telemetry series when metrics are also on.
+    /// [`RunConfig::paper`] resolves this from the `CLR_BLAME`
+    /// environment variable (`1`/`on`/`true` enables).
+    pub blame: bool,
 }
 
 impl RunConfig {
@@ -116,8 +125,17 @@ impl RunConfig {
             metrics: MetricsConfig::from_env(),
             threads: threads_from_env(),
             clamp_threads: true,
+            blame: blame_from_env(),
         }
     }
+}
+
+/// Wait-cause attribution from the `CLR_BLAME` environment variable
+/// (`1`/`on`/`true`/`all` enables; unset or anything else disables).
+pub fn blame_from_env() -> bool {
+    std::env::var("CLR_BLAME")
+        .map(|v| matches!(v.trim(), "1" | "on" | "true" | "all"))
+        .unwrap_or(false)
 }
 
 /// Worker-thread count from the `CLR_THREADS` environment variable
@@ -331,6 +349,7 @@ impl MetricsSampler {
                             .map_or(0, |&f| (f * 1000.0).round() as u64),
                     },
                     read_latency: delta.read_latency_hist,
+                    read_blame: delta.read_blame,
                 }
             })
             .collect();
@@ -394,6 +413,9 @@ pub(crate) fn run_workloads_observed(
     mem_sys.set_threads(threads_effective);
     if let Some(tc) = &cfg.trace {
         mem_sys.enable_tracing(tc);
+    }
+    if cfg.blame {
+        mem_sys.enable_blame();
     }
     observer.on_run_start(&mut mem_sys);
     let mut sampler = cfg
@@ -635,6 +657,7 @@ mod tests {
             metrics: None,
             threads: 1,
             clamp_threads: true,
+            blame: false,
         }
     }
 

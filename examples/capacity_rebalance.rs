@@ -40,6 +40,7 @@ fn run(placement: DestinationPicker, scale: Scale) -> PolicyRunResult {
         metrics: None,
         threads: 1,
         clamp_threads: true,
+        blame: false,
     };
     let cfg = PolicyRunConfig::new(
         base,

@@ -24,6 +24,7 @@ fn run(policy: PolicySpec, initial_fraction: f64, budget: f64, scale: Scale) {
         metrics: None,
         threads: 1,
         clamp_threads: true,
+        blame: false,
     };
     let cfg = PolicyRunConfig::new(
         base,

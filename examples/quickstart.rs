@@ -52,8 +52,12 @@ fn main() {
     // Continuous telemetry rides the CLR run: windowed counters and
     // latency quantiles in simulated-cycle time, provably inert
     // (CLR_METRICS tunes the interval; quickstart always samples).
+    // Wait-cause attribution rides along too (CLR_BLAME tunes it;
+    // quickstart always attributes): every read's latency decomposed
+    // into an exact per-cause cycle budget.
     let mut clr_cfg = RunConfig::paper(mem_config(Some(1.0), 64.0), budget, warmup, 42);
     clr_cfg.metrics.get_or_insert(MetricsConfig::every(5_000));
+    clr_cfg.blame = true;
     let clr = run_workloads(&[w], &clr_cfg);
     println!("\n429.mcf, {budget} instructions after {warmup} warmup:");
     println!(
@@ -99,6 +103,21 @@ fn main() {
             p99s.len(),
             m.interval_cycles,
             sparkline(&p99s)
+        );
+    }
+
+    // Where did the p99 come from? The blame table: every waited cycle
+    // of read latency charged to exactly one mutually-exclusive cause
+    // (the budgets sum to the latency histogram's sum, bit-identically
+    // across per-cycle, skip-ahead, and threaded walks).
+    let wait = clr.mem.read_blame.total_cycles();
+    println!("  read wait anatomy ({wait} cycles attributed):");
+    for (cause, cycles) in clr.mem.read_blame.dominant() {
+        println!(
+            "    {:<16} {:>4}\u{2030}  ({} cycles)",
+            cause.label(),
+            cycles * 1000 / wait.max(1),
+            cycles
         );
     }
 

@@ -1,5 +1,5 @@
 //! The fleet determinism contract, enforced end to end: the
-//! `clr-dram/fleet/v1` JSON is a pure function of `(roster, seed,
+//! `clr-dram/fleet/v2` JSON is a pure function of `(roster, seed,
 //! scale)` — **byte-identical** for every executor pool size, because
 //! instances are independent whole-instance jobs whose results come
 //! back in roster order and the JSON carries no host wall-clock.
@@ -73,22 +73,45 @@ fn fleet_report_covers_a_heterogeneous_roster() {
     let (p50, p95, p99) = report.fused_read_latency.percentiles();
     assert!(p50 > 0 && p50 <= p95 && p95 <= p99);
 
-    // The verdict evaluates both objective families.
+    // The verdict evaluates both objective families, and the
+    // relocation-aware scalars carry their gating semantics: the
+    // background bound gates, the stall bound is expected-fail.
     assert_eq!(report.slo.windows, 24);
     assert!(report
         .slo
         .scalars
         .iter()
         .any(|s| s.name == "fleet_read_p99_cycles"));
-    assert!(report
+    let background = report
         .slo
         .scalars
         .iter()
-        .any(|s| s.name == "max_tenant_slowdown_milli"));
+        .find(|s| s.name == "max_background_slowdown_milli")
+        .expect("background scalar present");
+    assert!(!background.expected_fail);
+    let stall = report
+        .slo
+        .scalars
+        .iter()
+        .find(|s| s.name == "max_stall_slowdown_milli")
+        .expect("stall scalar present");
+    assert!(stall.expected_fail);
+
+    // The fused blame distribution reconciles exactly with the fused
+    // latency mass (the per-instance exactness contract folds).
+    assert_eq!(
+        report.fused_read_blame.total_cycles(),
+        report.fused_read_latency.sum()
+    );
+    // The fused skip profile really aggregated the instances' walks.
+    assert!(report.fused_skip_profile.ticked_cycles > 0);
 
     // And the JSON round-trips its own headline numbers.
     let json = report.to_json();
-    assert!(json.starts_with("{\n  \"schema\": \"clr-dram/fleet/v1\""));
+    assert!(json.starts_with("{\n  \"schema\": \"clr-dram/fleet/v2\""));
     assert!(json.contains(&format!("\"instances_n\": {}", report.instances.len())));
     assert!(json.contains(&format!("\"p99\": {}", p99)));
+    assert!(json.contains("\"max_background_slowdown\""));
+    assert!(json.contains("\"blame\""));
+    assert!(json.contains("\"skip_profile\""));
 }

@@ -46,6 +46,7 @@ fn run(metrics: Option<MetricsConfig>, skip_ahead: bool, threads: usize) -> Poli
         threads,
         // Differential lane: exercise the pooled walk even on 1-core hosts.
         clamp_threads: false,
+        blame: false,
     };
     let cfg = PolicyRunConfig::new(
         base,

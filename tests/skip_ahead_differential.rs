@@ -470,6 +470,7 @@ fn two_channel_policy_run_with_epoch_boundaries_is_bit_identical() {
             metrics: None,
             threads: 1,
             clamp_threads: true,
+            blame: false,
         };
         let cfg = PolicyRunConfig::new(
             base,
@@ -537,6 +538,7 @@ fn placement_modes_policy_runs_are_bit_identical() {
             // Differential lane: exercise the pooled walk even on
             // 1-core hosts.
             clamp_threads: false,
+            blame: false,
         };
         let cfg = PolicyRunConfig::new(
             base,
@@ -612,6 +614,7 @@ fn policy_run_with_epoch_boundaries_is_bit_identical() {
             metrics: None,
             threads: 1,
             clamp_threads: true,
+            blame: false,
         };
         // The threshold policy proposes on raw access counts, so the run
         // is guaranteed to move the table (hysteresis may rightly decline

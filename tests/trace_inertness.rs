@@ -48,6 +48,11 @@ fn run_threaded(trace: Option<TraceConfig>, threads: usize) -> PolicyRunResult {
         threads,
         // Differential lane: exercise the pooled walk even on 1-core hosts.
         clamp_threads: false,
+        // Attribution on in *both* runs (the differential stays
+        // symmetric): tail-request flow spans carry the per-cause blame
+        // budget in their args, so the `requests` category only lights
+        // up when the ledger rides along.
+        blame: true,
     };
     let cfg = PolicyRunConfig::new(
         base,
@@ -189,7 +194,11 @@ fn chrome_trace_json_is_valid_and_complete() {
     let Some(Json::Array(events)) = lookup(&top, "traceEvents") else {
         panic!("traceEvents array missing");
     };
-    assert_eq!(events.len(), log.events.len());
+    // Flow events (tail-request spans) export as a begin/end pair, so
+    // the JSON carries one extra object per flow in the log.
+    let flows = log.events.iter().filter(|e| e.flow_id.is_some()).count();
+    assert!(flows > 0, "the contention scenario must sample tail reads");
+    assert_eq!(events.len(), log.events.len() + flows);
     for e in events {
         let Json::Object(fields) = e else {
             panic!("event must be an object");
@@ -210,6 +219,9 @@ fn chrome_trace_json_is_valid_and_complete() {
                     panic!("counter without args object");
                 };
                 assert!(!args.is_empty(), "counter with no series values");
+            }
+            Some(Json::String(ph)) if ph == "b" || ph == "e" => {
+                assert!(lookup(fields, "id").is_some(), "flow event without id")
             }
             other => panic!("unexpected ph {other:?}"),
         }
